@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Micro-benchmarks of the functional analog data path (Fig. 1):
+ * crossbar bitline reads and full bit-serial dot products across
+ * engine geometries, plus the encoding primitives. These are real
+ * timed google-benchmark cases measuring the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "xbar/encoding.h"
+#include "xbar/engine.h"
+
+using namespace isaac;
+
+namespace {
+
+std::vector<Word>
+randomWords(std::uint64_t seed, int n)
+{
+    Rng rng(seed);
+    std::vector<Word> v(static_cast<std::size_t>(n));
+    for (auto &w : v)
+        w = static_cast<Word>(rng.uniform(-32768, 32767));
+    return v;
+}
+
+void
+BM_CrossbarReadAllBitlines(benchmark::State &state)
+{
+    const int rows = static_cast<int>(state.range(0));
+    xbar::CrossbarArray xb(rows, rows + 1, 2);
+    Rng rng(1);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < rows + 1; ++c)
+            xb.program(r, c, static_cast<int>(rng.uniform(0, 3)));
+    std::vector<int> inputs(static_cast<std::size_t>(rows));
+    for (auto &i : inputs)
+        i = static_cast<int>(rng.uniform(0, 1));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(xb.readAllBitlines(inputs));
+    state.SetItemsProcessed(state.iterations() * rows * (rows + 1));
+}
+BENCHMARK(BM_CrossbarReadAllBitlines)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_EngineDotProduct(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int m = static_cast<int>(state.range(1));
+    xbar::EngineConfig cfg;
+    const auto weights = randomWords(7, n * m);
+    xbar::BitSerialEngine engine(cfg, weights, n, m);
+    const auto inputs = randomWords(9, n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.dotProduct(inputs));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * m);
+}
+BENCHMARK(BM_EngineDotProduct)
+    ->Args({128, 16})   // one physical array
+    ->Args({256, 32})   // the Fig. 4 example (4 arrays)
+    ->Args({1024, 64}); // a deep-layer slice
+
+void
+BM_EngineDotProductBiasedDac2(benchmark::State &state)
+{
+    xbar::EngineConfig cfg;
+    cfg.dacBits = 2;
+    cfg.inputMode = xbar::InputMode::Biased;
+    const auto weights = randomWords(3, 128 * 16);
+    xbar::BitSerialEngine engine(cfg, weights, 128, 16);
+    const auto inputs = randomWords(5, 128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.dotProduct(inputs));
+}
+BENCHMARK(BM_EngineDotProductBiasedDac2);
+
+void
+BM_EngineDotProductNoisy(benchmark::State &state)
+{
+    xbar::EngineConfig cfg;
+    cfg.noise.sigmaLsb = 0.5;
+    const auto weights = randomWords(11, 128 * 16);
+    xbar::BitSerialEngine engine(cfg, weights, 128, 16);
+    const auto inputs = randomWords(13, 128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.dotProduct(inputs));
+}
+BENCHMARK(BM_EngineDotProductNoisy);
+
+void
+BM_EngineProgramming(benchmark::State &state)
+{
+    xbar::EngineConfig cfg;
+    const auto weights = randomWords(17, 128 * 16);
+    for (auto _ : state) {
+        xbar::BitSerialEngine engine(cfg, weights, 128, 16);
+        benchmark::DoNotOptimize(engine.physicalArrays());
+    }
+}
+BENCHMARK(BM_EngineProgramming);
+
+void
+BM_SliceWeight(benchmark::State &state)
+{
+    std::uint16_t u = 0xBEEF;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(xbar::sliceWeight(u, 2));
+        ++u;
+    }
+}
+BENCHMARK(BM_SliceWeight);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-benchmark activity-energy breakdown: where the joules go for
+ * each network on a 16-chip ISAAC-CE board. Corroborates the Table I
+ * observation that the ADCs dominate the analog datapath's dynamic
+ * energy, and shows the constant HyperTransport tax the paper calls
+ * out in Sec. VIII-B.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "pipeline/perf.h"
+
+using namespace isaac;
+
+namespace {
+
+void
+printEnergyBreakdown()
+{
+    setVerbose(false);
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    std::printf("=== Activity-energy breakdown per image (16-chip "
+                "ISAAC-CE), mJ ===\n\n");
+    std::printf("%-10s %8s %8s %8s %8s %8s %8s %8s | %9s\n",
+                "benchmark", "ADC", "DAC", "xbar", "digital",
+                "eDRAM", "bus", "HT", "total");
+    for (const auto &net : nn::allBenchmarks()) {
+        const auto perf = pipeline::analyzeIsaac(net, cfg, 16);
+        if (!perf.fits) {
+            std::printf("%-10s (does not fit)\n",
+                        net.name().c_str());
+            continue;
+        }
+        const auto &a = perf.activity;
+        std::printf("%-10s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f "
+                    "%8.3f | %9.3f\n",
+                    net.name().c_str(), a.adcJ * 1e3, a.dacJ * 1e3,
+                    a.xbarJ * 1e3, a.digitalJ * 1e3, a.edramJ * 1e3,
+                    a.busJ * 1e3, a.htJ * 1e3, a.totalJ() * 1e3);
+    }
+    std::printf("\nThe analog conversion chain (ADC + DAC + "
+                "crossbar) dominates the switching energy, and the "
+                "always-on HyperTransport links add a constant tax "
+                "per image interval -- both observations from "
+                "Secs. VIII-A/B.\n\n");
+}
+
+void
+BM_ActivityAccounting(benchmark::State &state)
+{
+    setVerbose(false);
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const auto net = nn::vgg(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pipeline::analyzeIsaac(net, cfg, 16));
+}
+BENCHMARK(BM_ActivityAccounting);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printEnergyBreakdown();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

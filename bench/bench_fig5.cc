@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Figure 5: peak CE and PE across the design space
+ * (crossbar size H, ADCs per IMA A, crossbars per IMA C, IMAs per
+ * tile I). Infeasible points are annotated with their structural
+ * hazard; the CE- and PE-optimal points are marked.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "dse/dse.h"
+
+using namespace isaac;
+
+namespace {
+
+void
+printFig5()
+{
+    std::printf("=== Figure 5: CE and PE across the ISAAC design "
+                "space ===\n\n");
+    dse::DseSpace space;
+    const auto points = dse::sweep(space);
+    const auto &bestCe = dse::best(points, dse::Metric::CE);
+    const auto &bestPe = dse::best(points, dse::Metric::PE);
+
+    std::printf("%-18s %12s %12s %10s  %s\n", "config",
+                "CE(GOPS/mm^2)", "PE(GOPS/W)", "SE(MB/mm^2)",
+                "notes");
+    for (const auto &p : points) {
+        if (!p.feasible) {
+            std::printf("%-18s %12s %12s %10s  infeasible: %s\n",
+                        p.config.label().c_str(), "-", "-", "-",
+                        p.hazard.c_str());
+            continue;
+        }
+        std::string notes;
+        if (p.config.label() == bestCe.config.label())
+            notes += " <= best CE (ISAAC-CE)";
+        if (p.config.label() == bestPe.config.label())
+            notes += " <= best PE (ISAAC-PE)";
+        std::printf("%-18s %12.1f %12.1f %10.2f %s\n",
+                    p.config.label().c_str(), p.ce, p.pe, p.se,
+                    notes.c_str());
+    }
+
+    std::printf("\nBest CE: %s (paper: H128-A8-C8 with 12 IMAs per "
+                "tile)\n",
+                bestCe.config.label().c_str());
+    std::printf("Best PE: %s (paper: near-identical to the CE "
+                "point)\n\n",
+                bestPe.config.label().c_str());
+}
+
+void
+BM_DseSweep(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dse::sweep());
+}
+BENCHMARK(BM_DseSweep);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig5();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Regenerates Figure 6: throughput and energy of ISAAC-CE
+ * normalized to DaDianNao for every benchmark on 8/16/32/64-chip
+ * boards. Benchmarks whose weights do not fit a configuration are
+ * omitted, exactly as in the paper.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/dadiannao_perf.h"
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "paper_reference.h"
+#include "pipeline/perf.h"
+
+using namespace isaac;
+
+namespace {
+
+void
+printFig6()
+{
+    setVerbose(false);
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const energy::DaDianNaoModel ddn;
+    const auto nets = nn::allBenchmarks();
+
+    std::printf("=== Figure 6: ISAAC-CE normalized to DaDianNao "
+                "===\n\n");
+    for (int chips : {8, 16, 32, 64}) {
+        std::printf("--- %d-chip board ---\n", chips);
+        std::printf("%-10s %14s %12s %12s %12s %10s\n", "benchmark",
+                    "norm.throughput", "norm.energy", "isaac img/s",
+                    "ddn img/s", "power x");
+        double sumT = 0, sumE = 0;
+        int counted = 0;
+        for (const auto &net : nets) {
+            const auto ip = pipeline::analyzeIsaac(net, cfg, chips);
+            const auto dp =
+                baseline::analyzeDaDianNao(net, ddn, chips);
+            if (!ip.fits || !dp.fits) {
+                std::printf("%-10s %14s %12s  (%s does not fit)\n",
+                            net.name().c_str(), "-", "-",
+                            !ip.fits ? "ISAAC" : "DaDianNao");
+                continue;
+            }
+            const double tGain = ip.imagesPerSec / dp.imagesPerSec;
+            const double eGain =
+                dp.energyPerImageJ / ip.energyPerImageJ;
+            sumT += tGain;
+            sumE += eGain;
+            ++counted;
+            std::printf("%-10s %14.2f %12.2f %12.0f %12.0f %10.2f\n",
+                        net.name().c_str(), tGain, eGain,
+                        ip.imagesPerSec, dp.imagesPerSec,
+                        ip.powerW / dp.powerW);
+        }
+        if (counted) {
+            std::printf("mean       %14.2f %12.2f\n", sumT / counted,
+                        sumE / counted);
+        }
+        if (chips == 16) {
+            std::printf("(paper 16-chip averages: %.1fx throughput, "
+                        "%.1fx energy, %.2fx power -- see "
+                        "EXPERIMENTS.md for the gap analysis)\n",
+                        paper::kThroughputGain, paper::kEnergyGain,
+                        paper::kPowerIncrease);
+        }
+        std::printf("\n");
+    }
+}
+
+void
+BM_PlanVgg16Chips(benchmark::State &state)
+{
+    const auto net = nn::vgg(1);
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pipeline::planPipeline(net, cfg, 16));
+}
+BENCHMARK(BM_PlanVgg16Chips);
+
+void
+BM_AnalyzeDdn(benchmark::State &state)
+{
+    const auto net = nn::vgg(1);
+    const energy::DaDianNaoModel ddn;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            baseline::analyzeDaDianNao(net, ddn, 16));
+}
+BENCHMARK(BM_AnalyzeDdn);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig6();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates the "Impact of Data Layout, ADCs/DACs" study
+ * (Sec. VIII-A): sweep the DAC resolution v and cell density w with
+ * the array height R pinned by the fixed 8-bit ADC (Eqs. (1)/(2) +
+ * the encoding bit), and report CE/PE. The paper concludes the
+ * sweet spot is w = 2 bits per cell with 1-bit DACs.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "energy/catalog.h"
+
+using namespace isaac;
+
+namespace {
+
+int
+rowsForEightBitAdc(int v, int w)
+{
+    const int exp = (v > 1 && w > 1) ? 9 - v - w : 10 - v - w;
+    return exp >= 0 ? 1 << exp : 0;
+}
+
+void
+printLayoutStudy()
+{
+    std::printf("=== Data-layout sweep at a fixed 8-bit ADC "
+                "(Sec. VIII-A) ===\n\n");
+    std::printf("%4s %4s %6s %8s | %12s %12s %10s\n", "v", "w", "R",
+                "ADC", "CE(GOPS/mm2)", "PE(GOPS/W)", "SE(MB/mm2)");
+
+    double bestCe = 0;
+    int bestV = 0, bestW = 0;
+    for (int v : {1, 2, 4}) {
+        for (int w : {1, 2, 4, 8}) {
+            const int rows = rowsForEightBitAdc(v, w);
+            if (rows < 8) {
+                std::printf("%4d %4d %6s %8s | (array too small "
+                            "for the 8-bit ADC)\n",
+                            v, w, "-", "-");
+                continue;
+            }
+            arch::IsaacConfig cfg;
+            cfg.engine.rows = rows;
+            cfg.engine.cols = 128; // keep 16 weights per row
+            cfg.engine.cellBits = w;
+            cfg.engine.dacBits = v;
+            if (v > 1)
+                cfg.engine.inputMode = xbar::InputMode::Biased;
+            if (cfg.engine.cols < cfg.engine.slicesPerWeight())
+                cfg.engine.cols = cfg.engine.slicesPerWeight();
+            const energy::IsaacEnergyModel m(cfg);
+            std::printf("%4d %4d %6d %7db | %12.1f %12.1f %10.2f\n",
+                        v, w, rows, cfg.engine.adcBits(),
+                        m.ceGopsPerMm2(), m.peGopsPerW(),
+                        m.seMBPerMm2());
+            if (m.ceGopsPerMm2() > bestCe) {
+                bestCe = m.ceGopsPerMm2();
+                bestV = v;
+                bestW = w;
+            }
+        }
+    }
+    std::printf("\nBest CE at v=%d, w=%d (paper: v=1, w=2 -- the "
+                "ISAAC-CE design point)\n\n",
+                bestV, bestW);
+}
+
+void
+BM_LayoutPoint(benchmark::State &state)
+{
+    arch::IsaacConfig cfg;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            energy::IsaacEnergyModel(cfg).ceGopsPerMm2());
+}
+BENCHMARK(BM_LayoutPoint);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printLayoutStudy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

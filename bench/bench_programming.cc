@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Weight-programming study: time and energy to load each benchmark's
+ * weights into the crossbars (the Sec. III programming step), versus
+ * the steady-state inference interval. Quantifies the paper's core
+ * design argument that crossbars cannot be reprogrammed on the fly,
+ * which forces the dedicated-crossbar inter-layer pipeline.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "pipeline/replication.h"
+#include "xbar/write_model.h"
+
+using namespace isaac;
+
+namespace {
+
+void
+printProgrammingStudy()
+{
+    setVerbose(false);
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const xbar::WriteModel wm;
+    const int chips = 16;
+
+    std::printf("=== Weight programming (16-chip ISAAC-CE; 100 ns "
+                "pulses, 4 program-verify rounds) ===\n\n");
+    std::printf("%-10s %12s %12s %14s %16s\n", "benchmark",
+                "arrays", "program(ms)", "energy(mJ)",
+                "vs image time");
+    for (const auto &net : nn::allBenchmarks()) {
+        const auto plan = pipeline::planPipeline(net, cfg, chips);
+        if (!plan.fits) {
+            std::printf("%-10s %12s\n", net.name().c_str(),
+                        "(does not fit)");
+            continue;
+        }
+        const double t = wm.programSeconds(cfg, plan.xbarsUsed,
+                                           chips);
+        const double e = wm.programEnergyJ(cfg, plan.xbarsUsed);
+        const double imageT =
+            plan.cyclesPerImage * cfg.cycleNs * 1e-9;
+        std::printf("%-10s %12lld %12.3f %14.3f %14.0fx\n",
+                    net.name().c_str(),
+                    static_cast<long long>(plan.xbarsUsed), t * 1e3,
+                    e * 1e3, t / imageT);
+    }
+    std::printf("\nOne full weight load costs several to dozens of "
+                "image intervals -- and DaDianNao-style context "
+                "switching would pay it again at every layer of "
+                "every image, a >1000x slowdown. Hence the "
+                "dedicated-crossbar pipeline (Sec. I/IV): program "
+                "once, infer millions of times.\n\n");
+}
+
+void
+BM_ProgramTimeModel(benchmark::State &state)
+{
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const xbar::WriteModel wm;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            wm.programSeconds(cfg, 16128, 1));
+}
+BENCHMARK(BM_ProgramTimeModel);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printProgrammingStudy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

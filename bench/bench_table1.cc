@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Regenerates Table I: the ISAAC tile/IMA power & area breakdown and
+ * the DaDianNao chip breakdown, with measured-vs-paper totals.
+ *
+ * Also registers google-benchmark timings for the energy-model
+ * evaluation itself.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "core/report.h"
+#include "energy/dadiannao_catalog.h"
+#include "paper_reference.h"
+
+using namespace isaac;
+
+namespace {
+
+void
+printTable1()
+{
+    const arch::IsaacConfig cfg = arch::IsaacConfig::isaacCE();
+    const energy::IsaacEnergyModel model(cfg);
+
+    std::printf("=== Table I: ISAAC parameters (%s) ===\n\n",
+                cfg.label().c_str());
+    std::printf("%s\n",
+                core::formatBreakdown(model.tileBreakdown(),
+                                      "ISAAC tile at 1.2 GHz")
+                    .c_str());
+    std::printf("%s\n",
+                core::formatBreakdown(model.imaBreakdown(),
+                                      "One IMA (12 per tile)")
+                    .c_str());
+
+    std::printf("Tile totals:   measured %7.1f mW / %7.4f mm^2   "
+                "paper %7.1f mW / %7.4f mm^2\n",
+                model.tilePowerMw(), model.tileAreaMm2(),
+                paper::kTilePowerMw, paper::kTileAreaMm2);
+    std::printf("Chip totals:   measured %7.1f W  / %7.1f mm^2   "
+                "paper %7.1f W  / %7.1f mm^2\n",
+                model.chipPowerW(), model.chipAreaMm2(),
+                paper::kChipPowerW, paper::kChipAreaMm2);
+
+    double adcPower = 0, adcArea = 0;
+    for (const auto &c : model.imaBreakdown().items) {
+        if (c.name == "ADC") {
+            adcPower = c.powerMw;
+            adcArea = c.areaMm2;
+        }
+    }
+    std::printf("ADC share:     measured %4.1f%% power / %4.1f%% "
+                "area   paper %4.1f%% / %4.1f%%\n\n",
+                100.0 * 12 * adcPower / model.tilePowerMw(),
+                100.0 * 12 * adcArea / model.tileAreaMm2(),
+                100.0 * paper::kAdcTilePowerShare,
+                100.0 * paper::kAdcTileAreaShare);
+
+    const energy::DaDianNaoModel ddn;
+    std::printf("%s\n",
+                core::formatBreakdown(
+                    ddn.chipBreakdown(),
+                    "DaDianNao at 606 MHz scaled to 32 nm")
+                    .c_str());
+}
+
+void
+BM_TileBreakdown(benchmark::State &state)
+{
+    const energy::IsaacEnergyModel model(
+        arch::IsaacConfig::isaacCE());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.tileBreakdown());
+}
+BENCHMARK(BM_TileBreakdown);
+
+void
+BM_ChipPower(benchmark::State &state)
+{
+    const energy::IsaacEnergyModel model(
+        arch::IsaacConfig::isaacCE());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.chipPowerW());
+}
+BENCHMARK(BM_ChipPower);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Table II: the benchmark suite. Prints every network's
+ * layer structure plus the aggregate parameter counts the paper
+ * quotes (VGG ~138M, MSRA 178M/183M/330M, DeepFace ~120M).
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "core/report.h"
+#include "nn/zoo.h"
+
+using namespace isaac;
+
+namespace {
+
+void
+printTable2()
+{
+    std::printf("=== Table II: benchmark suite ===\n\n");
+    for (const auto &net : nn::allBenchmarks()) {
+        std::printf("%s\n", core::describeNetwork(net).c_str());
+        for (const auto &l : net.layers()) {
+            if (l.isDotProduct()) {
+                std::printf("    %-18s %3dx%-3d in, %dx%d,%d/%d%s\n",
+                            l.name.c_str(), l.nx, l.ny, l.kx, l.ky,
+                            l.no, l.sx,
+                            l.privateKernel ? " (private)" : "");
+            } else {
+                std::printf("    %-18s %3dx%-3d in\n", l.name.c_str(),
+                            l.nx, l.ny);
+            }
+        }
+        std::printf("\n");
+    }
+}
+
+void
+BM_BuildAllBenchmarks(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nn::allBenchmarks());
+}
+BENCHMARK(BM_BuildAllBenchmarks);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

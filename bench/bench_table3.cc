@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Regenerates Table III: input-buffer requirements for the largest
+ * benchmark layers with and without pipelining.
+ *
+ * Columns: the published Table III KB figures (which count Kx rows
+ * at one byte per value -- see pipeline/buffer.h) and our 16-bit
+ * Section IV formula values, plus the reduction factor.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "nn/zoo.h"
+#include "pipeline/buffer.h"
+
+using namespace isaac;
+
+namespace {
+
+struct Row
+{
+    const char *group;
+    int ni, k, nx;
+};
+
+constexpr Row kRows[] = {
+    {"VGG/MSRA", 3, 3, 224},   {"VGG/MSRA", 96, 7, 112},
+    {"VGG/MSRA", 64, 3, 112},  {"VGG/MSRA", 128, 3, 56},
+    {"VGG/MSRA", 256, 3, 28},  {"VGG/MSRA", 384, 3, 28},
+    {"VGG/MSRA", 512, 3, 14},  {"VGG/MSRA", 768, 3, 14},
+    {"DeepFace", 142, 11, 32}, {"DeepFace", 71, 3, 32},
+    {"DeepFace", 63, 9, 16},   {"DeepFace", 55, 9, 16},
+    {"DeepFace", 25, 7, 16},
+};
+
+nn::LayerDesc
+makeLayer(const Row &r)
+{
+    nn::LayerDesc d;
+    d.kind = nn::LayerKind::Conv;
+    d.name = "t";
+    d.ni = d.no = r.ni;
+    d.nx = d.ny = r.nx;
+    d.kx = d.ky = r.k;
+    d.px = d.py = (r.k - 1) / 2;
+    return d;
+}
+
+void
+printTable3()
+{
+    std::printf("=== Table III: buffering requirement with and "
+                "without pipelining ===\n\n");
+    std::printf("%-9s %4s %3s %4s | %12s %12s | %14s %14s | %9s\n",
+                "group", "Ni", "k", "Nx", "no-pipe(KB)",
+                "pipe(KB)", "16b no-pipe KB", "16b pipe KB",
+                "reduction");
+    double maxPipelined = 0;
+    for (const auto &r : kRows) {
+        const auto l = makeLayer(r);
+        const double pubPipe = pipeline::paperTablePipelinedKB(l);
+        maxPipelined = std::max(maxPipelined, pubPipe);
+        std::printf("%-9s %4d %3d %4d | %12.2f %12.2f | %14.2f "
+                    "%14.2f | %8.1fx\n",
+                    r.group, r.ni, r.k, r.nx,
+                    pipeline::paperTableUnpipelinedKB(l), pubPipe,
+                    pipeline::unpipelinedBufferBytes(l) / 1024.0,
+                    pipeline::pipelinedBufferBytes(l) / 1024.0,
+                    pipeline::pipelineBufferReduction(l));
+    }
+    std::printf("\nLargest pipelined buffer: %.1f KB (paper: 74 KB; "
+                "justifies the 64 KB per-tile eDRAM since such "
+                "layers span multiple tiles)\n\n",
+                maxPipelined);
+}
+
+void
+BM_BufferFormula(benchmark::State &state)
+{
+    const auto l = makeLayer(kRows[1]);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipeline::pipelinedBufferBytes(l));
+}
+BENCHMARK(BM_BufferFormula);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable3();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The paper's published numbers, used by the bench harnesses to
+ * print measured-vs-paper columns. Nothing in the library depends on
+ * these values; they exist purely for comparison output and are
+ * transcribed from ISAAC (ISCA 2016) Tables I-IV and Section VIII.
+ */
+
+#ifndef ISAAC_BENCH_PAPER_REFERENCE_H
+#define ISAAC_BENCH_PAPER_REFERENCE_H
+
+namespace isaac::paper {
+
+// Table I (ISAAC-CE).
+constexpr double kTilePowerMw = 330.0;
+constexpr double kTileAreaMm2 = 0.372;
+constexpr double kChipPowerW = 65.8;
+constexpr double kChipAreaMm2 = 85.4;
+constexpr double kAdcTilePowerShare = 0.58;
+constexpr double kAdcTileAreaShare = 0.31;
+
+// Table IV.
+constexpr double kDdnCE = 63.46;
+constexpr double kDdnPE = 286.4;
+constexpr double kDdnSE = 0.41;
+constexpr double kIsaacCeCE = 478.95;
+constexpr double kIsaacCePE = 363.7;
+constexpr double kIsaacCeSE = 0.74;
+constexpr double kIsaacPeCE = 466.8;
+constexpr double kIsaacPePE = 380.7;
+constexpr double kIsaacPeSE = 0.71;
+constexpr double kIsaacSeCE = 140.3;
+constexpr double kIsaacSePE = 255.3;
+constexpr double kIsaacSeSE = 54.8;
+
+// Section VIII-B headline (16-chip average).
+constexpr double kThroughputGain = 14.8;
+constexpr double kEnergyGain = 5.5;
+constexpr double kPowerIncrease = 1.95;
+
+// Section VIII-A sensitivity claims.
+constexpr double kEncodingCeGain = 1.50;
+constexpr double kEncodingPeGain = 1.87;
+constexpr double kDac2AreaIncrease = 1.63;
+constexpr double kDac2PowerIncrease = 1.07;
+constexpr double kCell4CeLoss = 0.77;  // -23%
+constexpr double kCell4PeLoss = 0.81;  // -19%
+constexpr double kBit32ThroughputLoss = 0.25; // 4x lower
+constexpr double kSlow200nsCeLoss = 0.70;     // -30%
+
+} // namespace isaac::paper
+
+#endif // ISAAC_BENCH_PAPER_REFERENCE_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Design-space exploration walkthrough: sweep the Fig. 5 space,
+ * print the efficiency frontier, and show how the storage-oriented
+ * ISAAC-SE point fits the 664M-weight DNN benchmark on a single
+ * chip while ISAAC-CE needs a 32-chip board.
+ *
+ *   ./examples/design_explorer
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "dse/dse.h"
+#include "nn/zoo.h"
+#include "pipeline/replication.h"
+
+using namespace isaac;
+
+int
+main()
+{
+    setVerbose(false);
+
+    // Sweep the Fig. 5 space and show the top points per metric.
+    const auto points = dse::sweep();
+    std::vector<const dse::DsePoint *> feasible;
+    for (const auto &p : points)
+        if (p.feasible)
+            feasible.push_back(&p);
+
+    auto top = [&](dse::Metric m, auto key, const char *name) {
+        auto sorted = feasible;
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](auto *a, auto *b) { return key(*a) > key(*b); });
+        std::printf("Top 5 by %s:\n", name);
+        for (std::size_t i = 0; i < 5 && i < sorted.size(); ++i) {
+            const auto *p = sorted[i];
+            std::printf("  %-18s CE %7.1f  PE %7.1f  SE %6.2f\n",
+                        p->config.label().c_str(), p->ce, p->pe,
+                        p->se);
+        }
+        std::printf("\n");
+        (void)m;
+    };
+    top(dse::Metric::CE, [](const dse::DsePoint &p) { return p.ce; },
+        "computational efficiency (GOPS/mm^2)");
+    top(dse::Metric::PE, [](const dse::DsePoint &p) { return p.pe; },
+        "power efficiency (GOPS/W)");
+
+    std::printf("%zu of %zu swept points are feasible; the rest "
+                "violate the 8-bit ADC bound or the eDRAM/bus "
+                "budget.\n\n",
+                feasible.size(), points.size());
+
+    // The SE story: the DaDianNao large-DNN benchmark.
+    const auto dnn = nn::largeDnn();
+    const auto ce = arch::IsaacConfig::isaacCE();
+    const auto se = arch::IsaacConfig::isaacSE();
+
+    std::printf("Large DNN benchmark (%lldM weights):\n",
+                static_cast<long long>(dnn.totalWeights() / 1000000));
+    for (int chips : {1, 16, 32}) {
+        const auto plan = pipeline::planPipeline(dnn, ce, chips);
+        std::printf("  ISAAC-CE x%2d chips: %s\n", chips,
+                    plan.fits ? "fits" : "does not fit");
+    }
+    const auto sePlan = pipeline::planPipeline(dnn, se, 1);
+    std::printf("  ISAAC-SE x 1 chip : %s (paper: one ISAAC-SE "
+                "chip vs 32 ISAAC-CE vs 64 DaDianNao)\n",
+                sePlan.fits ? "fits" : "does not fit");
+    return 0;
+}

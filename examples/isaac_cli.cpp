@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Command-line driver: evaluate any Table II benchmark on any ISAAC
+ * design point and board size, with text or JSON output.
+ *
+ *   isaac_cli --network vgg3 --chips 16 [--design ce|pe|se]
+ *             [--baseline] [--noc] [--json]
+ *   isaac_cli --file examples/networks/lenet.net --chips 1
+ *   isaac_cli --list
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "baseline/dadiannao_perf.h"
+#include "common/logging.h"
+#include "core/accelerator.h"
+#include "core/json.h"
+#include "core/report.h"
+#include "dse/dse.h"
+#include "nn/parser.h"
+#include "nn/weights_io.h"
+#include "nn/zoo.h"
+#include "noc/traffic.h"
+
+using namespace isaac;
+
+namespace {
+
+std::optional<nn::Network>
+networkByName(const std::string &name)
+{
+    for (auto &net : nn::allBenchmarks()) {
+        std::string key = net.name();
+        for (auto &c : key)
+            c = static_cast<char>(std::tolower(c));
+        key.erase(std::remove(key.begin(), key.end(), '-'),
+                  key.end());
+        if (key == name)
+            return net;
+    }
+    if (name == "tiny")
+        return nn::tinyCnn();
+    return std::nullopt;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: isaac_cli --network <name> | --file <path>\n"
+        "                 [--weights <raw16 file>] [--chips N]\n"
+        "                 [--design ce|pe|se] [--baseline]\n"
+        "                 [--noc] [--json]\n"
+        "       isaac_cli --list\n"
+        "       isaac_cli --sweep     (print the Fig. 5 design "
+        "space)\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string network;
+    std::string file;
+    std::string weightsPath;
+    std::string design = "ce";
+    int chips = 16;
+    bool withBaseline = false;
+    bool withNoc = false;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--network") {
+            network = value();
+        } else if (arg == "--file") {
+            file = value();
+        } else if (arg == "--weights") {
+            weightsPath = value();
+        } else if (arg == "--chips") {
+            chips = std::atoi(value());
+        } else if (arg == "--design") {
+            design = value();
+        } else if (arg == "--baseline") {
+            withBaseline = true;
+        } else if (arg == "--noc") {
+            withNoc = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            for (const auto &net : nn::allBenchmarks())
+                std::printf("%s\n",
+                            core::describeNetwork(net).c_str());
+            return 0;
+        } else if (arg == "--sweep") {
+            for (const auto &p : dse::sweep()) {
+                if (!p.feasible) {
+                    std::printf("%-18s infeasible: %s\n",
+                                p.config.label().c_str(),
+                                p.hazard.c_str());
+                } else {
+                    std::printf("%-18s CE %7.1f PE %7.1f SE %6.2f\n",
+                                p.config.label().c_str(), p.ce, p.pe,
+                                p.se);
+                }
+            }
+            return 0;
+        } else {
+            return usage();
+        }
+    }
+    if ((network.empty() == file.empty()) || chips < 1)
+        return usage();
+
+    std::optional<nn::Network> net;
+    if (!file.empty()) {
+        try {
+            net = nn::loadNetworkFile(file);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    } else {
+        net = networkByName(network);
+    }
+    if (!net) {
+        std::fprintf(stderr, "unknown network '%s' (try --list)\n",
+                     network.c_str());
+        return 2;
+    }
+
+    arch::IsaacConfig cfg;
+    if (design == "ce")
+        cfg = arch::IsaacConfig::isaacCE();
+    else if (design == "pe")
+        cfg = arch::IsaacConfig::isaacPE();
+    else if (design == "se")
+        cfg = arch::IsaacConfig::isaacSE();
+    else
+        return usage();
+
+    const auto plan = pipeline::planPipeline(*net, cfg, chips);
+    const energy::IsaacEnergyModel model(cfg);
+    const auto perf = pipeline::analyzeIsaac(*net, plan, model);
+
+    if (!weightsPath.empty()) {
+        // Functional path: load raw16 weights, run one inference on
+        // the analog model, and cross-check the software reference.
+        try {
+            const auto store =
+                nn::loadWeightsRaw16(*net, weightsPath);
+            const FixedFormat fmt{12};
+            core::Accelerator acc(cfg);
+            core::CompileOptions copts;
+            copts.chips = chips;
+            copts.format = fmt;
+            const auto compiled = acc.compile(*net, store, copts);
+            const auto &l0 = net->layer(0);
+            const auto input = nn::synthesizeInput(
+                l0.ni, l0.nx, l0.ny, 1, fmt);
+            const auto got = compiled.infer(input);
+            nn::ReferenceExecutor ref(*net, store, fmt);
+            const auto want = ref.run(input);
+            std::printf("functional check: %s (%zu outputs, %llu "
+                        "ADC clips)\n",
+                        got.raw() == want.raw() ? "bit-exact"
+                                                : "MISMATCH",
+                        got.size(),
+                        static_cast<unsigned long long>(
+                            compiled.adcClips()));
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+
+    if (json) {
+        std::printf("{\"config\":%s,\n \"plan\":%s,\n \"perf\":%s",
+                    core::toJson(cfg).c_str(),
+                    core::toJson(*net, plan).c_str(),
+                    core::toJson(perf).c_str());
+    } else {
+        std::printf("%s\n", core::describeNetwork(*net).c_str());
+        std::printf("%s\n",
+                    core::formatIsaacPerf(*net, perf, chips).c_str());
+    }
+
+    if (withBaseline) {
+        const energy::DaDianNaoModel ddn;
+        const auto dp = baseline::analyzeDaDianNao(*net, ddn, chips);
+        if (json)
+            std::printf(",\n \"dadiannao\":%s",
+                        core::toJson(dp).c_str());
+        else
+            std::printf("%s\n", core::formatDdnPerf(*net, dp).c_str());
+    }
+
+    if (withNoc && plan.fits) {
+        const auto placement =
+            pipeline::Placement::build(*net, plan, cfg);
+        const auto traffic =
+            noc::analyzeTraffic(*net, plan, placement, cfg);
+        if (json) {
+            std::printf(",\n \"noc\":%s",
+                        core::toJson(traffic).c_str());
+        } else {
+            std::printf("NoC: hot link %.2f GB/s (cap %.1f), tile "
+                        "egress %.2f GB/s, HT %.2f GB/s, %s\n",
+                        traffic.maxLinkGBps,
+                        traffic.linkCapacityGBps,
+                        traffic.maxTileEgressGBps, traffic.maxHtGBps,
+                        traffic.schedulable
+                            ? "statically schedulable"
+                            : "NOT schedulable under XY routing");
+        }
+    }
+    if (json)
+        std::printf("}\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Analog-noise resilience study (Sec. VIII-A's noise discussion):
+ * inject Gaussian bitline noise of increasing magnitude into the
+ * crossbar reads and measure how far the network outputs drift from
+ * the exact fixed-point reference.
+ *
+ *   ./examples/noise_resilience
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/accelerator.h"
+#include "nn/zoo.h"
+
+using namespace isaac;
+
+int
+main()
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 77);
+    const FixedFormat fmt{12};
+    const auto input = nn::synthesizeInput(16, 12, 12, 5, fmt);
+
+    nn::ReferenceExecutor reference(net, weights, fmt);
+    const auto exact = reference.run(input);
+
+    std::printf("Bitline noise sweep on %s (final layer: %d "
+                "outputs)\n\n",
+                net.name().c_str(), exact.channels());
+    std::printf("%10s %14s %14s %12s\n", "sigma(LSB)",
+                "mean |err|", "max |err|", "top-1 same");
+
+    for (double sigma : {0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0}) {
+        arch::IsaacConfig cfg;
+        cfg.engine.noise.sigmaLsb = sigma;
+        cfg.engine.noise.seed = 99;
+        core::Accelerator acc(cfg);
+        core::CompileOptions opts;
+        opts.format = fmt;
+        const auto model = acc.compile(net, weights, opts);
+
+        // Average over a few trials (each inference draws fresh
+        // noise from the deterministic stream).
+        double meanErr = 0, maxErr = 0;
+        int top1Same = 0;
+        const int trials = 5;
+        for (int t = 0; t < trials; ++t) {
+            const auto noisy = model.infer(input);
+            int argExact = 0, argNoisy = 0;
+            for (int k = 0; k < exact.channels(); ++k) {
+                const double err = std::abs(
+                    fromFixed(noisy.at(k, 0, 0), fmt) -
+                    fromFixed(exact.at(k, 0, 0), fmt));
+                meanErr += err;
+                maxErr = std::max(maxErr, err);
+                if (exact.at(k, 0, 0) > exact.at(argExact, 0, 0))
+                    argExact = k;
+                if (noisy.at(k, 0, 0) > noisy.at(argNoisy, 0, 0))
+                    argNoisy = k;
+            }
+            top1Same += argExact == argNoisy;
+        }
+        meanErr /= trials * exact.channels();
+        std::printf("%10.2f %14.5f %14.5f %9d/%d\n", sigma, meanErr,
+                    maxErr, top1Same, trials);
+    }
+
+    // Device-level variation: programming error and stuck cells.
+    std::printf("\nDevice variation sweep (write-error sigma in "
+                "cell levels / stuck-cell fraction)\n\n");
+    std::printf("%12s %12s %14s %12s\n", "write sigma", "stuck frac",
+                "mean |err|", "top-1 same");
+    struct DeviceCase { double writeSigma; double stuck; };
+    for (const auto &dc :
+         {DeviceCase{0.0, 0.0}, DeviceCase{0.1, 0.0},
+          DeviceCase{0.3, 0.0}, DeviceCase{0.0, 0.001},
+          DeviceCase{0.0, 0.01}, DeviceCase{0.2, 0.005}}) {
+        arch::IsaacConfig cfg;
+        cfg.engine.noise.writeSigmaLevels = dc.writeSigma;
+        cfg.engine.noise.stuckAtFraction = dc.stuck;
+        cfg.engine.noise.seed = 123;
+        core::Accelerator acc(cfg);
+        core::CompileOptions opts;
+        opts.format = fmt;
+        const auto model = acc.compile(net, weights, opts);
+        const auto out = model.infer(input);
+        double meanErr = 0;
+        int argExact = 0, argNoisy = 0;
+        for (int k = 0; k < exact.channels(); ++k) {
+            meanErr += std::abs(fromFixed(out.at(k, 0, 0), fmt) -
+                                fromFixed(exact.at(k, 0, 0), fmt));
+            if (exact.at(k, 0, 0) > exact.at(argExact, 0, 0))
+                argExact = k;
+            if (out.at(k, 0, 0) > out.at(argNoisy, 0, 0))
+                argNoisy = k;
+        }
+        meanErr /= exact.channels();
+        std::printf("%12.2f %12.3f %14.5f %12s\n", dc.writeSigma,
+                    dc.stuck, meanErr,
+                    argExact == argNoisy ? "yes" : "NO");
+    }
+
+    std::printf("\nBelow ~0.1 LSB the ADC rounds the noise away "
+                "entirely and the pipeline stays bit-exact -- the "
+                "paper's conservative 1-bit-DAC / 2-bit-cell / "
+                "128-row design keeps real crossbars in that "
+                "regime (Hu et al. [26]). Beyond ~0.2 LSB errors "
+                "on the high-order weight slices are amplified by "
+                "the shift-and-add merge and accuracy falls off a "
+                "cliff, which is why ISAAC spends an extra column "
+                "per array on the encoding instead of pushing cell "
+                "density.\n");
+    return 0;
+}

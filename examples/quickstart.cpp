@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: build a small CNN, compile it onto an ISAAC chip, run
+ * a bit-exact inference through the analog crossbar model, and
+ * print the plan and performance report.
+ *
+ *   ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/accelerator.h"
+#include "core/report.h"
+#include "nn/zoo.h"
+
+using namespace isaac;
+
+int
+main()
+{
+    // 1. A network: the Fig. 4 running example (4x4x16 conv -> 32
+    //    maps, max-pool, classifier).
+    const auto net = nn::tinyCnn();
+    std::printf("Network: %s\n\n", core::describeNetwork(net).c_str());
+
+    // 2. Synthetic 16-bit fixed-point weights and an input image.
+    const auto weights = nn::WeightStore::synthesize(net, 2024);
+    const FixedFormat fmt{12};
+    const auto input = nn::synthesizeInput(16, 12, 12, 7, fmt);
+
+    // 3. Compile onto one ISAAC-CE chip.
+    core::Accelerator accelerator(arch::IsaacConfig::isaacCE());
+    core::CompileOptions opts;
+    opts.chips = 1;
+    opts.format = fmt;
+    const auto model = accelerator.compile(net, weights, opts);
+
+    std::printf("Compiled onto %d chip(s): %lld crossbars in use "
+                "(%d materialized for functional execution), "
+                "pipeline interval %.1f cycles\n\n",
+                opts.chips,
+                static_cast<long long>(model.plan().xbarsUsed),
+                model.functionalArrays(),
+                model.plan().cyclesPerImage);
+
+    // 4. Run the analog pipeline and the software reference; they
+    //    are bit-identical.
+    const auto analog = model.infer(input);
+    nn::ReferenceExecutor reference(net, weights, fmt);
+    const auto expected = reference.run(input);
+
+    int mismatches = 0;
+    for (std::size_t i = 0; i < analog.size(); ++i)
+        mismatches += analog.flat(i) != expected.flat(i);
+    std::printf("Analog pipeline vs software reference: %d "
+                "mismatches over %zu outputs (ADC clips: %llu)\n\n",
+                mismatches, analog.size(),
+                static_cast<unsigned long long>(model.adcClips()));
+
+    std::printf("Class scores (Q4.12):");
+    for (int k = 0; k < analog.channels(); ++k)
+        std::printf(" %6.3f", fromFixed(analog.at(k, 0, 0), fmt));
+    std::printf("\n\n");
+
+    // 5. The analytic performance report.
+    std::printf("%s\n",
+                core::formatIsaacPerf(net, model.perf(), opts.chips)
+                    .c_str());
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Map the 16-weight-layer VGG network onto a 16-chip ISAAC board:
+ * prints the balanced-pipeline plan (replication, tiles, buffers,
+ * utilization per layer) and compares throughput/energy against the
+ * DaDianNao baseline, like Section VIII-B does.
+ *
+ *   ./examples/vgg_pipeline
+ */
+
+#include <cstdio>
+
+#include "baseline/dadiannao_perf.h"
+#include "common/logging.h"
+#include "core/floorplan.h"
+#include "core/report.h"
+#include "nn/zoo.h"
+#include "pipeline/perf.h"
+
+using namespace isaac;
+
+int
+main()
+{
+    setVerbose(false);
+    const int chips = 16;
+    const auto net = nn::vgg(3); // config C: 16 weight layers
+    const auto cfg = arch::IsaacConfig::isaacCE();
+
+    std::printf("%s\n\n", core::describeNetwork(net).c_str());
+
+    const auto plan = pipeline::planPipeline(net, cfg, chips);
+    std::printf("Pipeline plan on %d ISAAC-CE chips (slowdown %lld, "
+                "speedup %lld, %lld/%lld crossbars):\n\n",
+                chips, static_cast<long long>(plan.slowdown),
+                static_cast<long long>(plan.speedup),
+                static_cast<long long>(plan.xbarsUsed),
+                static_cast<long long>(plan.xbarsAvailable));
+    std::printf("  %-16s %10s %10s %8s %8s %10s %6s\n", "layer",
+                "want-repl", "got-repl", "xbars", "tiles",
+                "buffer(KB)", "util");
+    for (const auto &lp : plan.layers) {
+        const auto &l = net.layer(lp.layerIdx);
+        if (!lp.isDot) {
+            std::printf("  %-16s %10s %10s %8s %8s %10.1f %6s\n",
+                        l.name.c_str(), "-", "-", "-", "-",
+                        lp.bufferBytes / 1024.0, "-");
+            continue;
+        }
+        std::printf("  %-16s %10lld %10lld %8lld %8lld %10.1f "
+                    "%5.0f%%\n",
+                    l.name.c_str(),
+                    static_cast<long long>(lp.desiredReplication),
+                    static_cast<long long>(lp.replication),
+                    static_cast<long long>(lp.xbars),
+                    static_cast<long long>(lp.tiles),
+                    lp.bufferBytes / 1024.0,
+                    100.0 * lp.utilization);
+    }
+    std::printf("\n");
+
+    // Physical floorplan of the first chip's vertical slice.
+    const auto placement = pipeline::Placement::build(net, plan, cfg);
+    std::printf("%s\n",
+                core::renderFloorplan(placement, 0).c_str());
+
+    const energy::IsaacEnergyModel model(cfg);
+    const auto perf = pipeline::analyzeIsaac(net, plan, model);
+    std::printf("%s\n",
+                core::formatIsaacPerf(net, perf, chips).c_str());
+
+    const energy::DaDianNaoModel ddn;
+    const auto ddnPerf = baseline::analyzeDaDianNao(net, ddn, chips);
+    std::printf("%s\n", core::formatDdnPerf(net, ddnPerf).c_str());
+
+    if (ddnPerf.fits) {
+        std::printf("ISAAC vs DaDianNao: %.1fx throughput, %.1fx "
+                    "lower energy, %.2fx power\n",
+                    perf.imagesPerSec / ddnPerf.imagesPerSec,
+                    ddnPerf.energyPerImageJ / perf.energyPerImageJ,
+                    perf.powerW / ddnPerf.powerW);
+    }
+    return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reproduce every exhibit: configure, build, run the test suite, run
+# all benches and examples, and collect the outputs the repository's
+# EXPERIMENTS.md refers to.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        if [ -x "$b" ] && [ -f "$b" ]; then
+            echo "######## $(basename "$b")"
+            "$b" --benchmark_min_time=0.01
+        fi
+    done
+} 2>&1 | tee bench_output.txt
+
+echo "== examples =="
+for e in quickstart design_explorer noise_resilience train_insitu \
+         vgg_pipeline; do
+    echo "-------- $e"
+    "build/examples/$e" >/dev/null && echo "OK"
+done
+build/examples/isaac_cli --network vgg1 --chips 16 --baseline --noc
+build/examples/isaac_cli --file examples/networks/lenet.net --chips 1
+
+echo "All exhibits regenerated: see test_output.txt, bench_output.txt"

@@ -1,0 +1,51 @@
+#include "arch/chip.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac::arch {
+
+std::pair<int, int>
+Chip::gridFor(int tileCount)
+{
+    if (tileCount < 1)
+        fatal("Chip::gridFor: need at least one tile");
+    // Largest divisor pair closest to square, wider than tall
+    // (168 -> 14 x 12, matching Sec. VII).
+    int bestCols = tileCount, bestRows = 1;
+    for (int rows = 1; rows * rows <= tileCount; ++rows) {
+        if (tileCount % rows == 0) {
+            bestRows = rows;
+            bestCols = tileCount / rows;
+        }
+    }
+    return {bestCols, bestRows};
+}
+
+Chip::Chip(const IsaacConfig &cfg, int id) : _id(id)
+{
+    const auto [c, r] = gridFor(cfg.tilesPerChip);
+    cols = c;
+    rows = r;
+    _tiles.reserve(static_cast<std::size_t>(cfg.tilesPerChip));
+    for (int y = 0; y < rows; ++y)
+        for (int x = 0; x < cols; ++x)
+            _tiles.emplace_back(cfg, TileCoord{id, x, y});
+}
+
+Tile &
+Chip::tile(int x, int y)
+{
+    if (x < 0 || x >= cols || y < 0 || y >= rows)
+        fatal("Chip::tile: coordinate out of range");
+    return _tiles[static_cast<std::size_t>(y) * cols + x];
+}
+
+const Tile &
+Chip::tile(int x, int y) const
+{
+    return const_cast<Chip *>(this)->tile(x, y);
+}
+
+} // namespace isaac::arch

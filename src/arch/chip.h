@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A chip (node): the tile grid connected by the concentrated mesh,
+ * plus the external HyperTransport interface (Fig. 2). The 168-tile
+ * ISAAC-CE chip arranges its tiles 14 x 12 (Sec. VII); other tile
+ * counts use the nearest balanced grid.
+ */
+
+#ifndef ISAAC_ARCH_CHIP_H
+#define ISAAC_ARCH_CHIP_H
+
+#include <vector>
+
+#include "arch/tile.h"
+
+namespace isaac::arch {
+
+/** One ISAAC chip's structural state. */
+class Chip
+{
+  public:
+    Chip(const IsaacConfig &cfg, int id);
+
+    int id() const { return _id; }
+
+    /** Tile-grid dimensions (cols x rows). */
+    int gridCols() const { return cols; }
+    int gridRows() const { return rows; }
+
+    Tile &tile(int x, int y);
+    const Tile &tile(int x, int y) const;
+
+    /** Tiles in row-major order. */
+    std::vector<Tile> &tiles() { return _tiles; }
+    const std::vector<Tile> &tiles() const { return _tiles; }
+
+    /** Pick a balanced (cols, rows) grid for a tile count. */
+    static std::pair<int, int> gridFor(int tileCount);
+
+  private:
+    int _id;
+    int cols;
+    int rows;
+    std::vector<Tile> _tiles;
+};
+
+} // namespace isaac::arch
+
+#endif // ISAAC_ARCH_CHIP_H

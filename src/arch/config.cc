@@ -1,0 +1,132 @@
+#include "arch/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac::arch {
+
+int
+IsaacConfig::activeXbarsPerIma() const
+{
+    const double eff = effectiveXbarsPerIma();
+    return std::min(xbarsPerIma,
+                    static_cast<int>(std::ceil(eff - 1e-9)));
+}
+
+int
+IsaacConfig::irBytesPerIma() const
+{
+    return activeXbarsPerIma() * engine.rows * kDataBytes;
+}
+
+int
+IsaacConfig::orBytesPerIma() const
+{
+    return activeXbarsPerIma() * engine.cols /
+        engine.slicesPerWeight() * kDataBytes;
+}
+
+std::int64_t
+IsaacConfig::weightsPerXbar() const
+{
+    return static_cast<std::int64_t>(engine.rows) *
+        (engine.cols / engine.slicesPerWeight());
+}
+
+std::int64_t
+IsaacConfig::weightsPerChip() const
+{
+    return weightsPerXbar() * xbarsPerIma * imasPerTile * tilesPerChip;
+}
+
+std::int64_t
+IsaacConfig::storageBytesPerChip() const
+{
+    return weightsPerChip() * kDataBytes;
+}
+
+double
+IsaacConfig::effectiveXbarsPerIma() const
+{
+    // Samples available per 100 ns cycle across the IMA's ADCs.
+    const double samplesPerCycle = adcsPerIma * adcGsps * cycleNs;
+    // Each crossbar read produces rows data bitlines + the unit
+    // column (cols == rows in the square arrays we model; the
+    // sampled quantity is the column count).
+    const double samplesPerRead = engine.cols + 1;
+    return std::min<double>(xbarsPerIma,
+                            samplesPerCycle / samplesPerRead);
+}
+
+double
+IsaacConfig::peakMacsPerCycle() const
+{
+    // One crossbar read advances rows x cols cell-MACs; a full
+    // 16-bit MAC needs phases() reads of slicesPerWeight() cells.
+    const double macsPerRead =
+        static_cast<double>(engine.rows) * engine.cols /
+        (engine.phases() * engine.slicesPerWeight());
+    return macsPerRead * effectiveXbarsPerIma() * imasPerTile *
+        tilesPerChip;
+}
+
+double
+IsaacConfig::peakGops() const
+{
+    const double cyclesPerSec = 1e9 / cycleNs;
+    return 2.0 * peakMacsPerCycle() * cyclesPerSec / 1e9;
+}
+
+void
+IsaacConfig::validate() const
+{
+    engine.validate();
+    if (adcsPerIma < 1 || xbarsPerIma < 1 || imasPerTile < 1 ||
+        tilesPerChip < 1) {
+        fatal("IsaacConfig: counts must be positive");
+    }
+    if (adcGsps <= 0 || cycleNs <= 0)
+        fatal("IsaacConfig: rates must be positive");
+    if (edramKBPerTile < 1 || busBits < 8)
+        fatal("IsaacConfig: buffer/bus sizes too small");
+}
+
+IsaacConfig
+IsaacConfig::isaacCE()
+{
+    return IsaacConfig{};
+}
+
+IsaacConfig
+IsaacConfig::isaacPE()
+{
+    // In our model the PE-optimal point of the Fig. 5 sweep
+    // coincides with the CE-optimal one (the paper calls them
+    // "quite similar"; its ISAAC-PE differs only marginally).
+    return IsaacConfig{};
+}
+
+IsaacConfig
+IsaacConfig::isaacSE()
+{
+    IsaacConfig cfg;
+    cfg.engine.rows = 512;
+    cfg.engine.cols = 512;
+    cfg.adcsPerIma = 1;
+    cfg.xbarsPerIma = 64;
+    cfg.imasPerTile = 12;
+    return cfg;
+}
+
+std::string
+IsaacConfig::label() const
+{
+    return "H" + std::to_string(engine.rows) + "-A" +
+        std::to_string(adcsPerIma) + "-C" +
+        std::to_string(xbarsPerIma) + "-I" +
+        std::to_string(imasPerTile);
+}
+
+} // namespace isaac::arch

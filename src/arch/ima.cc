@@ -1,0 +1,29 @@
+#include "arch/ima.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace isaac::arch {
+
+Ima::Ima(const IsaacConfig &cfg, int id)
+    : _id(id), total(cfg.xbarsPerIma)
+{
+}
+
+int
+Ima::allocate(int xbars, std::size_t layerIdx)
+{
+    if (xbars <= 0)
+        fatal("Ima::allocate: request must be positive");
+    if (owner && *owner != layerIdx)
+        return 0;
+    const int granted = std::min(xbars, freeXbars());
+    if (granted == 0)
+        return 0;
+    used += granted;
+    owner = layerIdx;
+    return granted;
+}
+
+} // namespace isaac::arch

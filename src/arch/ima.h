@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The In-situ Multiply Accumulate unit as a structural resource.
+ *
+ * An IMA bundles crossbar arrays, their ADCs, the input/output
+ * registers, and shift-and-add units (Fig. 2). In the paper's
+ * organization an IMA is dedicated to (a slice of) one CNN layer;
+ * this class tracks that ownership and the crossbar allocation for
+ * the placement machinery.
+ */
+
+#ifndef ISAAC_ARCH_IMA_H
+#define ISAAC_ARCH_IMA_H
+
+#include <cstddef>
+#include <optional>
+
+#include "arch/config.h"
+
+namespace isaac::arch {
+
+/** One IMA's allocation state. */
+class Ima
+{
+  public:
+    Ima(const IsaacConfig &cfg, int id);
+
+    int id() const { return _id; }
+
+    /** Crossbars not yet assigned to any layer. */
+    int freeXbars() const { return total - used; }
+
+    /** True if no layer owns any of this IMA's crossbars. */
+    bool idle() const { return used == 0; }
+
+    /** The layer occupying this IMA, if any. */
+    std::optional<std::size_t> layer() const { return owner; }
+
+    /**
+     * Assign `xbars` crossbars to `layerIdx`. An IMA serves a single
+     * layer (its IR/OR and control FSM are layer-specific), so a
+     * second layer is rejected; fatal() if the request exceeds the
+     * free arrays.
+     * @return crossbars actually granted (0 if owned by another
+     *         layer).
+     */
+    int allocate(int xbars, std::size_t layerIdx);
+
+  private:
+    int _id;
+    int total;
+    int used = 0;
+    std::optional<std::size_t> owner;
+};
+
+} // namespace isaac::arch
+
+#endif // ISAAC_ARCH_IMA_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The tile's sigmoid unit (Fig. 2): the DaDianNao-style transfer
+ * function with two parallel 16-segment piecewise-linear evaluators
+ * per tile (Table I charges 0.52 mW / 0.0006 mm^2 for the pair).
+ * Wraps the shared nn::SigmoidLut with per-op accounting so the
+ * structural simulators can charge energy per activation.
+ */
+
+#ifndef ISAAC_ARCH_SIGMOID_H
+#define ISAAC_ARCH_SIGMOID_H
+
+#include <cstdint>
+
+#include "nn/activation.h"
+
+namespace isaac::arch {
+
+/** A tile's sigmoid/activation unit pair. */
+class SigmoidUnit
+{
+  public:
+    /** Units per tile (Table I). */
+    static constexpr int kUnitsPerTile = 2;
+
+    explicit SigmoidUnit(FixedFormat fmt) : lut(fmt) {}
+
+    /** Apply an activation; counts the operation. */
+    Word
+    apply(nn::Activation act, Word x)
+    {
+        ++_ops;
+        return nn::applyActivation(act, x, lut);
+    }
+
+    /** Activations evaluated since construction/reset. */
+    std::uint64_t ops() const { return _ops; }
+
+    void resetStats() { _ops = 0; }
+
+    /**
+     * Activations the pair can evaluate per 100 ns ISAAC cycle at
+     * the 1.2 GHz digital clock: the tile-side throughput bound the
+     * Sec. VI schedule relies on (well above the 64 results an IMA
+     * wave can produce).
+     */
+    static constexpr int
+    opsPerIsaacCycle()
+    {
+        return kUnitsPerTile * 120;
+    }
+
+    const nn::SigmoidLut &table() const { return lut; }
+
+  private:
+    nn::SigmoidLut lut;
+    std::uint64_t _ops = 0;
+};
+
+} // namespace isaac::arch
+
+#endif // ISAAC_ARCH_SIGMOID_H

@@ -1,0 +1,63 @@
+#include "arch/tile.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace isaac::arch {
+
+Tile::Tile(const IsaacConfig &cfg, TileCoord coord)
+    : _coord(coord),
+      edramBytes(static_cast<std::int64_t>(cfg.edramKBPerTile) * 1024)
+{
+    _imas.reserve(static_cast<std::size_t>(cfg.imasPerTile));
+    for (int i = 0; i < cfg.imasPerTile; ++i)
+        _imas.emplace_back(cfg, i);
+}
+
+std::int64_t
+Tile::edramFreeBytes() const
+{
+    return edramBytes - edramUsed;
+}
+
+bool
+Tile::reserveBuffer(std::int64_t bytes, std::size_t layerIdx)
+{
+    if (bytes < 0)
+        fatal("Tile::reserveBuffer: negative size");
+    if (bytes > edramFreeBytes())
+        return false;
+    edramUsed += bytes;
+    bufferByLayer[layerIdx] += bytes;
+    return true;
+}
+
+int
+Tile::freeXbars() const
+{
+    int free = 0;
+    for (const auto &ima : _imas)
+        free += ima.freeXbars();
+    return free;
+}
+
+std::vector<std::size_t>
+Tile::residentLayers() const
+{
+    std::vector<std::size_t> layers;
+    auto add = [&](std::size_t l) {
+        if (std::find(layers.begin(), layers.end(), l) ==
+            layers.end()) {
+            layers.push_back(l);
+        }
+    };
+    for (const auto &ima : _imas)
+        if (ima.layer())
+            add(*ima.layer());
+    for (const auto &[l, bytes] : bufferByLayer)
+        add(l);
+    return layers;
+}
+
+} // namespace isaac::arch

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A tile: eDRAM buffer, 12 IMAs, sigmoid/max-pool/shift-and-add
+ * units, and the output register, connected by the shared bus
+ * (Fig. 2). Structurally the tile tracks its IMAs' layer ownership
+ * and its eDRAM buffer allocation; multiple layers may share a tile
+ * (Sec. VI: the eDRAM "context-switches to handling other layers
+ * that might be sharing that tile").
+ */
+
+#ifndef ISAAC_ARCH_TILE_H
+#define ISAAC_ARCH_TILE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/ima.h"
+
+namespace isaac::arch {
+
+/** A tile's position within its chip's c-mesh concentration. */
+struct TileCoord
+{
+    int chip = 0;
+    int x = 0; ///< Column in the tile grid.
+    int y = 0; ///< Row in the tile grid.
+
+    auto operator<=>(const TileCoord &) const = default;
+};
+
+/** One tile's structural/allocation state. */
+class Tile
+{
+  public:
+    Tile(const IsaacConfig &cfg, TileCoord coord);
+
+    const TileCoord &coord() const { return _coord; }
+
+    std::vector<Ima> &imas() { return _imas; }
+    const std::vector<Ima> &imas() const { return _imas; }
+
+    /** Unallocated eDRAM buffer bytes. */
+    std::int64_t edramFreeBytes() const;
+
+    /** Reserve input-buffer space for a layer; false if full. */
+    bool reserveBuffer(std::int64_t bytes, std::size_t layerIdx);
+
+    /** eDRAM bytes held by each resident layer. */
+    const std::map<std::size_t, std::int64_t> &buffers() const
+    {
+        return bufferByLayer;
+    }
+
+    /** Crossbars still free across the tile's IMAs. */
+    int freeXbars() const;
+
+    /** Layers with any presence (IMAs or buffer) on this tile. */
+    std::vector<std::size_t> residentLayers() const;
+
+  private:
+    TileCoord _coord;
+    std::int64_t edramBytes;
+    std::int64_t edramUsed = 0;
+    std::vector<Ima> _imas;
+    std::map<std::size_t, std::int64_t> bufferByLayer;
+};
+
+} // namespace isaac::arch
+
+#endif // ISAAC_ARCH_TILE_H

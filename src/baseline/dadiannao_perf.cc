@@ -1,0 +1,118 @@
+#include "baseline/dadiannao_perf.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace isaac::baseline {
+
+double
+nfuCyclesForLayer(const nn::LayerDesc &layer,
+                  const energy::DaDianNaoModel &model, int chips)
+{
+    // Waves of Tn x Ti MACs per window, scaled so a fully packed
+    // wave sustains the calibrated 288-MAC/cycle tile rate.
+    const double wavesPerWindow = static_cast<double>(
+        ceilDiv(layer.no, model.nfuTn) *
+        ceilDiv(layer.dotLength(), model.nfuTi));
+    const double macsPerWave =
+        static_cast<double>(model.nfuTn) * model.nfuTi;
+    const double waveMacs =
+        wavesPerWindow * macsPerWave *
+        static_cast<double>(layer.windowsPerImage());
+    return waveMacs / (model.macsPerCycle() * chips);
+}
+
+DdnPerf
+analyzeDaDianNao(const nn::Network &net,
+                 const energy::DaDianNaoModel &model, int chips,
+                 double activationLocality)
+{
+    DdnPerf perf;
+    perf.chips = chips;
+
+    const double edramCapacity =
+        model.edramMB * 1024.0 * 1024.0 * chips;
+    perf.fits =
+        static_cast<double>(net.totalWeightBytes()) <= edramCapacity;
+    if (!perf.fits)
+        return perf;
+
+    const double cyclesPerSec = model.clockGHz * 1e9;
+    // Aggregate eDRAM weight-streaming bandwidth, bytes per cycle.
+    const double edramBytesPerCycle =
+        model.edramGBps() * 1e9 / cyclesPerSec * chips;
+    const double htBytesPerSec = model.htGBps() * 1e9;
+
+    double totalCycles = 0.0;
+    double utilWeightedCycles = 0.0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto &l = net.layer(i);
+        DdnLayerPerf lp;
+        lp.layerIdx = i;
+
+        if (l.isDotProduct()) {
+            lp.computeCycles = nfuCyclesForLayer(l, model, chips);
+            lp.weightCycles =
+                static_cast<double>(l.weightBytes()) /
+                edramBytesPerCycle;
+            // Classifier and private-kernel layers: every node holds
+            // a slice of the weights, so every node needs the whole
+            // input vector.
+            double commBytes = 0.0;
+            if (l.kind == nn::LayerKind::Classifier ||
+                l.privateKernel) {
+                commBytes = static_cast<double>(l.dotLength()) *
+                    (l.privateKernel ? 1.0 : 1.0) * kDataBytes;
+            }
+            // Output redistribution for the next layer, split across
+            // the nodes' egress links.
+            const double outBytes =
+                static_cast<double>(l.outputsPerImage()) * kDataBytes;
+            commBytes += activationLocality * outBytes / chips;
+            lp.commCycles =
+                commBytes / htBytesPerSec * cyclesPerSec;
+        } else {
+            // Pooling runs at eDRAM speed; its redistribution still
+            // crosses the network.
+            const double outBytes =
+                static_cast<double>(l.outputsPerImage()) * kDataBytes;
+            lp.commCycles = activationLocality * outBytes / chips /
+                htBytesPerSec * cyclesPerSec;
+        }
+
+        lp.cycles = std::max({lp.computeCycles, lp.weightCycles,
+                              lp.commCycles});
+        lp.nfuUtilization =
+            lp.cycles > 0 ? lp.computeCycles / lp.cycles : 0.0;
+        totalCycles += lp.cycles;
+        utilWeightedCycles += lp.computeCycles;
+        perf.layers.push_back(lp);
+    }
+
+    // Image delivery through the host-facing HyperTransport caps
+    // throughput exactly as it does for ISAAC (same interface).
+    const auto &first = net.layer(0);
+    const double inputBytes = static_cast<double>(first.nx) *
+        first.ny * first.ni * kDataBytes;
+    const double ioCycles =
+        inputBytes / (model.htGBps() * 1e9) * cyclesPerSec;
+    totalCycles = std::max(totalCycles, ioCycles);
+
+    perf.cyclesPerImage = totalCycles;
+    perf.imagesPerSec = cyclesPerSec / totalCycles;
+    perf.avgNfuUtilization =
+        totalCycles > 0 ? utilWeightedCycles / totalCycles : 0.0;
+
+    // Energy: NFUs burn power proportional to utilization; eDRAM,
+    // bus, and HT are always on while the image is in flight.
+    const double seconds = totalCycles / cyclesPerSec;
+    const double activePowerW = chips *
+        (model.nfuPowerW * perf.avgNfuUtilization +
+         model.edramPowerW + model.busPowerW + model.htPowerW);
+    perf.powerW = activePowerW;
+    perf.energyPerImageJ = activePowerW * seconds;
+    return perf;
+}
+
+} // namespace isaac::baseline

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytic DaDianNao performance model (the paper's comparison
+ * baseline, Sec. VIII-B).
+ *
+ * DaDianNao executes one layer at a time across all nodes. Per layer
+ * the model takes the maximum of:
+ *   - compute: MACs / (chips * 4608 MACs/cycle) at 606 MHz;
+ *   - weight streaming: private/classifier weights read once per
+ *     image from eDRAM at the design bandwidth;
+ *   - communication: classifier/private layers broadcast the full
+ *     input vector to every node over HyperTransport, and every
+ *     layer's outputs are redistributed to the eDRAM banks of the
+ *     tiles that own the next layer's inputs ("the outputs are then
+ *     routed to appropriate eDRAM banks", Sec. I). The all-to-all
+ *     traffic across the HT links is what starves the NFUs in the
+ *     classifier layers (Sec. VIII-B).
+ */
+
+#ifndef ISAAC_BASELINE_DADIANNAO_PERF_H
+#define ISAAC_BASELINE_DADIANNAO_PERF_H
+
+#include <vector>
+
+#include "energy/dadiannao_catalog.h"
+#include "nn/network.h"
+
+namespace isaac::baseline {
+
+/** Timing breakdown of one layer. */
+struct DdnLayerPerf
+{
+    std::size_t layerIdx = 0;
+    double computeCycles = 0.0;
+    double weightCycles = 0.0;
+    double commCycles = 0.0;
+    double cycles = 0.0;      ///< max of the above
+    double nfuUtilization = 0.0;
+};
+
+/** End-to-end DaDianNao execution of one network. */
+struct DdnPerf
+{
+    bool fits = true;     ///< Weights fit in chips x 36 MB of eDRAM.
+    int chips = 1;
+    double cyclesPerImage = 0.0;
+    double imagesPerSec = 0.0;
+    double powerW = 0.0;
+    double energyPerImageJ = 0.0;
+    double avgNfuUtilization = 0.0;
+    std::vector<DdnLayerPerf> layers;
+};
+
+/**
+ * Evaluate a network on `chips` DaDianNao nodes.
+ * @param activationLocality fraction of each layer's output bytes
+ *        that must cross HyperTransport when redistributed for the
+ *        next layer (1.0 = all outputs leave the producing node).
+ */
+DdnPerf analyzeDaDianNao(const nn::Network &net,
+                         const energy::DaDianNaoModel &model,
+                         int chips,
+                         double activationLocality = 1.0);
+
+/**
+ * NFU cycles to compute one layer across all nodes, including the
+ * Tn x Ti dataflow granularity: a window needs
+ * ceil(No/Tn) * ceil(dotLength/Ti) NFU waves, so layers with few
+ * input channels (VGG's 3-channel first layer) or few outputs leave
+ * multiplier lanes idle.
+ */
+double nfuCyclesForLayer(const nn::LayerDesc &layer,
+                         const energy::DaDianNaoModel &model,
+                         int chips);
+
+} // namespace isaac::baseline
+
+#endif // ISAAC_BASELINE_DADIANNAO_PERF_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small bit-manipulation and integer-math helpers.
+ */
+
+#ifndef ISAAC_COMMON_BITS_H
+#define ISAAC_COMMON_BITS_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace isaac {
+
+/** Ceiling division for non-negative integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t num, std::int64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** ceil(log2(x)) for x >= 1. */
+constexpr int
+log2Ceil(std::uint64_t x)
+{
+    int bits = 0;
+    std::uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** floor(log2(x)) for x >= 1. */
+constexpr int
+log2Floor(std::uint64_t x)
+{
+    int bits = -1;
+    while (x) {
+        x >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** True iff x is a power of two (x >= 1). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/**
+ * Extract bit `i` of a 16-bit two's-complement word as 0/1.
+ * Bit 15 is the sign bit.
+ */
+inline int
+bitOf(std::int16_t value, int i)
+{
+    return (static_cast<std::uint16_t>(value) >> i) & 1u;
+}
+
+/**
+ * Extract the v-bit digit starting at bit `lsb` of a 16-bit word,
+ * interpreting the word as unsigned (used by multi-bit DAC sweeps).
+ */
+inline int
+digitOf(std::int16_t value, int lsb, int v)
+{
+    const auto u = static_cast<std::uint16_t>(value);
+    return static_cast<int>((u >> lsb) & ((1u << v) - 1u));
+}
+
+} // namespace isaac
+
+#endif // ISAAC_COMMON_BITS_H

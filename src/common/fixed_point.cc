@@ -1,0 +1,57 @@
+#include "common/fixed_point.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac {
+
+Word
+saturate16(Acc value)
+{
+    if (value > 32767)
+        return 32767;
+    if (value < -32768)
+        return -32768;
+    return static_cast<Word>(value);
+}
+
+Word
+toFixed(double value, FixedFormat fmt)
+{
+    if (fmt.fracBits < 0 || fmt.fracBits > 15)
+        fatal("FixedFormat fraction bits must be in [0, 15]");
+    const double scaled = value * static_cast<double>(1 << fmt.fracBits);
+    const double rounded = std::nearbyint(scaled);
+    if (rounded > 32767.0)
+        return 32767;
+    if (rounded < -32768.0)
+        return -32768;
+    return static_cast<Word>(rounded);
+}
+
+double
+fromFixed(Word value, FixedFormat fmt)
+{
+    return static_cast<double>(value) /
+        static_cast<double>(1 << fmt.fracBits);
+}
+
+Word
+requantizeAcc(Acc acc, FixedFormat fmt)
+{
+    // The accumulator has 2*fracBits fraction bits; shift out fracBits
+    // of them with round-to-nearest (ties away from zero).
+    const Acc half = Acc{1} << (fmt.fracBits - 1);
+    Acc shifted;
+    if (fmt.fracBits == 0) {
+        shifted = acc;
+    } else if (acc >= 0) {
+        shifted = (acc + half) >> fmt.fracBits;
+    } else {
+        shifted = -((-acc + half) >> fmt.fracBits);
+    }
+    return saturate16(shifted);
+}
+
+} // namespace isaac

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * 16-bit fixed-point arithmetic helpers.
+ *
+ * ISAAC's data path is 16-bit fixed point (Sec. V). The library does
+ * not prescribe a binary point: a FixedFormat carries the number of
+ * fraction bits, and all conversions / requantizations saturate to the
+ * signed 16-bit range, which matches what a hardware data path with a
+ * saturating requantizer after the shift-and-add tree would do.
+ */
+
+#ifndef ISAAC_COMMON_FIXED_POINT_H
+#define ISAAC_COMMON_FIXED_POINT_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace isaac {
+
+/** Describes a Qm.n signed 16-bit fixed-point format. */
+struct FixedFormat
+{
+    /** Number of fraction bits (n in Qm.n); 0 <= fracBits <= 15. */
+    int fracBits = 12;
+
+    /** Smallest representable step. */
+    double resolution() const { return 1.0 / (1 << fracBits); }
+
+    /** Largest representable value. */
+    double maxValue() const { return 32767.0 / (1 << fracBits); }
+
+    /** Smallest (most negative) representable value. */
+    double minValue() const { return -32768.0 / (1 << fracBits); }
+};
+
+/** Clamp a wide integer into the signed 16-bit range. */
+Word saturate16(Acc value);
+
+/** Convert a real number to fixed point, rounding to nearest. */
+Word toFixed(double value, FixedFormat fmt);
+
+/** Convert fixed point back to a real number. */
+double fromFixed(Word value, FixedFormat fmt);
+
+/**
+ * Requantize a wide accumulator that holds the exact sum of products
+ * of two Q*.n values (so it has 2n fraction bits) back to Q*.n,
+ * rounding to nearest and saturating.
+ */
+Word requantizeAcc(Acc acc, FixedFormat fmt);
+
+} // namespace isaac
+
+#endif // ISAAC_COMMON_FIXED_POINT_H

@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace isaac {
+
+namespace {
+bool verboseEnabled = true;
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("isaac fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "isaac panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "isaac warn: %s\n", msg.c_str());
+}
+
+void
+warnOnce(const std::string &msg)
+{
+    static std::mutex mutex;
+    static std::set<std::string> seen;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (seen.insert(msg).second)
+        warn(msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseEnabled)
+        std::fprintf(stderr, "isaac info: %s\n", msg.c_str());
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+} // namespace isaac

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * `fatal()` is for user errors (bad configuration, impossible request):
+ * it throws a `FatalError` so library consumers can recover. `panic()`
+ * is for internal invariant violations (a bug in this library): it
+ * aborts. `warn()` and `inform()` print to stderr and continue.
+ */
+
+#ifndef ISAAC_COMMON_LOGGING_H
+#define ISAAC_COMMON_LOGGING_H
+
+#include <stdexcept>
+#include <string>
+
+namespace isaac {
+
+/** Exception thrown by fatal(): the user asked for something invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Report an unrecoverable user-level error (bad config, model that
+ * cannot be mapped, ...) by throwing FatalError.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a library bug) and abort.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning about questionable-but-survivable conditions. */
+void warn(const std::string &msg);
+
+/** Like warn(), but each distinct message prints only once. */
+void warnOnce(const std::string &msg);
+
+/** Print an informational status message. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+} // namespace isaac
+
+#endif // ISAAC_COMMON_LOGGING_H

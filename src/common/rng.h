@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic pieces of the library (weight synthesis, noise
+ * injection, property tests) use this generator so that every run is
+ * reproducible from a seed; std::mt19937_64 would also work but
+ * SplitMix64 is tiny, fast, and has a trivially specified stream.
+ */
+
+#ifndef ISAAC_COMMON_RNG_H
+#define ISAAC_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace isaac {
+
+/** SplitMix64: a tiny, high-quality, seedable 64-bit generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniform(std::int64_t lo, std::int64_t hi)
+    {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double gaussian();
+
+  private:
+    std::uint64_t state;
+};
+
+inline double
+Rng::gaussian()
+{
+    // Box-Muller transform; draw until u1 is nonzero.
+    double u1 = 0.0;
+    do {
+        u1 = uniform01();
+    } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+} // namespace isaac
+
+#endif // ISAAC_COMMON_RNG_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types and global constants shared by every ISAAC
+ * subsystem.
+ */
+
+#ifndef ISAAC_COMMON_TYPES_H
+#define ISAAC_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace isaac {
+
+/** A simulation cycle index. One ISAAC cycle is one crossbar read. */
+using Cycle = std::uint64_t;
+
+/** The crossbar read latency that defines one ISAAC cycle (Sec. IV). */
+constexpr double kCycleNs = 100.0;
+
+/** Digital clock of the tile peripherals (Table I: 1.2 GHz). */
+constexpr double kTileClockGHz = 1.2;
+
+/** Bits in the fixed-point data path (Sec. V: 16-bit arithmetic). */
+constexpr int kDataBits = 16;
+
+/** Bytes per activation / weight in the digital domain. */
+constexpr int kDataBytes = kDataBits / 8;
+
+/** 16-bit fixed-point activation / weight as stored in buffers. */
+using Word = std::int16_t;
+
+/** Wide accumulator for exact dot products (up to ~2^47 fits easily). */
+using Acc = std::int64_t;
+
+} // namespace isaac
+
+#endif // ISAAC_COMMON_TYPES_H

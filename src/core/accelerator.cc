@@ -1,0 +1,161 @@
+#include "core/accelerator.h"
+
+#include "common/logging.h"
+
+namespace isaac::core {
+
+Accelerator::Accelerator(arch::IsaacConfig cfg) : cfg(cfg)
+{
+    cfg.validate();
+}
+
+CompiledModel
+Accelerator::compile(const nn::Network &net,
+                     const nn::WeightStore &weights,
+                     CompileOptions opts) const
+{
+    return CompiledModel(net, weights, cfg, opts);
+}
+
+CompiledModel::CompiledModel(const nn::Network &net,
+                             const nn::WeightStore &weights,
+                             const arch::IsaacConfig &cfg,
+                             CompileOptions opts)
+    : net(net), weights(weights), cfg(cfg), opts(opts),
+      _plan(pipeline::planPipeline(net, cfg, opts.chips)),
+      lut(opts.format)
+{
+    const energy::IsaacEnergyModel model(cfg);
+    _perf = pipeline::analyzeIsaac(net, _plan, model);
+
+    if (!opts.functional)
+        return;
+    if (weights.size() != net.size())
+        fatal("compile: weight store does not match the network");
+
+    poolExec = std::make_unique<nn::ReferenceExecutor>(net, weights,
+                                                       opts.format);
+    engines.resize(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto &l = net.layer(i);
+        if (!l.isDotProduct())
+            continue;
+        const auto &w = weights.layer(i);
+        const auto len = static_cast<int>(l.dotLength());
+        const std::int64_t groups =
+            l.privateKernel ? l.windowsPerImage() : 1;
+        auto &layerEngines = engines[i];
+        layerEngines.reserve(static_cast<std::size_t>(groups));
+        for (std::int64_t g = 0; g < groups; ++g) {
+            const std::size_t base =
+                nn::WeightStore::index(l, g, 0, 0);
+            layerEngines.push_back(
+                std::make_unique<xbar::BitSerialEngine>(
+                    cfg.engine,
+                    std::span<const Word>(
+                        w.data() + base,
+                        static_cast<std::size_t>(l.no) * len),
+                    len, l.no));
+        }
+    }
+}
+
+nn::Tensor
+CompiledModel::runDotLayer(std::size_t layerIdx,
+                           const nn::Tensor &input) const
+{
+    const auto &l = net.layer(layerIdx);
+    nn::Tensor out(l.no, l.outNx(), l.outNy());
+    for (int ox = 0; ox < l.outNx(); ++ox) {
+        for (int oy = 0; oy < l.outNy(); ++oy) {
+            const auto inputs = nn::gatherWindow(input, l, ox, oy);
+            const std::int64_t window =
+                static_cast<std::int64_t>(ox) * l.outNy() + oy;
+            const auto &engine = l.privateKernel
+                ? engines[layerIdx][static_cast<std::size_t>(window)]
+                : engines[layerIdx][0];
+            const auto sums = engine->dotProduct(inputs);
+            for (int k = 0; k < l.no; ++k) {
+                const Word q = requantizeAcc(
+                    sums[static_cast<std::size_t>(k)], opts.format);
+                out.at(k, ox, oy) =
+                    nn::applyActivation(l.activation, q, lut);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<nn::Tensor>
+CompiledModel::inferAll(const nn::Tensor &input) const
+{
+    if (!opts.functional || !poolExec) {
+        fatal("infer: model was compiled with functional = false");
+    }
+    std::vector<nn::Tensor> outs;
+    nn::Tensor cur = input;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        if (net.layer(i).isDotProduct())
+            cur = runDotLayer(i, cur);
+        else
+            cur = poolExec->runLayer(i, cur);
+        outs.push_back(cur);
+    }
+    return outs;
+}
+
+nn::Tensor
+CompiledModel::infer(const nn::Tensor &input) const
+{
+    auto outs = inferAll(input);
+    return std::move(outs.back());
+}
+
+std::vector<nn::Tensor>
+CompiledModel::inferBatch(const std::vector<nn::Tensor> &inputs) const
+{
+    std::vector<nn::Tensor> outs;
+    outs.reserve(inputs.size());
+    for (const auto &in : inputs)
+        outs.push_back(infer(in));
+    return outs;
+}
+
+xbar::EngineStats
+CompiledModel::engineStats() const
+{
+    xbar::EngineStats total;
+    for (const auto &layer : engines) {
+        for (const auto &e : layer) {
+            const auto &s = e->stats();
+            total.ops += s.ops;
+            total.crossbarReads += s.crossbarReads;
+            total.adcSamples += s.adcSamples;
+            total.shiftAdds += s.shiftAdds;
+            total.dacActivations += s.dacActivations;
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+CompiledModel::adcClips() const
+{
+    std::uint64_t clips = 0;
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            clips += e->adcClips();
+    return clips;
+}
+
+int
+CompiledModel::functionalArrays() const
+{
+    int arrays = 0;
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            arrays += e->physicalArrays();
+    return arrays;
+}
+
+} // namespace isaac::core

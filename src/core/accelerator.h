@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The top-level ISAAC accelerator API.
+ *
+ * An Accelerator owns a design point (arch::IsaacConfig). Compiling a
+ * network against it produces a CompiledModel holding
+ *
+ *  - the inter-layer pipeline plan (replication, tile allocation),
+ *  - the analytic performance/energy report,
+ *  - and, for functional execution, one bit-serial crossbar engine
+ *    per dot-product layer (per window for private kernels),
+ *    programmed with the sliced/biased/flipped weight encoding.
+ *
+ * CompiledModel::infer() runs an input through the full analog
+ * pipeline model and returns results that are bit-identical to the
+ * software reference executor (tests assert this).
+ */
+
+#ifndef ISAAC_CORE_ACCELERATOR_H
+#define ISAAC_CORE_ACCELERATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "arch/config.h"
+#include "nn/reference.h"
+#include "pipeline/perf.h"
+#include "xbar/engine.h"
+
+namespace isaac::core {
+
+/** Options controlling compilation. */
+struct CompileOptions
+{
+    /** Chips the plan may use. */
+    int chips = 1;
+
+    /** Fixed-point format of activations and weights. */
+    FixedFormat format{12};
+
+    /**
+     * Build the functional crossbar engines. Disable for large
+     * networks where only the analytic plan/report is wanted
+     * (engines materialize every weight in simulated crossbars).
+     */
+    bool functional = true;
+};
+
+/** A network bound to an ISAAC configuration. */
+class CompiledModel
+{
+  public:
+    /** The pipeline plan (replication, tiles, buffering). */
+    const pipeline::PipelinePlan &plan() const { return _plan; }
+
+    /** Analytic throughput/power/energy report. */
+    const pipeline::IsaacPerf &perf() const { return _perf; }
+
+    const nn::Network &network() const { return net; }
+
+    /**
+     * Run one inference through the analog pipeline model. Requires
+     * functional compilation.
+     */
+    nn::Tensor infer(const nn::Tensor &input) const;
+
+    /** Per-layer outputs of one inference. */
+    std::vector<nn::Tensor> inferAll(const nn::Tensor &input) const;
+
+    /**
+     * Run a batch of inferences (the steady-state pipeline keeps
+     * several images in flight; functionally they are independent).
+     */
+    std::vector<nn::Tensor>
+    inferBatch(const std::vector<nn::Tensor> &inputs) const;
+
+    /** Aggregated crossbar-engine activity since compilation. */
+    xbar::EngineStats engineStats() const;
+
+    /** ADC clip events across all engines (0 unless noisy). */
+    std::uint64_t adcClips() const;
+
+    /** Physical crossbars materialized by the functional model. */
+    int functionalArrays() const;
+
+  private:
+    friend class Accelerator;
+    CompiledModel(const nn::Network &net,
+                  const nn::WeightStore &weights,
+                  const arch::IsaacConfig &cfg, CompileOptions opts);
+
+    nn::Tensor runDotLayer(std::size_t layerIdx,
+                           const nn::Tensor &input) const;
+
+    const nn::Network &net;
+    const nn::WeightStore &weights;
+    arch::IsaacConfig cfg;
+    CompileOptions opts;
+    pipeline::PipelinePlan _plan;
+    pipeline::IsaacPerf _perf;
+    nn::SigmoidLut lut;
+    /** Executes pooling/SPP layers (shared semantics). */
+    std::unique_ptr<nn::ReferenceExecutor> poolExec;
+    /** engines[layer][windowGroup]; one group for shared kernels. */
+    std::vector<std::vector<std::unique_ptr<xbar::BitSerialEngine>>>
+        engines;
+};
+
+/** Entry point: a configured ISAAC system. */
+class Accelerator
+{
+  public:
+    explicit Accelerator(arch::IsaacConfig cfg = {});
+
+    const arch::IsaacConfig &config() const { return cfg; }
+
+    /**
+     * Bind a network and its weights to this accelerator.
+     * The network and weight store must outlive the CompiledModel.
+     */
+    CompiledModel compile(const nn::Network &net,
+                          const nn::WeightStore &weights,
+                          CompileOptions opts = {}) const;
+
+  private:
+    arch::IsaacConfig cfg;
+};
+
+} // namespace isaac::core
+
+#endif // ISAAC_CORE_ACCELERATOR_H

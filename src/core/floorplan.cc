@@ -1,0 +1,71 @@
+#include "core/floorplan.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace isaac::core {
+
+std::string
+renderFloorplan(const pipeline::Placement &placement, int chip)
+{
+    if (chip < 0 ||
+        chip >= static_cast<int>(placement.chips().size()))
+        fatal("renderFloorplan: chip index out of range");
+    const auto &c =
+        placement.chips()[static_cast<std::size_t>(chip)];
+
+    std::string out =
+        "chip " + std::to_string(chip) + " (" +
+        std::to_string(c.gridCols()) + "x" +
+        std::to_string(c.gridRows()) + " tiles)\n";
+    for (int y = 0; y < c.gridRows(); ++y) {
+        for (int x = 0; x < c.gridCols(); ++x) {
+            const auto &tile = c.tile(x, y);
+            int first = -1;
+            int owners = 0;
+            int lastSeen = -1;
+            for (const auto &ima : tile.imas()) {
+                if (!ima.layer())
+                    continue;
+                const int l = static_cast<int>(*ima.layer());
+                if (first < 0)
+                    first = l;
+                if (l != lastSeen) {
+                    ++owners;
+                    lastSeen = l;
+                }
+            }
+            char cell[8];
+            if (first < 0) {
+                std::snprintf(cell, sizeof(cell), " .. ");
+            } else {
+                std::snprintf(cell, sizeof(cell), "%3d%c", first,
+                              owners > 1 ? '*' : ' ');
+            }
+            out += cell;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+renderFloorplanLegend(const nn::Network &net,
+                      const pipeline::Placement &placement)
+{
+    std::string out;
+    for (const auto &lp : placement.layers()) {
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "  %3zu %-18s %6lld xbars %5zu tiles\n",
+                      lp.layerIdx,
+                      net.layer(lp.layerIdx).name.c_str(),
+                      static_cast<long long>(lp.xbarsPlaced),
+                      lp.tiles.size());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace isaac::core

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * ASCII floorplan rendering: draws a chip's tile grid with the layer
+ * occupying each tile, so a placement can be inspected at a glance
+ * (which tiles a layer spans, where consecutive layers meet, which
+ * tiles idle).
+ */
+
+#ifndef ISAAC_CORE_FLOORPLAN_H
+#define ISAAC_CORE_FLOORPLAN_H
+
+#include <string>
+
+#include "nn/network.h"
+#include "pipeline/placement.h"
+
+namespace isaac::core {
+
+/**
+ * Render one chip of a placement. Each tile cell shows the index of
+ * the (first) dot-product layer whose IMAs it hosts, '..' for idle
+ * tiles, and '*' appended when several layers share the tile.
+ */
+std::string renderFloorplan(const pipeline::Placement &placement,
+                            int chip);
+
+/** Render a per-layer legend (index -> name, tiles, crossbars). */
+std::string renderFloorplanLegend(
+    const nn::Network &net, const pipeline::Placement &placement);
+
+} // namespace isaac::core
+
+#endif // ISAAC_CORE_FLOORPLAN_H

@@ -1,0 +1,195 @@
+#include "core/json.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace isaac::core {
+
+namespace {
+
+/** Minimal JSON writer: objects of number/string/bool fields. */
+class JsonObject
+{
+  public:
+    JsonObject &
+    field(const std::string &key, double value)
+    {
+        next() << '"' << key << "\":";
+        if (std::isfinite(value))
+            out << value;
+        else
+            out << "null";
+        return *this;
+    }
+
+    JsonObject &
+    field(const std::string &key, std::int64_t value)
+    {
+        next() << '"' << key << "\":" << value;
+        return *this;
+    }
+
+    JsonObject &
+    field(const std::string &key, bool value)
+    {
+        next() << '"' << key << "\":" << (value ? "true" : "false");
+        return *this;
+    }
+
+    JsonObject &
+    field(const std::string &key, const std::string &value)
+    {
+        next() << '"' << key << "\":\"" << value << '"';
+        return *this;
+    }
+
+    JsonObject &
+    raw(const std::string &key, const std::string &json)
+    {
+        next() << '"' << key << "\":" << json;
+        return *this;
+    }
+
+    std::string
+    str() const
+    {
+        return "{" + out.str() + "}";
+    }
+
+  private:
+    std::ostringstream &
+    next()
+    {
+        if (!first)
+            out << ',';
+        first = false;
+        return out;
+    }
+
+    std::ostringstream out;
+    bool first = true;
+};
+
+} // namespace
+
+std::string
+toJson(const arch::IsaacConfig &cfg)
+{
+    JsonObject o;
+    o.field("label", cfg.label())
+        .field("rows", std::int64_t{cfg.engine.rows})
+        .field("cols", std::int64_t{cfg.engine.cols})
+        .field("cellBits", std::int64_t{cfg.engine.cellBits})
+        .field("dacBits", std::int64_t{cfg.engine.dacBits})
+        .field("flipEncoding", cfg.engine.flipEncoding)
+        .field("adcBits", std::int64_t{cfg.engine.adcBits()})
+        .field("adcsPerIma", std::int64_t{cfg.adcsPerIma})
+        .field("xbarsPerIma", std::int64_t{cfg.xbarsPerIma})
+        .field("imasPerTile", std::int64_t{cfg.imasPerTile})
+        .field("tilesPerChip", std::int64_t{cfg.tilesPerChip})
+        .field("edramKBPerTile", std::int64_t{cfg.edramKBPerTile})
+        .field("cycleNs", cfg.cycleNs)
+        .field("peakGops", cfg.peakGops())
+        .field("storageBytesPerChip", cfg.storageBytesPerChip());
+    return o.str();
+}
+
+std::string
+toJson(const nn::Network &net, const pipeline::PipelinePlan &plan)
+{
+    std::ostringstream layers;
+    layers << '[';
+    bool first = true;
+    for (const auto &lp : plan.layers) {
+        if (!lp.isDot)
+            continue;
+        if (!first)
+            layers << ',';
+        first = false;
+        JsonObject l;
+        l.field("layer", net.layer(lp.layerIdx).name)
+            .field("index",
+                   static_cast<std::int64_t>(lp.layerIdx))
+            .field("desiredReplication", lp.desiredReplication)
+            .field("replication", lp.replication)
+            .field("xbars", lp.xbars)
+            .field("imas", lp.imas)
+            .field("tiles", lp.tiles)
+            .field("bufferBytes", lp.bufferBytes)
+            .field("cyclesPerImage", lp.cyclesPerImage)
+            .field("utilization", lp.utilization);
+        layers << l.str();
+    }
+    layers << ']';
+
+    JsonObject o;
+    o.field("network", net.name())
+        .field("chips", std::int64_t{plan.chips})
+        .field("fits", plan.fits)
+        .field("slowdown", plan.slowdown)
+        .field("speedup", plan.speedup)
+        .field("xbarsUsed", plan.xbarsUsed)
+        .field("xbarsAvailable", plan.xbarsAvailable)
+        .field("cyclesPerImage", plan.cyclesPerImage)
+        .raw("layers", layers.str());
+    return o.str();
+}
+
+std::string
+toJson(const pipeline::IsaacPerf &perf)
+{
+    JsonObject a;
+    a.field("adcJ", perf.activity.adcJ)
+        .field("dacJ", perf.activity.dacJ)
+        .field("xbarJ", perf.activity.xbarJ)
+        .field("digitalJ", perf.activity.digitalJ)
+        .field("edramJ", perf.activity.edramJ)
+        .field("busJ", perf.activity.busJ)
+        .field("htJ", perf.activity.htJ);
+
+    JsonObject o;
+    o.field("fits", perf.fits)
+        .field("cyclesPerImage", perf.cyclesPerImage)
+        .field("imagesPerSec", perf.imagesPerSec)
+        .field("powerW", perf.powerW)
+        .field("energyPerImageJ", perf.energyPerImageJ)
+        .field("macUtilization", perf.macUtilization)
+        .field("inputIoGBps", perf.inputIoGBps)
+        .field("ioBound", perf.ioBound)
+        .field("unpipelinedCyclesPerImage",
+               perf.unpipelinedCyclesPerImage)
+        .raw("activity", a.str());
+    return o.str();
+}
+
+std::string
+toJson(const baseline::DdnPerf &perf)
+{
+    JsonObject o;
+    o.field("fits", perf.fits)
+        .field("chips", std::int64_t{perf.chips})
+        .field("cyclesPerImage", perf.cyclesPerImage)
+        .field("imagesPerSec", perf.imagesPerSec)
+        .field("powerW", perf.powerW)
+        .field("energyPerImageJ", perf.energyPerImageJ)
+        .field("avgNfuUtilization", perf.avgNfuUtilization);
+    return o.str();
+}
+
+std::string
+toJson(const noc::TrafficReport &report)
+{
+    JsonObject o;
+    o.field("maxLinkGBps", report.maxLinkGBps)
+        .field("linkCapacityGBps", report.linkCapacityGBps)
+        .field("maxHtGBps", report.maxHtGBps)
+        .field("htCapacityGBps", report.htCapacityGBps)
+        .field("maxHtLinkGBps", report.maxHtLinkGBps)
+        .field("maxLayerRateGBps", report.maxLayerRateGBps)
+        .field("maxTileEgressGBps", report.maxTileEgressGBps)
+        .field("hopGBps", report.hopGBps)
+        .field("schedulable", report.schedulable);
+    return o.str();
+}
+
+} // namespace isaac::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * JSON serialization of configurations, plans, and reports, so
+ * downstream tooling (plotting scripts, regression dashboards) can
+ * consume the models without linking the library.
+ */
+
+#ifndef ISAAC_CORE_JSON_H
+#define ISAAC_CORE_JSON_H
+
+#include <string>
+
+#include "baseline/dadiannao_perf.h"
+#include "noc/traffic.h"
+#include "pipeline/perf.h"
+
+namespace isaac::core {
+
+/** A configuration as a JSON object. */
+std::string toJson(const arch::IsaacConfig &cfg);
+
+/** A pipeline plan (with per-layer detail) as a JSON object. */
+std::string toJson(const nn::Network &net,
+                   const pipeline::PipelinePlan &plan);
+
+/** An ISAAC performance report as a JSON object. */
+std::string toJson(const pipeline::IsaacPerf &perf);
+
+/** A DaDianNao performance report as a JSON object. */
+std::string toJson(const baseline::DdnPerf &perf);
+
+/** A NoC traffic report as a JSON object. */
+std::string toJson(const noc::TrafficReport &report);
+
+} // namespace isaac::core
+
+#endif // ISAAC_CORE_JSON_H

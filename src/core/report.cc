@@ -1,0 +1,91 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+namespace isaac::core {
+
+namespace {
+
+/** snprintf into a std::string. */
+template <typename... Args>
+std::string
+line(const char *fmt, Args... args)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    return std::string(buf);
+}
+
+} // namespace
+
+std::string
+formatBreakdown(const energy::Breakdown &b, const std::string &title)
+{
+    std::string out = title + "\n";
+    out += line("  %-18s %-16s %10s %12s\n", "component", "spec",
+                "power(mW)", "area(mm^2)");
+    for (const auto &c : b.items) {
+        out += line("  %-18s %-16s %10.3f %12.6f\n", c.name.c_str(),
+                    c.spec.c_str(), c.powerMw, c.areaMm2);
+    }
+    out += line("  %-18s %-16s %10.3f %12.6f\n", "TOTAL", "",
+                b.totalPowerMw(), b.totalAreaMm2());
+    return out;
+}
+
+std::string
+describeNetwork(const nn::Network &net)
+{
+    return line("%-10s %2zu layers (%2d with weights)  %8.1fM "
+                "weights  %9.2fG MACs/image",
+                net.name().c_str(), net.size(),
+                net.weightLayerCount(),
+                static_cast<double>(net.totalWeights()) / 1e6,
+                static_cast<double>(net.totalMacs()) / 1e9);
+}
+
+std::string
+formatIsaacPerf(const nn::Network &net,
+                const pipeline::IsaacPerf &perf, int chips)
+{
+    if (!perf.fits) {
+        return line("ISAAC  %-10s @ %2d chips: does not fit\n",
+                    net.name().c_str(), chips);
+    }
+    std::string out;
+    out += line("ISAAC  %-10s @ %2d chips\n", net.name().c_str(),
+                chips);
+    out += line("  throughput  %12.1f images/s (interval %.1f "
+                "cycles)\n",
+                perf.imagesPerSec, perf.cyclesPerImage);
+    out += line("  power       %12.1f W\n", perf.powerW);
+    out += line("  energy      %12.3f mJ/image (activity-based "
+                "%.3f mJ)\n",
+                perf.energyPerImageJ * 1e3,
+                perf.activity.totalJ() * 1e3);
+    out += line("  utilization %12.1f %% of peak MACs\n",
+                perf.macUtilization * 100.0);
+    return out;
+}
+
+std::string
+formatDdnPerf(const nn::Network &net, const baseline::DdnPerf &perf)
+{
+    if (!perf.fits) {
+        return line("DaDianNao %-10s @ %2d chips: weights exceed "
+                    "eDRAM\n",
+                    net.name().c_str(), perf.chips);
+    }
+    std::string out;
+    out += line("DaDianNao %-10s @ %2d chips\n", net.name().c_str(),
+                perf.chips);
+    out += line("  throughput  %12.1f images/s\n", perf.imagesPerSec);
+    out += line("  power       %12.1f W\n", perf.powerW);
+    out += line("  energy      %12.3f mJ/image\n",
+                perf.energyPerImageJ * 1e3);
+    out += line("  NFU util    %12.1f %%\n",
+                perf.avgNfuUtilization * 100.0);
+    return out;
+}
+
+} // namespace isaac::core

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Plain-text report formatting shared by the benches and examples.
+ */
+
+#ifndef ISAAC_CORE_REPORT_H
+#define ISAAC_CORE_REPORT_H
+
+#include <string>
+
+#include "baseline/dadiannao_perf.h"
+#include "energy/catalog.h"
+#include "nn/network.h"
+#include "pipeline/perf.h"
+
+namespace isaac::core {
+
+/** Format a component power/area breakdown as an aligned table. */
+std::string formatBreakdown(const energy::Breakdown &b,
+                            const std::string &title);
+
+/** One-line summary of a network (layers, weights, MACs). */
+std::string describeNetwork(const nn::Network &net);
+
+/** Multi-line ISAAC performance report. */
+std::string formatIsaacPerf(const nn::Network &net,
+                            const pipeline::IsaacPerf &perf,
+                            int chips);
+
+/** Multi-line DaDianNao performance report. */
+std::string formatDdnPerf(const nn::Network &net,
+                          const baseline::DdnPerf &perf);
+
+} // namespace isaac::core
+
+#endif // ISAAC_CORE_REPORT_H

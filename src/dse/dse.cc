@@ -1,0 +1,138 @@
+#include "dse/dse.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace isaac::dse {
+
+DsePoint
+evaluate(const arch::IsaacConfig &cfg, const DseSpace &space)
+{
+    DsePoint p;
+    p.config = cfg;
+
+    const int adcBits = cfg.engine.adcBits();
+    if (!space.relaxAdcBound && adcBits > 8) {
+        p.feasible = false;
+        p.hazard = "needs a " + std::to_string(adcBits) +
+            "-bit ADC (paper bound: 8 bits at 1.28 GSps)";
+    }
+
+    const double inputBytesPerCycle =
+        static_cast<double>(cfg.imasPerTile) * cfg.xbarsPerIma *
+        cfg.engine.rows * kDataBytes / cfg.engine.phases();
+    if (inputBytesPerCycle > space.tileInputBytesPerCycle + 1e-9) {
+        p.feasible = false;
+        if (!p.hazard.empty())
+            p.hazard += "; ";
+        p.hazard += "IR reload traffic " +
+            std::to_string(static_cast<int>(inputBytesPerCycle)) +
+            " B/cycle exceeds the eDRAM/bus budget";
+    }
+
+    const energy::IsaacEnergyModel model(cfg);
+    p.ce = model.ceGopsPerMm2();
+    p.pe = model.peGopsPerW();
+    p.se = model.seMBPerMm2();
+    return p;
+}
+
+std::vector<DsePoint>
+sweep(const DseSpace &space)
+{
+    std::vector<DsePoint> points;
+    for (int h : space.rows) {
+        for (int a : space.adcsPerIma) {
+            for (int c : space.xbarsPerIma) {
+                for (int i : space.imasPerTile) {
+                    arch::IsaacConfig cfg;
+                    cfg.engine.rows = h;
+                    cfg.engine.cols = h;
+                    cfg.adcsPerIma = a;
+                    cfg.xbarsPerIma = c;
+                    cfg.imasPerTile = i;
+                    points.push_back(evaluate(cfg, space));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+namespace {
+
+double
+metricOf(const DsePoint &p, Metric metric)
+{
+    switch (metric) {
+      case Metric::CE: return p.ce;
+      case Metric::PE: return p.pe;
+      case Metric::SE: return p.se;
+    }
+    panic("unknown DSE metric");
+}
+
+} // namespace
+
+const DsePoint &
+best(const std::vector<DsePoint> &points, Metric metric)
+{
+    const DsePoint *result = nullptr;
+    for (const auto &p : points) {
+        if (!p.feasible)
+            continue;
+        if (!result ||
+            metricOf(p, metric) > metricOf(*result, metric)) {
+            result = &p;
+        }
+    }
+    if (!result)
+        fatal("DSE: no feasible point in the swept space");
+    return *result;
+}
+
+std::vector<DsePoint>
+paretoFront(const std::vector<DsePoint> &points)
+{
+    auto dominates = [](const DsePoint &a, const DsePoint &b) {
+        return a.ce >= b.ce && a.pe >= b.pe && a.se >= b.se &&
+            (a.ce > b.ce || a.pe > b.pe || a.se > b.se);
+    };
+    std::vector<DsePoint> front;
+    for (const auto &p : points) {
+        if (!p.feasible)
+            continue;
+        bool dominated = false;
+        for (const auto &q : points) {
+            if (q.feasible && dominates(q, p)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(p);
+    }
+    return front;
+}
+
+int
+rankOf(const std::vector<DsePoint> &points, Metric metric,
+       const std::string &label)
+{
+    double target = -1.0;
+    for (const auto &p : points) {
+        if (p.feasible && p.config.label() == label)
+            target = metricOf(p, metric);
+    }
+    if (target < 0)
+        fatal("DSE: label '" + label + "' not in the feasible sweep");
+    int rank = 1;
+    for (const auto &p : points) {
+        if (p.feasible && metricOf(p, metric) > target)
+            ++rank;
+    }
+    return rank;
+}
+
+} // namespace isaac::dse

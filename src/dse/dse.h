@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Design-space exploration (Sec. VIII-A, Fig. 5).
+ *
+ * Sweeps crossbar size H, ADCs per IMA A, crossbars per IMA C, and
+ * IMAs per tile I, computing peak CE / PE / SE for each point. Two
+ * structural constraints bound the space, both derived from the
+ * paper's methodology:
+ *
+ *  - the ADC resolution required by Eqs. (1)/(2) (plus the encoding
+ *    saving) must not exceed 8 bits: the paper "first confirmed that
+ *    a 9-bit ADC is never worth the power/area overhead", which at
+ *    w=2 / v=1 pins the array at 128 rows;
+ *  - the tile's worst-case IR-reload traffic (I * C * H * 2 bytes
+ *    every 16 cycles) must fit the Table I eDRAM/bus design
+ *    (1.5 KB per 100 ns cycle: one-and-a-half 1 KB IR loads), else
+ *    the IMAs stall on structural hazards.
+ *
+ * Storage-efficiency (SE) candidates deliberately relax the ADC
+ * constraint: an SE design reads crossbars slowly through a single
+ * tall ADC, trading throughput for density.
+ */
+
+#ifndef ISAAC_DSE_DSE_H
+#define ISAAC_DSE_DSE_H
+
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+#include "energy/catalog.h"
+
+namespace isaac::dse {
+
+/** One evaluated configuration. */
+struct DsePoint
+{
+    arch::IsaacConfig config;
+    bool feasible = true;
+    std::string hazard;  ///< Why the point is infeasible (if so).
+    double ce = 0.0;     ///< GOPS / mm^2
+    double pe = 0.0;     ///< GOPS / W
+    double se = 0.0;     ///< MB / mm^2
+};
+
+/** The swept parameter lists (defaults follow Fig. 5). */
+struct DseSpace
+{
+    std::vector<int> rows = {32, 64, 128, 256};
+    std::vector<int> adcsPerIma = {4, 8, 16};
+    std::vector<int> xbarsPerIma = {4, 8, 16};
+    std::vector<int> imasPerTile = {4, 8, 12, 16};
+
+    /** Relax the 8-bit ADC bound (used for the SE sweep). */
+    bool relaxAdcBound = false;
+
+    /** Tile input-delivery budget in bytes per cycle. */
+    double tileInputBytesPerCycle = 1536.0;
+};
+
+/** Evaluate one configuration against the constraints. */
+DsePoint evaluate(const arch::IsaacConfig &cfg,
+                  const DseSpace &space = {});
+
+/** Sweep the whole space (row-major over the parameter lists). */
+std::vector<DsePoint> sweep(const DseSpace &space = {});
+
+/** Metrics by which a point can be ranked. */
+enum class Metric { CE, PE, SE };
+
+/** Best feasible point by a metric; fatal() if none is feasible. */
+const DsePoint &best(const std::vector<DsePoint> &points,
+                     Metric metric);
+
+/** Rank (1-based) of a labelled config under a metric. */
+int rankOf(const std::vector<DsePoint> &points, Metric metric,
+           const std::string &label);
+
+/**
+ * The CE/PE/SE Pareto front of the feasible points: configurations
+ * not dominated (<= on every metric, < on at least one) by any
+ * other feasible point. Order follows the input sweep.
+ */
+std::vector<DsePoint>
+paretoFront(const std::vector<DsePoint> &points);
+
+} // namespace isaac::dse
+
+#endif // ISAAC_DSE_DSE_H

@@ -1,0 +1,40 @@
+#include "energy/adc_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac::energy {
+
+namespace {
+
+/** Linear + exponential resolution scaling, normalized at 8 bits. */
+double
+scale(double linearFraction, int bits)
+{
+    const double lin = bits / AdcModel::kRefBits;
+    const double exp = std::pow(2.0, bits - AdcModel::kRefBits);
+    return linearFraction * lin + (1.0 - linearFraction) * exp;
+}
+
+} // namespace
+
+double
+AdcModel::powerMw(int bits, double gsps) const
+{
+    if (bits < 1)
+        fatal("AdcModel: resolution must be positive");
+    // Power scales linearly with the sampling rate.
+    return kRefPowerMw * (gsps / kRefGsps) *
+        scale(linearPowerFraction, bits);
+}
+
+double
+AdcModel::areaMm2(int bits) const
+{
+    if (bits < 1)
+        fatal("AdcModel: resolution must be positive");
+    return kRefAreaMm2 * scale(linearAreaFraction, bits);
+}
+
+} // namespace isaac::energy

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SAR ADC power/area scaling model (Sec. VII, Methodology).
+ *
+ * The reference point is the 8-bit 1.2 GS/s single-channel
+ * asynchronous SAR ADC of Kull et al. in 32 nm, as charged in
+ * Table I: 16 mW and 0.0096 mm^2 for the 8 ADCs of one IMA, i.e.
+ * 2 mW / 0.0012 mm^2 each.
+ *
+ * Following the paper, a SAR ADC has four major components: the vref
+ * buffer, memory, and clock scale *linearly* with resolution, while
+ * the capacitive DAC scales *exponentially* (Saberi et al. [59]).
+ * The split between the two groups at the 8-bit reference point is a
+ * model parameter.
+ */
+
+#ifndef ISAAC_ENERGY_ADC_MODEL_H
+#define ISAAC_ENERGY_ADC_MODEL_H
+
+namespace isaac::energy {
+
+/** Power/area model for a SAR ADC as a function of resolution. */
+struct AdcModel
+{
+    /** Reference design: 8 bits, 1.2 GS/s, 32 nm. */
+    static constexpr double kRefBits = 8.0;
+    static constexpr double kRefGsps = 1.2;
+    static constexpr double kRefPowerMw = 2.0;
+    static constexpr double kRefAreaMm2 = 0.0012;
+
+    /**
+     * Fraction of reference power in the linearly-scaling components
+     * (vref buffer + memory + clock); the remainder is the
+     * exponentially-scaling capacitive DAC.
+     */
+    double linearPowerFraction = 0.5;
+
+    /** Same split for area. */
+    double linearAreaFraction = 0.5;
+
+    /** Power in mW at `bits` resolution and `gsps` sampling rate. */
+    double powerMw(int bits, double gsps) const;
+
+    /** Area in mm^2 at `bits` resolution. */
+    double areaMm2(int bits) const;
+};
+
+} // namespace isaac::energy
+
+#endif // ISAAC_ENERGY_ADC_MODEL_H

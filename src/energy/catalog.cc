@@ -1,0 +1,283 @@
+#include "energy/catalog.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac::energy {
+
+namespace {
+
+/** Table I reference constants for the ISAAC-CE tile (per tile). */
+constexpr double kEdramPowerMw = 20.7;   // 64 KB, 4 banks
+constexpr double kEdramAreaMm2 = 0.083;
+constexpr double kBusPowerMw = 7.0;      // 256-bit, 384 wires
+constexpr double kBusAreaMm2 = 0.090;
+constexpr double kRouterPowerMw = 42.0;  // shared by 4 tiles
+constexpr double kRouterAreaMm2 = 0.151; // shared by 4 tiles
+constexpr double kSigmoidPowerMw = 0.52; // 2 units
+constexpr double kSigmoidAreaMm2 = 0.0006;
+constexpr double kTileSaPowerMw = 0.05;  // 1 unit
+constexpr double kTileSaAreaMm2 = 0.00006;
+constexpr double kMaxPoolPowerMw = 0.4;  // 1 unit
+constexpr double kMaxPoolAreaMm2 = 0.00024;
+constexpr double kTileOrPowerMw = 1.68;  // 3 KB
+constexpr double kTileOrAreaMm2 = 0.0032;
+
+/** Table I reference constants for one IMA (8 crossbars, 8 ADCs). */
+constexpr double kShPowerMwPer = 0.01 / 1024.0;   // 10 uW / 8x128
+constexpr double kShAreaMm2Per = 0.00004 / 1024.0;
+constexpr double kXbarPowerMwPer = 2.4 / 8.0;     // per 128x128 array
+constexpr double kXbarAreaMm2Per = 0.0002 / 8.0;
+constexpr double kImaSaPowerMwPer = 0.2 / 4.0;    // per S+A unit
+constexpr double kImaSaAreaMm2Per = 0.00024 / 4.0;
+constexpr double kIrPowerMwRef = 1.24;            // 2 KB
+constexpr double kIrAreaMm2Ref = 0.0021;
+constexpr double kOrPowerMwRef = 0.23;            // 256 B
+constexpr double kOrAreaMm2Ref = 0.00077;
+
+constexpr double kDigitalClockHz = 1.2e9;
+
+/** S+A units an IMA needs: Table I pairs 4 with 8 crossbars. */
+int
+imaShiftAddUnits(const arch::IsaacConfig &cfg)
+{
+    return std::max(1, cfg.xbarsPerIma / 2);
+}
+
+} // namespace
+
+double
+Breakdown::totalPowerMw() const
+{
+    double sum = 0;
+    for (const auto &c : items)
+        sum += c.powerMw;
+    return sum;
+}
+
+double
+Breakdown::totalAreaMm2() const
+{
+    double sum = 0;
+    for (const auto &c : items)
+        sum += c.areaMm2;
+    return sum;
+}
+
+IsaacEnergyModel::IsaacEnergyModel(const arch::IsaacConfig &cfg,
+                                   AdcModel adcModel,
+                                   DacModel dacModel)
+    : cfg(cfg), adc(adcModel), dac(dacModel)
+{
+    cfg.validate();
+}
+
+Breakdown
+IsaacEnergyModel::imaBreakdown() const
+{
+    Breakdown b;
+    const int bits = cfg.engine.adcBits();
+    const int rowsPerIma = cfg.xbarsPerIma * cfg.engine.rows;
+    const double cellScale =
+        static_cast<double>(cfg.engine.rows) * cfg.engine.cols /
+        (128.0 * 128.0);
+    // Only the arrays the ADCs can drain switch in a cycle; their
+    // DACs, sample-and-holds, and bitlines draw dynamic power, the
+    // rest of the (area-bearing) arrays sit idle.
+    const double activeFrac =
+        static_cast<double>(cfg.activeXbarsPerIma()) /
+        cfg.xbarsPerIma;
+
+    b.items.push_back({"ADC",
+                       std::to_string(bits) + "b x" +
+                           std::to_string(cfg.adcsPerIma),
+                       cfg.adcsPerIma * adc.powerMw(bits, 1.2),
+                       cfg.adcsPerIma * adc.areaMm2(bits)});
+    b.items.push_back({"DAC",
+                       std::to_string(cfg.engine.dacBits) + "b x" +
+                           std::to_string(rowsPerIma),
+                       rowsPerIma * activeFrac *
+                           dac.powerMw(cfg.engine.dacBits),
+                       rowsPerIma * dac.areaMm2(cfg.engine.dacBits)});
+    b.items.push_back({"S+H", "x" + std::to_string(rowsPerIma),
+                       rowsPerIma * activeFrac * kShPowerMwPer,
+                       rowsPerIma * kShAreaMm2Per});
+    b.items.push_back({"Memristor arrays",
+                       std::to_string(cfg.xbarsPerIma) + "x " +
+                           std::to_string(cfg.engine.rows) + "x" +
+                           std::to_string(cfg.engine.cols),
+                       cfg.xbarsPerIma * activeFrac *
+                           kXbarPowerMwPer * cellScale,
+                       cfg.xbarsPerIma * kXbarAreaMm2Per * cellScale});
+    const int saUnits = imaShiftAddUnits(cfg);
+    b.items.push_back({"S+A", "x" + std::to_string(saUnits),
+                       saUnits * kImaSaPowerMwPer,
+                       saUnits * kImaSaAreaMm2Per});
+    const double irScale = cfg.irBytesPerIma() / 2048.0;
+    b.items.push_back({"IR",
+                       std::to_string(cfg.irBytesPerIma() / 1024) +
+                           " KB",
+                       kIrPowerMwRef * irScale,
+                       kIrAreaMm2Ref * irScale});
+    const double orScale = cfg.orBytesPerIma() / 256.0;
+    b.items.push_back({"OR",
+                       std::to_string(cfg.orBytesPerIma()) + " B",
+                       kOrPowerMwRef * orScale,
+                       kOrAreaMm2Ref * orScale});
+    return b;
+}
+
+Breakdown
+IsaacEnergyModel::tileBreakdown() const
+{
+    Breakdown b;
+    const double edramScale = cfg.edramKBPerTile / 64.0;
+    b.items.push_back({"eDRAM buffer",
+                       std::to_string(cfg.edramKBPerTile) + " KB",
+                       kEdramPowerMw * edramScale,
+                       kEdramAreaMm2 * edramScale});
+    const double busScale = cfg.busBits / 256.0;
+    b.items.push_back({"eDRAM-to-IMA bus",
+                       std::to_string(cfg.busBits) + " b",
+                       kBusPowerMw * busScale,
+                       kBusAreaMm2 * busScale});
+    b.items.push_back({"Router", "1/4 share", kRouterPowerMw / 4,
+                       kRouterAreaMm2 / 4});
+    b.items.push_back({"Sigmoid", "x2", kSigmoidPowerMw,
+                       kSigmoidAreaMm2});
+    b.items.push_back({"S+A", "x1", kTileSaPowerMw, kTileSaAreaMm2});
+    b.items.push_back({"MaxPool", "x1", kMaxPoolPowerMw,
+                       kMaxPoolAreaMm2});
+    const double orScale = cfg.tileOrBytes / 3072.0;
+    b.items.push_back({"OR",
+                       std::to_string(cfg.tileOrBytes / 1024) + " KB",
+                       kTileOrPowerMw * orScale,
+                       kTileOrAreaMm2 * orScale});
+    b.items.push_back({"IMAs", "x" + std::to_string(cfg.imasPerTile),
+                       cfg.imasPerTile * imaPowerMw(),
+                       cfg.imasPerTile * imaAreaMm2()});
+    return b;
+}
+
+double
+IsaacEnergyModel::imaPowerMw() const
+{
+    return imaBreakdown().totalPowerMw();
+}
+
+double
+IsaacEnergyModel::imaAreaMm2() const
+{
+    return imaBreakdown().totalAreaMm2();
+}
+
+double
+IsaacEnergyModel::tilePowerMw() const
+{
+    return tileBreakdown().totalPowerMw();
+}
+
+double
+IsaacEnergyModel::tileAreaMm2() const
+{
+    return tileBreakdown().totalAreaMm2();
+}
+
+double
+IsaacEnergyModel::chipPowerW() const
+{
+    return cfg.tilesPerChip * tilePowerMw() / 1000.0 + htPowerW();
+}
+
+double
+IsaacEnergyModel::chipAreaMm2() const
+{
+    return cfg.tilesPerChip * tileAreaMm2() + htAreaMm2();
+}
+
+double
+IsaacEnergyModel::adcEnergyPerSamplePj() const
+{
+    const int bits = cfg.engine.adcBits();
+    // mW / GSps = pJ per sample.
+    return adc.powerMw(bits, 1.2) / 1.2;
+}
+
+double
+IsaacEnergyModel::dacEnergyPerRowCyclePj() const
+{
+    return dac.powerMw(cfg.engine.dacBits) * cfg.cycleNs;
+}
+
+double
+IsaacEnergyModel::xbarEnergyPerReadPj() const
+{
+    const double cellScale =
+        static_cast<double>(cfg.engine.rows) * cfg.engine.cols /
+        (128.0 * 128.0);
+    return kXbarPowerMwPer * cellScale * cfg.cycleNs;
+}
+
+double
+IsaacEnergyModel::shiftAddEnergyPerOpPj() const
+{
+    return kImaSaPowerMwPer * 1e-3 / kDigitalClockHz * 1e12;
+}
+
+double
+IsaacEnergyModel::sigmoidEnergyPerOpPj() const
+{
+    // Two units share the Table I power figure.
+    return kSigmoidPowerMw * 1e-3 / 2.0 / kDigitalClockHz * 1e12;
+}
+
+double
+IsaacEnergyModel::maxPoolEnergyPerValuePj() const
+{
+    return kMaxPoolPowerMw * 1e-3 / kDigitalClockHz * 1e12;
+}
+
+double
+IsaacEnergyModel::edramEnergyPerBytePj() const
+{
+    // The eDRAM sustains up to 1 KB per 100 ns cycle (Sec. VI).
+    const double bytesPerSec = 1024.0 / (cfg.cycleNs * 1e-9);
+    return kEdramPowerMw * 1e-3 / bytesPerSec * 1e12;
+}
+
+double
+IsaacEnergyModel::busEnergyPerBytePj() const
+{
+    const double bytesPerSec = 1024.0 / (cfg.cycleNs * 1e-9);
+    return kBusPowerMw * 1e-3 / bytesPerSec * 1e12;
+}
+
+double
+IsaacEnergyModel::htEnergyPerBytePj() const
+{
+    const double bytesPerSec =
+        cfg.htLinks * cfg.htLinkGBps * 1e9;
+    return htPowerW() / bytesPerSec * 1e12;
+}
+
+double
+IsaacEnergyModel::ceGopsPerMm2() const
+{
+    return cfg.peakGops() / chipAreaMm2();
+}
+
+double
+IsaacEnergyModel::peGopsPerW() const
+{
+    return cfg.peakGops() / chipPowerW();
+}
+
+double
+IsaacEnergyModel::seMBPerMm2() const
+{
+    return static_cast<double>(cfg.storageBytesPerChip()) /
+        (1024.0 * 1024.0) / chipAreaMm2();
+}
+
+} // namespace isaac::energy

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The ISAAC power/area catalog (Table I) and derived per-event
+ * energies.
+ *
+ * Component costs at the ISAAC-CE design point reproduce Table I
+ * exactly; other design points scale each component from its Table I
+ * reference (linear in SRAM/eDRAM capacity and bus width, linear in
+ * cell count for crossbars/DACs/S&H, and the ADC/DAC resolution
+ * models of adc_model.h / dac_model.h).
+ */
+
+#ifndef ISAAC_ENERGY_CATALOG_H
+#define ISAAC_ENERGY_CATALOG_H
+
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+#include "energy/adc_model.h"
+#include "energy/dac_model.h"
+
+namespace isaac::energy {
+
+/** One line of a power/area breakdown. */
+struct ComponentCost
+{
+    std::string name;
+    std::string spec;    ///< Human-readable parameters column.
+    double powerMw = 0;  ///< Peak power in mW.
+    double areaMm2 = 0;  ///< Area in mm^2.
+};
+
+/** A list of component costs with totals. */
+struct Breakdown
+{
+    std::vector<ComponentCost> items;
+
+    double totalPowerMw() const;
+    double totalAreaMm2() const;
+};
+
+/** Power, area, and per-event energies for one ISAAC design point. */
+class IsaacEnergyModel
+{
+  public:
+    explicit IsaacEnergyModel(const arch::IsaacConfig &cfg,
+                              AdcModel adcModel = {},
+                              DacModel dacModel = {});
+
+    const arch::IsaacConfig &config() const { return cfg; }
+
+    /** Per-IMA component breakdown (Table I, IMA section). */
+    Breakdown imaBreakdown() const;
+
+    /** Per-tile breakdown (Table I, tile section; IMAs as one row). */
+    Breakdown tileBreakdown() const;
+
+    double imaPowerMw() const;
+    double imaAreaMm2() const;
+    double tilePowerMw() const;
+    double tileAreaMm2() const;
+
+    /** Chip totals including the HyperTransport links. */
+    double chipPowerW() const;
+    double chipAreaMm2() const;
+
+    /** Constant HyperTransport background power (Sec. VIII-B). */
+    double htPowerW() const { return 10.4; }
+    double htAreaMm2() const { return 22.88; }
+
+    /** @name Per-event energies in picojoules. */
+    /// @{
+    double adcEnergyPerSamplePj() const;
+    double dacEnergyPerRowCyclePj() const;
+    double xbarEnergyPerReadPj() const;
+    double shiftAddEnergyPerOpPj() const;
+    double sigmoidEnergyPerOpPj() const;
+    double maxPoolEnergyPerValuePj() const;
+    double edramEnergyPerBytePj() const;
+    double busEnergyPerBytePj() const;
+    double htEnergyPerBytePj() const;
+    /// @}
+
+    /** @name Peak efficiency metrics (Sec. VII). */
+    /// @{
+    /** Computational efficiency: GOPS per mm^2. */
+    double ceGopsPerMm2() const;
+    /** Power efficiency: GOPS per W. */
+    double peGopsPerW() const;
+    /** Storage efficiency: MB of synaptic weights per mm^2. */
+    double seMBPerMm2() const;
+    /// @}
+
+  private:
+    arch::IsaacConfig cfg;
+    AdcModel adc;
+    DacModel dac;
+};
+
+} // namespace isaac::energy
+
+#endif // ISAAC_ENERGY_CATALOG_H

@@ -1,0 +1,25 @@
+#include "energy/dac_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac::energy {
+
+double
+DacModel::powerMw(int bits) const
+{
+    if (bits < 1)
+        fatal("DacModel: resolution must be positive");
+    return kRefPowerMw * std::pow(powerGrowthPerBit, bits - 1);
+}
+
+double
+DacModel::areaMm2(int bits) const
+{
+    if (bits < 1)
+        fatal("DacModel: resolution must be positive");
+    return kRefAreaMm2 * std::pow(areaGrowthPerBit, bits - 1);
+}
+
+} // namespace isaac::energy

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * DAC power/area model.
+ *
+ * The default design uses a trivial 1-bit DAC (an inverter) on every
+ * crossbar row: Table I charges 4 mW and 0.00017 mm^2 for the
+ * 8 x 128 DACs of one IMA. Multi-bit capacitive DACs scale
+ * exponentially (Saberi et al. [59]); the per-bit growth ratios are
+ * calibrated against the paper's Sec. VIII-A ablation ("a 2-bit DAC
+ * increases the area and power of a chip by 63% and 7%"), which for
+ * the ISAAC-CE chip (85.4 mm^2, 65.8 W, 0.343 mm^2 / 8.06 W of
+ * total DAC) implies ~158x area and ~1.57x power per extra bit.
+ */
+
+#ifndef ISAAC_ENERGY_DAC_MODEL_H
+#define ISAAC_ENERGY_DAC_MODEL_H
+
+namespace isaac::energy {
+
+/** Power/area of one per-row DAC as a function of resolution v. */
+struct DacModel
+{
+    /** 1-bit reference: 4 mW / 1024 DACs. */
+    static constexpr double kRefPowerMw = 4.0 / 1024.0;
+    static constexpr double kRefAreaMm2 = 0.00017 / 1024.0;
+
+    /** Multiplicative growth per additional bit. */
+    double areaGrowthPerBit = 158.0;
+    double powerGrowthPerBit = 1.57;
+
+    double powerMw(int bits) const;
+    double areaMm2(int bits) const;
+};
+
+} // namespace isaac::energy
+
+#endif // ISAAC_ENERGY_DAC_MODEL_H

@@ -1,0 +1,78 @@
+#include "energy/dadiannao_catalog.h"
+
+namespace isaac::energy {
+
+Breakdown
+DaDianNaoModel::chipBreakdown() const
+{
+    Breakdown b;
+    b.items.push_back({"eDRAM",
+                       std::to_string(static_cast<int>(edramMB)) +
+                           " MB, 4 banks/tile",
+                       edramPowerW * 1000.0, edramAreaMm2});
+    b.items.push_back({"NFU", "x" + std::to_string(tiles),
+                       nfuPowerW * 1000.0, nfuAreaMm2});
+    b.items.push_back({"Global bus", "128 bit", busPowerW * 1000.0,
+                       busAreaMm2});
+    b.items.push_back({"HyperTransport",
+                       std::to_string(htLinks) + " links",
+                       htPowerW * 1000.0, htAreaMm2});
+    return b;
+}
+
+double
+DaDianNaoModel::chipPowerW() const
+{
+    return edramPowerW + nfuPowerW + busPowerW + htPowerW;
+}
+
+double
+DaDianNaoModel::chipAreaMm2() const
+{
+    return edramAreaMm2 + nfuAreaMm2 + busAreaMm2 + htAreaMm2;
+}
+
+double
+DaDianNaoModel::peakGops() const
+{
+    return 2.0 * macsPerCycle() * clockGHz;
+}
+
+double
+DaDianNaoModel::edramGBps() const
+{
+    // 256 weights x 2 bytes per tile per cycle.
+    return tiles * 256.0 * 2.0 * clockGHz;
+}
+
+double
+DaDianNaoModel::nfuEnergyPerMacPj() const
+{
+    return nfuPowerW / (macsPerCycle() * clockGHz * 1e9) * 1e12;
+}
+
+double
+DaDianNaoModel::edramEnergyPerBytePj() const
+{
+    return edramPowerW / (edramGBps() * 1e9) * 1e12;
+}
+
+double
+DaDianNaoModel::ceGopsPerMm2() const
+{
+    return peakGops() / chipAreaMm2();
+}
+
+double
+DaDianNaoModel::peGopsPerW() const
+{
+    return peakGops() / chipPowerW();
+}
+
+double
+DaDianNaoModel::seMBPerMm2() const
+{
+    return edramMB / chipAreaMm2();
+}
+
+} // namespace isaac::energy

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The DaDianNao baseline's power/area/performance constants
+ * (Table I, bottom; Chen et al. [9], scaled from 28 nm to 32 nm per
+ * Sec. VII).
+ *
+ * The per-chip peak of 5.58 TOPS at 606 MHz implies 4608 MACs per
+ * cycle per node (288 per tile), which together with the quoted
+ * chip power (20.1 W) and area (88 mm^2) reproduces the paper's
+ * Table IV row: CE 63.5 GOPS/mm^2, PE 286 GOPS/W, SE 0.41 MB/mm^2.
+ */
+
+#ifndef ISAAC_ENERGY_DADIANNAO_CATALOG_H
+#define ISAAC_ENERGY_DADIANNAO_CATALOG_H
+
+#include "energy/catalog.h"
+
+namespace isaac::energy {
+
+/** DaDianNao node (chip) model. */
+struct DaDianNaoModel
+{
+    int tiles = 16;
+    double clockGHz = 0.606;
+    double macsPerTilePerCycle = 288.0;
+
+    /**
+     * NFU dataflow granularity: each cycle a tile's NFU multiplies
+     * Ti inputs into Tn output neurons (16 x 16 in DaDianNao, with
+     * extra adder lanes making up the 288-MAC Table I rate). Layers
+     * whose dot length or output count does not fill a Tn x Ti tile
+     * waste lanes; nfuCyclesForLayer() accounts for it.
+     */
+    int nfuTn = 16;
+    int nfuTi = 16;
+
+    double edramMB = 36.0;
+    double edramPowerW = 4.8;
+    double edramAreaMm2 = 33.22;
+
+    double nfuPowerW = 4.9;
+    double nfuAreaMm2 = 16.22;
+
+    double busPowerW = 0.013;
+    double busAreaMm2 = 15.7;
+
+    double htPowerW = 10.4;
+    double htAreaMm2 = 22.88;
+    int htLinks = 4;
+    double htLinkGBps = 6.4;
+
+    /** Chip-level component breakdown (Table I bottom). */
+    Breakdown chipBreakdown() const;
+
+    double chipPowerW() const;
+    double chipAreaMm2() const;
+
+    /** Peak MACs per cycle for the whole node. */
+    double macsPerCycle() const { return tiles * macsPerTilePerCycle; }
+
+    /** Peak 16-bit GOPS (2 ops per MAC). */
+    double peakGops() const;
+
+    /** Aggregate off-chip bandwidth in GB/s. */
+    double htGBps() const { return htLinks * htLinkGBps; }
+
+    /**
+     * Internal eDRAM bandwidth: every NFU consumes one 256-entry
+     * row of 16-bit weights per cycle.
+     */
+    double edramGBps() const;
+
+    /** Energy per MAC in pJ (NFU power at peak rate). */
+    double nfuEnergyPerMacPj() const;
+
+    /** eDRAM energy per byte in pJ at the design bandwidth. */
+    double edramEnergyPerBytePj() const;
+
+    /** @name Peak metrics (Table IV row 1). */
+    /// @{
+    double ceGopsPerMm2() const;
+    double peGopsPerW() const;
+    double seMBPerMm2() const;
+    /// @}
+};
+
+} // namespace isaac::energy
+
+#endif // ISAAC_ENERGY_DADIANNAO_CATALOG_H

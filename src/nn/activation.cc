@@ -1,0 +1,66 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac::nn {
+
+namespace {
+
+/** Domain of the piecewise approximation. */
+constexpr double kLo = -4.0;
+constexpr double kHi = 4.0;
+
+} // namespace
+
+SigmoidLut::SigmoidLut(FixedFormat fmt) : fmt(fmt)
+{
+    const double step = (kHi - kLo) / kSegments;
+    for (int i = 0; i < kSegments; ++i) {
+        const double x0 = kLo + i * step;
+        const double x1 = x0 + step;
+        const double y0 = std::tanh(x0);
+        const double y1 = std::tanh(x1);
+        const double slope = (y1 - y0) / (x1 - x0);
+        const double icept = y0 - slope * x0;
+        a[i] = toFixed(slope, fmt);
+        b[i] = toFixed(icept, fmt);
+    }
+    loClamp = toFixed(std::tanh(kLo), fmt);
+    hiClamp = toFixed(std::tanh(kHi), fmt);
+}
+
+Word
+SigmoidLut::apply(Word x) const
+{
+    const double real = fromFixed(x, fmt);
+    if (real < kLo)
+        return loClamp;
+    if (real >= kHi)
+        return hiClamp;
+    int seg = static_cast<int>((real - kLo) * kSegments / (kHi - kLo));
+    if (seg >= kSegments)
+        seg = kSegments - 1;
+    // y = a*x + b evaluated exactly as fixed-point hardware would:
+    // a 16x16 multiply, requantize, then a saturating add.
+    const Acc prod = static_cast<Acc>(a[seg]) * static_cast<Acc>(x);
+    const Word ax = requantizeAcc(prod, fmt);
+    return saturate16(static_cast<Acc>(ax) + static_cast<Acc>(b[seg]));
+}
+
+Word
+applyActivation(Activation act, Word x, const SigmoidLut &lut)
+{
+    switch (act) {
+      case Activation::None:
+        return x;
+      case Activation::ReLU:
+        return x > 0 ? x : 0;
+      case Activation::Sigmoid:
+        return lut.apply(x);
+    }
+    panic("unknown activation kind");
+}
+
+} // namespace isaac::nn

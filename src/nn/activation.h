@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-point activation functions.
+ *
+ * The sigmoid is modelled the way DaDianNao (and therefore ISAAC's
+ * tile sigmoid unit) implements it: 16 piecewise-linear segments
+ * y = a*x + b with coefficients held in a small SRAM (Sec. II-C). The
+ * same code is used by the software reference executor and by the
+ * tile model so that both produce bit-identical results.
+ */
+
+#ifndef ISAAC_NN_ACTIVATION_H
+#define ISAAC_NN_ACTIVATION_H
+
+#include <array>
+
+#include "common/fixed_point.h"
+#include "nn/layer.h"
+
+namespace isaac::nn {
+
+/**
+ * 16-segment piecewise-linear tanh over [-4, 4), saturating outside.
+ * Coefficients are quantized to the same fixed-point format as the
+ * data path, mirroring the two 16-entry coefficient SRAMs.
+ */
+class SigmoidLut
+{
+  public:
+    explicit SigmoidLut(FixedFormat fmt);
+
+    /** Number of linear segments (two 16-entry SRAMs in DaDianNao). */
+    static constexpr int kSegments = 16;
+
+    /** Apply the piecewise-linear sigmoid to a fixed-point value. */
+    Word apply(Word x) const;
+
+    FixedFormat format() const { return fmt; }
+
+  private:
+    FixedFormat fmt;
+    std::array<Word, kSegments> a; ///< Slopes, quantized.
+    std::array<Word, kSegments> b; ///< Intercepts, quantized.
+    Word loClamp;                  ///< Output below the first segment.
+    Word hiClamp;                  ///< Output above the last segment.
+};
+
+/**
+ * Apply a layer's activation to a fixed-point value. The LUT must
+ * have been built with the same format as `x`.
+ */
+Word applyActivation(Activation act, Word x, const SigmoidLut &lut);
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_ACTIVATION_H

@@ -1,0 +1,131 @@
+#include "nn/layer.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace isaac::nn {
+
+const char *
+toString(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::Classifier: return "fc";
+      case LayerKind::MaxPool: return "maxpool";
+      case LayerKind::AvgPool: return "avgpool";
+      case LayerKind::Spp: return "spp";
+    }
+    return "?";
+}
+
+int
+LayerDesc::outNx() const
+{
+    if (kind == LayerKind::Spp) {
+        // SPP flattens the pyramid into a single row of bins.
+        int bins = 0;
+        for (int level : sppLevels)
+            bins += level * level;
+        return bins;
+    }
+    if (kind == LayerKind::Classifier)
+        return 1;
+    return (nx + 2 * px - kx) / sx + 1;
+}
+
+int
+LayerDesc::outNy() const
+{
+    if (kind == LayerKind::Spp)
+        return 1;
+    if (kind == LayerKind::Classifier)
+        return 1;
+    return (ny + 2 * py - ky) / sy + 1;
+}
+
+bool
+LayerDesc::isDotProduct() const
+{
+    return kind == LayerKind::Conv || kind == LayerKind::Classifier;
+}
+
+std::int64_t
+LayerDesc::dotLength() const
+{
+    if (kind == LayerKind::Classifier)
+        return static_cast<std::int64_t>(nx) * ny * ni;
+    return static_cast<std::int64_t>(kx) * ky * ni;
+}
+
+std::int64_t
+LayerDesc::weightCount() const
+{
+    if (!isDotProduct())
+        return 0;
+    const std::int64_t shared = dotLength() * no;
+    if (privateKernel && kind == LayerKind::Conv)
+        return shared * windowsPerImage();
+    return shared;
+}
+
+std::int64_t
+LayerDesc::weightBytes() const
+{
+    return weightCount() * 2;
+}
+
+std::int64_t
+LayerDesc::windowsPerImage() const
+{
+    return static_cast<std::int64_t>(outNx()) * outNy();
+}
+
+std::int64_t
+LayerDesc::outputsPerImage() const
+{
+    return windowsPerImage() * no;
+}
+
+std::int64_t
+LayerDesc::macsPerImage() const
+{
+    if (!isDotProduct())
+        return 0;
+    return outputsPerImage() * dotLength();
+}
+
+void
+LayerDesc::validate() const
+{
+    if (ni <= 0 || nx <= 0 || ny <= 0)
+        fatal("layer '" + name + "': input dims must be positive");
+    if (isDotProduct()) {
+        if (no <= 0)
+            fatal("layer '" + name + "': output maps must be positive");
+        if (kind == LayerKind::Conv) {
+            if (kx <= 0 || ky <= 0 || sx <= 0 || sy <= 0)
+                fatal("layer '" + name + "': bad kernel/stride");
+            if (nx + 2 * px < kx || ny + 2 * py < ky)
+                fatal("layer '" + name + "': kernel exceeds input");
+            if ((nx + 2 * px - kx) % sx != 0 ||
+                (ny + 2 * py - ky) % sy != 0) {
+                warnOnce("layer '" + name + "': stride does not "
+                         "tile the input exactly; trailing "
+                         "positions are dropped");
+            }
+        }
+    } else if (kind == LayerKind::Spp) {
+        if (sppLevels.empty())
+            fatal("layer '" + name + "': SPP needs pyramid levels");
+        if (no != ni)
+            fatal("layer '" + name + "': SPP cannot change channels");
+    } else {
+        if (no != ni)
+            fatal("layer '" + name + "': pooling cannot change channels");
+        if (kx <= 0 || ky <= 0 || sx <= 0 || sy <= 0)
+            fatal("layer '" + name + "': bad pool kernel/stride");
+    }
+}
+
+} // namespace isaac::nn

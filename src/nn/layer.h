@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Layer descriptors for the CNN/DNN substrate.
+ *
+ * ISAAC targets four layer types (Sec. II-A): convolutional,
+ * classifier (fully connected -- a convolution with the largest
+ * possible kernel), pooling (max or average), and the SPP layer used
+ * by the MSRA models. LRN layers are deliberately absent: the
+ * benchmark suite (Table II) only uses LRN-free networks.
+ */
+
+#ifndef ISAAC_NN_LAYER_H
+#define ISAAC_NN_LAYER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isaac::nn {
+
+/** The kinds of layers the substrate supports. */
+enum class LayerKind
+{
+    Conv,       ///< Convolution (shared or private kernels).
+    Classifier, ///< Fully connected layer.
+    MaxPool,    ///< Max pooling.
+    AvgPool,    ///< Average pooling.
+    Spp,        ///< Spatial pyramid (max) pooling, fixed bin levels.
+};
+
+/** Activation applied after a dot-product layer. */
+enum class Activation
+{
+    None,    ///< Identity (e.g. final classifier output).
+    Sigmoid, ///< 16-segment piecewise-linear sigmoid (DaDianNao-style).
+    ReLU,    ///< Rectified linear unit.
+};
+
+/** Human-readable name of a layer kind. */
+const char *toString(LayerKind kind);
+
+/**
+ * Static description of one network layer. Spatial convention:
+ * nx/kx/sx/px are along rows, ny/ky/sy/py along columns, matching the
+ * paper's (Nx, Kx, Sx) notation.
+ */
+struct LayerDesc
+{
+    LayerKind kind = LayerKind::Conv;
+    std::string name;
+
+    int ni = 0; ///< Input feature maps (channels).
+    int no = 0; ///< Output feature maps.
+    int nx = 0; ///< Input rows.
+    int ny = 0; ///< Input cols.
+    int kx = 1; ///< Kernel rows.
+    int ky = 1; ///< Kernel cols.
+    int sx = 1; ///< Stride along rows.
+    int sy = 1; ///< Stride along cols.
+    int px = 0; ///< Zero padding along rows (each side).
+    int py = 0; ///< Zero padding along cols (each side).
+
+    /** DNN-style private kernels: one kernel per output position. */
+    bool privateKernel = false;
+
+    /** Activation applied to dot-product results. */
+    Activation activation = Activation::Sigmoid;
+
+    /** SPP pyramid levels (Spp only), e.g. {7, 3, 2, 1}. */
+    std::vector<int> sppLevels;
+
+    /** Output rows. */
+    int outNx() const;
+    /** Output cols. */
+    int outNy() const;
+
+    /** True for layers computed as crossbar dot products. */
+    bool isDotProduct() const;
+
+    /** Number of 16-bit synaptic weights held by this layer. */
+    std::int64_t weightCount() const;
+
+    /** Bytes of weight storage at 16 bits per weight. */
+    std::int64_t weightBytes() const;
+
+    /** Output neurons produced per input image. */
+    std::int64_t outputsPerImage() const;
+
+    /** Multiply-accumulate operations per input image. */
+    std::int64_t macsPerImage() const;
+
+    /** Kernel window positions evaluated per image (= outNx*outNy). */
+    std::int64_t windowsPerImage() const;
+
+    /** Dot-product length for one output neuron (= Kx*Ky*Ni). */
+    std::int64_t dotLength() const;
+
+    /** Validate internal consistency; calls fatal() on bad configs. */
+    void validate() const;
+};
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_LAYER_H

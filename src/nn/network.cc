@@ -1,0 +1,247 @@
+#include "nn/network.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace isaac::nn {
+
+Network::Network(std::string name, std::vector<LayerDesc> layers)
+    : _name(std::move(name)), _layers(std::move(layers))
+{
+    if (_layers.empty())
+        fatal("network '" + _name + "' has no layers");
+    for (const auto &l : _layers)
+        l.validate();
+    validateChain();
+}
+
+void
+Network::validateChain() const
+{
+    for (std::size_t i = 1; i < _layers.size(); ++i) {
+        const auto &prev = _layers[i - 1];
+        const auto &cur = _layers[i];
+        const bool channelsOk = cur.kind == LayerKind::Classifier
+            ? cur.ni == prev.no
+            : cur.ni == prev.no;
+        if (!channelsOk) {
+            fatal("network '" + _name + "': layer '" + cur.name +
+                  "' expects " + std::to_string(cur.ni) +
+                  " input maps but gets " + std::to_string(prev.no));
+        }
+        if (cur.nx != prev.outNx() || cur.ny != prev.outNy()) {
+            fatal("network '" + _name + "': layer '" + cur.name +
+                  "' expects " + std::to_string(cur.nx) + "x" +
+                  std::to_string(cur.ny) + " input but gets " +
+                  std::to_string(prev.outNx()) + "x" +
+                  std::to_string(prev.outNy()));
+        }
+    }
+}
+
+int
+Network::weightLayerCount() const
+{
+    int count = 0;
+    for (const auto &l : _layers)
+        if (l.isDotProduct())
+            ++count;
+    return count;
+}
+
+std::int64_t
+Network::totalWeights() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : _layers)
+        total += l.weightCount();
+    return total;
+}
+
+std::int64_t
+Network::totalWeightBytes() const
+{
+    return totalWeights() * 2;
+}
+
+std::int64_t
+Network::totalMacs() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : _layers)
+        total += l.macsPerImage();
+    return total;
+}
+
+std::vector<std::size_t>
+Network::dotProductLayers() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < _layers.size(); ++i)
+        if (_layers[i].isDotProduct())
+            out.push_back(i);
+    return out;
+}
+
+NetworkBuilder::NetworkBuilder(std::string name, int channels, int rows,
+                               int cols)
+    : name(std::move(name)), channels(channels), rows(rows), cols(cols)
+{
+    if (channels <= 0 || rows <= 0 || cols <= 0)
+        fatal("NetworkBuilder: input shape must be positive");
+}
+
+void
+NetworkBuilder::push(LayerDesc desc)
+{
+    desc.validate();
+    channels = desc.no;
+    rows = desc.outNx();
+    cols = desc.outNy();
+    ++index;
+    layers.push_back(std::move(desc));
+}
+
+NetworkBuilder &
+NetworkBuilder::convRect(int kx, int ky, int outMaps, int sx, int sy,
+                         int px, int py)
+{
+    LayerDesc d;
+    d.kind = LayerKind::Conv;
+    d.name = "conv" + std::to_string(index) + "_" +
+        std::to_string(kx) + "x" + std::to_string(ky) + "x" +
+        std::to_string(outMaps);
+    d.ni = channels;
+    d.no = outMaps;
+    d.nx = rows;
+    d.ny = cols;
+    d.kx = kx;
+    d.ky = ky;
+    d.sx = sx;
+    d.sy = sy;
+    d.px = px >= 0 ? px : (kx - 1) / 2;
+    d.py = py >= 0 ? py : (ky - 1) / 2;
+    push(std::move(d));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::conv(int k, int outMaps, int stride, int pad)
+{
+    LayerDesc d;
+    d.kind = LayerKind::Conv;
+    d.name = "conv" + std::to_string(index) + "_" + std::to_string(k) +
+        "x" + std::to_string(k) + "x" + std::to_string(outMaps);
+    d.ni = channels;
+    d.no = outMaps;
+    d.nx = rows;
+    d.ny = cols;
+    d.kx = d.ky = k;
+    d.sx = d.sy = stride;
+    // pad < 0 selects 'same'-style padding: (k - 1) / 2 each side.
+    d.px = d.py = pad >= 0 ? pad : (k - 1) / 2;
+    push(std::move(d));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::localConv(int k, int outMaps, int stride, int pad)
+{
+    LayerDesc d;
+    d.kind = LayerKind::Conv;
+    d.name = "local" + std::to_string(index) + "_" + std::to_string(k) +
+        "x" + std::to_string(k) + "x" + std::to_string(outMaps);
+    d.ni = channels;
+    d.no = outMaps;
+    d.nx = rows;
+    d.ny = cols;
+    d.kx = d.ky = k;
+    d.sx = d.sy = stride;
+    d.px = d.py = pad;
+    d.privateKernel = true;
+    push(std::move(d));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::maxPool(int k, int stride)
+{
+    LayerDesc d;
+    d.kind = LayerKind::MaxPool;
+    d.name = "maxpool" + std::to_string(index);
+    d.ni = d.no = channels;
+    d.nx = rows;
+    d.ny = cols;
+    d.kx = d.ky = k;
+    d.sx = d.sy = stride;
+    d.activation = Activation::None;
+    push(std::move(d));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::avgPool(int k, int stride)
+{
+    LayerDesc d;
+    d.kind = LayerKind::AvgPool;
+    d.name = "avgpool" + std::to_string(index);
+    d.ni = d.no = channels;
+    d.nx = rows;
+    d.ny = cols;
+    d.kx = d.ky = k;
+    d.sx = d.sy = stride;
+    d.activation = Activation::None;
+    push(std::move(d));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::spp(std::vector<int> levels)
+{
+    LayerDesc d;
+    d.kind = LayerKind::Spp;
+    d.name = "spp" + std::to_string(index);
+    d.ni = d.no = channels;
+    d.nx = rows;
+    d.ny = cols;
+    d.activation = Activation::None;
+    d.sppLevels = std::move(levels);
+    push(std::move(d));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::fc(int outputs, Activation act)
+{
+    LayerDesc d;
+    d.kind = LayerKind::Classifier;
+    d.name = "fc" + std::to_string(index) + "_" +
+        std::to_string(outputs);
+    d.ni = channels;
+    d.no = outputs;
+    d.nx = rows;
+    d.ny = cols;
+    d.kx = rows;
+    d.ky = cols;
+    d.activation = act;
+    push(std::move(d));
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::setLastActivation(Activation act)
+{
+    if (layers.empty())
+        fatal("NetworkBuilder: no layer to set the activation on");
+    layers.back().activation = act;
+    return *this;
+}
+
+Network
+NetworkBuilder::build()
+{
+    return Network(name, std::move(layers));
+}
+
+} // namespace isaac::nn

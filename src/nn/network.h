@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A feed-forward network: an ordered list of layers plus a builder
+ * that chains spatial dimensions automatically.
+ */
+
+#ifndef ISAAC_NN_NETWORK_H
+#define ISAAC_NN_NETWORK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace isaac::nn {
+
+/** An immutable, validated feed-forward network. */
+class Network
+{
+  public:
+    Network(std::string name, std::vector<LayerDesc> layers);
+
+    const std::string &name() const { return _name; }
+    const std::vector<LayerDesc> &layers() const { return _layers; }
+    const LayerDesc &layer(std::size_t i) const { return _layers.at(i); }
+    std::size_t size() const { return _layers.size(); }
+
+    /** Number of dot-product (weight-bearing) layers. */
+    int weightLayerCount() const;
+
+    /** Total number of 16-bit synaptic weights. */
+    std::int64_t totalWeights() const;
+
+    /** Total weight storage in bytes (16-bit weights). */
+    std::int64_t totalWeightBytes() const;
+
+    /** Total MACs for one inference. */
+    std::int64_t totalMacs() const;
+
+    /** Indices of the dot-product layers, in order. */
+    std::vector<std::size_t> dotProductLayers() const;
+
+  private:
+    /** Check inter-layer dimension chaining; fatal() on mismatch. */
+    void validateChain() const;
+
+    std::string _name;
+    std::vector<LayerDesc> _layers;
+};
+
+/**
+ * Incremental builder that tracks the current feature-map shape so
+ * callers only specify kernels. All dot-product layers default to the
+ * sigmoid activation; the final classifier typically overrides it.
+ */
+class NetworkBuilder
+{
+  public:
+    NetworkBuilder(std::string name, int channels, int rows, int cols);
+
+    /** Add a shared-kernel convolution ('same' padding by default). */
+    NetworkBuilder &conv(int k, int outMaps, int stride = 1,
+                         int pad = -1);
+
+    /**
+     * Rectangular-kernel convolution with independent row/column
+     * kernel, stride, and padding (pad = -1 selects 'same').
+     */
+    NetworkBuilder &convRect(int kx, int ky, int outMaps, int sx,
+                             int sy, int px = -1, int py = -1);
+
+    /** Add a private-kernel (DNN-style, unshared) convolution. */
+    NetworkBuilder &localConv(int k, int outMaps, int stride = 1,
+                              int pad = 0);
+
+    /** Add a max-pool layer. */
+    NetworkBuilder &maxPool(int k, int stride);
+
+    /** Add an average-pool layer. */
+    NetworkBuilder &avgPool(int k, int stride);
+
+    /** Add a spatial-pyramid-pooling layer. */
+    NetworkBuilder &spp(std::vector<int> levels);
+
+    /** Add a fully connected classifier layer. */
+    NetworkBuilder &fc(int outputs,
+                       Activation act = Activation::Sigmoid);
+
+    /** Override the most recent layer's activation. */
+    NetworkBuilder &setLastActivation(Activation act);
+
+    /** Current feature-map shape, for tests. */
+    int curChannels() const { return channels; }
+    int curRows() const { return rows; }
+    int curCols() const { return cols; }
+
+    /** Finalize into a validated Network. */
+    Network build();
+
+  private:
+    void push(LayerDesc desc);
+
+    std::string name;
+    int channels;
+    int rows;
+    int cols;
+    int index = 0;
+    std::vector<LayerDesc> layers;
+};
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_NETWORK_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A small text format for describing networks, so users can evaluate
+ * their own models without writing C++.
+ *
+ * Grammar (one directive per line, '#' starts a comment):
+ *
+ *     network <name>
+ *     input <channels> <rows> <cols>
+ *     conv <k> <maps> [stride <s>] [pad <p>|same] [<activation>]
+ *          [private]
+ *     maxpool <k> stride <s>
+ *     avgpool <k> stride <s>
+ *     spp <level> [<level> ...]
+ *     fc <outputs> [<activation>]
+ *
+ * where <activation> is one of sigmoid (default), relu, linear.
+ * Example:
+ *
+ *     network TinyCNN
+ *     input 16 12 12
+ *     conv 4 32 pad 0
+ *     maxpool 3 stride 3
+ *     fc 10 linear
+ */
+
+#ifndef ISAAC_NN_PARSER_H
+#define ISAAC_NN_PARSER_H
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace isaac::nn {
+
+/** Parse a network description; fatal() with line info on errors. */
+Network parseNetwork(const std::string &text);
+
+/** Load and parse a description file. */
+Network loadNetworkFile(const std::string &path);
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_PARSER_H

@@ -1,0 +1,178 @@
+#include "nn/reference.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace isaac::nn {
+
+std::vector<Word>
+gatherWindow(const Tensor &in, const LayerDesc &l, int ox, int oy)
+{
+    std::vector<Word> vec;
+    if (l.kind == LayerKind::Classifier) {
+        vec.assign(in.raw().begin(), in.raw().end());
+        return vec;
+    }
+    vec.resize(static_cast<std::size_t>(l.dotLength()), 0);
+    std::size_t r = 0;
+    const int baseX = ox * l.sx - l.px;
+    const int baseY = oy * l.sy - l.py;
+    for (int j = 0; j < l.ni; ++j) {
+        for (int s = 0; s < l.kx; ++s) {
+            for (int t = 0; t < l.ky; ++t, ++r) {
+                const int y = baseX + s;
+                const int x = baseY + t;
+                if (y >= 0 && y < l.nx && x >= 0 && x < l.ny)
+                    vec[r] = in.at(j, y, x);
+            }
+        }
+    }
+    return vec;
+}
+
+ReferenceExecutor::ReferenceExecutor(const Network &net,
+                                     const WeightStore &weights,
+                                     FixedFormat fmt)
+    : net(net), weights(weights), fmt(fmt), lut(fmt)
+{
+    if (weights.size() != net.size())
+        fatal("ReferenceExecutor: weight store does not match network");
+}
+
+Tensor
+ReferenceExecutor::run(const Tensor &input) const
+{
+    Tensor cur = input;
+    for (std::size_t i = 0; i < net.size(); ++i)
+        cur = runLayer(i, cur);
+    return cur;
+}
+
+std::vector<Tensor>
+ReferenceExecutor::runAll(const Tensor &input) const
+{
+    std::vector<Tensor> outs;
+    Tensor cur = input;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        cur = runLayer(i, cur);
+        outs.push_back(cur);
+    }
+    return outs;
+}
+
+Tensor
+ReferenceExecutor::runLayer(std::size_t layerIdx,
+                            const Tensor &input) const
+{
+    const auto &l = net.layer(layerIdx);
+    if (input.channels() != l.ni || input.rows() != l.nx ||
+        input.cols() != l.ny) {
+        fatal("runLayer: input tensor shape does not match layer '" +
+              l.name + "'");
+    }
+    switch (l.kind) {
+      case LayerKind::Conv:
+      case LayerKind::Classifier:
+        return runDot(l, weights.layer(layerIdx), input);
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+        return runPool(l, input);
+      case LayerKind::Spp:
+        return runSpp(l, input);
+    }
+    panic("unknown layer kind");
+}
+
+Tensor
+ReferenceExecutor::runDot(const LayerDesc &l,
+                          std::span<const Word> w,
+                          const Tensor &in) const
+{
+    Tensor out(l.no, l.outNx(), l.outNy());
+    const std::int64_t len = l.dotLength();
+    for (int oy = 0; oy < l.outNy(); ++oy) {
+        for (int ox = 0; ox < l.outNx(); ++ox) {
+            const auto inputs = gatherWindow(in, l, ox, oy);
+            const std::int64_t window =
+                static_cast<std::int64_t>(ox) * l.outNy() + oy;
+            for (int k = 0; k < l.no; ++k) {
+                Acc acc = 0;
+                const std::size_t base =
+                    WeightStore::index(l, window, k, 0);
+                for (std::int64_t r = 0; r < len; ++r) {
+                    acc += static_cast<Acc>(inputs[r]) *
+                        static_cast<Acc>(w[base + r]);
+                }
+                const Word q = requantizeAcc(acc, fmt);
+                out.at(k, ox, oy) =
+                    applyActivation(l.activation, q, lut);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+ReferenceExecutor::runPool(const LayerDesc &l, const Tensor &in) const
+{
+    Tensor out(l.no, l.outNx(), l.outNy());
+    for (int c = 0; c < l.ni; ++c) {
+        for (int ox = 0; ox < l.outNx(); ++ox) {
+            for (int oy = 0; oy < l.outNy(); ++oy) {
+                Acc best = l.kind == LayerKind::MaxPool ? -32768 : 0;
+                int count = 0;
+                for (int s = 0; s < l.kx; ++s) {
+                    for (int t = 0; t < l.ky; ++t) {
+                        const int y = ox * l.sx + s;
+                        const int x = oy * l.sy + t;
+                        if (y >= l.nx || x >= l.ny)
+                            continue;
+                        const Word v = in.at(c, y, x);
+                        if (l.kind == LayerKind::MaxPool)
+                            best = std::max<Acc>(best, v);
+                        else
+                            best += v;
+                        ++count;
+                    }
+                }
+                if (l.kind == LayerKind::AvgPool && count > 0) {
+                    // Round-to-nearest division as a hardware
+                    // divider-by-constant would implement it.
+                    const Acc half = count / 2;
+                    best = best >= 0 ? (best + half) / count
+                                     : -((-best + half) / count);
+                }
+                out.at(c, ox, oy) = static_cast<Word>(best);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+ReferenceExecutor::runSpp(const LayerDesc &l, const Tensor &in) const
+{
+    Tensor out(l.no, l.outNx(), l.outNy());
+    for (int c = 0; c < l.ni; ++c) {
+        int bin = 0;
+        for (int level : l.sppLevels) {
+            for (int by = 0; by < level; ++by) {
+                for (int bx = 0; bx < level; ++bx, ++bin) {
+                    const int y0 = by * l.nx / level;
+                    const int y1 = (by + 1) * l.nx / level;
+                    const int x0 = bx * l.ny / level;
+                    const int x1 = (bx + 1) * l.ny / level;
+                    Word best = -32768;
+                    for (int y = y0; y < std::max(y1, y0 + 1); ++y)
+                        for (int x = x0; x < std::max(x1, x0 + 1); ++x)
+                            best = std::max(best, in.at(c, y, x));
+                    out.at(c, bin, 0) = best;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace isaac::nn

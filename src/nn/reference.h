@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-exact software reference executor.
+ *
+ * Computes every layer with exact 64-bit integer dot products followed
+ * by the same requantize + activation steps the tile hardware applies.
+ * The analog-pipeline model (xbar::, core::) must reproduce these
+ * results exactly; tests assert bit-equality.
+ */
+
+#ifndef ISAAC_NN_REFERENCE_H
+#define ISAAC_NN_REFERENCE_H
+
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "nn/activation.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "nn/weights.h"
+
+namespace isaac::nn {
+
+/**
+ * Gather the dot-product input vector for output window (ox, oy) of a
+ * layer: the kernel window flattened channel-major, zero-padded where
+ * the window falls outside the feature map. For classifier layers the
+ * whole input is returned flattened.
+ */
+std::vector<Word> gatherWindow(const Tensor &in, const LayerDesc &l,
+                               int ox, int oy);
+
+/** Runs networks in software, producing ground-truth activations. */
+class ReferenceExecutor
+{
+  public:
+    ReferenceExecutor(const Network &net, const WeightStore &weights,
+                      FixedFormat fmt);
+
+    /** Run the full network; returns the final layer's output. */
+    Tensor run(const Tensor &input) const;
+
+    /** Run a single layer. */
+    Tensor runLayer(std::size_t layerIdx, const Tensor &input) const;
+
+    /** Outputs of every layer for `input` (index 0 = first layer). */
+    std::vector<Tensor> runAll(const Tensor &input) const;
+
+    FixedFormat format() const { return fmt; }
+
+  private:
+    Tensor runDot(const LayerDesc &l, std::span<const Word> weights,
+                  const Tensor &in) const;
+    Tensor runPool(const LayerDesc &l, const Tensor &in) const;
+    Tensor runSpp(const LayerDesc &l, const Tensor &in) const;
+
+    const Network &net;
+    const WeightStore &weights;
+    FixedFormat fmt;
+    SigmoidLut lut;
+};
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_REFERENCE_H

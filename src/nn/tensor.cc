@@ -1,0 +1,42 @@
+#include "nn/tensor.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace isaac::nn {
+
+Tensor::Tensor(int channels, int rows, int cols)
+    : _channels(channels), _rows(rows), _cols(cols),
+      data(static_cast<std::size_t>(channels) * rows * cols, 0)
+{
+    if (channels < 0 || rows < 0 || cols < 0)
+        fatal("Tensor dimensions must be non-negative");
+}
+
+Word &
+Tensor::at(int c, int y, int x)
+{
+    assert(c >= 0 && c < _channels);
+    assert(y >= 0 && y < _rows);
+    assert(x >= 0 && x < _cols);
+    return data[(static_cast<std::size_t>(c) * _rows + y) * _cols + x];
+}
+
+Word
+Tensor::at(int c, int y, int x) const
+{
+    assert(c >= 0 && c < _channels);
+    assert(y >= 0 && y < _rows);
+    assert(x >= 0 && x < _cols);
+    return data[(static_cast<std::size_t>(c) * _rows + y) * _cols + x];
+}
+
+void
+Tensor::fill(Word value)
+{
+    for (auto &w : data)
+        w = value;
+}
+
+} // namespace isaac::nn

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A minimal 3-D tensor of 16-bit fixed-point activations.
+ *
+ * Layout is channel-major: (channel, row, col) with the column index
+ * contiguous. Feature maps in ISAAC are always sets of 2-D matrices
+ * (Sec. II-A), so three dimensions suffice for the whole library.
+ */
+
+#ifndef ISAAC_NN_TENSOR_H
+#define ISAAC_NN_TENSOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace isaac::nn {
+
+/** Dense (channels x rows x cols) tensor of Words. */
+class Tensor
+{
+  public:
+    /** Construct a zero-filled tensor. */
+    Tensor(int channels, int rows, int cols);
+
+    /** Default: an empty 0x0x0 tensor. */
+    Tensor() : Tensor(0, 0, 0) {}
+
+    int channels() const { return _channels; }
+    int rows() const { return _rows; }
+    int cols() const { return _cols; }
+
+    /** Total number of elements. */
+    std::size_t size() const { return data.size(); }
+
+    /** Element access (bounds-checked in debug via assert). */
+    Word &at(int c, int y, int x);
+    Word at(int c, int y, int x) const;
+
+    /** Flat accessors used by classifier layers. */
+    Word &flat(std::size_t i) { return data[i]; }
+    Word flat(std::size_t i) const { return data[i]; }
+
+    /** Fill with a constant. */
+    void fill(Word value);
+
+    /** Raw storage (channel-major). */
+    const std::vector<Word> &raw() const { return data; }
+
+  private:
+    int _channels;
+    int _rows;
+    int _cols;
+    std::vector<Word> data;
+};
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_TENSOR_H

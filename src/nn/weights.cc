@@ -1,0 +1,67 @@
+#include "nn/weights.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace isaac::nn {
+
+WeightStore
+WeightStore::synthesize(const Network &net, std::uint64_t seed)
+{
+    WeightStore store(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto &l = net.layer(i);
+        if (!l.isDotProduct())
+            continue;
+        Rng rng(seed ^ (0x51ull * (i + 1)));
+        auto &vec = store.perLayer[i];
+        vec.resize(static_cast<std::size_t>(l.weightCount()));
+        for (auto &w : vec)
+            w = static_cast<Word>(rng.uniform(-8192, 8191));
+    }
+    return store;
+}
+
+const std::vector<Word> &
+WeightStore::layer(std::size_t i) const
+{
+    if (i >= perLayer.size())
+        fatal("WeightStore: layer index out of range");
+    return perLayer[i];
+}
+
+std::vector<Word> &
+WeightStore::layerMutable(std::size_t i)
+{
+    if (i >= perLayer.size())
+        fatal("WeightStore: layer index out of range");
+    return perLayer[i];
+}
+
+std::size_t
+WeightStore::index(const LayerDesc &l, std::int64_t window, int outMap,
+                   std::int64_t row)
+{
+    const std::int64_t len = l.dotLength();
+    const std::int64_t perWindow =
+        static_cast<std::int64_t>(l.no) * len;
+    const std::int64_t w = l.privateKernel ? window : 0;
+    return static_cast<std::size_t>(w * perWindow + outMap * len + row);
+}
+
+Tensor
+synthesizeInput(int channels, int rows, int cols, std::uint64_t seed,
+                FixedFormat fmt)
+{
+    Rng rng(seed);
+    Tensor t(channels, rows, cols);
+    const int unit = 1 << fmt.fracBits;
+    for (int c = 0; c < channels; ++c)
+        for (int y = 0; y < rows; ++y)
+            for (int x = 0; x < cols; ++x)
+                t.at(c, y, x) =
+                    static_cast<Word>(rng.uniform(-unit, unit - 1));
+    return t;
+}
+
+} // namespace isaac::nn

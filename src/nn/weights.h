@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic weight / input generation.
+ *
+ * The paper's evaluation does not depend on trained weight values
+ * (throughput, energy, and area are data-independent), so the library
+ * synthesizes deterministic pseudo-random weights. See DESIGN.md,
+ * "substitutions".
+ *
+ * Weight layout for a dot-product layer: a (rows x outputs) matrix
+ * where row r = (j*Kx + s)*Ky + t walks the kernel window channel-
+ * major, matching the paper's K(k)(j, s, t) indexing. Private-kernel
+ * layers store one such matrix per output window, window-major.
+ */
+
+#ifndef ISAAC_NN_WEIGHTS_H
+#define ISAAC_NN_WEIGHTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+
+namespace isaac::nn {
+
+/** Per-network weight storage keyed by layer index. */
+class WeightStore
+{
+  public:
+    /**
+     * Synthesize weights for every dot-product layer of `net`.
+     * Weights are uniform over roughly the middle half of the 16-bit
+     * range so dot products exercise sign handling and both weight
+     * cell nibbles.
+     */
+    static WeightStore synthesize(const Network &net,
+                                  std::uint64_t seed);
+
+    /** Weight matrix for layer `i` (empty for non-dot layers). */
+    const std::vector<Word> &layer(std::size_t i) const;
+
+    /** Mutable access (tests construct hand-crafted weights). */
+    std::vector<Word> &layerMutable(std::size_t i);
+
+    /** Number of layers covered. */
+    std::size_t size() const { return perLayer.size(); }
+
+    /**
+     * Index into a layer's weight vector.
+     * @param l        layer descriptor
+     * @param window   output window index (0 for shared kernels)
+     * @param outMap   output feature map k
+     * @param row      dot-product row r in [0, dotLength)
+     */
+    static std::size_t index(const LayerDesc &l, std::int64_t window,
+                             int outMap, std::int64_t row);
+
+    explicit WeightStore(std::size_t layers) : perLayer(layers) {}
+
+  private:
+    std::vector<std::vector<Word>> perLayer;
+};
+
+/** Deterministic pseudo-random input tensor in [-1, 1) Q-format. */
+Tensor synthesizeInput(int channels, int rows, int cols,
+                       std::uint64_t seed, FixedFormat fmt);
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_WEIGHTS_H

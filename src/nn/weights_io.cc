@@ -1,0 +1,113 @@
+#include "nn/weights_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace isaac::nn {
+
+namespace {
+
+std::int64_t
+totalWeights(const Network &net)
+{
+    return net.totalWeights();
+}
+
+} // namespace
+
+void
+saveWeightsRaw16(const WeightStore &store, const Network &net,
+                 const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveWeightsRaw16: cannot open '" + path + "'");
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        if (!net.layer(i).isDotProduct())
+            continue;
+        const auto &w = store.layer(i);
+        out.write(reinterpret_cast<const char *>(w.data()),
+                  static_cast<std::streamsize>(w.size() *
+                                               sizeof(Word)));
+    }
+    if (!out)
+        fatal("saveWeightsRaw16: write to '" + path + "' failed");
+}
+
+WeightStore
+loadWeightsRaw16(const Network &net, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        fatal("loadWeightsRaw16: cannot open '" + path + "'");
+    const auto bytes = static_cast<std::int64_t>(in.tellg());
+    if (bytes != totalWeights(net) * 2) {
+        fatal("loadWeightsRaw16: '" + path + "' holds " +
+              std::to_string(bytes / 2) + " weights but network '" +
+              net.name() + "' needs " +
+              std::to_string(totalWeights(net)));
+    }
+    in.seekg(0);
+
+    WeightStore store(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto &l = net.layer(i);
+        if (!l.isDotProduct())
+            continue;
+        auto &w = store.layerMutable(i);
+        w.resize(static_cast<std::size_t>(l.weightCount()));
+        in.read(reinterpret_cast<char *>(w.data()),
+                static_cast<std::streamsize>(w.size() *
+                                             sizeof(Word)));
+    }
+    if (!in)
+        fatal("loadWeightsRaw16: read from '" + path + "' failed");
+    return store;
+}
+
+WeightStore
+loadWeightsFloat32(const Network &net, const std::string &path,
+                   FixedFormat fmt, std::int64_t *saturated)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        fatal("loadWeightsFloat32: cannot open '" + path + "'");
+    const auto bytes = static_cast<std::int64_t>(in.tellg());
+    if (bytes != totalWeights(net) * 4) {
+        fatal("loadWeightsFloat32: '" + path + "' holds " +
+              std::to_string(bytes / 4) + " floats but network '" +
+              net.name() + "' needs " +
+              std::to_string(totalWeights(net)));
+    }
+    in.seekg(0);
+
+    std::int64_t clipped = 0;
+    WeightStore store(net.size());
+    std::vector<float> buf;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto &l = net.layer(i);
+        if (!l.isDotProduct())
+            continue;
+        buf.resize(static_cast<std::size_t>(l.weightCount()));
+        in.read(reinterpret_cast<char *>(buf.data()),
+                static_cast<std::streamsize>(buf.size() *
+                                             sizeof(float)));
+        auto &w = store.layerMutable(i);
+        w.resize(buf.size());
+        for (std::size_t k = 0; k < buf.size(); ++k) {
+            const double v = static_cast<double>(buf[k]);
+            w[k] = toFixed(v, fmt);
+            clipped += v > fmt.maxValue() || v < fmt.minValue();
+        }
+    }
+    if (!in)
+        fatal("loadWeightsFloat32: read from '" + path + "' failed");
+    if (saturated)
+        *saturated = clipped;
+    return store;
+}
+
+} // namespace isaac::nn

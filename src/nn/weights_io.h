@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Weight-store file I/O, so trained weights can be loaded into the
+ * accelerator without writing C++.
+ *
+ * Two formats, both little-endian and headerless, laid out layer by
+ * layer in network order using the WeightStore indexing
+ * (window-major for private kernels, then output-major, then the
+ * dot-product row order `(channel*Kx + s)*Ky + t`):
+ *
+ *  - *raw16*: int16 fixed-point words, written/read verbatim;
+ *  - *float32*: IEEE floats, quantized to the given FixedFormat on
+ *    load (round-to-nearest, saturating) -- the path for weights
+ *    exported from a training framework.
+ */
+
+#ifndef ISAAC_NN_WEIGHTS_IO_H
+#define ISAAC_NN_WEIGHTS_IO_H
+
+#include <string>
+
+#include "nn/weights.h"
+
+namespace isaac::nn {
+
+/** Write a store's dot-product layers as raw int16. */
+void saveWeightsRaw16(const WeightStore &store, const Network &net,
+                      const std::string &path);
+
+/** Load raw int16 weights; fatal() if the size does not match. */
+WeightStore loadWeightsRaw16(const Network &net,
+                             const std::string &path);
+
+/**
+ * Load float32 weights and quantize to `fmt`. Values outside the
+ * representable range saturate; a count of saturated weights is
+ * reported through `saturated` when non-null.
+ */
+WeightStore loadWeightsFloat32(const Network &net,
+                               const std::string &path,
+                               FixedFormat fmt,
+                               std::int64_t *saturated = nullptr);
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_WEIGHTS_IO_H

@@ -1,0 +1,163 @@
+#include "nn/zoo.h"
+
+#include "common/logging.h"
+
+namespace isaac::nn {
+
+namespace {
+
+/** Append `count` 3x3 'same' convolutions with `maps` output maps. */
+void
+convStage(NetworkBuilder &b, int count, int maps)
+{
+    for (int i = 0; i < count; ++i)
+        b.conv(3, maps);
+}
+
+} // namespace
+
+Network
+vgg(int version)
+{
+    // VGG configurations A/B/C/E from Simonyan & Zisserman. Config C
+    // interleaves 1x1 convolutions (the "1x1,256(1)" entries in
+    // Table II); config E is the 19-weight-layer network.
+    NetworkBuilder b("VGG-" + std::to_string(version), 3, 224, 224);
+    struct Stage { int n3x3; int maps; bool extra1x1; };
+    std::vector<Stage> stages;
+    switch (version) {
+      case 1: // config A: 11 weight layers
+        stages = {{1, 64, false}, {1, 128, false}, {2, 256, false},
+                  {2, 512, false}, {2, 512, false}};
+        break;
+      case 2: // config B: 13 weight layers
+        stages = {{2, 64, false}, {2, 128, false}, {2, 256, false},
+                  {2, 512, false}, {2, 512, false}};
+        break;
+      case 3: // config C: 16 weight layers with 1x1 convolutions
+        stages = {{2, 64, false}, {2, 128, false}, {2, 256, true},
+                  {2, 512, true}, {2, 512, true}};
+        break;
+      case 4: // config E: 19 weight layers
+        stages = {{2, 64, false}, {2, 128, false}, {4, 256, false},
+                  {4, 512, false}, {4, 512, false}};
+        break;
+      default:
+        fatal("vgg: version must be in [1, 4]");
+    }
+    for (const auto &s : stages) {
+        convStage(b, s.n3x3, s.maps);
+        if (s.extra1x1)
+            b.conv(1, s.maps);
+        b.maxPool(2, 2);
+    }
+    b.fc(4096).fc(4096).fc(1000, Activation::None);
+    return b.build();
+}
+
+Network
+msra(int version)
+{
+    // He et al. models A/B/C. A: conv1(7x7,96,/2) + three stages of
+    // five 3x3 convolutions (256/512/512) = 19 weight layers with the
+    // SPP layer feeding the classifiers. B: six convolutions per
+    // stage (22 layers, ~183M params). C: model B widened to
+    // 384/768/896 maps (~330M params).
+    NetworkBuilder b("MSRA-" + std::to_string(version), 3, 224, 224);
+    int perStage = 0;
+    int c1 = 0, c2 = 0, c3 = 0;
+    switch (version) {
+      case 1:
+        perStage = 5; c1 = 256; c2 = 512; c3 = 512;
+        break;
+      case 2:
+        perStage = 6; c1 = 256; c2 = 512; c3 = 512;
+        break;
+      case 3:
+        perStage = 6; c1 = 384; c2 = 768; c3 = 896;
+        break;
+      default:
+        fatal("msra: version must be in [1, 3]");
+    }
+    b.conv(7, 96, 2, 3); // 224 -> 112
+    b.maxPool(2, 2);     // 112 -> 56
+    convStage(b, perStage, c1);
+    b.maxPool(2, 2);     // 56 -> 28
+    convStage(b, perStage, c2);
+    b.maxPool(2, 2);     // 28 -> 14
+    convStage(b, perStage, c3);
+    b.spp({7, 3, 2, 1}); // 63 bins per map
+    b.fc(4096).fc(4096).fc(1000, Activation::None);
+    return b.build();
+}
+
+Network
+deepFace()
+{
+    // Taigman et al.: C1 11x11x32, M2 3x3/2 pool, C3 9x9x16, then
+    // three locally connected (private kernel) layers and two FCs.
+    NetworkBuilder b("DeepFace", 3, 152, 152);
+    b.conv(11, 32, 1, 0);      // 152 -> 142
+    b.maxPool(3, 2);           // 142 -> 70 (valid; see note below)
+    b.conv(9, 16, 1, 0);       // 70 -> 62
+    b.localConv(9, 16, 1, 0);  // 62 -> 54
+    b.localConv(7, 16, 2, 0);  // 54 -> 24
+    b.localConv(5, 16, 1, 0);  // 24 -> 20
+    b.fc(4096).fc(4030, Activation::None);
+    return b.build();
+}
+
+Network
+largeDnn()
+{
+    // The DaDianNao "large layer" benchmark: a single private-kernel
+    // convolution, Nx = Ny = 200, Kx = Ky = 18, Ni = No = 8.
+    NetworkBuilder b("DNN", 8, 200, 200);
+    b.localConv(18, 8, 1, 0); // 200 -> 183
+    return b.build();
+}
+
+Network
+alexNetNoLrn()
+{
+    // Krizhevsky et al. minus the two LRN layers; 227x227 input as
+    // in the reference implementation.
+    NetworkBuilder b("AlexNet-noLRN", 3, 227, 227);
+    b.conv(11, 96, 4, 0); // 227 -> 55
+    b.maxPool(3, 2);      // 55 -> 27
+    b.conv(5, 256, 1, 2); // 27 -> 27
+    b.maxPool(3, 2);      // 27 -> 13
+    b.conv(3, 384);
+    b.conv(3, 384);
+    b.conv(3, 256);
+    b.maxPool(3, 2);      // 13 -> 6
+    b.fc(4096).fc(4096).fc(1000, Activation::None);
+    return b.build();
+}
+
+std::vector<Network>
+allBenchmarks()
+{
+    std::vector<Network> nets;
+    for (int v = 1; v <= 4; ++v)
+        nets.push_back(vgg(v));
+    for (int v = 1; v <= 3; ++v)
+        nets.push_back(msra(v));
+    nets.push_back(deepFace());
+    nets.push_back(largeDnn());
+    return nets;
+}
+
+Network
+tinyCnn()
+{
+    // The Fig. 4 running example: a 4x4x16 convolution producing 32
+    // maps followed by a 2x2 max-pool, then a small classifier.
+    NetworkBuilder b("TinyCNN", 16, 12, 12);
+    b.conv(4, 32, 1, 0); // 12 -> 9
+    b.maxPool(3, 3);     // 9 -> 3
+    b.fc(10, Activation::None);
+    return b.build();
+}
+
+} // namespace isaac::nn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The Table II benchmark suite: four Oxford VGG variants, three MSRA
+ * variants, DeepFace, and the large private-kernel DNN layer used by
+ * DaDianNao.
+ *
+ * The copy of Table II in the supplied paper text is OCR-scrambled;
+ * the networks are reconstructed from the source papers the table
+ * cites (Simonyan & Zisserman for VGG, He et al. for MSRA, Taigman et
+ * al. for DeepFace, Le et al. for the DNN) and cross-checked against
+ * the parameter counts quoted in the ISAAC text (VGG: 138M for the
+ * 16-layer net; MSRA A/B/C: 178M/183M/330M; DeepFace: 120M).
+ */
+
+#ifndef ISAAC_NN_ZOO_H
+#define ISAAC_NN_ZOO_H
+
+#include <vector>
+
+#include "nn/network.h"
+
+namespace isaac::nn {
+
+/** Oxford VGG variant; version in [1, 4] (11/13/16/19 weight layers). */
+Network vgg(int version);
+
+/** MSRA (He et al.) variant; version in [1, 3] (models A/B/C). */
+Network msra(int version);
+
+/** DeepFace: 8 weight layers, 3 with private (unshared) kernels. */
+Network deepFace();
+
+/** The large DNN layer: Nx=Ny=200, Kx=Ky=18, Ni=No=8, private. */
+Network largeDnn();
+
+/**
+ * AlexNet with its LRN layers removed (Sec. II-B: the Oxford VGG
+ * team showed dropping LRN slightly *improves* an AlexNet-style
+ * network, which is what makes crossbar-only acceleration viable).
+ * Not part of the Table II suite; provided for experimentation.
+ */
+Network alexNetNoLrn();
+
+/** All nine benchmarks in Table II order. */
+std::vector<Network> allBenchmarks();
+
+/**
+ * A small CNN (conv/pool/conv/fc) used by tests and the quickstart
+ * example; structured like Fig. 4's running example.
+ */
+Network tinyCnn();
+
+} // namespace isaac::nn
+
+#endif // ISAAC_NN_ZOO_H

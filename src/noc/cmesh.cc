@@ -1,0 +1,144 @@
+#include "noc/cmesh.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace isaac::noc {
+
+CMesh::CMesh(const arch::IsaacConfig &cfg, int chips)
+    : chips(chips), linkGBps(cfg.cmeshLinkGBps),
+      htGBps(cfg.htLinks * cfg.htLinkGBps),
+      htLinkGBps(cfg.htLinkGBps),
+      htLoads(static_cast<std::size_t>(chips), 0.0)
+{
+    if (chips < 1)
+        fatal("CMesh: need at least one chip");
+    const auto [tc, tr] = arch::Chip::gridFor(cfg.tilesPerChip);
+    // 2x2 concentration: four tiles per router (Table I's quarter
+    // router per tile).
+    rCols = static_cast<int>(ceilDiv(tc, 2));
+    rRows = static_cast<int>(ceilDiv(tr, 2));
+    // Board topology: chips in a near-square grid, one HT link per
+    // direction (4 links, Table I).
+    const auto [bc, br] = arch::Chip::gridFor(chips);
+    bCols = bc;
+    bRows = br;
+}
+
+void
+CMesh::routeOnBoard(int fromChip, int toChip, double gbps)
+{
+    int x = fromChip % bCols;
+    int y = fromChip / bCols;
+    const int tx = toChip % bCols;
+    const int ty = toChip / bCols;
+    auto step = [&](int dx, int dy) {
+        const int from = y * bCols + x;
+        x += dx;
+        y += dy;
+        const int to = y * bCols + x;
+        htLinkLoads[{from, to}] += gbps;
+    };
+    while (x != tx)
+        step(x < tx ? 1 : -1, 0);
+    while (y != ty)
+        step(0, y < ty ? 1 : -1);
+}
+
+RouterCoord
+CMesh::routerOf(const arch::TileCoord &tile) const
+{
+    if (tile.chip < 0 || tile.chip >= chips)
+        fatal("CMesh::routerOf: tile chip out of range");
+    return RouterCoord{tile.chip, tile.x / 2, tile.y / 2};
+}
+
+void
+CMesh::routeOnChip(RouterCoord from, RouterCoord to, double gbps)
+{
+    // Dimension-ordered routing: X first, then Y.
+    RouterCoord cur = from;
+    auto step = [&](int dx, int dy) {
+        RouterCoord next{cur.chip, cur.x + dx, cur.y + dy};
+        loads[LinkId{cur, next}] += gbps;
+        totalHopGBps += gbps;
+        cur = next;
+    };
+    while (cur.x != to.x)
+        step(cur.x < to.x ? 1 : -1, 0);
+    while (cur.y != to.y)
+        step(0, cur.y < to.y ? 1 : -1);
+}
+
+void
+CMesh::addFlow(const arch::TileCoord &src, const arch::TileCoord &dst,
+               double gbps)
+{
+    if (gbps < 0)
+        fatal("CMesh::addFlow: negative bandwidth");
+    const RouterCoord s = routerOf(src);
+    const RouterCoord d = routerOf(dst);
+    if (s.chip == d.chip) {
+        routeOnChip(s, d, gbps);
+        return;
+    }
+    // Cross-chip: hop to the source chip's I/O router, traverse the
+    // HyperTransport fabric, continue from the target chip's I/O
+    // router.
+    const RouterCoord srcIo{s.chip, 0, 0};
+    const RouterCoord dstIo{d.chip, 0, 0};
+    routeOnChip(s, srcIo, gbps);
+    htLoads[static_cast<std::size_t>(s.chip)] += gbps;
+    htLoads[static_cast<std::size_t>(d.chip)] += gbps;
+    routeOnBoard(s.chip, d.chip, gbps);
+    routeOnChip(dstIo, d, gbps);
+}
+
+double
+CMesh::maxLinkLoadGBps() const
+{
+    double worst = 0.0;
+    for (const auto &[link, load] : loads)
+        worst = std::max(worst, load);
+    return worst;
+}
+
+double
+CMesh::htLoadGBps(int chip) const
+{
+    if (chip < 0 || chip >= chips)
+        fatal("CMesh::htLoadGBps: chip out of range");
+    return htLoads[static_cast<std::size_t>(chip)];
+}
+
+double
+CMesh::maxHtLoadGBps() const
+{
+    double worst = 0.0;
+    for (double load : htLoads)
+        worst = std::max(worst, load);
+    return worst;
+}
+
+double
+CMesh::maxHtLinkGBps() const
+{
+    double worst = 0.0;
+    for (const auto &[link, load] : htLinkLoads)
+        worst = std::max(worst, load);
+    return worst;
+}
+
+bool
+CMesh::schedulable() const
+{
+    if (maxLinkLoadGBps() > linkGBps + 1e-9)
+        return false;
+    if (maxHtLinkGBps() > htLinkGBps + 1e-9)
+        return false;
+    return maxHtLoadGBps() <= htGBps + 1e-9;
+}
+
+} // namespace isaac::noc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The on-chip concentrated mesh (c-mesh) and its static routing.
+ *
+ * ISAAC's tiles connect through a c-mesh whose routers are shared by
+ * four tiles (Table I charges each tile a quarter router). Data
+ * transfers are statically scheduled and guaranteed conflict-free
+ * (Sec. VI); this module builds the flow set implied by a placed
+ * pipeline, routes it with dimension-ordered (XY) routing, and
+ * checks that every link's aggregate bandwidth fits its capacity --
+ * the condition under which a conflict-free TDM schedule exists.
+ * Cross-chip flows ride the HyperTransport links via each chip's
+ * I/O router at mesh coordinate (0, 0).
+ */
+
+#ifndef ISAAC_NOC_CMESH_H
+#define ISAAC_NOC_CMESH_H
+
+#include <map>
+#include <vector>
+
+#include "arch/chip.h"
+
+namespace isaac::noc {
+
+/** A router position on one chip's mesh. */
+struct RouterCoord
+{
+    int chip = 0;
+    int x = 0;
+    int y = 0;
+
+    auto operator<=>(const RouterCoord &) const = default;
+};
+
+/** A directed mesh link: from a router toward a neighbour. */
+struct LinkId
+{
+    RouterCoord from;
+    RouterCoord to;
+
+    auto operator<=>(const LinkId &) const = default;
+};
+
+/** The concentrated mesh of one or more chips. */
+class CMesh
+{
+  public:
+    /**
+     * @param cfg    supplies tile grid shape and link bandwidths
+     * @param chips  chips participating (HT connects them)
+     */
+    CMesh(const arch::IsaacConfig &cfg, int chips);
+
+    /** Router serving a tile (2x2 concentration). */
+    RouterCoord routerOf(const arch::TileCoord &tile) const;
+
+    /** Router-grid dimensions. */
+    int routerCols() const { return rCols; }
+    int routerRows() const { return rRows; }
+
+    /**
+     * Add a flow of `gbps` between two tiles; the on-chip hops are
+     * routed XY and accumulated per link, cross-chip traffic is
+     * accumulated per chip pair on the HT interface.
+     */
+    void addFlow(const arch::TileCoord &src,
+                 const arch::TileCoord &dst, double gbps);
+
+    /** Per-link accumulated loads. */
+    const std::map<LinkId, double> &linkLoads() const
+    {
+        return loads;
+    }
+
+    /** The most loaded mesh link, GB/s. */
+    double maxLinkLoadGBps() const;
+
+    /** Aggregate HT traffic leaving/entering a chip, GB/s. */
+    double htLoadGBps(int chip) const;
+
+    /** The most loaded chip's HT traffic. */
+    double maxHtLoadGBps() const;
+
+    /**
+     * The most loaded single chip-to-chip HT link, GB/s. Chips form
+     * a near-square board grid with one link per direction
+     * (DaDianNao's HT topology, reused by ISAAC); inter-chip flows
+     * route XY across it and multi-hop traffic loads every link it
+     * crosses.
+     */
+    double maxHtLinkGBps() const;
+
+    /** Capacity of one HT link. */
+    double htLinkCapacityGBps() const { return htLinkGBps; }
+
+    /** Board grid dimensions (cols x rows of chips). */
+    int boardCols() const { return bCols; }
+    int boardRows() const { return bRows; }
+
+    /** Mesh link capacity (32-bit at 1 GHz by default). */
+    double linkCapacityGBps() const { return linkGBps; }
+
+    /** HT capacity per chip. */
+    double htCapacityGBps() const { return htGBps; }
+
+    /**
+     * True iff a conflict-free static (TDM) schedule exists: every
+     * mesh link and every HT interface is within capacity.
+     */
+    bool schedulable() const;
+
+    /** Total hop count weighted by bandwidth (energy proxy). */
+    double hopGBps() const { return totalHopGBps; }
+
+  private:
+    void routeOnChip(RouterCoord from, RouterCoord to, double gbps);
+    void routeOnBoard(int fromChip, int toChip, double gbps);
+
+    int rCols;
+    int rRows;
+    int chips;
+    int bCols;
+    int bRows;
+    double linkGBps;
+    double htGBps;
+    double htLinkGBps;
+    std::map<LinkId, double> loads;
+    /** Directed chip-to-chip link loads keyed by (from, to). */
+    std::map<std::pair<int, int>, double> htLinkLoads;
+    std::vector<double> htLoads;
+    double totalHopGBps = 0.0;
+};
+
+} // namespace isaac::noc
+
+#endif // ISAAC_NOC_CMESH_H

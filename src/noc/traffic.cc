@@ -1,0 +1,143 @@
+#include "noc/traffic.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "pipeline/mapper.h"
+
+namespace isaac::noc {
+
+namespace {
+
+/**
+ * Flow fan-out of one producer tile into the consumer's tile list.
+ *
+ * Convolutional consumers partition their windows spatially, so
+ * producer tile k's outputs are needed by the consumer tiles owning
+ * the matching region plus a halo neighbour. Classifier consumers
+ * need every input value in every column-segment group, i.e. in
+ * about nc / rowSegments of their tiles.
+ */
+std::vector<std::size_t>
+consumerTilesFor(std::size_t srcIdx, std::size_t ns, std::size_t nc,
+                 bool classifier, std::int64_t rowSegments)
+{
+    std::vector<std::size_t> out;
+    if (classifier) {
+        const std::size_t fanout = static_cast<std::size_t>(
+            std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(nc) /
+                       std::max<std::int64_t>(1, rowSegments)));
+        // The row segment matching this source region, replicated
+        // across the column groups: evenly spaced tiles.
+        for (std::size_t f = 0; f < fanout; ++f) {
+            const std::size_t j =
+                (srcIdx * nc / ns + f * std::max<std::size_t>(
+                                            1, nc / fanout)) %
+                nc;
+            if (std::find(out.begin(), out.end(), j) == out.end())
+                out.push_back(j);
+        }
+    } else {
+        const std::size_t lo = srcIdx * nc / ns;
+        std::size_t hi = (srcIdx + 1) * nc / ns;
+        hi = std::min(nc - 1, hi + 1); // halo row overlap
+        for (std::size_t j = lo; j <= hi; ++j)
+            out.push_back(j);
+    }
+    return out;
+}
+
+} // namespace
+
+TrafficReport
+analyzeTraffic(const nn::Network &net,
+               const pipeline::PipelinePlan &plan,
+               const pipeline::Placement &placement,
+               const arch::IsaacConfig &cfg)
+{
+    if (!plan.fits)
+        fatal("analyzeTraffic: the plan does not fit its chips");
+
+    CMesh mesh(cfg, plan.chips);
+    const double intervalSec =
+        plan.cyclesPerImage * cfg.cycleNs * 1e-9;
+
+    TrafficReport report;
+    report.linkCapacityGBps = mesh.linkCapacityGBps();
+    report.htCapacityGBps = mesh.htCapacityGBps();
+
+    // Source tiles per layer: dot layers own tiles; pass-through
+    // layers (pooling/SPP) inherit their producer's.
+    std::vector<std::vector<arch::TileCoord>> sources(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto lp = placement.layerPlacement(i);
+        if (lp && !lp->tiles.empty())
+            sources[i] = lp->tiles;
+        else if (i > 0)
+            sources[i] = sources[i - 1];
+    }
+
+    std::map<arch::TileCoord, double> egress;
+    auto addEgress = [&](const arch::TileCoord &t, double gbps) {
+        // TileCoord has no operator<; key by packed index.
+        egress[t] += gbps;
+    };
+
+    for (std::size_t i = 0; i + 1 < net.size(); ++i) {
+        const auto &producer = net.layer(i);
+        const auto &consumer = net.layer(i + 1);
+        const auto &srcTiles = sources[i];
+        const auto dstPl = placement.layerPlacement(i + 1);
+        if (!dstPl || dstPl->tiles.empty() || srcTiles.empty())
+            continue; // consumer runs in place (pool/SPP)
+
+        const double bytes =
+            static_cast<double>(producer.outputsPerImage()) *
+            kDataBytes;
+        const double rateGBps = bytes / intervalSec / 1e9;
+        report.maxLayerRateGBps =
+            std::max(report.maxLayerRateGBps, rateGBps);
+
+        const auto fp =
+            pipeline::layerFootprint(consumer, i + 1, cfg);
+        const double perSrc = rateGBps / srcTiles.size();
+        const bool classifier =
+            consumer.kind == nn::LayerKind::Classifier;
+        for (std::size_t k = 0; k < srcTiles.size(); ++k) {
+            const auto dsts = consumerTilesFor(
+                k, srcTiles.size(), dstPl->tiles.size(), classifier,
+                fp.rowSegments);
+            const double perFlow = perSrc / dsts.size();
+            double outOfTile = 0.0;
+            for (std::size_t j : dsts) {
+                const auto &dst = dstPl->tiles[j];
+                mesh.addFlow(srcTiles[k], dst, perFlow);
+                if (!(dst == srcTiles[k]))
+                    outOfTile += perFlow;
+            }
+            addEgress(srcTiles[k], outOfTile);
+        }
+    }
+
+    for (const auto &[tile, gbps] : egress) {
+        report.maxTileEgressGBps =
+            std::max(report.maxTileEgressGBps, gbps);
+    }
+    report.maxLinkGBps = mesh.maxLinkLoadGBps();
+    report.maxHtGBps = mesh.maxHtLoadGBps();
+    report.maxHtLinkGBps = mesh.maxHtLinkGBps();
+    report.htLinkCapacityGBps = mesh.htLinkCapacityGBps();
+    report.hopGBps = mesh.hopGBps();
+    // Router energy: each tile's quarter-router (10.5 mW) moves up
+    // to one link's 4 GB/s -> ~2.6 pJ per byte-hop.
+    const double routerPjPerByte =
+        10.5e-3 / (cfg.cmeshLinkGBps * 1e9) * 1e12;
+    report.nocEnergyPerImageJ = report.hopGBps * 1e9 * intervalSec *
+        routerPjPerByte * 1e-12;
+    report.schedulable = mesh.schedulable();
+    return report;
+}
+
+} // namespace isaac::noc

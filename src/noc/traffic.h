@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Builds the c-mesh flow set implied by a placed pipeline and checks
+ * static schedulability.
+ *
+ * In the steady-state pipeline each layer streams its outputs to the
+ * tiles buffering the next layer's inputs. The flow rate of layer i
+ * is outputsPerImage(i) * 2 bytes per pipeline interval. Layers
+ * without their own tiles (pooling, SPP -- they execute on their
+ * producer's tiles, Sec. VI) forward their producer's placement.
+ */
+
+#ifndef ISAAC_NOC_TRAFFIC_H
+#define ISAAC_NOC_TRAFFIC_H
+
+#include "nn/network.h"
+#include "noc/cmesh.h"
+#include "pipeline/placement.h"
+
+namespace isaac::noc {
+
+/** Results of routing one placed pipeline. */
+struct TrafficReport
+{
+    /** Most-loaded mesh link, GB/s. */
+    double maxLinkGBps = 0.0;
+    /** Mesh link capacity. */
+    double linkCapacityGBps = 0.0;
+    /** Most-loaded chip's HyperTransport traffic, GB/s. */
+    double maxHtGBps = 0.0;
+    double htCapacityGBps = 0.0;
+    /** Most-loaded single chip-to-chip HT link, GB/s. */
+    double maxHtLinkGBps = 0.0;
+    double htLinkCapacityGBps = 0.0;
+    /** Largest single producer-layer aggregate rate, GB/s. */
+    double maxLayerRateGBps = 0.0;
+    /**
+     * Largest per-tile egress bandwidth, GB/s: the quantity the
+     * paper bounds at 3.2 GB/s when sizing the 32-bit 1 GHz links.
+     */
+    double maxTileEgressGBps = 0.0;
+    /** Bandwidth-weighted hop count (on-chip energy proxy). */
+    double hopGBps = 0.0;
+    /**
+     * C-mesh energy per image: hop traffic integrated over the
+     * pipeline interval at the router's per-byte cost (Table I's
+     * quarter-router power at the 4 GB/s link rate).
+     */
+    double nocEnergyPerImageJ = 0.0;
+    /** A conflict-free static schedule exists. */
+    bool schedulable = false;
+};
+
+/**
+ * Route the inter-layer traffic of `plan` as placed by `placement`.
+ */
+TrafficReport analyzeTraffic(const nn::Network &net,
+                             const pipeline::PipelinePlan &plan,
+                             const pipeline::Placement &placement,
+                             const arch::IsaacConfig &cfg);
+
+} // namespace isaac::noc
+
+#endif // ISAAC_NOC_TRAFFIC_H

@@ -1,0 +1,49 @@
+#include "pipeline/buffer.h"
+
+#include "common/types.h"
+
+namespace isaac::pipeline {
+
+std::int64_t
+pipelinedBufferValues(const nn::LayerDesc &l)
+{
+    if (l.kind == nn::LayerKind::Classifier) {
+        // A classifier consumes its entire input at once.
+        return static_cast<std::int64_t>(l.nx) * l.ny * l.ni;
+    }
+    return (static_cast<std::int64_t>(l.nx) * (l.ky - 1) + l.kx) *
+        l.ni;
+}
+
+std::int64_t
+pipelinedBufferBytes(const nn::LayerDesc &l)
+{
+    return pipelinedBufferValues(l) * kDataBytes;
+}
+
+std::int64_t
+unpipelinedBufferBytes(const nn::LayerDesc &l)
+{
+    return static_cast<std::int64_t>(l.nx) * l.ny * l.ni * kDataBytes;
+}
+
+double
+paperTablePipelinedKB(const nn::LayerDesc &l)
+{
+    return static_cast<double>(l.kx) * l.nx * l.ni / 1024.0;
+}
+
+double
+paperTableUnpipelinedKB(const nn::LayerDesc &l)
+{
+    return static_cast<double>(l.nx) * l.ny * l.ni / 1024.0;
+}
+
+double
+pipelineBufferReduction(const nn::LayerDesc &l)
+{
+    return static_cast<double>(unpipelinedBufferBytes(l)) /
+        static_cast<double>(pipelinedBufferBytes(l));
+}
+
+} // namespace isaac::pipeline

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Inter-layer eDRAM buffer requirements (Section IV).
+ *
+ * The paper's pipelined buffer formula is
+ *
+ *     ((Nx * (Ky - 1)) + Kx) * Nif       values,
+ *
+ * i.e. Ky-1 full rows of the input feature maps plus one partial
+ * row: exactly the working set of a sliding kernel window (Fig. 3).
+ * Without pipelining the full Nx * Ny * Nif output of the previous
+ * layer must be buffered.
+ *
+ * Note on Table III: the published KB figures correspond to counting
+ * Kx full rows at one byte per value (Nx*Ny*Nif bytes unpipelined,
+ * Kx*Nx*Nif bytes pipelined). Both the 16-bit formula values and the
+ * published-table variants are exposed so bench_table3 can print the
+ * comparison; the architectural conclusions (max ~74 KB per layer,
+ * 64 KB eDRAM per tile, ~Ny/Ky reduction) are unchanged.
+ */
+
+#ifndef ISAAC_PIPELINE_BUFFER_H
+#define ISAAC_PIPELINE_BUFFER_H
+
+#include <cstdint>
+
+#include "nn/layer.h"
+
+namespace isaac::pipeline {
+
+/** Pipelined input-buffer requirement in 16-bit values. */
+std::int64_t pipelinedBufferValues(const nn::LayerDesc &l);
+
+/** Pipelined input-buffer requirement in bytes (16-bit values). */
+std::int64_t pipelinedBufferBytes(const nn::LayerDesc &l);
+
+/** Unpipelined requirement (full previous-layer output) in bytes. */
+std::int64_t unpipelinedBufferBytes(const nn::LayerDesc &l);
+
+/** The KB figure Table III publishes for the pipelined case. */
+double paperTablePipelinedKB(const nn::LayerDesc &l);
+
+/** The KB figure Table III publishes for the unpipelined case. */
+double paperTableUnpipelinedKB(const nn::LayerDesc &l);
+
+/**
+ * Buffering reduction factor due to pipelining, approximately
+ * Ny / Ky (Sec. IV).
+ */
+double pipelineBufferReduction(const nn::LayerDesc &l);
+
+} // namespace isaac::pipeline
+
+#endif // ISAAC_PIPELINE_BUFFER_H

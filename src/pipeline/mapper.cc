@@ -1,0 +1,60 @@
+#include "pipeline/mapper.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace isaac::pipeline {
+
+LayerFootprint
+layerFootprint(const nn::LayerDesc &l, std::size_t idx,
+               const arch::IsaacConfig &cfg)
+{
+    LayerFootprint f;
+    f.layerIdx = idx;
+    f.isDot = l.isDotProduct();
+    f.windows = l.windowsPerImage();
+    if (!f.isDot)
+        return f;
+
+    const auto &e = cfg.engine;
+    f.rowSegments = ceilDiv(l.dotLength(), e.rows);
+    f.colSegments = ceilDiv(static_cast<std::int64_t>(l.no) *
+                                e.slicesPerWeight(),
+                            e.cols);
+    f.xbarsPerCopy = f.rowSegments * f.colSegments;
+    if (l.privateKernel) {
+        // One weight matrix per window, all resident. When a single
+        // window's columns leave slack in the array, several windows
+        // pack side by side; packed windows share wordlines and
+        // therefore serialize, while distinct groups fire
+        // concurrently.
+        const std::int64_t windowCols =
+            static_cast<std::int64_t>(l.no) * e.slicesPerWeight();
+        const std::int64_t packing =
+            std::max<std::int64_t>(1, e.cols / windowCols);
+        const std::int64_t groups = ceilDiv(f.windows, packing);
+        f.xbarsPerCopy = f.rowSegments * f.colSegments * groups;
+        f.inherentParallelism = groups;
+    }
+    return f;
+}
+
+std::vector<LayerFootprint>
+footprint(const nn::Network &net, const arch::IsaacConfig &cfg)
+{
+    std::vector<LayerFootprint> out;
+    out.reserve(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i)
+        out.push_back(layerFootprint(net.layer(i), i, cfg));
+    return out;
+}
+
+std::int64_t
+totalXbars(const arch::IsaacConfig &cfg, int chips)
+{
+    return static_cast<std::int64_t>(chips) * cfg.tilesPerChip *
+        cfg.imasPerTile * cfg.xbarsPerIma;
+}
+
+} // namespace isaac::pipeline

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Layer-to-crossbar mapping (Section VI).
+ *
+ * A dot-product layer's logical crossbar has Kx*Ky*Ni rows and
+ * No * (16/w) columns; it is tiled over physical arrays by splitting
+ * rows (partial sums merged digitally) and columns. Private-kernel
+ * layers store one logical matrix per output window.
+ */
+
+#ifndef ISAAC_PIPELINE_MAPPER_H
+#define ISAAC_PIPELINE_MAPPER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.h"
+#include "nn/network.h"
+
+namespace isaac::pipeline {
+
+/** Crossbar-resource footprint of one layer. */
+struct LayerFootprint
+{
+    std::size_t layerIdx = 0;
+    bool isDot = false;
+
+    std::int64_t rowSegments = 0;    ///< ceil(dotLength / rows).
+    std::int64_t colSegments = 0;    ///< ceil(No*slices / cols).
+    /** Physical crossbars for one copy of the weights. */
+    std::int64_t xbarsPerCopy = 0;
+    /** Kernel window positions per image. */
+    std::int64_t windows = 0;
+    /**
+     * Operations the stored weights can perform concurrently per
+     * 16-cycle wave without replication: 1 for shared kernels,
+     * `windows` for private kernels (each window's weights are
+     * distinct and can fire independently).
+     */
+    std::int64_t inherentParallelism = 1;
+};
+
+/** Compute the footprint of every layer of a network. */
+std::vector<LayerFootprint> footprint(const nn::Network &net,
+                                      const arch::IsaacConfig &cfg);
+
+/** Footprint of a single layer. */
+LayerFootprint layerFootprint(const nn::LayerDesc &l, std::size_t idx,
+                              const arch::IsaacConfig &cfg);
+
+/** Crossbars available on `chips` chips of this configuration. */
+std::int64_t totalXbars(const arch::IsaacConfig &cfg, int chips);
+
+} // namespace isaac::pipeline
+
+#endif // ISAAC_PIPELINE_MAPPER_H

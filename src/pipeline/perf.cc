@@ -1,0 +1,147 @@
+#include "pipeline/perf.h"
+
+#include "pipeline/mapper.h"
+
+namespace isaac::pipeline {
+
+namespace {
+
+/** Per-image switching-event energy accounting. */
+IsaacPerf::Activity
+activityEnergy(const nn::Network &net, const PipelinePlan &plan,
+               const energy::IsaacEnergyModel &model,
+               double intervalCycles)
+{
+    IsaacPerf::Activity act;
+    const auto &cfg = model.config();
+    const int phases = cfg.engine.phases();
+
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto &l = net.layer(i);
+        const auto f = layerFootprint(l, i, cfg);
+        if (l.isDotProduct()) {
+            // Crossbar read cycles per image: every window op streams
+            // its bits through all the arrays of one weight copy
+            // (replication spreads the same work, it does not add
+            // reads).
+            double reads = static_cast<double>(f.windows) * phases *
+                f.rowSegments * f.colSegments;
+            if (l.privateKernel) {
+                // xbarsPerCopy already contains the window factor.
+                reads = static_cast<double>(phases) * f.xbarsPerCopy;
+            }
+            const double samples = reads * (cfg.engine.cols + 1);
+            act.adcJ += samples * model.adcEnergyPerSamplePj() * 1e-12;
+            act.xbarJ += reads * model.xbarEnergyPerReadPj() * 1e-12;
+            act.dacJ += reads * cfg.engine.rows *
+                model.dacEnergyPerRowCyclePj() * 1e-12;
+            act.digitalJ +=
+                samples * model.shiftAddEnergyPerOpPj() * 1e-12;
+
+            // Inputs staged eDRAM -> bus -> IR; outputs written back.
+            const double inBytes = static_cast<double>(f.windows) *
+                l.dotLength() * kDataBytes;
+            const double outBytes =
+                static_cast<double>(l.outputsPerImage()) * kDataBytes;
+            act.edramJ += (inBytes + outBytes) *
+                model.edramEnergyPerBytePj() * 1e-12;
+            act.busJ += (inBytes + outBytes) *
+                model.busEnergyPerBytePj() * 1e-12;
+            if (l.activation != nn::Activation::None) {
+                act.digitalJ += static_cast<double>(
+                                    l.outputsPerImage()) *
+                    model.sigmoidEnergyPerOpPj() * 1e-12;
+            }
+        } else {
+            // Pooling: read the window, compare, write the result.
+            const double inBytes = static_cast<double>(l.nx) * l.ny *
+                l.ni * kDataBytes;
+            const double outBytes =
+                static_cast<double>(l.outputsPerImage()) * kDataBytes;
+            act.edramJ += (inBytes + outBytes) *
+                model.edramEnergyPerBytePj() * 1e-12;
+            act.digitalJ += inBytes / kDataBytes *
+                model.maxPoolEnergyPerValuePj() * 1e-12;
+        }
+    }
+    act.htJ = model.htPowerW() * plan.chips * intervalCycles *
+        cfg.cycleNs * 1e-9;
+    return act;
+}
+
+} // namespace
+
+IsaacPerf
+analyzeIsaac(const nn::Network &net, const PipelinePlan &plan,
+             const energy::IsaacEnergyModel &model)
+{
+    IsaacPerf perf;
+    perf.fits = plan.fits;
+    if (!plan.fits)
+        return perf;
+
+    const auto &cfg = model.config();
+    const double cycleSec = cfg.cycleNs * 1e-9;
+
+    // The external I/O interface must feed the first layer's input
+    // at the steady-state rate (Sec. III: inputs arrive through the
+    // I/O interface, i.e. the HyperTransport fabric); if the
+    // crossbar pipeline outruns it, image delivery caps throughput.
+    const auto &first = net.layer(0);
+    const double inputBytes = static_cast<double>(first.nx) *
+        first.ny * first.ni * kDataBytes;
+    const double htBytesPerSec =
+        cfg.htLinks * cfg.htLinkGBps * 1e9;
+    const double ioCycles =
+        inputBytes / htBytesPerSec / cycleSec;
+    perf.ioBound = ioCycles > plan.cyclesPerImage;
+
+    perf.cyclesPerImage = std::max(plan.cyclesPerImage, ioCycles);
+    perf.imagesPerSec = 1.0 / (perf.cyclesPerImage * cycleSec);
+    perf.inputIoGBps =
+        inputBytes * perf.imagesPerSec / 1e9;
+    perf.unpipelinedCyclesPerImage = std::max(
+        plan.unpipelinedCyclesPerImage, ioCycles);
+
+    // Tile-busy energy per image: every layer's tiles burn full tile
+    // power for the cycles that layer is active.
+    const double tilePowerW = model.tilePowerMw() * 1e-3;
+    double tileEnergyPerImage = 0.0;
+    for (const auto &lp : plan.layers) {
+        if (!lp.isDot)
+            continue;
+        tileEnergyPerImage += static_cast<double>(lp.tiles) *
+            tilePowerW * lp.cyclesPerImage * cycleSec;
+    }
+    const double htPowerW = model.htPowerW() * plan.chips;
+
+    perf.energyPerImageJ = tileEnergyPerImage +
+        htPowerW * perf.cyclesPerImage * cycleSec;
+    perf.powerW =
+        perf.energyPerImageJ / (perf.cyclesPerImage * cycleSec);
+
+    // Without pipelining the layers run sequentially: the same tile
+    // work, but the HT (and the chip) stays powered much longer
+    // (the I/O-capped interval when image delivery dominates).
+    perf.unpipelinedEnergyPerImageJ = tileEnergyPerImage +
+        htPowerW * perf.unpipelinedCyclesPerImage * cycleSec;
+
+    const double peakMacsPerSec =
+        cfg.peakMacsPerCycle() / cycleSec * plan.chips;
+    perf.macUtilization = static_cast<double>(net.totalMacs()) *
+        perf.imagesPerSec / peakMacsPerSec;
+    perf.activity =
+        activityEnergy(net, plan, model, perf.cyclesPerImage);
+    return perf;
+}
+
+IsaacPerf
+analyzeIsaac(const nn::Network &net, const arch::IsaacConfig &cfg,
+             int chips)
+{
+    const auto plan = planPipeline(net, cfg, chips);
+    const energy::IsaacEnergyModel model(cfg);
+    return analyzeIsaac(net, plan, model);
+}
+
+} // namespace isaac::pipeline

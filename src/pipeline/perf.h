@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytic ISAAC performance/energy model (Sec. VII: CNNs on these
+ * tiled accelerators have no run-time dependences, so latency and
+ * throughput follow deterministic analytical equations).
+ */
+
+#ifndef ISAAC_PIPELINE_PERF_H
+#define ISAAC_PIPELINE_PERF_H
+
+#include "energy/catalog.h"
+#include "nn/network.h"
+#include "pipeline/replication.h"
+
+namespace isaac::pipeline {
+
+/** End-to-end performance of one network on one configuration. */
+struct IsaacPerf
+{
+    bool fits = true;
+    double cyclesPerImage = 0.0;
+    double imagesPerSec = 0.0;
+    /** Average power while running, W (all chips + HT). */
+    double powerW = 0.0;
+    double energyPerImageJ = 0.0;
+    /** Achieved fraction of peak MACs. */
+    double macUtilization = 0.0;
+
+    /**
+     * Input-image bandwidth demanded at the external I/O interface
+     * (first layer's input bytes per pipeline interval), GB/s. Must
+     * stay under the HyperTransport budget for the pipeline to be
+     * fed; ioBound flags violations.
+     */
+    double inputIoGBps = 0.0;
+    bool ioBound = false;
+
+    /** The same network executed without inter-layer pipelining. */
+    double unpipelinedCyclesPerImage = 0.0;
+    double unpipelinedEnergyPerImageJ = 0.0;
+
+    /**
+     * Activity-based energy accounting (lower bound: only switching
+     * events are charged, idle tile power is not). The power-based
+     * figure above matches the paper's methodology; the activity
+     * breakdown shows where the joules go.
+     */
+    struct Activity
+    {
+        double adcJ = 0.0;
+        double dacJ = 0.0;
+        double xbarJ = 0.0;
+        double digitalJ = 0.0; ///< shift-add + sigmoid + max-pool
+        double edramJ = 0.0;
+        double busJ = 0.0;
+        double htJ = 0.0;      ///< constant HT power x runtime
+
+        double totalJ() const
+        {
+            return adcJ + dacJ + xbarJ + digitalJ + edramJ + busJ +
+                htJ;
+        }
+    };
+    Activity activity;
+};
+
+/**
+ * Evaluate a network on `chips` ISAAC chips.
+ *
+ * Energy model: each layer's tiles draw full tile power while that
+ * layer is busy (its utilization fraction of the pipeline interval);
+ * the HyperTransport links draw constant power on every chip
+ * (Sec. VIII-B's "constant overhead").
+ */
+IsaacPerf analyzeIsaac(const nn::Network &net,
+                       const arch::IsaacConfig &cfg, int chips);
+
+/** Evaluate from an existing plan (avoids re-planning). */
+IsaacPerf analyzeIsaac(const nn::Network &net, const PipelinePlan &plan,
+                       const energy::IsaacEnergyModel &model);
+
+} // namespace isaac::pipeline
+
+#endif // ISAAC_PIPELINE_PERF_H

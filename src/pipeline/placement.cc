@@ -1,0 +1,164 @@
+#include "pipeline/placement.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace isaac::pipeline {
+
+namespace {
+
+/** Chip c's share of `total` under proportional distribution. */
+std::int64_t
+chipShare(std::int64_t total, int chip, int chips)
+{
+    return total * (chip + 1) / chips - total * chip / chips;
+}
+
+} // namespace
+
+Placement
+Placement::build(const nn::Network &net, const PipelinePlan &plan,
+                 const arch::IsaacConfig &cfg)
+{
+    if (!plan.fits)
+        fatal("Placement: the plan does not fit its chips");
+
+    Placement placement;
+    placement._chips.reserve(static_cast<std::size_t>(plan.chips));
+    for (int c = 0; c < plan.chips; ++c)
+        placement._chips.emplace_back(cfg, c);
+
+    // Index layer placements by layer id first so chips can be the
+    // outer loop: every chip receives a proportional slice of every
+    // layer, keeping inter-layer traffic on-chip (replicas process
+    // disjoint window/image subsets, so the slices are independent).
+    for (const auto &lp : plan.layers) {
+        if (!lp.isDot)
+            continue;
+        LayerPlacement out;
+        out.layerIdx = lp.layerIdx;
+        placement._layers.push_back(std::move(out));
+    }
+    auto layerOut = [&](std::size_t layerIdx) -> LayerPlacement & {
+        for (auto &l : placement._layers)
+            if (l.layerIdx == layerIdx)
+                return l;
+        panic("Placement: unknown layer");
+    };
+
+    for (int c = 0; c < plan.chips; ++c) {
+        auto &chip = placement._chips[static_cast<std::size_t>(c)];
+        std::size_t tileIdx = 0;
+
+        for (const auto &lp : plan.layers) {
+            if (!lp.isDot)
+                continue;
+            auto &out = layerOut(lp.layerIdx);
+            std::int64_t remaining =
+                chipShare(lp.xbars, c, plan.chips);
+            const std::int64_t bufferShare =
+                chipShare(lp.bufferBytes, c, plan.chips);
+            std::vector<arch::TileCoord> tilesHere;
+
+            while (remaining > 0) {
+                if (tileIdx >= chip.tiles().size()) {
+                    fatal("Placement: chip " + std::to_string(c) +
+                          " ran out of IMAs while placing layer '" +
+                          net.layer(lp.layerIdx).name + "'");
+                }
+                auto &tile = chip.tiles()[tileIdx];
+                std::int64_t placedHere = 0;
+                for (auto &ima : tile.imas()) {
+                    if (remaining <= 0)
+                        break;
+                    const int want = static_cast<int>(
+                        std::min<std::int64_t>(remaining,
+                                               cfg.xbarsPerIma));
+                    const int got =
+                        ima.allocate(want, lp.layerIdx);
+                    if (got > 0) {
+                        remaining -= got;
+                        placedHere += got;
+                        ++out.imasUsed;
+                    }
+                }
+                if (placedHere > 0) {
+                    tilesHere.push_back(tile.coord());
+                    out.xbarsPlaced += placedHere;
+                }
+                if (remaining > 0)
+                    ++tileIdx;
+            }
+
+            // Spread this chip's buffer share over its tiles, then
+            // spill into any tile of the same chip with free eDRAM.
+            std::int64_t left = bufferShare;
+            if (!tilesHere.empty()) {
+                const std::int64_t perTile = ceilDiv(
+                    left,
+                    static_cast<std::int64_t>(tilesHere.size()));
+                for (const auto &coord : tilesHere) {
+                    if (left <= 0)
+                        break;
+                    auto &tile = chip.tile(coord.x, coord.y);
+                    const std::int64_t chunk = std::min(
+                        {perTile, left, tile.edramFreeBytes()});
+                    if (chunk > 0 &&
+                        tile.reserveBuffer(chunk, lp.layerIdx)) {
+                        out.bufferBytesPlaced += chunk;
+                        left -= chunk;
+                    }
+                }
+            }
+            for (auto &tile : chip.tiles()) {
+                if (left <= 0)
+                    break;
+                const std::int64_t chunk =
+                    std::min(left, tile.edramFreeBytes());
+                if (chunk > 0 &&
+                    tile.reserveBuffer(chunk, lp.layerIdx)) {
+                    out.bufferBytesPlaced += chunk;
+                    left -= chunk;
+                    if (std::find(tilesHere.begin(),
+                                  tilesHere.end(), tile.coord()) ==
+                        tilesHere.end()) {
+                        tilesHere.push_back(tile.coord());
+                    }
+                }
+            }
+            for (const auto &coord : tilesHere)
+                out.tiles.push_back(coord);
+        }
+    }
+    return placement;
+}
+
+std::optional<LayerPlacement>
+Placement::layerPlacement(std::size_t layerIdx) const
+{
+    for (const auto &l : _layers)
+        if (l.layerIdx == layerIdx)
+            return l;
+    return std::nullopt;
+}
+
+int
+Placement::tilesUsed() const
+{
+    int used = 0;
+    for (const auto &chip : _chips) {
+        for (const auto &tile : chip.tiles()) {
+            for (const auto &ima : tile.imas()) {
+                if (!ima.idle()) {
+                    ++used;
+                    break;
+                }
+            }
+        }
+    }
+    return used;
+}
+
+} // namespace isaac::pipeline

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Physical placement of a pipeline plan onto chips, tiles, and IMAs.
+ *
+ * The mapping of layers to IMAs is determined off-line (Sec. VI);
+ * this module performs that assignment: each dot-product layer's
+ * crossbars are packed into IMAs (an IMA serves one layer), IMAs
+ * fill tiles in grid order, and each layer's eDRAM input buffer is
+ * spread across the tiles it occupies. The resulting coordinates
+ * feed the c-mesh traffic analysis (noc/).
+ */
+
+#ifndef ISAAC_PIPELINE_PLACEMENT_H
+#define ISAAC_PIPELINE_PLACEMENT_H
+
+#include <optional>
+#include <vector>
+
+#include "arch/chip.h"
+#include "nn/network.h"
+#include "pipeline/replication.h"
+
+namespace isaac::pipeline {
+
+/** Where one layer lives. */
+struct LayerPlacement
+{
+    std::size_t layerIdx = 0;
+    /** Tiles hosting this layer's IMAs, in placement order. */
+    std::vector<arch::TileCoord> tiles;
+    std::int64_t xbarsPlaced = 0;
+    std::int64_t imasUsed = 0;
+    std::int64_t bufferBytesPlaced = 0;
+};
+
+/** A fully placed plan. */
+class Placement
+{
+  public:
+    /**
+     * Place `plan` onto its chips. fatal() if the plan claims to fit
+     * but the IMA-granularity packing cannot (the planner reserves
+     * slack to prevent this).
+     */
+    static Placement build(const nn::Network &net,
+                           const PipelinePlan &plan,
+                           const arch::IsaacConfig &cfg);
+
+    const std::vector<arch::Chip> &chips() const { return _chips; }
+
+    /** Placements for dot-product layers, in network order. */
+    const std::vector<LayerPlacement> &layers() const
+    {
+        return _layers;
+    }
+
+    /** Placement of a specific layer (nullopt for non-dot layers). */
+    std::optional<LayerPlacement>
+    layerPlacement(std::size_t layerIdx) const;
+
+    /** Total tiles with at least one allocated IMA. */
+    int tilesUsed() const;
+
+  private:
+    std::vector<arch::Chip> _chips;
+    std::vector<LayerPlacement> _layers;
+};
+
+} // namespace isaac::pipeline
+
+#endif // ISAAC_PIPELINE_PLACEMENT_H

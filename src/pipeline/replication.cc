@@ -1,0 +1,279 @@
+#include "pipeline/replication.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "pipeline/buffer.h"
+
+namespace isaac::pipeline {
+
+namespace {
+
+/** Granted replication of a shared layer under de-replication S. */
+std::int64_t
+grantedReplication(std::int64_t desired, std::int64_t slowdown)
+{
+    return std::max<std::int64_t>(1, desired / slowdown);
+}
+
+/** Crossbars the whole network needs at (slowdown S, speedup M). */
+std::int64_t
+xbarsNeeded(const std::vector<LayerFootprint> &fps,
+            const std::vector<std::int64_t> &desired,
+            std::int64_t slowdown, std::int64_t speedup,
+            const nn::Network &net)
+{
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+        const auto &f = fps[i];
+        if (!f.isDot)
+            continue;
+        if (net.layer(i).privateKernel) {
+            // Private weights already hold one copy per window; they
+            // never de-replicate (the windows must all be resident),
+            // but whole-network speedup replication duplicates them
+            // like everything else.
+            total += f.xbarsPerCopy * speedup;
+        } else {
+            total += f.xbarsPerCopy *
+                grantedReplication(desired[i] * speedup, slowdown);
+        }
+    }
+    return total;
+}
+
+/** Cap on whole-network speedup replication (backstop, not a real
+ * design limit: at 2^16 images in flight the model is far past any
+ * interesting operating point). */
+constexpr std::int64_t kMaxSpeedup = 1 << 16;
+
+} // namespace
+
+PipelinePlan
+planPipeline(const nn::Network &net, const arch::IsaacConfig &cfg,
+             int chips)
+{
+    if (chips < 1)
+        fatal("planPipeline: need at least one chip");
+    cfg.validate();
+
+    const auto fps = footprint(net, cfg);
+    PipelinePlan plan;
+    plan.chips = chips;
+    plan.xbarsAvailable = totalXbars(cfg, chips);
+
+    // Desired replication relative to the last dot-product layer.
+    const auto dotLayers = net.dotProductLayers();
+    if (dotLayers.empty())
+        fatal("planPipeline: network has no dot-product layers");
+    const std::int64_t lastWindows =
+        fps[dotLayers.back()].windows;
+
+    std::vector<std::int64_t> desired(net.size(), 1);
+    for (auto i : dotLayers) {
+        desired[i] = std::max<std::int64_t>(
+            1, ceilDiv(fps[i].windows, lastWindows));
+    }
+
+    // IMAs are dedicated to a single layer and every chip hosts a
+    // slice of every layer, so each (layer, chip) pair can strand up
+    // to xbarsPerIma-1 arrays in its last IMA; reserve that slack so
+    // physical placement always succeeds.
+    std::int64_t dotLayerCount = 0;
+    for (const auto &f : fps)
+        dotLayerCount += f.isDot;
+    const std::int64_t imaSlack =
+        dotLayerCount * (cfg.xbarsPerIma - 1) * chips;
+    const std::int64_t budgetXbars =
+        std::max<std::int64_t>(0, plan.xbarsAvailable - imaSlack);
+
+    // Does the network fit at all (replication 1, no speedup)?
+    const std::int64_t minimal =
+        xbarsNeeded(fps, desired,
+                    std::numeric_limits<std::int64_t>::max(), 1, net);
+    plan.fits = minimal <= budgetXbars;
+
+    // Find the smallest integer slowdown S that fits (geometric probe
+    // then binary refinement); then, if S == 1, the largest integer
+    // speedup M that still fits.
+    std::int64_t slowdown = 1;
+    if (plan.fits) {
+        auto fitsAt = [&](std::int64_t s) {
+            return xbarsNeeded(fps, desired, s, 1, net) <=
+                budgetXbars;
+        };
+        std::int64_t hi = 1;
+        while (!fitsAt(hi) && hi < (std::int64_t{1} << 40))
+            hi *= 2;
+        std::int64_t lo = std::max<std::int64_t>(1, hi / 2);
+        // Smallest S in [lo, hi] with fitsAt(S). Note xbarsNeeded is
+        // monotone non-increasing in S.
+        while (lo < hi) {
+            const std::int64_t mid = (lo + hi) / 2;
+            if (fitsAt(mid))
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        slowdown = hi;
+    }
+    std::int64_t speedup = 1;
+    if (slowdown == 1 && plan.fits) {
+        auto ok = [&](std::int64_t m) {
+            return xbarsNeeded(fps, desired, 1, m, net) <=
+                budgetXbars;
+        };
+        std::int64_t lo = 1;
+        while (lo < kMaxSpeedup && ok(lo * 2))
+            lo *= 2;
+        std::int64_t hi = std::min<std::int64_t>(lo * 2, kMaxSpeedup);
+        // Largest M in [lo, hi] with ok(M).
+        while (lo < hi) {
+            const std::int64_t mid = (lo + hi + 1) / 2;
+            if (ok(mid))
+                lo = mid;
+            else
+                hi = mid - 1;
+        }
+        speedup = lo;
+    }
+    plan.slowdown = slowdown;
+    plan.speedup = speedup;
+
+    // Build per-layer plans.
+    const int phases = cfg.engine.phases();
+    const std::int64_t tileBusBytesPerCycle = 1024;
+    const std::int64_t edramBytes =
+        static_cast<std::int64_t>(cfg.edramKBPerTile) * 1024;
+
+    // Refresh a layer's derived allocation/timing fields from its
+    // granted replication.
+    auto refresh = [&](LayerPlan &lp) {
+        const auto &f = fps[lp.layerIdx];
+        const auto &l = net.layer(lp.layerIdx);
+        lp.xbars = f.xbarsPerCopy * lp.replication;
+        // The ADCs drain slightly less than the full crossbar
+        // complement each cycle (128 of 129 columns' worth at the
+        // CE point); every wave stretches accordingly.
+        const double adcDerate = cfg.effectiveXbarsPerIma() /
+            static_cast<double>(cfg.xbarsPerIma);
+        lp.effectiveRate = adcDerate * static_cast<double>(
+            l.privateKernel ? f.inherentParallelism * lp.replication
+                            : lp.replication);
+        lp.imas = ceilDiv(lp.xbars, cfg.xbarsPerIma);
+        lp.tiles = ceilDiv(lp.imas, cfg.imasPerTile);
+        // Grow the tile allocation if the input buffer would
+        // overflow the per-tile eDRAM.
+        lp.tiles = std::max(lp.tiles,
+                            ceilDiv(lp.bufferBytes, edramBytes));
+        lp.computeCyclesPerImage =
+            static_cast<double>(f.windows) * phases /
+            lp.effectiveRate;
+        // Each operation needs its dotLength inputs delivered over
+        // the tile's eDRAM-to-IMA path (1 KB per cycle per tile).
+        const double feedBytes = static_cast<double>(f.windows) *
+            l.dotLength() * kDataBytes;
+        lp.feedCyclesPerImage = feedBytes /
+            (static_cast<double>(tileBusBytesPerCycle) * lp.tiles);
+        lp.cyclesPerImage =
+            std::max(lp.computeCyclesPerImage, lp.feedCyclesPerImage);
+    };
+
+    plan.layers.resize(net.size());
+    std::size_t prevDotLayer = net.size();
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        auto &lp = plan.layers[i];
+        const auto &f = fps[i];
+        const auto &l = net.layer(i);
+        lp.layerIdx = i;
+        lp.isDot = f.isDot;
+        lp.bufferBytes = pipelinedBufferBytes(l);
+        if (!f.isDot) {
+            // Pooling/SPP: reads run on the producer layer's tiles
+            // at eDRAM bandwidth (Sec. VI's cycles 23-26).
+            const double inBytes = static_cast<double>(l.nx) * l.ny *
+                l.ni * kDataBytes;
+            const std::int64_t producerTiles =
+                prevDotLayer < net.size()
+                    ? std::max<std::int64_t>(
+                          1, plan.layers[prevDotLayer].tiles)
+                    : 1;
+            lp.cyclesPerImage = inBytes /
+                (static_cast<double>(tileBusBytesPerCycle) *
+                 producerTiles);
+            continue;
+        }
+        prevDotLayer = i;
+
+        lp.desiredReplication = desired[i];
+        lp.replication = l.privateKernel
+            ? speedup
+            : grantedReplication(desired[i] * speedup, slowdown);
+        refresh(lp);
+    }
+
+    // Greedy rebalancing: spend leftover crossbars on the bottleneck
+    // layer until the budget is exhausted (the manual mapping of
+    // Sec. VII would do the same). Private layers buy whole window
+    // sets, shared layers one weight copy at a time.
+    if (plan.fits) {
+        auto used = [&] {
+            std::int64_t sum = 0;
+            for (const auto &lp : plan.layers)
+                sum += lp.xbars;
+            return sum;
+        };
+        std::int64_t budget = budgetXbars - used();
+        for (int iter = 0; iter < 20000; ++iter) {
+            LayerPlan *worst = nullptr;
+            for (auto &lp : plan.layers) {
+                if (!lp.isDot)
+                    continue;
+                if (!worst ||
+                    lp.cyclesPerImage > worst->cyclesPerImage) {
+                    worst = &lp;
+                }
+            }
+            if (!worst)
+                break;
+            const std::int64_t cost =
+                fps[worst->layerIdx].xbarsPerCopy;
+            if (cost > budget)
+                break;
+            // Feeding, not compute, limits this layer: replication
+            // only helps via extra tiles, which ceilDiv may not add;
+            // bail out if an increment cannot reduce the interval.
+            const double before = worst->cyclesPerImage;
+            worst->replication += 1;
+            refresh(*worst);
+            if (worst->cyclesPerImage >= before) {
+                worst->replication -= 1;
+                refresh(*worst);
+                break;
+            }
+            budget -= cost;
+        }
+    }
+
+    for (const auto &lp : plan.layers) {
+        if (lp.isDot) {
+            plan.xbarsUsed += lp.xbars;
+            plan.imasUsed += lp.imas;
+            plan.tilesUsed += lp.tiles;
+        }
+        plan.cyclesPerImage =
+            std::max(plan.cyclesPerImage, lp.cyclesPerImage);
+        plan.unpipelinedCyclesPerImage += lp.cyclesPerImage;
+    }
+    for (auto &lp : plan.layers) {
+        if (lp.isDot && plan.cyclesPerImage > 0) {
+            lp.utilization =
+                lp.cyclesPerImage / plan.cyclesPerImage;
+        }
+    }
+    return plan;
+}
+
+} // namespace isaac::pipeline

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Balanced-pipeline weight replication (Section IV).
+ *
+ * Working back from the last layer, a layer must perform its per-image
+ * operation count at the same image rate as every other layer. The
+ * required replication of layer i relative to the last dot-product
+ * layer is windows_i / windows_last -- the product of the downstream
+ * strides in the paper's formulation (the first layer of VGG-1 wants
+ * >50K copies, matching Sec. VIII-B).
+ *
+ * When the aggregate storage exceeds the chip budget by a factor S,
+ * every layer's replication (except the last) shrinks by S and the
+ * last layer only produces an output every S-th wave. When there is
+ * slack, all weights are replicated M times to multiply throughput
+ * (Sec. V, "if half the IMAs on a chip are not utilized...").
+ */
+
+#ifndef ISAAC_PIPELINE_REPLICATION_H
+#define ISAAC_PIPELINE_REPLICATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.h"
+#include "nn/network.h"
+#include "pipeline/mapper.h"
+
+namespace isaac::pipeline {
+
+/** Resource grant and timing for one layer. */
+struct LayerPlan
+{
+    std::size_t layerIdx = 0;
+    bool isDot = false;
+
+    std::int64_t desiredReplication = 1; ///< For a 1-wave/image pipe.
+    std::int64_t replication = 1;        ///< Granted weight copies.
+    std::int64_t xbars = 0;
+    std::int64_t imas = 0;
+    std::int64_t tiles = 0;
+    std::int64_t bufferBytes = 0;        ///< Pipelined input buffer.
+
+    /**
+     * Dot-product waves this layer can launch concurrently: granted
+     * replication for shared kernels, the window count for private
+     * kernels (whose copies are inherent).
+     */
+    double effectiveRate = 1.0;
+
+    /** Crossbar-limited cycles to process one image. */
+    double computeCyclesPerImage = 0.0;
+    /** eDRAM/bus-limited cycles to feed one image's inputs. */
+    double feedCyclesPerImage = 0.0;
+    /** max(compute, feed). */
+    double cyclesPerImage = 0.0;
+    /** Fraction of the pipeline interval this layer is busy. */
+    double utilization = 0.0;
+};
+
+/** A full network-to-chip mapping. */
+struct PipelinePlan
+{
+    std::vector<LayerPlan> layers;
+    int chips = 1;
+    bool fits = true;            ///< Weights fit at replication 1.
+    std::int64_t xbarsUsed = 0;
+    std::int64_t xbarsAvailable = 0;
+    std::int64_t slowdown = 1;   ///< S: de-replication factor.
+    std::int64_t speedup = 1;    ///< M: surplus replication factor.
+    std::int64_t tilesUsed = 0;
+    std::int64_t imasUsed = 0;
+
+    /** Steady-state pipeline interval per image, in cycles. */
+    double cyclesPerImage = 0.0;
+    /** Sum of per-layer cycles: the unpipelined execution time. */
+    double unpipelinedCyclesPerImage = 0.0;
+};
+
+/** Map a network onto `chips` chips of configuration `cfg`. */
+PipelinePlan planPipeline(const nn::Network &net,
+                          const arch::IsaacConfig &cfg, int chips);
+
+} // namespace isaac::pipeline
+
+#endif // ISAAC_PIPELINE_REPLICATION_H

@@ -1,0 +1,228 @@
+#include "sim/chip_sim.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/logging.h"
+#include "pipeline/mapper.h"
+
+namespace isaac::sim {
+
+namespace {
+
+/** Shared per-tile resources. */
+struct TileRes
+{
+    TileRes(int edramBanks)
+        : edram(edramBanks), bus(3)
+    {
+    }
+
+    SlotResource edram;
+    SlotResource bus;
+};
+
+/** One schedulable IMA slice owned by a layer. */
+struct Server
+{
+    arch::TileCoord tile;
+    Cycle freeAt = 0;
+    Cycle busyCycles = 0;
+};
+
+/** Min-heap ordering of servers by availability. */
+struct ServerOrder
+{
+    bool
+    operator()(const Server *a, const Server *b) const
+    {
+        return a->freeAt > b->freeAt;
+    }
+};
+
+} // namespace
+
+ChipSimResult
+simulateChip(const nn::Network &net,
+             const pipeline::PipelinePlan &plan,
+             const pipeline::Placement &placement,
+             const arch::IsaacConfig &cfg, int images,
+             int tailCycles)
+{
+    if (!plan.fits)
+        fatal("simulateChip: the plan does not fit its chips");
+    if (images < 1)
+        fatal("simulateChip: need at least one image");
+
+    const int phases = cfg.engine.phases();
+
+    // One server per weight copy (an IMA can run several copies
+    // concurrently when a copy spans fewer arrays than the ADCs can
+    // drain); each copy is pinned to one of the layer's placed
+    // tiles round-robin so it contends for that tile's eDRAM/bus.
+    std::map<arch::TileCoord, TileRes> tiles;
+    std::vector<std::vector<Server>> servers(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto &lp = plan.layers[i];
+        if (!lp.isDot)
+            continue;
+        const auto place = placement.layerPlacement(i);
+        if (!place || place->tiles.empty())
+            fatal("simulateChip: layer missing from the placement");
+        const auto fp = pipeline::layerFootprint(net.layer(i), i,
+                                                 cfg);
+        std::int64_t copies = net.layer(i).privateKernel
+            ? fp.inherentParallelism * lp.replication
+            : lp.replication;
+        copies = std::min<std::int64_t>(copies, 1 << 14);
+        for (std::int64_t c = 0; c < copies; ++c) {
+            const auto &coord = place->tiles[static_cast<std::size_t>(
+                c % static_cast<std::int64_t>(
+                        place->tiles.size()))];
+            servers[i].push_back(Server{coord, 0, 0});
+            tiles.emplace(coord, TileRes(cfg.edramBanks));
+        }
+    }
+
+    ChipSimResult result;
+    result.analyticInterval = plan.cyclesPerImage;
+
+    // Per-layer min-heaps over the servers.
+    std::vector<std::priority_queue<Server *,
+                                    std::vector<Server *>,
+                                    ServerOrder>>
+        pools(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i)
+        for (auto &s : servers[i])
+            pools[i].push(&s);
+
+    std::vector<std::vector<Cycle>> completion(net.size());
+    Cycle horizon = 0;
+
+    for (int img = 0; img < images; ++img) {
+        for (std::size_t i = 0; i < net.size(); ++i) {
+            const auto &l = net.layer(i);
+            const int outNx = l.outNx();
+            const int outNy = l.outNy();
+            std::vector<Cycle> done(
+                static_cast<std::size_t>(outNx) * outNy, 0);
+            const bool fullInput =
+                l.kind == nn::LayerKind::Classifier ||
+                l.kind == nn::LayerKind::Spp;
+
+            for (int ox = 0; ox < outNx; ++ox) {
+                for (int oy = 0; oy < outNy; ++oy) {
+                    Cycle ready = 0;
+                    if (i > 0) {
+                        const auto &prev = completion[i - 1];
+                        const auto &pl = net.layer(i - 1);
+                        const int pnx = pl.outNx();
+                        const int pny = pl.outNy();
+                        int y0 = 0, y1 = pnx - 1;
+                        int x0 = 0, x1 = pny - 1;
+                        if (!fullInput) {
+                            y0 = std::max(0, ox * l.sx - l.px);
+                            y1 = std::min(
+                                pnx - 1,
+                                ox * l.sx - l.px + l.kx - 1);
+                            x0 = std::max(0, oy * l.sy - l.py);
+                            x1 = std::min(
+                                pny - 1,
+                                oy * l.sy - l.py + l.ky - 1);
+                        }
+                        for (int y = y0; y <= y1; ++y)
+                            for (int x = x0; x <= x1; ++x)
+                                ready = std::max(
+                                    ready,
+                                    prev[static_cast<std::size_t>(
+                                        y * pny + x)]);
+                    }
+
+                    Cycle finish;
+                    if (l.isDotProduct() && !pools[i].empty()) {
+                        Server *srv = pools[i].top();
+                        pools[i].pop();
+                        auto &res = tiles.at(srv->tile);
+
+                        // eDRAM read + IR copy over the bus, then
+                        // the 16 crossbar cycles, then the digital
+                        // tail with its eDRAM write.
+                        const Cycle want =
+                            std::max(ready, srv->freeAt);
+                        const Cycle read = res.edram.reserve(
+                            res.bus.reserve(want));
+                        const Cycle xbarStart =
+                            std::max(read + 1, srv->freeAt);
+                        srv->freeAt = xbarStart + phases;
+                        srv->busyCycles += phases;
+                        const Cycle tailStart =
+                            res.bus.reserve(xbarStart + phases + 2);
+                        finish = res.edram.reserve(tailStart + 1) +
+                            static_cast<Cycle>(
+                                std::max(0, tailCycles - 4));
+                        pools[i].push(srv);
+
+                        const auto fp = pipeline::layerFootprint(
+                            l, i, cfg);
+                        const std::uint64_t arrays =
+                            static_cast<std::uint64_t>(
+                                fp.rowSegments * fp.colSegments);
+                        result.trace.xbarReads +=
+                            arrays * phases;
+                        result.trace.adcSamples += arrays * phases *
+                            (cfg.engine.cols + 1);
+                        result.trace.edramReadBytes +=
+                            static_cast<std::uint64_t>(
+                                l.dotLength()) *
+                            kDataBytes;
+                        result.trace.edramWriteBytes +=
+                            static_cast<std::uint64_t>(l.no) *
+                            kDataBytes;
+                        result.trace.busBytes +=
+                            static_cast<std::uint64_t>(
+                                l.dotLength() + l.no) *
+                            kDataBytes;
+                        if (l.activation != nn::Activation::None)
+                            result.trace.sigmoidOps +=
+                                static_cast<std::uint64_t>(l.no);
+                    } else {
+                        // Pooling/SPP: comparator pass.
+                        finish = ready + 1;
+                        result.trace.maxPoolValues +=
+                            static_cast<std::uint64_t>(l.kx) * l.ky;
+                    }
+                    done[static_cast<std::size_t>(ox * outNy + oy)] =
+                        finish;
+                }
+            }
+            completion[i] = std::move(done);
+        }
+        Cycle imageDone = 0;
+        for (Cycle c : completion.back())
+            imageDone = std::max(imageDone, c);
+        result.imageDone.push_back(imageDone);
+        horizon = std::max(horizon, imageDone);
+    }
+
+    result.firstImageDone = result.imageDone.front();
+    result.lastImageDone = result.imageDone.back();
+    if (images > 1) {
+        result.measuredInterval =
+            static_cast<double>(result.lastImageDone -
+                                result.firstImageDone) /
+            (images - 1);
+    }
+    if (horizon > 0) {
+        for (const auto &layerServers : servers) {
+            for (const auto &s : layerServers) {
+                result.maxImaUtilization = std::max(
+                    result.maxImaUtilization,
+                    static_cast<double>(s.busyCycles) / horizon);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace isaac::sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Full-chip cycle-level simulation of a *placed* pipeline.
+ *
+ * Where pipeline_sim models each layer as an abstract pool of
+ * replicated servers, ChipSim dispatches every kernel-window
+ * operation to a concrete (tile, IMA) from the physical placement
+ * and contends for that tile's shared resources: the 4-bank eDRAM,
+ * the 3-slot eDRAM-to-IMA bus, and the per-IMA crossbars, exactly
+ * as in the Fig. 4b intra-tile schedule. The measured steady-state
+ * interval cross-checks the analytic model with structural hazards
+ * included, and the activity trace cross-checks the energy
+ * accounting.
+ */
+
+#ifndef ISAAC_SIM_CHIP_SIM_H
+#define ISAAC_SIM_CHIP_SIM_H
+
+#include "nn/network.h"
+#include "pipeline/placement.h"
+#include "sim/trace.h"
+
+namespace isaac::sim {
+
+/** Results of a placed chip simulation. */
+struct ChipSimResult
+{
+    Cycle firstImageDone = 0;
+    Cycle lastImageDone = 0;
+    /** Measured steady-state cycles per image. */
+    double measuredInterval = 0.0;
+    /** The analytic prediction for the same plan. */
+    double analyticInterval = 0.0;
+    /** Switching-activity counters (energy cross-check). */
+    Trace trace;
+    /** Busy fraction of the busiest IMA over the run. */
+    double maxImaUtilization = 0.0;
+    std::vector<Cycle> imageDone;
+};
+
+/**
+ * Simulate `images` inferences through the placed design. Intended
+ * for small networks (per-window bookkeeping).
+ *
+ * @param tailCycles digital tail per op (ADC drain through eDRAM
+ *                   write: 6 cycles in the Fig. 4b schedule).
+ */
+ChipSimResult simulateChip(const nn::Network &net,
+                           const pipeline::PipelinePlan &plan,
+                           const pipeline::Placement &placement,
+                           const arch::IsaacConfig &cfg, int images,
+                           int tailCycles = 6);
+
+} // namespace isaac::sim
+
+#endif // ISAAC_SIM_CHIP_SIM_H

@@ -1,0 +1,152 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace isaac::sim {
+
+namespace {
+
+/** Replicated IMA groups of one layer: a min-heap of free times. */
+class ServerPool
+{
+  public:
+    explicit ServerPool(std::int64_t servers)
+    {
+        if (servers < 1)
+            fatal("ServerPool: need at least one server");
+        // Cap the modelled parallelism: beyond a few thousand
+        // servers the pool is never the bottleneck for the small
+        // networks this simulator targets.
+        const auto n = static_cast<std::size_t>(
+            std::min<std::int64_t>(servers, 1 << 14));
+        for (std::size_t i = 0; i < n; ++i)
+            heap.push(0);
+    }
+
+    /** Start a `busy`-cycle op at or after `ready`; returns start. */
+    Cycle
+    dispatch(Cycle ready, Cycle busy)
+    {
+        Cycle free = heap.top();
+        heap.pop();
+        const Cycle start = std::max(free, ready);
+        heap.push(start + busy);
+        return start;
+    }
+
+  private:
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>>
+        heap;
+};
+
+} // namespace
+
+PipelineSimResult
+simulatePipeline(const nn::Network &net,
+                 const pipeline::PipelinePlan &plan, int images,
+                 int tailCycles)
+{
+    if (!plan.fits)
+        fatal("simulatePipeline: the plan does not fit its chips");
+    if (images < 1)
+        fatal("simulatePipeline: need at least one image");
+
+    const int phases = 16; // data path width / 1-bit DAC
+
+    // Per-layer server pools built from the granted replication.
+    std::vector<ServerPool> pools;
+    pools.reserve(net.size());
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto &lp = plan.layers[i];
+        const double rate = lp.isDot ? lp.effectiveRate : 1.0;
+        pools.emplace_back(std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(rate)));
+    }
+
+    PipelineSimResult result;
+    result.analyticInterval = plan.cyclesPerImage;
+
+    // completion[i][w]: cycle when window w of layer i finished for
+    // the current image (layer outputs, indexed ox * outNy + oy).
+    std::vector<std::vector<Cycle>> completion(net.size());
+
+    for (int img = 0; img < images; ++img) {
+        for (std::size_t i = 0; i < net.size(); ++i) {
+            const auto &l = net.layer(i);
+            const int outNx = l.outNx();
+            const int outNy = l.outNy();
+            const auto windows =
+                static_cast<std::size_t>(outNx) * outNy;
+            std::vector<Cycle> done(windows, 0);
+
+            const bool spp = l.kind == nn::LayerKind::Spp;
+            for (int ox = 0; ox < outNx; ++ox) {
+                for (int oy = 0; oy < outNy; ++oy) {
+                    // Latest-arriving input this window covers.
+                    Cycle ready = 0;
+                    if (i > 0) {
+                        const auto &prev = completion[i - 1];
+                        const auto &pl = net.layer(i - 1);
+                        const int pnx = pl.outNx();
+                        const int pny = pl.outNy();
+                        int y0 = 0, y1 = pnx - 1;
+                        int x0 = 0, x1 = pny - 1;
+                        if (!spp &&
+                            l.kind != nn::LayerKind::Classifier) {
+                            y0 = std::max(0, ox * l.sx - l.px);
+                            y1 = std::min(pnx - 1,
+                                          ox * l.sx - l.px + l.kx -
+                                              1);
+                            x0 = std::max(0, oy * l.sy - l.py);
+                            x1 = std::min(pny - 1,
+                                          oy * l.sy - l.py + l.ky -
+                                              1);
+                        }
+                        for (int y = y0; y <= y1; ++y) {
+                            for (int x = x0; x <= x1; ++x) {
+                                ready = std::max(
+                                    ready,
+                                    prev[static_cast<std::size_t>(
+                                        y * pny + x)]);
+                            }
+                        }
+                    }
+                    Cycle finish;
+                    if (l.isDotProduct()) {
+                        const Cycle start = pools[i].dispatch(
+                            ready, phases);
+                        finish = start + phases + tailCycles;
+                    } else {
+                        // Pool/SPP: a comparator pass, single cycle.
+                        finish = ready + 1;
+                    }
+                    done[static_cast<std::size_t>(ox * outNy + oy)] =
+                        finish;
+                }
+            }
+            completion[i] = std::move(done);
+        }
+
+        Cycle imageDone = 0;
+        for (Cycle c : completion.back())
+            imageDone = std::max(imageDone, c);
+        result.imageDone.push_back(imageDone);
+    }
+
+    result.firstImageDone = result.imageDone.front();
+    result.lastImageDone = result.imageDone.back();
+    if (images > 1) {
+        result.measuredInterval =
+            static_cast<double>(result.lastImageDone -
+                                result.firstImageDone) /
+            (images - 1);
+    }
+    return result;
+}
+
+} // namespace isaac::sim

@@ -1,0 +1,84 @@
+#include "sim/tile_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace isaac::sim {
+
+TileSim::TileSim(const arch::IsaacConfig &cfg) : cfg(cfg)
+{
+    cfg.validate();
+}
+
+std::vector<OpTimeline>
+TileSim::run(const std::vector<TileOp> &ops)
+{
+    const int phases = cfg.engine.phases();
+
+    // Shared per-tile resources. The 256-bit bus at 1.2 GHz moves
+    // 3.84 KB per 100 ns cycle: three 1 KB IR-copy slots.
+    SlotResource edram(cfg.edramBanks); // one access per bank-cycle
+    SlotResource bus(3);                // eDRAM-to-IMA shared bus
+    SlotResource sigmoid(2);            // two sigmoid units (Table I)
+    // Each IMA's crossbars run one op at a time.
+    std::vector<Cycle> imaFree(
+        static_cast<std::size_t>(cfg.imasPerTile), 0);
+
+    std::vector<OpTimeline> out;
+    out.reserve(ops.size());
+    for (const auto &op : ops) {
+        if (op.ima < 0 || op.ima >= cfg.imasPerTile)
+            fatal("TileSim: op targets a nonexistent IMA");
+        OpTimeline t;
+        t.ima = op.ima;
+        t.ready = op.ready;
+
+        // Stage 1: eDRAM read + IR copy (needs a bank and the bus).
+        Cycle start = std::max(op.ready, Cycle{0});
+        // The IMA must also be close to free: its IR is
+        // double-buffered, so the read may overlap the tail of the
+        // previous op, but the crossbar itself cannot be shared.
+        const auto ima = static_cast<std::size_t>(op.ima);
+        if (imaFree[ima] > phases + start)
+            start = imaFree[ima] - phases;
+        t.edramRead = edram.reserve(bus.reserve(start));
+        _trace.edramReadBytes += static_cast<std::uint64_t>(
+            op.inputBytes);
+        _trace.busBytes += static_cast<std::uint64_t>(op.inputBytes);
+
+        // Stages 2..17: crossbar read cycles.
+        t.xbarStart = std::max(t.edramRead + 1, imaFree[ima]);
+        imaFree[ima] = t.xbarStart + phases;
+        _trace.xbarReads += static_cast<std::uint64_t>(phases) *
+            cfg.xbarsPerIma;
+        // The ADC drains each cycle's samples one cycle behind; the
+        // shift-and-add merges one further cycle behind.
+        t.adcDone = t.xbarStart + phases;
+        t.saDone = t.adcDone + 1;
+        _trace.adcSamples += static_cast<std::uint64_t>(phases) *
+            cfg.xbarsPerIma * (cfg.engine.cols + 1);
+        _trace.shiftAdds += static_cast<std::uint64_t>(phases) *
+            cfg.xbarsPerIma * (cfg.engine.cols + 1);
+
+        // IMA OR -> central OR over the shared bus.
+        t.orTransfer = bus.reserve(t.saDone + 1);
+        _trace.busBytes += static_cast<std::uint64_t>(
+            op.outputValues * kDataBytes);
+        _trace.orWrites += static_cast<std::uint64_t>(
+            op.outputValues);
+
+        // Sigmoid, then the eDRAM write for the next layer.
+        t.sigmoid = sigmoid.reserve(t.orTransfer + 1);
+        _trace.sigmoidOps += static_cast<std::uint64_t>(
+            op.outputValues);
+        t.edramWrite = edram.reserve(t.sigmoid + 1);
+        _trace.edramWriteBytes += static_cast<std::uint64_t>(
+            op.outputValues * kDataBytes);
+
+        out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace isaac::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cycle-level simulation of the intra-tile pipeline (Fig. 4b).
+ *
+ * One IMA operation flows through: eDRAM read + IR copy (1 cycle),
+ * 16 crossbar read cycles (the S&H latches each cycle's bitlines and
+ * the ADC drains them one cycle behind, overlapped), shift-and-add
+ * into the IMA OR (one further cycle behind), transfer of the IMA OR
+ * to the tile's central OR over the shared bus, the sigmoid, and the
+ * eDRAM write of the result. The example operation of Sec. VI
+ * completes at the end of cycle 22; the simulator reproduces that
+ * schedule exactly and detects structural hazards (eDRAM bank and
+ * bus conflicts) for arbitrary op streams.
+ */
+
+#ifndef ISAAC_SIM_TILE_SIM_H
+#define ISAAC_SIM_TILE_SIM_H
+
+#include <vector>
+
+#include "arch/config.h"
+#include "sim/trace.h"
+
+namespace isaac::sim {
+
+/** Timestamps of one operation's traversal of the tile pipeline. */
+struct OpTimeline
+{
+    int ima = 0;
+    Cycle ready = 0;      ///< Inputs available in eDRAM.
+    Cycle edramRead = 0;  ///< eDRAM -> IR copy cycle.
+    Cycle xbarStart = 0;  ///< First of the 16 crossbar cycles.
+    Cycle adcDone = 0;    ///< Last ADC drain cycle.
+    Cycle saDone = 0;     ///< Final shift-and-add into the IMA OR.
+    Cycle orTransfer = 0; ///< IMA OR -> tile OR bus cycle.
+    Cycle sigmoid = 0;    ///< Sigmoid unit cycle.
+    Cycle edramWrite = 0; ///< Result written to eDRAM.
+};
+
+/** One dot-product operation to simulate. */
+struct TileOp
+{
+    int ima = 0;          ///< Which IMA executes it.
+    Cycle ready = 0;      ///< Earliest cycle its inputs exist.
+    int inputBytes = 512; ///< eDRAM -> IR traffic.
+    int outputValues = 32; ///< 16-bit results produced.
+};
+
+/** Simulates one tile's shared resources for a stream of ops. */
+class TileSim
+{
+  public:
+    explicit TileSim(const arch::IsaacConfig &cfg);
+
+    /** Simulate ops (submitted in order); returns their timelines. */
+    std::vector<OpTimeline> run(const std::vector<TileOp> &ops);
+
+    const Trace &trace() const { return _trace; }
+
+  private:
+    arch::IsaacConfig cfg;
+    Trace _trace;
+};
+
+} // namespace isaac::sim
+
+#endif // ISAAC_SIM_TILE_SIM_H

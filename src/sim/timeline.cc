@@ -1,0 +1,52 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace isaac::sim {
+
+std::string
+renderTimeline(const std::vector<OpTimeline> &ops, int maxCycles)
+{
+    if (ops.empty())
+        fatal("renderTimeline: no operations to draw");
+
+    Cycle last = 0;
+    for (const auto &op : ops)
+        last = std::max(last, op.edramWrite);
+    int width = static_cast<int>(last) + 1;
+    if (maxCycles > 0)
+        width = std::min(width, maxCycles);
+
+    std::string out = "cycle      ";
+    for (int c = 1; c <= width; ++c)
+        out += c % 10 == 0 ? '0' : (c % 5 == 0 ? '5' : '.');
+    out += '\n';
+
+    int index = 0;
+    for (const auto &op : ops) {
+        std::string row(static_cast<std::size_t>(width), ' ');
+        auto mark = [&](Cycle cycle, char glyph) {
+            if (cycle >= 1 && cycle <= static_cast<Cycle>(width))
+                row[static_cast<std::size_t>(cycle - 1)] = glyph;
+        };
+        mark(op.edramRead, 'E');
+        for (Cycle c = op.xbarStart; c < op.adcDone; ++c)
+            mark(c, 'X');
+        mark(op.adcDone, 'A');
+        mark(op.saDone, 'S');
+        mark(op.orTransfer, 'O');
+        mark(op.sigmoid, 'V');
+        mark(op.edramWrite, 'W');
+
+        char label[16];
+        std::snprintf(label, sizeof(label), "op%-2d ima%-2d ",
+                      index++, op.ima);
+        out += label + row + '\n';
+    }
+    return out;
+}
+
+} // namespace isaac::sim

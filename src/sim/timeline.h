@@ -1,0 +1,31 @@
+/**
+ * @file
+ * ASCII timeline rendering of intra-tile operation schedules --
+ * regenerates Fig. 4b ("Example of one operation in layer i flowing
+ * through its pipeline") for arbitrary simulated op streams.
+ */
+
+#ifndef ISAAC_SIM_TIMELINE_H
+#define ISAAC_SIM_TIMELINE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/tile_sim.h"
+
+namespace isaac::sim {
+
+/**
+ * Render op timelines as a Gantt chart: one row per pipeline stage
+ * per op, columns are cycles. Stage glyphs: E = eDRAM read + IR
+ * copy, X = crossbar cycles, A = final ADC drain, S = shift-and-add,
+ * O = OR transfer, V = sigmoid, W = eDRAM write.
+ *
+ * @param maxCycles  clip the chart width (0 = fit to the ops).
+ */
+std::string renderTimeline(const std::vector<OpTimeline> &ops,
+                           int maxCycles = 0);
+
+} // namespace isaac::sim
+
+#endif // ISAAC_SIM_TIMELINE_H

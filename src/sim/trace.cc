@@ -1,0 +1,34 @@
+#include "sim/trace.h"
+
+#include "common/logging.h"
+
+namespace isaac::sim {
+
+SlotResource::SlotResource(int slotsPerCycle) : slots(slotsPerCycle)
+{
+    if (slotsPerCycle < 1)
+        fatal("SlotResource: need at least one slot per cycle");
+}
+
+Cycle
+SlotResource::reserve(Cycle earliest)
+{
+    Cycle cycle = earliest;
+    while (true) {
+        const auto it = used.find(cycle);
+        if (it == used.end() || it->second < slots)
+            break;
+        ++cycle;
+    }
+    ++used[cycle];
+    ++reservations;
+    // Garbage-collect long-past entries to bound memory on long runs.
+    if (used.size() > 1u << 20)
+        used.erase(used.begin(),
+                   used.lower_bound(cycle > (1u << 18)
+                                        ? cycle - (1u << 18)
+                                        : 0));
+    return cycle;
+}
+
+} // namespace isaac::sim

@@ -1,0 +1,182 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace isaac::train {
+
+Dataset
+makeClusterDataset(int samples, int features, int classes,
+                   std::uint64_t seed, FixedFormat fmt,
+                   double spread)
+{
+    if (samples < 1 || features < 1 || classes < 2)
+        fatal("makeClusterDataset: degenerate shape");
+    Rng rng(seed);
+    // Random unit-ish cluster centres in [-0.5, 0.5]^d.
+    std::vector<double> centres(
+        static_cast<std::size_t>(classes) * features);
+    for (auto &c : centres)
+        c = rng.uniform01() - 0.5;
+
+    Dataset data;
+    data.features = features;
+    data.classes = classes;
+    data.x.resize(static_cast<std::size_t>(samples) * features);
+    data.labels.resize(static_cast<std::size_t>(samples));
+    for (int s = 0; s < samples; ++s) {
+        const int label = static_cast<int>(rng.uniform(0, classes - 1));
+        data.labels[static_cast<std::size_t>(s)] = label;
+        for (int f = 0; f < features; ++f) {
+            const double v =
+                centres[static_cast<std::size_t>(label) * features +
+                        f] +
+                rng.gaussian() * spread;
+            data.x[static_cast<std::size_t>(s) * features + f] =
+                toFixed(v, fmt);
+        }
+    }
+    return data;
+}
+
+InSituTrainer::InSituTrainer(const xbar::EngineConfig &engineCfg,
+                             TrainConfig cfg, int features,
+                             int classes)
+    : engineCfg(engineCfg), cfg(cfg), features(features),
+      classes(classes),
+      master(static_cast<std::size_t>(classes) * features),
+      quantized(static_cast<std::size_t>(classes) * features)
+{
+    if (features < 1 || classes < 2)
+        fatal("InSituTrainer: degenerate shape");
+    Rng rng(cfg.seed);
+    for (auto &w : master)
+        w = (rng.uniform01() - 0.5) * 0.1;
+    for (std::size_t i = 0; i < master.size(); ++i)
+        quantized[i] = toFixed(master[i], cfg.format);
+    engine = std::make_unique<xbar::BitSerialEngine>(
+        engineCfg, quantized, features, classes);
+    // The initial load wrote every cell.
+    writes += static_cast<std::int64_t>(engine->physicalArrays()) *
+        engineCfg.rows * (engineCfg.cols + 1);
+}
+
+void
+InSituTrainer::syncEngine()
+{
+    for (std::size_t i = 0; i < master.size(); ++i)
+        quantized[i] = toFixed(master[i], cfg.format);
+    writes += engine->reprogram(quantized);
+    ++reprograms;
+}
+
+std::vector<double>
+InSituTrainer::scores(std::span<const Word> sample) const
+{
+    const auto sums = engine->dotProduct(sample);
+    // Scale the Q2n fixed-point accumulator back to reals.
+    const double scale =
+        1.0 / (static_cast<double>(1 << cfg.format.fracBits) *
+               (1 << cfg.format.fracBits));
+    std::vector<double> out(static_cast<std::size_t>(classes));
+    for (int k = 0; k < classes; ++k)
+        out[static_cast<std::size_t>(k)] =
+            static_cast<double>(sums[static_cast<std::size_t>(k)]) *
+            scale;
+    return out;
+}
+
+int
+InSituTrainer::predict(std::span<const Word> sample) const
+{
+    const auto s = scores(sample);
+    return static_cast<int>(
+        std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+double
+InSituTrainer::evaluate(const Dataset &data) const
+{
+    int correct = 0;
+    for (int i = 0; i < data.samples(); ++i) {
+        const std::span<const Word> sample(
+            data.x.data() +
+                static_cast<std::size_t>(i) * data.features,
+            static_cast<std::size_t>(data.features));
+        correct += predict(sample) ==
+            data.labels[static_cast<std::size_t>(i)];
+    }
+    return static_cast<double>(correct) / data.samples();
+}
+
+TrainResult
+InSituTrainer::fit(const Dataset &data)
+{
+    if (data.features != features || data.classes != classes)
+        fatal("InSituTrainer::fit: dataset shape mismatch");
+
+    TrainResult result;
+    int sinceSync = 0;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        double lossSum = 0.0;
+        int correct = 0;
+        for (int i = 0; i < data.samples(); ++i) {
+            const std::span<const Word> sample(
+                data.x.data() +
+                    static_cast<std::size_t>(i) * data.features,
+                static_cast<std::size_t>(data.features));
+            const int label =
+                data.labels[static_cast<std::size_t>(i)];
+
+            // Analog forward pass, digital softmax.
+            auto s = scores(sample);
+            const double maxS =
+                *std::max_element(s.begin(), s.end());
+            double z = 0.0;
+            for (auto &v : s) {
+                v = std::exp(v - maxS);
+                z += v;
+            }
+            for (auto &v : s)
+                v /= z;
+            lossSum += -std::log(
+                std::max(1e-12,
+                         s[static_cast<std::size_t>(label)]));
+            correct += predict(sample) == label;
+
+            // Digital gradient against the master weights.
+            for (int k = 0; k < classes; ++k) {
+                const double err =
+                    s[static_cast<std::size_t>(k)] -
+                    (k == label ? 1.0 : 0.0);
+                for (int f = 0; f < features; ++f) {
+                    const double xv = fromFixed(
+                        data.x[static_cast<std::size_t>(i) *
+                                   features +
+                               f],
+                        cfg.format);
+                    master[static_cast<std::size_t>(k) * features +
+                           f] -= cfg.learningRate * err * xv;
+                }
+            }
+            if (++sinceSync >= cfg.reprogramInterval) {
+                syncEngine();
+                sinceSync = 0;
+            }
+        }
+        syncEngine();
+        sinceSync = 0;
+        result.epochs.push_back(
+            {lossSum / data.samples(),
+             static_cast<double>(correct) / data.samples()});
+    }
+    result.cellWrites = writes;
+    result.reprograms = reprograms;
+    result.finalAccuracy = evaluate(data);
+    return result;
+}
+
+} // namespace isaac::train

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * In-situ training extension (the paper's stated future work:
+ * "Adapting ISAAC for in-the-field training would require
+ * non-trivial effort and is left for future work", Sec. III).
+ *
+ * This module implements the hybrid scheme later adopted by the
+ * ISAAC lineage (PipeLayer and successors): forward passes run on
+ * the analog crossbars, gradients are computed digitally against a
+ * full-precision master copy of the weights, and the crossbars are
+ * periodically re-programmed with the quantized master weights.
+ * Program-verify writes are counted so the endurance/energy cost of
+ * training can be reported via xbar::WriteModel.
+ *
+ * The trainer fits a single classifier layer (softmax regression)
+ * -- enough to demonstrate that learning *through* the quantized
+ * analog forward pass converges, and to quantify why in-the-field
+ * training is expensive on this substrate.
+ */
+
+#ifndef ISAAC_TRAIN_TRAINER_H
+#define ISAAC_TRAIN_TRAINER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "xbar/engine.h"
+
+namespace isaac::train {
+
+/** A labelled dataset of fixed-point feature vectors. */
+struct Dataset
+{
+    int features = 0;
+    int classes = 0;
+    /** samples x features, row-major. */
+    std::vector<Word> x;
+    /** One label per sample. */
+    std::vector<int> labels;
+
+    int samples() const
+    {
+        return features
+            ? static_cast<int>(x.size()) / features
+            : 0;
+    }
+};
+
+/**
+ * Deterministic synthetic classification problem: `classes`
+ * Gaussian clusters in `features` dimensions, quantized to the
+ * given fixed-point format.
+ */
+Dataset makeClusterDataset(int samples, int features, int classes,
+                           std::uint64_t seed, FixedFormat fmt,
+                           double spread = 0.15);
+
+/** Training hyper-parameters. */
+struct TrainConfig
+{
+    int epochs = 20;
+    double learningRate = 0.5;
+    /** Re-program the crossbars every N samples. */
+    int reprogramInterval = 32;
+    FixedFormat format{12};
+    std::uint64_t seed = 1;
+};
+
+/** Per-epoch training telemetry. */
+struct EpochStats
+{
+    double loss = 0.0;     ///< Mean cross-entropy.
+    double accuracy = 0.0; ///< Training accuracy.
+};
+
+/** Results of a training run. */
+struct TrainResult
+{
+    std::vector<EpochStats> epochs;
+    std::int64_t cellWrites = 0;   ///< Program-verify writes.
+    std::int64_t reprograms = 0;   ///< Crossbar update passes.
+    double finalAccuracy = 0.0;
+};
+
+/** Softmax-regression trainer with an analog forward pass. */
+class InSituTrainer
+{
+  public:
+    InSituTrainer(const xbar::EngineConfig &engineCfg,
+                  TrainConfig cfg, int features, int classes);
+
+    /** Run SGD over the dataset; returns telemetry. */
+    TrainResult fit(const Dataset &data);
+
+    /** Classify one sample through the crossbars. */
+    int predict(std::span<const Word> sample) const;
+
+    /** Accuracy over a dataset (through the crossbars). */
+    double evaluate(const Dataset &data) const;
+
+  private:
+    std::vector<double> scores(std::span<const Word> sample) const;
+    void syncEngine();
+
+    xbar::EngineConfig engineCfg;
+    TrainConfig cfg;
+    int features;
+    int classes;
+    std::vector<double> master;  ///< classes x features.
+    std::vector<Word> quantized; ///< Mirror loaded in the engine.
+    std::unique_ptr<xbar::BitSerialEngine> engine;
+    std::int64_t writes = 0;
+    std::int64_t reprograms = 0;
+};
+
+} // namespace isaac::train
+
+#endif // ISAAC_TRAIN_TRAINER_H

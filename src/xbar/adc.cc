@@ -1,0 +1,49 @@
+#include "xbar/adc.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace isaac::xbar {
+
+int
+adcResolution(int rows, int v, int w, bool encoded)
+{
+    if (rows < 1 || v < 1 || w < 1)
+        fatal("adcResolution: rows, v, w must be positive");
+    int bits = log2Ceil(static_cast<std::uint64_t>(rows)) + v + w;
+    if (!(v > 1 && w > 1))
+        bits -= 1; // Eq. (2)
+    if (encoded)
+        bits -= 1; // flipped-column guarantee: MSB is always 0
+    return bits;
+}
+
+Adc::Adc(int bits) : _bits(bits)
+{
+    if (bits < 1 || bits > 24)
+        fatal("Adc: resolution out of supported range [1, 24]");
+}
+
+Acc
+Adc::convert(Acc level) const
+{
+    ++_samples;
+    if (level < 0) {
+        ++_clips;
+        return 0;
+    }
+    if (level > maxCode()) {
+        ++_clips;
+        return maxCode();
+    }
+    return level;
+}
+
+void
+Adc::resetStats()
+{
+    _samples = 0;
+    _clips = 0;
+}
+
+} // namespace isaac::xbar

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ADC resolution law and quantizer.
+ *
+ * Section V relates the ADC resolution A to the crossbar geometry:
+ *
+ *     A = log2(R) + v + w      if v > 1 and w > 1        (Eq. 1)
+ *     A = log2(R) + v + w - 1  otherwise                 (Eq. 2)
+ *
+ * and the flipped-column encoding guarantees the sum-of-products MSB
+ * is 0, saving one further bit. For the default ISAAC design point
+ * (R=128, v=1, w=2, encoded) this yields the 8-bit ADC of Table I.
+ */
+
+#ifndef ISAAC_XBAR_ADC_H
+#define ISAAC_XBAR_ADC_H
+
+#include "common/types.h"
+
+namespace isaac::xbar {
+
+/**
+ * ADC resolution required for an R-row crossbar with v-bit inputs and
+ * w-bit cells; `encoded` applies the one-bit saving of the
+ * flipped-column scheme.
+ */
+int adcResolution(int rows, int v, int w, bool encoded);
+
+/**
+ * An A-bit ADC sampling non-negative bitline currents. Values inside
+ * [0, 2^bits - 1] convert exactly (the bitline sum is a discrete
+ * quantity); out-of-range values clip, which the encoding scheme is
+ * designed to prevent and tests assert never happens in normal
+ * operation.
+ */
+class Adc
+{
+  public:
+    explicit Adc(int bits);
+
+    /** Convert one sampled current; clips to the ADC range. */
+    Acc convert(Acc level) const;
+
+    int bits() const { return _bits; }
+
+    /** Largest representable code. */
+    Acc maxCode() const { return (Acc{1} << _bits) - 1; }
+
+    /** Number of conversions performed (energy accounting). */
+    std::uint64_t samples() const { return _samples; }
+
+    /** Number of conversions that clipped (should stay 0). */
+    std::uint64_t clips() const { return _clips; }
+
+    void resetStats();
+
+  private:
+    int _bits;
+    mutable std::uint64_t _samples = 0;
+    mutable std::uint64_t _clips = 0;
+};
+
+} // namespace isaac::xbar
+
+#endif // ISAAC_XBAR_ADC_H

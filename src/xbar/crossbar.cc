@@ -1,0 +1,127 @@
+#include "xbar/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac::xbar {
+
+CrossbarArray::CrossbarArray(int rows, int cols, int cellBits)
+    : _rows(rows), _cols(cols), _cellBits(cellBits),
+      cells(static_cast<std::size_t>(rows) * cols, 0),
+      stuckLevel(static_cast<std::size_t>(rows) * cols, -1),
+      noiseRng(noise.seed), writeRng(noise.seed ^ 0xD1CEull)
+{
+    if (rows <= 0 || cols <= 0)
+        fatal("CrossbarArray: dimensions must be positive");
+    if (cellBits < 1 || cellBits > 8)
+        fatal("CrossbarArray: cell bits must be in [1, 8]");
+}
+
+void
+CrossbarArray::program(int row, int col, int level)
+{
+    if (row < 0 || row >= _rows || col < 0 || col >= _cols)
+        fatal("CrossbarArray::program: cell index out of range");
+    if (level < 0 || level > maxLevel())
+        fatal("CrossbarArray::program: level exceeds cell precision");
+    const std::size_t idx =
+        static_cast<std::size_t>(row) * _cols + col;
+    if (stuckLevel[idx] >= 0) {
+        cells[idx] = stuckLevel[idx];
+        return;
+    }
+    int stored = level;
+    if (noise.writeNoiseEnabled()) {
+        const double err =
+            writeRng.gaussian() * noise.writeSigmaLevels;
+        stored = static_cast<int>(std::lround(level + err));
+        stored = std::clamp(stored, 0, maxLevel());
+    }
+    cells[idx] = stored;
+}
+
+int
+CrossbarArray::cell(int row, int col) const
+{
+    if (row < 0 || row >= _rows || col < 0 || col >= _cols)
+        fatal("CrossbarArray::cell: index out of range");
+    return cells[static_cast<std::size_t>(row) * _cols + col];
+}
+
+Acc
+CrossbarArray::readBitline(int col, std::span<const int> inputs) const
+{
+    if (col < 0 || col >= _cols)
+        fatal("CrossbarArray::readBitline: column out of range");
+    if (static_cast<int>(inputs.size()) > _rows)
+        fatal("CrossbarArray::readBitline: more inputs than rows");
+    Acc sum = 0;
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+        sum += static_cast<Acc>(inputs[r]) *
+            cells[r * _cols + static_cast<std::size_t>(col)];
+    }
+    if (noise.readNoiseEnabled()) {
+        const double jitter = noiseRng.gaussian() * noise.sigmaLsb;
+        sum += static_cast<Acc>(std::llround(jitter));
+        if (sum < 0)
+            sum = 0;
+    }
+    return sum;
+}
+
+std::vector<Acc>
+CrossbarArray::readAllBitlines(std::span<const int> inputs) const
+{
+    ++_readCycles;
+    std::vector<Acc> out(static_cast<std::size_t>(_cols));
+    for (int c = 0; c < _cols; ++c)
+        out[static_cast<std::size_t>(c)] = readBitline(c, inputs);
+    return out;
+}
+
+void
+CrossbarArray::setNoise(const NoiseSpec &spec)
+{
+    noise = spec;
+    noiseRng = Rng(spec.seed);
+    writeRng = Rng(spec.seed ^ 0xD1CEull);
+
+    // (Re)draw the stuck-cell map from a dedicated stream.
+    std::fill(stuckLevel.begin(), stuckLevel.end(), -1);
+    if (noise.faultsEnabled()) {
+        Rng faultRng(spec.seed ^ 0xFA417ull);
+        for (auto &s : stuckLevel) {
+            if (faultRng.uniform01() < noise.stuckAtFraction) {
+                s = static_cast<int>(
+                    faultRng.uniform(0, maxLevel()));
+            }
+        }
+        // Cells programmed before the fault map was drawn snap to
+        // their frozen levels.
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (stuckLevel[i] >= 0)
+                cells[i] = stuckLevel[i];
+    }
+}
+
+int
+CrossbarArray::stuckCells() const
+{
+    int count = 0;
+    for (int s : stuckLevel)
+        count += s >= 0;
+    return count;
+}
+
+std::int64_t
+CrossbarArray::programmedCells() const
+{
+    std::int64_t count = 0;
+    for (int level : cells)
+        count += level != 0;
+    return count;
+}
+
+} // namespace isaac::xbar

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The memristor crossbar array: an R x C grid of w-bit conductance
+ * cells whose bitline read performs an analog sum of products
+ * (Fig. 1). The functional model computes the Kirchhoff current sum
+ * as an exact integer (one LSB = one unit conductance at full input
+ * voltage), with optional Gaussian noise injection.
+ *
+ * The 1T1R access device (Sec. II-D) has no effect on the dot product
+ * at DAC output voltages and is therefore not modelled beyond its
+ * area/energy contribution in the energy catalog.
+ */
+
+#ifndef ISAAC_XBAR_CROSSBAR_H
+#define ISAAC_XBAR_CROSSBAR_H
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "xbar/noise.h"
+
+namespace isaac::xbar {
+
+/** One physical crossbar array of w-bit cells. */
+class CrossbarArray
+{
+  public:
+    /**
+     * @param rows      wordlines (128 in ISAAC-CE)
+     * @param cols      bitlines (128 data + the unit column)
+     * @param cellBits  bits per memristor cell (w; 2 in ISAAC-CE)
+     */
+    CrossbarArray(int rows, int cols, int cellBits);
+
+    int rows() const { return _rows; }
+    int cols() const { return _cols; }
+    int cellBits() const { return _cellBits; }
+
+    /** Maximum conductance level a cell can hold (2^w - 1). */
+    int maxLevel() const { return (1 << _cellBits) - 1; }
+
+    /**
+     * Program one cell to a conductance level in [0, 2^w - 1].
+     * Under a write-noise / fault model the stored level may differ:
+     * program-verify lands within a Gaussian error of the target,
+     * and stuck cells ignore programming entirely.
+     */
+    void program(int row, int col, int level);
+
+    /** Read back a programmed level (test/verification hook). */
+    int cell(int row, int col) const;
+
+    /**
+     * Analog bitline read: sum over rows of input digit x cell level.
+     * Inputs are DAC digits in [0, 2^v - 1]; the result is the exact
+     * current sum in LSBs, plus noise if configured.
+     */
+    Acc readBitline(int col, std::span<const int> inputs) const;
+
+    /**
+     * One crossbar read cycle: all bitlines sampled against the same
+     * input vector (the S&H latches every column simultaneously).
+     */
+    std::vector<Acc> readAllBitlines(std::span<const int> inputs) const;
+
+    /**
+     * Configure the non-ideality model. Must be set before
+     * programming for write noise / stuck cells to take effect;
+     * stuck cells are (re)drawn deterministically from the seed.
+     */
+    void setNoise(const NoiseSpec &spec);
+
+    /** Number of stuck (unprogrammable) cells. */
+    int stuckCells() const;
+
+    /** Number of full-array read cycles performed. */
+    std::uint64_t readCycles() const { return _readCycles; }
+
+    /** Number of cells programmed to a non-zero level. */
+    std::int64_t programmedCells() const;
+
+  private:
+    int _rows;
+    int _cols;
+    int _cellBits;
+    std::vector<int> cells;      ///< row-major stored levels
+    std::vector<int> stuckLevel; ///< -1 = healthy, else frozen level
+    NoiseSpec noise;
+    mutable Rng noiseRng;
+    Rng writeRng;
+    mutable std::uint64_t _readCycles = 0;
+};
+
+} // namespace isaac::xbar
+
+#endif // ISAAC_XBAR_CROSSBAR_H

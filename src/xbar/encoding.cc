@@ -1,0 +1,78 @@
+#include "xbar/encoding.h"
+
+#include "common/logging.h"
+
+namespace isaac::xbar {
+
+std::uint16_t
+biasWeight(Word w)
+{
+    return static_cast<std::uint16_t>(static_cast<Acc>(w) +
+                                      kWeightBias);
+}
+
+Word
+unbiasWeight(std::uint16_t u)
+{
+    return static_cast<Word>(static_cast<Acc>(u) - kWeightBias);
+}
+
+std::vector<int>
+sliceWeight(std::uint16_t u, int cellBits)
+{
+    if (cellBits < 1 || cellBits > 16 || 16 % cellBits != 0)
+        fatal("sliceWeight: cell bits must divide 16");
+    const int digits = 16 / cellBits;
+    const int mask = (1 << cellBits) - 1;
+    std::vector<int> out(static_cast<std::size_t>(digits));
+    for (int d = 0; d < digits; ++d)
+        out[static_cast<std::size_t>(d)] =
+            (u >> (d * cellBits)) & mask;
+    return out;
+}
+
+std::uint16_t
+unsliceWeight(std::span<const int> digits, int cellBits)
+{
+    std::uint32_t u = 0;
+    for (std::size_t d = 0; d < digits.size(); ++d)
+        u |= static_cast<std::uint32_t>(digits[d])
+            << (d * static_cast<std::size_t>(cellBits));
+    return static_cast<std::uint16_t>(u);
+}
+
+bool
+shouldFlipColumn(std::span<const int> levels, int cellBits)
+{
+    Acc sum = 0;
+    for (int level : levels)
+        sum += level;
+    const Acc maxSum = static_cast<Acc>(levels.size()) *
+        ((Acc{1} << cellBits) - 1);
+    // Flip when the sum exceeds half the maximum: with maximal
+    // inputs the sum-of-products MSB would be 1 (Sec. V).
+    return 2 * sum > maxSum;
+}
+
+int
+flipLevel(int level, int cellBits)
+{
+    return ((1 << cellBits) - 1) - level;
+}
+
+Acc
+unflipColumnSum(Acc flippedSum, Acc unitSum, int cellBits)
+{
+    return ((Acc{1} << cellBits) - 1) * unitSum - flippedSum;
+}
+
+Acc
+encodedColumnCeiling(int usedRows, int v, int w)
+{
+    // ceil(R * (2^w - 1) / 2) scaled by the maximum input digit.
+    const Acc maxCell = (Acc{1} << w) - 1;
+    const Acc maxDigit = (Acc{1} << v) - 1;
+    return (static_cast<Acc>(usedRows) * maxCell + 1) / 2 * maxDigit;
+}
+
+} // namespace isaac::xbar

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Data-encoding schemes of Section V.
+ *
+ * Three cooperating encodings make signed 16-bit arithmetic work on
+ * a current-summing bitline while keeping the ADC small:
+ *
+ *  1. *Weight bias*: a signed 16-bit weight W is stored as the
+ *     unsigned U = W + 2^15 (like the IEEE-754 exponent bias). The
+ *     bias is removed at the end by subtracting 2^15 times the sum of
+ *     the inputs, which the unit column provides.
+ *
+ *  2. *Weight slicing*: U is split into 16/w w-bit digits placed in
+ *     adjacent columns (little-endian); column results merge with
+ *     shifts and adds.
+ *
+ *  3. *Column flipping*: a column whose cells sum to more than half
+ *     the maximum stores the flipped form W' = 2^w - 1 - W, which
+ *     guarantees the bitline MSB is 0 and saves one ADC bit. The
+ *     original value is recovered as (2^w-1) * sum(a_i) - flipped.
+ */
+
+#ifndef ISAAC_XBAR_ENCODING_H
+#define ISAAC_XBAR_ENCODING_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace isaac::xbar {
+
+/** The weight bias: 2^15 for the 16-bit data path. */
+constexpr Acc kWeightBias = Acc{1} << 15;
+
+/** Bias a signed weight into its unsigned stored form. */
+std::uint16_t biasWeight(Word w);
+
+/** Invert the bias. */
+Word unbiasWeight(std::uint16_t u);
+
+/**
+ * Slice a biased weight into 16/w w-bit digits, least significant
+ * digit first. `cellBits` must divide 16.
+ */
+std::vector<int> sliceWeight(std::uint16_t u, int cellBits);
+
+/** Reassemble sliced digits (verification helper). */
+std::uint16_t unsliceWeight(std::span<const int> digits, int cellBits);
+
+/**
+ * Decide whether a column should be stored flipped: flip when the
+ * cell-level sum exceeds half the column maximum, so that any input
+ * pattern yields a bitline current <= usedRows * (2^w - 1) / 2.
+ *
+ * @param levels    the unflipped cell levels of the used rows
+ * @param cellBits  w
+ */
+bool shouldFlipColumn(std::span<const int> levels, int cellBits);
+
+/** Flip one cell level: W' = 2^w - 1 - W. */
+int flipLevel(int level, int cellBits);
+
+/**
+ * Recover the true column sum-of-products from a flipped column's
+ * ADC reading.
+ *
+ * @param flippedSum  ADC output of the flipped column
+ * @param unitSum     ADC output of the unit column (= sum of inputs)
+ * @param usedRows    rows participating in the dot product
+ * @param cellBits    w
+ */
+Acc unflipColumnSum(Acc flippedSum, Acc unitSum, int cellBits);
+
+/**
+ * Worst-case bitline current of an encoded column with R used rows,
+ * v-bit inputs, and w-bit cells: the bound the flip guarantee
+ * enforces (used by tests and by the ADC-range assertions).
+ */
+Acc encodedColumnCeiling(int usedRows, int v, int w);
+
+} // namespace isaac::xbar
+
+#endif // ISAAC_XBAR_ENCODING_H

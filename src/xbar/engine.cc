@@ -1,0 +1,321 @@
+#include "xbar/engine.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "xbar/encoding.h"
+
+namespace isaac::xbar {
+
+int
+EngineConfig::adcBits() const
+{
+    const int data = adcResolution(rows, dacBits, cellBits,
+                                   flipEncoding);
+    // The unit column sums raw input digits over all rows; it must
+    // be representable too. For the default design point (128 rows,
+    // v=1, w=2, encoded) both requirements are exactly 8 bits.
+    const Acc unitMax = static_cast<Acc>(rows) *
+        ((Acc{1} << dacBits) - 1);
+    const int unit = log2Ceil(static_cast<std::uint64_t>(unitMax) + 1);
+    return std::max(data, unit);
+}
+
+void
+EngineConfig::validate() const
+{
+    if (rows <= 0 || cols <= 0)
+        fatal("EngineConfig: array dimensions must be positive");
+    if (cellBits < 1 || cellBits > 8 || kDataBits % cellBits != 0)
+        fatal("EngineConfig: cell bits must divide 16");
+    if (dacBits < 1 || dacBits > 8 || kDataBits % dacBits != 0)
+        fatal("EngineConfig: DAC bits must divide 16");
+    if (inputMode == InputMode::TwosComplement && dacBits != 1) {
+        fatal("EngineConfig: two's-complement input streaming "
+              "requires a 1-bit DAC; use InputMode::Biased");
+    }
+    if (outputsPerArray() < 1) {
+        fatal("EngineConfig: array narrower than one sliced weight ("
+              + std::to_string(slicesPerWeight()) + " columns)");
+    }
+}
+
+BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
+                                 std::span<const Word> weights,
+                                 int numInputs, int numOutputs)
+    : cfg(cfg), _numInputs(numInputs), _numOutputs(numOutputs),
+      unitCol(cfg.cols), adc(cfg.adcBits())
+{
+    cfg.validate();
+    if (numInputs <= 0 || numOutputs <= 0)
+        fatal("BitSerialEngine: matrix dimensions must be positive");
+    if (weights.size() !=
+        static_cast<std::size_t>(numInputs) * numOutputs) {
+        fatal("BitSerialEngine: weight span size does not match the "
+              "matrix dimensions");
+    }
+
+    _rowSegments = static_cast<int>(ceilDiv(numInputs, cfg.rows));
+    _colSegments = static_cast<int>(
+        ceilDiv(numOutputs, cfg.outputsPerArray()));
+    tiles.resize(static_cast<std::size_t>(_rowSegments) *
+                 _colSegments);
+
+    for (int rs = 0; rs < _rowSegments; ++rs) {
+        for (int cs = 0; cs < _colSegments; ++cs) {
+            auto &t = tile(rs, cs);
+            t.usedRows = std::min(cfg.rows,
+                                  numInputs - rs * cfg.rows);
+            t.localOutputs =
+                std::min(cfg.outputsPerArray(),
+                         numOutputs - cs * cfg.outputsPerArray());
+            // One extra physical column serves as the unit column.
+            t.array = std::make_unique<CrossbarArray>(
+                cfg.rows, cfg.cols + 1, cfg.cellBits);
+            t.array->setNoise(cfg.noise);
+            programTile(t, weights, rs * cfg.rows,
+                        cs * cfg.outputsPerArray());
+        }
+    }
+}
+
+BitSerialEngine::ArrayTile &
+BitSerialEngine::tile(int rs, int cs)
+{
+    return tiles[static_cast<std::size_t>(rs) * _colSegments + cs];
+}
+
+const BitSerialEngine::ArrayTile &
+BitSerialEngine::tile(int rs, int cs) const
+{
+    return tiles[static_cast<std::size_t>(rs) * _colSegments + cs];
+}
+
+std::int64_t
+BitSerialEngine::programTile(ArrayTile &t,
+                             std::span<const Word> weights,
+                             int rowBase, int outBase)
+{
+    const int slices = cfg.slicesPerWeight();
+    const int physCols = cfg.cols + 1;
+    t.flipped.assign(static_cast<std::size_t>(cfg.cols), false);
+    t.sumBiased.assign(static_cast<std::size_t>(t.localOutputs), 0);
+
+    // Build the intended level matrix: biased digits, then the flip
+    // encoding, then the unit column.
+    std::vector<int> next(
+        static_cast<std::size_t>(cfg.rows) * physCols, 0);
+    auto at = [&](int r, int c) -> int & {
+        return next[static_cast<std::size_t>(r) * physCols + c];
+    };
+    for (int o = 0; o < t.localOutputs; ++o) {
+        const int k = outBase + o;
+        for (int r = 0; r < t.usedRows; ++r) {
+            const Word w = weights[static_cast<std::size_t>(k) *
+                                       _numInputs +
+                                   (rowBase + r)];
+            const std::uint16_t u = biasWeight(w);
+            t.sumBiased[static_cast<std::size_t>(o)] += u;
+            const auto digits = sliceWeight(u, cfg.cellBits);
+            for (int s = 0; s < slices; ++s)
+                at(r, o * slices + s) =
+                    digits[static_cast<std::size_t>(s)];
+        }
+    }
+    if (cfg.flipEncoding) {
+        std::vector<int> levels(static_cast<std::size_t>(t.usedRows));
+        for (int c = 0; c < t.localOutputs * slices; ++c) {
+            for (int r = 0; r < t.usedRows; ++r)
+                levels[static_cast<std::size_t>(r)] = at(r, c);
+            if (shouldFlipColumn(levels, cfg.cellBits)) {
+                t.flipped[static_cast<std::size_t>(c)] = true;
+                for (int r = 0; r < t.usedRows; ++r)
+                    at(r, c) = flipLevel(at(r, c), cfg.cellBits);
+            }
+        }
+    }
+    // The unit column: a 1-valued cell in every used row, producing
+    // the sum of the input digits each phase.
+    for (int r = 0; r < t.usedRows; ++r)
+        at(r, unitCol) = 1;
+
+    // Differential program-verify: only touch cells whose target
+    // changed since the last programming pass.
+    std::int64_t writes = 0;
+    const bool fresh = t.intended.empty();
+    for (int r = 0; r < cfg.rows; ++r) {
+        for (int c = 0; c < physCols; ++c) {
+            const std::size_t idx =
+                static_cast<std::size_t>(r) * physCols + c;
+            if (fresh || t.intended[idx] != next[idx]) {
+                t.array->program(r, c, next[idx]);
+                ++writes;
+            }
+        }
+    }
+    t.intended = std::move(next);
+    return writes;
+}
+
+std::int64_t
+BitSerialEngine::reprogram(std::span<const Word> weights)
+{
+    if (weights.size() !=
+        static_cast<std::size_t>(_numInputs) * _numOutputs) {
+        fatal("BitSerialEngine::reprogram: weight span size does "
+              "not match the matrix dimensions");
+    }
+    std::int64_t writes = 0;
+    for (int rs = 0; rs < _rowSegments; ++rs) {
+        for (int cs = 0; cs < _colSegments; ++cs) {
+            writes += programTile(tile(rs, cs), weights,
+                                  rs * cfg.rows,
+                                  cs * cfg.outputsPerArray());
+        }
+    }
+    return writes;
+}
+
+std::vector<Acc>
+BitSerialEngine::dotProduct(std::span<const Word> inputs) const
+{
+    if (inputs.size() != static_cast<std::size_t>(_numInputs))
+        fatal("BitSerialEngine::dotProduct: wrong input length");
+
+    const int slices = cfg.slicesPerWeight();
+    const int phases = cfg.phases();
+    const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
+
+    std::vector<Acc> result(static_cast<std::size_t>(_numOutputs), 0);
+    // Biased-mode running totals.
+    std::vector<Acc> rawSum;
+    Acc unitTotal = 0;
+    if (!twosComp)
+        rawSum.assign(static_cast<std::size_t>(_numOutputs), 0);
+
+    std::vector<int> digits;
+    for (int p = 0; p < phases; ++p) {
+        for (int rs = 0; rs < _rowSegments; ++rs) {
+            const auto &anyTile = tile(rs, 0);
+            const int used = anyTile.usedRows;
+            digits.assign(static_cast<std::size_t>(used), 0);
+            for (int r = 0; r < used; ++r) {
+                const Word x = inputs[static_cast<std::size_t>(
+                    rs * cfg.rows + r)];
+                if (twosComp) {
+                    digits[static_cast<std::size_t>(r)] =
+                        bitOf(x, p);
+                } else {
+                    const std::uint16_t y =
+                        static_cast<std::uint16_t>(
+                            static_cast<Acc>(x) + kWeightBias);
+                    digits[static_cast<std::size_t>(r)] =
+                        digitOf(static_cast<Word>(y), p * cfg.dacBits,
+                                cfg.dacBits);
+                }
+            }
+            _stats.dacActivations += static_cast<std::uint64_t>(used);
+
+            for (int cs = 0; cs < _colSegments; ++cs) {
+                const auto &t = tile(rs, cs);
+                const auto currents = t.array->readAllBitlines(digits);
+                ++_stats.crossbarReads;
+
+                const Acc unit = adc.convert(
+                    currents[static_cast<std::size_t>(unitCol)]);
+                ++_stats.adcSamples;
+
+                for (int o = 0; o < t.localOutputs; ++o) {
+                    Acc merged = 0;
+                    for (int s = 0; s < slices; ++s) {
+                        const int c = o * slices + s;
+                        Acc v = adc.convert(
+                            currents[static_cast<std::size_t>(c)]);
+                        ++_stats.adcSamples;
+                        if (t.flipped[static_cast<std::size_t>(c)])
+                            v = unflipColumnSum(v, unit,
+                                                cfg.cellBits);
+                        merged += v * (Acc{1} << (s * cfg.cellBits));
+                        ++_stats.shiftAdds;
+                    }
+                    const std::size_t k = static_cast<std::size_t>(
+                        cs * cfg.outputsPerArray() + o);
+                    if (twosComp) {
+                        // Remove the weight bias for this phase, then
+                        // shift-and-add (subtract for the sign bit).
+                        const Acc v = merged - kWeightBias * unit;
+                        result[k] += (p == phases - 1 ? -v : v) *
+                            (Acc{1} << p);
+                    } else {
+                        rawSum[k] += merged *
+                            (Acc{1} << (p * cfg.dacBits));
+                    }
+                    ++_stats.shiftAdds;
+                }
+                // unitTotal is a row-side quantity: accumulate it
+                // once per (phase, row segment), not per column tile.
+                if (!twosComp && cs == 0)
+                    unitTotal += unit * (Acc{1} << (p * cfg.dacBits));
+            }
+        }
+    }
+
+    if (!twosComp) {
+        // sum(x*w) = sum(y*u) - B*sum(y) - B*sum(u) + R*B^2 with
+        // y = x + B, u = w + B (Sec. V's bias, applied to both
+        // operands).
+        Acc totalUsedRows = 0;
+        for (int rs = 0; rs < _rowSegments; ++rs)
+            totalUsedRows += tile(rs, 0).usedRows;
+        for (int k = 0; k < _numOutputs; ++k) {
+            Acc sumU = 0;
+            const int cs = k / cfg.outputsPerArray();
+            const int o = k % cfg.outputsPerArray();
+            for (int rs = 0; rs < _rowSegments; ++rs)
+                sumU += tile(rs, cs)
+                            .sumBiased[static_cast<std::size_t>(o)];
+            result[static_cast<std::size_t>(k)] =
+                rawSum[static_cast<std::size_t>(k)] -
+                kWeightBias * unitTotal - kWeightBias * sumU +
+                totalUsedRows * kWeightBias * kWeightBias;
+        }
+    }
+
+    ++_stats.ops;
+    return result;
+}
+
+int
+BitSerialEngine::physicalArrays() const
+{
+    return _rowSegments * _colSegments;
+}
+
+void
+BitSerialEngine::resetStats()
+{
+    _stats = EngineStats{};
+    adc.resetStats();
+}
+
+std::uint64_t
+BitSerialEngine::adcClips() const
+{
+    return adc.clips();
+}
+
+double
+BitSerialEngine::cellUtilization() const
+{
+    const double perArray = static_cast<double>(cfg.rows) *
+        (cfg.cols + 1);
+    double used = 0;
+    for (const auto &t : tiles) {
+        used += static_cast<double>(t.usedRows) *
+            (t.localOutputs * cfg.slicesPerWeight() + 1);
+    }
+    return used / (perArray * static_cast<double>(tiles.size()));
+}
+
+} // namespace isaac::xbar

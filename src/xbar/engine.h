@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The bit-serial in-situ dot-product engine (Sections V and VI).
+ *
+ * A BitSerialEngine owns the physical crossbars that store one
+ * logical weight matrix (dot-product length x output count) and
+ * executes the paper's full arithmetic pipeline:
+ *
+ *  - inputs are presented as 16/v sequential v-bit digits (the 1-bit
+ *    DAC of the default design needs no DAC circuit at all);
+ *  - each 16-bit weight occupies 16/w adjacent w-bit cells, stored
+ *    biased by 2^15 and possibly column-flipped;
+ *  - every crossbar read latches all bitlines in S&H circuits and
+ *    streams them through the ADC;
+ *  - digital shift-and-add merges slices, phases, the unit-column
+ *    corrections, and the sign of input bit 15.
+ *
+ * The result is the *exact* signed 64-bit dot product of the signed
+ * 16-bit inputs and weights (tests assert bit-equality against a
+ * direct evaluation) unless analog noise is enabled.
+ *
+ * Logical matrices larger than one physical array are tiled across
+ * row segments (partial sums added digitally) and column segments.
+ */
+
+#ifndef ISAAC_XBAR_ENGINE_H
+#define ISAAC_XBAR_ENGINE_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "xbar/adc.h"
+#include "xbar/crossbar.h"
+#include "xbar/noise.h"
+
+namespace isaac::xbar {
+
+/** How signed inputs are fed to the rows. */
+enum class InputMode
+{
+    /**
+     * Two's-complement bit-serial (the paper's scheme, Sec. V): the
+     * final bit's partial result is shift-and-*subtracted*. Requires
+     * a 1-bit DAC (v = 1).
+     */
+    TwosComplement,
+
+    /**
+     * Biased inputs (x + 2^15 fed as unsigned digits) with a digital
+     * correction using the unit column and per-column weight sums.
+     * Works for any DAC resolution v; used in the multi-bit-DAC
+     * ablation.
+     */
+    Biased,
+};
+
+/** Static configuration of one engine. */
+struct EngineConfig
+{
+    int rows = 128;     ///< Physical wordlines per array.
+    int cols = 128;     ///< Physical data bitlines (unit col extra).
+    int cellBits = 2;   ///< w: bits per cell.
+    int dacBits = 1;    ///< v: input digit width.
+    bool flipEncoding = true; ///< Column-flip scheme of Sec. V.
+    InputMode inputMode = InputMode::TwosComplement;
+    NoiseSpec noise;    ///< Analog non-ideality (off by default).
+
+    /** Digits per weight = 16 / w. */
+    int slicesPerWeight() const { return kDataBits / cellBits; }
+
+    /** Input phases per 16-bit operation = 16 / v. */
+    int phases() const { return kDataBits / dacBits; }
+
+    /** Outputs that fit in one physical array's data columns. */
+    int outputsPerArray() const { return cols / slicesPerWeight(); }
+
+    /** ADC resolution this configuration requires. */
+    int adcBits() const;
+
+    /** Sanity-check field combinations; fatal() on bad configs. */
+    void validate() const;
+};
+
+/** Activity counters for energy/perf accounting. */
+struct EngineStats
+{
+    std::uint64_t ops = 0;           ///< dotProduct() calls.
+    std::uint64_t crossbarReads = 0; ///< Physical array read cycles.
+    std::uint64_t adcSamples = 0;    ///< ADC conversions.
+    std::uint64_t shiftAdds = 0;     ///< Digital merge operations.
+    std::uint64_t dacActivations = 0; ///< Row-digit presentations.
+};
+
+/** The in-situ multiply-accumulate engine for one weight matrix. */
+class BitSerialEngine
+{
+  public:
+    /**
+     * Program a logical weight matrix.
+     * @param cfg         engine configuration
+     * @param weights     matrix in output-major layout:
+     *                    weights[k * numInputs + r]
+     * @param numInputs   dot-product length (rows of the matrix)
+     * @param numOutputs  number of output neurons (columns)
+     */
+    BitSerialEngine(const EngineConfig &cfg,
+                    std::span<const Word> weights,
+                    int numInputs, int numOutputs);
+
+    /**
+     * Execute one full bit-serial dot-product operation: 16/v
+     * crossbar read phases against all arrays, ADC conversion, and
+     * digital merging. Returns the exact signed dot products, one
+     * per output.
+     */
+    std::vector<Acc> dotProduct(std::span<const Word> inputs) const;
+
+    /**
+     * Replace the weight matrix in place (same dimensions).
+     * Program-verify only rewrites cells whose target level changed.
+     * @return number of cell writes performed.
+     */
+    std::int64_t reprogram(std::span<const Word> weights);
+
+    int numInputs() const { return _numInputs; }
+    int numOutputs() const { return _numOutputs; }
+
+    /** Physical arrays used (row segments x column segments). */
+    int physicalArrays() const;
+    int rowSegments() const { return _rowSegments; }
+    int colSegments() const { return _colSegments; }
+
+    const EngineConfig &config() const { return cfg; }
+    const EngineStats &stats() const { return _stats; }
+    void resetStats();
+
+    /** Total ADC clip events (must stay 0 with noise disabled). */
+    std::uint64_t adcClips() const;
+
+    /** Fraction of cells in the allocated arrays holding weights. */
+    double cellUtilization() const;
+
+  private:
+    struct ArrayTile
+    {
+        std::unique_ptr<CrossbarArray> array;
+        std::vector<bool> flipped;  ///< Per data column.
+        std::vector<Acc> sumBiased; ///< Per local output: sum of U.
+        std::vector<int> intended;  ///< Target levels (differential
+                                    ///< reprogramming baseline).
+        int usedRows = 0;
+        int localOutputs = 0;
+    };
+
+    ArrayTile &tile(int rs, int cs);
+    const ArrayTile &tile(int rs, int cs) const;
+
+    /** Program one tile; returns the cell writes performed. */
+    std::int64_t programTile(ArrayTile &t,
+                             std::span<const Word> weights,
+                             int rowBase, int outBase);
+
+    EngineConfig cfg;
+    int _numInputs;
+    int _numOutputs;
+    int _rowSegments;
+    int _colSegments;
+    int unitCol; ///< Physical index of the unit column (== cfg.cols).
+    std::vector<ArrayTile> tiles; ///< rowSegments x colSegments.
+    mutable Adc adc;
+    mutable EngineStats _stats;
+};
+
+} // namespace isaac::xbar
+
+#endif // ISAAC_XBAR_ENGINE_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analog non-ideality models.
+ *
+ * Hu et al. [26] show crossbar reads are robust to thermal / shot /
+ * random-telegraph noise; Section VIII-A argues a marginal increase
+ * in signal noise is tolerable for CNNs. Three device-level effects
+ * are modelled, all deterministic per seed:
+ *
+ *  - *read noise*: additive Gaussian current noise per bitline
+ *    sample (sigmaLsb, in units of one cell-conductance LSB);
+ *  - *write variation*: program-verify converges to within a
+ *    Gaussian error of the target level (writeSigmaLevels);
+ *  - *stuck cells*: a fraction of cells whose conductance cannot be
+ *    changed (fabrication defects), frozen at a random level.
+ *
+ * All default to off, making the data path exact.
+ */
+
+#ifndef ISAAC_XBAR_NOISE_H
+#define ISAAC_XBAR_NOISE_H
+
+#include <cstdint>
+
+namespace isaac::xbar {
+
+/** Analog non-ideality specification. */
+struct NoiseSpec
+{
+    /** Read-noise standard deviation in bitline LSBs; 0 disables. */
+    double sigmaLsb = 0.0;
+
+    /** Programming error sigma in cell-level units; 0 disables. */
+    double writeSigmaLevels = 0.0;
+
+    /** Fraction of cells stuck at a random level; 0 disables. */
+    double stuckAtFraction = 0.0;
+
+    /** Seed for the deterministic noise streams. */
+    std::uint64_t seed = 0x15AAC;
+
+    bool readNoiseEnabled() const { return sigmaLsb > 0.0; }
+    bool writeNoiseEnabled() const { return writeSigmaLevels > 0.0; }
+    bool faultsEnabled() const { return stuckAtFraction > 0.0; }
+
+    bool
+    anyEnabled() const
+    {
+        return readNoiseEnabled() || writeNoiseEnabled() ||
+            faultsEnabled();
+    }
+};
+
+} // namespace isaac::xbar
+
+#endif // ISAAC_XBAR_NOISE_H

@@ -1,0 +1,53 @@
+#include "xbar/write_model.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace isaac::xbar {
+
+double
+WriteModel::arraySeconds(const arch::IsaacConfig &cfg) const
+{
+    if (pulseNs <= 0 || pulsesPerCell <= 0 || rowsPerWrite < 1)
+        fatal("WriteModel: parameters must be positive");
+    const double rowWrites = static_cast<double>(
+        ceilDiv(cfg.engine.rows, rowsPerWrite));
+    return rowWrites * pulsesPerCell * pulseNs * 1e-9;
+}
+
+double
+WriteModel::cellsEnergyJ(std::int64_t cells) const
+{
+    return static_cast<double>(cells) * pulsesPerCell *
+        pulseEnergyPj * 1e-12;
+}
+
+double
+WriteModel::programSeconds(const arch::IsaacConfig &cfg,
+                           std::int64_t xbars, int chips) const
+{
+    if (chips < 1)
+        fatal("WriteModel: need at least one chip");
+    // All IMAs program concurrently; each IMA's write driver(s)
+    // serialize the IMA's arrays.
+    const std::int64_t imas = static_cast<std::int64_t>(chips) *
+        cfg.tilesPerChip * cfg.imasPerTile;
+    const std::int64_t arraysPerIma = ceilDiv(xbars, imas);
+    const std::int64_t rounds =
+        ceilDiv(arraysPerIma, std::max(1, arraysPerImaParallel));
+    return static_cast<double>(rounds) * arraySeconds(cfg);
+}
+
+double
+WriteModel::programEnergyJ(const arch::IsaacConfig &cfg,
+                           std::int64_t xbars) const
+{
+    const std::int64_t cells = xbars *
+        static_cast<std::int64_t>(cfg.engine.rows) *
+        (cfg.engine.cols + 1);
+    return cellsEnergyJ(cells);
+}
+
+} // namespace isaac::xbar

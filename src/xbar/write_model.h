@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Crossbar programming (weight-loading) cost model.
+ *
+ * ISAAC loads trained weights into the memristor cells in a
+ * programming step (Sec. III) and never reprograms during inference:
+ * "a crossbar can't be efficiently re-programmed on the fly"
+ * (Sec. I), which is what forces the layer-per-crossbar pipeline.
+ * This model quantifies that claim: program-verify writes through
+ * the 1T1R access devices (Sec. II-D, Zangeneh & Joshi [79]), one
+ * wordline at a time per array, one array at a time per IMA's write
+ * driver.
+ *
+ * Defaults follow typical TaOx/HfOx RRAM figures: 100 ns pulses,
+ * ~4 program-verify iterations per 2-bit cell, ~10 pJ per pulse.
+ */
+
+#ifndef ISAAC_XBAR_WRITE_MODEL_H
+#define ISAAC_XBAR_WRITE_MODEL_H
+
+#include <cstdint>
+
+#include "arch/config.h"
+
+namespace isaac::xbar {
+
+/** Programming-cost parameters and derived quantities. */
+struct WriteModel
+{
+    double pulseNs = 100.0;    ///< One write pulse.
+    double pulsesPerCell = 4.0; ///< Program-verify iterations.
+    double pulseEnergyPj = 10.0;
+    int rowsPerWrite = 1;       ///< Wordlines written in parallel.
+    int arraysPerImaParallel = 1; ///< Write drivers per IMA.
+
+    /** Seconds to program one full crossbar array. */
+    double arraySeconds(const arch::IsaacConfig &cfg) const;
+
+    /** Joules to program `cells` cells. */
+    double cellsEnergyJ(std::int64_t cells) const;
+
+    /**
+     * Seconds to program `xbars` arrays on `chips` chips of `cfg`
+     * (all IMAs program concurrently, arrays within an IMA
+     * serialize on the write driver).
+     */
+    double programSeconds(const arch::IsaacConfig &cfg,
+                          std::int64_t xbars, int chips) const;
+
+    /** Joules to program `xbars` full arrays of `cfg`. */
+    double programEnergyJ(const arch::IsaacConfig &cfg,
+                          std::int64_t xbars) const;
+};
+
+} // namespace isaac::xbar
+
+#endif // ISAAC_XBAR_WRITE_MODEL_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * IsaacConfig tests: derived quantities must match the paper's
+ * stated figures for the ISAAC-CE design point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.h"
+#include "common/logging.h"
+
+namespace isaac::arch {
+namespace {
+
+TEST(Config, DefaultsAreIsaacCE)
+{
+    const auto cfg = IsaacConfig::isaacCE();
+    EXPECT_EQ(cfg.label(), "H128-A8-C8-I12");
+    EXPECT_EQ(cfg.engine.adcBits(), 8);
+    // Sec. VI: IR is 2 KB ("maximum capacity of 1KB" per 128-row
+    // half; 8 arrays x 128 rows x 2 B), OR is 256 B.
+    EXPECT_EQ(cfg.irBytesPerIma(), 2048);
+    EXPECT_EQ(cfg.orBytesPerIma(), 256);
+}
+
+TEST(Config, WeightCapacityMatchesTableI)
+{
+    const auto cfg = IsaacConfig::isaacCE();
+    // 128 rows x 16 weight columns per array.
+    EXPECT_EQ(cfg.weightsPerXbar(), 128 * 16);
+    // 2048 weights x 8 arrays x 12 IMAs x 168 tiles.
+    EXPECT_EQ(cfg.weightsPerChip(), 2048LL * 8 * 12 * 168);
+    // ~63 MB of synaptic storage per chip (SE ~0.74 MB/mm^2).
+    const double mb = static_cast<double>(cfg.storageBytesPerChip()) /
+        (1024.0 * 1024.0);
+    EXPECT_NEAR(mb, 63.0, 1.0);
+}
+
+TEST(Config, PeakThroughputMatchesPaper)
+{
+    const auto cfg = IsaacConfig::isaacCE();
+    // The ADC drains 128 of the 129 columns' worth per cycle:
+    // effective crossbars = min(8, 8 * 128 / 129) = 7.94.
+    EXPECT_NEAR(cfg.effectiveXbarsPerIma(), 7.938, 0.001);
+    // Peak ~41 TOPS per chip -> CE of ~479 GOPS/mm^2 at 85.4 mm^2.
+    EXPECT_NEAR(cfg.peakGops() / 1000.0, 41.0, 0.5);
+}
+
+TEST(Config, AdcLimitedConfigsScaleDown)
+{
+    IsaacConfig cfg;
+    cfg.adcsPerIma = 4; // half the ADCs -> half the effective reads
+    EXPECT_NEAR(cfg.effectiveXbarsPerIma(), 3.969, 0.001);
+
+    IsaacConfig wide;
+    wide.adcsPerIma = 16; // crossbar-limited instead
+    EXPECT_DOUBLE_EQ(wide.effectiveXbarsPerIma(), 8.0);
+}
+
+TEST(Config, SeConfigTradesThroughputForStorage)
+{
+    const auto se = IsaacConfig::isaacSE();
+    const auto ce = IsaacConfig::isaacCE();
+    EXPECT_GT(se.storageBytesPerChip(), 10 * ce.storageBytesPerChip());
+    EXPECT_LT(se.effectiveXbarsPerIma() / se.xbarsPerIma,
+              ce.effectiveXbarsPerIma() / ce.xbarsPerIma);
+}
+
+TEST(Config, ValidateCatchesNonsense)
+{
+    IsaacConfig cfg;
+    cfg.adcsPerIma = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    IsaacConfig cfg2;
+    cfg2.cycleNs = -1;
+    EXPECT_THROW(cfg2.validate(), FatalError);
+
+    IsaacConfig cfg3;
+    cfg3.engine.dacBits = 3;
+    EXPECT_THROW(cfg3.validate(), FatalError);
+}
+
+} // namespace
+} // namespace isaac::arch

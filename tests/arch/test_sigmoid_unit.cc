@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tile sigmoid-unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/sigmoid.h"
+
+namespace isaac::arch {
+namespace {
+
+TEST(SigmoidUnit, MatchesSharedLut)
+{
+    const FixedFormat fmt{12};
+    SigmoidUnit unit(fmt);
+    nn::SigmoidLut lut(fmt);
+    for (int x = -20000; x <= 20000; x += 997) {
+        const Word w = static_cast<Word>(x);
+        EXPECT_EQ(unit.apply(nn::Activation::Sigmoid, w),
+                  lut.apply(w));
+        EXPECT_EQ(unit.apply(nn::Activation::ReLU, w),
+                  w > 0 ? w : 0);
+    }
+}
+
+TEST(SigmoidUnit, CountsOps)
+{
+    SigmoidUnit unit(FixedFormat{10});
+    EXPECT_EQ(unit.ops(), 0u);
+    unit.apply(nn::Activation::Sigmoid, 100);
+    unit.apply(nn::Activation::None, 3);
+    EXPECT_EQ(unit.ops(), 2u);
+    unit.resetStats();
+    EXPECT_EQ(unit.ops(), 0u);
+}
+
+TEST(SigmoidUnit, ThroughputCoversTheTile)
+{
+    // Sec. VI: one IMA wave produces up to 64 16-bit values per
+    // 100 ns cycle; the two sigmoid units at 1.2 GHz handle 240.
+    EXPECT_GE(SigmoidUnit::opsPerIsaacCycle(), 64);
+    EXPECT_EQ(SigmoidUnit::opsPerIsaacCycle(), 240);
+}
+
+} // namespace
+} // namespace isaac::arch

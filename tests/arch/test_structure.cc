@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Structural model tests: IMA/tile/chip allocation semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/chip.h"
+#include "common/logging.h"
+
+namespace isaac::arch {
+namespace {
+
+const IsaacConfig kCfg = IsaacConfig::isaacCE();
+
+TEST(Ima, AllocatesUpToCapacity)
+{
+    Ima ima(kCfg, 0);
+    EXPECT_TRUE(ima.idle());
+    EXPECT_EQ(ima.freeXbars(), 8);
+    EXPECT_EQ(ima.allocate(5, 3), 5);
+    EXPECT_EQ(ima.freeXbars(), 3);
+    EXPECT_EQ(*ima.layer(), 3u);
+    // Same layer may take the rest, but no more than remains.
+    EXPECT_EQ(ima.allocate(8, 3), 3);
+    EXPECT_EQ(ima.freeXbars(), 0);
+}
+
+TEST(Ima, RefusesSecondLayer)
+{
+    Ima ima(kCfg, 0);
+    EXPECT_EQ(ima.allocate(2, 1), 2);
+    // A different layer gets nothing: the IMA is dedicated.
+    EXPECT_EQ(ima.allocate(2, 2), 0);
+    EXPECT_EQ(*ima.layer(), 1u);
+}
+
+TEST(Ima, RejectsBadRequest)
+{
+    Ima ima(kCfg, 0);
+    EXPECT_THROW(ima.allocate(0, 1), FatalError);
+    EXPECT_THROW(ima.allocate(-1, 1), FatalError);
+}
+
+TEST(Tile, TracksEdramAndImas)
+{
+    Tile tile(kCfg, TileCoord{0, 3, 2});
+    EXPECT_EQ(tile.coord().x, 3);
+    EXPECT_EQ(tile.imas().size(), 12u);
+    EXPECT_EQ(tile.freeXbars(), 96);
+    EXPECT_EQ(tile.edramFreeBytes(), 64 * 1024);
+
+    EXPECT_TRUE(tile.reserveBuffer(40 * 1024, 7));
+    EXPECT_EQ(tile.edramFreeBytes(), 24 * 1024);
+    // Over-reservation is refused, not clipped.
+    EXPECT_FALSE(tile.reserveBuffer(30 * 1024, 8));
+    EXPECT_EQ(tile.edramFreeBytes(), 24 * 1024);
+}
+
+TEST(Tile, ResidentLayersCombineImasAndBuffers)
+{
+    Tile tile(kCfg, TileCoord{0, 0, 0});
+    tile.imas()[0].allocate(4, 11);
+    tile.reserveBuffer(1024, 22);
+    const auto layers = tile.residentLayers();
+    ASSERT_EQ(layers.size(), 2u);
+    EXPECT_NE(std::find(layers.begin(), layers.end(), 11u),
+              layers.end());
+    EXPECT_NE(std::find(layers.begin(), layers.end(), 22u),
+              layers.end());
+}
+
+TEST(Chip, GridIs14By12For168Tiles)
+{
+    // Sec. VII: "one ISAAC chip can accommodate 14 x 12 tiles."
+    const auto [cols, rows] = Chip::gridFor(168);
+    EXPECT_EQ(cols, 14);
+    EXPECT_EQ(rows, 12);
+
+    Chip chip(kCfg, 0);
+    EXPECT_EQ(chip.gridCols(), 14);
+    EXPECT_EQ(chip.gridRows(), 12);
+    EXPECT_EQ(chip.tiles().size(), 168u);
+    EXPECT_EQ(chip.tile(13, 11).coord().x, 13);
+    EXPECT_THROW(chip.tile(14, 0), FatalError);
+}
+
+TEST(Chip, GridForOddCounts)
+{
+    EXPECT_EQ(Chip::gridFor(1), (std::pair<int, int>{1, 1}));
+    EXPECT_EQ(Chip::gridFor(12), (std::pair<int, int>{4, 3}));
+    EXPECT_EQ(Chip::gridFor(7), (std::pair<int, int>{7, 1}));
+    EXPECT_THROW(Chip::gridFor(0), FatalError);
+}
+
+} // namespace
+} // namespace isaac::arch

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * DaDianNao analytic-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/dadiannao_perf.h"
+#include "nn/zoo.h"
+#include "pipeline/perf.h"
+
+namespace isaac::baseline {
+namespace {
+
+const energy::DaDianNaoModel kDdn;
+
+TEST(DdnPerf, CapacityRulesMatchPaper)
+{
+    // Sec. VIII-A: the large DNN needs 64 DaDianNao chips.
+    const auto dnn = nn::largeDnn();
+    EXPECT_FALSE(analyzeDaDianNao(dnn, kDdn, 32).fits);
+    EXPECT_TRUE(analyzeDaDianNao(dnn, kDdn, 64).fits);
+
+    // VGG-1 (~265 MB of weights) needs at least 8 chips.
+    const auto vgg = nn::vgg(1);
+    EXPECT_FALSE(analyzeDaDianNao(vgg, kDdn, 4).fits);
+    EXPECT_TRUE(analyzeDaDianNao(vgg, kDdn, 8).fits);
+}
+
+TEST(DdnPerf, ConvLayersAreComputeBound)
+{
+    const auto net = nn::vgg(1);
+    const auto perf = analyzeDaDianNao(net, kDdn, 16);
+    ASSERT_TRUE(perf.fits);
+    // A mid-network conv layer: NFU utilization near 1.
+    const auto &conv4 = perf.layers[4];
+    EXPECT_GT(conv4.nfuUtilization, 0.9);
+}
+
+TEST(DdnPerf, ClassifierLayersAreCommBound)
+{
+    // Sec. VIII-B: "DaDianNao suffers from the all-to-all
+    // communication bottleneck during the last classifier layers."
+    const auto net = nn::vgg(1);
+    const auto perf = analyzeDaDianNao(net, kDdn, 64);
+    ASSERT_TRUE(perf.fits);
+    const auto &fc1 = perf.layers[net.dotProductLayers()[8]];
+    EXPECT_GT(fc1.commCycles, fc1.computeCycles);
+    EXPECT_LT(fc1.nfuUtilization, 0.5);
+}
+
+TEST(DdnPerf, ThroughputScalesSublinearly)
+{
+    const auto net = nn::vgg(1);
+    const auto p16 = analyzeDaDianNao(net, kDdn, 16);
+    const auto p64 = analyzeDaDianNao(net, kDdn, 64);
+    EXPECT_GT(p64.imagesPerSec, p16.imagesPerSec);
+    // Communication keeps 64 chips below perfect 4x scaling.
+    EXPECT_LT(p64.imagesPerSec, 4.0 * p16.imagesPerSec);
+}
+
+TEST(DdnPerf, EnergyAndPowerArePositiveAndBounded)
+{
+    const auto net = nn::msra(1);
+    const auto perf = analyzeDaDianNao(net, kDdn, 64);
+    ASSERT_TRUE(perf.fits);
+    EXPECT_GT(perf.energyPerImageJ, 0.0);
+    EXPECT_LE(perf.powerW, 64.0 * kDdn.chipPowerW() * 1.001);
+}
+
+TEST(DdnPerf, IsaacBeatsDaDianNaoOnEveryFittingBenchmark)
+{
+    // The headline comparison (Sec. VIII-B / Fig. 6): ISAAC-CE wins
+    // throughput and energy on every benchmark both can run at 16
+    // chips. (Our measured margins are smaller than the paper's
+    // 14.8x/5.5x averages; see EXPERIMENTS.md.)
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    for (const auto &net : nn::allBenchmarks()) {
+        const auto ddn = analyzeDaDianNao(net, kDdn, 16);
+        const auto isaac = pipeline::analyzeIsaac(net, cfg, 16);
+        if (!ddn.fits || !isaac.fits)
+            continue;
+        EXPECT_GT(isaac.imagesPerSec, 2.0 * ddn.imagesPerSec)
+            << net.name();
+        EXPECT_LT(isaac.energyPerImageJ, ddn.energyPerImageJ)
+            << net.name();
+    }
+}
+
+TEST(DdnPerf, NfuGranularityChargesSkinnyLayers)
+{
+    // VGG's first layer has only 3 input channels: its 27-long dot
+    // products fill under 2 of every Ti=16 lanes-wave, so its NFU
+    // cycles exceed the ideal macs/peak by the padding factor.
+    const auto net = nn::vgg(1);
+    const auto &conv1 = net.layer(0);
+    const double ideal = static_cast<double>(conv1.macsPerImage()) /
+        (kDdn.macsPerCycle() * 16);
+    const double actual = nfuCyclesForLayer(conv1, kDdn, 16);
+    // ceil(64/16) * ceil(27/16) * 256 = 2048 lane-MACs per window
+    // vs 1728 useful: ~1.19x padding.
+    EXPECT_NEAR(actual / ideal, 2048.0 / 1728.0, 1e-6);
+
+    // A well-shaped mid-network layer is nearly padding-free.
+    const auto &conv5 = net.layer(7);
+    ASSERT_EQ(conv5.ni, 256);
+    EXPECT_NEAR(nfuCyclesForLayer(conv5, kDdn, 16) /
+                    (static_cast<double>(conv5.macsPerImage()) /
+                     (kDdn.macsPerCycle() * 16)),
+                1.0, 1e-6);
+}
+
+TEST(DdnPerf, LocalityParameterReducesComm)
+{
+    const auto net = nn::vgg(1);
+    const auto loose = analyzeDaDianNao(net, kDdn, 16, 1.0);
+    const auto tight = analyzeDaDianNao(net, kDdn, 16, 0.1);
+    EXPECT_GE(loose.cyclesPerImage, tight.cyclesPerImage);
+}
+
+} // namespace
+} // namespace isaac::baseline

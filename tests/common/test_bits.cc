@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the bit/integer helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace isaac {
+namespace {
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0);
+    EXPECT_EQ(ceilDiv(1, 4), 1);
+    EXPECT_EQ(ceilDiv(4, 4), 1);
+    EXPECT_EQ(ceilDiv(5, 4), 2);
+    EXPECT_EQ(ceilDiv(128, 128), 1);
+    EXPECT_EQ(ceilDiv(129, 128), 2);
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0);
+    EXPECT_EQ(log2Ceil(2), 1);
+    EXPECT_EQ(log2Ceil(3), 2);
+    EXPECT_EQ(log2Ceil(128), 7);
+    EXPECT_EQ(log2Ceil(129), 8);
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0);
+    EXPECT_EQ(log2Floor(2), 1);
+    EXPECT_EQ(log2Floor(3), 1);
+    EXPECT_EQ(log2Floor(128), 7);
+    EXPECT_EQ(log2Floor(255), 7);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(128));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(129));
+}
+
+TEST(Bits, BitOfWalksTwosComplement)
+{
+    const std::int16_t v = -1; // all 16 bits set
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(bitOf(v, i), 1);
+    const std::int16_t w = 0b0000000000000101;
+    EXPECT_EQ(bitOf(w, 0), 1);
+    EXPECT_EQ(bitOf(w, 1), 0);
+    EXPECT_EQ(bitOf(w, 2), 1);
+    EXPECT_EQ(bitOf(w, 15), 0);
+}
+
+TEST(Bits, BitsReassembleWord)
+{
+    // Property: sum over bits of b_i * 2^i (with bit 15 negative)
+    // reconstructs the two's-complement value.
+    for (std::int32_t v = -32768; v <= 32767; v += 17) {
+        const auto w = static_cast<std::int16_t>(v);
+        std::int32_t sum = 0;
+        for (int i = 0; i < 15; ++i)
+            sum += bitOf(w, i) << i;
+        sum -= bitOf(w, 15) << 15;
+        EXPECT_EQ(sum, v);
+    }
+}
+
+TEST(Bits, DigitOfExtractsFields)
+{
+    const std::int16_t v = 0b0110'1011'0010'1101;
+    EXPECT_EQ(digitOf(v, 0, 4), 0b1101);
+    EXPECT_EQ(digitOf(v, 4, 4), 0b0010);
+    EXPECT_EQ(digitOf(v, 8, 4), 0b1011);
+    EXPECT_EQ(digitOf(v, 12, 4), 0b0110);
+    EXPECT_EQ(digitOf(v, 0, 2), 0b01);
+    EXPECT_EQ(digitOf(v, 14, 2), 0b01);
+}
+
+} // namespace
+} // namespace isaac

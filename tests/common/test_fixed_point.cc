@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit and property tests for the fixed-point helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace isaac {
+namespace {
+
+TEST(FixedPoint, SaturateClampsBothEnds)
+{
+    EXPECT_EQ(saturate16(40000), 32767);
+    EXPECT_EQ(saturate16(-40000), -32768);
+    EXPECT_EQ(saturate16(123), 123);
+    EXPECT_EQ(saturate16(-123), -123);
+    EXPECT_EQ(saturate16(32767), 32767);
+    EXPECT_EQ(saturate16(-32768), -32768);
+}
+
+TEST(FixedPoint, RoundTripSmallValues)
+{
+    const FixedFormat fmt{12};
+    for (double v : {0.0, 0.5, -0.5, 1.25, -3.75, 7.0, -7.999}) {
+        const Word w = toFixed(v, fmt);
+        EXPECT_NEAR(fromFixed(w, fmt), v, fmt.resolution());
+    }
+}
+
+TEST(FixedPoint, ToFixedSaturates)
+{
+    const FixedFormat fmt{12};
+    EXPECT_EQ(toFixed(1000.0, fmt), 32767);
+    EXPECT_EQ(toFixed(-1000.0, fmt), -32768);
+}
+
+TEST(FixedPoint, ToFixedRejectsBadFormat)
+{
+    EXPECT_THROW(toFixed(1.0, FixedFormat{16}), FatalError);
+    EXPECT_THROW(toFixed(1.0, FixedFormat{-1}), FatalError);
+}
+
+TEST(FixedPoint, RequantizeExactProducts)
+{
+    // A product of two Q*.f numbers requantizes back to the exact
+    // representable product when no rounding is needed.
+    const FixedFormat fmt{8};
+    const Word a = toFixed(1.5, fmt);   // 384
+    const Word b = toFixed(2.0, fmt);   // 512
+    const Acc prod = static_cast<Acc>(a) * b;
+    EXPECT_EQ(requantizeAcc(prod, fmt), toFixed(3.0, fmt));
+}
+
+TEST(FixedPoint, RequantizeRoundsToNearest)
+{
+    const FixedFormat fmt{4};
+    // acc = 24 with 8 fraction bits -> 24/16 = 1.5 -> rounds to 2.
+    EXPECT_EQ(requantizeAcc(24, fmt), 2);
+    // Negative ties round away from zero symmetrically.
+    EXPECT_EQ(requantizeAcc(-24, fmt), -2);
+    EXPECT_EQ(requantizeAcc(23, fmt), 1);
+    EXPECT_EQ(requantizeAcc(-23, fmt), -1);
+}
+
+TEST(FixedPoint, RequantizeIsOddSymmetric)
+{
+    // Within the non-saturating range, requantization is an odd
+    // function (the int16 range itself is asymmetric, so saturated
+    // values are excluded).
+    Rng rng(7);
+    const FixedFormat fmt{12};
+    for (int i = 0; i < 10000; ++i) {
+        const Acc acc = rng.uniform(-(1ll << 26), 1ll << 26);
+        EXPECT_EQ(requantizeAcc(-acc, fmt),
+                  -static_cast<Acc>(requantizeAcc(acc, fmt)))
+            << "acc=" << acc;
+    }
+}
+
+class FixedFormatSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedFormatSweep, ResolutionMatchesRange)
+{
+    const FixedFormat fmt{GetParam()};
+    EXPECT_DOUBLE_EQ(fmt.resolution(), 1.0 / (1 << fmt.fracBits));
+    EXPECT_DOUBLE_EQ(fmt.maxValue(), 32767.0 / (1 << fmt.fracBits));
+    EXPECT_DOUBLE_EQ(fmt.minValue(), -32768.0 / (1 << fmt.fracBits));
+    // Round-tripping the extremes is exact.
+    EXPECT_EQ(toFixed(fmt.maxValue(), fmt), 32767);
+    EXPECT_EQ(toFixed(fmt.minValue(), fmt), -32768);
+}
+
+TEST_P(FixedFormatSweep, RequantizeNeverOverflowsWord)
+{
+    const FixedFormat fmt{GetParam()};
+    Rng rng(GetParam() * 91 + 1);
+    for (int i = 0; i < 2000; ++i) {
+        const Acc acc = rng.uniform(-(1ll << 45), 1ll << 45);
+        const Word w = requantizeAcc(acc, fmt);
+        EXPECT_GE(w, -32768);
+        EXPECT_LE(w, 32767);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFracWidths, FixedFormatSweep,
+                         ::testing::Range(1, 16));
+
+} // namespace
+} // namespace isaac

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Floorplan renderer and DSE Pareto-front tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/floorplan.h"
+#include "dse/dse.h"
+#include "nn/zoo.h"
+
+namespace isaac::core {
+namespace {
+
+TEST(Floorplan, RendersGridWithLayersAndIdleTiles)
+{
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(net, cfg, 1);
+    const auto placement = pipeline::Placement::build(net, plan, cfg);
+
+    const auto s = renderFloorplan(placement, 0);
+    EXPECT_NE(s.find("chip 0 (14x12 tiles)"), std::string::npos);
+    // Layer 0 appears somewhere on the floorplan.
+    EXPECT_NE(s.find("  0"), std::string::npos);
+    // 12 grid rows plus the header line.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 13);
+}
+
+TEST(Floorplan, IdleTilesAreDotted)
+{
+    // The DNN benchmark cannot replicate into the slack (a second
+    // copy of its private windows would not fit), leaving idle
+    // tiles on every chip.
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const auto net = nn::largeDnn();
+    const auto plan = pipeline::planPipeline(net, cfg, 32);
+    ASSERT_TRUE(plan.fits);
+    const auto placement = pipeline::Placement::build(net, plan, cfg);
+    const auto s = renderFloorplan(placement, 0);
+    EXPECT_NE(s.find(" .. "), std::string::npos);
+}
+
+TEST(Floorplan, SharedTilesAreStarred)
+{
+    // On a chip that forces sharing (tiny chip), consecutive layers
+    // land in the same tile and the cell gets a '*'.
+    auto cfg = arch::IsaacConfig::isaacCE();
+    cfg.tilesPerChip = 1;
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(net, cfg, 1);
+    const auto placement = pipeline::Placement::build(net, plan, cfg);
+    const auto s = renderFloorplan(placement, 0);
+    EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(Floorplan, LegendListsEveryDotLayer)
+{
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(net, cfg, 1);
+    const auto placement = pipeline::Placement::build(net, plan, cfg);
+    const auto s = renderFloorplanLegend(net, placement);
+    EXPECT_NE(s.find("conv0"), std::string::npos);
+    EXPECT_NE(s.find("fc2"), std::string::npos);
+}
+
+TEST(Floorplan, RejectsBadChip)
+{
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(net, cfg, 1);
+    const auto placement = pipeline::Placement::build(net, plan, cfg);
+    EXPECT_THROW(renderFloorplan(placement, 1), FatalError);
+    EXPECT_THROW(renderFloorplan(placement, -1), FatalError);
+}
+
+TEST(Pareto, FrontIsNonDominatedAndCoversOptima)
+{
+    const auto points = dse::sweep();
+    const auto front = dse::paretoFront(points);
+    ASSERT_FALSE(front.empty());
+    // The per-metric optima are on the front.
+    const auto &ce = dse::best(points, dse::Metric::CE);
+    bool foundCe = false;
+    for (const auto &p : front)
+        foundCe |= p.config.label() == ce.config.label();
+    EXPECT_TRUE(foundCe);
+    // No front member dominates another.
+    for (const auto &a : front) {
+        for (const auto &b : front) {
+            const bool dominates = a.ce >= b.ce && a.pe >= b.pe &&
+                a.se >= b.se &&
+                (a.ce > b.ce || a.pe > b.pe || a.se > b.se);
+            if (&a != &b)
+                EXPECT_FALSE(dominates)
+                    << a.config.label() << " dominates "
+                    << b.config.label();
+        }
+    }
+    EXPECT_LT(front.size(), points.size() / 2);
+}
+
+} // namespace
+} // namespace isaac::core

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Randomized end-to-end property tests: for arbitrary small
+ * networks, random weights, and random inputs, the analog crossbar
+ * pipeline must be bit-identical to the software reference across
+ * every layer. This exercises the full stack (gather, slicing, bias,
+ * flipping, unit column, ADC, shift-and-add, multi-array tiling,
+ * requantization, activations, pooling) against randomly shaped
+ * structures rather than hand-picked ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/accelerator.h"
+#include "nn/zoo.h"
+
+namespace isaac::core {
+namespace {
+
+/** Build a random, valid small network from a seed. */
+nn::Network
+randomNetwork(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const int channels = static_cast<int>(rng.uniform(1, 6));
+    const int size = static_cast<int>(rng.uniform(6, 14));
+    nn::NetworkBuilder b("fuzz" + std::to_string(seed), channels,
+                         size, size);
+
+    const int stages = static_cast<int>(rng.uniform(1, 3));
+    for (int s = 0; s < stages; ++s) {
+        const int maxK = std::min(5, b.curRows());
+        const int k = static_cast<int>(rng.uniform(1, maxK));
+        const int maps = static_cast<int>(rng.uniform(1, 10));
+        const int stride =
+            1 + static_cast<int>(rng.uniform(0, 1)) *
+                (b.curRows() > k + 1 ? 1 : 0);
+        const bool samePad = rng.uniform(0, 1) == 1 && stride == 1;
+        const bool isPrivate =
+            rng.uniform(0, 3) == 0 && !samePad; // occasionally
+        if (isPrivate)
+            b.localConv(k, maps, stride, 0);
+        else
+            b.conv(k, maps, stride, samePad ? -1 : 0);
+        if (rng.uniform(0, 1) == 1) {
+            const auto acts = {nn::Activation::Sigmoid,
+                               nn::Activation::ReLU,
+                               nn::Activation::None};
+            b.setLastActivation(
+                *(acts.begin() + rng.uniform(0, 2)));
+        }
+        if (b.curRows() >= 4 && rng.uniform(0, 1) == 1)
+            b.maxPool(2, 2);
+    }
+    b.fc(static_cast<int>(rng.uniform(2, 8)),
+         nn::Activation::None);
+    return b.build();
+}
+
+class FuzzEndToEnd : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEndToEnd, AnalogMatchesReferenceBitExactly)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    const auto net = randomNetwork(seed);
+    const auto weights =
+        nn::WeightStore::synthesize(net, seed * 31 + 1);
+    const FixedFormat fmt{
+        static_cast<int>(Rng(seed).uniform(6, 14))};
+
+    Accelerator acc;
+    CompileOptions opts;
+    opts.format = fmt;
+    const auto model = acc.compile(net, weights, opts);
+    nn::ReferenceExecutor ref(net, weights, fmt);
+
+    const auto input =
+        nn::synthesizeInput(net.layer(0).ni, net.layer(0).nx,
+                            net.layer(0).ny, seed * 7 + 3, fmt);
+    const auto got = model.inferAll(input);
+    const auto want = ref.runAll(input);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].raw(), want[i].raw())
+            << net.name() << " layer " << i << " ("
+            << net.layer(i).name << ")";
+    }
+    EXPECT_EQ(model.adcClips(), 0u) << net.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEndToEnd,
+                         ::testing::Range(1, 33));
+
+class FuzzEngineGeometry : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEngineGeometry, RandomGeometryStaysExact)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    Rng rng(seed * 977);
+    xbar::EngineConfig cfg;
+    cfg.rows = 1 << rng.uniform(4, 8);         // 16..256
+    cfg.cols = 1 << rng.uniform(4, 8);
+    const int wChoices[] = {1, 2, 4};
+    cfg.cellBits =
+        wChoices[rng.uniform(0, 2)];
+    if (cfg.cols < cfg.slicesPerWeight())
+        cfg.cols = cfg.slicesPerWeight();
+    cfg.flipEncoding = rng.uniform(0, 1) == 1;
+    if (rng.uniform(0, 1) == 1) {
+        cfg.inputMode = xbar::InputMode::Biased;
+        const int vChoices[] = {1, 2, 4};
+        cfg.dacBits = vChoices[rng.uniform(0, 2)];
+    }
+
+    const int n = static_cast<int>(rng.uniform(1, 300));
+    const int m = static_cast<int>(rng.uniform(1, 40));
+    std::vector<Word> weights(static_cast<std::size_t>(n) * m);
+    for (auto &w : weights)
+        w = static_cast<Word>(rng.uniform(-32768, 32767));
+    xbar::BitSerialEngine engine(cfg, weights, n, m);
+
+    for (int trial = 0; trial < 4; ++trial) {
+        std::vector<Word> inputs(static_cast<std::size_t>(n));
+        for (auto &x : inputs)
+            x = static_cast<Word>(rng.uniform(-32768, 32767));
+        std::vector<Acc> expect(static_cast<std::size_t>(m), 0);
+        for (int k = 0; k < m; ++k)
+            for (int r = 0; r < n; ++r)
+                expect[static_cast<std::size_t>(k)] +=
+                    static_cast<Acc>(
+                        weights[static_cast<std::size_t>(k) * n +
+                                r]) *
+                    inputs[static_cast<std::size_t>(r)];
+        EXPECT_EQ(engine.dotProduct(inputs), expect)
+            << "rows=" << cfg.rows << " cols=" << cfg.cols
+            << " w=" << cfg.cellBits << " v=" << cfg.dacBits
+            << " n=" << n << " m=" << m;
+    }
+    EXPECT_EQ(engine.adcClips(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEngineGeometry,
+                         ::testing::Range(1, 41));
+
+class FuzzReprogram : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzReprogram, ReprogramMatchesFreshEngine)
+{
+    // After an in-place reprogram the engine must behave exactly as
+    // one freshly built with the new weights.
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    Rng rng(seed * 131 + 7);
+    xbar::EngineConfig cfg;
+    const int n = static_cast<int>(rng.uniform(10, 200));
+    const int m = static_cast<int>(rng.uniform(1, 24));
+
+    auto randWeights = [&] {
+        std::vector<Word> w(static_cast<std::size_t>(n) * m);
+        for (auto &v : w)
+            v = static_cast<Word>(rng.uniform(-32768, 32767));
+        return w;
+    };
+    const auto w1 = randWeights();
+    const auto w2 = randWeights();
+
+    xbar::BitSerialEngine evolving(cfg, w1, n, m);
+    const auto writes = evolving.reprogram(w2);
+    EXPECT_GT(writes, 0);
+    xbar::BitSerialEngine fresh(cfg, w2, n, m);
+
+    std::vector<Word> inputs(static_cast<std::size_t>(n));
+    for (auto &x : inputs)
+        x = static_cast<Word>(rng.uniform(-32768, 32767));
+    EXPECT_EQ(evolving.dotProduct(inputs),
+              fresh.dotProduct(inputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzReprogram,
+                         ::testing::Range(1, 13));
+
+} // namespace
+} // namespace isaac::core

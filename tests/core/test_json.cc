@@ -1,0 +1,103 @@
+/**
+ * @file
+ * JSON serialization tests: structural validity and key coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/dadiannao_perf.h"
+#include "core/json.h"
+#include "nn/zoo.h"
+
+namespace isaac::core {
+namespace {
+
+/** Minimal structural check: balanced braces/brackets, quotes. */
+bool
+balanced(const std::string &s)
+{
+    int braces = 0, brackets = 0;
+    bool inString = false;
+    for (char c : s) {
+        if (c == '"')
+            inString = !inString;
+        if (inString)
+            continue;
+        if (c == '{')
+            ++braces;
+        if (c == '}')
+            --braces;
+        if (c == '[')
+            ++brackets;
+        if (c == ']')
+            --brackets;
+        if (braces < 0 || brackets < 0)
+            return false;
+    }
+    return braces == 0 && brackets == 0 && !inString;
+}
+
+TEST(Json, ConfigSerializes)
+{
+    const auto json = toJson(arch::IsaacConfig::isaacCE());
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"label\":\"H128-A8-C8-I12\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"adcBits\":8"), std::string::npos);
+    EXPECT_NE(json.find("\"flipEncoding\":true"),
+              std::string::npos);
+}
+
+TEST(Json, PlanSerializesWithLayers)
+{
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(
+        net, arch::IsaacConfig::isaacCE(), 1);
+    const auto json = toJson(net, plan);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"network\":\"TinyCNN\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"layers\":["), std::string::npos);
+    EXPECT_NE(json.find("\"replication\""), std::string::npos);
+}
+
+TEST(Json, PerfSerializesActivity)
+{
+    const auto net = nn::tinyCnn();
+    const auto perf = pipeline::analyzeIsaac(
+        net, arch::IsaacConfig::isaacCE(), 1);
+    const auto json = toJson(perf);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"imagesPerSec\""), std::string::npos);
+    EXPECT_NE(json.find("\"activity\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"adcJ\""), std::string::npos);
+}
+
+TEST(Json, BaselineAndTrafficSerialize)
+{
+    const energy::DaDianNaoModel ddn;
+    const auto net = nn::vgg(1);
+    const auto dp = baseline::analyzeDaDianNao(net, ddn, 16);
+    EXPECT_TRUE(balanced(toJson(dp)));
+
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const auto plan = pipeline::planPipeline(net, cfg, 16);
+    const auto placement = pipeline::Placement::build(net, plan, cfg);
+    const auto traffic =
+        noc::analyzeTraffic(net, plan, placement, cfg);
+    const auto json = toJson(traffic);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"schedulable\""), std::string::npos);
+}
+
+TEST(Json, UnfitPerfSerializesFalse)
+{
+    const auto net = nn::largeDnn();
+    const auto perf = pipeline::analyzeIsaac(
+        net, arch::IsaacConfig::isaacCE(), 8);
+    const auto json = toJson(perf);
+    EXPECT_NE(json.find("\"fits\":false"), std::string::npos);
+}
+
+} // namespace
+} // namespace isaac::core

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Report-formatting and cross-module consistency tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/dadiannao_perf.h"
+#include "core/accelerator.h"
+#include "core/report.h"
+#include "nn/zoo.h"
+#include "pipeline/mapper.h"
+
+namespace isaac::core {
+namespace {
+
+TEST(Report, DescribeNetworkMentionsNameAndCounts)
+{
+    const auto s = describeNetwork(nn::vgg(1));
+    EXPECT_NE(s.find("VGG-1"), std::string::npos);
+    EXPECT_NE(s.find("11 with weights"), std::string::npos);
+}
+
+TEST(Report, IsaacPerfFormatsBothOutcomes)
+{
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const auto net = nn::vgg(1);
+    const auto fit = pipeline::analyzeIsaac(net, cfg, 16);
+    const auto ok = formatIsaacPerf(net, fit, 16);
+    EXPECT_NE(ok.find("throughput"), std::string::npos);
+    EXPECT_NE(ok.find("energy"), std::string::npos);
+
+    const auto big = nn::largeDnn();
+    const auto nofit = pipeline::analyzeIsaac(big, cfg, 8);
+    EXPECT_NE(formatIsaacPerf(big, nofit, 8).find("does not fit"),
+              std::string::npos);
+}
+
+TEST(Report, DdnPerfFormatsBothOutcomes)
+{
+    const energy::DaDianNaoModel ddn;
+    const auto net = nn::vgg(1);
+    EXPECT_NE(formatDdnPerf(net,
+                            baseline::analyzeDaDianNao(net, ddn, 16))
+                  .find("NFU util"),
+              std::string::npos);
+    EXPECT_NE(formatDdnPerf(net,
+                            baseline::analyzeDaDianNao(net, ddn, 2))
+                  .find("exceed"),
+              std::string::npos);
+}
+
+TEST(Report, BreakdownTableHasTotalRow)
+{
+    const energy::IsaacEnergyModel m(arch::IsaacConfig::isaacCE());
+    const auto s = formatBreakdown(m.tileBreakdown(), "tile");
+    EXPECT_NE(s.find("TOTAL"), std::string::npos);
+    EXPECT_NE(s.find("eDRAM buffer"), std::string::npos);
+}
+
+TEST(Consistency, EngineArraysMatchMapperFootprint)
+{
+    // The functional engine's physical array count must agree with
+    // the mapper's footprint arithmetic for shared-kernel layers.
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 4);
+    Accelerator acc(cfg);
+    const auto model = acc.compile(net, weights);
+
+    std::int64_t expected = 0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto f = pipeline::layerFootprint(net.layer(i), i, cfg);
+        if (f.isDot)
+            expected += f.xbarsPerCopy;
+    }
+    EXPECT_EQ(model.functionalArrays(), expected);
+}
+
+TEST(Consistency, BatchEqualsPerImage)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 8);
+    Accelerator acc;
+    const auto model = acc.compile(net, weights);
+    const FixedFormat fmt{12};
+
+    std::vector<nn::Tensor> batch;
+    for (int i = 0; i < 3; ++i)
+        batch.push_back(
+            nn::synthesizeInput(16, 12, 12, 100 + i, fmt));
+    const auto outs = model.inferBatch(batch);
+    ASSERT_EQ(outs.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(outs[i].raw(), model.infer(batch[i]).raw());
+}
+
+} // namespace
+} // namespace isaac::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Umbrella-header test: `#include "isaac.h"` alone must expose the
+ * whole public API, including the error type consumers catch and
+ * the weight-file loaders (a regression verification once caught).
+ */
+
+#include "isaac.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, PublicApiIsReachable)
+{
+    using namespace isaac;
+
+    // common/: the error type, fixed point, RNG.
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_EQ(toFixed(1.0, FixedFormat{12}), 4096);
+    EXPECT_EQ(Rng(1).uniform(0, 0), 0);
+
+    // nn/: zoo, parser, weights, reference.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 1);
+    (void)nn::parseNetwork("input 1 4 4\nfc 2 linear\n");
+
+    // xbar/ + core/: compile and run.
+    core::Accelerator acc(arch::IsaacConfig::isaacCE());
+    const auto model = acc.compile(net, weights);
+    const auto out =
+        model.infer(nn::synthesizeInput(16, 12, 12, 2, {12}));
+    EXPECT_EQ(out.channels(), 10);
+
+    // Weight-file I/O symbols link.
+    EXPECT_THROW(nn::loadWeightsRaw16(net, "/nonexistent"),
+                 FatalError);
+    EXPECT_THROW(nn::loadWeightsFloat32(net, "/nonexistent", {12}),
+                 FatalError);
+
+    // Analytic/side modules.
+    EXPECT_GT(energy::DaDianNaoModel{}.peakGops(), 0.0);
+    EXPECT_FALSE(dse::sweep().empty());
+    EXPECT_GT(xbar::WriteModel{}.cellsEnergyJ(1), 0.0);
+}
+
+} // namespace

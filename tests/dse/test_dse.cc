@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Design-space exploration tests (Fig. 5 / Sec. VIII-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "dse/dse.h"
+
+namespace isaac::dse {
+namespace {
+
+TEST(Dse, SweepCoversTheFullGrid)
+{
+    DseSpace space;
+    const auto points = sweep(space);
+    EXPECT_EQ(points.size(),
+              space.rows.size() * space.adcsPerIma.size() *
+                  space.xbarsPerIma.size() *
+                  space.imasPerTile.size());
+}
+
+TEST(Dse, IsaacCEPointIsFeasibleAndMatchesTableIV)
+{
+    const auto p = evaluate(arch::IsaacConfig::isaacCE());
+    EXPECT_TRUE(p.feasible) << p.hazard;
+    EXPECT_NEAR(p.ce, 478.95, 6.0);
+    EXPECT_NEAR(p.se, 0.74, 0.01);
+}
+
+TEST(Dse, BestCEIsThePaperDesignPoint)
+{
+    // Fig. 5: the optimal design has 8 128x128 arrays, 8 ADCs per
+    // IMA, and 12 IMAs per tile.
+    const auto points = sweep();
+    const auto &ce = best(points, Metric::CE);
+    EXPECT_EQ(ce.config.label(), "H128-A8-C8-I12");
+    EXPECT_EQ(rankOf(points, Metric::CE, "H128-A8-C8-I12"), 1);
+}
+
+TEST(Dse, BigArraysNeedNineBitAdcs)
+{
+    arch::IsaacConfig cfg;
+    cfg.engine.rows = 256;
+    cfg.engine.cols = 256;
+    const auto p = evaluate(cfg);
+    EXPECT_FALSE(p.feasible);
+    EXPECT_NE(p.hazard.find("9-bit"), std::string::npos);
+}
+
+TEST(Dse, OverprovisionedTilesHitTheBusBound)
+{
+    arch::IsaacConfig cfg;
+    cfg.xbarsPerIma = 16;
+    cfg.imasPerTile = 16;
+    const auto p = evaluate(cfg);
+    EXPECT_FALSE(p.feasible);
+    EXPECT_NE(p.hazard.find("eDRAM/bus"), std::string::npos);
+}
+
+TEST(Dse, StarvedAdcsLowerCE)
+{
+    // Halving the ADCs halves effective throughput but keeps most
+    // of the area: CE must drop well below the balanced point.
+    arch::IsaacConfig starved;
+    starved.adcsPerIma = 4;
+    const auto p = evaluate(starved);
+    const auto ce = evaluate(arch::IsaacConfig::isaacCE());
+    EXPECT_TRUE(p.feasible);
+    EXPECT_LT(p.ce, 0.7 * ce.ce);
+}
+
+TEST(Dse, ExtraAdcsAlsoLowerCE)
+{
+    arch::IsaacConfig wasted;
+    wasted.adcsPerIma = 16;
+    const auto p = evaluate(wasted);
+    const auto ce = evaluate(arch::IsaacConfig::isaacCE());
+    EXPECT_TRUE(p.feasible);
+    EXPECT_LT(p.ce, ce.ce);
+}
+
+TEST(Dse, SeSweepFindsDenseDesign)
+{
+    // Relaxing the ADC bound and sweeping toward large, many-array
+    // IMAs yields storage densities an order of magnitude above the
+    // CE design (Table IV: 54.8 vs 0.74 MB/mm^2).
+    const auto p = evaluate(arch::IsaacConfig::isaacSE(),
+                            DseSpace{.relaxAdcBound = true,
+                                     .tileInputBytesPerCycle = 1e12});
+    EXPECT_TRUE(p.feasible) << p.hazard;
+    EXPECT_GT(p.se, 20.0);
+    EXPECT_LT(p.ce, evaluate(arch::IsaacConfig::isaacCE()).ce);
+}
+
+TEST(Dse, BestThrowsWithNoFeasiblePoints)
+{
+    std::vector<DsePoint> none;
+    EXPECT_THROW(best(none, Metric::CE), FatalError);
+    DsePoint bad;
+    bad.feasible = false;
+    EXPECT_THROW(best({bad}, Metric::PE), FatalError);
+}
+
+TEST(Dse, RankOfUnknownLabelThrows)
+{
+    const auto points = sweep();
+    EXPECT_THROW(rankOf(points, Metric::CE, "H1-A1-C1-I1"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace isaac::dse

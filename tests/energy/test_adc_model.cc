@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ADC / DAC scaling-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "energy/adc_model.h"
+#include "energy/dac_model.h"
+
+namespace isaac::energy {
+namespace {
+
+TEST(AdcModel, ReferencePointIsExact)
+{
+    AdcModel m;
+    EXPECT_DOUBLE_EQ(m.powerMw(8, 1.2), 2.0);
+    EXPECT_DOUBLE_EQ(m.areaMm2(8), 0.0012);
+}
+
+TEST(AdcModel, PowerScalesWithRate)
+{
+    AdcModel m;
+    EXPECT_DOUBLE_EQ(m.powerMw(8, 0.6), 1.0);
+    EXPECT_DOUBLE_EQ(m.powerMw(8, 2.4), 4.0);
+}
+
+TEST(AdcModel, ResolutionGrowsSuperlinearly)
+{
+    AdcModel m;
+    const double p8 = m.powerMw(8, 1.2);
+    const double p9 = m.powerMw(9, 1.2);
+    const double p10 = m.powerMw(10, 1.2);
+    // One extra bit costs more than the linear share but less than
+    // a full doubling.
+    EXPECT_GT(p9 / p8, 9.0 / 8.0);
+    EXPECT_LT(p9 / p8, 2.0);
+    // The exponential term dominates as resolution grows.
+    EXPECT_GT(p10 / p9, p9 / p8);
+}
+
+TEST(AdcModel, LowerResolutionIsCheaper)
+{
+    AdcModel m;
+    EXPECT_LT(m.powerMw(6, 1.2), m.powerMw(8, 1.2));
+    EXPECT_LT(m.areaMm2(6), m.areaMm2(8));
+}
+
+TEST(AdcModel, RejectsBadResolution)
+{
+    AdcModel m;
+    EXPECT_THROW(m.powerMw(0, 1.2), FatalError);
+    EXPECT_THROW(m.areaMm2(-1), FatalError);
+}
+
+TEST(DacModel, ReferencePointMatchesTableI)
+{
+    DacModel d;
+    // 1024 1-bit DACs cost 4 mW / 0.00017 mm^2 per IMA.
+    EXPECT_NEAR(1024 * d.powerMw(1), 4.0, 1e-9);
+    EXPECT_NEAR(1024 * d.areaMm2(1), 0.00017, 1e-9);
+}
+
+TEST(DacModel, TwoBitCalibrationMatchesAblation)
+{
+    // Sec. VIII-A: a 2-bit DAC increases chip area by 63% and chip
+    // power by 7%. With 168 tiles x 12 IMAs x 1024 DACs:
+    DacModel d;
+    const double nDacs = 168.0 * 12 * 1024;
+    const double areaDelta = nDacs * (d.areaMm2(2) - d.areaMm2(1));
+    const double powerDeltaW =
+        nDacs * (d.powerMw(2) - d.powerMw(1)) / 1000.0;
+    EXPECT_NEAR(areaDelta / 85.4, 0.63, 0.03);
+    EXPECT_NEAR(powerDeltaW / 65.8, 0.07, 0.01);
+}
+
+} // namespace
+} // namespace isaac::energy

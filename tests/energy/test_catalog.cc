@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Table I reproduction tests: at the ISAAC-CE design point the
+ * catalog must match the paper's component, tile, and chip totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/catalog.h"
+
+namespace isaac::energy {
+namespace {
+
+IsaacEnergyModel
+ceModel()
+{
+    return IsaacEnergyModel(arch::IsaacConfig::isaacCE());
+}
+
+TEST(Catalog, ImaComponentsMatchTableI)
+{
+    const auto b = ceModel().imaBreakdown();
+    auto find = [&](const std::string &name) -> const ComponentCost & {
+        for (const auto &c : b.items)
+            if (c.name == name)
+                return c;
+        ADD_FAILURE() << "missing component " << name;
+        static ComponentCost none;
+        return none;
+    };
+    EXPECT_NEAR(find("ADC").powerMw, 16.0, 0.01);
+    EXPECT_NEAR(find("ADC").areaMm2, 0.0096, 1e-5);
+    EXPECT_NEAR(find("DAC").powerMw, 4.0, 0.01);
+    EXPECT_NEAR(find("DAC").areaMm2, 0.00017, 1e-6);
+    EXPECT_NEAR(find("S+H").powerMw, 0.01, 1e-4);
+    EXPECT_NEAR(find("Memristor arrays").powerMw, 2.4, 0.01);
+    EXPECT_NEAR(find("Memristor arrays").areaMm2, 0.0002, 1e-6);
+    EXPECT_NEAR(find("S+A").powerMw, 0.2, 0.01);
+    EXPECT_NEAR(find("IR").powerMw, 1.24, 0.01);
+    EXPECT_NEAR(find("OR").powerMw, 0.23, 0.01);
+}
+
+TEST(Catalog, ImaTotalsMatchTableI)
+{
+    const auto m = ceModel();
+    // Table I: 12 IMAs total 289 mW / 0.157 mm^2.
+    EXPECT_NEAR(12 * m.imaPowerMw(), 289.0, 1.5);
+    EXPECT_NEAR(12 * m.imaAreaMm2(), 0.157, 0.002);
+}
+
+TEST(Catalog, TileTotalsMatchTableI)
+{
+    const auto m = ceModel();
+    EXPECT_NEAR(m.tilePowerMw(), 330.0, 2.0);
+    EXPECT_NEAR(m.tileAreaMm2(), 0.372, 0.004);
+}
+
+TEST(Catalog, ChipTotalsMatchTableI)
+{
+    const auto m = ceModel();
+    // 168 tiles: 55.4 W / 62.5 mm^2; chip with HT: 65.8 W / 85.4 mm^2.
+    EXPECT_NEAR(m.chipPowerW(), 65.8, 0.5);
+    EXPECT_NEAR(m.chipAreaMm2(), 85.4, 0.5);
+}
+
+TEST(Catalog, AdcDominatesTilePower)
+{
+    // Sec. VIII-A: "the ADCs account for 58% of tile power and 31%
+    // of tile area".
+    const auto m = ceModel();
+    const auto ima = m.imaBreakdown();
+    double adcPower = 0, adcArea = 0;
+    for (const auto &c : ima.items) {
+        if (c.name == "ADC") {
+            adcPower = c.powerMw;
+            adcArea = c.areaMm2;
+        }
+    }
+    const double powerShare = 12 * adcPower / m.tilePowerMw();
+    const double areaShare = 12 * adcArea / m.tileAreaMm2();
+    EXPECT_NEAR(powerShare, 0.58, 0.02);
+    EXPECT_NEAR(areaShare, 0.31, 0.02);
+}
+
+TEST(Catalog, EdramAndBusShareOfTileArea)
+{
+    // Sec. VIII-A: eDRAM buffer + bus take 47% of tile area.
+    const auto m = ceModel();
+    const auto tile = m.tileBreakdown();
+    double share = 0;
+    for (const auto &c : tile.items) {
+        if (c.name == "eDRAM buffer" || c.name == "eDRAM-to-IMA bus")
+            share += c.areaMm2;
+    }
+    EXPECT_NEAR(share / m.tileAreaMm2(), 0.47, 0.02);
+}
+
+TEST(Catalog, PeakMetricsMatchTableIV)
+{
+    const auto m = ceModel();
+    // Table IV: ISAAC-CE CE = 479 GOPS/mm^2, SE = 0.74 MB/mm^2.
+    EXPECT_NEAR(m.ceGopsPerMm2(), 478.95, 6.0);
+    EXPECT_NEAR(m.seMBPerMm2(), 0.74, 0.01);
+    // Our analytic PE from Table I power is ~620 GOPS/W; the paper's
+    // Table IV quotes 363.7 (see EXPERIMENTS.md). Assert the analytic
+    // value so regressions are caught.
+    EXPECT_NEAR(m.peGopsPerW(), 622.0, 10.0);
+}
+
+TEST(Catalog, PerEventEnergiesAreSane)
+{
+    const auto m = ceModel();
+    // ADC: 2 mW at 1.2 GSps = 1.67 pJ/sample.
+    EXPECT_NEAR(m.adcEnergyPerSamplePj(), 1.67, 0.01);
+    // Crossbar read: 0.3 mW x 100 ns = 30 pJ.
+    EXPECT_NEAR(m.xbarEnergyPerReadPj(), 30.0, 0.1);
+    // eDRAM: ~2 pJ/B at 1 KB per cycle.
+    EXPECT_NEAR(m.edramEnergyPerBytePj(), 2.02, 0.05);
+    EXPECT_GT(m.htEnergyPerBytePj(), 100.0); // HT is expensive
+    EXPECT_LT(m.sigmoidEnergyPerOpPj(), 1.0);
+}
+
+TEST(Catalog, BiggerEdramCostsMore)
+{
+    auto cfg = arch::IsaacConfig::isaacCE();
+    cfg.edramKBPerTile = 128;
+    IsaacEnergyModel big(cfg);
+    EXPECT_GT(big.tileAreaMm2(), ceModel().tileAreaMm2());
+    EXPECT_GT(big.tilePowerMw(), ceModel().tilePowerMw());
+}
+
+TEST(Catalog, SeDesignHasHigherStorageDensity)
+{
+    IsaacEnergyModel se(arch::IsaacConfig::isaacSE());
+    const auto ce = ceModel();
+    EXPECT_GT(se.seMBPerMm2(), 10 * ce.seMBPerMm2());
+    EXPECT_LT(se.ceGopsPerMm2(), ce.ceGopsPerMm2());
+}
+
+} // namespace
+} // namespace isaac::energy

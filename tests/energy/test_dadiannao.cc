@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DaDianNao baseline catalog tests against Table I / Table IV.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/dadiannao_catalog.h"
+
+namespace isaac::energy {
+namespace {
+
+TEST(DaDianNao, ChipTotalsMatchTableI)
+{
+    DaDianNaoModel m;
+    EXPECT_NEAR(m.chipPowerW(), 20.1, 0.1);
+    EXPECT_NEAR(m.chipAreaMm2(), 88.0, 0.2);
+}
+
+TEST(DaDianNao, PeakMetricsMatchTableIV)
+{
+    DaDianNaoModel m;
+    EXPECT_NEAR(m.peakGops(), 5585.0, 20.0);
+    EXPECT_NEAR(m.ceGopsPerMm2(), 63.46, 0.7);
+    EXPECT_NEAR(m.peGopsPerW(), 286.4, 10.0);
+    EXPECT_NEAR(m.seMBPerMm2(), 0.41, 0.01);
+}
+
+TEST(DaDianNao, BreakdownSumsToChip)
+{
+    DaDianNaoModel m;
+    const auto b = m.chipBreakdown();
+    EXPECT_NEAR(b.totalPowerMw() / 1000.0, m.chipPowerW(), 1e-6);
+    EXPECT_NEAR(b.totalAreaMm2(), m.chipAreaMm2(), 1e-6);
+}
+
+TEST(DaDianNao, PerEventEnergies)
+{
+    DaDianNaoModel m;
+    // NFU: ~1.75 pJ/MAC.
+    EXPECT_NEAR(m.nfuEnergyPerMacPj(), 1.75, 0.05);
+    // eDRAM streams 8 KB/cycle at 606 MHz: ~5 TB/s internal.
+    EXPECT_NEAR(m.edramGBps() / 1000.0, 4.96, 0.05);
+    EXPECT_GT(m.edramEnergyPerBytePj(), 0.5);
+    EXPECT_LT(m.edramEnergyPerBytePj(), 2.0);
+}
+
+TEST(DaDianNao, IsaacCeAdvantageIs7x)
+{
+    // Sec. I: ISAAC improves computational density by 7.5x.
+    DaDianNaoModel ddn;
+    IsaacEnergyModel isaac(arch::IsaacConfig::isaacCE());
+    EXPECT_NEAR(isaac.ceGopsPerMm2() / ddn.ceGopsPerMm2(), 7.5, 0.3);
+}
+
+} // namespace
+} // namespace isaac::energy

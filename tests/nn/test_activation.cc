@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Activation / sigmoid-LUT tests.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+
+namespace isaac::nn {
+namespace {
+
+TEST(Sigmoid, ApproximatesTanh)
+{
+    const FixedFormat fmt{12};
+    SigmoidLut lut(fmt);
+    // 16 chords over [-4,4]: worst-case error ~2.4% (near the knee
+    // of tanh), so 3% everywhere.
+    for (double x = -6.0; x <= 6.0; x += 0.037) {
+        const Word xf = toFixed(x, fmt);
+        const double got = fromFixed(lut.apply(xf), fmt);
+        EXPECT_NEAR(got, std::tanh(fromFixed(xf, fmt)), 0.03)
+            << "x=" << x;
+    }
+}
+
+TEST(Sigmoid, SaturatesOutsideDomain)
+{
+    const FixedFormat fmt{10};
+    SigmoidLut lut(fmt);
+    const Word big = toFixed(7.9, fmt);
+    const Word neg = toFixed(-7.9, fmt);
+    EXPECT_EQ(lut.apply(big), toFixed(std::tanh(4.0), fmt));
+    EXPECT_EQ(lut.apply(neg), toFixed(std::tanh(-4.0), fmt));
+}
+
+TEST(Sigmoid, MonotonicWithinQuantization)
+{
+    // Coefficient quantization can introduce a <=2-ulp dip exactly at
+    // a segment boundary (the same artifact a hardware coefficient
+    // SRAM exhibits); the function must otherwise be non-decreasing.
+    const FixedFormat fmt{12};
+    SigmoidLut lut(fmt);
+    Word prev = lut.apply(-32768);
+    for (int x = -32768 + 7; x <= 32767; x += 7) {
+        const Word cur = lut.apply(static_cast<Word>(x));
+        EXPECT_GE(cur, prev - 2) << "x=" << x;
+        prev = std::max(prev, cur);
+    }
+}
+
+TEST(Activation, ReluClampsNegatives)
+{
+    const FixedFormat fmt{12};
+    SigmoidLut lut(fmt);
+    EXPECT_EQ(applyActivation(Activation::ReLU, -5, lut), 0);
+    EXPECT_EQ(applyActivation(Activation::ReLU, 0, lut), 0);
+    EXPECT_EQ(applyActivation(Activation::ReLU, 77, lut), 77);
+}
+
+TEST(Activation, NoneIsIdentity)
+{
+    const FixedFormat fmt{12};
+    SigmoidLut lut(fmt);
+    for (Word w : {Word(-32768), Word(-1), Word(0), Word(32767)})
+        EXPECT_EQ(applyActivation(Activation::None, w, lut), w);
+}
+
+TEST(Activation, SigmoidIsOddWithinQuantization)
+{
+    const FixedFormat fmt{12};
+    SigmoidLut lut(fmt);
+    for (int x = -4000; x <= 4000; x += 97) {
+        const Word pos = lut.apply(static_cast<Word>(x));
+        const Word neg = lut.apply(static_cast<Word>(-x));
+        // tanh is odd; the fixed-point version matches to 2 ulps.
+        EXPECT_NEAR(pos, -neg, 2) << "x=" << x;
+    }
+}
+
+} // namespace
+} // namespace isaac::nn

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Layer-descriptor unit tests: spatial math, weight counts, MAC
+ * counts, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/layer.h"
+
+namespace isaac::nn {
+namespace {
+
+LayerDesc
+convLayer(int ni, int nx, int k, int no, int stride = 1, int pad = 0)
+{
+    LayerDesc d;
+    d.kind = LayerKind::Conv;
+    d.name = "test";
+    d.ni = ni;
+    d.no = no;
+    d.nx = d.ny = nx;
+    d.kx = d.ky = k;
+    d.sx = d.sy = stride;
+    d.px = d.py = pad;
+    return d;
+}
+
+TEST(Layer, ConvOutputDims)
+{
+    // The Fig. 3 example: 6x6 input, 2x2 kernel, stride 1 -> 5x5
+    // valid output (the paper pads to keep 6x6; both are covered).
+    auto d = convLayer(1, 6, 2, 1);
+    EXPECT_EQ(d.outNx(), 5);
+    EXPECT_EQ(d.outNy(), 5);
+
+    auto same = convLayer(16, 224, 3, 64, 1, 1);
+    EXPECT_EQ(same.outNx(), 224);
+
+    auto strided = convLayer(3, 224, 7, 96, 2, 3);
+    EXPECT_EQ(strided.outNx(), 112);
+}
+
+TEST(Layer, SharedConvCounts)
+{
+    // Fig. 4's layer i: 4x4 kernel, 16 input maps, 32 outputs.
+    auto d = convLayer(16, 19, 4, 32);
+    EXPECT_EQ(d.dotLength(), 4 * 4 * 16);
+    EXPECT_EQ(d.weightCount(), 4 * 4 * 16 * 32);
+    EXPECT_EQ(d.outNx(), 16);
+    EXPECT_EQ(d.outputsPerImage(), 16 * 16 * 32);
+    EXPECT_EQ(d.macsPerImage(), d.outputsPerImage() * d.dotLength());
+}
+
+TEST(Layer, PrivateKernelMultipliesByWindows)
+{
+    auto d = convLayer(8, 200, 18, 8);
+    d.privateKernel = true;
+    const std::int64_t windows = 183LL * 183;
+    EXPECT_EQ(d.windowsPerImage(), windows);
+    EXPECT_EQ(d.weightCount(), windows * 18 * 18 * 8 * 8);
+    // MACs are unchanged by kernel privacy.
+    auto shared = convLayer(8, 200, 18, 8);
+    EXPECT_EQ(d.macsPerImage(), shared.macsPerImage());
+}
+
+TEST(Layer, ClassifierIsFullKernel)
+{
+    LayerDesc d;
+    d.kind = LayerKind::Classifier;
+    d.name = "fc";
+    d.ni = 512;
+    d.no = 4096;
+    d.nx = d.ny = 7;
+    d.kx = d.ky = 7;
+    EXPECT_EQ(d.outNx(), 1);
+    EXPECT_EQ(d.outNy(), 1);
+    EXPECT_EQ(d.dotLength(), 7 * 7 * 512);
+    EXPECT_EQ(d.weightCount(), 7LL * 7 * 512 * 4096);
+    EXPECT_EQ(d.outputsPerImage(), 4096);
+}
+
+TEST(Layer, PoolHasNoWeights)
+{
+    LayerDesc d;
+    d.kind = LayerKind::MaxPool;
+    d.name = "pool";
+    d.ni = d.no = 32;
+    d.nx = d.ny = 16;
+    d.kx = d.ky = 2;
+    d.sx = d.sy = 2;
+    EXPECT_EQ(d.weightCount(), 0);
+    EXPECT_EQ(d.macsPerImage(), 0);
+    EXPECT_EQ(d.outNx(), 8);
+}
+
+TEST(Layer, SppOutputIsPyramidBins)
+{
+    LayerDesc d;
+    d.kind = LayerKind::Spp;
+    d.name = "spp";
+    d.ni = d.no = 512;
+    d.nx = d.ny = 14;
+    d.sppLevels = {7, 3, 2, 1};
+    EXPECT_EQ(d.outNx(), 49 + 9 + 4 + 1);
+    EXPECT_EQ(d.outNy(), 1);
+}
+
+TEST(Layer, ValidateRejectsBadConfigs)
+{
+    auto tooBig = convLayer(1, 4, 9, 1);
+    EXPECT_THROW(tooBig.validate(), FatalError);
+
+    auto noInput = convLayer(0, 6, 2, 1);
+    EXPECT_THROW(noInput.validate(), FatalError);
+
+    LayerDesc badPool;
+    badPool.kind = LayerKind::MaxPool;
+    badPool.name = "p";
+    badPool.ni = 4;
+    badPool.no = 8; // pooling cannot change channel count
+    badPool.nx = badPool.ny = 8;
+    badPool.kx = badPool.ky = 2;
+    badPool.sx = badPool.sy = 2;
+    EXPECT_THROW(badPool.validate(), FatalError);
+}
+
+TEST(Layer, WeightBytesAreTwoPerWeight)
+{
+    auto d = convLayer(16, 19, 4, 32);
+    EXPECT_EQ(d.weightBytes(), d.weightCount() * 2);
+}
+
+} // namespace
+} // namespace isaac::nn

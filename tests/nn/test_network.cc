@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Network and builder tests: dimension chaining and aggregates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/network.h"
+
+namespace isaac::nn {
+namespace {
+
+TEST(NetworkBuilder, ChainsShapes)
+{
+    NetworkBuilder b("t", 3, 32, 32);
+    b.conv(3, 8); // same padding keeps 32x32
+    EXPECT_EQ(b.curChannels(), 8);
+    EXPECT_EQ(b.curRows(), 32);
+    b.maxPool(2, 2);
+    EXPECT_EQ(b.curRows(), 16);
+    b.conv(5, 16, 1, 0); // valid: 16 -> 12
+    EXPECT_EQ(b.curRows(), 12);
+    b.fc(10);
+    EXPECT_EQ(b.curChannels(), 10);
+    EXPECT_EQ(b.curRows(), 1);
+    auto net = b.build();
+    EXPECT_EQ(net.size(), 4u);
+    EXPECT_EQ(net.weightLayerCount(), 3);
+}
+
+TEST(NetworkBuilder, FcAfterConvFlattens)
+{
+    NetworkBuilder b("t", 4, 6, 6);
+    b.fc(5);
+    auto net = b.build();
+    EXPECT_EQ(net.layer(0).dotLength(), 4 * 6 * 6);
+    EXPECT_EQ(net.layer(0).weightCount(), 4 * 6 * 6 * 5);
+}
+
+TEST(Network, AggregatesSumLayers)
+{
+    NetworkBuilder b("t", 3, 8, 8);
+    b.conv(3, 4, 1, 0); // 8->6, weights 3*3*3*4=108
+    b.fc(10);           // weights 4*6*6*10=1440
+    auto net = b.build();
+    EXPECT_EQ(net.totalWeights(), 108 + 1440);
+    EXPECT_EQ(net.totalWeightBytes(), (108 + 1440) * 2);
+    const std::int64_t convMacs = 6LL * 6 * 4 * 27;
+    const std::int64_t fcMacs = 10LL * 144;
+    EXPECT_EQ(net.totalMacs(), convMacs + fcMacs);
+    EXPECT_EQ(net.dotProductLayers(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Network, RejectsBrokenChain)
+{
+    LayerDesc a;
+    a.kind = LayerKind::Conv;
+    a.name = "a";
+    a.ni = 3;
+    a.no = 8;
+    a.nx = a.ny = 8;
+    a.kx = a.ky = 3;
+
+    LayerDesc bad = a;
+    bad.name = "b";
+    bad.ni = 5; // should be 8
+    bad.nx = bad.ny = a.outNx();
+    EXPECT_THROW(Network("broken", {a, bad}), FatalError);
+
+    LayerDesc badShape = a;
+    badShape.name = "c";
+    badShape.ni = 8;
+    badShape.nx = badShape.ny = 99;
+    EXPECT_THROW(Network("broken2", {a, badShape}), FatalError);
+}
+
+TEST(Network, RejectsEmpty)
+{
+    EXPECT_THROW(Network("empty", {}), FatalError);
+}
+
+} // namespace
+} // namespace isaac::nn

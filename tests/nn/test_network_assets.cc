@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regression tests for the shipped example network descriptions:
+ * they must parse, validate, plan, and (for the small ones) run
+ * bit-exactly through the functional model.
+ */
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "nn/parser.h"
+
+namespace isaac::nn {
+namespace {
+
+std::string
+assetPath(const std::string &name)
+{
+    // Tests run from the build tree; assets live in the source tree.
+    for (const char *prefix :
+         {"../examples/networks/", "../../examples/networks/",
+          "examples/networks/",
+          "/root/repo/examples/networks/"}) {
+        const std::string candidate = prefix + name;
+        if (std::ifstream(candidate).good())
+            return candidate;
+    }
+    ADD_FAILURE() << "asset not found: " << name;
+    return name;
+}
+
+class NetworkAsset : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(NetworkAsset, ParsesAndPlans)
+{
+    const auto net = loadNetworkFile(assetPath(GetParam()));
+    EXPECT_GT(net.totalWeights(), 0);
+    const auto plan = pipeline::planPipeline(
+        net, arch::IsaacConfig::isaacCE(), 1);
+    EXPECT_TRUE(plan.fits) << GetParam();
+    EXPECT_GT(plan.cyclesPerImage, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShippedAssets, NetworkAsset,
+                         ::testing::Values("lenet.net", "mlp.net",
+                                           "face_local.net"));
+
+TEST(NetworkAsset, LeNetRunsBitExactly)
+{
+    const auto net = loadNetworkFile(assetPath("lenet.net"));
+    const auto weights = WeightStore::synthesize(net, 55);
+    const FixedFormat fmt{12};
+    core::Accelerator acc;
+    core::CompileOptions opts;
+    opts.format = fmt;
+    const auto model = acc.compile(net, weights, opts);
+    ReferenceExecutor ref(net, weights, fmt);
+    const auto input = synthesizeInput(1, 32, 32, 8, fmt);
+    EXPECT_EQ(model.infer(input).raw(), ref.run(input).raw());
+    EXPECT_EQ(model.adcClips(), 0u);
+}
+
+} // namespace
+} // namespace isaac::nn

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Reference-executor tests: hand-computed layers, padding, pooling,
+ * SPP, and end-to-end runs on the tiny CNN.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/reference.h"
+#include "nn/zoo.h"
+
+namespace isaac::nn {
+namespace {
+
+constexpr FixedFormat kFmt{12};
+
+TEST(GatherWindow, WalksChannelMajor)
+{
+    LayerDesc l;
+    l.kind = LayerKind::Conv;
+    l.name = "g";
+    l.ni = 2;
+    l.nx = l.ny = 3;
+    l.no = 1;
+    l.kx = l.ky = 2;
+
+    Tensor in(2, 3, 3);
+    Word v = 1;
+    for (int c = 0; c < 2; ++c)
+        for (int y = 0; y < 3; ++y)
+            for (int x = 0; x < 3; ++x)
+                in.at(c, y, x) = v++;
+
+    const auto vec = gatherWindow(in, l, 0, 0);
+    // Channel 0 window, then channel 1 window, each row-major.
+    const std::vector<Word> expect{1, 2, 4, 5, 10, 11, 13, 14};
+    EXPECT_EQ(vec, expect);
+
+    const auto vec2 = gatherWindow(in, l, 1, 1);
+    const std::vector<Word> expect2{5, 6, 8, 9, 14, 15, 17, 18};
+    EXPECT_EQ(vec2, expect2);
+}
+
+TEST(GatherWindow, ZeroPadsOutside)
+{
+    LayerDesc l;
+    l.kind = LayerKind::Conv;
+    l.name = "g";
+    l.ni = 1;
+    l.nx = l.ny = 2;
+    l.no = 1;
+    l.kx = l.ky = 3;
+    l.px = l.py = 1;
+
+    Tensor in(1, 2, 2);
+    in.at(0, 0, 0) = 1;
+    in.at(0, 0, 1) = 2;
+    in.at(0, 1, 0) = 3;
+    in.at(0, 1, 1) = 4;
+
+    // Window at (0,0) covers rows/cols -1..1 -> padded border of 0s.
+    const auto vec = gatherWindow(in, l, 0, 0);
+    const std::vector<Word> expect{0, 0, 0, 0, 1, 2, 0, 3, 4};
+    EXPECT_EQ(vec, expect);
+}
+
+TEST(Reference, HandComputedConv)
+{
+    // 1 input map 2x2, one 2x2 kernel, identity-ish check with
+    // activation disabled.
+    NetworkBuilder b("t", 1, 2, 2);
+    b.conv(2, 1, 1, 0);
+    auto net = b.build();
+    WeightStore ws(net.size());
+    // Weights = [1, 2, 3, 4] in Q12; inputs = [1, 1, 1, 1] in Q12.
+    auto &w = ws.layerMutable(0);
+    w = {toFixed(1, kFmt), toFixed(2, kFmt), toFixed(3, kFmt),
+         toFixed(4, kFmt)};
+
+    Tensor in(1, 2, 2);
+    in.fill(toFixed(0.25, kFmt));
+
+    // Expected pre-activation: 0.25*(1+2+3+4) = 2.5; sigmoid(tanh)
+    // then applies. Use a copy of the LUT to compute the expectation.
+    ReferenceExecutor exec(net, ws, kFmt);
+    const auto out = exec.run(in);
+    ASSERT_EQ(out.size(), 1u);
+
+    SigmoidLut lut(kFmt);
+    EXPECT_EQ(out.flat(0), lut.apply(toFixed(2.5, kFmt)));
+}
+
+TEST(Reference, ConvNoActivationExactDot)
+{
+    NetworkBuilder b("t", 2, 2, 2);
+    b.fc(1, Activation::None);
+    auto net = b.build();
+    WeightStore ws(net.size());
+    auto &w = ws.layerMutable(0);
+    w.assign(8, 0);
+    // Dot product of per-element products: sum_i in_i * w_i / 2^12.
+    for (int i = 0; i < 8; ++i)
+        w[i] = static_cast<Word>(256 * (i + 1));
+
+    Tensor in(2, 2, 2);
+    for (int i = 0; i < 8; ++i)
+        in.flat(i) = static_cast<Word>(128 * (i - 4));
+
+    Acc acc = 0;
+    for (int i = 0; i < 8; ++i)
+        acc += static_cast<Acc>(in.flat(i)) * w[i];
+
+    ReferenceExecutor exec(net, ws, kFmt);
+    const auto out = exec.run(in);
+    EXPECT_EQ(out.flat(0), requantizeAcc(acc, kFmt));
+}
+
+TEST(Reference, MaxPoolPicksMaximum)
+{
+    NetworkBuilder b("t", 1, 4, 4);
+    b.maxPool(2, 2);
+    auto net = b.build();
+    WeightStore ws(net.size());
+
+    Tensor in(1, 4, 4);
+    Word v = -8;
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in.flat(i) = v++;
+
+    ReferenceExecutor exec(net, ws, kFmt);
+    const auto out = exec.run(in);
+    ASSERT_EQ(out.rows(), 2);
+    // Max of each 2x2 block is its bottom-right element.
+    EXPECT_EQ(out.at(0, 0, 0), in.at(0, 1, 1));
+    EXPECT_EQ(out.at(0, 0, 1), in.at(0, 1, 3));
+    EXPECT_EQ(out.at(0, 1, 0), in.at(0, 3, 1));
+    EXPECT_EQ(out.at(0, 1, 1), in.at(0, 3, 3));
+}
+
+TEST(Reference, AvgPoolRounds)
+{
+    NetworkBuilder b("t", 1, 2, 2);
+    b.avgPool(2, 2);
+    auto net = b.build();
+    WeightStore ws(net.size());
+
+    Tensor in(1, 2, 2);
+    in.flat(0) = 1;
+    in.flat(1) = 2;
+    in.flat(2) = 2;
+    in.flat(3) = 2;
+
+    ReferenceExecutor exec(net, ws, kFmt);
+    const auto out = exec.run(in);
+    EXPECT_EQ(out.flat(0), 2); // 7/4 rounds to 2
+}
+
+TEST(Reference, SppProducesPyramid)
+{
+    NetworkBuilder b("t", 1, 4, 4);
+    b.spp({2, 1});
+    auto net = b.build();
+    WeightStore ws(net.size());
+
+    Tensor in(1, 4, 4);
+    Word v = 1;
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in.flat(i) = v++;
+
+    ReferenceExecutor exec(net, ws, kFmt);
+    const auto out = exec.run(in);
+    ASSERT_EQ(out.rows(), 5); // 2x2 + 1x1 bins
+    // Level 2 bins are quadrant maxima.
+    EXPECT_EQ(out.at(0, 0, 0), 6);
+    EXPECT_EQ(out.at(0, 1, 0), 8);
+    EXPECT_EQ(out.at(0, 2, 0), 14);
+    EXPECT_EQ(out.at(0, 3, 0), 16);
+    // Level 1 bin is the global max.
+    EXPECT_EQ(out.at(0, 4, 0), 16);
+}
+
+TEST(Reference, TinyCnnEndToEndRuns)
+{
+    const auto net = tinyCnn();
+    const auto ws = WeightStore::synthesize(net, 123);
+    const auto in = synthesizeInput(16, 12, 12, 9, kFmt);
+    ReferenceExecutor exec(net, ws, kFmt);
+    const auto outs = exec.runAll(in);
+    ASSERT_EQ(outs.size(), net.size());
+    EXPECT_EQ(outs.back().channels(), 10);
+    EXPECT_EQ(outs.back().rows(), 1);
+    // Deterministic across runs.
+    const auto again = exec.run(in);
+    EXPECT_EQ(again.raw(), outs.back().raw());
+}
+
+TEST(Reference, PrivateKernelUsesPerWindowWeights)
+{
+    NetworkBuilder b("t", 1, 3, 3);
+    b.localConv(2, 1, 1, 0); // 2x2 windows over 3x3 -> 2x2 outputs
+    auto net = b.build();
+    WeightStore ws(net.size());
+    auto &w = ws.layerMutable(0);
+    // 4 windows x 1 map x 4 weights. Window k has weight 2^k on the
+    // top-left tap only.
+    w.assign(16, 0);
+    for (int win = 0; win < 4; ++win)
+        w[win * 4] = static_cast<Word>(toFixed(1, kFmt) * (win + 1));
+
+    Tensor in(1, 3, 3);
+    in.fill(toFixed(0.5, kFmt));
+
+    // Disable activation for exactness.
+    auto layers = net.layers();
+    layers[0].activation = Activation::None;
+    Network net2("t2", layers);
+
+    ReferenceExecutor exec(net2, ws, kFmt);
+    const auto out = exec.run(in);
+    // Window order: window = ox * outNy + oy.
+    EXPECT_EQ(out.at(0, 0, 0), toFixed(0.5, kFmt));
+    EXPECT_EQ(out.at(0, 0, 1), toFixed(1.0, kFmt));
+    EXPECT_EQ(out.at(0, 1, 0), toFixed(1.5, kFmt));
+    EXPECT_EQ(out.at(0, 1, 1), toFixed(2.0, kFmt));
+}
+
+} // namespace
+} // namespace isaac::nn

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tensor unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace isaac::nn {
+namespace {
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(2, 3, 4);
+    EXPECT_EQ(t.channels(), 2);
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.cols(), 4);
+    EXPECT_EQ(t.size(), 24u);
+    for (int c = 0; c < 2; ++c)
+        for (int y = 0; y < 3; ++y)
+            for (int x = 0; x < 4; ++x)
+                EXPECT_EQ(t.at(c, y, x), 0);
+}
+
+TEST(Tensor, LayoutIsChannelMajorRowMajor)
+{
+    Tensor t(2, 2, 3);
+    Word v = 1;
+    for (int c = 0; c < 2; ++c)
+        for (int y = 0; y < 2; ++y)
+            for (int x = 0; x < 3; ++x)
+                t.at(c, y, x) = v++;
+    // Flat order must walk x fastest, then y, then c.
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.flat(i), static_cast<Word>(i + 1));
+}
+
+TEST(Tensor, FillSetsEveryElement)
+{
+    Tensor t(3, 5, 7);
+    t.fill(-123);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.flat(i), -123);
+}
+
+TEST(Tensor, EmptyTensorHasZeroSize)
+{
+    Tensor t;
+    EXPECT_EQ(t.size(), 0u);
+}
+
+} // namespace
+} // namespace isaac::nn

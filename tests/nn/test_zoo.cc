@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Model-zoo tests: the Table II networks must match the layer and
+ * parameter counts quoted in the paper text.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.h"
+
+namespace isaac::nn {
+namespace {
+
+TEST(Zoo, VggWeightLayerCounts)
+{
+    EXPECT_EQ(vgg(1).weightLayerCount(), 11);
+    EXPECT_EQ(vgg(2).weightLayerCount(), 13);
+    EXPECT_EQ(vgg(3).weightLayerCount(), 16);
+    EXPECT_EQ(vgg(4).weightLayerCount(), 19);
+}
+
+TEST(Zoo, Vgg1HasSixteenLayersTotal)
+{
+    // Sec. VIII: "VGG-1 has 16 layers" (11 weight layers + 5 pools),
+    // the basis of its 16x pipelining speedup.
+    EXPECT_EQ(vgg(1).size(), 16u);
+}
+
+TEST(Zoo, VggParameterCounts)
+{
+    // The paper quotes 138M parameters for the 16-layer VGG net.
+    // Config C (our VGG-3) is slightly smaller; config E larger.
+    const double m3 = static_cast<double>(vgg(3).totalWeights()) / 1e6;
+    const double m4 = static_cast<double>(vgg(4).totalWeights()) / 1e6;
+    EXPECT_NEAR(m3, 134.0, 4.0);
+    EXPECT_NEAR(m4, 144.0, 4.0);
+}
+
+TEST(Zoo, MsraWeightLayerCounts)
+{
+    // Models A/B/C: 19 / 22 / 22 weight layers.
+    EXPECT_EQ(msra(1).weightLayerCount(), 19);
+    EXPECT_EQ(msra(2).weightLayerCount(), 22);
+    EXPECT_EQ(msra(3).weightLayerCount(), 22);
+}
+
+TEST(Zoo, MsraParameterCounts)
+{
+    // Paper: model A 178M, model B 183M, model C 330M parameters.
+    const double a = static_cast<double>(msra(1).totalWeights()) / 1e6;
+    const double b = static_cast<double>(msra(2).totalWeights()) / 1e6;
+    const double c = static_cast<double>(msra(3).totalWeights()) / 1e6;
+    EXPECT_NEAR(a, 178.0, 8.0);
+    EXPECT_NEAR(b, 183.0, 8.0);
+    EXPECT_NEAR(c, 330.0, 20.0);
+}
+
+TEST(Zoo, MsraUsesSppBeforeClassifiers)
+{
+    const auto net = msra(1);
+    bool sawSpp = false;
+    for (const auto &l : net.layers()) {
+        if (l.kind == LayerKind::Spp) {
+            sawSpp = true;
+            EXPECT_EQ(l.outNx(), 63); // 7^2 + 3^2 + 2^2 + 1^2
+        }
+        if (l.kind == LayerKind::Classifier) {
+            EXPECT_TRUE(sawSpp);
+        }
+    }
+    EXPECT_TRUE(sawSpp);
+}
+
+TEST(Zoo, DeepFaceStructure)
+{
+    const auto net = deepFace();
+    // "8 weight layers" in the ISAAC text counts the max-pool stage;
+    // DeepFace has 7 weight-bearing layers (C1, C3, L4-L6, F7, F8)
+    // and 8 layers in total.
+    EXPECT_EQ(net.size(), 8u);
+    EXPECT_EQ(net.weightLayerCount(), 7);
+    int privates = 0;
+    for (const auto &l : net.layers())
+        privates += l.privateKernel;
+    EXPECT_EQ(privates, 3);
+    // Paper: ~120M parameters.
+    const double m = static_cast<double>(net.totalWeights()) / 1e6;
+    EXPECT_NEAR(m, 115.0, 12.0);
+    // Final layer is the 4030-way classifier.
+    EXPECT_EQ(net.layers().back().no, 4030);
+}
+
+TEST(Zoo, LargeDnnMatchesTableII)
+{
+    const auto net = largeDnn();
+    ASSERT_EQ(net.size(), 1u);
+    const auto &l = net.layer(0);
+    EXPECT_EQ(l.nx, 200);
+    EXPECT_EQ(l.kx, 18);
+    EXPECT_EQ(l.ni, 8);
+    EXPECT_EQ(l.no, 8);
+    EXPECT_TRUE(l.privateKernel);
+    EXPECT_EQ(l.outNx(), 183);
+}
+
+TEST(Zoo, AllBenchmarksReturnsNine)
+{
+    const auto nets = allBenchmarks();
+    ASSERT_EQ(nets.size(), 9u);
+    EXPECT_EQ(nets[0].name(), "VGG-1");
+    EXPECT_EQ(nets[4].name(), "MSRA-1");
+    EXPECT_EQ(nets[7].name(), "DeepFace");
+    EXPECT_EQ(nets[8].name(), "DNN");
+}
+
+TEST(Zoo, AllBenchmarksValidateAndChain)
+{
+    // Construction itself runs validate(); also sanity-check sizes.
+    for (const auto &net : allBenchmarks()) {
+        EXPECT_GT(net.totalMacs(), 0) << net.name();
+        EXPECT_GT(net.totalWeights(), 0) << net.name();
+    }
+}
+
+TEST(Zoo, AlexNetNoLrnMatchesKnownCounts)
+{
+    const auto net = alexNetNoLrn();
+    EXPECT_EQ(net.weightLayerCount(), 8);
+    // ~61M parameters; ~1.1 GMACs (the reference 0.72 GMACs figure
+    // assumes the original two-GPU grouped convolutions, which the
+    // substrate does not model).
+    EXPECT_NEAR(static_cast<double>(net.totalWeights()) / 1e6, 61.0,
+                3.0);
+    EXPECT_NEAR(static_cast<double>(net.totalMacs()) / 1e9, 1.13,
+                0.1);
+    // No LRN-style layer kind exists in the substrate at all.
+    for (const auto &l : net.layers()) {
+        EXPECT_TRUE(l.kind == LayerKind::Conv ||
+                    l.kind == LayerKind::Classifier ||
+                    l.kind == LayerKind::MaxPool);
+    }
+}
+
+TEST(Zoo, TinyCnnMatchesFig4Shape)
+{
+    const auto net = tinyCnn();
+    EXPECT_EQ(net.layer(0).kx, 4);
+    EXPECT_EQ(net.layer(0).ni, 16);
+    EXPECT_EQ(net.layer(0).no, 32);
+    EXPECT_EQ(net.layer(0).dotLength(), 256); // 4x4x16 (Sec. VI)
+}
+
+} // namespace
+} // namespace isaac::nn

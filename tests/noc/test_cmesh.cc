@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Concentrated-mesh tests: concentration, XY routing, link loads,
+ * and cross-chip HyperTransport accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "noc/cmesh.h"
+
+namespace isaac::noc {
+namespace {
+
+const arch::IsaacConfig kCfg = arch::IsaacConfig::isaacCE();
+
+TEST(CMesh, RouterGridIsHalfTheTileGrid)
+{
+    CMesh mesh(kCfg, 1);
+    // 14x12 tiles -> 7x6 routers (2x2 concentration).
+    EXPECT_EQ(mesh.routerCols(), 7);
+    EXPECT_EQ(mesh.routerRows(), 6);
+}
+
+TEST(CMesh, FourTilesShareARouter)
+{
+    CMesh mesh(kCfg, 1);
+    const auto r = mesh.routerOf({0, 4, 6});
+    EXPECT_EQ(mesh.routerOf({0, 5, 6}), r);
+    EXPECT_EQ(mesh.routerOf({0, 4, 7}), r);
+    EXPECT_EQ(mesh.routerOf({0, 5, 7}), r);
+    EXPECT_NE(mesh.routerOf({0, 6, 6}), r);
+}
+
+TEST(CMesh, IntraRouterFlowUsesNoLinks)
+{
+    CMesh mesh(kCfg, 1);
+    mesh.addFlow({0, 0, 0}, {0, 1, 1}, 2.0);
+    EXPECT_EQ(mesh.maxLinkLoadGBps(), 0.0);
+    EXPECT_EQ(mesh.hopGBps(), 0.0);
+}
+
+TEST(CMesh, XyRoutingTakesManhattanHops)
+{
+    CMesh mesh(kCfg, 1);
+    // Tile (0,0) router (0,0) -> tile (8,6) router (4,3): 7 hops.
+    mesh.addFlow({0, 0, 0}, {0, 8, 6}, 1.0);
+    EXPECT_DOUBLE_EQ(mesh.hopGBps(), 7.0);
+    EXPECT_DOUBLE_EQ(mesh.maxLinkLoadGBps(), 1.0);
+    // Every traversed link carries exactly the flow.
+    for (const auto &[link, load] : mesh.linkLoads())
+        EXPECT_DOUBLE_EQ(load, 1.0);
+}
+
+TEST(CMesh, FlowsAccumulateOnSharedLinks)
+{
+    CMesh mesh(kCfg, 1);
+    mesh.addFlow({0, 0, 0}, {0, 4, 0}, 1.5);
+    mesh.addFlow({0, 0, 0}, {0, 4, 0}, 1.0);
+    EXPECT_DOUBLE_EQ(mesh.maxLinkLoadGBps(), 2.5);
+}
+
+TEST(CMesh, CrossChipUsesHt)
+{
+    CMesh mesh(kCfg, 2);
+    mesh.addFlow({0, 2, 2}, {1, 2, 2}, 3.0);
+    EXPECT_DOUBLE_EQ(mesh.htLoadGBps(0), 3.0);
+    EXPECT_DOUBLE_EQ(mesh.htLoadGBps(1), 3.0);
+    EXPECT_DOUBLE_EQ(mesh.maxHtLoadGBps(), 3.0);
+    // On-chip legs to/from the I/O routers exist on both chips.
+    EXPECT_GT(mesh.hopGBps(), 0.0);
+}
+
+TEST(CMesh, SchedulabilityFollowsCapacity)
+{
+    CMesh mesh(kCfg, 1);
+    mesh.addFlow({0, 0, 0}, {0, 4, 0}, kCfg.cmeshLinkGBps - 0.5);
+    EXPECT_TRUE(mesh.schedulable());
+    mesh.addFlow({0, 0, 0}, {0, 4, 0}, 1.0);
+    EXPECT_FALSE(mesh.schedulable());
+}
+
+TEST(CMesh, HtOverloadBreaksSchedule)
+{
+    CMesh mesh(kCfg, 2);
+    mesh.addFlow({0, 0, 0}, {1, 0, 0},
+                 mesh.htCapacityGBps() + 1.0);
+    EXPECT_FALSE(mesh.schedulable());
+}
+
+TEST(CMesh, BoardGridRoutesMultiHop)
+{
+    // 16 chips form a 4x4 board; chip 0 -> chip 15 takes 3 + 3 HT
+    // hops, loading every link on the path.
+    CMesh mesh(kCfg, 16);
+    EXPECT_EQ(mesh.boardCols(), 4);
+    EXPECT_EQ(mesh.boardRows(), 4);
+    mesh.addFlow({0, 0, 0}, {15, 0, 0}, 2.0);
+    EXPECT_DOUBLE_EQ(mesh.maxHtLinkGBps(), 2.0);
+    EXPECT_TRUE(mesh.schedulable());
+}
+
+TEST(CMesh, SingleHtLinkSaturates)
+{
+    // One 6.4 GB/s link between adjacent chips is the board-level
+    // bottleneck even though the aggregate per-chip HT budget
+    // (4 links) is larger.
+    CMesh mesh(kCfg, 4);
+    mesh.addFlow({0, 0, 0}, {1, 0, 0},
+                 mesh.htLinkCapacityGBps() + 0.5);
+    EXPECT_GT(mesh.maxHtLinkGBps(), mesh.htLinkCapacityGBps());
+    EXPECT_LT(mesh.maxHtLoadGBps(), mesh.htCapacityGBps());
+    EXPECT_FALSE(mesh.schedulable());
+}
+
+TEST(CMesh, RejectsBadArguments)
+{
+    EXPECT_THROW(CMesh(kCfg, 0), FatalError);
+    CMesh mesh(kCfg, 1);
+    EXPECT_THROW(mesh.routerOf({1, 0, 0}), FatalError);
+    EXPECT_THROW(mesh.addFlow({0, 0, 0}, {0, 1, 0}, -1.0),
+                 FatalError);
+    EXPECT_THROW(mesh.htLoadGBps(5), FatalError);
+}
+
+} // namespace
+} // namespace isaac::noc

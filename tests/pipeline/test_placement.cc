@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Placement tests: every planned crossbar and buffer byte must land
+ * on a physical IMA / eDRAM, layers stay contiguous, and IMAs stay
+ * single-layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "pipeline/placement.h"
+
+namespace isaac::pipeline {
+namespace {
+
+const arch::IsaacConfig kCE = arch::IsaacConfig::isaacCE();
+
+TEST(Placement, TinyCnnPlacesEverything)
+{
+    const auto net = nn::tinyCnn();
+    const auto plan = planPipeline(net, kCE, 1);
+    const auto placement = Placement::build(net, plan, kCE);
+
+    ASSERT_EQ(placement.layers().size(), 2u); // two dot layers
+    for (const auto &lp : placement.layers()) {
+        const auto &planned = plan.layers[lp.layerIdx];
+        EXPECT_EQ(lp.xbarsPlaced, planned.xbars);
+        EXPECT_EQ(lp.bufferBytesPlaced, planned.bufferBytes);
+        EXPECT_FALSE(lp.tiles.empty());
+    }
+}
+
+TEST(Placement, EveryBenchmarkPlacesWhenItFits)
+{
+    for (const auto &net : nn::allBenchmarks()) {
+        for (int chips : {16, 64}) {
+            const auto plan = planPipeline(net, kCE, chips);
+            if (!plan.fits)
+                continue;
+            const auto placement =
+                Placement::build(net, plan, kCE);
+            std::int64_t placed = 0, buffered = 0, wantedBuf = 0;
+            for (const auto &lp : placement.layers()) {
+                placed += lp.xbarsPlaced;
+                buffered += lp.bufferBytesPlaced;
+                wantedBuf += plan.layers[lp.layerIdx].bufferBytes;
+            }
+            EXPECT_EQ(placed, plan.xbarsUsed)
+                << net.name() << " @ " << chips;
+            EXPECT_EQ(buffered, wantedBuf)
+                << net.name() << " @ " << chips;
+        }
+    }
+}
+
+TEST(Placement, ImasServeOneLayer)
+{
+    const auto net = nn::vgg(1);
+    const auto plan = planPipeline(net, kCE, 16);
+    const auto placement = Placement::build(net, plan, kCE);
+    for (const auto &chip : placement.chips()) {
+        for (const auto &tile : chip.tiles()) {
+            for (const auto &ima : tile.imas()) {
+                // Ownership is either empty or a valid dot layer.
+                if (ima.layer()) {
+                    EXPECT_TRUE(
+                        net.layer(*ima.layer()).isDotProduct());
+                }
+            }
+        }
+    }
+}
+
+TEST(Placement, LayersAreContiguousRunsPerChip)
+{
+    // Every chip hosts a vertical slice of the whole pipeline;
+    // within one chip each layer's IMA span is a single contiguous
+    // run in network order (pipeline neighbours sit together, which
+    // keeps the inter-layer traffic local).
+    const auto net = nn::vgg(2);
+    const auto plan = planPipeline(net, kCE, 16);
+    const auto placement = Placement::build(net, plan, kCE);
+
+    for (const auto &chip : placement.chips()) {
+        std::vector<std::size_t> sequence;
+        for (const auto &tile : chip.tiles()) {
+            for (const auto &ima : tile.imas()) {
+                if (!ima.layer())
+                    continue;
+                if (sequence.empty() ||
+                    sequence.back() != *ima.layer()) {
+                    sequence.push_back(*ima.layer());
+                }
+            }
+        }
+        auto sorted = sequence;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                  sorted.end())
+            << "chip " << chip.id();
+        EXPECT_TRUE(
+            std::is_sorted(sequence.begin(), sequence.end()))
+            << "chip " << chip.id();
+        // Every dot layer is present on every chip.
+        EXPECT_EQ(sequence.size(),
+                  static_cast<std::size_t>(net.weightLayerCount()))
+            << "chip " << chip.id();
+    }
+}
+
+TEST(Placement, TilesUsedMatchesReport)
+{
+    const auto net = nn::tinyCnn();
+    const auto plan = planPipeline(net, kCE, 1);
+    const auto placement = Placement::build(net, plan, kCE);
+    EXPECT_GT(placement.tilesUsed(), 0);
+    EXPECT_LE(placement.tilesUsed(), 168);
+}
+
+TEST(Placement, RefusesUnfitPlan)
+{
+    const auto net = nn::largeDnn();
+    const auto plan = planPipeline(net, kCE, 8);
+    ASSERT_FALSE(plan.fits);
+    EXPECT_THROW(Placement::build(net, plan, kCE), FatalError);
+}
+
+} // namespace
+} // namespace isaac::pipeline

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Replication-planner tests: desired replication, slowdown/speedup
+ * search, and capacity behaviour on the paper's benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "pipeline/replication.h"
+
+namespace isaac::pipeline {
+namespace {
+
+const arch::IsaacConfig kCE = arch::IsaacConfig::isaacCE();
+
+TEST(Replication, Vgg1FirstLayerWants50kCopies)
+{
+    // Sec. VIII-B: "the first layer has to be replicated more than
+    // 50K times to keep the last layer busy in every cycle."
+    const auto net = nn::vgg(1);
+    const auto plan = planPipeline(net, kCE, 16);
+    EXPECT_EQ(plan.layers[0].desiredReplication, 224LL * 224);
+    EXPECT_GT(plan.layers[0].desiredReplication, 50000);
+    // With only 16 chips the grant is far below the desire.
+    EXPECT_LT(plan.layers[0].replication,
+              plan.layers[0].desiredReplication);
+    EXPECT_GT(plan.slowdown, 1);
+}
+
+TEST(Replication, DesiredFollowsWindowRatio)
+{
+    const auto net = nn::tinyCnn();
+    const auto plan = planPipeline(net, kCE, 1);
+    // conv windows 9x9=81; fc windows 1 -> desired 81.
+    EXPECT_EQ(plan.layers[0].desiredReplication, 81);
+    EXPECT_EQ(plan.layers[2].desiredReplication, 1);
+    // One chip has plenty of room: full replication plus speedup
+    // (the greedy rebalancer may add a little on top).
+    EXPECT_EQ(plan.slowdown, 1);
+    EXPECT_GE(plan.speedup, 1);
+    EXPECT_GE(plan.layers[0].replication, 81 * plan.speedup);
+    EXPECT_LE(plan.layers[0].replication,
+              81 * (plan.speedup + 1));
+}
+
+TEST(Replication, BalancedPipelineHasEqualLayerCycles)
+{
+    // With full grants every dot layer's compute time matches the
+    // last layer's (that is the definition of balance).
+    const auto net = nn::tinyCnn();
+    const auto plan = planPipeline(net, kCE, 1);
+    const double t0 = plan.layers[0].computeCyclesPerImage;
+    const double t2 = plan.layers[2].computeCyclesPerImage;
+    EXPECT_NEAR(t0, t2, 0.02 * t2);
+}
+
+TEST(Replication, SlowdownShrinksWithMoreChips)
+{
+    const auto net = nn::vgg(2);
+    const auto p8 = planPipeline(net, kCE, 8);
+    const auto p16 = planPipeline(net, kCE, 16);
+    const auto p64 = planPipeline(net, kCE, 64);
+    EXPECT_GE(p8.slowdown, p16.slowdown);
+    EXPECT_GE(p16.slowdown, p64.slowdown);
+    // Doubling the chips should roughly halve the interval (grant
+    // rounding and fixed classifier costs allow some slack).
+    EXPECT_GE(p8.cyclesPerImage, p16.cyclesPerImage);
+    EXPECT_LE(p8.cyclesPerImage / p16.cyclesPerImage, 4.0);
+    EXPECT_GT(p16.cyclesPerImage, 0);
+}
+
+TEST(Replication, UsageNeverExceedsBudget)
+{
+    for (int chips : {8, 16, 64}) {
+        for (const auto &net : nn::allBenchmarks()) {
+            const auto plan = planPipeline(net, kCE, chips);
+            if (!plan.fits)
+                continue;
+            EXPECT_LE(plan.xbarsUsed, plan.xbarsAvailable)
+                << net.name() << " @ " << chips;
+        }
+    }
+}
+
+TEST(Replication, DnnCapacityMatchesPaper)
+{
+    // Sec. VIII-A: the large DNN fits on 32 ISAAC-CE chips (not 16).
+    const auto net = nn::largeDnn();
+    EXPECT_FALSE(planPipeline(net, kCE, 16).fits);
+    EXPECT_TRUE(planPipeline(net, kCE, 32).fits);
+}
+
+TEST(Replication, DnnFitsOnOneSeChip)
+{
+    // Sec. VIII-A: the large DNN fits in just one ISAAC-SE chip.
+    const auto net = nn::largeDnn();
+    const auto se = arch::IsaacConfig::isaacSE();
+    EXPECT_TRUE(planPipeline(net, se, 1).fits);
+}
+
+TEST(Replication, PipelineIntervalIsMaxLayerTime)
+{
+    const auto net = nn::vgg(1);
+    const auto plan = planPipeline(net, kCE, 16);
+    double maxCycles = 0, sumCycles = 0;
+    for (const auto &lp : plan.layers) {
+        maxCycles = std::max(maxCycles, lp.cyclesPerImage);
+        sumCycles += lp.cyclesPerImage;
+    }
+    EXPECT_DOUBLE_EQ(plan.cyclesPerImage, maxCycles);
+    EXPECT_DOUBLE_EQ(plan.unpipelinedCyclesPerImage, sumCycles);
+}
+
+TEST(Replication, UtilizationIsAtMostOne)
+{
+    const auto net = nn::msra(1);
+    const auto plan = planPipeline(net, kCE, 16);
+    for (const auto &lp : plan.layers) {
+        EXPECT_LE(lp.utilization, 1.0 + 1e-9);
+        EXPECT_GE(lp.utilization, 0.0);
+    }
+}
+
+TEST(Replication, BufferNeverExceedsAllocatedEdram)
+{
+    for (const auto &net : nn::allBenchmarks()) {
+        const auto plan = planPipeline(net, kCE, 64);
+        if (!plan.fits)
+            continue;
+        for (const auto &lp : plan.layers) {
+            if (!lp.isDot)
+                continue;
+            EXPECT_LE(lp.bufferBytes,
+                      lp.tiles * kCE.edramKBPerTile * 1024)
+                << net.name();
+        }
+    }
+}
+
+TEST(Replication, RejectsZeroChips)
+{
+    const auto net = nn::tinyCnn();
+    EXPECT_THROW(planPipeline(net, kCE, 0), FatalError);
+}
+
+} // namespace
+} // namespace isaac::pipeline

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Placed full-chip simulator tests: agreement with the analytic
+ * model, structural-hazard sensitivity, and activity accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "pipeline/perf.h"
+#include "sim/chip_sim.h"
+
+namespace isaac::sim {
+namespace {
+
+arch::IsaacConfig
+singleTileConfig()
+{
+    auto cfg = arch::IsaacConfig::isaacCE();
+    cfg.tilesPerChip = 2;
+    return cfg;
+}
+
+struct Setup
+{
+    nn::Network net;
+    pipeline::PipelinePlan plan;
+    pipeline::Placement placement;
+};
+
+Setup
+makeSetup(const arch::IsaacConfig &cfg)
+{
+    auto net = nn::tinyCnn();
+    auto plan = pipeline::planPipeline(net, cfg, 1);
+    auto placement = pipeline::Placement::build(net, plan, cfg);
+    return Setup{std::move(net), std::move(plan),
+                 std::move(placement)};
+}
+
+TEST(ChipSim, TracksAnalyticInterval)
+{
+    const auto cfg = singleTileConfig();
+    const auto s = makeSetup(cfg);
+    const auto r = simulateChip(s.net, s.plan, s.placement, cfg, 10);
+    EXPECT_NEAR(r.measuredInterval, r.analyticInterval,
+                0.45 * r.analyticInterval + 10.0);
+    EXPECT_GT(r.firstImageDone, 0u);
+}
+
+TEST(ChipSim, ImagesCompleteMonotonically)
+{
+    const auto cfg = singleTileConfig();
+    const auto s = makeSetup(cfg);
+    const auto r = simulateChip(s.net, s.plan, s.placement, cfg, 8);
+    for (std::size_t i = 1; i < r.imageDone.size(); ++i)
+        EXPECT_GE(r.imageDone[i], r.imageDone[i - 1]);
+}
+
+TEST(ChipSim, SingleBankEdramSlowsThePipeline)
+{
+    // Structural hazards matter: with one eDRAM bank per tile the
+    // IR loads and result writes contend and the interval grows.
+    auto cfg = singleTileConfig();
+    const auto fast = makeSetup(cfg);
+    const auto rFast =
+        simulateChip(fast.net, fast.plan, fast.placement, cfg, 8);
+
+    auto starved = cfg;
+    starved.edramBanks = 1;
+    // Same plan/placement shape, fewer banks in the simulator.
+    const auto rSlow = simulateChip(fast.net, fast.plan,
+                                    fast.placement, starved, 8);
+    EXPECT_GE(rSlow.measuredInterval,
+              rFast.measuredInterval * 0.999);
+    EXPECT_GE(rSlow.lastImageDone, rFast.lastImageDone);
+}
+
+TEST(ChipSim, TraceCountsScaleWithWork)
+{
+    const auto cfg = singleTileConfig();
+    const auto s = makeSetup(cfg);
+    const auto r1 = simulateChip(s.net, s.plan, s.placement, cfg, 1);
+    const auto r4 = simulateChip(s.net, s.plan, s.placement, cfg, 4);
+    EXPECT_EQ(r4.trace.xbarReads, 4 * r1.trace.xbarReads);
+    EXPECT_EQ(r4.trace.adcSamples, 4 * r1.trace.adcSamples);
+    // Per image: conv has 81 windows x 16 phases x 4 arrays, fc has
+    // 1 op x 16 phases x 3 arrays.
+    EXPECT_EQ(r1.trace.xbarReads, 81u * 16 * 4 + 16 * 3);
+}
+
+TEST(ChipSim, TraceAgreesWithAnalyticActivityModel)
+{
+    // The simulator's per-image ADC-sample count must equal the
+    // analytic activity model's: both count
+    // windows x phases x arrays x (cols + 1) per dot layer.
+    const auto cfg = singleTileConfig();
+    const auto s = makeSetup(cfg);
+    const auto r = simulateChip(s.net, s.plan, s.placement, cfg, 1);
+
+    const energy::IsaacEnergyModel model(cfg);
+    const auto perf = pipeline::analyzeIsaac(s.net, s.plan, model);
+    const double analyticSamples = perf.activity.adcJ /
+        (model.adcEnergyPerSamplePj() * 1e-12);
+    EXPECT_NEAR(static_cast<double>(r.trace.adcSamples),
+                analyticSamples, 0.5);
+
+    const double analyticReads = perf.activity.xbarJ /
+        (model.xbarEnergyPerReadPj() * 1e-12);
+    EXPECT_NEAR(static_cast<double>(r.trace.xbarReads),
+                analyticReads, 0.5);
+}
+
+TEST(ChipSim, UtilizationIsAFraction)
+{
+    const auto cfg = singleTileConfig();
+    const auto s = makeSetup(cfg);
+    const auto r = simulateChip(s.net, s.plan, s.placement, cfg, 8);
+    EXPECT_GT(r.maxImaUtilization, 0.0);
+    EXPECT_LE(r.maxImaUtilization, 1.0);
+}
+
+TEST(ChipSim, RejectsBadArguments)
+{
+    const auto cfg = singleTileConfig();
+    const auto s = makeSetup(cfg);
+    EXPECT_THROW(
+        simulateChip(s.net, s.plan, s.placement, cfg, 0),
+        FatalError);
+    auto broken = s.plan;
+    broken.fits = false;
+    EXPECT_THROW(
+        simulateChip(s.net, broken, s.placement, cfg, 2),
+        FatalError);
+}
+
+} // namespace
+} // namespace isaac::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Inter-layer pipeline simulator tests: the cycle-level simulation
+ * must corroborate the analytic model's steady-state interval.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "sim/pipeline_sim.h"
+
+namespace isaac::sim {
+namespace {
+
+const arch::IsaacConfig kCE = arch::IsaacConfig::isaacCE();
+
+TEST(PipelineSim, TinyCnnMatchesAnalyticInterval)
+{
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(net, kCE, 1);
+    const auto result = simulatePipeline(net, plan, 8);
+    // The measured steady-state interval must agree with the
+    // analytic prediction within the pipeline-tail slack.
+    EXPECT_NEAR(result.measuredInterval, result.analyticInterval,
+                0.25 * result.analyticInterval + 8.0);
+}
+
+TEST(PipelineSim, FillLatencyExceedsInterval)
+{
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(net, kCE, 1);
+    const auto result = simulatePipeline(net, plan, 6);
+    EXPECT_GT(static_cast<double>(result.firstImageDone),
+              result.measuredInterval);
+}
+
+TEST(PipelineSim, ImagesCompleteInOrder)
+{
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(net, kCE, 1);
+    const auto result = simulatePipeline(net, plan, 6);
+    for (std::size_t i = 1; i < result.imageDone.size(); ++i)
+        EXPECT_GE(result.imageDone[i], result.imageDone[i - 1]);
+}
+
+TEST(PipelineSim, FewerServersStretchTheInterval)
+{
+    // Starve the plan: force replication 1 everywhere and compare.
+    const auto net = nn::tinyCnn();
+    auto plan = pipeline::planPipeline(net, kCE, 1);
+    auto starved = plan;
+    for (auto &lp : starved.layers) {
+        if (lp.isDot)
+            lp.effectiveRate = 1.0;
+    }
+    const auto fast = simulatePipeline(net, plan, 6);
+    const auto slow = simulatePipeline(net, starved, 6);
+    EXPECT_GT(slow.measuredInterval, 2.0 * fast.measuredInterval);
+}
+
+TEST(PipelineSim, DeeperNetworkStillTracksAnalytic)
+{
+    // A deeper CNN with pooling between stages.
+    nn::NetworkBuilder b("sim-net", 4, 16, 16);
+    b.conv(3, 8, 1, 0).maxPool(2, 2).conv(3, 16, 1, 0).fc(10);
+    const auto net = b.build();
+    const auto plan = pipeline::planPipeline(net, kCE, 1);
+    const auto result = simulatePipeline(net, plan, 8);
+    EXPECT_NEAR(result.measuredInterval, result.analyticInterval,
+                0.35 * result.analyticInterval + 10.0);
+}
+
+TEST(PipelineSim, RejectsBadArguments)
+{
+    const auto net = nn::tinyCnn();
+    auto plan = pipeline::planPipeline(net, kCE, 1);
+    EXPECT_THROW(simulatePipeline(net, plan, 0), FatalError);
+    plan.fits = false;
+    EXPECT_THROW(simulatePipeline(net, plan, 4), FatalError);
+}
+
+} // namespace
+} // namespace isaac::sim

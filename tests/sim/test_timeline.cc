@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Timeline renderer tests: the single-op chart must reproduce the
+ * Fig. 4b schedule glyph by glyph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/timeline.h"
+
+namespace isaac::sim {
+namespace {
+
+TEST(Timeline, SingleOpReproducesFig4b)
+{
+    TileSim sim(arch::IsaacConfig::isaacCE());
+    const auto times = sim.run({TileOp{0, 1, 512, 32}});
+    const auto chart = renderTimeline(times);
+
+    // Find the op row.
+    const auto rowStart = chart.find("op0");
+    ASSERT_NE(rowStart, std::string::npos);
+    const auto row = chart.substr(
+        rowStart, chart.find('\n', rowStart) - rowStart);
+    // Row text after the 11-char label: cycle 1 is the E, cycles
+    // 2..17 are X, 18 A, 19 S, 20 O, 21 V, 22 W.
+    const auto cells = row.substr(11);
+    EXPECT_EQ(cells[0], 'E');
+    for (int c = 2; c <= 17; ++c)
+        EXPECT_EQ(cells[static_cast<std::size_t>(c - 1)], 'X')
+            << "cycle " << c;
+    EXPECT_EQ(cells[17], 'A');
+    EXPECT_EQ(cells[18], 'S');
+    EXPECT_EQ(cells[19], 'O');
+    EXPECT_EQ(cells[20], 'V');
+    EXPECT_EQ(cells[21], 'W');
+}
+
+TEST(Timeline, BackToBackOpsOverlap)
+{
+    TileSim sim(arch::IsaacConfig::isaacCE());
+    const auto times =
+        sim.run({TileOp{0, 1, 512, 32}, TileOp{0, 1, 512, 32}});
+    const auto chart = renderTimeline(times);
+    // Two op rows plus a header.
+    EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 3);
+    EXPECT_NE(chart.find("op1"), std::string::npos);
+    // The second op's crossbar phase begins right after the first's
+    // (cycle 18): its row has an X at column 18.
+    const auto rowStart = chart.find("op1");
+    const auto row = chart.substr(
+        rowStart, chart.find('\n', rowStart) - rowStart);
+    EXPECT_EQ(row.substr(11)[17], 'X');
+}
+
+TEST(Timeline, ClipsToMaxCycles)
+{
+    TileSim sim(arch::IsaacConfig::isaacCE());
+    const auto times = sim.run({TileOp{0, 1, 512, 32}});
+    const auto chart = renderTimeline(times, 10);
+    const auto header = chart.substr(0, chart.find('\n'));
+    EXPECT_EQ(header.size(), std::string("cycle      ").size() + 10);
+}
+
+TEST(Timeline, RejectsEmpty)
+{
+    EXPECT_THROW(renderTimeline({}), FatalError);
+}
+
+} // namespace
+} // namespace isaac::sim

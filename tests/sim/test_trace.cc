@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace / SlotResource utility tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+
+namespace isaac::sim {
+namespace {
+
+TEST(Trace, MergeAccumulatesEveryCounter)
+{
+    Trace a;
+    a.edramReadBytes = 1;
+    a.edramWriteBytes = 2;
+    a.busBytes = 3;
+    a.xbarReads = 4;
+    a.adcSamples = 5;
+    a.shiftAdds = 6;
+    a.sigmoidOps = 7;
+    a.maxPoolValues = 8;
+    a.orWrites = 9;
+
+    Trace b = a;
+    b.merge(a);
+    EXPECT_EQ(b.edramReadBytes, 2u);
+    EXPECT_EQ(b.edramWriteBytes, 4u);
+    EXPECT_EQ(b.busBytes, 6u);
+    EXPECT_EQ(b.xbarReads, 8u);
+    EXPECT_EQ(b.adcSamples, 10u);
+    EXPECT_EQ(b.shiftAdds, 12u);
+    EXPECT_EQ(b.sigmoidOps, 14u);
+    EXPECT_EQ(b.maxPoolValues, 16u);
+    EXPECT_EQ(b.orWrites, 18u);
+}
+
+TEST(SlotResource, BacklogDrainsForward)
+{
+    SlotResource r(1);
+    // Saturate cycles 10..14, then ask for cycle 10 again: lands 15.
+    for (Cycle c = 10; c < 15; ++c)
+        EXPECT_EQ(r.reserve(c), c);
+    EXPECT_EQ(r.reserve(10), 15u);
+    // Earlier cycles remain available.
+    EXPECT_EQ(r.reserve(3), 3u);
+}
+
+TEST(SlotResource, ManyReservationsStayBounded)
+{
+    SlotResource r(2);
+    Cycle last = 0;
+    for (int i = 0; i < 100000; ++i)
+        last = r.reserve(static_cast<Cycle>(i / 4));
+    EXPECT_GE(last, 100000u / 4);
+    EXPECT_EQ(r.totalReservations(), 100000u);
+}
+
+} // namespace
+} // namespace isaac::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * In-situ training extension tests: learning through the quantized
+ * analog forward pass must converge, and the write cost must be
+ * tracked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "train/trainer.h"
+
+namespace isaac::train {
+namespace {
+
+Dataset
+easyDataset()
+{
+    return makeClusterDataset(160, 16, 3, 7, FixedFormat{12}, 0.08);
+}
+
+TEST(Dataset, ShapesAndDeterminism)
+{
+    const auto a = easyDataset();
+    EXPECT_EQ(a.samples(), 160);
+    EXPECT_EQ(a.features, 16);
+    EXPECT_EQ(a.classes, 3);
+    const auto b = easyDataset();
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.labels, b.labels);
+    // All classes represented.
+    for (int k = 0; k < 3; ++k) {
+        EXPECT_NE(std::count(a.labels.begin(), a.labels.end(), k), 0)
+            << "class " << k;
+    }
+}
+
+TEST(Dataset, RejectsDegenerateShapes)
+{
+    EXPECT_THROW(makeClusterDataset(0, 4, 2, 1, FixedFormat{12}),
+                 FatalError);
+    EXPECT_THROW(makeClusterDataset(10, 4, 1, 1, FixedFormat{12}),
+                 FatalError);
+}
+
+TEST(Trainer, LearnsSeparableClusters)
+{
+    const auto data = easyDataset();
+    TrainConfig cfg;
+    cfg.epochs = 12;
+    InSituTrainer trainer(xbar::EngineConfig{}, cfg, data.features,
+                          data.classes);
+    const double before = trainer.evaluate(data);
+    const auto result = trainer.fit(data);
+    EXPECT_GT(result.finalAccuracy, 0.95);
+    EXPECT_GT(result.finalAccuracy, before);
+    // Loss decreases over training.
+    EXPECT_LT(result.epochs.back().loss,
+              0.5 * result.epochs.front().loss);
+}
+
+TEST(Trainer, CountsCrossbarWrites)
+{
+    const auto data = easyDataset();
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.reprogramInterval = 16;
+    InSituTrainer trainer(xbar::EngineConfig{}, cfg, data.features,
+                          data.classes);
+    const auto result = trainer.fit(data);
+    // 160 samples / 16 per sync + the per-epoch sync.
+    EXPECT_EQ(result.reprograms, 2 * (160 / 16 + 1));
+    EXPECT_GT(result.cellWrites, 0);
+}
+
+TEST(Trainer, DifferentialReprogrammingIsCheaperThanFull)
+{
+    // With small learning rates most quantized digits are stable
+    // between syncs, so differential writes are far fewer than
+    // rewriting every cell every time.
+    const auto data = easyDataset();
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.learningRate = 0.05;
+    InSituTrainer trainer(xbar::EngineConfig{}, cfg, data.features,
+                          data.classes);
+    const auto result = trainer.fit(data);
+    const xbar::EngineConfig ecfg;
+    const std::int64_t cellsPerFull =
+        static_cast<std::int64_t>(ecfg.rows) * (ecfg.cols + 1);
+    EXPECT_LT(result.cellWrites,
+              result.reprograms * cellsPerFull / 2);
+}
+
+TEST(Trainer, SurvivesModerateWriteNoise)
+{
+    const auto data = easyDataset();
+    xbar::EngineConfig ecfg;
+    ecfg.noise.writeSigmaLevels = 0.2;
+    ecfg.noise.seed = 11;
+    TrainConfig cfg;
+    cfg.epochs = 12;
+    InSituTrainer trainer(ecfg, cfg, data.features, data.classes);
+    const auto result = trainer.fit(data);
+    EXPECT_GT(result.finalAccuracy, 0.8);
+}
+
+TEST(Trainer, RejectsMismatchedDataset)
+{
+    TrainConfig cfg;
+    InSituTrainer trainer(xbar::EngineConfig{}, cfg, 8, 3);
+    const auto data = easyDataset(); // 16 features
+    EXPECT_THROW(trainer.fit(data), FatalError);
+}
+
+} // namespace
+} // namespace isaac::train

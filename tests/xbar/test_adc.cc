@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ADC resolution-law and quantizer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "xbar/adc.h"
+
+namespace isaac::xbar {
+namespace {
+
+TEST(AdcResolution, MatchesPaperEquations)
+{
+    // Eq. (2): v = 1 -> log2(R) + v + w - 1.
+    EXPECT_EQ(adcResolution(128, 1, 2, false), 9);
+    // The encoding scheme saves one bit: the paper's 8-bit ADC.
+    EXPECT_EQ(adcResolution(128, 1, 2, true), 8);
+    // Eq. (1): v > 1 and w > 1 -> log2(R) + v + w.
+    EXPECT_EQ(adcResolution(128, 2, 2, false), 11);
+    EXPECT_EQ(adcResolution(128, 2, 2, true), 10);
+    // w = 1 also uses Eq. (2).
+    EXPECT_EQ(adcResolution(128, 2, 1, false), 9);
+}
+
+TEST(AdcResolution, HalvingRowsSavesOneBit)
+{
+    // Sec. VIII-A: without the encoding we'd need a 9-bit ADC "or
+    // half as many rows per crossbar array".
+    EXPECT_EQ(adcResolution(64, 1, 2, false),
+              adcResolution(128, 1, 2, true));
+}
+
+TEST(AdcResolution, RejectsBadArgs)
+{
+    EXPECT_THROW(adcResolution(0, 1, 2, false), FatalError);
+    EXPECT_THROW(adcResolution(128, 0, 2, false), FatalError);
+    EXPECT_THROW(adcResolution(128, 1, 0, false), FatalError);
+}
+
+TEST(Adc, ExactWithinRange)
+{
+    Adc adc(8);
+    for (Acc v = 0; v <= adc.maxCode(); ++v)
+        EXPECT_EQ(adc.convert(v), v);
+    EXPECT_EQ(adc.clips(), 0u);
+    EXPECT_EQ(adc.samples(), 256u);
+}
+
+TEST(Adc, ClipsOutOfRange)
+{
+    Adc adc(8);
+    EXPECT_EQ(adc.convert(256), 255);
+    EXPECT_EQ(adc.convert(100000), 255);
+    EXPECT_EQ(adc.convert(-3), 0);
+    EXPECT_EQ(adc.clips(), 3u);
+}
+
+TEST(Adc, StatsReset)
+{
+    Adc adc(6);
+    adc.convert(5);
+    adc.convert(1000);
+    adc.resetStats();
+    EXPECT_EQ(adc.samples(), 0u);
+    EXPECT_EQ(adc.clips(), 0u);
+}
+
+TEST(Adc, RejectsSillyResolutions)
+{
+    EXPECT_THROW(Adc(0), FatalError);
+    EXPECT_THROW(Adc(25), FatalError);
+}
+
+} // namespace
+} // namespace isaac::xbar

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Encoding-scheme tests: weight bias, slicing, and column flipping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "xbar/encoding.h"
+
+namespace isaac::xbar {
+namespace {
+
+TEST(Encoding, BiasRoundTripsFullRange)
+{
+    for (std::int32_t w = -32768; w <= 32767; w += 13) {
+        const auto word = static_cast<Word>(w);
+        EXPECT_EQ(unbiasWeight(biasWeight(word)), word);
+    }
+    // The bias maps the signed range onto [0, 65535] monotonically.
+    EXPECT_EQ(biasWeight(-32768), 0);
+    EXPECT_EQ(biasWeight(0), 32768);
+    EXPECT_EQ(biasWeight(32767), 65535);
+}
+
+TEST(Encoding, SliceRoundTripsForAllCellWidths)
+{
+    Rng rng(3);
+    for (int w : {1, 2, 4, 8, 16}) {
+        for (int i = 0; i < 500; ++i) {
+            const auto u = static_cast<std::uint16_t>(
+                rng.uniform(0, 65535));
+            const auto digits = sliceWeight(u, w);
+            EXPECT_EQ(digits.size(),
+                      static_cast<std::size_t>(16 / w));
+            for (int d : digits) {
+                EXPECT_GE(d, 0);
+                EXPECT_LT(d, 1 << w);
+            }
+            EXPECT_EQ(unsliceWeight(digits, w), u);
+        }
+    }
+}
+
+TEST(Encoding, SliceRejectsNonDivisors)
+{
+    EXPECT_THROW(sliceWeight(0, 3), FatalError);
+    EXPECT_THROW(sliceWeight(0, 5), FatalError);
+    EXPECT_THROW(sliceWeight(0, 0), FatalError);
+}
+
+TEST(Encoding, SliceIsLittleEndian)
+{
+    const auto digits = sliceWeight(0b10'01'00'11'01'10'11'00, 2);
+    // LSB digit first.
+    const std::vector<int> expect{0b00, 0b11, 0b10, 0b01,
+                                  0b11, 0b00, 0b01, 0b10};
+    EXPECT_EQ(digits, expect);
+}
+
+TEST(Encoding, FlipDecisionIsHalfSum)
+{
+    const std::vector<int> low{0, 1, 1, 0};   // sum 2 <= 6
+    const std::vector<int> high{3, 3, 2, 3};  // sum 11 > 6
+    const std::vector<int> half{3, 3, 0, 0};  // sum 6 == 6 -> no flip
+    EXPECT_FALSE(shouldFlipColumn(low, 2));
+    EXPECT_TRUE(shouldFlipColumn(high, 2));
+    EXPECT_FALSE(shouldFlipColumn(half, 2));
+}
+
+TEST(Encoding, FlipLevelIsInvolution)
+{
+    for (int w : {1, 2, 4}) {
+        for (int level = 0; level < (1 << w); ++level)
+            EXPECT_EQ(flipLevel(flipLevel(level, w), w), level);
+    }
+}
+
+TEST(Encoding, UnflipRecoversTrueSum)
+{
+    // Property (Sec. V): sum(a*Wbar) = (2^w-1)*sum(a) - sum(a*W).
+    Rng rng(5);
+    const int w = 2;
+    for (int trial = 0; trial < 300; ++trial) {
+        const int rows = static_cast<int>(rng.uniform(1, 128));
+        Acc trueSum = 0, flippedSum = 0, unit = 0;
+        for (int r = 0; r < rows; ++r) {
+            const int a = static_cast<int>(rng.uniform(0, 1));
+            const int level = static_cast<int>(rng.uniform(0, 3));
+            trueSum += static_cast<Acc>(a) * level;
+            flippedSum += static_cast<Acc>(a) * flipLevel(level, w);
+            unit += a;
+        }
+        EXPECT_EQ(unflipColumnSum(flippedSum, unit, w), trueSum);
+    }
+}
+
+TEST(Encoding, FlippedColumnsRespectCeiling)
+{
+    // Property: after applying the flip decision, the worst-case
+    // bitline current (all inputs maximal) never exceeds the
+    // encoded ceiling -- the invariant that buys the 8-bit ADC.
+    Rng rng(7);
+    const int w = 2, rows = 128, v = 1;
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<int> levels(rows);
+        for (auto &l : levels)
+            l = static_cast<int>(rng.uniform(0, 3));
+        if (shouldFlipColumn(levels, w)) {
+            for (auto &l : levels)
+                l = flipLevel(l, w);
+        }
+        Acc worst = 0;
+        for (int l : levels)
+            worst += l;
+        EXPECT_LE(worst, encodedColumnCeiling(rows, v, w));
+    }
+}
+
+TEST(Encoding, CeilingFitsEightBitAdc)
+{
+    // 128 rows, 1-bit inputs, 2-bit cells: ceiling 192 < 256.
+    EXPECT_EQ(encodedColumnCeiling(128, 1, 2), 192);
+    EXPECT_LT(encodedColumnCeiling(128, 1, 2), 256);
+    // Without the encoding the worst case is 384: needs 9 bits.
+    EXPECT_EQ(128LL * 3, 384);
+}
+
+} // namespace
+} // namespace isaac::xbar

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Device non-ideality tests: write variation and stuck-at faults.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xbar/engine.h"
+
+namespace isaac::xbar {
+namespace {
+
+TEST(WriteNoise, PerturbsStoredLevels)
+{
+    CrossbarArray xb(64, 4, 2);
+    NoiseSpec spec;
+    spec.writeSigmaLevels = 0.6;
+    spec.seed = 5;
+    xb.setNoise(spec);
+    int offTarget = 0;
+    for (int r = 0; r < 64; ++r) {
+        xb.program(r, 0, 2);
+        offTarget += xb.cell(r, 0) != 2;
+        // Stored levels always stay within the cell range.
+        EXPECT_GE(xb.cell(r, 0), 0);
+        EXPECT_LE(xb.cell(r, 0), 3);
+    }
+    EXPECT_GT(offTarget, 5);
+    EXPECT_LT(offTarget, 60);
+}
+
+TEST(WriteNoise, ZeroSigmaIsExact)
+{
+    CrossbarArray xb(16, 2, 2);
+    NoiseSpec spec; // all off
+    xb.setNoise(spec);
+    for (int r = 0; r < 16; ++r) {
+        xb.program(r, 1, r % 4);
+        EXPECT_EQ(xb.cell(r, 1), r % 4);
+    }
+}
+
+TEST(StuckCells, IgnoreProgramming)
+{
+    CrossbarArray xb(128, 8, 2);
+    NoiseSpec spec;
+    spec.stuckAtFraction = 0.25;
+    spec.seed = 9;
+    xb.setNoise(spec);
+    const int stuck = xb.stuckCells();
+    EXPECT_GT(stuck, 128 * 8 / 8);
+    EXPECT_LT(stuck, 128 * 8 / 2);
+
+    // Program everything to 3 twice; stuck cells keep their frozen
+    // level both times.
+    int frozen = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        frozen = 0;
+        for (int r = 0; r < 128; ++r) {
+            for (int c = 0; c < 8; ++c) {
+                xb.program(r, c, 3);
+                frozen += xb.cell(r, c) != 3;
+            }
+        }
+    }
+    // Some stuck cells may happen to be frozen at 3.
+    EXPECT_GT(frozen, stuck / 2);
+    EXPECT_LE(frozen, stuck);
+}
+
+TEST(StuckCells, MapIsDeterministicPerSeed)
+{
+    auto census = [](std::uint64_t seed) {
+        CrossbarArray xb(64, 64, 2);
+        NoiseSpec spec;
+        spec.stuckAtFraction = 0.1;
+        spec.seed = seed;
+        xb.setNoise(spec);
+        return xb.stuckCells();
+    };
+    EXPECT_EQ(census(42), census(42));
+    EXPECT_NE(census(42), census(43));
+}
+
+TEST(NonIdeal, EngineDegradesGracefullyWithFaults)
+{
+    // A small stuck fraction shifts dot products but keeps them in
+    // the right ballpark (relative error well under the signal).
+    Rng rng(21);
+    EngineConfig clean;
+    EngineConfig faulty;
+    faulty.noise.stuckAtFraction = 0.002;
+    faulty.noise.seed = 31;
+
+    const int n = 128, m = 8;
+    std::vector<Word> weights(static_cast<std::size_t>(n) * m);
+    for (auto &w : weights)
+        w = static_cast<Word>(rng.uniform(-8192, 8191));
+    BitSerialEngine good(clean, weights, n, m);
+    BitSerialEngine bad(faulty, weights, n, m);
+
+    std::vector<Word> inputs(static_cast<std::size_t>(n));
+    for (auto &x : inputs)
+        x = static_cast<Word>(rng.uniform(-4096, 4095));
+
+    const auto exact = good.dotProduct(inputs);
+    const auto noisy = bad.dotProduct(inputs);
+    double refMag = 0;
+    for (auto v : exact)
+        refMag = std::max(refMag, std::abs(static_cast<double>(v)));
+    for (int k = 0; k < m; ++k) {
+        EXPECT_NEAR(static_cast<double>(noisy[k]),
+                    static_cast<double>(exact[k]), 0.6 * refMag)
+            << "output " << k;
+    }
+}
+
+TEST(NonIdeal, WriteNoiseBiasesLowOrderSlicesLess)
+{
+    // Errors on the least-significant weight slice move the result
+    // by at most a few low-order units per cell; the same sigma on
+    // every slice is dominated by the top slices. Verify the total
+    // deviation is bounded by the top-slice amplification.
+    Rng rng(23);
+    EngineConfig noisy;
+    noisy.noise.writeSigmaLevels = 0.3;
+    noisy.noise.seed = 7;
+
+    const int n = 64, m = 4;
+    std::vector<Word> weights(static_cast<std::size_t>(n) * m);
+    for (auto &w : weights)
+        w = static_cast<Word>(rng.uniform(-2048, 2047));
+    BitSerialEngine clean(EngineConfig{}, weights, n, m);
+    BitSerialEngine perturbed(noisy, weights, n, m);
+
+    std::vector<Word> inputs(static_cast<std::size_t>(n));
+    for (auto &x : inputs)
+        x = static_cast<Word>(rng.uniform(-2048, 2047));
+    const auto a = clean.dotProduct(inputs);
+    const auto b = perturbed.dotProduct(inputs);
+    // Worst case: every used cell off by ~1 level on the top slice
+    // times the input magnitude.
+    const double bound = 1.5 * n * 16384.0 * 2048.0;
+    for (int k = 0; k < m; ++k) {
+        EXPECT_LT(std::abs(static_cast<double>(a[k] - b[k])), bound);
+    }
+}
+
+} // namespace
+} // namespace isaac::xbar

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Programming-cost model tests: the numbers behind the paper's
+ * "crossbars can't be reprogrammed on the fly" argument.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/zoo.h"
+#include "pipeline/replication.h"
+#include "xbar/write_model.h"
+
+namespace isaac::xbar {
+namespace {
+
+const arch::IsaacConfig kCE = arch::IsaacConfig::isaacCE();
+
+TEST(WriteModel, ArrayTimeIsRowSerial)
+{
+    WriteModel wm;
+    // 128 rows x 4 pulses x 100 ns = 51.2 us per array.
+    EXPECT_NEAR(wm.arraySeconds(kCE), 51.2e-6, 1e-9);
+
+    WriteModel fast;
+    fast.rowsPerWrite = 4;
+    EXPECT_NEAR(fast.arraySeconds(kCE), 12.8e-6, 1e-9);
+}
+
+TEST(WriteModel, EnergyScalesWithCells)
+{
+    WriteModel wm;
+    EXPECT_NEAR(wm.cellsEnergyJ(1), 40e-12, 1e-15);
+    EXPECT_NEAR(wm.cellsEnergyJ(1000000), 40e-6, 1e-9);
+}
+
+TEST(WriteModel, ChipProgramsInParallelAcrossImas)
+{
+    WriteModel wm;
+    // A full chip: every IMA writes its 8 arrays back to back.
+    const auto chipArrays = pipeline::totalXbars(kCE, 1);
+    const double t = wm.programSeconds(kCE, chipArrays, 1);
+    EXPECT_NEAR(t, 8 * 51.2e-6, 1e-7);
+    // Twice the chips halve nothing (same arrays per IMA).
+    EXPECT_NEAR(wm.programSeconds(kCE, chipArrays * 2, 2), t, 1e-7);
+    // Fewer arrays per IMA program faster.
+    EXPECT_LT(wm.programSeconds(kCE, chipArrays / 2, 1), t);
+}
+
+TEST(WriteModel, ReprogrammingDwarfsInference)
+{
+    // The design argument: swapping VGG-1's weights in and out (as
+    // a time-multiplexed NFU would) costs orders of magnitude more
+    // time than the per-image pipeline interval.
+    WriteModel wm;
+    const auto net = nn::vgg(1);
+    const auto plan = pipeline::planPipeline(net, kCE, 16);
+    ASSERT_TRUE(plan.fits);
+    const double programT =
+        wm.programSeconds(kCE, plan.xbarsUsed, 16);
+    const double imageT =
+        plan.cyclesPerImage * kCE.cycleNs * 1e-9;
+    EXPECT_GT(programT, 10.0 * imageT);
+}
+
+TEST(WriteModel, RejectsBadParameters)
+{
+    WriteModel wm;
+    wm.pulseNs = 0;
+    EXPECT_THROW(wm.arraySeconds(kCE), FatalError);
+    WriteModel wm2;
+    EXPECT_THROW(wm2.programSeconds(kCE, 8, 0), FatalError);
+}
+
+} // namespace
+} // namespace isaac::xbar
