@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossbar.dir/bench_crossbar.cc.o"
+  "CMakeFiles/bench_crossbar.dir/bench_crossbar.cc.o.d"
+  "bench_crossbar"
+  "bench_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

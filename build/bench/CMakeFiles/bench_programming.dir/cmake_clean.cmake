@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_programming.dir/bench_programming.cc.o"
+  "CMakeFiles/bench_programming.dir/bench_programming.cc.o.d"
+  "bench_programming"
+  "bench_programming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaac_cli.dir/isaac_cli.cpp.o"
+  "CMakeFiles/isaac_cli.dir/isaac_cli.cpp.o.d"
+  "isaac_cli"
+  "isaac_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaac_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_insitu.dir/train_insitu.cpp.o"
+  "CMakeFiles/train_insitu.dir/train_insitu.cpp.o.d"
+  "train_insitu"
+  "train_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

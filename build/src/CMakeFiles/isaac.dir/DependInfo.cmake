@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/chip.cc" "src/CMakeFiles/isaac.dir/arch/chip.cc.o" "gcc" "src/CMakeFiles/isaac.dir/arch/chip.cc.o.d"
+  "/root/repo/src/arch/config.cc" "src/CMakeFiles/isaac.dir/arch/config.cc.o" "gcc" "src/CMakeFiles/isaac.dir/arch/config.cc.o.d"
+  "/root/repo/src/arch/ima.cc" "src/CMakeFiles/isaac.dir/arch/ima.cc.o" "gcc" "src/CMakeFiles/isaac.dir/arch/ima.cc.o.d"
+  "/root/repo/src/arch/tile.cc" "src/CMakeFiles/isaac.dir/arch/tile.cc.o" "gcc" "src/CMakeFiles/isaac.dir/arch/tile.cc.o.d"
+  "/root/repo/src/baseline/dadiannao_perf.cc" "src/CMakeFiles/isaac.dir/baseline/dadiannao_perf.cc.o" "gcc" "src/CMakeFiles/isaac.dir/baseline/dadiannao_perf.cc.o.d"
+  "/root/repo/src/common/fixed_point.cc" "src/CMakeFiles/isaac.dir/common/fixed_point.cc.o" "gcc" "src/CMakeFiles/isaac.dir/common/fixed_point.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/isaac.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/isaac.dir/common/logging.cc.o.d"
+  "/root/repo/src/core/accelerator.cc" "src/CMakeFiles/isaac.dir/core/accelerator.cc.o" "gcc" "src/CMakeFiles/isaac.dir/core/accelerator.cc.o.d"
+  "/root/repo/src/core/floorplan.cc" "src/CMakeFiles/isaac.dir/core/floorplan.cc.o" "gcc" "src/CMakeFiles/isaac.dir/core/floorplan.cc.o.d"
+  "/root/repo/src/core/json.cc" "src/CMakeFiles/isaac.dir/core/json.cc.o" "gcc" "src/CMakeFiles/isaac.dir/core/json.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/isaac.dir/core/report.cc.o" "gcc" "src/CMakeFiles/isaac.dir/core/report.cc.o.d"
+  "/root/repo/src/dse/dse.cc" "src/CMakeFiles/isaac.dir/dse/dse.cc.o" "gcc" "src/CMakeFiles/isaac.dir/dse/dse.cc.o.d"
+  "/root/repo/src/energy/adc_model.cc" "src/CMakeFiles/isaac.dir/energy/adc_model.cc.o" "gcc" "src/CMakeFiles/isaac.dir/energy/adc_model.cc.o.d"
+  "/root/repo/src/energy/catalog.cc" "src/CMakeFiles/isaac.dir/energy/catalog.cc.o" "gcc" "src/CMakeFiles/isaac.dir/energy/catalog.cc.o.d"
+  "/root/repo/src/energy/dac_model.cc" "src/CMakeFiles/isaac.dir/energy/dac_model.cc.o" "gcc" "src/CMakeFiles/isaac.dir/energy/dac_model.cc.o.d"
+  "/root/repo/src/energy/dadiannao_catalog.cc" "src/CMakeFiles/isaac.dir/energy/dadiannao_catalog.cc.o" "gcc" "src/CMakeFiles/isaac.dir/energy/dadiannao_catalog.cc.o.d"
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/isaac.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/isaac.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/CMakeFiles/isaac.dir/nn/network.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/network.cc.o.d"
+  "/root/repo/src/nn/parser.cc" "src/CMakeFiles/isaac.dir/nn/parser.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/parser.cc.o.d"
+  "/root/repo/src/nn/reference.cc" "src/CMakeFiles/isaac.dir/nn/reference.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/reference.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/isaac.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/nn/weights.cc" "src/CMakeFiles/isaac.dir/nn/weights.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/weights.cc.o.d"
+  "/root/repo/src/nn/weights_io.cc" "src/CMakeFiles/isaac.dir/nn/weights_io.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/weights_io.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "src/CMakeFiles/isaac.dir/nn/zoo.cc.o" "gcc" "src/CMakeFiles/isaac.dir/nn/zoo.cc.o.d"
+  "/root/repo/src/noc/cmesh.cc" "src/CMakeFiles/isaac.dir/noc/cmesh.cc.o" "gcc" "src/CMakeFiles/isaac.dir/noc/cmesh.cc.o.d"
+  "/root/repo/src/noc/traffic.cc" "src/CMakeFiles/isaac.dir/noc/traffic.cc.o" "gcc" "src/CMakeFiles/isaac.dir/noc/traffic.cc.o.d"
+  "/root/repo/src/pipeline/buffer.cc" "src/CMakeFiles/isaac.dir/pipeline/buffer.cc.o" "gcc" "src/CMakeFiles/isaac.dir/pipeline/buffer.cc.o.d"
+  "/root/repo/src/pipeline/mapper.cc" "src/CMakeFiles/isaac.dir/pipeline/mapper.cc.o" "gcc" "src/CMakeFiles/isaac.dir/pipeline/mapper.cc.o.d"
+  "/root/repo/src/pipeline/perf.cc" "src/CMakeFiles/isaac.dir/pipeline/perf.cc.o" "gcc" "src/CMakeFiles/isaac.dir/pipeline/perf.cc.o.d"
+  "/root/repo/src/pipeline/placement.cc" "src/CMakeFiles/isaac.dir/pipeline/placement.cc.o" "gcc" "src/CMakeFiles/isaac.dir/pipeline/placement.cc.o.d"
+  "/root/repo/src/pipeline/replication.cc" "src/CMakeFiles/isaac.dir/pipeline/replication.cc.o" "gcc" "src/CMakeFiles/isaac.dir/pipeline/replication.cc.o.d"
+  "/root/repo/src/sim/chip_sim.cc" "src/CMakeFiles/isaac.dir/sim/chip_sim.cc.o" "gcc" "src/CMakeFiles/isaac.dir/sim/chip_sim.cc.o.d"
+  "/root/repo/src/sim/pipeline_sim.cc" "src/CMakeFiles/isaac.dir/sim/pipeline_sim.cc.o" "gcc" "src/CMakeFiles/isaac.dir/sim/pipeline_sim.cc.o.d"
+  "/root/repo/src/sim/tile_sim.cc" "src/CMakeFiles/isaac.dir/sim/tile_sim.cc.o" "gcc" "src/CMakeFiles/isaac.dir/sim/tile_sim.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/isaac.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/isaac.dir/sim/timeline.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/isaac.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/isaac.dir/sim/trace.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/isaac.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/isaac.dir/train/trainer.cc.o.d"
+  "/root/repo/src/xbar/adc.cc" "src/CMakeFiles/isaac.dir/xbar/adc.cc.o" "gcc" "src/CMakeFiles/isaac.dir/xbar/adc.cc.o.d"
+  "/root/repo/src/xbar/crossbar.cc" "src/CMakeFiles/isaac.dir/xbar/crossbar.cc.o" "gcc" "src/CMakeFiles/isaac.dir/xbar/crossbar.cc.o.d"
+  "/root/repo/src/xbar/encoding.cc" "src/CMakeFiles/isaac.dir/xbar/encoding.cc.o" "gcc" "src/CMakeFiles/isaac.dir/xbar/encoding.cc.o.d"
+  "/root/repo/src/xbar/engine.cc" "src/CMakeFiles/isaac.dir/xbar/engine.cc.o" "gcc" "src/CMakeFiles/isaac.dir/xbar/engine.cc.o.d"
+  "/root/repo/src/xbar/write_model.cc" "src/CMakeFiles/isaac.dir/xbar/write_model.cc.o" "gcc" "src/CMakeFiles/isaac.dir/xbar/write_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

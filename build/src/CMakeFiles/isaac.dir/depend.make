@@ -1,0 +1,2 @@
+# Empty dependencies file for isaac.
+# This may be replaced when dependencies are built.

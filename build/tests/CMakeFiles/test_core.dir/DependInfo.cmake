@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_accelerator.cc" "tests/CMakeFiles/test_core.dir/core/test_accelerator.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_accelerator.cc.o.d"
+  "/root/repo/tests/core/test_floorplan.cc" "tests/CMakeFiles/test_core.dir/core/test_floorplan.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_floorplan.cc.o.d"
+  "/root/repo/tests/core/test_fuzz.cc" "tests/CMakeFiles/test_core.dir/core/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fuzz.cc.o.d"
+  "/root/repo/tests/core/test_json.cc" "tests/CMakeFiles/test_core.dir/core/test_json.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_json.cc.o.d"
+  "/root/repo/tests/core/test_report.cc" "tests/CMakeFiles/test_core.dir/core/test_report.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cc.o.d"
+  "/root/repo/tests/core/test_umbrella.cc" "tests/CMakeFiles/test_core.dir/core/test_umbrella.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_umbrella.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isaac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

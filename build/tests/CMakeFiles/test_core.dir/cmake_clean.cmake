@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_accelerator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_accelerator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_floorplan.cc.o"
+  "CMakeFiles/test_core.dir/core/test_floorplan.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_fuzz.cc.o"
+  "CMakeFiles/test_core.dir/core/test_fuzz.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_json.cc.o"
+  "CMakeFiles/test_core.dir/core/test_json.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_umbrella.cc.o"
+  "CMakeFiles/test_core.dir/core/test_umbrella.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy.dir/arch/test_config.cc.o"
+  "CMakeFiles/test_energy.dir/arch/test_config.cc.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_adc_model.cc.o"
+  "CMakeFiles/test_energy.dir/energy/test_adc_model.cc.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_catalog.cc.o"
+  "CMakeFiles/test_energy.dir/energy/test_catalog.cc.o.d"
+  "CMakeFiles/test_energy.dir/energy/test_dadiannao.cc.o"
+  "CMakeFiles/test_energy.dir/energy/test_dadiannao.cc.o.d"
+  "test_energy"
+  "test_energy.pdb"
+  "test_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_activation.cc" "tests/CMakeFiles/test_nn.dir/nn/test_activation.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_activation.cc.o.d"
+  "/root/repo/tests/nn/test_layer.cc" "tests/CMakeFiles/test_nn.dir/nn/test_layer.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layer.cc.o.d"
+  "/root/repo/tests/nn/test_network.cc" "tests/CMakeFiles/test_nn.dir/nn/test_network.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_network.cc.o.d"
+  "/root/repo/tests/nn/test_network_assets.cc" "tests/CMakeFiles/test_nn.dir/nn/test_network_assets.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_network_assets.cc.o.d"
+  "/root/repo/tests/nn/test_parser.cc" "tests/CMakeFiles/test_nn.dir/nn/test_parser.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_parser.cc.o.d"
+  "/root/repo/tests/nn/test_rect.cc" "tests/CMakeFiles/test_nn.dir/nn/test_rect.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_rect.cc.o.d"
+  "/root/repo/tests/nn/test_reference.cc" "tests/CMakeFiles/test_nn.dir/nn/test_reference.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_reference.cc.o.d"
+  "/root/repo/tests/nn/test_tensor.cc" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cc.o.d"
+  "/root/repo/tests/nn/test_weights_io.cc" "tests/CMakeFiles/test_nn.dir/nn/test_weights_io.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_weights_io.cc.o.d"
+  "/root/repo/tests/nn/test_zoo.cc" "tests/CMakeFiles/test_nn.dir/nn/test_zoo.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isaac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

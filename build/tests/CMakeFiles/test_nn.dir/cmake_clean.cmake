@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_activation.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_activation.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layer.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_layer.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_network.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_network.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_network_assets.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_network_assets.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_parser.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_parser.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_rect.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_rect.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_reference.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_reference.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_weights_io.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_weights_io.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_zoo.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_zoo.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/test_sigmoid_unit.cc" "tests/CMakeFiles/test_noc.dir/arch/test_sigmoid_unit.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/arch/test_sigmoid_unit.cc.o.d"
+  "/root/repo/tests/arch/test_structure.cc" "tests/CMakeFiles/test_noc.dir/arch/test_structure.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/arch/test_structure.cc.o.d"
+  "/root/repo/tests/noc/test_cmesh.cc" "tests/CMakeFiles/test_noc.dir/noc/test_cmesh.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_cmesh.cc.o.d"
+  "/root/repo/tests/noc/test_traffic.cc" "tests/CMakeFiles/test_noc.dir/noc/test_traffic.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/test_traffic.cc.o.d"
+  "/root/repo/tests/pipeline/test_placement.cc" "tests/CMakeFiles/test_noc.dir/pipeline/test_placement.cc.o" "gcc" "tests/CMakeFiles/test_noc.dir/pipeline/test_placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isaac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc.dir/arch/test_sigmoid_unit.cc.o"
+  "CMakeFiles/test_noc.dir/arch/test_sigmoid_unit.cc.o.d"
+  "CMakeFiles/test_noc.dir/arch/test_structure.cc.o"
+  "CMakeFiles/test_noc.dir/arch/test_structure.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_cmesh.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_cmesh.cc.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_traffic.cc.o"
+  "CMakeFiles/test_noc.dir/noc/test_traffic.cc.o.d"
+  "CMakeFiles/test_noc.dir/pipeline/test_placement.cc.o"
+  "CMakeFiles/test_noc.dir/pipeline/test_placement.cc.o.d"
+  "test_noc"
+  "test_noc.pdb"
+  "test_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/test_dadiannao_perf.cc" "tests/CMakeFiles/test_pipeline.dir/baseline/test_dadiannao_perf.cc.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/baseline/test_dadiannao_perf.cc.o.d"
+  "/root/repo/tests/pipeline/test_buffer.cc" "tests/CMakeFiles/test_pipeline.dir/pipeline/test_buffer.cc.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/test_buffer.cc.o.d"
+  "/root/repo/tests/pipeline/test_mapper.cc" "tests/CMakeFiles/test_pipeline.dir/pipeline/test_mapper.cc.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/test_mapper.cc.o.d"
+  "/root/repo/tests/pipeline/test_perf.cc" "tests/CMakeFiles/test_pipeline.dir/pipeline/test_perf.cc.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/test_perf.cc.o.d"
+  "/root/repo/tests/pipeline/test_replication.cc" "tests/CMakeFiles/test_pipeline.dir/pipeline/test_replication.cc.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline/test_replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isaac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

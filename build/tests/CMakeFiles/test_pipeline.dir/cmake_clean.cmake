@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/baseline/test_dadiannao_perf.cc.o"
+  "CMakeFiles/test_pipeline.dir/baseline/test_dadiannao_perf.cc.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_buffer.cc.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_buffer.cc.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_mapper.cc.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_mapper.cc.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_perf.cc.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_perf.cc.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_replication.cc.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/test_replication.cc.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_chip_sim.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_chip_sim.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline_sim.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline_sim.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_tile_sim.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_tile_sim.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_timeline.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_timeline.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

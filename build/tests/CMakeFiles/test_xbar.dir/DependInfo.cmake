@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xbar/test_adc.cc" "tests/CMakeFiles/test_xbar.dir/xbar/test_adc.cc.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/test_adc.cc.o.d"
+  "/root/repo/tests/xbar/test_crossbar.cc" "tests/CMakeFiles/test_xbar.dir/xbar/test_crossbar.cc.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/test_crossbar.cc.o.d"
+  "/root/repo/tests/xbar/test_encoding.cc" "tests/CMakeFiles/test_xbar.dir/xbar/test_encoding.cc.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/test_encoding.cc.o.d"
+  "/root/repo/tests/xbar/test_engine.cc" "tests/CMakeFiles/test_xbar.dir/xbar/test_engine.cc.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/test_engine.cc.o.d"
+  "/root/repo/tests/xbar/test_nonideal.cc" "tests/CMakeFiles/test_xbar.dir/xbar/test_nonideal.cc.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/test_nonideal.cc.o.d"
+  "/root/repo/tests/xbar/test_write_model.cc" "tests/CMakeFiles/test_xbar.dir/xbar/test_write_model.cc.o" "gcc" "tests/CMakeFiles/test_xbar.dir/xbar/test_write_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isaac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

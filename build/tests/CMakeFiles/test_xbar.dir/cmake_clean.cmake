@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbar.dir/xbar/test_adc.cc.o"
+  "CMakeFiles/test_xbar.dir/xbar/test_adc.cc.o.d"
+  "CMakeFiles/test_xbar.dir/xbar/test_crossbar.cc.o"
+  "CMakeFiles/test_xbar.dir/xbar/test_crossbar.cc.o.d"
+  "CMakeFiles/test_xbar.dir/xbar/test_encoding.cc.o"
+  "CMakeFiles/test_xbar.dir/xbar/test_encoding.cc.o.d"
+  "CMakeFiles/test_xbar.dir/xbar/test_engine.cc.o"
+  "CMakeFiles/test_xbar.dir/xbar/test_engine.cc.o.d"
+  "CMakeFiles/test_xbar.dir/xbar/test_nonideal.cc.o"
+  "CMakeFiles/test_xbar.dir/xbar/test_nonideal.cc.o.d"
+  "CMakeFiles/test_xbar.dir/xbar/test_write_model.cc.o"
+  "CMakeFiles/test_xbar.dir/xbar/test_write_model.cc.o.d"
+  "test_xbar"
+  "test_xbar.pdb"
+  "test_xbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
