@@ -6,9 +6,14 @@
  * timed google-benchmark cases measuring the simulator itself.
  */
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "xbar/encoding.h"
 #include "xbar/engine.h"
 
@@ -64,6 +69,27 @@ BENCHMARK(BM_EngineDotProduct)
     ->Args({1024, 64}); // a deep-layer slice
 
 void
+BM_EngineDotProductThreaded(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    xbar::EngineConfig cfg;
+    cfg.threads = threads;
+    const int n = 1024, m = 64;
+    const auto weights = randomWords(7, n * m);
+    xbar::BitSerialEngine engine(cfg, weights, n, m);
+    const auto inputs = randomWords(9, n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.dotProduct(inputs));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * m);
+}
+BENCHMARK(BM_EngineDotProductThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+void
 BM_EngineDotProductBiasedDac2(benchmark::State &state)
 {
     xbar::EngineConfig cfg;
@@ -113,6 +139,70 @@ BM_SliceWeight(benchmark::State &state)
 }
 BENCHMARK(BM_SliceWeight);
 
+/**
+ * Machine-readable serial-vs-parallel scaling record: times the
+ * 1024x64 dot product at several thread counts and writes
+ * BENCH_crossbar.json next to the binary for regression dashboards.
+ */
+void
+writeScalingJson()
+{
+    const int n = 1024, m = 64;
+    const auto weights = randomWords(7, n * m);
+    const auto inputs = randomWords(9, n);
+
+    std::FILE *f = std::fopen("BENCH_crossbar.json", "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "bench_crossbar: cannot write "
+                     "BENCH_crossbar.json\n");
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"crossbar\",\n"
+                 "  \"workload\": \"dotProduct\",\n"
+                 "  \"inputs\": %d,\n  \"outputs\": %d,\n"
+                 "  \"hardware_threads\": %u,\n  \"results\": [",
+                 n, m, std::thread::hardware_concurrency());
+
+    double serialNs = 0.0;
+    bool first = true;
+    for (int threads : {1, 2, 4, 8}) {
+        xbar::EngineConfig cfg;
+        cfg.threads = threads;
+        xbar::BitSerialEngine engine(cfg, weights, n, m);
+        // Warm up (spawns pool workers, faults pages), then time.
+        engine.dotProduct(inputs);
+        const int iters = 10;
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i)
+            benchmark::DoNotOptimize(engine.dotProduct(inputs));
+        const auto stop = std::chrono::steady_clock::now();
+        const double nsPerOp =
+            std::chrono::duration<double, std::nano>(stop - start)
+                .count() /
+            iters;
+        if (threads == 1)
+            serialNs = nsPerOp;
+        std::fprintf(f,
+                     "%s\n    {\"threads\": %d, \"ns_per_op\": %.0f, "
+                     "\"speedup\": %.3f}",
+                     first ? "" : ",", threads, nsPerOp,
+                     serialNs > 0 ? serialNs / nsPerOp : 0.0);
+        first = false;
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_crossbar.json\n");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    writeScalingJson();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

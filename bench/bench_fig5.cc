@@ -6,7 +6,9 @@
  * hazard; the CE- and PE-optimal points are marked.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
@@ -62,12 +64,71 @@ BM_DseSweep(benchmark::State &state)
 }
 BENCHMARK(BM_DseSweep);
 
+/**
+ * Serial-vs-parallel sweep timings plus the optimal points, written
+ * as BENCH_fig5.json for regression dashboards.
+ */
+void
+writeFig5Json()
+{
+    std::FILE *f = std::fopen("BENCH_fig5.json", "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "bench_fig5: cannot write BENCH_fig5.json\n");
+        return;
+    }
+
+    dse::DseSpace space;
+    const auto points = dse::sweep(space);
+    const auto &bestCe = dse::best(points, dse::Metric::CE);
+    const auto &bestPe = dse::best(points, dse::Metric::PE);
+
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig5\",\n"
+                 "  \"workload\": \"dse_sweep\",\n"
+                 "  \"points\": %zu,\n"
+                 "  \"best_ce\": \"%s\",\n  \"best_pe\": \"%s\",\n"
+                 "  \"hardware_threads\": %u,\n  \"results\": [",
+                 points.size(), bestCe.config.label().c_str(),
+                 bestPe.config.label().c_str(),
+                 std::thread::hardware_concurrency());
+
+    double serialNs = 0.0;
+    bool first = true;
+    for (int threads : {1, 2, 4, 8}) {
+        dse::DseSpace timed;
+        timed.threads = threads;
+        dse::sweep(timed); // warm up
+        const int iters = 5;
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i)
+            benchmark::DoNotOptimize(dse::sweep(timed));
+        const auto stop = std::chrono::steady_clock::now();
+        const double nsPerOp =
+            std::chrono::duration<double, std::nano>(stop - start)
+                .count() /
+            iters;
+        if (threads == 1)
+            serialNs = nsPerOp;
+        std::fprintf(f,
+                     "%s\n    {\"threads\": %d, \"ns_per_op\": %.0f, "
+                     "\"speedup\": %.3f}",
+                     first ? "" : ",", threads, nsPerOp,
+                     serialNs > 0 ? serialNs / nsPerOp : 0.0);
+        first = false;
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_fig5.json\n");
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     printFig5();
+    writeFig5Json();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

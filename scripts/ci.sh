@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: build + full test suite, then rebuild the concurrency-
+# sensitive subsystems under ThreadSanitizer and rerun their suites.
+# TSan proves the BitSerialEngine thread-safety contract
+# (docs/threading.md) rather than trusting code review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== normal build + full suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== ThreadSanitizer build =="
+cmake -B build-tsan -S . -DISAAC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j \
+    --target test_common test_xbar test_sim >/dev/null
+
+echo "== TSan: thread pool / engine / sim suites =="
+# TSAN_OPTIONS makes any reported race fail the run loudly.
+export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1"
+./build-tsan/tests/test_common
+./build-tsan/tests/test_xbar
+./build-tsan/tests/test_sim
+
+echo "ci.sh: all green"

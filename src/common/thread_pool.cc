@@ -1,0 +1,186 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/logging.h"
+
+namespace isaac {
+
+namespace {
+
+/** Nesting depth of parallelFor/pool execution on this thread. */
+thread_local int tlParallelDepth = 0;
+
+struct DepthGuard
+{
+    DepthGuard() { ++tlParallelDepth; }
+    ~DepthGuard() { --tlParallelDepth; }
+};
+
+int
+hardwareThreads()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+} // namespace
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::ensureWorkers(int workers)
+{
+    workers = std::min(workers, kMaxThreads);
+    std::lock_guard<std::mutex> lock(mtx);
+    while (static_cast<int>(threads.size()) < workers)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+int
+ThreadPool::workers() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return static_cast<int>(threads.size());
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        jobs.push_back(std::move(job));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] { return stopping || !jobs.empty(); });
+            if (stopping && jobs.empty())
+                return;
+            job = std::move(jobs.front());
+            jobs.pop_front();
+        }
+        DepthGuard depth;
+        job();
+    }
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tlParallelDepth > 0;
+}
+
+int
+parallelWorkers(int threads, std::int64_t items)
+{
+    if (threads < 0)
+        fatal("parallelWorkers: thread count must be >= 0");
+    if (items <= 1 || ThreadPool::inParallelRegion())
+        return 1;
+    int resolved = threads == 0 ? hardwareThreads() : threads;
+    resolved = std::min(resolved, kMaxThreads);
+    resolved = std::min<std::int64_t>(resolved, items);
+    return std::max(resolved, 1);
+}
+
+void
+parallelFor(std::int64_t items, int threads,
+            const std::function<void(std::int64_t, int)> &fn)
+{
+    if (items <= 0)
+        return;
+    const int workers = parallelWorkers(threads, items);
+    if (workers == 1) {
+        DepthGuard depth;
+        for (std::int64_t i = 0; i < items; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    // Shared chunk cursor: contiguous ranges, no stealing. Small
+    // chunks (workers x 4) balance load without cursor contention.
+    struct ForState
+    {
+        std::atomic<std::int64_t> next{0};
+        std::atomic<int> pending{0};
+        std::mutex mtx;
+        std::condition_variable done;
+        std::exception_ptr error;
+    };
+    ForState state;
+    const std::int64_t chunk =
+        std::max<std::int64_t>(1, items / (4 * workers));
+
+    auto runSlot = [&state, &fn, items, chunk](int slot) {
+        try {
+            for (;;) {
+                const std::int64_t lo =
+                    state.next.fetch_add(chunk,
+                                         std::memory_order_relaxed);
+                if (lo >= items)
+                    break;
+                const std::int64_t hi = std::min(lo + chunk, items);
+                for (std::int64_t i = lo; i < hi; ++i)
+                    fn(i, slot);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(state.mtx);
+            if (!state.error)
+                state.error = std::current_exception();
+        }
+    };
+
+    auto &pool = ThreadPool::global();
+    pool.ensureWorkers(workers - 1);
+    state.pending.store(workers - 1, std::memory_order_relaxed);
+    for (int slot = 1; slot < workers; ++slot) {
+        pool.submit([&state, &runSlot, slot] {
+            runSlot(slot);
+            std::lock_guard<std::mutex> lock(state.mtx);
+            if (state.pending.fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+                state.done.notify_one();
+            }
+        });
+    }
+    {
+        DepthGuard depth;
+        runSlot(0);
+    }
+    {
+        std::unique_lock<std::mutex> lock(state.mtx);
+        state.done.wait(lock, [&state] {
+            return state.pending.load(std::memory_order_acquire) == 0;
+        });
+    }
+    if (state.error)
+        std::rethrow_exception(state.error);
+}
+
+} // namespace isaac

@@ -1,6 +1,7 @@
 #include "core/accelerator.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace isaac::core {
 
@@ -33,8 +34,8 @@ CompiledModel::CompiledModel(const nn::Network &net,
     if (weights.size() != net.size())
         fatal("compile: weight store does not match the network");
 
-    poolExec = std::make_unique<nn::ReferenceExecutor>(net, weights,
-                                                       opts.format);
+    poolExec = std::make_unique<nn::ReferenceExecutor>(
+        net, weights, opts.format, cfg.threads());
     engines.resize(net.size());
     for (std::size_t i = 0; i < net.size(); ++i) {
         const auto &l = net.layer(i);
@@ -66,23 +67,26 @@ CompiledModel::runDotLayer(std::size_t layerIdx,
 {
     const auto &l = net.layer(layerIdx);
     nn::Tensor out(l.no, l.outNx(), l.outNy());
-    for (int ox = 0; ox < l.outNx(); ++ox) {
-        for (int oy = 0; oy < l.outNy(); ++oy) {
-            const auto inputs = nn::gatherWindow(input, l, ox, oy);
-            const std::int64_t window =
-                static_cast<std::int64_t>(ox) * l.outNy() + oy;
-            const auto &engine = l.privateKernel
-                ? engines[layerIdx][static_cast<std::size_t>(window)]
-                : engines[layerIdx][0];
-            const auto sums = engine->dotProduct(inputs);
-            for (int k = 0; k < l.no; ++k) {
-                const Word q = requantizeAcc(
-                    sums[static_cast<std::size_t>(k)], opts.format);
-                out.at(k, ox, oy) =
-                    nn::applyActivation(l.activation, q, lut);
-            }
+    // dotProduct() is concurrency-safe, so windows of a layer can be
+    // issued in parallel even against a shared engine (exactly as
+    // replicated IMAs pipeline windows in hardware).
+    const std::int64_t windows =
+        static_cast<std::int64_t>(l.outNx()) * l.outNy();
+    parallelFor(windows, cfg.threads(), [&](std::int64_t window, int) {
+        const int ox = static_cast<int>(window / l.outNy());
+        const int oy = static_cast<int>(window % l.outNy());
+        const auto inputs = nn::gatherWindow(input, l, ox, oy);
+        const auto &engine = l.privateKernel
+            ? engines[layerIdx][static_cast<std::size_t>(window)]
+            : engines[layerIdx][0];
+        const auto sums = engine->dotProduct(inputs);
+        for (int k = 0; k < l.no; ++k) {
+            const Word q = requantizeAcc(
+                sums[static_cast<std::size_t>(k)], opts.format);
+            out.at(k, ox, oy) =
+                nn::applyActivation(l.activation, q, lut);
         }
-    }
+    });
     return out;
 }
 
@@ -114,10 +118,14 @@ CompiledModel::infer(const nn::Tensor &input) const
 std::vector<nn::Tensor>
 CompiledModel::inferBatch(const std::vector<nn::Tensor> &inputs) const
 {
-    std::vector<nn::Tensor> outs;
-    outs.reserve(inputs.size());
-    for (const auto &in : inputs)
-        outs.push_back(infer(in));
+    // Images in a batch are functionally independent (the hardware
+    // pipeline keeps several in flight); run them concurrently.
+    std::vector<nn::Tensor> outs(inputs.size());
+    parallelFor(static_cast<std::int64_t>(inputs.size()),
+                cfg.threads(), [&](std::int64_t i, int) {
+                    outs[static_cast<std::size_t>(i)] =
+                        infer(inputs[static_cast<std::size_t>(i)]);
+                });
     return outs;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace isaac::dse {
 
@@ -41,7 +42,10 @@ evaluate(const arch::IsaacConfig &cfg, const DseSpace &space)
 std::vector<DsePoint>
 sweep(const DseSpace &space)
 {
-    std::vector<DsePoint> points;
+    // Enumerate the row-major parameter grid, then evaluate the
+    // points in parallel straight into their slots (each evaluation
+    // is independent; order is preserved by construction).
+    std::vector<arch::IsaacConfig> grid;
     for (int h : space.rows) {
         for (int a : space.adcsPerIma) {
             for (int c : space.xbarsPerIma) {
@@ -52,11 +56,17 @@ sweep(const DseSpace &space)
                     cfg.adcsPerIma = a;
                     cfg.xbarsPerIma = c;
                     cfg.imasPerTile = i;
-                    points.push_back(evaluate(cfg, space));
+                    grid.push_back(cfg);
                 }
             }
         }
     }
+    std::vector<DsePoint> points(grid.size());
+    parallelFor(static_cast<std::int64_t>(grid.size()),
+                space.threads, [&](std::int64_t i, int) {
+                    points[static_cast<std::size_t>(i)] = evaluate(
+                        grid[static_cast<std::size_t>(i)], space);
+                });
     return points;
 }
 

@@ -56,6 +56,13 @@ struct DseSpace
 
     /** Tile input-delivery budget in bytes per cycle. */
     double tileInputBytesPerCycle = 1536.0;
+
+    /**
+     * Worker threads for sweep(): 0 = one per hardware thread,
+     * 1 = serial. Points are independent; the returned order is
+     * always the row-major parameter order.
+     */
+    int threads = 0;
 };
 
 /** Evaluate one configuration against the constraints. */

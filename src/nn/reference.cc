@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace isaac::nn {
 
@@ -33,8 +34,8 @@ gatherWindow(const Tensor &in, const LayerDesc &l, int ox, int oy)
 
 ReferenceExecutor::ReferenceExecutor(const Network &net,
                                      const WeightStore &weights,
-                                     FixedFormat fmt)
-    : net(net), weights(weights), fmt(fmt), lut(fmt)
+                                     FixedFormat fmt, int threads)
+    : net(net), weights(weights), fmt(fmt), threads(threads), lut(fmt)
 {
     if (weights.size() != net.size())
         fatal("ReferenceExecutor: weight store does not match network");
@@ -91,25 +92,27 @@ ReferenceExecutor::runDot(const LayerDesc &l,
 {
     Tensor out(l.no, l.outNx(), l.outNy());
     const std::int64_t len = l.dotLength();
-    for (int oy = 0; oy < l.outNy(); ++oy) {
-        for (int ox = 0; ox < l.outNx(); ++ox) {
-            const auto inputs = gatherWindow(in, l, ox, oy);
-            const std::int64_t window =
-                static_cast<std::int64_t>(ox) * l.outNy() + oy;
-            for (int k = 0; k < l.no; ++k) {
-                Acc acc = 0;
-                const std::size_t base =
-                    WeightStore::index(l, window, k, 0);
-                for (std::int64_t r = 0; r < len; ++r) {
-                    acc += static_cast<Acc>(inputs[r]) *
-                        static_cast<Acc>(w[base + r]);
-                }
-                const Word q = requantizeAcc(acc, fmt);
-                out.at(k, ox, oy) =
-                    applyActivation(l.activation, q, lut);
+    // Every output window is an independent exact dot product, so
+    // fan the windows out across workers; each writes a disjoint
+    // (ox, oy) slice of `out`.
+    const std::int64_t windows =
+        static_cast<std::int64_t>(l.outNx()) * l.outNy();
+    parallelFor(windows, threads, [&](std::int64_t window, int) {
+        const int ox = static_cast<int>(window / l.outNy());
+        const int oy = static_cast<int>(window % l.outNy());
+        const auto inputs = gatherWindow(in, l, ox, oy);
+        for (int k = 0; k < l.no; ++k) {
+            Acc acc = 0;
+            const std::size_t base =
+                WeightStore::index(l, window, k, 0);
+            for (std::int64_t r = 0; r < len; ++r) {
+                acc += static_cast<Acc>(inputs[r]) *
+                    static_cast<Acc>(w[base + r]);
             }
+            const Word q = requantizeAcc(acc, fmt);
+            out.at(k, ox, oy) = applyActivation(l.activation, q, lut);
         }
-    }
+    });
     return out;
 }
 
@@ -117,7 +120,9 @@ Tensor
 ReferenceExecutor::runPool(const LayerDesc &l, const Tensor &in) const
 {
     Tensor out(l.no, l.outNx(), l.outNy());
-    for (int c = 0; c < l.ni; ++c) {
+    // Channels are independent; each worker owns whole channels.
+    parallelFor(l.ni, threads, [&](std::int64_t chan, int) {
+        const int c = static_cast<int>(chan);
         for (int ox = 0; ox < l.outNx(); ++ox) {
             for (int oy = 0; oy < l.outNy(); ++oy) {
                 Acc best = l.kind == LayerKind::MaxPool ? -32768 : 0;
@@ -146,7 +151,7 @@ ReferenceExecutor::runPool(const LayerDesc &l, const Tensor &in) const
                 out.at(c, ox, oy) = static_cast<Word>(best);
             }
         }
-    }
+    });
     return out;
 }
 
@@ -154,7 +159,8 @@ Tensor
 ReferenceExecutor::runSpp(const LayerDesc &l, const Tensor &in) const
 {
     Tensor out(l.no, l.outNx(), l.outNy());
-    for (int c = 0; c < l.ni; ++c) {
+    parallelFor(l.ni, threads, [&](std::int64_t chan, int) {
+        const int c = static_cast<int>(chan);
         int bin = 0;
         for (int level : l.sppLevels) {
             for (int by = 0; by < level; ++by) {
@@ -171,7 +177,7 @@ ReferenceExecutor::runSpp(const LayerDesc &l, const Tensor &in) const
                 }
             }
         }
-    }
+    });
     return out;
 }
 

@@ -35,8 +35,14 @@ std::vector<Word> gatherWindow(const Tensor &in, const LayerDesc &l,
 class ReferenceExecutor
 {
   public:
+    /**
+     * @param threads  worker threads for the per-layer loops: 0 = one
+     *                 per hardware thread, 1 = serial. Every output
+     *                 window/channel is independent, so the result is
+     *                 identical at any setting.
+     */
     ReferenceExecutor(const Network &net, const WeightStore &weights,
-                      FixedFormat fmt);
+                      FixedFormat fmt, int threads = 0);
 
     /** Run the full network; returns the final layer's output. */
     Tensor run(const Tensor &input) const;
@@ -58,6 +64,7 @@ class ReferenceExecutor
     const Network &net;
     const WeightStore &weights;
     FixedFormat fmt;
+    int threads;
     SigmoidLut lut;
 };
 

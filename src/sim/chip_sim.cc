@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "pipeline/mapper.h"
 
 namespace isaac::sim {
@@ -111,33 +112,49 @@ simulateChip(const nn::Network &net,
                 l.kind == nn::LayerKind::Classifier ||
                 l.kind == nn::LayerKind::Spp;
 
+            // The ready time of each window is a pure max-reduction
+            // over the previous layer's completion rectangle, so
+            // precompute all of them in parallel; dispatch below
+            // stays serial in window order, keeping the resource
+            // schedule (and every result field) bit-identical.
+            const std::int64_t windows =
+                static_cast<std::int64_t>(outNx) * outNy;
+            std::vector<Cycle> readyAt(
+                static_cast<std::size_t>(windows), 0);
+            if (i > 0) {
+                const auto &prev = completion[i - 1];
+                const auto &pl = net.layer(i - 1);
+                const int pnx = pl.outNx();
+                const int pny = pl.outNy();
+                parallelFor(windows, cfg.threads(),
+                            [&](std::int64_t wi, int) {
+                    const int ox = static_cast<int>(wi / outNy);
+                    const int oy = static_cast<int>(wi % outNy);
+                    int y0 = 0, y1 = pnx - 1;
+                    int x0 = 0, x1 = pny - 1;
+                    if (!fullInput) {
+                        y0 = std::max(0, ox * l.sx - l.px);
+                        y1 = std::min(pnx - 1,
+                                      ox * l.sx - l.px + l.kx - 1);
+                        x0 = std::max(0, oy * l.sy - l.py);
+                        x1 = std::min(pny - 1,
+                                      oy * l.sy - l.py + l.ky - 1);
+                    }
+                    Cycle ready = 0;
+                    for (int y = y0; y <= y1; ++y)
+                        for (int x = x0; x <= x1; ++x)
+                            ready = std::max(
+                                ready,
+                                prev[static_cast<std::size_t>(
+                                    y * pny + x)]);
+                    readyAt[static_cast<std::size_t>(wi)] = ready;
+                });
+            }
+
             for (int ox = 0; ox < outNx; ++ox) {
                 for (int oy = 0; oy < outNy; ++oy) {
-                    Cycle ready = 0;
-                    if (i > 0) {
-                        const auto &prev = completion[i - 1];
-                        const auto &pl = net.layer(i - 1);
-                        const int pnx = pl.outNx();
-                        const int pny = pl.outNy();
-                        int y0 = 0, y1 = pnx - 1;
-                        int x0 = 0, x1 = pny - 1;
-                        if (!fullInput) {
-                            y0 = std::max(0, ox * l.sx - l.px);
-                            y1 = std::min(
-                                pnx - 1,
-                                ox * l.sx - l.px + l.kx - 1);
-                            x0 = std::max(0, oy * l.sy - l.py);
-                            x1 = std::min(
-                                pny - 1,
-                                oy * l.sy - l.py + l.ky - 1);
-                        }
-                        for (int y = y0; y <= y1; ++y)
-                            for (int x = x0; x <= x1; ++x)
-                                ready = std::max(
-                                    ready,
-                                    prev[static_cast<std::size_t>(
-                                        y * pny + x)]);
-                    }
+                    const Cycle ready = readyAt[
+                        static_cast<std::size_t>(ox) * outNy + oy];
 
                     Cycle finish;
                     if (l.isDotProduct() && !pools[i].empty()) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace isaac::sim {
 
@@ -49,7 +50,7 @@ class ServerPool
 PipelineSimResult
 simulatePipeline(const nn::Network &net,
                  const pipeline::PipelinePlan &plan, int images,
-                 int tailCycles)
+                 int tailCycles, int threads)
 {
     if (!plan.fits)
         fatal("simulatePipeline: the plan does not fit its chips");
@@ -85,37 +86,48 @@ simulatePipeline(const nn::Network &net,
             std::vector<Cycle> done(windows, 0);
 
             const bool spp = l.kind == nn::LayerKind::Spp;
-            for (int ox = 0; ox < outNx; ++ox) {
-                for (int oy = 0; oy < outNy; ++oy) {
-                    // Latest-arriving input this window covers.
+
+            // Precompute each window's latest-arriving input in
+            // parallel (a pure reduction over the previous layer);
+            // dispatch stays serial so the server schedule — and
+            // thus every reported cycle — is unchanged.
+            std::vector<Cycle> readyAt(windows, 0);
+            if (i > 0) {
+                const auto &prev = completion[i - 1];
+                const auto &pl = net.layer(i - 1);
+                const int pnx = pl.outNx();
+                const int pny = pl.outNy();
+                parallelFor(static_cast<std::int64_t>(windows),
+                            threads, [&](std::int64_t wi, int) {
+                    const int ox = static_cast<int>(wi / outNy);
+                    const int oy = static_cast<int>(wi % outNy);
+                    int y0 = 0, y1 = pnx - 1;
+                    int x0 = 0, x1 = pny - 1;
+                    if (!spp && l.kind != nn::LayerKind::Classifier) {
+                        y0 = std::max(0, ox * l.sx - l.px);
+                        y1 = std::min(pnx - 1,
+                                      ox * l.sx - l.px + l.kx - 1);
+                        x0 = std::max(0, oy * l.sy - l.py);
+                        x1 = std::min(pny - 1,
+                                      oy * l.sy - l.py + l.ky - 1);
+                    }
                     Cycle ready = 0;
-                    if (i > 0) {
-                        const auto &prev = completion[i - 1];
-                        const auto &pl = net.layer(i - 1);
-                        const int pnx = pl.outNx();
-                        const int pny = pl.outNy();
-                        int y0 = 0, y1 = pnx - 1;
-                        int x0 = 0, x1 = pny - 1;
-                        if (!spp &&
-                            l.kind != nn::LayerKind::Classifier) {
-                            y0 = std::max(0, ox * l.sx - l.px);
-                            y1 = std::min(pnx - 1,
-                                          ox * l.sx - l.px + l.kx -
-                                              1);
-                            x0 = std::max(0, oy * l.sy - l.py);
-                            x1 = std::min(pny - 1,
-                                          oy * l.sy - l.py + l.ky -
-                                              1);
-                        }
-                        for (int y = y0; y <= y1; ++y) {
-                            for (int x = x0; x <= x1; ++x) {
-                                ready = std::max(
-                                    ready,
-                                    prev[static_cast<std::size_t>(
-                                        y * pny + x)]);
-                            }
+                    for (int y = y0; y <= y1; ++y) {
+                        for (int x = x0; x <= x1; ++x) {
+                            ready = std::max(
+                                ready,
+                                prev[static_cast<std::size_t>(
+                                    y * pny + x)]);
                         }
                     }
+                    readyAt[static_cast<std::size_t>(wi)] = ready;
+                });
+            }
+
+            for (int ox = 0; ox < outNx; ++ox) {
+                for (int oy = 0; oy < outNy; ++oy) {
+                    const Cycle ready = readyAt[
+                        static_cast<std::size_t>(ox) * outNy + oy];
                     Cycle finish;
                     if (l.isDotProduct()) {
                         const Cycle start = pools[i].dispatch(

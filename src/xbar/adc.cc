@@ -18,32 +18,54 @@ adcResolution(int rows, int v, int w, bool encoded)
     return bits;
 }
 
-Adc::Adc(int bits) : _bits(bits)
+Adc::Adc(int bits, bool noisy) : _bits(bits), _noisy(noisy)
 {
     if (bits < 1 || bits > 24)
         fatal("Adc: resolution out of supported range [1, 24]");
 }
 
 Acc
-Adc::convert(Acc level) const
+Adc::quantize(Acc level, AdcTally &tally) const
 {
-    ++_samples;
+    ++tally.samples;
     if (level < 0) {
-        ++_clips;
+        if (!_noisy) {
+            panic("Adc: negative bitline sum " +
+                  std::to_string(level) +
+                  " with noise disabled (encoding invariant "
+                  "violated)");
+        }
+        ++tally.clips;
         return 0;
     }
     if (level > maxCode()) {
-        ++_clips;
+        ++tally.clips;
         return maxCode();
     }
     return level;
 }
 
+Acc
+Adc::convert(Acc level) const
+{
+    AdcTally tally;
+    const Acc code = quantize(level, tally);
+    addTally(tally);
+    return code;
+}
+
+void
+Adc::addTally(const AdcTally &tally) const
+{
+    _samples.fetch_add(tally.samples, std::memory_order_relaxed);
+    _clips.fetch_add(tally.clips, std::memory_order_relaxed);
+}
+
 void
 Adc::resetStats()
 {
-    _samples = 0;
-    _clips = 0;
+    _samples.store(0, std::memory_order_relaxed);
+    _clips.store(0, std::memory_order_relaxed);
 }
 
 } // namespace isaac::xbar

@@ -15,6 +15,8 @@
 #ifndef ISAAC_XBAR_ADC_H
 #define ISAAC_XBAR_ADC_H
 
+#include <atomic>
+
 #include "common/types.h"
 
 namespace isaac::xbar {
@@ -26,38 +28,76 @@ namespace isaac::xbar {
  */
 int adcResolution(int rows, int v, int w, bool encoded);
 
+/** Per-call conversion counters (merged into an Adc with addTally). */
+struct AdcTally
+{
+    std::uint64_t samples = 0;
+    std::uint64_t clips = 0;
+};
+
 /**
  * An A-bit ADC sampling non-negative bitline currents. Values inside
  * [0, 2^bits - 1] convert exactly (the bitline sum is a discrete
- * quantity); out-of-range values clip, which the encoding scheme is
+ * quantity); larger values clip, which the encoding scheme is
  * designed to prevent and tests assert never happens in normal
  * operation.
+ *
+ * A negative level can never come off a physical bitline (inputs and
+ * conductances are non-negative, and read noise clamps at zero), so
+ * a clean-mode ADC treats one as an encoding bug and panics. Only an
+ * ADC constructed with `noisy = true` clips negatives to 0 (and
+ * counts the clip), mirroring a saturating front end.
+ *
+ * Thread safety: quantize() only touches the caller's tally; the
+ * internal counters behind convert()/addTally() are atomic. Any mix
+ * of const calls from multiple threads is race-free.
  */
 class Adc
 {
   public:
-    explicit Adc(int bits);
+    explicit Adc(int bits, bool noisy = false);
 
-    /** Convert one sampled current; clips to the ADC range. */
+    /** Convert one sampled current, counting into internal tallies. */
     Acc convert(Acc level) const;
 
+    /**
+     * Convert one sampled current, counting into `tally` instead of
+     * the internal counters (lets parallel callers batch updates).
+     */
+    Acc quantize(Acc level, AdcTally &tally) const;
+
+    /** Merge an externally accumulated tally into the counters. */
+    void addTally(const AdcTally &tally) const;
+
     int bits() const { return _bits; }
+
+    /** True if constructed for a noisy (saturating) analog path. */
+    bool noisy() const { return _noisy; }
 
     /** Largest representable code. */
     Acc maxCode() const { return (Acc{1} << _bits) - 1; }
 
     /** Number of conversions performed (energy accounting). */
-    std::uint64_t samples() const { return _samples; }
+    std::uint64_t
+    samples() const
+    {
+        return _samples.load(std::memory_order_relaxed);
+    }
 
     /** Number of conversions that clipped (should stay 0). */
-    std::uint64_t clips() const { return _clips; }
+    std::uint64_t
+    clips() const
+    {
+        return _clips.load(std::memory_order_relaxed);
+    }
 
     void resetStats();
 
   private:
     int _bits;
-    mutable std::uint64_t _samples = 0;
-    mutable std::uint64_t _clips = 0;
+    bool _noisy;
+    mutable std::atomic<std::uint64_t> _samples{0};
+    mutable std::atomic<std::uint64_t> _clips{0};
 };
 
 } // namespace isaac::xbar

@@ -11,7 +11,7 @@ CrossbarArray::CrossbarArray(int rows, int cols, int cellBits)
     : _rows(rows), _cols(cols), _cellBits(cellBits),
       cells(static_cast<std::size_t>(rows) * cols, 0),
       stuckLevel(static_cast<std::size_t>(rows) * cols, -1),
-      noiseRng(noise.seed), writeRng(noise.seed ^ 0xD1CEull)
+      writeRng(noise.seed ^ 0xD1CEull)
 {
     if (rows <= 0 || cols <= 0)
         fatal("CrossbarArray: dimensions must be positive");
@@ -51,22 +51,43 @@ CrossbarArray::cell(int row, int col) const
 }
 
 Acc
+CrossbarArray::bitlineSum(int col, std::span<const int> inputs) const
+{
+    Acc sum = 0;
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+        sum += static_cast<Acc>(inputs[r]) *
+            cells[r * _cols + static_cast<std::size_t>(col)];
+    }
+    return sum;
+}
+
+Acc
+CrossbarArray::applyReadNoise(Acc sum, std::uint64_t seq,
+                              int col) const
+{
+    // One Gaussian draw from an Rng seeded purely by
+    // (seed, seq, col): reproducible under any thread interleaving.
+    Rng rng(noise.seed +
+            0x9E3779B97F4A7C15ull *
+                (seq * 131071ull + static_cast<std::uint64_t>(col) +
+                 1ull));
+    const double jitter = rng.gaussian() * noise.sigmaLsb;
+    sum += static_cast<Acc>(std::llround(jitter));
+    return sum < 0 ? 0 : sum;
+}
+
+Acc
 CrossbarArray::readBitline(int col, std::span<const int> inputs) const
 {
     if (col < 0 || col >= _cols)
         fatal("CrossbarArray::readBitline: column out of range");
     if (static_cast<int>(inputs.size()) > _rows)
         fatal("CrossbarArray::readBitline: more inputs than rows");
-    Acc sum = 0;
-    for (std::size_t r = 0; r < inputs.size(); ++r) {
-        sum += static_cast<Acc>(inputs[r]) *
-            cells[r * _cols + static_cast<std::size_t>(col)];
-    }
+    Acc sum = bitlineSum(col, inputs);
     if (noise.readNoiseEnabled()) {
-        const double jitter = noiseRng.gaussian() * noise.sigmaLsb;
-        sum += static_cast<Acc>(std::llround(jitter));
-        if (sum < 0)
-            sum = 0;
+        const std::uint64_t seq =
+            _noiseSeq.fetch_add(1, std::memory_order_relaxed);
+        sum = applyReadNoise(sum, seq, col);
     }
     return sum;
 }
@@ -74,10 +95,25 @@ CrossbarArray::readBitline(int col, std::span<const int> inputs) const
 std::vector<Acc>
 CrossbarArray::readAllBitlines(std::span<const int> inputs) const
 {
-    ++_readCycles;
+    return readAllBitlines(
+        inputs, _noiseSeq.fetch_add(1, std::memory_order_relaxed));
+}
+
+std::vector<Acc>
+CrossbarArray::readAllBitlines(std::span<const int> inputs,
+                               std::uint64_t noiseSeq) const
+{
+    if (static_cast<int>(inputs.size()) > _rows)
+        fatal("CrossbarArray::readAllBitlines: more inputs than rows");
+    _readCycles.fetch_add(1, std::memory_order_relaxed);
     std::vector<Acc> out(static_cast<std::size_t>(_cols));
-    for (int c = 0; c < _cols; ++c)
-        out[static_cast<std::size_t>(c)] = readBitline(c, inputs);
+    const bool noisy = noise.readNoiseEnabled();
+    for (int c = 0; c < _cols; ++c) {
+        Acc sum = bitlineSum(c, inputs);
+        if (noisy)
+            sum = applyReadNoise(sum, noiseSeq, c);
+        out[static_cast<std::size_t>(c)] = sum;
+    }
     return out;
 }
 
@@ -85,8 +121,8 @@ void
 CrossbarArray::setNoise(const NoiseSpec &spec)
 {
     noise = spec;
-    noiseRng = Rng(spec.seed);
     writeRng = Rng(spec.seed ^ 0xD1CEull);
+    _noiseSeq.store(0, std::memory_order_relaxed);
 
     // (Re)draw the stuck-cell map from a dedicated stream.
     std::fill(stuckLevel.begin(), stuckLevel.end(), -1);
@@ -113,6 +149,13 @@ CrossbarArray::stuckCells() const
     for (int s : stuckLevel)
         count += s >= 0;
     return count;
+}
+
+void
+CrossbarArray::resetStats()
+{
+    _readCycles.store(0, std::memory_order_relaxed);
+    _noiseSeq.store(0, std::memory_order_relaxed);
 }
 
 std::int64_t

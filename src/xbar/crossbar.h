@@ -6,6 +6,12 @@
  * as an exact integer (one LSB = one unit conductance at full input
  * voltage), with optional Gaussian noise injection.
  *
+ * Read noise is *counter-based*: the jitter of a read is a pure
+ * function of (seed, read sequence number, column), not of a shared
+ * RNG stream. Concurrent readers therefore observe exactly the noise
+ * a serial run would, which is what lets the bit-serial engine fan
+ * its 16/v phases out across threads with bit-identical results.
+ *
  * The 1T1R access device (Sec. II-D) has no effect on the dot product
  * at DAC output voltages and is therefore not modelled beyond its
  * area/energy contribution in the energy catalog.
@@ -14,6 +20,7 @@
 #ifndef ISAAC_XBAR_CROSSBAR_H
 #define ISAAC_XBAR_CROSSBAR_H
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -46,6 +53,7 @@ class CrossbarArray
      * Under a write-noise / fault model the stored level may differ:
      * program-verify lands within a Gaussian error of the target,
      * and stuck cells ignore programming entirely.
+     * Not thread-safe against concurrent reads of the same array.
      */
     void program(int row, int col, int level);
 
@@ -55,15 +63,27 @@ class CrossbarArray
     /**
      * Analog bitline read: sum over rows of input digit x cell level.
      * Inputs are DAC digits in [0, 2^v - 1]; the result is the exact
-     * current sum in LSBs, plus noise if configured.
+     * current sum in LSBs, plus noise if configured (each call draws
+     * a fresh noise sequence number).
      */
     Acc readBitline(int col, std::span<const int> inputs) const;
 
     /**
      * One crossbar read cycle: all bitlines sampled against the same
      * input vector (the S&H latches every column simultaneously).
+     * Thread-safe; the noise sequence number advances per call.
      */
     std::vector<Acc> readAllBitlines(std::span<const int> inputs) const;
+
+    /**
+     * As above, but with the caller supplying the noise sequence
+     * number. Reads issued with the same `noiseSeq` see the same
+     * jitter regardless of thread or call order — the engine keys
+     * this on its input phase so parallel and serial execution are
+     * bit-identical. Still counts one read cycle.
+     */
+    std::vector<Acc> readAllBitlines(std::span<const int> inputs,
+                                     std::uint64_t noiseSeq) const;
 
     /**
      * Configure the non-ideality model. Must be set before
@@ -76,21 +96,32 @@ class CrossbarArray
     int stuckCells() const;
 
     /** Number of full-array read cycles performed. */
-    std::uint64_t readCycles() const { return _readCycles; }
+    std::uint64_t
+    readCycles() const
+    {
+        return _readCycles.load(std::memory_order_relaxed);
+    }
+
+    /** Reset activity counters (read cycles, noise sequence). */
+    void resetStats();
 
     /** Number of cells programmed to a non-zero level. */
     std::int64_t programmedCells() const;
 
   private:
+    Acc bitlineSum(int col, std::span<const int> inputs) const;
+    Acc applyReadNoise(Acc sum, std::uint64_t seq, int col) const;
+
     int _rows;
     int _cols;
     int _cellBits;
     std::vector<int> cells;      ///< row-major stored levels
     std::vector<int> stuckLevel; ///< -1 = healthy, else frozen level
     NoiseSpec noise;
-    mutable Rng noiseRng;
     Rng writeRng;
-    mutable std::uint64_t _readCycles = 0;
+    /** Sequence for standalone single-bitline reads. */
+    mutable std::atomic<std::uint64_t> _noiseSeq{0};
+    mutable std::atomic<std::uint64_t> _readCycles{0};
 };
 
 } // namespace isaac::xbar

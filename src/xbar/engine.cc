@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "xbar/encoding.h"
 
 namespace isaac::xbar {
@@ -39,13 +40,16 @@ EngineConfig::validate() const
         fatal("EngineConfig: array narrower than one sliced weight ("
               + std::to_string(slicesPerWeight()) + " columns)");
     }
+    if (threads < 0 || threads > kMaxThreads)
+        fatal("EngineConfig: thread count must be in [0, " +
+              std::to_string(kMaxThreads) + "]");
 }
 
 BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
                                  std::span<const Word> weights,
                                  int numInputs, int numOutputs)
     : cfg(cfg), _numInputs(numInputs), _numOutputs(numOutputs),
-      unitCol(cfg.cols), adc(cfg.adcBits())
+      unitCol(cfg.cols), adc(cfg.adcBits(), cfg.noise.anyEnabled())
 {
     cfg.validate();
     if (numInputs <= 0 || numOutputs <= 0)
@@ -74,10 +78,19 @@ BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
             t.array = std::make_unique<CrossbarArray>(
                 cfg.rows, cfg.cols + 1, cfg.cellBits);
             t.array->setNoise(cfg.noise);
-            programTile(t, weights, rs * cfg.rows,
-                        cs * cfg.outputsPerArray());
         }
     }
+    // Tiles are independent (each owns its array and write RNG), so
+    // program them in parallel; within a tile the write order is the
+    // serial one, keeping stored levels bit-identical.
+    parallelFor(
+        static_cast<std::int64_t>(tiles.size()), cfg.threads,
+        [&](std::int64_t i, int) {
+            const int rs = static_cast<int>(i) / _colSegments;
+            const int cs = static_cast<int>(i) % _colSegments;
+            programTile(tile(rs, cs), weights, rs * cfg.rows,
+                        cs * cfg.outputsPerArray());
+        });
 }
 
 BitSerialEngine::ArrayTile &
@@ -166,15 +179,94 @@ BitSerialEngine::reprogram(std::span<const Word> weights)
         fatal("BitSerialEngine::reprogram: weight span size does "
               "not match the matrix dimensions");
     }
-    std::int64_t writes = 0;
-    for (int rs = 0; rs < _rowSegments; ++rs) {
-        for (int cs = 0; cs < _colSegments; ++cs) {
-            writes += programTile(tile(rs, cs), weights,
-                                  rs * cfg.rows,
-                                  cs * cfg.outputsPerArray());
+    const auto count = static_cast<std::int64_t>(tiles.size());
+    std::vector<std::int64_t> writes(
+        static_cast<std::size_t>(
+            parallelWorkers(cfg.threads, count)),
+        0);
+    parallelFor(count, cfg.threads, [&](std::int64_t i, int w) {
+        const int rs = static_cast<int>(i) / _colSegments;
+        const int cs = static_cast<int>(i) % _colSegments;
+        writes[static_cast<std::size_t>(w)] +=
+            programTile(tile(rs, cs), weights, rs * cfg.rows,
+                        cs * cfg.outputsPerArray());
+    });
+    std::int64_t total = 0;
+    for (std::int64_t w : writes)
+        total += w;
+    return total;
+}
+
+void
+BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
+                                 int rs, std::uint64_t opSeq,
+                                 Partial &part) const
+{
+    const int slices = cfg.slicesPerWeight();
+    const int phases = cfg.phases();
+    const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
+
+    const int used = tile(rs, 0).usedRows;
+    auto &digits = part.digits;
+    digits.assign(static_cast<std::size_t>(used), 0);
+    for (int r = 0; r < used; ++r) {
+        const Word x =
+            inputs[static_cast<std::size_t>(rs * cfg.rows + r)];
+        if (twosComp) {
+            digits[static_cast<std::size_t>(r)] = bitOf(x, p);
+        } else {
+            const std::uint16_t y = static_cast<std::uint16_t>(
+                static_cast<Acc>(x) + kWeightBias);
+            digits[static_cast<std::size_t>(r)] =
+                digitOf(static_cast<Word>(y), p * cfg.dacBits,
+                        cfg.dacBits);
         }
     }
-    return writes;
+    part.stats.dacActivations += static_cast<std::uint64_t>(used);
+
+    for (int cs = 0; cs < _colSegments; ++cs) {
+        const auto &t = tile(rs, cs);
+        const auto currents = t.array->readAllBitlines(
+            digits,
+            opSeq * static_cast<std::uint64_t>(phases) +
+                static_cast<std::uint64_t>(p));
+        ++part.stats.crossbarReads;
+
+        const Acc unit = adc.quantize(
+            currents[static_cast<std::size_t>(unitCol)], part.adc);
+        ++part.stats.adcSamples;
+
+        for (int o = 0; o < t.localOutputs; ++o) {
+            Acc merged = 0;
+            for (int s = 0; s < slices; ++s) {
+                const int c = o * slices + s;
+                Acc v = adc.quantize(
+                    currents[static_cast<std::size_t>(c)], part.adc);
+                ++part.stats.adcSamples;
+                if (t.flipped[static_cast<std::size_t>(c)])
+                    v = unflipColumnSum(v, unit, cfg.cellBits);
+                merged += v * (Acc{1} << (s * cfg.cellBits));
+                ++part.stats.shiftAdds;
+            }
+            const std::size_t k = static_cast<std::size_t>(
+                cs * cfg.outputsPerArray() + o);
+            if (twosComp) {
+                // Remove the weight bias for this phase, then
+                // shift-and-add (subtract for the sign bit).
+                const Acc v = merged - kWeightBias * unit;
+                part.result[k] +=
+                    (p == phases - 1 ? -v : v) * (Acc{1} << p);
+            } else {
+                part.rawSum[k] +=
+                    merged * (Acc{1} << (p * cfg.dacBits));
+            }
+            ++part.stats.shiftAdds;
+        }
+        // unitTotal is a row-side quantity: accumulate it once per
+        // (phase, row segment), not per column tile.
+        if (!twosComp && cs == 0)
+            part.unitTotal += unit * (Acc{1} << (p * cfg.dacBits));
+    }
 }
 
 std::vector<Acc>
@@ -183,82 +275,56 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
     if (inputs.size() != static_cast<std::size_t>(_numInputs))
         fatal("BitSerialEngine::dotProduct: wrong input length");
 
-    const int slices = cfg.slicesPerWeight();
     const int phases = cfg.phases();
     const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
+    const std::uint64_t opSeq =
+        _opSeq.fetch_add(1, std::memory_order_relaxed);
 
-    std::vector<Acc> result(static_cast<std::size_t>(_numOutputs), 0);
-    // Biased-mode running totals.
-    std::vector<Acc> rawSum;
-    Acc unitTotal = 0;
-    if (!twosComp)
-        rawSum.assign(static_cast<std::size_t>(_numOutputs), 0);
+    // One task per (phase, row segment); partial sums, stats, and
+    // ADC tallies land in per-worker accumulators. 64-bit integer
+    // addition is associative, so any partitioning merges to the
+    // exact serial result.
+    const auto tasks =
+        static_cast<std::int64_t>(phases) * _rowSegments;
+    const int workers = parallelWorkers(cfg.threads, tasks);
+    std::vector<Partial> parts(static_cast<std::size_t>(workers));
+    for (auto &part : parts) {
+        part.result.assign(static_cast<std::size_t>(_numOutputs), 0);
+        if (!twosComp)
+            part.rawSum.assign(static_cast<std::size_t>(_numOutputs),
+                               0);
+    }
 
-    std::vector<int> digits;
-    for (int p = 0; p < phases; ++p) {
-        for (int rs = 0; rs < _rowSegments; ++rs) {
-            const auto &anyTile = tile(rs, 0);
-            const int used = anyTile.usedRows;
-            digits.assign(static_cast<std::size_t>(used), 0);
-            for (int r = 0; r < used; ++r) {
-                const Word x = inputs[static_cast<std::size_t>(
-                    rs * cfg.rows + r)];
-                if (twosComp) {
-                    digits[static_cast<std::size_t>(r)] =
-                        bitOf(x, p);
-                } else {
-                    const std::uint16_t y =
-                        static_cast<std::uint16_t>(
-                            static_cast<Acc>(x) + kWeightBias);
-                    digits[static_cast<std::size_t>(r)] =
-                        digitOf(static_cast<Word>(y), p * cfg.dacBits,
-                                cfg.dacBits);
-                }
-            }
-            _stats.dacActivations += static_cast<std::uint64_t>(used);
+    parallelFor(tasks, cfg.threads, [&](std::int64_t task, int w) {
+        runPhaseSegment(inputs, static_cast<int>(task / _rowSegments),
+                        static_cast<int>(task % _rowSegments), opSeq,
+                        parts[static_cast<std::size_t>(w)]);
+    });
 
-            for (int cs = 0; cs < _colSegments; ++cs) {
-                const auto &t = tile(rs, cs);
-                const auto currents = t.array->readAllBitlines(digits);
-                ++_stats.crossbarReads;
-
-                const Acc unit = adc.convert(
-                    currents[static_cast<std::size_t>(unitCol)]);
-                ++_stats.adcSamples;
-
-                for (int o = 0; o < t.localOutputs; ++o) {
-                    Acc merged = 0;
-                    for (int s = 0; s < slices; ++s) {
-                        const int c = o * slices + s;
-                        Acc v = adc.convert(
-                            currents[static_cast<std::size_t>(c)]);
-                        ++_stats.adcSamples;
-                        if (t.flipped[static_cast<std::size_t>(c)])
-                            v = unflipColumnSum(v, unit,
-                                                cfg.cellBits);
-                        merged += v * (Acc{1} << (s * cfg.cellBits));
-                        ++_stats.shiftAdds;
-                    }
-                    const std::size_t k = static_cast<std::size_t>(
-                        cs * cfg.outputsPerArray() + o);
-                    if (twosComp) {
-                        // Remove the weight bias for this phase, then
-                        // shift-and-add (subtract for the sign bit).
-                        const Acc v = merged - kWeightBias * unit;
-                        result[k] += (p == phases - 1 ? -v : v) *
-                            (Acc{1} << p);
-                    } else {
-                        rawSum[k] += merged *
-                            (Acc{1} << (p * cfg.dacBits));
-                    }
-                    ++_stats.shiftAdds;
-                }
-                // unitTotal is a row-side quantity: accumulate it
-                // once per (phase, row segment), not per column tile.
-                if (!twosComp && cs == 0)
-                    unitTotal += unit * (Acc{1} << (p * cfg.dacBits));
-            }
+    // Merge the per-worker partials (slot order; the sums are
+    // order-insensitive anyway).
+    std::vector<Acc> result(std::move(parts[0].result));
+    std::vector<Acc> rawSum(std::move(parts[0].rawSum));
+    Acc unitTotal = parts[0].unitTotal;
+    EngineStats delta = parts[0].stats;
+    AdcTally tally = parts[0].adc;
+    for (std::size_t w = 1; w < parts.size(); ++w) {
+        const auto &part = parts[w];
+        for (int k = 0; k < _numOutputs; ++k)
+            result[static_cast<std::size_t>(k)] +=
+                part.result[static_cast<std::size_t>(k)];
+        if (!twosComp) {
+            for (int k = 0; k < _numOutputs; ++k)
+                rawSum[static_cast<std::size_t>(k)] +=
+                    part.rawSum[static_cast<std::size_t>(k)];
         }
+        unitTotal += part.unitTotal;
+        delta.crossbarReads += part.stats.crossbarReads;
+        delta.adcSamples += part.stats.adcSamples;
+        delta.shiftAdds += part.stats.shiftAdds;
+        delta.dacActivations += part.stats.dacActivations;
+        tally.samples += part.adc.samples;
+        tally.clips += part.adc.clips;
     }
 
     if (!twosComp) {
@@ -282,7 +348,15 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
         }
     }
 
-    ++_stats.ops;
+    adc.addTally(tally);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++_stats.ops;
+        _stats.crossbarReads += delta.crossbarReads;
+        _stats.adcSamples += delta.adcSamples;
+        _stats.shiftAdds += delta.shiftAdds;
+        _stats.dacActivations += delta.dacActivations;
+    }
     return result;
 }
 
@@ -292,17 +366,38 @@ BitSerialEngine::physicalArrays() const
     return _rowSegments * _colSegments;
 }
 
+EngineStats
+BitSerialEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex);
+    return _stats;
+}
+
 void
 BitSerialEngine::resetStats()
 {
-    _stats = EngineStats{};
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        _stats = EngineStats{};
+    }
     adc.resetStats();
+    for (auto &t : tiles)
+        t.array->resetStats();
 }
 
 std::uint64_t
 BitSerialEngine::adcClips() const
 {
     return adc.clips();
+}
+
+std::uint64_t
+BitSerialEngine::readCycles() const
+{
+    std::uint64_t cycles = 0;
+    for (const auto &t : tiles)
+        cycles += t.array->readCycles();
+    return cycles;
 }
 
 double

@@ -21,12 +21,22 @@
  *
  * Logical matrices larger than one physical array are tiled across
  * row segments (partial sums added digitally) and column segments.
+ *
+ * Thread-safety contract (see docs/threading.md): dotProduct() is
+ * const and safe to call concurrently from any number of threads on
+ * one engine. Each call accumulates its activity into per-worker
+ * tallies that are merged once at the end, so results AND final
+ * counter values are bit-identical to a serial run regardless of the
+ * thread count. reprogram() is a structural mutation and must not
+ * overlap any other call.
  */
 
 #ifndef ISAAC_XBAR_ENGINE_H
 #define ISAAC_XBAR_ENGINE_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -66,6 +76,14 @@ struct EngineConfig
     bool flipEncoding = true; ///< Column-flip scheme of Sec. V.
     InputMode inputMode = InputMode::TwosComplement;
     NoiseSpec noise;    ///< Analog non-ideality (off by default).
+
+    /**
+     * Worker threads for dotProduct() and programming: 0 = one per
+     * hardware thread, 1 = serial (reproduces the historical
+     * behavior cycle-for-cycle). Results are bit-identical at any
+     * setting.
+     */
+    int threads = 0;
 
     /** Digits per weight = 16 / w. */
     int slicesPerWeight() const { return kDataBits / cellBits; }
@@ -113,13 +131,14 @@ class BitSerialEngine
      * Execute one full bit-serial dot-product operation: 16/v
      * crossbar read phases against all arrays, ADC conversion, and
      * digital merging. Returns the exact signed dot products, one
-     * per output.
+     * per output. Safe to call concurrently from multiple threads.
      */
     std::vector<Acc> dotProduct(std::span<const Word> inputs) const;
 
     /**
      * Replace the weight matrix in place (same dimensions).
      * Program-verify only rewrites cells whose target level changed.
+     * Must not overlap concurrent dotProduct() calls.
      * @return number of cell writes performed.
      */
     std::int64_t reprogram(std::span<const Word> weights);
@@ -133,11 +152,22 @@ class BitSerialEngine
     int colSegments() const { return _colSegments; }
 
     const EngineConfig &config() const { return cfg; }
-    const EngineStats &stats() const { return _stats; }
+
+    /** Snapshot of the activity counters (consistent under races). */
+    EngineStats stats() const;
+
+    /**
+     * Zero every counter the engine owns: the EngineStats tallies,
+     * the ADC sample/clip counts, and each tile's crossbar read
+     * cycles, so post-reset energy accounting starts from zero.
+     */
     void resetStats();
 
     /** Total ADC clip events (must stay 0 with noise disabled). */
     std::uint64_t adcClips() const;
+
+    /** Total crossbar read cycles across the engine's tiles. */
+    std::uint64_t readCycles() const;
 
     /** Fraction of cells in the allocated arrays holding weights. */
     double cellUtilization() const;
@@ -154,8 +184,28 @@ class BitSerialEngine
         int localOutputs = 0;
     };
 
+    /** Per-worker accumulator for one dotProduct() call. */
+    struct Partial
+    {
+        std::vector<Acc> result;  ///< Phase contributions per output.
+        std::vector<Acc> rawSum;  ///< Biased-mode running totals.
+        Acc unitTotal = 0;
+        std::vector<int> digits;  ///< Scratch input-digit buffer.
+        EngineStats stats;
+        AdcTally adc;
+    };
+
     ArrayTile &tile(int rs, int cs);
     const ArrayTile &tile(int rs, int cs) const;
+
+    /**
+     * Evaluate phase p against row segment rs into `part`. `opSeq`
+     * is this dotProduct() call's operation number; together with p
+     * it keys the read-noise draw so any execution order reproduces
+     * the serial noise realization.
+     */
+    void runPhaseSegment(std::span<const Word> inputs, int p, int rs,
+                         std::uint64_t opSeq, Partial &part) const;
 
     /** Program one tile; returns the cell writes performed. */
     std::int64_t programTile(ArrayTile &t,
@@ -169,7 +219,10 @@ class BitSerialEngine
     int _colSegments;
     int unitCol; ///< Physical index of the unit column (== cfg.cols).
     std::vector<ArrayTile> tiles; ///< rowSegments x colSegments.
-    mutable Adc adc;
+    Adc adc;
+    /** dotProduct() call counter; keys the per-call noise stream. */
+    mutable std::atomic<std::uint64_t> _opSeq{0};
+    mutable std::mutex statsMutex;
     mutable EngineStats _stats;
 };
 

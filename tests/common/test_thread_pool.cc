@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Thread-pool / parallelFor contract tests: full index coverage,
+ * stable worker slots, inline nesting, and exception propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace isaac {
+namespace {
+
+TEST(ParallelWorkers, ResolvesTheKnob)
+{
+    // Explicit counts pass through, clamped to the iteration count.
+    EXPECT_EQ(parallelWorkers(4, 100), 4);
+    EXPECT_EQ(parallelWorkers(4, 2), 2);
+    EXPECT_EQ(parallelWorkers(1, 100), 1);
+    // 0 or 1 iterations never fan out.
+    EXPECT_EQ(parallelWorkers(8, 1), 1);
+    EXPECT_EQ(parallelWorkers(0, 1), 1);
+    // 0 = one per hardware thread (at least one).
+    EXPECT_GE(parallelWorkers(0, 1000), 1);
+    EXPECT_THROW(parallelWorkers(-1, 10), FatalError);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 8}) {
+        const std::int64_t items = 1000;
+        std::vector<std::atomic<int>> hits(items);
+        parallelFor(items, threads, [&](std::int64_t i, int) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, SerialModeRunsInlineAscending)
+{
+    std::vector<std::int64_t> order;
+    parallelFor(10, 1, [&](std::int64_t i, int slot) {
+        EXPECT_EQ(slot, 0);
+        order.push_back(i);
+    });
+    std::vector<std::int64_t> expect(10);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelFor, WorkerSlotsIndexPerWorkerAccumulators)
+{
+    const int threads = 4;
+    const std::int64_t items = 500;
+    const int slots = parallelWorkers(threads, items);
+    ASSERT_GE(slots, 1);
+    std::vector<std::int64_t> sums(static_cast<std::size_t>(slots), 0);
+    parallelFor(items, threads, [&](std::int64_t i, int slot) {
+        ASSERT_GE(slot, 0);
+        ASSERT_LT(slot, slots);
+        sums[static_cast<std::size_t>(slot)] += i;
+    });
+    const std::int64_t total =
+        std::accumulate(sums.begin(), sums.end(), std::int64_t{0});
+    EXPECT_EQ(total, items * (items - 1) / 2);
+}
+
+TEST(ParallelFor, NestedCallsRunInline)
+{
+    // A parallel region inside a parallel region must not fan out
+    // again (oversubscription / deadlock guard): the inner call sees
+    // itself as serial.
+    std::atomic<int> innerFanout{0};
+    parallelFor(8, 4, [&](std::int64_t, int) {
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        parallelFor(4, 4, [&](std::int64_t, int slot) {
+            if (slot != 0)
+                innerFanout.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(innerFanout.load(), 0);
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+}
+
+TEST(ParallelFor, PropagatesTheFirstException)
+{
+    EXPECT_THROW(
+        parallelFor(100, 4,
+                    [&](std::int64_t i, int) {
+                        if (i == 37)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, HandlesEmptyAndTinyRanges)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&](std::int64_t, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 4, [&](std::int64_t i, int slot) {
+        EXPECT_EQ(i, 0);
+        EXPECT_EQ(slot, 0);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, GrowsToTheRequestedWorkerCount)
+{
+    auto &pool = ThreadPool::global();
+    pool.ensureWorkers(3);
+    EXPECT_GE(pool.workers(), 3);
+    const int before = pool.workers();
+    pool.ensureWorkers(1); // never shrinks
+    EXPECT_EQ(pool.workers(), before);
+}
+
+} // namespace
+} // namespace isaac

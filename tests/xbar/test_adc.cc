@@ -48,13 +48,46 @@ TEST(Adc, ExactWithinRange)
     EXPECT_EQ(adc.samples(), 256u);
 }
 
-TEST(Adc, ClipsOutOfRange)
+TEST(Adc, ClipsOverRange)
 {
     Adc adc(8);
     EXPECT_EQ(adc.convert(256), 255);
     EXPECT_EQ(adc.convert(100000), 255);
+    EXPECT_EQ(adc.clips(), 2u);
+}
+
+TEST(AdcDeathTest, NegativeLevelPanicsWithNoiseDisabled)
+{
+    // A negative bitline sum cannot come off clean hardware (inputs
+    // and conductances are non-negative): it means the encoding
+    // pipeline broke, and silently clipping to 0 would hide the bug.
+    Adc adc(8);
+    EXPECT_DEATH(adc.convert(-3), "negative bitline sum");
+}
+
+TEST(Adc, NoisyAdcSaturatesNegativesToZero)
+{
+    // With an analog noise path a slightly negative sample is
+    // expected occasionally; the saturating front end clips it.
+    Adc adc(8, true);
+    EXPECT_TRUE(adc.noisy());
     EXPECT_EQ(adc.convert(-3), 0);
-    EXPECT_EQ(adc.clips(), 3u);
+    EXPECT_EQ(adc.clips(), 1u);
+}
+
+TEST(Adc, TalliesBatchIntoCounters)
+{
+    Adc adc(8);
+    AdcTally tally;
+    EXPECT_EQ(adc.quantize(7, tally), 7);
+    EXPECT_EQ(adc.quantize(1000, tally), 255);
+    // quantize() leaves the shared counters untouched...
+    EXPECT_EQ(adc.samples(), 0u);
+    EXPECT_EQ(adc.clips(), 0u);
+    // ...until the caller merges its tally.
+    adc.addTally(tally);
+    EXPECT_EQ(adc.samples(), 2u);
+    EXPECT_EQ(adc.clips(), 1u);
 }
 
 TEST(Adc, StatsReset)

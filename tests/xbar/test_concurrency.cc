@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Concurrency contract of the bit-serial engine (docs/threading.md):
+ * dotProduct() is const-callable from any number of threads, and both
+ * the results and the final counter values are bit-identical to a
+ * serial run at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "xbar/engine.h"
+
+namespace isaac::xbar {
+namespace {
+
+std::vector<Word>
+randomWords(Rng &rng, int n)
+{
+    std::vector<Word> v(static_cast<std::size_t>(n));
+    for (auto &w : v)
+        w = static_cast<Word>(rng.uniform(-32768, 32767));
+    return v;
+}
+
+void
+expectStatsEqual(const EngineStats &a, const EngineStats &b)
+{
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.crossbarReads, b.crossbarReads);
+    EXPECT_EQ(a.adcSamples, b.adcSamples);
+    EXPECT_EQ(a.shiftAdds, b.shiftAdds);
+    EXPECT_EQ(a.dacActivations, b.dacActivations);
+}
+
+TEST(Concurrency, ParallelConfigMatchesSerialBitForBit)
+{
+    // The same multi-tile problem through a serial engine and a
+    // 4-worker engine: results, EngineStats, ADC counters, and read
+    // cycles must all agree exactly.
+    Rng rng(101);
+    const int n = 256, m = 32;
+    const auto weights = randomWords(rng, n * m);
+
+    EngineConfig serialCfg;
+    serialCfg.threads = 1;
+    EngineConfig parCfg;
+    parCfg.threads = 4;
+
+    BitSerialEngine serial(serialCfg, weights, n, m);
+    BitSerialEngine parallel(parCfg, weights, n, m);
+
+    for (int trial = 0; trial < 8; ++trial) {
+        const auto inputs = randomWords(rng, n);
+        EXPECT_EQ(serial.dotProduct(inputs),
+                  parallel.dotProduct(inputs));
+    }
+    expectStatsEqual(serial.stats(), parallel.stats());
+    EXPECT_EQ(serial.adcClips(), parallel.adcClips());
+    EXPECT_EQ(serial.readCycles(), parallel.readCycles());
+}
+
+TEST(Concurrency, ReadNoiseRealizationIsThreadCountInvariant)
+{
+    // Counter-keyed read noise: the k-th dotProduct() call must see
+    // the identical jitter whether the phases run serially or fanned
+    // out, so noisy results stay reproducible per seed.
+    Rng rng(202);
+    const int n = 256, m = 16;
+    const auto weights = randomWords(rng, n * m);
+
+    EngineConfig cfg;
+    cfg.noise.sigmaLsb = 1.5;
+    cfg.noise.seed = 77;
+
+    EngineConfig serialCfg = cfg;
+    serialCfg.threads = 1;
+    EngineConfig parCfg = cfg;
+    parCfg.threads = 4;
+
+    BitSerialEngine serial(serialCfg, weights, n, m);
+    BitSerialEngine parallel(parCfg, weights, n, m);
+
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto inputs = randomWords(rng, n);
+        EXPECT_EQ(serial.dotProduct(inputs),
+                  parallel.dotProduct(inputs));
+    }
+    EXPECT_EQ(serial.adcClips(), parallel.adcClips());
+}
+
+TEST(Concurrency, SharedEngineSurvivesConcurrentCallers)
+{
+    // N real threads hammer one engine with distinct inputs. Every
+    // caller must read back exactly the dot product a lone caller
+    // would, and the aggregate counters must land on exactly the
+    // values a serial replay accumulates.
+    constexpr int kThreads = 4;
+    constexpr int kCallsPerThread = 6;
+
+    Rng rng(303);
+    const int n = 128, m = 16;
+    const auto weights = randomWords(rng, n * m);
+
+    EngineConfig cfg;
+    cfg.threads = 1; // each caller is its own "thread pool"
+    BitSerialEngine shared(cfg, weights, n, m);
+    BitSerialEngine oracle(cfg, weights, n, m);
+
+    std::vector<std::vector<Word>> inputs;
+    std::vector<std::vector<Acc>> expected;
+    for (int i = 0; i < kThreads * kCallsPerThread; ++i) {
+        inputs.push_back(randomWords(rng, n));
+        expected.push_back(oracle.dotProduct(inputs.back()));
+    }
+
+    std::vector<std::thread> callers;
+    std::vector<int> mismatches(kThreads, 0);
+    for (int t = 0; t < kThreads; ++t) {
+        callers.emplace_back([&, t] {
+            for (int c = 0; c < kCallsPerThread; ++c) {
+                const std::size_t i = static_cast<std::size_t>(
+                    t * kCallsPerThread + c);
+                if (shared.dotProduct(inputs[i]) != expected[i])
+                    ++mismatches[static_cast<std::size_t>(t)];
+            }
+        });
+    }
+    for (auto &th : callers)
+        th.join();
+
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0);
+    expectStatsEqual(shared.stats(), oracle.stats());
+    EXPECT_EQ(shared.adcClips(), oracle.adcClips());
+    EXPECT_EQ(shared.readCycles(), oracle.readCycles());
+}
+
+TEST(Concurrency, ResetStatsClearsEveryCounter)
+{
+    // resetStats() must be symmetric with the counting: EngineStats,
+    // the ADC tallies, and the per-tile crossbar read cycles all
+    // return to zero together.
+    Rng rng(404);
+    const int n = 256, m = 16;
+    const auto weights = randomWords(rng, n * m);
+
+    EngineConfig cfg;
+    cfg.threads = 2;
+    BitSerialEngine eng(cfg, weights, n, m);
+    eng.dotProduct(randomWords(rng, n));
+    ASSERT_GT(eng.stats().ops, 0u);
+    ASSERT_GT(eng.readCycles(), 0u);
+
+    eng.resetStats();
+    expectStatsEqual(eng.stats(), EngineStats{});
+    EXPECT_EQ(eng.adcClips(), 0u);
+    EXPECT_EQ(eng.readCycles(), 0u);
+
+    // Counting resumes cleanly: one op's worth of activity matches a
+    // fresh engine's.
+    BitSerialEngine fresh(cfg, weights, n, m);
+    const auto probe = randomWords(rng, n);
+    eng.dotProduct(probe);
+    fresh.dotProduct(probe);
+    expectStatsEqual(eng.stats(), fresh.stats());
+    EXPECT_EQ(eng.readCycles(), fresh.readCycles());
+}
+
+TEST(Concurrency, ReprogramKeepsParallelPathExact)
+{
+    Rng rng(505);
+    const int n = 256, m = 32;
+    const auto w1 = randomWords(rng, n * m);
+    const auto w2 = randomWords(rng, n * m);
+
+    EngineConfig cfg;
+    cfg.threads = 4;
+    BitSerialEngine eng(cfg, w1, n, m);
+    EngineConfig serialCfg;
+    serialCfg.threads = 1;
+    BitSerialEngine oracle(serialCfg, w1, n, m);
+
+    EXPECT_EQ(eng.reprogram(w2), oracle.reprogram(w2));
+    const auto inputs = randomWords(rng, n);
+    EXPECT_EQ(eng.dotProduct(inputs), oracle.dotProduct(inputs));
+}
+
+} // namespace
+} // namespace isaac::xbar
