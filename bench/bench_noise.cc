@@ -66,7 +66,8 @@ printNoiseStudy()
     std::printf("=== Monte-Carlo noise tolerance (TinyCNN, %d "
                 "inputs) ===\n\n",
                 trials);
-    std::printf("%-16s %12s\n", "case", "top-1 match");
+    std::printf("%-16s %12s %12s %14s\n", "case", "top-1 match",
+                "adc clips", "faulty cells");
     for (const auto &c : kCases) {
         arch::IsaacConfig cfg;
         cfg.engine.noise.sigmaLsb = c.readSigma;
@@ -88,7 +89,16 @@ printNoiseStudy()
                     arg = k;
             match += arg == truth[static_cast<std::size_t>(t)];
         }
-        std::printf("%-16s %9d/%d\n", c.label, match, trials);
+        // ADC saturation and the programming-time fault census put
+        // numbers on *why* a case degrades: clips hit the high-order
+        // slices, faulty cells shift whole columns.
+        const auto summary = model.resilienceSummary();
+        std::printf("%-16s %9d/%d %12llu %14lld\n", c.label, match,
+                    trials,
+                    static_cast<unsigned long long>(
+                        summary.adcClips),
+                    static_cast<long long>(
+                        summary.faults.faultyCells));
     }
     std::printf("\nRead noise under ~0.1 LSB and sub-percent fault "
                 "rates leave the classification intact; larger read "

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Fault-tolerance study: how much classification accuracy the
+ * spare-column remapper buys back as the stuck-cell rate rises, and
+ * how much throughput the chip retains when a whole tile dies.
+ *
+ * Sweeps stuck-cell rate x spare-column count on TinyCNN against the
+ * exact fixed-point reference (top-1 agreement), reports the fault
+ * census the program-verify pass detected, then kills one placed
+ * tile in the cycle-level chip simulation and measures the degraded
+ * interval. Emits BENCH_resilience.json for dashboards.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/accelerator.h"
+#include "nn/zoo.h"
+#include "pipeline/perf.h"
+#include "resilience/summary.h"
+#include "sim/chip_sim.h"
+
+using namespace isaac;
+
+namespace {
+
+constexpr double kStuckRates[] = {0.0, 0.002, 0.005, 0.01, 0.02};
+constexpr int kSpareCounts[] = {0, 2, 4};
+constexpr int kTrials = 25;
+
+struct SweepPoint
+{
+    double stuckRate;
+    int spares;
+    int match; ///< Top-1 agreements out of kTrials.
+    resilience::ArrayFaultReport faults;
+};
+
+std::vector<SweepPoint>
+runAccuracySweep(const nn::Network &net,
+                 const nn::WeightStore &weights,
+                 const std::vector<nn::Tensor> &inputs,
+                 const std::vector<int> &truth)
+{
+    std::vector<SweepPoint> points;
+    for (const double rate : kStuckRates) {
+        for (const int spares : kSpareCounts) {
+            arch::IsaacConfig cfg;
+            cfg.engine.spareCols = spares;
+            cfg.engine.noise.stuckAtFraction = rate;
+            cfg.engine.noise.seed = 314159;
+            core::Accelerator acc(cfg);
+            const auto model = acc.compile(net, weights, {});
+
+            int match = 0;
+            for (int t = 0; t < kTrials; ++t) {
+                const auto out = model.infer(
+                    inputs[static_cast<std::size_t>(t)]);
+                int arg = 0;
+                for (int k = 1; k < out.channels(); ++k)
+                    if (out.at(k, 0, 0) > out.at(arg, 0, 0))
+                        arg = k;
+                match += arg == truth[static_cast<std::size_t>(t)];
+            }
+            points.push_back(SweepPoint{rate, spares, match,
+                                        model.faultReport()});
+        }
+    }
+    return points;
+}
+
+struct DegradationPoint
+{
+    double nominalInterval;
+    double degradedInterval;
+    int deadTiles;
+    int remappedServers;
+    double retained;
+};
+
+DegradationPoint
+runTileKill()
+{
+    auto cfg = arch::IsaacConfig::isaacCE();
+    cfg.tilesPerChip = 2;
+    const auto net = nn::tinyCnn();
+    const auto plan = pipeline::planPipeline(net, cfg, 1);
+    const auto placement = pipeline::Placement::build(net, plan, cfg);
+
+    const auto nominal =
+        sim::simulateChip(net, plan, placement, cfg, 10);
+
+    // Kill the first placed tile.
+    sim::FailureSpec failures;
+    for (std::size_t i = 0;
+         i < net.size() && failures.deadTiles.empty(); ++i) {
+        const auto place = placement.layerPlacement(i);
+        if (place && !place->tiles.empty())
+            failures.deadTiles.push_back(place->tiles.front());
+    }
+    const auto degraded =
+        sim::simulateChip(net, plan, placement, cfg, 10, failures);
+
+    DegradationPoint p;
+    p.nominalInterval = nominal.measuredInterval;
+    p.degradedInterval = degraded.measuredInterval;
+    p.deadTiles = degraded.deadTiles;
+    p.remappedServers = degraded.remappedServers;
+    p.retained = resilience::throughputRetained(
+        nominal.measuredInterval, degraded.measuredInterval);
+    return p;
+}
+
+void
+writeJson(const std::vector<SweepPoint> &points,
+          const DegradationPoint &kill)
+{
+    std::FILE *f = std::fopen("BENCH_resilience.json", "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "bench_resilience: cannot write "
+                     "BENCH_resilience.json\n");
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"resilience\",\n"
+                 "  \"workload\": \"tinyCnn\",\n"
+                 "  \"trials\": %d,\n  \"accuracy_sweep\": [",
+                 kTrials);
+    bool first = true;
+    for (const auto &p : points) {
+        std::fprintf(
+            f,
+            "%s\n    {\"stuck_rate\": %.4f, \"spare_cols\": %d, "
+            "\"top1_match\": %d, \"accuracy_retained\": %.4f, "
+            "\"faulty_cells\": %lld, \"remapped_columns\": %lld, "
+            "\"uncorrectable_cells\": %lld, "
+            "\"program_pulses\": %lld}",
+            first ? "" : ",", p.stuckRate, p.spares, p.match,
+            static_cast<double>(p.match) / kTrials,
+            static_cast<long long>(p.faults.faultyCells),
+            static_cast<long long>(p.faults.remappedColumns),
+            static_cast<long long>(p.faults.uncorrectableCells),
+            static_cast<long long>(p.faults.programPulses));
+        first = false;
+    }
+    std::fprintf(f,
+                 "\n  ],\n  \"tile_kill\": {\n"
+                 "    \"nominal_interval\": %.2f,\n"
+                 "    \"degraded_interval\": %.2f,\n"
+                 "    \"dead_tiles\": %d,\n"
+                 "    \"remapped_servers\": %d,\n"
+                 "    \"throughput_retained\": %.4f\n  }\n}\n",
+                 kill.nominalInterval, kill.degradedInterval,
+                 kill.deadTiles, kill.remappedServers, kill.retained);
+    std::fclose(f);
+}
+
+void
+printResilienceStudy()
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 4242);
+    const FixedFormat fmt{12};
+
+    nn::ReferenceExecutor ref(net, weights, fmt);
+    std::vector<nn::Tensor> inputs;
+    std::vector<int> truth;
+    for (int t = 0; t < kTrials; ++t) {
+        inputs.push_back(
+            nn::synthesizeInput(16, 12, 12, 7000 + t, fmt));
+        const auto out = ref.run(inputs.back());
+        int arg = 0;
+        for (int k = 1; k < out.channels(); ++k)
+            if (out.at(k, 0, 0) > out.at(arg, 0, 0))
+                arg = k;
+        truth.push_back(arg);
+    }
+
+    std::printf("=== Fault tolerance: stuck-cell rate x spare "
+                "columns (TinyCNN, %d inputs) ===\n\n",
+                kTrials);
+    std::printf("%-8s %-7s %12s %10s %10s %14s\n", "stuck", "spares",
+                "top-1 match", "faulty", "remapped",
+                "uncorrectable");
+    const auto points = runAccuracySweep(net, weights, inputs, truth);
+    for (const auto &p : points) {
+        std::printf("%-8.3f %-7d %9d/%d %10lld %10lld %14lld\n",
+                    p.stuckRate, p.spares, p.match, kTrials,
+                    static_cast<long long>(p.faults.faultyCells),
+                    static_cast<long long>(
+                        p.faults.remappedColumns),
+                    static_cast<long long>(
+                        p.faults.uncorrectableCells));
+    }
+
+    std::printf("\n=== Graceful degradation: one dead tile ===\n\n");
+    const auto kill = runTileKill();
+    std::printf("nominal interval   %10.2f cycles/image\n",
+                kill.nominalInterval);
+    std::printf("degraded interval  %10.2f cycles/image\n",
+                kill.degradedInterval);
+    std::printf("dead tiles         %10d\n", kill.deadTiles);
+    std::printf("remapped servers   %10d\n", kill.remappedServers);
+    std::printf("throughput retained %9.2f%%\n",
+                100.0 * kill.retained);
+    std::printf(
+        "\nSpare columns absorb the bulk of sub-percent fault "
+        "rates (uncorrectable cells drop toward zero), and a dead "
+        "tile costs throughput in proportion to the work the "
+        "survivors absorb -- the chip completes every image either "
+        "way.\n\n");
+
+    writeJson(points, kill);
+}
+
+void
+BM_FaultAwareProgramming(benchmark::State &state)
+{
+    // Cost of the program-verify + remap pass itself at 1% faults.
+    Rng rng(5);
+    const int n = 256, m = 32;
+    std::vector<Word> weights(static_cast<std::size_t>(n) * m);
+    for (auto &w : weights)
+        w = static_cast<Word>(rng.uniform(-32768, 32767));
+    xbar::EngineConfig cfg;
+    cfg.spareCols = 2;
+    cfg.noise.stuckAtFraction = 0.01;
+    for (auto _ : state) {
+        xbar::BitSerialEngine eng(cfg, weights, n, m);
+        benchmark::DoNotOptimize(eng.faultReport());
+    }
+}
+BENCHMARK(BM_FaultAwareProgramming);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printResilienceStudy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

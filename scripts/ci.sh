@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: build + full test suite, then rebuild the concurrency-
-# sensitive subsystems under ThreadSanitizer and rerun their suites.
-# TSan proves the BitSerialEngine thread-safety contract
-# (docs/threading.md) rather than trusting code review.
+# sensitive subsystems under ThreadSanitizer and rerun their suites,
+# then under AddressSanitizer for the pointer-heavy fault-handling
+# paths. TSan proves the BitSerialEngine thread-safety contract
+# (docs/threading.md) rather than trusting code review; ASan guards
+# the resilience layer's column remapping and fault-map indexing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,13 +16,28 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DISAAC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j \
-    --target test_common test_xbar test_sim >/dev/null
+    --target test_common test_xbar test_sim test_resilience \
+    >/dev/null
 
-echo "== TSan: thread pool / engine / sim suites =="
+echo "== TSan: thread pool / engine / sim / resilience suites =="
 # TSAN_OPTIONS makes any reported race fail the run loudly.
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1"
 ./build-tsan/tests/test_common
 ./build-tsan/tests/test_xbar
 ./build-tsan/tests/test_sim
+./build-tsan/tests/test_resilience
+
+echo "== AddressSanitizer build =="
+cmake -B build-asan -S . -DISAAC_SANITIZE=address >/dev/null
+cmake --build build-asan -j \
+    --target test_common test_xbar test_sim test_resilience \
+    >/dev/null
+
+echo "== ASan: thread pool / engine / sim / resilience suites =="
+export ASAN_OPTIONS="halt_on_error=1 abort_on_error=1"
+./build-asan/tests/test_common
+./build-asan/tests/test_xbar
+./build-asan/tests/test_sim
+./build-asan/tests/test_resilience
 
 echo "ci.sh: all green"

@@ -50,9 +50,18 @@ CompiledModel::CompiledModel(const nn::Network &net,
         for (std::int64_t g = 0; g < groups; ++g) {
             const std::size_t base =
                 nn::WeightStore::index(l, g, 0, 0);
+            // Each engine instance models distinct physical arrays,
+            // so decorrelate its fault/noise streams per (layer,
+            // window group); the clean path is unaffected.
+            auto engineCfg = cfg.engine;
+            if (engineCfg.noise.anyEnabled()) {
+                engineCfg.noise.seed ^= 0x9E3779B97F4A7C15ull *
+                    (static_cast<std::uint64_t>(i) * 0x10001ull +
+                     static_cast<std::uint64_t>(g) + 1ull);
+            }
             layerEngines.push_back(
                 std::make_unique<xbar::BitSerialEngine>(
-                    cfg.engine,
+                    engineCfg,
                     std::span<const Word>(
                         w.data() + base,
                         static_cast<std::size_t>(l.no) * len),
@@ -139,6 +148,7 @@ CompiledModel::engineStats() const
             total.ops += s.ops;
             total.crossbarReads += s.crossbarReads;
             total.adcSamples += s.adcSamples;
+            total.adcClips += s.adcClips;
             total.shiftAdds += s.shiftAdds;
             total.dacActivations += s.dacActivations;
         }
@@ -164,6 +174,25 @@ CompiledModel::functionalArrays() const
         for (const auto &e : layer)
             arrays += e->physicalArrays();
     return arrays;
+}
+
+resilience::ArrayFaultReport
+CompiledModel::faultReport() const
+{
+    resilience::ArrayFaultReport report;
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            report.merge(e->faultReport());
+    return report;
+}
+
+resilience::ResilienceSummary
+CompiledModel::resilienceSummary() const
+{
+    resilience::ResilienceSummary summary;
+    summary.faults = faultReport();
+    summary.adcClips = adcClips();
+    return summary;
 }
 
 } // namespace isaac::core

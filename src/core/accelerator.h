@@ -83,6 +83,17 @@ class CompiledModel
     /** Physical crossbars materialized by the functional model. */
     int functionalArrays() const;
 
+    /** Aggregate fault census across every functional engine. */
+    resilience::ArrayFaultReport faultReport() const;
+
+    /**
+     * Structured resilience summary of the functional model: the
+     * fault census plus ADC saturation. Structural degradation
+     * fields (dead tiles, migrated servers) are filled by the chip
+     * simulator, not here.
+     */
+    resilience::ResilienceSummary resilienceSummary() const;
+
   private:
     friend class Accelerator;
     CompiledModel(const nn::Network &net,

@@ -1,0 +1,86 @@
+#include "resilience/fault_map.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace isaac::resilience {
+
+FaultMap::FaultMap(int rows, int cols)
+    : _rows(rows), _cols(cols),
+      frozen(static_cast<std::size_t>(rows) * cols, -1)
+{
+    if (rows < 0 || cols < 0)
+        fatal("FaultMap: dimensions must be non-negative");
+}
+
+void
+FaultMap::add(int row, int col, int frozenLevel)
+{
+    if (row < 0 || row >= _rows || col < 0 || col >= _cols)
+        fatal("FaultMap::add: cell index out of range");
+    if (frozenLevel < 0)
+        fatal("FaultMap::add: frozen level must be non-negative");
+    auto &slot = frozen[static_cast<std::size_t>(row) * _cols + col];
+    const FaultEntry entry{row, col, frozenLevel};
+    const auto pos = std::lower_bound(_entries.begin(),
+                                      _entries.end(), entry);
+    if (slot >= 0) {
+        // Re-recording the same cell updates its frozen level.
+        auto it = std::find_if(_entries.begin(), _entries.end(),
+                               [&](const FaultEntry &e) {
+                                   return e.row == row &&
+                                       e.col == col;
+                               });
+        it->frozenLevel = frozenLevel;
+    } else {
+        _entries.insert(pos, entry);
+    }
+    slot = frozenLevel;
+}
+
+bool
+FaultMap::faulty(int row, int col) const
+{
+    return frozenLevel(row, col) >= 0;
+}
+
+int
+FaultMap::frozenLevel(int row, int col) const
+{
+    if (row < 0 || row >= _rows || col < 0 || col >= _cols)
+        fatal("FaultMap: cell index out of range");
+    return frozen[static_cast<std::size_t>(row) * _cols + col];
+}
+
+int
+FaultMap::countInColumn(int col) const
+{
+    if (col < 0 || col >= _cols)
+        fatal("FaultMap::countInColumn: column out of range");
+    int count = 0;
+    for (int r = 0; r < _rows; ++r)
+        count += frozen[static_cast<std::size_t>(r) * _cols + col] >=
+            0;
+    return count;
+}
+
+FaultMap
+extractFaultMap(xbar::CrossbarArray &array)
+{
+    FaultMap map(array.rows(), array.cols());
+    const int rails[2] = {0, array.maxLevel()};
+    for (const int rail : rails) {
+        for (int r = 0; r < array.rows(); ++r) {
+            for (int c = 0; c < array.cols(); ++c) {
+                array.program(r, c, rail);
+                const int got = array.cell(r, c);
+                if (got != rail)
+                    map.add(r, c, got);
+            }
+        }
+    }
+    return map;
+}
+
+} // namespace isaac::resilience

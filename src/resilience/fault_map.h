@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-array fault maps: which cells program-verify could not land on
+ * their targets, and what level they are frozen at.
+ *
+ * ISAAC programs weights once and never reprograms during inference
+ * (Sec. III), so faults discovered while loading are permanent for
+ * the run and worth recording precisely. A FaultMap is the output of
+ * that detection step — either the program-verify loop observing a
+ * cell that will not reach its target, or an explicit march test
+ * (extractFaultMap) that exercises every cell at both rail levels.
+ * The map feeds the spare-column remapping pass (remap.h) and the
+ * resilience summary.
+ *
+ * Maps are plain data: deterministic per (seed, geometry), cheap to
+ * compare (the thread-count-invariance tests assert equality), and
+ * serializable.
+ */
+
+#ifndef ISAAC_RESILIENCE_FAULT_MAP_H
+#define ISAAC_RESILIENCE_FAULT_MAP_H
+
+#include <vector>
+
+#include "xbar/crossbar.h"
+
+namespace isaac::resilience {
+
+/** One cell that cannot be programmed to its target. */
+struct FaultEntry
+{
+    int row = 0;
+    int col = 0;         ///< Physical column index.
+    int frozenLevel = 0; ///< Level the cell is stuck at.
+
+    auto operator<=>(const FaultEntry &) const = default;
+};
+
+/** The detected faulty cells of one physical crossbar array. */
+class FaultMap
+{
+  public:
+    FaultMap() = default;
+    FaultMap(int rows, int cols);
+
+    int rows() const { return _rows; }
+    int cols() const { return _cols; }
+
+    /** Record one faulty cell (idempotent per coordinate). */
+    void add(int row, int col, int frozenLevel);
+
+    /** True if the cell is recorded as faulty. */
+    bool faulty(int row, int col) const;
+
+    /** Frozen level of a faulty cell, or -1 if healthy. */
+    int frozenLevel(int row, int col) const;
+
+    /** Total faulty cells recorded. */
+    int count() const { return static_cast<int>(_entries.size()); }
+
+    /** Faulty cells in one physical column. */
+    int countInColumn(int col) const;
+
+    /** All entries, sorted row-major. */
+    const std::vector<FaultEntry> &entries() const
+    {
+        return _entries;
+    }
+
+    bool operator==(const FaultMap &other) const = default;
+
+  private:
+    int _rows = 0;
+    int _cols = 0;
+    std::vector<FaultEntry> _entries; ///< Sorted row-major.
+    std::vector<int> frozen;          ///< Dense -1 / frozen level.
+};
+
+/**
+ * March-test fault extraction: program every cell to 0 and verify,
+ * then to 2^w - 1 and verify; a cell failing either pass is stuck
+ * (every frozen level fails at least one rail). Destructive — the
+ * array ends holding all-max content — so run it before weight
+ * loading, the way a manufacturing test would. Requires write noise
+ * to be disabled (the march would misreport transient errors).
+ */
+FaultMap extractFaultMap(xbar::CrossbarArray &array);
+
+} // namespace isaac::resilience
+
+#endif // ISAAC_RESILIENCE_FAULT_MAP_H

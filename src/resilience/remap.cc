@@ -1,0 +1,143 @@
+#include "resilience/remap.h"
+
+#include "common/logging.h"
+
+namespace isaac::resilience {
+
+namespace {
+
+/**
+ * Program logical column `c` into physical column `phys` and verify
+ * its used rows. Mismatches land in the plan's fault map; returns
+ * how many there were.
+ */
+int
+programColumn(xbar::CrossbarArray &array, std::span<const int> intended,
+              int rows, int usedRows, int logicalCols, int c,
+              int phys, ColumnPlan &plan)
+{
+    for (int r = 0; r < rows; ++r) {
+        array.program(
+            r, phys,
+            intended[static_cast<std::size_t>(r) * logicalCols + c]);
+        ++plan.cellWrites;
+    }
+    int mismatches = 0;
+    for (int r = 0; r < usedRows; ++r) {
+        const int target =
+            intended[static_cast<std::size_t>(r) * logicalCols + c];
+        const int got = array.cell(r, phys);
+        if (got != target) {
+            ++mismatches;
+            plan.faults.add(r, phys, got);
+        }
+    }
+    return mismatches;
+}
+
+void
+checkGeometry(const xbar::CrossbarArray &array,
+              std::span<const int> intended, int rows, int usedRows,
+              int logicalCols)
+{
+    if (rows != array.rows() || usedRows < 0 || usedRows > rows)
+        fatal("resilience: row geometry does not match the array");
+    if (logicalCols < 1 ||
+        intended.size() !=
+            static_cast<std::size_t>(rows) * logicalCols) {
+        fatal("resilience: intended-level span does not match the "
+              "geometry");
+    }
+}
+
+} // namespace
+
+ColumnPlan
+assignColumns(xbar::CrossbarArray &array, std::span<const int> intended,
+              int rows, int usedRows, int logicalCols,
+              std::span<const int> preferred,
+              std::span<const int> spares)
+{
+    checkGeometry(array, intended, rows, usedRows, logicalCols);
+    if (preferred.size() != static_cast<std::size_t>(logicalCols))
+        fatal("assignColumns: need one preferred column per logical "
+              "column");
+
+    ColumnPlan plan;
+    plan.colMap.assign(static_cast<std::size_t>(logicalCols), -1);
+    plan.faults = FaultMap(array.rows(), array.cols());
+    std::vector<char> spareUsed(spares.size(), 0);
+
+    for (int c = 0; c < logicalCols; ++c) {
+        int best = preferred[static_cast<std::size_t>(c)];
+        int bestMis = programColumn(array, intended, rows, usedRows,
+                                    logicalCols, c, best, plan);
+        for (std::size_t s = 0; s < spares.size() && bestMis > 0;
+             ++s) {
+            if (spareUsed[s])
+                continue;
+            const int mis =
+                programColumn(array, intended, rows, usedRows,
+                              logicalCols, c, spares[s], plan);
+            if (mis < bestMis) {
+                best = spares[s];
+                bestMis = mis;
+            }
+        }
+        plan.colMap[static_cast<std::size_t>(c)] = best;
+        if (best != preferred[static_cast<std::size_t>(c)])
+            ++plan.remappedColumns;
+        for (std::size_t s = 0; s < spares.size(); ++s)
+            if (spares[s] == best)
+                spareUsed[s] = 1;
+        plan.uncorrectableCells += bestMis;
+    }
+    return plan;
+}
+
+ColumnPlan
+reprogramColumns(xbar::CrossbarArray &array,
+                 std::span<const int> intended,
+                 std::span<const int> previous, int rows,
+                 int usedRows, int logicalCols,
+                 std::span<const int> colMap)
+{
+    checkGeometry(array, intended, rows, usedRows, logicalCols);
+    if (colMap.size() != static_cast<std::size_t>(logicalCols))
+        fatal("reprogramColumns: column map does not match the "
+              "logical geometry");
+    const bool diff = previous.size() == intended.size();
+
+    ColumnPlan plan;
+    plan.colMap.assign(colMap.begin(), colMap.end());
+    plan.faults = FaultMap(array.rows(), array.cols());
+    for (int c = 0; c < logicalCols; ++c) {
+        const int phys = colMap[static_cast<std::size_t>(c)];
+        for (int r = 0; r < rows; ++r) {
+            const std::size_t idx =
+                static_cast<std::size_t>(r) * logicalCols + c;
+            const int target = intended[idx];
+            // Rewrite on a changed target, and self-heal cells left
+            // off-target by an earlier pass (write-noise residue).
+            if (diff && previous[idx] == target &&
+                array.cell(r, phys) == target) {
+                continue;
+            }
+            array.program(r, phys, target);
+            ++plan.cellWrites;
+        }
+        for (int r = 0; r < usedRows; ++r) {
+            const int target =
+                intended[static_cast<std::size_t>(r) * logicalCols +
+                         c];
+            const int got = array.cell(r, phys);
+            if (got != target) {
+                plan.faults.add(r, phys, got);
+                ++plan.uncorrectableCells;
+            }
+        }
+    }
+    return plan;
+}
+
+} // namespace isaac::resilience

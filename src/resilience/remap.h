@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fault-aware column placement: program weight slices onto healthy
+ * physical columns, spending spare columns on defective ones.
+ *
+ * A stuck cell only matters when its frozen level differs from the
+ * level the column wants at that row — content-aware remapping (the
+ * observation RxNN and Xiao et al. exploit) recovers far more than
+ * discarding every column containing a defect. The pass therefore
+ * works on *verified mismatches*: it programs a logical column into
+ * a candidate physical column with the bounded program-verify loop,
+ * reads it back, and moves on to a spare only if some cell refused
+ * its target. When every candidate is defective for this content the
+ * least-bad one is kept and its mismatches are reported as
+ * uncorrectable — the quantity the graceful-degradation layer and
+ * bench_resilience track.
+ *
+ * The assignment is deterministic: candidates are tried in a fixed
+ * order (preferred column, then spares ascending), and all
+ * programming happens serially per array.
+ */
+
+#ifndef ISAAC_RESILIENCE_REMAP_H
+#define ISAAC_RESILIENCE_REMAP_H
+
+#include <span>
+#include <vector>
+
+#include "resilience/fault_map.h"
+#include "xbar/crossbar.h"
+
+namespace isaac::resilience {
+
+/** Result of placing one array's logical columns. */
+struct ColumnPlan
+{
+    /** Physical column serving each logical column. */
+    std::vector<int> colMap;
+    /** Mismatching cells observed across all probed columns. */
+    FaultMap faults;
+    /** Logical columns moved off their preferred position. */
+    int remappedColumns = 0;
+    /** Cells still wrong in the assigned columns (spares ran out). */
+    int uncorrectableCells = 0;
+    /** Cell writes issued while placing (for write accounting). */
+    std::int64_t cellWrites = 0;
+};
+
+/**
+ * Place `logicalCols` columns of target levels onto `array`.
+ *
+ * @param intended   row-major rows x logicalCols target levels
+ * @param rows       rows to program (the full array height)
+ * @param usedRows   rows that participate in dot products; only
+ *                   these are verified (defects below them are
+ *                   never read)
+ * @param preferred  preferred physical column per logical column
+ * @param spares     physical columns available as substitutes, in
+ *                   the order they may be consumed
+ */
+ColumnPlan assignColumns(xbar::CrossbarArray &array,
+                         std::span<const int> intended, int rows,
+                         int usedRows, int logicalCols,
+                         std::span<const int> preferred,
+                         std::span<const int> spares);
+
+/**
+ * Reprogram already-placed columns with new targets, touching only
+ * cells whose target changed (`previous` may be empty for a full
+ * rewrite). Verifies the used rows of every assigned column and
+ * returns the fresh fault/uncorrectable census for the new content.
+ * The column map itself is not revisited: remapping is decided once
+ * at manufacturing/load time, as a real spare allocator would.
+ */
+ColumnPlan reprogramColumns(xbar::CrossbarArray &array,
+                            std::span<const int> intended,
+                            std::span<const int> previous, int rows,
+                            int usedRows, int logicalCols,
+                            std::span<const int> colMap);
+
+} // namespace isaac::resilience
+
+#endif // ISAAC_RESILIENCE_REMAP_H

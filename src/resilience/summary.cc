@@ -1,0 +1,37 @@
+#include "resilience/summary.h"
+
+#include <cstdio>
+
+namespace isaac::resilience {
+
+std::string
+ResilienceSummary::toJson() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"stuck_cells\": %lld, \"faulty_cells\": %lld, "
+        "\"remapped_columns\": %lld, \"uncorrectable_cells\": %lld, "
+        "\"program_pulses\": %lld, \"adc_clips\": %llu, "
+        "\"dead_tiles\": %d, \"remapped_servers\": %d, "
+        "\"throughput_retained\": %.4f}",
+        static_cast<long long>(faults.stuckCells),
+        static_cast<long long>(faults.faultyCells),
+        static_cast<long long>(faults.remappedColumns),
+        static_cast<long long>(faults.uncorrectableCells),
+        static_cast<long long>(faults.programPulses),
+        static_cast<unsigned long long>(adcClips), deadTiles,
+        remappedServers, throughputRetained);
+    return buf;
+}
+
+double
+throughputRetained(double nominalInterval, double degradedInterval)
+{
+    if (degradedInterval <= 0.0 || nominalInterval <= 0.0)
+        return 1.0;
+    const double ratio = nominalInterval / degradedInterval;
+    return ratio < 0.0 ? 0.0 : (ratio > 1.0 ? 1.0 : ratio);
+}
+
+} // namespace isaac::resilience

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structured resilience reporting: what the detect -> retry ->
+ * remap -> degrade loop observed, aggregated from per-array fault
+ * reports up to a chip-level summary that benches and downstream
+ * dashboards consume as JSON.
+ */
+
+#ifndef ISAAC_RESILIENCE_SUMMARY_H
+#define ISAAC_RESILIENCE_SUMMARY_H
+
+#include <cstdint>
+#include <string>
+
+namespace isaac::resilience {
+
+/** Fault census of one physical array (or a sum over arrays). */
+struct ArrayFaultReport
+{
+    /** Injected stuck cells present in the array(s). */
+    std::int64_t stuckCells = 0;
+    /** Cells program-verify observed refusing their target. */
+    std::int64_t faultyCells = 0;
+    /** Logical columns moved onto spares. */
+    std::int64_t remappedColumns = 0;
+    /** Mismatching cells left in assigned columns (spares ran out). */
+    std::int64_t uncorrectableCells = 0;
+    /** Write pulses issued by the program-verify loops. */
+    std::int64_t programPulses = 0;
+
+    void
+    merge(const ArrayFaultReport &other)
+    {
+        stuckCells += other.stuckCells;
+        faultyCells += other.faultyCells;
+        remappedColumns += other.remappedColumns;
+        uncorrectableCells += other.uncorrectableCells;
+        programPulses += other.programPulses;
+    }
+
+    bool operator==(const ArrayFaultReport &) const = default;
+};
+
+/**
+ * End-to-end resilience summary of a run: fault handling at the
+ * array level, ADC saturation on the read path, and structural
+ * degradation (dead tiles, migrated work, retained throughput).
+ */
+struct ResilienceSummary
+{
+    ArrayFaultReport faults;
+    /** ADC conversions that clipped (noisy front end). */
+    std::uint64_t adcClips = 0;
+    /** Hard-failed tiles injected into the simulation. */
+    int deadTiles = 0;
+    /** Work units migrated off dead tiles. */
+    int remappedServers = 0;
+    /** Nominal / degraded interval ratio (1.0 = no slowdown). */
+    double throughputRetained = 1.0;
+
+    /** Serialize for dashboards (matches the BENCH_*.json idiom). */
+    std::string toJson() const;
+};
+
+/**
+ * Throughput retained after degradation: nominal over degraded
+ * cycles-per-image, clamped to [0, 1].
+ */
+double throughputRetained(double nominalInterval,
+                          double degradedInterval);
+
+} // namespace isaac::resilience
+
+#endif // ISAAC_RESILIENCE_SUMMARY_H

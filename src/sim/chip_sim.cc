@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <queue>
+#include <set>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -51,17 +52,51 @@ simulateChip(const nn::Network &net,
              const arch::IsaacConfig &cfg, int images,
              int tailCycles)
 {
+    return simulateChip(net, plan, placement, cfg, images,
+                        FailureSpec{}, tailCycles);
+}
+
+ChipSimResult
+simulateChip(const nn::Network &net,
+             const pipeline::PipelinePlan &plan,
+             const pipeline::Placement &placement,
+             const arch::IsaacConfig &cfg, int images,
+             const FailureSpec &failures, int tailCycles)
+{
     if (!plan.fits)
         fatal("simulateChip: the plan does not fit its chips");
     if (images < 1)
         fatal("simulateChip: need at least one image");
 
     const int phases = cfg.engine.phases();
+    const std::set<arch::TileCoord> dead(failures.deadTiles.begin(),
+                                         failures.deadTiles.end());
+
+    // Survivors across the whole placement, in layer order: the
+    // last-resort migration targets for layers that lost every tile.
+    std::vector<arch::TileCoord> anySurvivor;
+    if (!dead.empty()) {
+        std::set<arch::TileCoord> seen;
+        for (std::size_t i = 0; i < net.size(); ++i) {
+            const auto place = placement.layerPlacement(i);
+            if (!place)
+                continue;
+            for (const auto &coord : place->tiles)
+                if (!dead.count(coord) && seen.insert(coord).second)
+                    anySurvivor.push_back(coord);
+        }
+    }
+
+    ChipSimResult result;
+    result.analyticInterval = plan.cyclesPerImage;
+    result.deadTiles = static_cast<int>(dead.size());
 
     // One server per weight copy (an IMA can run several copies
     // concurrently when a copy spans fewer arrays than the ADCs can
     // drain); each copy is pinned to one of the layer's placed
     // tiles round-robin so it contends for that tile's eDRAM/bus.
+    // Copies landing on a dead tile migrate round-robin onto the
+    // layer's surviving tiles, which now serve more work each.
     std::map<arch::TileCoord, TileRes> tiles;
     std::vector<std::vector<Server>> servers(net.size());
     for (std::size_t i = 0; i < net.size(); ++i) {
@@ -71,23 +106,36 @@ simulateChip(const nn::Network &net,
         const auto place = placement.layerPlacement(i);
         if (!place || place->tiles.empty())
             fatal("simulateChip: layer missing from the placement");
+        std::vector<arch::TileCoord> alive;
+        for (const auto &coord : place->tiles)
+            if (!dead.count(coord))
+                alive.push_back(coord);
+        if (alive.empty())
+            alive = anySurvivor;
+        if (alive.empty())
+            fatal("simulateChip: no placed tile survives the "
+                  "failure spec");
         const auto fp = pipeline::layerFootprint(net.layer(i), i,
                                                  cfg);
         std::int64_t copies = net.layer(i).privateKernel
             ? fp.inherentParallelism * lp.replication
             : lp.replication;
         copies = std::min<std::int64_t>(copies, 1 << 14);
+        std::int64_t migrated = 0;
         for (std::int64_t c = 0; c < copies; ++c) {
-            const auto &coord = place->tiles[static_cast<std::size_t>(
+            auto coord = place->tiles[static_cast<std::size_t>(
                 c % static_cast<std::int64_t>(
                         place->tiles.size()))];
+            if (dead.count(coord)) {
+                coord = alive[static_cast<std::size_t>(
+                    migrated++ %
+                    static_cast<std::int64_t>(alive.size()))];
+                ++result.remappedServers;
+            }
             servers[i].push_back(Server{coord, 0, 0});
             tiles.emplace(coord, TileRes(cfg.edramBanks));
         }
     }
-
-    ChipSimResult result;
-    result.analyticInterval = plan.cyclesPerImage;
 
     // Per-layer min-heaps over the servers.
     std::vector<std::priority_queue<Server *,

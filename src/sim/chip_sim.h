@@ -22,6 +22,19 @@
 
 namespace isaac::sim {
 
+/**
+ * Hard structural failures injected into a simulation: tiles that
+ * stopped responding (power gate stuck, broken links, dead IMAs).
+ * Work placed on a dead tile is migrated onto the victim layer's
+ * surviving tiles — or any surviving placed tile when the layer lost
+ * all of its own — and the run completes at degraded throughput
+ * instead of aborting.
+ */
+struct FailureSpec
+{
+    std::vector<arch::TileCoord> deadTiles;
+};
+
 /** Results of a placed chip simulation. */
 struct ChipSimResult
 {
@@ -36,6 +49,10 @@ struct ChipSimResult
     /** Busy fraction of the busiest IMA over the run. */
     double maxImaUtilization = 0.0;
     std::vector<Cycle> imageDone;
+    /** Distinct dead tiles injected via the FailureSpec. */
+    int deadTiles = 0;
+    /** Servers migrated off dead tiles onto survivors. */
+    int remappedServers = 0;
 };
 
 /**
@@ -49,6 +66,19 @@ ChipSimResult simulateChip(const nn::Network &net,
                            const pipeline::PipelinePlan &plan,
                            const pipeline::Placement &placement,
                            const arch::IsaacConfig &cfg, int images,
+                           int tailCycles = 6);
+
+/**
+ * As above with hard tile failures. fatal()s only when no placed
+ * tile survives at all; otherwise the simulation completes and the
+ * caller reads the slowdown off measuredInterval (see
+ * resilience::throughputRetained).
+ */
+ChipSimResult simulateChip(const nn::Network &net,
+                           const pipeline::PipelinePlan &plan,
+                           const pipeline::Placement &placement,
+                           const arch::IsaacConfig &cfg, int images,
+                           const FailureSpec &failures,
                            int tailCycles = 6);
 
 } // namespace isaac::sim

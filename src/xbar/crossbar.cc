@@ -19,27 +19,43 @@ CrossbarArray::CrossbarArray(int rows, int cols, int cellBits)
         fatal("CrossbarArray: cell bits must be in [1, 8]");
 }
 
-void
+int
 CrossbarArray::program(int row, int col, int level)
 {
     if (row < 0 || row >= _rows || col < 0 || col >= _cols)
         fatal("CrossbarArray::program: cell index out of range");
     if (level < 0 || level > maxLevel())
         fatal("CrossbarArray::program: level exceeds cell precision");
+    const int budget = std::max(1, noise.maxProgramPulses);
     const std::size_t idx =
         static_cast<std::size_t>(row) * _cols + col;
     if (stuckLevel[idx] >= 0) {
+        // The device does not respond; the write driver re-pulses
+        // until verify matches or the budget runs out.
         cells[idx] = stuckLevel[idx];
-        return;
+        const int pulses = cells[idx] == level ? 1 : budget;
+        _programPulses += static_cast<std::uint64_t>(pulses);
+        return pulses;
     }
-    int stored = level;
-    if (noise.writeNoiseEnabled()) {
+    if (!noise.writeNoiseEnabled()) {
+        cells[idx] = level;
+        ++_programPulses;
+        return 1;
+    }
+    int pulses = 0;
+    while (pulses < budget) {
+        ++pulses;
         const double err =
             writeRng.gaussian() * noise.writeSigmaLevels;
-        stored = static_cast<int>(std::lround(level + err));
-        stored = std::clamp(stored, 0, maxLevel());
+        const int stored = std::clamp(
+            static_cast<int>(std::lround(level + err)), 0,
+            maxLevel());
+        cells[idx] = stored;
+        if (stored == level)
+            break;
     }
-    cells[idx] = stored;
+    _programPulses += static_cast<std::uint64_t>(pulses);
+    return pulses;
 }
 
 int
@@ -118,20 +134,36 @@ CrossbarArray::readAllBitlines(std::span<const int> inputs,
 }
 
 void
-CrossbarArray::setNoise(const NoiseSpec &spec)
+CrossbarArray::setNoise(const NoiseSpec &spec,
+                        std::uint64_t instanceSalt)
 {
+    if (spec.maxProgramPulses < 1)
+        fatal("NoiseSpec: maxProgramPulses must be >= 1");
     noise = spec;
-    writeRng = Rng(spec.seed ^ 0xD1CEull);
+    // The salt mix keeps salt = 0 on the historical streams.
+    const std::uint64_t salted =
+        spec.seed ^ (0x9E3779B97F4A7C15ull * instanceSalt);
+    writeRng = Rng(salted ^ 0xD1CEull);
     _noiseSeq.store(0, std::memory_order_relaxed);
 
     // (Re)draw the stuck-cell map from a dedicated stream.
     std::fill(stuckLevel.begin(), stuckLevel.end(), -1);
     if (noise.faultsEnabled()) {
-        Rng faultRng(spec.seed ^ 0xFA417ull);
+        Rng faultRng(salted ^ 0xFA417ull);
         for (auto &s : stuckLevel) {
             if (faultRng.uniform01() < noise.stuckAtFraction) {
-                s = static_cast<int>(
-                    faultRng.uniform(0, maxLevel()));
+                switch (noise.stuckMode) {
+                case StuckMode::RandomLevel:
+                    s = static_cast<int>(
+                        faultRng.uniform(0, maxLevel()));
+                    break;
+                case StuckMode::On:
+                    s = maxLevel();
+                    break;
+                case StuckMode::Off:
+                    s = 0;
+                    break;
+                }
             }
         }
         // Cells programmed before the fault map was drawn snap to
@@ -140,6 +172,20 @@ CrossbarArray::setNoise(const NoiseSpec &spec)
             if (stuckLevel[i] >= 0)
                 cells[i] = stuckLevel[i];
     }
+}
+
+void
+CrossbarArray::forceStuck(int row, int col, int level)
+{
+    if (row < 0 || row >= _rows || col < 0 || col >= _cols)
+        fatal("CrossbarArray::forceStuck: cell index out of range");
+    if (level > maxLevel())
+        fatal("CrossbarArray::forceStuck: level exceeds precision");
+    const std::size_t idx =
+        static_cast<std::size_t>(row) * _cols + col;
+    stuckLevel[idx] = level < 0 ? -1 : level;
+    if (level >= 0)
+        cells[idx] = level;
 }
 
 int

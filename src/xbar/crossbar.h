@@ -49,13 +49,17 @@ class CrossbarArray
     int maxLevel() const { return (1 << _cellBits) - 1; }
 
     /**
-     * Program one cell to a conductance level in [0, 2^w - 1].
-     * Under a write-noise / fault model the stored level may differ:
-     * program-verify lands within a Gaussian error of the target,
-     * and stuck cells ignore programming entirely.
+     * Program one cell to a conductance level in [0, 2^w - 1] with a
+     * bounded program-verify loop: pulse, read back, re-pulse until
+     * the stored level matches the target or the NoiseSpec's
+     * maxProgramPulses budget is exhausted. Under write noise each
+     * pulse lands within a Gaussian error of the target; stuck cells
+     * ignore programming entirely and burn the whole budget (which
+     * is how the resilience layer detects them). Returns the number
+     * of pulses issued; callers verify with cell().
      * Not thread-safe against concurrent reads of the same array.
      */
-    void program(int row, int col, int level);
+    int program(int row, int col, int level);
 
     /** Read back a programmed level (test/verification hook). */
     int cell(int row, int col) const;
@@ -89,11 +93,30 @@ class CrossbarArray
      * Configure the non-ideality model. Must be set before
      * programming for write noise / stuck cells to take effect;
      * stuck cells are (re)drawn deterministically from the seed.
+     * `instanceSalt` decorrelates the fault/write streams of arrays
+     * sharing one NoiseSpec (an engine salts each tile with its
+     * index); the default 0 reproduces the historical streams.
      */
-    void setNoise(const NoiseSpec &spec);
+    void setNoise(const NoiseSpec &spec,
+                  std::uint64_t instanceSalt = 0);
 
     /** Number of stuck (unprogrammable) cells. */
     int stuckCells() const;
+
+    /**
+     * Fault-injection hook: freeze one cell at `level` (or heal it
+     * with level = -1), independent of the statistical fault model.
+     * The stored level snaps to the frozen one immediately. Used by
+     * tests and targeted fault campaigns.
+     */
+    void forceStuck(int row, int col, int level);
+
+    /**
+     * Write pulses issued by program() since construction. Lifetime
+     * (manufacturing-time) accounting; resetStats() does not clear
+     * it. Feeds the WriteModel's measured time/energy accounting.
+     */
+    std::uint64_t programPulses() const { return _programPulses; }
 
     /** Number of full-array read cycles performed. */
     std::uint64_t
@@ -119,6 +142,7 @@ class CrossbarArray
     std::vector<int> stuckLevel; ///< -1 = healthy, else frozen level
     NoiseSpec noise;
     Rng writeRng;
+    std::uint64_t _programPulses = 0;
     /** Sequence for standalone single-bitline reads. */
     mutable std::atomic<std::uint64_t> _noiseSeq{0};
     mutable std::atomic<std::uint64_t> _readCycles{0};

@@ -5,6 +5,7 @@
 #include "common/bits.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "resilience/remap.h"
 #include "xbar/encoding.h"
 
 namespace isaac::xbar {
@@ -40,6 +41,10 @@ EngineConfig::validate() const
         fatal("EngineConfig: array narrower than one sliced weight ("
               + std::to_string(slicesPerWeight()) + " columns)");
     }
+    if (spareCols < 0 || spareCols > cols)
+        fatal("EngineConfig: spare columns must be in [0, cols]");
+    if (noise.maxProgramPulses < 1)
+        fatal("EngineConfig: maxProgramPulses must be >= 1");
     if (threads < 0 || threads > kMaxThreads)
         fatal("EngineConfig: thread count must be in [0, " +
               std::to_string(kMaxThreads) + "]");
@@ -49,7 +54,7 @@ BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
                                  std::span<const Word> weights,
                                  int numInputs, int numOutputs)
     : cfg(cfg), _numInputs(numInputs), _numOutputs(numOutputs),
-      unitCol(cfg.cols), adc(cfg.adcBits(), cfg.noise.anyEnabled())
+      adc(cfg.adcBits(), cfg.noise.anyEnabled())
 {
     cfg.validate();
     if (numInputs <= 0 || numOutputs <= 0)
@@ -66,6 +71,7 @@ BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
     tiles.resize(static_cast<std::size_t>(_rowSegments) *
                  _colSegments);
 
+    _tileAdc.assign(tiles.size(), AdcTally{});
     for (int rs = 0; rs < _rowSegments; ++rs) {
         for (int cs = 0; cs < _colSegments; ++cs) {
             auto &t = tile(rs, cs);
@@ -74,10 +80,15 @@ BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
             t.localOutputs =
                 std::min(cfg.outputsPerArray(),
                          numOutputs - cs * cfg.outputsPerArray());
-            // One extra physical column serves as the unit column.
+            // Physical columns: data + configured spares + the unit
+            // column. Each tile's fault/write streams are salted
+            // with its index so arrays fail independently.
             t.array = std::make_unique<CrossbarArray>(
-                cfg.rows, cfg.cols + 1, cfg.cellBits);
-            t.array->setNoise(cfg.noise);
+                cfg.rows, cfg.cols + cfg.spareCols + 1,
+                cfg.cellBits);
+            t.array->setNoise(
+                cfg.noise,
+                static_cast<std::uint64_t>(rs) * _colSegments + cs);
         }
     }
     // Tiles are independent (each owns its array and write RNG), so
@@ -111,16 +122,19 @@ BitSerialEngine::programTile(ArrayTile &t,
                              int rowBase, int outBase)
 {
     const int slices = cfg.slicesPerWeight();
-    const int physCols = cfg.cols + 1;
-    t.flipped.assign(static_cast<std::size_t>(cfg.cols), false);
+    const int dataCols = t.localOutputs * slices;
+    const int logicalCols = dataCols + 1; // + the unit column
+    t.flipped.assign(static_cast<std::size_t>(dataCols), false);
     t.sumBiased.assign(static_cast<std::size_t>(t.localOutputs), 0);
 
-    // Build the intended level matrix: biased digits, then the flip
-    // encoding, then the unit column.
+    // Build the intended level matrix in logical layout: biased
+    // digits, then the flip encoding, then the unit column (a
+    // 1-valued cell in every used row, producing the sum of the
+    // input digits each phase).
     std::vector<int> next(
-        static_cast<std::size_t>(cfg.rows) * physCols, 0);
+        static_cast<std::size_t>(cfg.rows) * logicalCols, 0);
     auto at = [&](int r, int c) -> int & {
-        return next[static_cast<std::size_t>(r) * physCols + c];
+        return next[static_cast<std::size_t>(r) * logicalCols + c];
     };
     for (int o = 0; o < t.localOutputs; ++o) {
         const int k = outBase + o;
@@ -138,7 +152,7 @@ BitSerialEngine::programTile(ArrayTile &t,
     }
     if (cfg.flipEncoding) {
         std::vector<int> levels(static_cast<std::size_t>(t.usedRows));
-        for (int c = 0; c < t.localOutputs * slices; ++c) {
+        for (int c = 0; c < dataCols; ++c) {
             for (int r = 0; r < t.usedRows; ++r)
                 levels[static_cast<std::size_t>(r)] = at(r, c);
             if (shouldFlipColumn(levels, cfg.cellBits)) {
@@ -148,24 +162,40 @@ BitSerialEngine::programTile(ArrayTile &t,
             }
         }
     }
-    // The unit column: a 1-valued cell in every used row, producing
-    // the sum of the input digits each phase.
     for (int r = 0; r < t.usedRows; ++r)
-        at(r, unitCol) = 1;
+        at(r, dataCols) = 1;
 
-    // Differential program-verify: only touch cells whose target
-    // changed since the last programming pass.
+    // First programming pass: fault-aware placement decides which
+    // physical column serves each logical column (identity unless
+    // program-verify flags mismatches and spares are available).
+    // Reprogramming keeps the placement and rewrites differentially.
     std::int64_t writes = 0;
-    const bool fresh = t.intended.empty();
-    for (int r = 0; r < cfg.rows; ++r) {
-        for (int c = 0; c < physCols; ++c) {
-            const std::size_t idx =
-                static_cast<std::size_t>(r) * physCols + c;
-            if (fresh || t.intended[idx] != next[idx]) {
-                t.array->program(r, c, next[idx]);
-                ++writes;
-            }
-        }
+    if (t.colMap.empty()) {
+        std::vector<int> preferred(
+            static_cast<std::size_t>(logicalCols));
+        for (int c = 0; c < dataCols; ++c)
+            preferred[static_cast<std::size_t>(c)] = c;
+        preferred[static_cast<std::size_t>(dataCols)] =
+            cfg.cols + cfg.spareCols;
+        std::vector<int> spares(
+            static_cast<std::size_t>(cfg.spareCols));
+        for (int s = 0; s < cfg.spareCols; ++s)
+            spares[static_cast<std::size_t>(s)] = cfg.cols + s;
+        auto plan = resilience::assignColumns(
+            *t.array, next, cfg.rows, t.usedRows, logicalCols,
+            preferred, spares);
+        t.colMap = std::move(plan.colMap);
+        t.faults = std::move(plan.faults);
+        t.remappedColumns = plan.remappedColumns;
+        t.uncorrectableCells = plan.uncorrectableCells;
+        writes = plan.cellWrites;
+    } else {
+        auto plan = resilience::reprogramColumns(
+            *t.array, next, t.intended, cfg.rows, t.usedRows,
+            logicalCols, t.colMap);
+        t.faults = std::move(plan.faults);
+        t.uncorrectableCells = plan.uncorrectableCells;
+        writes = plan.cellWrites;
     }
     t.intended = std::move(next);
     return writes;
@@ -232,16 +262,27 @@ BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
                 static_cast<std::uint64_t>(p));
         ++part.stats.crossbarReads;
 
+        // Only mapped columns pass through the ADC; spares the
+        // remapper left unused are never sampled. The column map's
+        // last entry is the unit column's physical home.
+        const int dataCols = t.localOutputs * slices;
+        auto &tileTally = part.tileAdc[static_cast<std::size_t>(
+            rs * _colSegments + cs)];
         const Acc unit = adc.quantize(
-            currents[static_cast<std::size_t>(unitCol)], part.adc);
+            currents[static_cast<std::size_t>(
+                t.colMap[static_cast<std::size_t>(dataCols)])],
+            tileTally);
         ++part.stats.adcSamples;
 
         for (int o = 0; o < t.localOutputs; ++o) {
             Acc merged = 0;
             for (int s = 0; s < slices; ++s) {
                 const int c = o * slices + s;
+                const int phys =
+                    t.colMap[static_cast<std::size_t>(c)];
                 Acc v = adc.quantize(
-                    currents[static_cast<std::size_t>(c)], part.adc);
+                    currents[static_cast<std::size_t>(phys)],
+                    tileTally);
                 ++part.stats.adcSamples;
                 if (t.flipped[static_cast<std::size_t>(c)])
                     v = unflipColumnSum(v, unit, cfg.cellBits);
@@ -293,6 +334,7 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
         if (!twosComp)
             part.rawSum.assign(static_cast<std::size_t>(_numOutputs),
                                0);
+        part.tileAdc.assign(tiles.size(), AdcTally{});
     }
 
     parallelFor(tasks, cfg.threads, [&](std::int64_t task, int w) {
@@ -307,7 +349,7 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
     std::vector<Acc> rawSum(std::move(parts[0].rawSum));
     Acc unitTotal = parts[0].unitTotal;
     EngineStats delta = parts[0].stats;
-    AdcTally tally = parts[0].adc;
+    std::vector<AdcTally> tileTally(std::move(parts[0].tileAdc));
     for (std::size_t w = 1; w < parts.size(); ++w) {
         const auto &part = parts[w];
         for (int k = 0; k < _numOutputs; ++k)
@@ -323,8 +365,15 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
         delta.adcSamples += part.stats.adcSamples;
         delta.shiftAdds += part.stats.shiftAdds;
         delta.dacActivations += part.stats.dacActivations;
-        tally.samples += part.adc.samples;
-        tally.clips += part.adc.clips;
+        for (std::size_t i = 0; i < tileTally.size(); ++i) {
+            tileTally[i].samples += part.tileAdc[i].samples;
+            tileTally[i].clips += part.tileAdc[i].clips;
+        }
+    }
+    AdcTally tally;
+    for (const auto &t : tileTally) {
+        tally.samples += t.samples;
+        tally.clips += t.clips;
     }
 
     if (!twosComp) {
@@ -354,8 +403,13 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
         ++_stats.ops;
         _stats.crossbarReads += delta.crossbarReads;
         _stats.adcSamples += delta.adcSamples;
+        _stats.adcClips += tally.clips;
         _stats.shiftAdds += delta.shiftAdds;
         _stats.dacActivations += delta.dacActivations;
+        for (std::size_t i = 0; i < tileTally.size(); ++i) {
+            _tileAdc[i].samples += tileTally[i].samples;
+            _tileAdc[i].clips += tileTally[i].clips;
+        }
     }
     return result;
 }
@@ -379,6 +433,7 @@ BitSerialEngine::resetStats()
     {
         std::lock_guard<std::mutex> lock(statsMutex);
         _stats = EngineStats{};
+        _tileAdc.assign(tiles.size(), AdcTally{});
     }
     adc.resetStats();
     for (auto &t : tiles)
@@ -404,13 +459,59 @@ double
 BitSerialEngine::cellUtilization() const
 {
     const double perArray = static_cast<double>(cfg.rows) *
-        (cfg.cols + 1);
+        (cfg.cols + cfg.spareCols + 1);
     double used = 0;
     for (const auto &t : tiles) {
         used += static_cast<double>(t.usedRows) *
             (t.localOutputs * cfg.slicesPerWeight() + 1);
     }
     return used / (perArray * static_cast<double>(tiles.size()));
+}
+
+resilience::ArrayFaultReport
+BitSerialEngine::faultReport() const
+{
+    resilience::ArrayFaultReport report;
+    for (int rs = 0; rs < _rowSegments; ++rs)
+        for (int cs = 0; cs < _colSegments; ++cs)
+            report.merge(tileFaultReport(rs, cs));
+    return report;
+}
+
+resilience::ArrayFaultReport
+BitSerialEngine::tileFaultReport(int rs, int cs) const
+{
+    const auto &t = tile(rs, cs);
+    resilience::ArrayFaultReport report;
+    report.stuckCells = t.array->stuckCells();
+    report.faultyCells = t.faults.count();
+    report.remappedColumns = t.remappedColumns;
+    report.uncorrectableCells = t.uncorrectableCells;
+    report.programPulses =
+        static_cast<std::int64_t>(t.array->programPulses());
+    return report;
+}
+
+const resilience::FaultMap &
+BitSerialEngine::faultMap(int rs, int cs) const
+{
+    return tile(rs, cs).faults;
+}
+
+AdcTally
+BitSerialEngine::tileAdcTally(int rs, int cs) const
+{
+    std::lock_guard<std::mutex> lock(statsMutex);
+    return _tileAdc[static_cast<std::size_t>(rs) * _colSegments + cs];
+}
+
+std::uint64_t
+BitSerialEngine::programPulses() const
+{
+    std::uint64_t pulses = 0;
+    for (const auto &t : tiles)
+        pulses += t.array->programPulses();
+    return pulses;
 }
 
 } // namespace isaac::xbar

@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "common/types.h"
+#include "resilience/fault_map.h"
+#include "resilience/summary.h"
 #include "xbar/adc.h"
 #include "xbar/crossbar.h"
 #include "xbar/noise.h"
@@ -78,6 +80,16 @@ struct EngineConfig
     NoiseSpec noise;    ///< Analog non-ideality (off by default).
 
     /**
+     * Spare physical columns per array for fault-aware remapping
+     * (in addition to the data columns and the unit column). A
+     * logical weight-slice column whose program-verify readback
+     * mismatches is moved onto a spare; when spares run out the
+     * least-bad column is kept and its mismatches are reported as
+     * uncorrectable (see resilience/remap.h).
+     */
+    int spareCols = 0;
+
+    /**
      * Worker threads for dotProduct() and programming: 0 = one per
      * hardware thread, 1 = serial (reproduces the historical
      * behavior cycle-for-cycle). Results are bit-identical at any
@@ -107,6 +119,7 @@ struct EngineStats
     std::uint64_t ops = 0;           ///< dotProduct() calls.
     std::uint64_t crossbarReads = 0; ///< Physical array read cycles.
     std::uint64_t adcSamples = 0;    ///< ADC conversions.
+    std::uint64_t adcClips = 0;      ///< Conversions that clipped.
     std::uint64_t shiftAdds = 0;     ///< Digital merge operations.
     std::uint64_t dacActivations = 0; ///< Row-digit presentations.
 };
@@ -172,14 +185,42 @@ class BitSerialEngine
     /** Fraction of cells in the allocated arrays holding weights. */
     double cellUtilization() const;
 
+    /** Aggregate fault census across the engine's arrays. */
+    resilience::ArrayFaultReport faultReport() const;
+
+    /** Fault census of one tile's array. */
+    resilience::ArrayFaultReport tileFaultReport(int rs,
+                                                 int cs) const;
+
+    /**
+     * Fault map the latest programming pass detected on one tile's
+     * array (physical coordinates, used rows only). Deterministic
+     * per (seed, geometry) at any thread count.
+     */
+    const resilience::FaultMap &faultMap(int rs, int cs) const;
+
+    /**
+     * Per-tile ADC activity (samples and clips), consistent with
+     * stats() under concurrent dotProduct() calls.
+     */
+    AdcTally tileAdcTally(int rs, int cs) const;
+
+    /** Write pulses issued by all programming passes (lifetime). */
+    std::uint64_t programPulses() const;
+
   private:
     struct ArrayTile
     {
         std::unique_ptr<CrossbarArray> array;
-        std::vector<bool> flipped;  ///< Per data column.
+        std::vector<bool> flipped;  ///< Per logical data column.
         std::vector<Acc> sumBiased; ///< Per local output: sum of U.
-        std::vector<int> intended;  ///< Target levels (differential
+        std::vector<int> intended;  ///< Target levels in *logical*
+                                    ///< layout (differential
                                     ///< reprogramming baseline).
+        std::vector<int> colMap;    ///< Logical -> physical column.
+        resilience::FaultMap faults; ///< Latest pass's detections.
+        int remappedColumns = 0;
+        int uncorrectableCells = 0;
         int usedRows = 0;
         int localOutputs = 0;
     };
@@ -192,7 +233,7 @@ class BitSerialEngine
         Acc unitTotal = 0;
         std::vector<int> digits;  ///< Scratch input-digit buffer.
         EngineStats stats;
-        AdcTally adc;
+        std::vector<AdcTally> tileAdc; ///< ADC activity per tile.
     };
 
     ArrayTile &tile(int rs, int cs);
@@ -217,13 +258,14 @@ class BitSerialEngine
     int _numOutputs;
     int _rowSegments;
     int _colSegments;
-    int unitCol; ///< Physical index of the unit column (== cfg.cols).
     std::vector<ArrayTile> tiles; ///< rowSegments x colSegments.
     Adc adc;
     /** dotProduct() call counter; keys the per-call noise stream. */
     mutable std::atomic<std::uint64_t> _opSeq{0};
     mutable std::mutex statsMutex;
     mutable EngineStats _stats;
+    /** Per-tile ADC tallies (guarded by statsMutex). */
+    mutable std::vector<AdcTally> _tileAdc;
 };
 
 } // namespace isaac::xbar

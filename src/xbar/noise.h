@@ -9,10 +9,15 @@
  *
  *  - *read noise*: additive Gaussian current noise per bitline
  *    sample (sigmaLsb, in units of one cell-conductance LSB);
- *  - *write variation*: program-verify converges to within a
- *    Gaussian error of the target level (writeSigmaLevels);
+ *  - *write variation*: each program pulse lands within a Gaussian
+ *    error of the target level (writeSigmaLevels); program-verify
+ *    re-pulses until the readback matches, bounded by
+ *    maxProgramPulses;
  *  - *stuck cells*: a fraction of cells whose conductance cannot be
- *    changed (fabrication defects), frozen at a random level.
+ *    changed (fabrication defects). The frozen level follows the
+ *    RxNN fault taxonomy: stuck-at-ON (a low-resistance short, the
+ *    cell reads 2^w - 1), stuck-at-OFF (an open device, the cell
+ *    reads 0), or frozen at a random level.
  *
  * All default to off, making the data path exact.
  */
@@ -24,17 +29,36 @@
 
 namespace isaac::xbar {
 
+/** What level a fabrication-defect cell is frozen at. */
+enum class StuckMode
+{
+    RandomLevel, ///< Frozen at a uniformly random level.
+    On,          ///< Low-resistance short: frozen at 2^w - 1.
+    Off,         ///< Open device: frozen at 0.
+};
+
 /** Analog non-ideality specification. */
 struct NoiseSpec
 {
     /** Read-noise standard deviation in bitline LSBs; 0 disables. */
     double sigmaLsb = 0.0;
 
-    /** Programming error sigma in cell-level units; 0 disables. */
+    /** Per-pulse programming error sigma in levels; 0 disables. */
     double writeSigmaLevels = 0.0;
 
-    /** Fraction of cells stuck at a random level; 0 disables. */
+    /** Fraction of cells stuck (fabrication defects); 0 disables. */
     double stuckAtFraction = 0.0;
+
+    /** Frozen-level model for stuck cells. */
+    StuckMode stuckMode = StuckMode::RandomLevel;
+
+    /**
+     * Program-verify retry bound: pulses issued per cell before the
+     * write driver gives up and reports the cell faulty. With write
+     * noise each pulse redraws its error; a stuck cell burns the
+     * whole budget. Must be >= 1.
+     */
+    int maxProgramPulses = 8;
 
     /** Seed for the deterministic noise streams. */
     std::uint64_t seed = 0x15AAC;

@@ -25,6 +25,29 @@ WriteModel::cellsEnergyJ(std::int64_t cells) const
 }
 
 double
+WriteModel::pulsesSeconds(std::int64_t pulses) const
+{
+    if (pulseNs <= 0)
+        fatal("WriteModel: parameters must be positive");
+    return static_cast<double>(pulses) * pulseNs * 1e-9;
+}
+
+double
+WriteModel::pulsesEnergyJ(std::int64_t pulses) const
+{
+    return static_cast<double>(pulses) * pulseEnergyPj * 1e-12;
+}
+
+double
+WriteModel::measuredPulsesPerCell(std::int64_t pulses,
+                                  std::int64_t cells) const
+{
+    if (cells <= 0)
+        return pulsesPerCell;
+    return static_cast<double>(pulses) / static_cast<double>(cells);
+}
+
+double
 WriteModel::programSeconds(const arch::IsaacConfig &cfg,
                            std::int64_t xbars, int chips) const
 {

@@ -40,6 +40,26 @@ struct WriteModel
     double cellsEnergyJ(std::int64_t cells) const;
 
     /**
+     * Seconds of write-driver occupancy for a *measured* pulse count
+     * (the program-verify loop's actual retries, e.g. from
+     * BitSerialEngine::programPulses()), replacing the fixed
+     * pulsesPerCell estimate. Pulses within one wordline write are
+     * assumed serialized on the driver.
+     */
+    double pulsesSeconds(std::int64_t pulses) const;
+
+    /** Joules for a measured pulse count. */
+    double pulsesEnergyJ(std::int64_t pulses) const;
+
+    /**
+     * Observed program-verify iterations per cell from measured
+     * counters; falls back to the static pulsesPerCell estimate when
+     * nothing was written.
+     */
+    double measuredPulsesPerCell(std::int64_t pulses,
+                                 std::int64_t cells) const;
+
+    /**
      * Seconds to program `xbars` arrays on `chips` chips of `cfg`
      * (all IMAs program concurrently, arrays within an IMA
      * serialize on the write driver).

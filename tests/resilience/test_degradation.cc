@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Graceful-degradation tests: hard tile failures migrate work onto
+ * survivors and the simulation completes with a reported slowdown;
+ * the structured resilience summary carries the full census.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/accelerator.h"
+#include "nn/zoo.h"
+#include "pipeline/perf.h"
+#include "resilience/summary.h"
+#include "sim/chip_sim.h"
+
+namespace isaac {
+namespace {
+
+arch::IsaacConfig
+smallConfig()
+{
+    auto cfg = arch::IsaacConfig::isaacCE();
+    cfg.tilesPerChip = 2;
+    return cfg;
+}
+
+struct Setup
+{
+    nn::Network net;
+    pipeline::PipelinePlan plan;
+    pipeline::Placement placement;
+};
+
+Setup
+makeSetup(const arch::IsaacConfig &cfg)
+{
+    auto net = nn::tinyCnn();
+    auto plan = pipeline::planPipeline(net, cfg, 1);
+    auto placement = pipeline::Placement::build(net, plan, cfg);
+    return Setup{std::move(net), std::move(plan),
+                 std::move(placement)};
+}
+
+/** Every distinct tile the placement uses, in layer order. */
+std::vector<arch::TileCoord>
+placedTiles(const Setup &s)
+{
+    std::vector<arch::TileCoord> tiles;
+    for (std::size_t i = 0; i < s.net.size(); ++i) {
+        const auto place = s.placement.layerPlacement(i);
+        if (!place)
+            continue;
+        for (const auto &coord : place->tiles) {
+            bool seen = false;
+            for (const auto &t : tiles)
+                seen = seen || t == coord;
+            if (!seen)
+                tiles.push_back(coord);
+        }
+    }
+    return tiles;
+}
+
+TEST(Degradation, EmptyFailureSpecMatchesNominalRun)
+{
+    const auto cfg = smallConfig();
+    const auto s = makeSetup(cfg);
+    const auto nominal =
+        sim::simulateChip(s.net, s.plan, s.placement, cfg, 6);
+    const auto spec = sim::simulateChip(s.net, s.plan, s.placement,
+                                        cfg, 6, sim::FailureSpec{});
+    EXPECT_EQ(nominal.lastImageDone, spec.lastImageDone);
+    EXPECT_EQ(nominal.measuredInterval, spec.measuredInterval);
+    EXPECT_EQ(spec.deadTiles, 0);
+    EXPECT_EQ(spec.remappedServers, 0);
+}
+
+TEST(Degradation, DeadTileCompletesWithReportedSlowdown)
+{
+    const auto cfg = smallConfig();
+    const auto s = makeSetup(cfg);
+    const auto tiles = placedTiles(s);
+    ASSERT_GE(tiles.size(), 2u)
+        << "need a multi-tile placement to kill one tile";
+
+    const auto nominal =
+        sim::simulateChip(s.net, s.plan, s.placement, cfg, 8);
+
+    sim::FailureSpec failures;
+    failures.deadTiles.push_back(tiles.front());
+    const auto degraded = sim::simulateChip(
+        s.net, s.plan, s.placement, cfg, 8, failures);
+
+    // The run completes (no panic), work moved off the victim, and
+    // the survivors serve more load so no image finishes earlier.
+    EXPECT_EQ(degraded.deadTiles, 1);
+    EXPECT_GT(degraded.remappedServers, 0);
+    EXPECT_EQ(degraded.imageDone.size(), 8u);
+    EXPECT_GE(degraded.lastImageDone, nominal.lastImageDone);
+
+    const double retained = resilience::throughputRetained(
+        nominal.measuredInterval, degraded.measuredInterval);
+    EXPECT_GT(retained, 0.0);
+    EXPECT_LE(retained, 1.0);
+}
+
+TEST(Degradation, AllTilesDeadIsFatal)
+{
+    const auto cfg = smallConfig();
+    const auto s = makeSetup(cfg);
+    sim::FailureSpec failures;
+    failures.deadTiles = placedTiles(s);
+    EXPECT_THROW(sim::simulateChip(s.net, s.plan, s.placement, cfg,
+                                   2, failures),
+                 FatalError);
+}
+
+TEST(Degradation, SummaryJsonCarriesEveryField)
+{
+    resilience::ResilienceSummary summary;
+    summary.faults.stuckCells = 12;
+    summary.faults.faultyCells = 9;
+    summary.faults.remappedColumns = 3;
+    summary.faults.uncorrectableCells = 2;
+    summary.faults.programPulses = 4096;
+    summary.adcClips = 7;
+    summary.deadTiles = 1;
+    summary.remappedServers = 5;
+    summary.throughputRetained = 0.75;
+
+    const std::string json = summary.toJson();
+    for (const char *key :
+         {"\"stuck_cells\": 12", "\"faulty_cells\": 9",
+          "\"remapped_columns\": 3", "\"uncorrectable_cells\": 2",
+          "\"program_pulses\": 4096", "\"adc_clips\": 7",
+          "\"dead_tiles\": 1", "\"remapped_servers\": 5",
+          "\"throughput_retained\": 0.75"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Degradation, ThroughputRetainedClampsAndHandlesZero)
+{
+    EXPECT_DOUBLE_EQ(resilience::throughputRetained(100.0, 200.0),
+                     0.5);
+    EXPECT_DOUBLE_EQ(resilience::throughputRetained(100.0, 50.0),
+                     1.0);
+    EXPECT_DOUBLE_EQ(resilience::throughputRetained(0.0, 10.0), 1.0);
+    EXPECT_DOUBLE_EQ(resilience::throughputRetained(10.0, 0.0), 1.0);
+}
+
+TEST(Degradation, CompiledModelReportsFaultCensus)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 4242);
+    arch::IsaacConfig cfg;
+    cfg.engine.spareCols = 2;
+    cfg.engine.noise.stuckAtFraction = 0.005;
+    cfg.engine.noise.seed = 99;
+    core::Accelerator acc(cfg);
+    const auto model = acc.compile(net, weights, {});
+
+    const auto report = model.faultReport();
+    EXPECT_GT(report.stuckCells, 0);
+    EXPECT_GT(report.programPulses, 0);
+    // Detection only sees faults under live content: never more
+    // faulty cells than stuck ones exist.
+    EXPECT_LE(report.faultyCells,
+              report.stuckCells * 2); // probes may visit spares too
+    EXPECT_GE(report.uncorrectableCells, 0);
+
+    const auto summary = model.resilienceSummary();
+    EXPECT_EQ(summary.faults, report);
+    const auto stats = model.engineStats();
+    EXPECT_EQ(summary.adcClips, stats.adcClips);
+}
+
+TEST(Degradation, CleanModelHasEmptyCensus)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 1);
+    core::Accelerator acc;
+    const auto model = acc.compile(net, weights, {});
+    const auto report = model.faultReport();
+    EXPECT_EQ(report.stuckCells, 0);
+    EXPECT_EQ(report.faultyCells, 0);
+    EXPECT_EQ(report.remappedColumns, 0);
+    EXPECT_EQ(report.uncorrectableCells, 0);
+    EXPECT_GT(report.programPulses, 0); // clean writes still pulse
+    EXPECT_EQ(model.resilienceSummary().adcClips, 0u);
+}
+
+} // namespace
+} // namespace isaac

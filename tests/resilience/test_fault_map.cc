@@ -1,0 +1,111 @@
+/**
+ * @file
+ * FaultMap tests: recording semantics, march-test extraction against
+ * the statistical fault model, and per-seed determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "resilience/fault_map.h"
+
+namespace isaac::resilience {
+namespace {
+
+TEST(FaultMap, RecordsAndQueriesCells)
+{
+    FaultMap map(8, 4);
+    EXPECT_EQ(map.count(), 0);
+    EXPECT_FALSE(map.faulty(3, 2));
+    EXPECT_EQ(map.frozenLevel(3, 2), -1);
+
+    map.add(3, 2, 1);
+    map.add(0, 2, 3);
+    map.add(7, 0, 0);
+    EXPECT_EQ(map.count(), 3);
+    EXPECT_TRUE(map.faulty(3, 2));
+    EXPECT_EQ(map.frozenLevel(3, 2), 1);
+    EXPECT_EQ(map.countInColumn(2), 2);
+    EXPECT_EQ(map.countInColumn(1), 0);
+
+    // Entries come back sorted row-major.
+    const auto &entries = map.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0], (FaultEntry{0, 2, 3}));
+    EXPECT_EQ(entries[1], (FaultEntry{3, 2, 1}));
+    EXPECT_EQ(entries[2], (FaultEntry{7, 0, 0}));
+
+    // Re-recording a cell updates its frozen level, not the count.
+    map.add(3, 2, 2);
+    EXPECT_EQ(map.count(), 3);
+    EXPECT_EQ(map.frozenLevel(3, 2), 2);
+}
+
+TEST(FaultMap, EqualityComparesContent)
+{
+    FaultMap a(4, 4), b(4, 4);
+    EXPECT_EQ(a, b);
+    a.add(1, 1, 2);
+    EXPECT_NE(a, b);
+    b.add(1, 1, 2);
+    EXPECT_EQ(a, b);
+    b.add(1, 1, 3); // same cell, different frozen level
+    EXPECT_NE(a, b);
+}
+
+TEST(FaultMap, RejectsOutOfRangeCells)
+{
+    FaultMap map(4, 4);
+    EXPECT_THROW(map.add(4, 0, 1), FatalError);
+    EXPECT_THROW(map.add(0, -1, 1), FatalError);
+    EXPECT_THROW(map.frozenLevel(0, 4), FatalError);
+}
+
+TEST(FaultMap, MarchTestFindsEveryStuckCell)
+{
+    // Every frozen level fails at least one of the two rails, so the
+    // march census must equal the injected stuck-cell count exactly,
+    // and each entry must report the true frozen level.
+    xbar::CrossbarArray xb(64, 32, 2);
+    xbar::NoiseSpec spec;
+    spec.stuckAtFraction = 0.05;
+    spec.seed = 21;
+    xb.setNoise(spec);
+    ASSERT_GT(xb.stuckCells(), 0);
+
+    const auto map = extractFaultMap(xb);
+    EXPECT_EQ(map.count(), xb.stuckCells());
+    for (const auto &e : map.entries()) {
+        // A stuck cell keeps its frozen level whatever we program.
+        xb.program(e.row, e.col, 0);
+        EXPECT_EQ(xb.cell(e.row, e.col), e.frozenLevel);
+    }
+}
+
+TEST(FaultMap, MarchTestOnCleanArrayIsEmpty)
+{
+    xbar::CrossbarArray xb(32, 16, 2);
+    const auto map = extractFaultMap(xb);
+    EXPECT_EQ(map.count(), 0);
+}
+
+TEST(FaultMap, DeterministicPerSeedAndSalt)
+{
+    auto extract = [](std::uint64_t seed, std::uint64_t salt) {
+        xbar::CrossbarArray xb(64, 16, 2);
+        xbar::NoiseSpec spec;
+        spec.stuckAtFraction = 0.03;
+        spec.seed = seed;
+        xb.setNoise(spec, salt);
+        return extractFaultMap(xb);
+    };
+    // Same (seed, salt) reproduces the identical map; changing
+    // either decorrelates the fault positions.
+    EXPECT_EQ(extract(5, 0), extract(5, 0));
+    EXPECT_EQ(extract(5, 3), extract(5, 3));
+    EXPECT_NE(extract(5, 0), extract(6, 0));
+    EXPECT_NE(extract(5, 0), extract(5, 1));
+}
+
+} // namespace
+} // namespace isaac::resilience

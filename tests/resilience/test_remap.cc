@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Spare-column remapping tests: placement on healthy and defective
+ * arrays, graceful reporting when spares run out, engine-level
+ * bit-exactness whenever the spares suffice, and pulse-based write
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "resilience/remap.h"
+#include "xbar/engine.h"
+#include "xbar/write_model.h"
+
+namespace isaac::resilience {
+namespace {
+
+/** rows x logicalCols target levels with a distinctive pattern. */
+std::vector<int>
+patternLevels(int rows, int logicalCols, int maxLevel)
+{
+    std::vector<int> v(static_cast<std::size_t>(rows) * logicalCols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < logicalCols; ++c)
+            v[static_cast<std::size_t>(r) * logicalCols + c] =
+                (r + 2 * c) % (maxLevel + 1);
+    return v;
+}
+
+TEST(Remap, HealthyArrayKeepsPreferredColumns)
+{
+    xbar::CrossbarArray xb(16, 8, 2);
+    const int logicalCols = 5;
+    const auto intended = patternLevels(16, logicalCols, 3);
+    const std::vector<int> preferred{0, 1, 2, 3, 7};
+    const std::vector<int> spares{5, 6};
+
+    const auto plan = assignColumns(xb, intended, 16, 16,
+                                    logicalCols, preferred, spares);
+    EXPECT_EQ(plan.colMap, preferred);
+    EXPECT_EQ(plan.remappedColumns, 0);
+    EXPECT_EQ(plan.uncorrectableCells, 0);
+    EXPECT_EQ(plan.faults.count(), 0);
+    EXPECT_EQ(plan.cellWrites, 16 * logicalCols);
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < logicalCols; ++c)
+            EXPECT_EQ(xb.cell(r, plan.colMap[
+                          static_cast<std::size_t>(c)]),
+                      intended[static_cast<std::size_t>(r) *
+                                   logicalCols +
+                               c]);
+}
+
+TEST(Remap, DefectiveColumnMovesToSpare)
+{
+    xbar::CrossbarArray xb(16, 8, 2);
+    const int logicalCols = 4;
+    const auto intended = patternLevels(16, logicalCols, 3);
+    // Freeze a cell in preferred column 2 at a level its content
+    // never wants there.
+    const int want =
+        intended[static_cast<std::size_t>(5) * logicalCols + 2];
+    xb.forceStuck(5, 2, (want + 1) % 4);
+
+    const std::vector<int> preferred{0, 1, 2, 3};
+    const std::vector<int> spares{6, 7};
+    const auto plan = assignColumns(xb, intended, 16, 16,
+                                    logicalCols, preferred, spares);
+    EXPECT_EQ(plan.colMap[2], 6);
+    EXPECT_EQ(plan.remappedColumns, 1);
+    EXPECT_EQ(plan.uncorrectableCells, 0);
+    // The probe of the bad column recorded the frozen cell.
+    EXPECT_TRUE(plan.faults.faulty(5, 2));
+    // Stored content through the map is bit-exact.
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < logicalCols; ++c)
+            EXPECT_EQ(xb.cell(r, plan.colMap[
+                          static_cast<std::size_t>(c)]),
+                      intended[static_cast<std::size_t>(r) *
+                                   logicalCols +
+                               c]);
+}
+
+TEST(Remap, ContentAwareStuckCellNeedsNoSpare)
+{
+    // A stuck cell frozen at exactly the level the column wants is
+    // not a mismatch: the preferred column is kept and no spare is
+    // consumed (the content-aware observation of RxNN).
+    xbar::CrossbarArray xb(16, 8, 2);
+    const int logicalCols = 3;
+    const auto intended = patternLevels(16, logicalCols, 3);
+    xb.forceStuck(
+        4, 1, intended[static_cast<std::size_t>(4) * logicalCols + 1]);
+
+    const std::vector<int> preferred{0, 1, 2};
+    const std::vector<int> spares{6};
+    const auto plan = assignColumns(xb, intended, 16, 16,
+                                    logicalCols, preferred, spares);
+    EXPECT_EQ(plan.colMap, preferred);
+    EXPECT_EQ(plan.remappedColumns, 0);
+    EXPECT_EQ(plan.uncorrectableCells, 0);
+}
+
+TEST(Remap, SparesExhaustedReportsUncorrectable)
+{
+    xbar::CrossbarArray xb(16, 8, 2);
+    const int logicalCols = 3;
+    const auto intended = patternLevels(16, logicalCols, 3);
+    auto freezeOff = [&](int r, int c) {
+        xb.forceStuck(
+            r, c,
+            (intended[static_cast<std::size_t>(r) * logicalCols + c] +
+             1) %
+                4);
+    };
+    // Columns 0 and 1 are both defective (two bad cells vs one), but
+    // only one spare exists: the worse column takes it, the other
+    // keeps its least-bad assignment and reports the residue.
+    freezeOff(2, 0);
+    freezeOff(9, 0);
+    freezeOff(3, 1);
+
+    const std::vector<int> preferred{0, 1, 2};
+    const std::vector<int> spares{7};
+    const auto plan = assignColumns(xb, intended, 16, 16,
+                                    logicalCols, preferred, spares);
+    // Column 0 is probed first and wins the spare; column 1 finds it
+    // consumed and stays put with one uncorrectable cell.
+    EXPECT_EQ(plan.colMap[0], 7);
+    EXPECT_EQ(plan.colMap[1], 1);
+    EXPECT_EQ(plan.remappedColumns, 1);
+    EXPECT_EQ(plan.uncorrectableCells, 1);
+}
+
+TEST(Remap, DefectsBelowUsedRowsAreIgnored)
+{
+    // Rows past usedRows are never read, so defects there must not
+    // consume spares.
+    xbar::CrossbarArray xb(16, 8, 2);
+    const int logicalCols = 2;
+    const auto intended = patternLevels(16, logicalCols, 3);
+    xb.forceStuck(
+        12, 0,
+        (intended[static_cast<std::size_t>(12) * logicalCols] + 1) %
+            4);
+
+    const std::vector<int> preferred{0, 1};
+    const std::vector<int> spares{6};
+    const auto plan = assignColumns(xb, intended, 16, /*usedRows=*/8,
+                                    logicalCols, preferred, spares);
+    EXPECT_EQ(plan.colMap, preferred);
+    EXPECT_EQ(plan.uncorrectableCells, 0);
+}
+
+TEST(Remap, ReprogramKeepsMapAndRecountsFaults)
+{
+    xbar::CrossbarArray xb(8, 6, 2);
+    const int logicalCols = 3;
+    const auto first = patternLevels(8, logicalCols, 3);
+    const std::vector<int> preferred{0, 1, 2};
+    const std::vector<int> spares{5};
+    const auto plan = assignColumns(xb, first, 8, 8, logicalCols,
+                                    preferred, spares);
+
+    // New content; a cell that was fine before is now frozen wrong.
+    auto second = first;
+    for (auto &v : second)
+        v = (v + 1) % 4;
+    xb.forceStuck(
+        1, 1,
+        (second[static_cast<std::size_t>(1) * logicalCols + 1] + 2) %
+            4);
+    const auto re = reprogramColumns(xb, second, first, 8, 8,
+                                     logicalCols, plan.colMap);
+    EXPECT_EQ(re.colMap, plan.colMap); // placement never revisited
+    EXPECT_EQ(re.uncorrectableCells, 1);
+    EXPECT_TRUE(re.faults.faulty(1, 1));
+    // Unchanged-target cells are skipped: every target changed here,
+    // so the differential rewrite touches all cells once.
+    EXPECT_EQ(re.cellWrites, 8 * logicalCols);
+}
+
+TEST(Remap, EngineBitExactWheneverSparesSuffice)
+{
+    // The acceptance sweep: 1% stuck cells, 2 spare columns. Over a
+    // pool of seeds some arrays are fully correctable and some are
+    // not; whenever the remapper reports zero uncorrectable cells
+    // the faulty engine must match the clean engine bit for bit, and
+    // otherwise the residue must be reported per tile.
+    Rng rng(4242);
+    const int n = 24, m = 2;
+    std::vector<Word> weights(static_cast<std::size_t>(n) * m);
+    for (auto &w : weights)
+        w = static_cast<Word>(rng.uniform(-32768, 32767));
+    std::vector<std::vector<Word>> probes;
+    for (int i = 0; i < 3; ++i) {
+        probes.emplace_back(static_cast<std::size_t>(n));
+        for (auto &x : probes.back())
+            x = static_cast<Word>(rng.uniform(-32768, 32767));
+    }
+
+    xbar::BitSerialEngine clean(xbar::EngineConfig{}, weights, n, m);
+    std::vector<std::vector<Acc>> expected;
+    for (const auto &probe : probes)
+        expected.push_back(clean.dotProduct(probe));
+
+    int correctable = 0, uncorrectable = 0, remapped = 0;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        xbar::EngineConfig cfg;
+        cfg.spareCols = 2;
+        cfg.noise.stuckAtFraction = 0.01;
+        cfg.noise.seed = seed;
+        xbar::BitSerialEngine faulty(cfg, weights, n, m);
+        const auto report = faulty.faultReport();
+        remapped += static_cast<int>(report.remappedColumns);
+        if (report.uncorrectableCells == 0) {
+            ++correctable;
+            for (std::size_t i = 0; i < probes.size(); ++i)
+                EXPECT_EQ(faulty.dotProduct(probes[i]), expected[i])
+                    << "seed " << seed;
+        } else {
+            ++uncorrectable;
+            // The per-tile census accounts for every residual cell.
+            std::int64_t perTile = 0;
+            for (int rs = 0; rs < faulty.rowSegments(); ++rs)
+                for (int cs = 0; cs < faulty.colSegments(); ++cs)
+                    perTile += faulty.tileFaultReport(rs, cs)
+                                   .uncorrectableCells;
+            EXPECT_EQ(perTile, report.uncorrectableCells);
+        }
+    }
+    // The pool must exercise both branches and actually use spares.
+    EXPECT_GT(correctable, 0);
+    EXPECT_GT(uncorrectable, 0);
+    EXPECT_GT(remapped, 0);
+}
+
+TEST(Remap, SparesRecoverAccuracyOverNoSpares)
+{
+    // With the same fault pattern, spare columns can only reduce the
+    // number of cells left off-target.
+    Rng rng(77);
+    const int n = 96, m = 6;
+    std::vector<Word> weights(static_cast<std::size_t>(n) * m);
+    for (auto &w : weights)
+        w = static_cast<Word>(rng.uniform(-32768, 32767));
+
+    std::int64_t residue[2] = {0, 0};
+    for (int pass = 0; pass < 2; ++pass) {
+        xbar::EngineConfig cfg;
+        cfg.spareCols = pass == 0 ? 0 : 4;
+        cfg.noise.stuckAtFraction = 0.02;
+        cfg.noise.seed = 11;
+        xbar::BitSerialEngine eng(cfg, weights, n, m);
+        residue[pass] = eng.faultReport().uncorrectableCells;
+    }
+    EXPECT_GT(residue[0], 0);
+    EXPECT_LT(residue[1], residue[0]);
+}
+
+TEST(Remap, PulseAccountingFeedsWriteModel)
+{
+    // Stuck cells burn the whole program-verify budget, so the
+    // measured pulses-per-cell rises above the clean 1.0 and the
+    // WriteModel's measured-cost methods scale linearly with it.
+    xbar::EngineConfig cfg;
+    cfg.noise.stuckAtFraction = 0.02;
+    cfg.noise.seed = 3;
+    Rng rng(8);
+    const int n = 64, m = 4;
+    std::vector<Word> weights(static_cast<std::size_t>(n) * m);
+    for (auto &w : weights)
+        w = static_cast<Word>(rng.uniform(-32768, 32767));
+    xbar::BitSerialEngine eng(cfg, weights, n, m);
+
+    const auto report = eng.faultReport();
+    EXPECT_EQ(report.programPulses,
+              static_cast<std::int64_t>(eng.programPulses()));
+    EXPECT_GT(report.programPulses, 0);
+
+    xbar::WriteModel wm;
+    const double perCell = wm.measuredPulsesPerCell(
+        report.programPulses, report.programPulses);
+    EXPECT_DOUBLE_EQ(perCell, 1.0);
+    // A clean engine issues exactly one pulse per written cell; the
+    // faulty one retries, so its measured energy/time exceed the
+    // same cell count at one pulse each.
+    xbar::BitSerialEngine ideal(xbar::EngineConfig{}, weights, n, m);
+    EXPECT_GT(eng.programPulses(), ideal.programPulses());
+    EXPECT_GT(wm.pulsesEnergyJ(static_cast<std::int64_t>(
+                  eng.programPulses())),
+              wm.pulsesEnergyJ(static_cast<std::int64_t>(
+                  ideal.programPulses())));
+    EXPECT_GT(wm.pulsesSeconds(static_cast<std::int64_t>(
+                  eng.programPulses())),
+              0.0);
+    // With no written cells the measured estimate falls back to the
+    // static parameter.
+    EXPECT_DOUBLE_EQ(wm.measuredPulsesPerCell(0, 0),
+                     wm.pulsesPerCell);
+}
+
+} // namespace
+} // namespace isaac::resilience

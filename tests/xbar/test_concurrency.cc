@@ -33,6 +33,7 @@ expectStatsEqual(const EngineStats &a, const EngineStats &b)
     EXPECT_EQ(a.ops, b.ops);
     EXPECT_EQ(a.crossbarReads, b.crossbarReads);
     EXPECT_EQ(a.adcSamples, b.adcSamples);
+    EXPECT_EQ(a.adcClips, b.adcClips);
     EXPECT_EQ(a.shiftAdds, b.shiftAdds);
     EXPECT_EQ(a.dacActivations, b.dacActivations);
 }
@@ -169,6 +170,87 @@ TEST(Concurrency, ResetStatsClearsEveryCounter)
     fresh.dotProduct(probe);
     expectStatsEqual(eng.stats(), fresh.stats());
     EXPECT_EQ(eng.readCycles(), fresh.readCycles());
+}
+
+TEST(Concurrency, FaultMapAndRemapAreThreadCountInvariant)
+{
+    // Fault detection and spare-column assignment run inside the
+    // parallel programming pass, but each tile's work is serial and
+    // its streams are keyed by tile index — so the FaultMap, the
+    // column maps' effects, and noisy outputs must be identical at
+    // any thread count.
+    Rng rng(606);
+    const int n = 300, m = 48; // 3 x 2 tiles at the default geometry
+    const auto weights = randomWords(rng, n * m);
+    std::vector<std::vector<Word>> probes;
+    for (int i = 0; i < 4; ++i)
+        probes.push_back(randomWords(rng, n));
+
+    EngineConfig base;
+    base.spareCols = 2;
+    base.noise.stuckAtFraction = 0.01;
+    base.noise.seed = 99;
+
+    EngineConfig serialCfg = base;
+    serialCfg.threads = 1;
+    BitSerialEngine serial(serialCfg, weights, n, m);
+
+    for (int threads : {2, 4, 8}) {
+        EngineConfig parCfg = base;
+        parCfg.threads = threads;
+        BitSerialEngine par(parCfg, weights, n, m);
+        for (int rs = 0; rs < serial.rowSegments(); ++rs) {
+            for (int cs = 0; cs < serial.colSegments(); ++cs) {
+                EXPECT_EQ(serial.faultMap(rs, cs),
+                          par.faultMap(rs, cs))
+                    << "tile " << rs << "," << cs << " at "
+                    << threads << " threads";
+                EXPECT_EQ(serial.tileFaultReport(rs, cs),
+                          par.tileFaultReport(rs, cs));
+            }
+        }
+        EXPECT_EQ(serial.faultReport(), par.faultReport());
+        EXPECT_EQ(serial.programPulses(), par.programPulses());
+        for (const auto &probe : probes)
+            EXPECT_EQ(serial.dotProduct(probe),
+                      par.dotProduct(probe))
+                << threads << " threads";
+    }
+}
+
+TEST(Concurrency, PerTileAdcTalliesMergeExactly)
+{
+    // The per-tile ADC split must sum to the engine totals whether
+    // the phases ran serially or in parallel.
+    Rng rng(707);
+    const int n = 256, m = 32;
+    const auto weights = randomWords(rng, n * m);
+
+    EngineConfig cfg;
+    cfg.noise.sigmaLsb = 2.0;
+    cfg.noise.seed = 13;
+    cfg.threads = 4;
+    BitSerialEngine eng(cfg, weights, n, m);
+    for (int i = 0; i < 3; ++i)
+        eng.dotProduct(randomWords(rng, n));
+
+    std::uint64_t samples = 0, clips = 0;
+    for (int rs = 0; rs < eng.rowSegments(); ++rs) {
+        for (int cs = 0; cs < eng.colSegments(); ++cs) {
+            const auto tally = eng.tileAdcTally(rs, cs);
+            samples += tally.samples;
+            clips += tally.clips;
+        }
+    }
+    const auto stats = eng.stats();
+    EXPECT_EQ(samples, stats.adcSamples);
+    EXPECT_EQ(clips, stats.adcClips);
+    EXPECT_EQ(clips, eng.adcClips());
+
+    // resetStats() clears the per-tile split and the clip counter.
+    eng.resetStats();
+    EXPECT_EQ(eng.stats().adcClips, 0u);
+    EXPECT_EQ(eng.tileAdcTally(0, 0).samples, 0u);
 }
 
 TEST(Concurrency, ReprogramKeepsParallelPathExact)

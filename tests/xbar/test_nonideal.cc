@@ -15,9 +15,12 @@ namespace {
 
 TEST(WriteNoise, PerturbsStoredLevels)
 {
+    // A single open-loop pulse (no verify retries) leaves a healthy
+    // fraction of cells off-target at sigma 0.6.
     CrossbarArray xb(64, 4, 2);
     NoiseSpec spec;
     spec.writeSigmaLevels = 0.6;
+    spec.maxProgramPulses = 1;
     spec.seed = 5;
     xb.setNoise(spec);
     int offTarget = 0;
@@ -30,6 +33,43 @@ TEST(WriteNoise, PerturbsStoredLevels)
     }
     EXPECT_GT(offTarget, 5);
     EXPECT_LT(offTarget, 60);
+}
+
+TEST(WriteNoise, ProgramVerifyRetriesConverge)
+{
+    // With the default pulse budget the program-verify loop lands
+    // nearly every healthy cell on target even at high sigma, at the
+    // cost of extra pulses that the lifetime counter records.
+    CrossbarArray xb(64, 4, 2);
+    NoiseSpec spec;
+    spec.writeSigmaLevels = 0.6;
+    spec.seed = 5;
+    xb.setNoise(spec);
+    ASSERT_EQ(spec.maxProgramPulses, 8);
+    int offTarget = 0;
+    std::uint64_t pulses = 0;
+    for (int r = 0; r < 64; ++r) {
+        pulses += static_cast<std::uint64_t>(xb.program(r, 0, 2));
+        offTarget += xb.cell(r, 0) != 2;
+    }
+    EXPECT_LT(offTarget, 3); // ~0.4^8 residual per cell
+    // Retries happened (more pulses than cells) and the array-level
+    // counter saw every one of them.
+    EXPECT_GT(pulses, 64u);
+    EXPECT_EQ(xb.programPulses(), pulses);
+}
+
+TEST(WriteNoise, CleanWritesTakeOnePulse)
+{
+    CrossbarArray xb(16, 2, 2);
+    NoiseSpec spec; // all off
+    xb.setNoise(spec);
+    for (int r = 0; r < 16; ++r)
+        EXPECT_EQ(xb.program(r, 0, 3), 1);
+    EXPECT_EQ(xb.programPulses(), 16u);
+    // Lifetime accounting: resetStats() does not clear write pulses.
+    xb.resetStats();
+    EXPECT_EQ(xb.programPulses(), 16u);
 }
 
 TEST(WriteNoise, ZeroSigmaIsExact)
@@ -69,6 +109,62 @@ TEST(StuckCells, IgnoreProgramming)
     // Some stuck cells may happen to be frozen at 3.
     EXPECT_GT(frozen, stuck / 2);
     EXPECT_LE(frozen, stuck);
+}
+
+TEST(StuckCells, StuckAtOnAndOffModes)
+{
+    // The RxNN fault taxonomy: stuck-at-ON freezes at the maximum
+    // conductance, stuck-at-OFF at zero. Same seed, same fault
+    // *positions*, different frozen levels.
+    auto build = [](StuckMode mode) {
+        auto xb = std::make_unique<CrossbarArray>(64, 16, 2);
+        NoiseSpec spec;
+        spec.stuckAtFraction = 0.1;
+        spec.stuckMode = mode;
+        spec.seed = 77;
+        xb->setNoise(spec);
+        return xb;
+    };
+    const auto on = build(StuckMode::On);
+    const auto off = build(StuckMode::Off);
+    ASSERT_EQ(on->stuckCells(), off->stuckCells());
+    ASSERT_GT(on->stuckCells(), 0);
+    int frozenOn = 0, frozenOff = 0;
+    for (int r = 0; r < 64; ++r) {
+        for (int c = 0; c < 16; ++c) {
+            // Program to mid-level; frozen cells refuse it.
+            on->program(r, c, 1);
+            off->program(r, c, 1);
+            if (on->cell(r, c) != 1) {
+                EXPECT_EQ(on->cell(r, c), 3);
+                ++frozenOn;
+            }
+            if (off->cell(r, c) != 1) {
+                EXPECT_EQ(off->cell(r, c), 0);
+                ++frozenOff;
+            }
+        }
+    }
+    EXPECT_EQ(frozenOn, on->stuckCells());
+    EXPECT_EQ(frozenOff, off->stuckCells());
+}
+
+TEST(StuckCells, BurnTheFullPulseBudget)
+{
+    CrossbarArray xb(8, 8, 2);
+    NoiseSpec spec;
+    spec.maxProgramPulses = 6;
+    xb.setNoise(spec);
+    xb.forceStuck(3, 4, 2);
+    // Programming a stuck cell to a different level exhausts the
+    // retry budget; to its frozen level, verify passes first try.
+    EXPECT_EQ(xb.program(3, 4, 0), 6);
+    EXPECT_EQ(xb.program(3, 4, 2), 1);
+    EXPECT_EQ(xb.cell(3, 4), 2);
+    // Healing restores normal single-pulse writes.
+    xb.forceStuck(3, 4, -1);
+    EXPECT_EQ(xb.program(3, 4, 0), 1);
+    EXPECT_EQ(xb.cell(3, 4), 0);
 }
 
 TEST(StuckCells, MapIsDeterministicPerSeed)
