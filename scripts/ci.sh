@@ -2,9 +2,12 @@
 # CI gate: build + full test suite, then rebuild the concurrency-
 # sensitive subsystems under ThreadSanitizer and rerun their suites,
 # then under AddressSanitizer for the pointer-heavy fault-handling
-# paths. TSan proves the BitSerialEngine thread-safety contract
-# (docs/threading.md) rather than trusting code review; ASan guards
-# the resilience layer's column remapping and fault-map indexing.
+# paths, then under UBSan for the transient-error layer's checksum /
+# backoff / ECC bit arithmetic. TSan proves the BitSerialEngine
+# thread-safety contract (docs/threading.md) rather than trusting
+# code review; ASan guards the resilience layer's column remapping
+# and fault-map indexing; UBSan guards the shift/modulo-heavy
+# detect-and-retry machinery.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,5 +42,26 @@ export ASAN_OPTIONS="halt_on_error=1 abort_on_error=1"
 ./build-asan/tests/test_xbar
 ./build-asan/tests/test_sim
 ./build-asan/tests/test_resilience
+
+echo "== ASan: transient-error campaigns (ABFT / ECC / NoC retry) =="
+./build-asan/tests/test_xbar \
+    --gtest_filter='Abft.*:Drift.*:Concurrency.Transient*'
+./build-asan/tests/test_noc --gtest_filter='Crc.*:Packet.*:Ecc.*'
+./build-asan/tests/test_core --gtest_filter='TransientE2e.*'
+
+echo "== UndefinedBehaviorSanitizer build =="
+cmake -B build-ubsan -S . -DISAAC_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j \
+    --target test_xbar test_noc test_resilience test_sim test_core \
+    >/dev/null
+
+echo "== UBSan: transient-error campaigns + host suites =="
+export UBSAN_OPTIONS="halt_on_error=1 abort_on_error=1 \
+print_stacktrace=1"
+./build-ubsan/tests/test_xbar
+./build-ubsan/tests/test_noc
+./build-ubsan/tests/test_resilience
+./build-ubsan/tests/test_sim
+./build-ubsan/tests/test_core --gtest_filter='TransientE2e.*'
 
 echo "ci.sh: all green"

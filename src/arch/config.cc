@@ -91,6 +91,7 @@ IsaacConfig::validate() const
         fatal("IsaacConfig: rates must be positive");
     if (edramKBPerTile < 1 || busBits < 8)
         fatal("IsaacConfig: buffer/bus sizes too small");
+    transient.validate();
 }
 
 IsaacConfig

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "resilience/health.h"
 #include "xbar/engine.h"
 
 namespace isaac::arch {
@@ -49,6 +50,13 @@ struct IsaacConfig
     int htLinks = 4;             ///< Off-chip HyperTransport links.
     double htLinkGBps = 6.4;     ///< Bandwidth per link.
     double cmeshLinkGBps = 4.0;  ///< 32-bit c-mesh link at 1 GHz.
+
+    /**
+     * Transient-error injection rates and recovery budgets for the
+     * buffers and the NoC (crossbar-side drift/ABFT knobs live in
+     * engine.noise / engine). All off by default.
+     */
+    resilience::TransientSpec transient;
 
     /**
      * Crossbars per IMA that can actually be in flight, given the

@@ -1,0 +1,103 @@
+#include "arch/ecc.h"
+
+namespace isaac::arch {
+
+namespace {
+
+/** Is Hamming position p (1-based) a check-bit position? */
+constexpr bool
+isCheckPos(int p)
+{
+    return (p & (p - 1)) == 0; // power of two
+}
+
+} // namespace
+
+std::uint32_t
+eccEncode(std::uint16_t data)
+{
+    // Scatter the data bits over the non-power-of-two positions.
+    std::uint32_t code = 0;
+    int d = 0;
+    for (int p = 1; p <= 21; ++p) {
+        if (isCheckPos(p))
+            continue;
+        if ((data >> d) & 1u)
+            code |= 1u << (p - 1);
+        ++d;
+    }
+    // Each check bit covers the positions whose index has its bit
+    // set; computing it as the XOR of the covered positions makes
+    // the syndrome of a single flip equal that flip's position.
+    for (int k = 0; (1 << k) <= 21; ++k) {
+        std::uint32_t parity = 0;
+        for (int p = 1; p <= 21; ++p) {
+            if (p != (1 << k) && (p & (1 << k)))
+                parity ^= (code >> (p - 1)) & 1u;
+        }
+        if (parity)
+            code |= 1u << ((1 << k) - 1);
+    }
+    // Overall parity over the 21 Hamming bits extends SEC to SECDED.
+    std::uint32_t overall = 0;
+    for (int p = 1; p <= 21; ++p)
+        overall ^= (code >> (p - 1)) & 1u;
+    if (overall)
+        code |= 1u << 21;
+    return code;
+}
+
+namespace {
+
+std::uint16_t
+extractData(std::uint32_t code)
+{
+    std::uint16_t data = 0;
+    int d = 0;
+    for (int p = 1; p <= 21; ++p) {
+        if (isCheckPos(p))
+            continue;
+        if ((code >> (p - 1)) & 1u)
+            data |= static_cast<std::uint16_t>(1u << d);
+        ++d;
+    }
+    return data;
+}
+
+} // namespace
+
+EccOutcome
+eccDecode(std::uint32_t code, std::uint16_t &data)
+{
+    int syndrome = 0;
+    for (int p = 1; p <= 21; ++p) {
+        if ((code >> (p - 1)) & 1u)
+            syndrome ^= p;
+    }
+    std::uint32_t overall = 0;
+    for (int p = 1; p <= 22; ++p)
+        overall ^= (code >> (p - 1)) & 1u;
+
+    if (syndrome == 0 && overall == 0) {
+        data = extractData(code);
+        return EccOutcome::Clean;
+    }
+    if (overall != 0) {
+        // Odd number of flips: assume one. syndrome == 0 means the
+        // overall parity bit itself flipped; otherwise it names the
+        // flipped Hamming position.
+        if (syndrome > 21) {
+            data = extractData(code);
+            return EccOutcome::Uncorrectable;
+        }
+        if (syndrome != 0)
+            code ^= 1u << (syndrome - 1);
+        data = extractData(code);
+        return EccOutcome::Corrected;
+    }
+    // Even parity with a non-zero syndrome: two flips.
+    data = extractData(code);
+    return EccOutcome::Uncorrectable;
+}
+
+} // namespace isaac::arch

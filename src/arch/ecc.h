@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SECDED (22,16) Hamming code for the eDRAM tile buffer and the
+ * output registers.
+ *
+ * Every 16-bit data word the tile buffer or an OR holds is stored
+ * with 5 Hamming check bits plus an overall parity bit — the classic
+ * single-error-correct / double-error-detect extension. Decode
+ * outcomes:
+ *
+ *  - syndrome 0, parity even:  clean word;
+ *  - parity odd:               exactly one bit flipped (possibly the
+ *                              parity bit itself) — corrected;
+ *  - syndrome != 0, parity even: two bits flipped — detected but
+ *                              uncorrectable; the owner recomputes
+ *                              the word from its producer.
+ *
+ * The codec is pure combinational logic (no state), so the transient
+ * layer can run it on any thread. Layout: Hamming positions 1..21
+ * with check bits at the power-of-two positions 1, 2, 4, 8, 16 and
+ * data bits filling the rest; the overall parity occupies bit 22.
+ */
+
+#ifndef ISAAC_ARCH_ECC_H
+#define ISAAC_ARCH_ECC_H
+
+#include <cstdint>
+
+namespace isaac::arch {
+
+/** Bits in one SECDED codeword protecting a 16-bit data word. */
+inline constexpr int kEccCodeBits = 22;
+
+/** Check bits added per 16-bit word (5 Hamming + overall parity). */
+inline constexpr int kEccCheckBits = kEccCodeBits - 16;
+
+/** What decoding a codeword found. */
+enum class EccOutcome
+{
+    Clean,         ///< No error.
+    Corrected,     ///< Single-bit error fixed in place.
+    Uncorrectable, ///< Double-bit error: data cannot be trusted.
+};
+
+/** Encode a 16-bit word into a 22-bit SECDED codeword. */
+std::uint32_t eccEncode(std::uint16_t data);
+
+/**
+ * Decode a possibly corrupted codeword. On Clean or Corrected the
+ * recovered data word lands in `data`; on Uncorrectable `data` is
+ * the best-effort extraction and must be recomputed by the caller.
+ */
+EccOutcome eccDecode(std::uint32_t code, std::uint16_t &data);
+
+} // namespace isaac::arch
+
+#endif // ISAAC_ARCH_ECC_H

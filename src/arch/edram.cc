@@ -1,0 +1,57 @@
+#include "arch/edram.h"
+
+#include "arch/ecc.h"
+#include "common/rng.h"
+
+namespace isaac::arch {
+
+void
+protectedPass(std::span<Word> words, double flipRate,
+              std::uint64_t streamKey,
+              const resilience::TransientSpec &spec,
+              resilience::TransientStats &stats)
+{
+    stats.eccWords += words.size();
+    if (flipRate <= 0.0)
+        return;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const auto original =
+            static_cast<std::uint16_t>(words[i]);
+        std::uint32_t code = eccEncode(original);
+        // One Rng per (seed, transfer, word): the flip pattern is a
+        // pure function of logical coordinates.
+        Rng rng(spec.seed +
+                0x9E3779B97F4A7C15ull *
+                    (streamKey * 0x100000001B3ull + i + 1));
+        int flips = 0;
+        for (int b = 0; b < kEccCodeBits; ++b) {
+            if (rng.uniform01() < flipRate) {
+                code ^= 1u << b;
+                ++flips;
+            }
+        }
+        if (flips == 0)
+            continue;
+        stats.eccBitFlips += static_cast<std::uint64_t>(flips);
+        std::uint16_t decoded = 0;
+        switch (eccDecode(code, decoded)) {
+        case EccOutcome::Clean:
+            break;
+        case EccOutcome::Corrected:
+            ++stats.eccSingles;
+            break;
+        case EccOutcome::Uncorrectable:
+            ++stats.eccDoubles;
+            // The producer still holds the result: recompute the
+            // word exactly, charging the replay penalty.
+            ++stats.eccRecomputedWords;
+            stats.eccRecomputeCycles +=
+                static_cast<std::uint64_t>(spec.recomputeCycles);
+            decoded = original;
+            break;
+        }
+        words[i] = static_cast<Word>(decoded);
+    }
+}
+
+} // namespace isaac::arch

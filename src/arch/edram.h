@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ECC-protected buffer passes for the 64KB eDRAM tile buffer and the
+ * 3KB output registers.
+ *
+ * Every activation word that transits a tile buffer or an OR is held
+ * as a SECDED (22,16) codeword (arch/ecc.h). This module models one
+ * *pass* through such a buffer: encode, inject bit flips at the
+ * configured rate, decode, and recover:
+ *
+ *  - singles are corrected in place (free);
+ *  - doubles are detected and the word is *recomputed from its
+ *    producer* — the dot-product result still lives upstream, so
+ *    recovery is exact at a cost of TransientSpec::recomputeCycles
+ *    per word.
+ *
+ * Both recovery paths restore the exact word, which is what lets the
+ * acceptance test demand bit-identical end-to-end output with
+ * injection enabled. Determinism: each word's flip draw is keyed by
+ * (seed, streamKey, word index) — logical coordinates, never
+ * execution order — so any thread count produces the same flips,
+ * corrections, and counters.
+ */
+
+#ifndef ISAAC_ARCH_EDRAM_H
+#define ISAAC_ARCH_EDRAM_H
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+#include "resilience/health.h"
+
+namespace isaac::arch {
+
+/**
+ * Pass `words` through a SECDED-protected buffer with per-bit flip
+ * probability `flipRate`, correcting or recomputing as needed and
+ * accumulating into `stats`. `streamKey` identifies the logical
+ * transfer (layer, buffer kind, image) so repeated runs and any
+ * thread interleaving replay the same error pattern. `spec` supplies
+ * the seed and the recompute penalty. No-op (beyond the word count)
+ * when flipRate is 0.
+ */
+void protectedPass(std::span<Word> words, double flipRate,
+                   std::uint64_t streamKey,
+                   const resilience::TransientSpec &spec,
+                   resilience::TransientStats &stats);
+
+} // namespace isaac::arch
+
+#endif // ISAAC_ARCH_EDRAM_H

@@ -1,9 +1,24 @@
 #include "core/accelerator.h"
 
+#include "arch/edram.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "noc/packet.h"
 
 namespace isaac::core {
+
+namespace {
+
+/** Stream key of one logical transfer: (image, layer, buffer). */
+std::uint64_t
+transferKey(std::uint64_t imageKey, std::size_t layer, int kind)
+{
+    return (imageKey << 24) +
+        (static_cast<std::uint64_t>(layer) << 8) +
+        static_cast<std::uint64_t>(kind);
+}
+
+} // namespace
 
 Accelerator::Accelerator(arch::IsaacConfig cfg) : cfg(cfg)
 {
@@ -100,21 +115,58 @@ CompiledModel::runDotLayer(std::size_t layerIdx,
 }
 
 std::vector<nn::Tensor>
-CompiledModel::inferAll(const nn::Tensor &input) const
+CompiledModel::inferAllKeyed(const nn::Tensor &input,
+                             std::uint64_t imageKey) const
 {
     if (!opts.functional || !poolExec) {
         fatal("infer: model was compiled with functional = false");
     }
+    const auto &spec = cfg.transient;
+    resilience::TransientStats local;
     std::vector<nn::Tensor> outs;
     nn::Tensor cur = input;
     for (std::size_t i = 0; i < net.size(); ++i) {
-        if (net.layer(i).isDotProduct())
+        if (net.layer(i).isDotProduct()) {
+            // A dot layer's activations stage through the tile's
+            // eDRAM buffer on the way in and the output registers
+            // on the way out; both are SECDED-protected passes.
+            if (spec.eccEnabled()) {
+                arch::protectedPass(cur.raw(), spec.edramFlipRate,
+                                    transferKey(imageKey, i, 0),
+                                    spec, local);
+            }
             cur = runDotLayer(i, cur);
-        else
+            if (spec.eccEnabled()) {
+                arch::protectedPass(cur.raw(), spec.orFlipRate,
+                                    transferKey(imageKey, i, 1),
+                                    spec, local);
+            }
+            if (spec.nocEnabled()) {
+                // The layer's output ships to its consumers over
+                // the c-mesh as CRC-tagged packets. The functional
+                // model scopes the corruption budget per transfer;
+                // persistent per-link state (and the migration a
+                // dead link triggers) is the chip simulator's job.
+                noc::LinkState link;
+                noc::sendTransfer(
+                    static_cast<std::int64_t>(cur.size()),
+                    transferKey(imageKey, i, 2), spec, link, local);
+            }
+        } else {
             cur = poolExec->runLayer(i, cur);
+        }
         outs.push_back(cur);
     }
+    if (spec.anyEnabled())
+        health.add(local);
     return outs;
+}
+
+std::vector<nn::Tensor>
+CompiledModel::inferAll(const nn::Tensor &input) const
+{
+    return inferAllKeyed(
+        input, _imageSeq.fetch_add(1, std::memory_order_relaxed));
 }
 
 nn::Tensor
@@ -128,12 +180,19 @@ std::vector<nn::Tensor>
 CompiledModel::inferBatch(const std::vector<nn::Tensor> &inputs) const
 {
     // Images in a batch are functionally independent (the hardware
-    // pipeline keeps several in flight); run them concurrently.
+    // pipeline keeps several in flight); run them concurrently. The
+    // batch claims a contiguous block of image keys up front so the
+    // injection streams follow batch order, not completion order.
+    const std::uint64_t base = _imageSeq.fetch_add(
+        inputs.size(), std::memory_order_relaxed);
     std::vector<nn::Tensor> outs(inputs.size());
     parallelFor(static_cast<std::int64_t>(inputs.size()),
                 cfg.threads(), [&](std::int64_t i, int) {
                     outs[static_cast<std::size_t>(i)] =
-                        infer(inputs[static_cast<std::size_t>(i)]);
+                        inferAllKeyed(
+                            inputs[static_cast<std::size_t>(i)],
+                            base + static_cast<std::uint64_t>(i))
+                            .back();
                 });
     return outs;
 }
@@ -186,12 +245,35 @@ CompiledModel::faultReport() const
     return report;
 }
 
+resilience::TransientStats
+CompiledModel::transientStats() const
+{
+    auto total = health.snapshot();
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            total.merge(e->transientStats());
+    return total;
+}
+
+void
+CompiledModel::resetStats()
+{
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            e->resetStats();
+    health.reset();
+    // Rewind the image counter so replayed workloads key the same
+    // injection streams (the engines rewind their own sequences).
+    _imageSeq.store(0, std::memory_order_relaxed);
+}
+
 resilience::ResilienceSummary
 CompiledModel::resilienceSummary() const
 {
     resilience::ResilienceSummary summary;
     summary.faults = faultReport();
     summary.adcClips = adcClips();
+    summary.transient = transientStats();
     return summary;
 }
 

@@ -19,12 +19,14 @@
 #ifndef ISAAC_CORE_ACCELERATOR_H
 #define ISAAC_CORE_ACCELERATOR_H
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "arch/config.h"
 #include "nn/reference.h"
 #include "pipeline/perf.h"
+#include "resilience/health.h"
 #include "xbar/engine.h"
 
 namespace isaac::core {
@@ -87,10 +89,26 @@ class CompiledModel
     resilience::ArrayFaultReport faultReport() const;
 
     /**
+     * Transient-error counters rolled up across the whole stack:
+     * the engines' ABFT/refresh activity plus the buffer-ECC and
+     * NoC-retry activity the inference paths fed the health monitor.
+     * Deterministic per seed and identical at any thread count.
+     */
+    resilience::TransientStats transientStats() const;
+
+    /**
+     * Zero every activity counter (engine stats, ADC tallies,
+     * transient counters) and rewind the deterministic noise/drift
+     * sequences, so a replayed workload reports exactly what a
+     * freshly compiled model would.
+     */
+    void resetStats();
+
+    /**
      * Structured resilience summary of the functional model: the
-     * fault census plus ADC saturation. Structural degradation
-     * fields (dead tiles, migrated servers) are filled by the chip
-     * simulator, not here.
+     * fault census, ADC saturation, and the transient-error roll-up.
+     * Structural degradation fields (dead tiles, migrated servers)
+     * are filled by the chip simulator, not here.
      */
     resilience::ResilienceSummary resilienceSummary() const;
 
@@ -102,6 +120,15 @@ class CompiledModel
 
     nn::Tensor runDotLayer(std::size_t layerIdx,
                            const nn::Tensor &input) const;
+
+    /**
+     * inferAll with an explicit image key: the key (not execution
+     * order) seeds the transient-injection streams, so batch runs
+     * replay identically at any thread count.
+     */
+    std::vector<nn::Tensor> inferAllKeyed(const nn::Tensor &input,
+                                          std::uint64_t imageKey)
+        const;
 
     const nn::Network &net;
     const nn::WeightStore &weights;
@@ -115,6 +142,10 @@ class CompiledModel
     /** engines[layer][windowGroup]; one group for shared kernels. */
     std::vector<std::vector<std::unique_ptr<xbar::BitSerialEngine>>>
         engines;
+    /** Roll-up of buffer-ECC / NoC-retry activity. */
+    mutable resilience::HealthMonitor health;
+    /** Logical image counter keying the injection streams. */
+    mutable std::atomic<std::uint64_t> _imageSeq{0};
 };
 
 /** Entry point: a configured ISAAC system. */

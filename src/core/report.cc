@@ -69,6 +69,24 @@ formatIsaacPerf(const nn::Network &net,
 }
 
 std::string
+runReportJson(const CompiledModel &model)
+{
+    const auto &perf = model.perf();
+    const auto stats = model.engineStats();
+    std::string out = "{";
+    out += line("\"network\": \"%s\", ",
+                model.network().name().c_str());
+    out += line("\"images_per_sec\": %.1f, ", perf.imagesPerSec);
+    out += line("\"functional_arrays\": %d, ",
+                model.functionalArrays());
+    out += line("\"ops\": %llu, ",
+                static_cast<unsigned long long>(stats.ops));
+    out += "\"resilience\": " + model.resilienceSummary().toJson();
+    out += "}";
+    return out;
+}
+
+std::string
 formatDdnPerf(const nn::Network &net, const baseline::DdnPerf &perf)
 {
     if (!perf.fits) {

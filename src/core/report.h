@@ -9,6 +9,7 @@
 #include <string>
 
 #include "baseline/dadiannao_perf.h"
+#include "core/accelerator.h"
 #include "energy/catalog.h"
 #include "nn/network.h"
 #include "pipeline/perf.h"
@@ -30,6 +31,16 @@ std::string formatIsaacPerf(const nn::Network &net,
 /** Multi-line DaDianNao performance report. */
 std::string formatDdnPerf(const nn::Network &net,
                           const baseline::DdnPerf &perf);
+
+/**
+ * Machine-readable run report of a functional model: the network,
+ * throughput headline, and the full resilience summary (fault
+ * census including uncorrectable cells, ADC clips, and every
+ * transient-error counter). Built from the same
+ * CompiledModel::resilienceSummary() the dashboards read, so the
+ * top-level report and faultReport() can never disagree.
+ */
+std::string runReportJson(const CompiledModel &model);
 
 } // namespace isaac::core
 

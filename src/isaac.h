@@ -22,6 +22,8 @@
 
 #include "arch/chip.h"
 #include "arch/config.h"
+#include "arch/ecc.h"
+#include "arch/edram.h"
 #include "arch/sigmoid.h"
 #include "baseline/dadiannao_perf.h"
 #include "core/accelerator.h"
@@ -35,7 +37,9 @@
 #include "nn/reference.h"
 #include "nn/weights_io.h"
 #include "nn/zoo.h"
+#include "noc/packet.h"
 #include "noc/traffic.h"
+#include "resilience/health.h"
 #include "pipeline/buffer.h"
 #include "pipeline/perf.h"
 #include "pipeline/placement.h"

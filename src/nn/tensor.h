@@ -48,6 +48,9 @@ class Tensor
     /** Raw storage (channel-major). */
     const std::vector<Word> &raw() const { return data; }
 
+    /** Mutable raw storage (ECC buffer passes rewrite in place). */
+    std::vector<Word> &raw() { return data; }
+
   private:
     int _channels;
     int _rows;

@@ -1,0 +1,100 @@
+#include "noc/packet.h"
+
+#include "common/bits.h"
+#include "common/rng.h"
+
+namespace isaac::noc {
+
+std::uint32_t
+crc32(std::span<const std::uint8_t> bytes)
+{
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::uint8_t b : bytes) {
+        crc ^= b;
+        for (int k = 0; k < 8; ++k)
+            crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+    return ~crc;
+}
+
+std::uint32_t
+crc32Words(std::span<const Word> words)
+{
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (Word w : words) {
+        const auto u = static_cast<std::uint16_t>(w);
+        for (std::uint8_t b :
+             {static_cast<std::uint8_t>(u & 0xFF),
+              static_cast<std::uint8_t>(u >> 8)}) {
+            crc ^= b;
+            for (int k = 0; k < 8; ++k)
+                crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+        }
+    }
+    return ~crc;
+}
+
+TransferResult
+sendTransfer(std::int64_t wordCount, std::uint64_t streamKey,
+             const resilience::TransientSpec &spec, LinkState &link,
+             resilience::TransientStats &stats)
+{
+    TransferResult out;
+    if (wordCount <= 0)
+        return out;
+    const auto packets = static_cast<std::uint64_t>(
+        ceilDiv(wordCount, spec.wordsPerPacket));
+    out.packets = packets;
+    if (!spec.nocEnabled() || link.dead) {
+        // Exact channel (or one the caller is about to abandon):
+        // every packet ships once, nothing to retry.
+        stats.packetsSent += packets;
+        return out;
+    }
+    for (std::uint64_t p = 0; p < packets; ++p) {
+        for (int attempt = 0;; ++attempt) {
+            ++stats.packetsSent;
+            // Corruption is a pure function of
+            // (seed, transfer, packet, attempt).
+            Rng rng(spec.seed +
+                    0x9E3779B97F4A7C15ull *
+                        (streamKey * 0x100000001B3ull +
+                         p * 0x10001ull +
+                         static_cast<std::uint64_t>(attempt) + 1));
+            const bool corrupted =
+                rng.uniform01() < spec.packetCorruptRate;
+            if (!corrupted)
+                break; // CRC matched: delivered exactly.
+            ++stats.packetsCorrupted;
+            if (++link.corrupted > spec.linkRetryBudget &&
+                !link.dead) {
+                link.dead = true;
+                out.linkDied = true;
+                ++stats.deadLinks;
+            }
+            if (attempt >= spec.maxPacketRetries) {
+                // Budget exhausted: the payload is re-sourced from
+                // the producer (counted, data still exact).
+                ++stats.packetsUncorrected;
+                break;
+            }
+            ++stats.packetsRetransmitted;
+            const std::uint64_t backoff =
+                static_cast<std::uint64_t>(spec.packetBackoffCycles)
+                << attempt;
+            stats.packetBackoffCycles += backoff;
+            out.backoffCycles += backoff;
+            if (link.dead)
+                break; // Remaining packets reroute after migration.
+        }
+        if (link.dead) {
+            // The rest of the transfer ships on the migrated route
+            // (exact channel from this transfer's point of view).
+            stats.packetsSent += packets - p - 1;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace isaac::noc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CRC-tagged packet transport for the c-mesh and HyperTransport
+ * links.
+ *
+ * Inter-tile activation traffic travels in fixed-size packets
+ * (TransientSpec::wordsPerPacket 16-bit words) carrying a CRC32 tag.
+ * A receiver that sees a CRC mismatch drops the packet and the
+ * sender retransmits after an exponential backoff
+ * (packetBackoffCycles << attempt), up to maxPacketRetries times.
+ * Because corruption is *detected* (never silently consumed), every
+ * delivered packet is exact; a packet that exhausts its retries is
+ * counted uncorrected and the payload is re-sourced from the
+ * producer, so the data path stays bit-exact either way.
+ *
+ * Each link additionally keeps a corruption budget
+ * (linkRetryBudget): a link that accumulates more corrupted
+ * transmissions than the budget is declared dead, and the chip
+ * simulator migrates its traffic exactly like a dead tile (PR 2's
+ * tile-kill path).
+ *
+ * Determinism: the corruption draw for (transfer, packet, attempt)
+ * is a pure function of the spec seed and those logical coordinates,
+ * so any execution order reproduces the same corruption pattern,
+ * retry counts, and backoff cycles.
+ */
+
+#ifndef ISAAC_NOC_PACKET_H
+#define ISAAC_NOC_PACKET_H
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+#include "resilience/health.h"
+
+namespace isaac::noc {
+
+/** CRC32 (reflected, poly 0xEDB88320) over a byte span. */
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/** CRC32 of a 16-bit word payload (the packet tag). */
+std::uint32_t crc32Words(std::span<const Word> words);
+
+/** Per-link protocol state (corruption budget, liveness). */
+struct LinkState
+{
+    int corrupted = 0; ///< Corrupted transmissions seen so far.
+    bool dead = false; ///< Budget exhausted: traffic must migrate.
+};
+
+/** Outcome of shipping one logical transfer over a link. */
+struct TransferResult
+{
+    std::uint64_t packets = 0;       ///< Payload packets shipped.
+    std::uint64_t backoffCycles = 0; ///< Retransmit stall cycles.
+    bool linkDied = false; ///< Budget ran out during this transfer.
+};
+
+/**
+ * Ship `wordCount` words over `link` as CRC-tagged packets with
+ * retransmit-and-backoff, accumulating into `stats`. `streamKey`
+ * identifies the logical transfer; the corruption draw for each
+ * (packet, attempt) is keyed by it. A dead link still reports its
+ * packet count (the caller migrates and re-sends elsewhere) but
+ * injects no further corruption.
+ */
+TransferResult sendTransfer(std::int64_t wordCount,
+                            std::uint64_t streamKey,
+                            const resilience::TransientSpec &spec,
+                            LinkState &link,
+                            resilience::TransientStats &stats);
+
+} // namespace isaac::noc
+
+#endif // ISAAC_NOC_PACKET_H

@@ -1,0 +1,118 @@
+#include "resilience/health.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace isaac::resilience {
+
+void
+TransientSpec::validate() const
+{
+    if (edramFlipRate < 0.0 || edramFlipRate > 1.0 ||
+        orFlipRate < 0.0 || orFlipRate > 1.0 ||
+        packetCorruptRate < 0.0 || packetCorruptRate > 1.0) {
+        fatal("TransientSpec: rates must be in [0, 1]");
+    }
+    if (maxPacketRetries < 0 || linkRetryBudget < 1)
+        fatal("TransientSpec: retry budgets must be non-negative "
+              "(link budget >= 1)");
+    if (packetBackoffCycles < 1 || recomputeCycles < 0)
+        fatal("TransientSpec: backoff must be >= 1 cycle");
+    if (wordsPerPacket < 1)
+        fatal("TransientSpec: packets need at least one word");
+}
+
+void
+TransientStats::merge(const TransientStats &other)
+{
+    abftChecks += other.abftChecks;
+    abftMismatches += other.abftMismatches;
+    abftRetries += other.abftRetries;
+    abftRetryCycles += other.abftRetryCycles;
+    abftUncorrected += other.abftUncorrected;
+    abftDisabledTiles += other.abftDisabledTiles;
+    driftRefreshes += other.driftRefreshes;
+    refreshPulses += other.refreshPulses;
+    eccWords += other.eccWords;
+    eccBitFlips += other.eccBitFlips;
+    eccSingles += other.eccSingles;
+    eccDoubles += other.eccDoubles;
+    eccRecomputedWords += other.eccRecomputedWords;
+    eccRecomputeCycles += other.eccRecomputeCycles;
+    packetsSent += other.packetsSent;
+    packetsCorrupted += other.packetsCorrupted;
+    packetsRetransmitted += other.packetsRetransmitted;
+    packetBackoffCycles += other.packetBackoffCycles;
+    packetsUncorrected += other.packetsUncorrected;
+    deadLinks += other.deadLinks;
+}
+
+std::string
+TransientStats::toJson() const
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"abft_checks\": %llu, \"abft_mismatches\": %llu, "
+        "\"abft_retries\": %llu, \"abft_retry_cycles\": %llu, "
+        "\"abft_uncorrected\": %llu, \"abft_disabled_tiles\": %llu, "
+        "\"drift_refreshes\": %llu, \"refresh_pulses\": %llu, "
+        "\"ecc_words\": %llu, \"ecc_bit_flips\": %llu, "
+        "\"ecc_singles\": %llu, \"ecc_doubles\": %llu, "
+        "\"ecc_recomputed_words\": %llu, "
+        "\"ecc_recompute_cycles\": %llu, "
+        "\"packets_sent\": %llu, \"packets_corrupted\": %llu, "
+        "\"packets_retransmitted\": %llu, "
+        "\"packet_backoff_cycles\": %llu, "
+        "\"packets_uncorrected\": %llu, \"dead_links\": %llu, "
+        "\"detected\": %llu, \"corrected\": %llu, "
+        "\"recovery_cycles\": %llu}",
+        static_cast<unsigned long long>(abftChecks),
+        static_cast<unsigned long long>(abftMismatches),
+        static_cast<unsigned long long>(abftRetries),
+        static_cast<unsigned long long>(abftRetryCycles),
+        static_cast<unsigned long long>(abftUncorrected),
+        static_cast<unsigned long long>(abftDisabledTiles),
+        static_cast<unsigned long long>(driftRefreshes),
+        static_cast<unsigned long long>(refreshPulses),
+        static_cast<unsigned long long>(eccWords),
+        static_cast<unsigned long long>(eccBitFlips),
+        static_cast<unsigned long long>(eccSingles),
+        static_cast<unsigned long long>(eccDoubles),
+        static_cast<unsigned long long>(eccRecomputedWords),
+        static_cast<unsigned long long>(eccRecomputeCycles),
+        static_cast<unsigned long long>(packetsSent),
+        static_cast<unsigned long long>(packetsCorrupted),
+        static_cast<unsigned long long>(packetsRetransmitted),
+        static_cast<unsigned long long>(packetBackoffCycles),
+        static_cast<unsigned long long>(packetsUncorrected),
+        static_cast<unsigned long long>(deadLinks),
+        static_cast<unsigned long long>(detected()),
+        static_cast<unsigned long long>(corrected()),
+        static_cast<unsigned long long>(recoveryCycles()));
+    return buf;
+}
+
+void
+HealthMonitor::add(const TransientStats &delta)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    total.merge(delta);
+}
+
+TransientStats
+HealthMonitor::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return total;
+}
+
+void
+HealthMonitor::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    total = TransientStats{};
+}
+
+} // namespace isaac::resilience

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Transient-error specification and health accounting.
+ *
+ * PR 2 handled *permanent* faults (stuck cells, dead tiles). This
+ * layer covers the *transient* error classes that silently corrupt
+ * an analog inference pipeline between programming and readout
+ * (Xiao et al.'s taxonomy, RxNN's end-to-end non-ideality argument):
+ *
+ *  - conductance *drift* between refreshes (modelled in xbar/noise.h
+ *    and caught by the ABFT checksum column);
+ *  - *ADC/noise excursions* on a single read (caught by the same
+ *    checksum, recovered by a bounded re-read retry);
+ *  - *eDRAM / output-register bit flips* (corrected by SECDED ECC,
+ *    uncorrectable words recomputed from the producer);
+ *  - *NoC packet corruption* on the c-mesh / HyperTransport links
+ *    (detected by CRC tags, recovered by retransmit-and-backoff,
+ *    escalated to a link kill when a retry budget is exhausted).
+ *
+ * TransientSpec configures the injection rates and recovery budgets;
+ * TransientStats is the uniform counter block every detector feeds;
+ * HealthMonitor is the thread-safe roll-up a CompiledModel owns.
+ * Everything is deterministic per seed and bit-identical at any
+ * thread count (each injection draw is keyed by logical coordinates,
+ * never by execution order).
+ */
+
+#ifndef ISAAC_RESILIENCE_HEALTH_H
+#define ISAAC_RESILIENCE_HEALTH_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace isaac::resilience {
+
+/**
+ * Injection rates and recovery budgets for the transient-error
+ * classes outside the crossbar (crossbar-side drift/retry knobs live
+ * in xbar::NoiseSpec / xbar::EngineConfig, next to the device model
+ * they perturb). All rates default to zero: the stack is exact until
+ * a campaign turns something on.
+ */
+struct TransientSpec
+{
+    /** Per-bit flip probability per eDRAM buffer pass. */
+    double edramFlipRate = 0.0;
+
+    /** Per-bit flip probability per output-register pass. */
+    double orFlipRate = 0.0;
+
+    /** Per-transmission corruption probability of one NoC packet. */
+    double packetCorruptRate = 0.0;
+
+    /** Retransmissions allowed per packet before giving up. */
+    int maxPacketRetries = 4;
+
+    /**
+     * Corrupted packets tolerated on one link before it is declared
+     * dead and its work migrates (the chip simulator falls through
+     * to the PR 2 tile-kill path).
+     */
+    int linkRetryBudget = 64;
+
+    /** First retransmit backoff in cycles; doubles per attempt. */
+    int packetBackoffCycles = 2;
+
+    /** Cycles charged to recompute one uncorrectable eDRAM word. */
+    int recomputeCycles = 8;
+
+    /** Payload words per CRC-tagged packet. */
+    int wordsPerPacket = 32;
+
+    /** Seed for the deterministic injection streams. */
+    std::uint64_t seed = 0x7E11;
+
+    bool eccEnabled() const
+    {
+        return edramFlipRate > 0.0 || orFlipRate > 0.0;
+    }
+    bool nocEnabled() const { return packetCorruptRate > 0.0; }
+    bool anyEnabled() const { return eccEnabled() || nocEnabled(); }
+
+    /** Sanity-check rates/budgets; fatal() on bad values. */
+    void validate() const;
+};
+
+/**
+ * The uniform transient-error counter block: what was detected, what
+ * was corrected, what had to be recomputed or retransmitted, and how
+ * many recovery cycles the run spent. Plain data, mergeable, and
+ * comparable (the thread-count-parity tests assert equality).
+ */
+struct TransientStats
+{
+    // ABFT checksum column (crossbar read path).
+    std::uint64_t abftChecks = 0;     ///< Tile-phase checks run.
+    std::uint64_t abftMismatches = 0; ///< Checks that flagged.
+    std::uint64_t abftRetries = 0;    ///< Bounded re-reads issued.
+    std::uint64_t abftRetryCycles = 0; ///< Backoff cycles spent.
+    std::uint64_t abftUncorrected = 0; ///< Retry budget exhausted.
+    std::uint64_t abftDisabledTiles = 0; ///< Checksum col defective.
+
+    // Drift-aware refresh (reuses the program-verify loop's cost).
+    std::uint64_t driftRefreshes = 0; ///< Array refresh passes.
+    std::uint64_t refreshPulses = 0;  ///< Write pulses charged.
+
+    // SECDED on the eDRAM tile buffer and OR registers.
+    std::uint64_t eccWords = 0;     ///< Words passed through ECC.
+    std::uint64_t eccBitFlips = 0;  ///< Bit flips injected.
+    std::uint64_t eccSingles = 0;   ///< Single-bit corrections.
+    std::uint64_t eccDoubles = 0;   ///< Double-bit detections.
+    std::uint64_t eccRecomputedWords = 0; ///< Restored from source.
+    std::uint64_t eccRecomputeCycles = 0; ///< Recompute penalty.
+
+    // CRC-tagged NoC packets.
+    std::uint64_t packetsSent = 0;      ///< Transmissions issued.
+    std::uint64_t packetsCorrupted = 0; ///< CRC mismatches seen.
+    std::uint64_t packetsRetransmitted = 0;
+    std::uint64_t packetBackoffCycles = 0;
+    std::uint64_t packetsUncorrected = 0; ///< Budget exhausted.
+    std::uint64_t deadLinks = 0; ///< Links killed over budget.
+
+    /** Errors any detector flagged. */
+    std::uint64_t
+    detected() const
+    {
+        return abftMismatches + eccSingles + eccDoubles +
+            packetsCorrupted;
+    }
+
+    /** Errors recovered exactly (corrected / recomputed / resent). */
+    std::uint64_t
+    corrected() const
+    {
+        return (abftMismatches - abftUncorrected) + eccSingles +
+            eccRecomputedWords +
+            (packetsCorrupted - packetsUncorrected);
+    }
+
+    /** Cycles the run spent on recovery instead of compute. */
+    std::uint64_t
+    recoveryCycles() const
+    {
+        return abftRetryCycles + eccRecomputeCycles +
+            packetBackoffCycles;
+    }
+
+    void merge(const TransientStats &other);
+
+    bool operator==(const TransientStats &) const = default;
+
+    /** Serialize (matches the BENCH_*.json idiom). */
+    std::string toJson() const;
+};
+
+/**
+ * Thread-safe accumulator for TransientStats deltas. Detectors batch
+ * their counters locally and add() once, so totals are exact sums
+ * regardless of interleaving — the same discipline the engine uses
+ * for EngineStats.
+ */
+class HealthMonitor
+{
+  public:
+    void add(const TransientStats &delta);
+    TransientStats snapshot() const;
+    void reset();
+
+  private:
+    mutable std::mutex mu;
+    TransientStats total;
+};
+
+} // namespace isaac::resilience
+
+#endif // ISAAC_RESILIENCE_HEALTH_H

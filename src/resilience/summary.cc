@@ -14,7 +14,8 @@ ResilienceSummary::toJson() const
         "\"remapped_columns\": %lld, \"uncorrectable_cells\": %lld, "
         "\"program_pulses\": %lld, \"adc_clips\": %llu, "
         "\"dead_tiles\": %d, \"remapped_servers\": %d, "
-        "\"throughput_retained\": %.4f}",
+        "\"throughput_retained\": %.4f, "
+        "\"transient\": ",
         static_cast<long long>(faults.stuckCells),
         static_cast<long long>(faults.faultyCells),
         static_cast<long long>(faults.remappedColumns),
@@ -22,7 +23,7 @@ ResilienceSummary::toJson() const
         static_cast<long long>(faults.programPulses),
         static_cast<unsigned long long>(adcClips), deadTiles,
         remappedServers, throughputRetained);
-    return buf;
+    return std::string(buf) + transient.toJson() + "}";
 }
 
 double

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "resilience/health.h"
+
 namespace isaac::resilience {
 
 /** Fault census of one physical array (or a sum over arrays). */
@@ -57,6 +59,12 @@ struct ResilienceSummary
     int remappedServers = 0;
     /** Nominal / degraded interval ratio (1.0 = no slowdown). */
     double throughputRetained = 1.0;
+
+    /**
+     * Transient-error detection/recovery counters (ABFT, drift
+     * refresh, ECC, NoC retry) rolled up by the HealthMonitor.
+     */
+    TransientStats transient;
 
     /** Serialize for dashboards (matches the BENCH_*.json idiom). */
     std::string toJson() const;

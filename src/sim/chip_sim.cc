@@ -5,8 +5,10 @@
 #include <queue>
 #include <set>
 
+#include "arch/edram.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "noc/packet.h"
 #include "pipeline/mapper.h"
 
 namespace isaac::sim {
@@ -99,6 +101,7 @@ simulateChip(const nn::Network &net,
     // layer's surviving tiles, which now serve more work each.
     std::map<arch::TileCoord, TileRes> tiles;
     std::vector<std::vector<Server>> servers(net.size());
+    std::vector<std::vector<arch::TileCoord>> aliveTiles(net.size());
     for (std::size_t i = 0; i < net.size(); ++i) {
         const auto &lp = plan.layers[i];
         if (!lp.isDot)
@@ -115,6 +118,7 @@ simulateChip(const nn::Network &net,
         if (alive.empty())
             fatal("simulateChip: no placed tile survives the "
                   "failure spec");
+        aliveTiles[i] = alive;
         const auto fp = pipeline::layerFootprint(net.layer(i), i,
                                                  cfg);
         std::int64_t copies = net.layer(i).privateKernel
@@ -148,6 +152,15 @@ simulateChip(const nn::Network &net,
 
     std::vector<std::vector<Cycle>> completion(net.size());
     Cycle horizon = 0;
+
+    // Transient-error machinery: one CRC-protocol state per tile's
+    // c-mesh link, and a scratch buffer for the per-window eDRAM ECC
+    // pass (the timing model has no payload data; flip draws do not
+    // depend on word values). The dispatch loop is serial, so the
+    // per-link budgets evolve deterministically.
+    const auto &tspec = failures.transient;
+    std::map<arch::TileCoord, noc::LinkState> links;
+    std::vector<Word> eccScratch;
 
     for (int img = 0; img < images; ++img) {
         for (std::size_t i = 0; i < net.size(); ++i) {
@@ -251,6 +264,61 @@ simulateChip(const nn::Network &net,
                         if (l.activation != nn::Activation::None)
                             result.trace.sigmoidOps +=
                                 static_cast<std::uint64_t>(l.no);
+
+                        if (tspec.anyEnabled()) {
+                            // Soft errors on this window: ECC events
+                            // while its output sits in the eDRAM,
+                            // then the CRC packet protocol on the
+                            // c-mesh hop to the consumer. Recovery
+                            // cycles push the completion time out.
+                            resilience::TransientStats win;
+                            const std::uint64_t key =
+                                (static_cast<std::uint64_t>(img)
+                                 << 40) ^
+                                (static_cast<std::uint64_t>(i)
+                                 << 24) ^
+                                (static_cast<std::uint64_t>(
+                                     ox * outNy + oy)
+                                 << 2);
+                            if (tspec.eccEnabled()) {
+                                eccScratch.assign(
+                                    static_cast<std::size_t>(l.no),
+                                    0);
+                                arch::protectedPass(
+                                    eccScratch,
+                                    tspec.edramFlipRate, key,
+                                    tspec, win);
+                            }
+                            if (tspec.nocEnabled()) {
+                                auto &link = links[srv->tile];
+                                const auto tr = noc::sendTransfer(
+                                    l.no, key | 1u, tspec, link,
+                                    win);
+                                if (tr.linkDied) {
+                                    // The link's corruption budget
+                                    // ran out: migrate this server
+                                    // onto a surviving tile with a
+                                    // healthy link (the dead-tile
+                                    // degradation path).
+                                    for (const auto &coord :
+                                         aliveTiles[i]) {
+                                        if (coord == srv->tile ||
+                                            links[coord].dead)
+                                            continue;
+                                        srv->tile = coord;
+                                        tiles.emplace(
+                                            coord,
+                                            TileRes(
+                                                cfg.edramBanks));
+                                        ++result.remappedServers;
+                                        break;
+                                    }
+                                }
+                            }
+                            finish += static_cast<Cycle>(
+                                win.recoveryCycles());
+                            result.transient.merge(win);
+                        }
                     } else {
                         // Pooling/SPP: comparator pass.
                         finish = ready + 1;

@@ -18,6 +18,7 @@
 
 #include "nn/network.h"
 #include "pipeline/placement.h"
+#include "resilience/health.h"
 #include "sim/trace.h"
 
 namespace isaac::sim {
@@ -29,10 +30,19 @@ namespace isaac::sim {
  * surviving tiles — or any surviving placed tile when the layer lost
  * all of its own — and the run completes at degraded throughput
  * instead of aborting.
+ *
+ * `transient` adds the soft-error layer on top: eDRAM words suffer
+ * ECC-visible bit flips while buffered (uncorrectable words are
+ * recomputed, delaying the window), and each window's output ships
+ * over its tile's c-mesh link as CRC-tagged packets with
+ * retransmit-and-backoff. A link whose corruption budget runs out is
+ * declared dead and its server migrates onto a surviving tile —
+ * the same degradation path dead tiles take.
  */
 struct FailureSpec
 {
     std::vector<arch::TileCoord> deadTiles;
+    resilience::TransientSpec transient;
 };
 
 /** Results of a placed chip simulation. */
@@ -51,8 +61,15 @@ struct ChipSimResult
     std::vector<Cycle> imageDone;
     /** Distinct dead tiles injected via the FailureSpec. */
     int deadTiles = 0;
-    /** Servers migrated off dead tiles onto survivors. */
+    /** Servers migrated off dead tiles (or dead links). */
     int remappedServers = 0;
+    /**
+     * Transient-error activity of the timing model: ECC events on
+     * buffered windows, packet retries/backoff, links killed. The
+     * recovery cycles are already folded into the window completion
+     * times (and therefore into measuredInterval).
+     */
+    resilience::TransientStats transient;
 };
 
 /**

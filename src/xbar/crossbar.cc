@@ -77,6 +77,49 @@ CrossbarArray::bitlineSum(int col, std::span<const int> inputs) const
     return sum;
 }
 
+int
+CrossbarArray::driftedLevel(std::size_t idx, std::uint64_t t) const
+{
+    const int level = cells[idx];
+    // Stuck cells are frozen by the defect; empty cells have nothing
+    // to lose.
+    if (level == 0 || stuckLevel[idx] >= 0)
+        return level;
+    const std::uint64_t interval = noise.refreshIntervalOps;
+    const std::uint64_t age = interval ? t % interval : t;
+    if (age == 0)
+        return level;
+    const std::uint64_t epoch = interval ? t / interval : 0;
+    Rng rng(driftSeed +
+            0x9E3779B97F4A7C15ull * (idx * 0x1000193ull + epoch + 1));
+    const int drop = static_cast<int>(
+        noise.driftLevelsPerOp * static_cast<double>(age) *
+        rng.uniform01());
+    return std::max(0, level - drop);
+}
+
+Acc
+CrossbarArray::driftedBitlineSum(int col, std::span<const int> inputs,
+                                 std::uint64_t t) const
+{
+    Acc sum = 0;
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+        sum += static_cast<Acc>(inputs[r]) *
+            driftedLevel(r * _cols + static_cast<std::size_t>(col), t);
+    }
+    return sum;
+}
+
+int
+CrossbarArray::effectiveLevel(int row, int col, std::uint64_t t) const
+{
+    if (row < 0 || row >= _rows || col < 0 || col >= _cols)
+        fatal("CrossbarArray::effectiveLevel: index out of range");
+    const std::size_t idx =
+        static_cast<std::size_t>(row) * _cols + col;
+    return noise.driftEnabled() ? driftedLevel(idx, t) : cells[idx];
+}
+
 Acc
 CrossbarArray::applyReadNoise(Acc sum, std::uint64_t seq,
                               int col) const
@@ -99,12 +142,15 @@ CrossbarArray::readBitline(int col, std::span<const int> inputs) const
         fatal("CrossbarArray::readBitline: column out of range");
     if (static_cast<int>(inputs.size()) > _rows)
         fatal("CrossbarArray::readBitline: more inputs than rows");
-    Acc sum = bitlineSum(col, inputs);
-    if (noise.readNoiseEnabled()) {
-        const std::uint64_t seq =
-            _noiseSeq.fetch_add(1, std::memory_order_relaxed);
+    if (!noise.readNoiseEnabled() && !noise.driftEnabled())
+        return bitlineSum(col, inputs);
+    const std::uint64_t seq =
+        _noiseSeq.fetch_add(1, std::memory_order_relaxed);
+    Acc sum = noise.driftEnabled()
+        ? driftedBitlineSum(col, inputs, seq)
+        : bitlineSum(col, inputs);
+    if (noise.readNoiseEnabled())
         sum = applyReadNoise(sum, seq, col);
-    }
     return sum;
 }
 
@@ -119,13 +165,23 @@ std::vector<Acc>
 CrossbarArray::readAllBitlines(std::span<const int> inputs,
                                std::uint64_t noiseSeq) const
 {
+    return readAllBitlines(inputs, noiseSeq, noiseSeq);
+}
+
+std::vector<Acc>
+CrossbarArray::readAllBitlines(std::span<const int> inputs,
+                               std::uint64_t noiseSeq,
+                               std::uint64_t driftTime) const
+{
     if (static_cast<int>(inputs.size()) > _rows)
         fatal("CrossbarArray::readAllBitlines: more inputs than rows");
     _readCycles.fetch_add(1, std::memory_order_relaxed);
     std::vector<Acc> out(static_cast<std::size_t>(_cols));
     const bool noisy = noise.readNoiseEnabled();
+    const bool drifty = noise.driftEnabled();
     for (int c = 0; c < _cols; ++c) {
-        Acc sum = bitlineSum(c, inputs);
+        Acc sum = drifty ? driftedBitlineSum(c, inputs, driftTime)
+                         : bitlineSum(c, inputs);
         if (noisy)
             sum = applyReadNoise(sum, noiseSeq, c);
         out[static_cast<std::size_t>(c)] = sum;
@@ -144,6 +200,7 @@ CrossbarArray::setNoise(const NoiseSpec &spec,
     const std::uint64_t salted =
         spec.seed ^ (0x9E3779B97F4A7C15ull * instanceSalt);
     writeRng = Rng(salted ^ 0xD1CEull);
+    driftSeed = salted ^ 0xD21F7ull;
     _noiseSeq.store(0, std::memory_order_relaxed);
 
     // (Re)draw the stuck-cell map from a dedicated stream.

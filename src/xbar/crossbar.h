@@ -90,6 +90,30 @@ class CrossbarArray
                                      std::uint64_t noiseSeq) const;
 
     /**
+     * As above with an explicit drift clock: `driftTime` is the
+     * operation count the conductance-drift model ages cells by
+     * (see effectiveLevel). The engine passes its op sequence number
+     * so a bounded ABFT re-read (fresh noiseSeq) still observes the
+     * *same* drifted conductances — drift is not a retryable error.
+     * The two-argument overload uses driftTime = noiseSeq.
+     */
+    std::vector<Acc> readAllBitlines(std::span<const int> inputs,
+                                     std::uint64_t noiseSeq,
+                                     std::uint64_t driftTime) const;
+
+    /**
+     * Conductance the cell presents at drift clock `t`: the stored
+     * level minus floor(driftLevelsPerOp * age * susceptibility),
+     * clamped at 0, where age = t mod refreshIntervalOps (the
+     * periodic refresh re-programs every cell, resetting its age)
+     * and the susceptibility in [0, 1) is a pure function of
+     * (seed, cell, refresh epoch). Stuck cells do not drift (their
+     * conductance is frozen by the defect). Equals cell() whenever
+     * drift is disabled or age is 0.
+     */
+    int effectiveLevel(int row, int col, std::uint64_t t) const;
+
+    /**
      * Configure the non-ideality model. Must be set before
      * programming for write noise / stuck cells to take effect;
      * stuck cells are (re)drawn deterministically from the seed.
@@ -133,6 +157,9 @@ class CrossbarArray
 
   private:
     Acc bitlineSum(int col, std::span<const int> inputs) const;
+    Acc driftedBitlineSum(int col, std::span<const int> inputs,
+                          std::uint64_t t) const;
+    int driftedLevel(std::size_t idx, std::uint64_t t) const;
     Acc applyReadNoise(Acc sum, std::uint64_t seq, int col) const;
 
     int _rows;
@@ -142,6 +169,8 @@ class CrossbarArray
     std::vector<int> stuckLevel; ///< -1 = healthy, else frozen level
     NoiseSpec noise;
     Rng writeRng;
+    /** Salted base for the per-(cell, epoch) drift streams. */
+    std::uint64_t driftSeed = 0;
     std::uint64_t _programPulses = 0;
     /** Sequence for standalone single-bitline reads. */
     mutable std::atomic<std::uint64_t> _noiseSeq{0};

@@ -45,6 +45,10 @@ EngineConfig::validate() const
         fatal("EngineConfig: spare columns must be in [0, cols]");
     if (noise.maxProgramPulses < 1)
         fatal("EngineConfig: maxProgramPulses must be >= 1");
+    if (maxReadRetries < 0)
+        fatal("EngineConfig: maxReadRetries must be non-negative");
+    if (retryBackoffCycles < 1)
+        fatal("EngineConfig: retryBackoffCycles must be >= 1");
     if (threads < 0 || threads > kMaxThreads)
         fatal("EngineConfig: thread count must be in [0, " +
               std::to_string(kMaxThreads) + "]");
@@ -81,10 +85,13 @@ BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
                 std::min(cfg.outputsPerArray(),
                          numOutputs - cs * cfg.outputsPerArray());
             // Physical columns: data + configured spares + the unit
-            // column. Each tile's fault/write streams are salted
-            // with its index so arrays fail independently.
+            // column + the ABFT checksum column if enabled. Each
+            // tile's fault/write streams are salted with its index
+            // so arrays fail independently.
             t.array = std::make_unique<CrossbarArray>(
-                cfg.rows, cfg.cols + cfg.spareCols + 1,
+                cfg.rows,
+                cfg.cols + cfg.spareCols + 1 +
+                    (cfg.abftChecksum ? 1 : 0),
                 cfg.cellBits);
             t.array->setNoise(
                 cfg.noise,
@@ -198,7 +205,52 @@ BitSerialEngine::programTile(ArrayTile &t,
         writes = plan.cellWrites;
     }
     t.intended = std::move(next);
+    if (cfg.abftChecksum)
+        programChecksum(t);
     return writes;
+}
+
+void
+BitSerialEngine::programChecksum(ArrayTile &t)
+{
+    // Checksum targets come from the *stored* levels the placement
+    // pass left behind (read back through cell()), unflipped to the
+    // logical encoding so the digital check in runPhaseSegment —
+    // which also unflips — stays consistent. Deriving targets from
+    // readback rather than intent means permanent write failures the
+    // remapper already reported do not raise ABFT alarms forever.
+    const int slices = cfg.slicesPerWeight();
+    const int dataCols = t.localOutputs * slices;
+    const int mask = (1 << cfg.cellBits) - 1;
+    std::vector<int> target(static_cast<std::size_t>(t.usedRows), 0);
+    for (int r = 0; r < t.usedRows; ++r) {
+        int sum = 0;
+        for (int c = 0; c < dataCols; ++c) {
+            int lvl =
+                t.array->cell(r, t.colMap[static_cast<std::size_t>(c)]);
+            if (t.flipped[static_cast<std::size_t>(c)])
+                lvl = flipLevel(lvl, cfg.cellBits);
+            sum += lvl;
+        }
+        target[static_cast<std::size_t>(r)] = sum & mask;
+    }
+    // The checksum column obeys the same flip rule as data columns
+    // so its bitline sum stays inside the encoded ADC range.
+    t.checksumFlipped =
+        cfg.flipEncoding && shouldFlipColumn(target, cfg.cellBits);
+    if (t.checksumFlipped) {
+        for (int &lvl : target)
+            lvl = flipLevel(lvl, cfg.cellBits);
+    }
+    t.abftOk = true;
+    const int phys = checksumCol();
+    for (int r = 0; r < t.usedRows; ++r) {
+        const int want = target[static_cast<std::size_t>(r)];
+        if (t.array->cell(r, phys) != want)
+            t.array->program(r, phys, want);
+        if (t.array->cell(r, phys) != want)
+            t.abftOk = false; // Defective column: run unchecked.
+    }
 }
 
 std::int64_t
@@ -256,28 +308,41 @@ BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
 
     for (int cs = 0; cs < _colSegments; ++cs) {
         const auto &t = tile(rs, cs);
-        const auto currents = t.array->readAllBitlines(
-            digits,
-            opSeq * static_cast<std::uint64_t>(phases) +
-                static_cast<std::uint64_t>(p));
-        ++part.stats.crossbarReads;
-
-        // Only mapped columns pass through the ADC; spares the
-        // remapper left unused are never sampled. The column map's
-        // last entry is the unit column's physical home.
         const int dataCols = t.localOutputs * slices;
         auto &tileTally = part.tileAdc[static_cast<std::size_t>(
             rs * _colSegments + cs)];
-        const Acc unit = adc.quantize(
-            currents[static_cast<std::size_t>(
-                t.colMap[static_cast<std::size_t>(dataCols)])],
-            tileTally);
-        ++part.stats.adcSamples;
+        const bool checking = cfg.abftChecksum && t.abftOk;
+        const std::uint64_t baseSeq =
+            opSeq * static_cast<std::uint64_t>(phases) +
+            static_cast<std::uint64_t>(p);
 
-        for (int o = 0; o < t.localOutputs; ++o) {
-            Acc merged = 0;
-            for (int s = 0; s < slices; ++s) {
-                const int c = o * slices + s;
+        // Read-attempt loop. Each attempt samples the unit column
+        // and every mapped data column (spares the remapper left
+        // unused are never sampled); with ABFT active the checksum
+        // column is sampled too and the quantized total is verified
+        // mod 2^w. A mismatch triggers a bounded re-read with a
+        // fresh noise sequence (attempt salted into the high bits)
+        // but the *same* drift clock — noise excursions are
+        // retryable, drifted conductances are not. The retry
+        // decision depends only on (opSeq, p, tile) and the
+        // counter-keyed draws, so any thread interleaving reproduces
+        // the serial realization exactly.
+        auto &colQ = part.colQ;
+        colQ.assign(static_cast<std::size_t>(dataCols), 0);
+        Acc unit = 0;
+        for (int attempt = 0;; ++attempt) {
+            const auto currents = t.array->readAllBitlines(
+                digits,
+                baseSeq + (static_cast<std::uint64_t>(attempt) << 40),
+                opSeq);
+            ++part.stats.crossbarReads;
+            unit = adc.quantize(
+                currents[static_cast<std::size_t>(
+                    t.colMap[static_cast<std::size_t>(dataCols)])],
+                tileTally);
+            ++part.stats.adcSamples;
+            Acc rawTotal = 0;
+            for (int c = 0; c < dataCols; ++c) {
                 const int phys =
                     t.colMap[static_cast<std::size_t>(c)];
                 Acc v = adc.quantize(
@@ -286,7 +351,39 @@ BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
                 ++part.stats.adcSamples;
                 if (t.flipped[static_cast<std::size_t>(c)])
                     v = unflipColumnSum(v, unit, cfg.cellBits);
-                merged += v * (Acc{1} << (s * cfg.cellBits));
+                colQ[static_cast<std::size_t>(c)] = v;
+                rawTotal += v;
+            }
+            if (!checking)
+                break;
+            Acc s = adc.quantize(
+                currents[static_cast<std::size_t>(checksumCol())],
+                tileTally);
+            ++part.stats.adcSamples;
+            if (t.checksumFlipped)
+                s = unflipColumnSum(s, unit, cfg.cellBits);
+            ++part.transient.abftChecks;
+            const Acc mod = Acc{1} << cfg.cellBits;
+            if (((rawTotal - s) % mod + mod) % mod == 0)
+                break;
+            if (attempt == 0)
+                ++part.transient.abftMismatches;
+            if (attempt >= cfg.maxReadRetries) {
+                ++part.transient.abftUncorrected;
+                break;
+            }
+            ++part.transient.abftRetries;
+            part.transient.abftRetryCycles +=
+                static_cast<std::uint64_t>(cfg.retryBackoffCycles)
+                << attempt;
+        }
+
+        for (int o = 0; o < t.localOutputs; ++o) {
+            Acc merged = 0;
+            for (int s = 0; s < slices; ++s) {
+                const int c = o * slices + s;
+                merged += colQ[static_cast<std::size_t>(c)] *
+                    (Acc{1} << (s * cfg.cellBits));
                 ++part.stats.shiftAdds;
             }
             const std::size_t k = static_cast<std::size_t>(
@@ -349,9 +446,11 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
     std::vector<Acc> rawSum(std::move(parts[0].rawSum));
     Acc unitTotal = parts[0].unitTotal;
     EngineStats delta = parts[0].stats;
+    resilience::TransientStats transientDelta = parts[0].transient;
     std::vector<AdcTally> tileTally(std::move(parts[0].tileAdc));
     for (std::size_t w = 1; w < parts.size(); ++w) {
         const auto &part = parts[w];
+        transientDelta.merge(part.transient);
         for (int k = 0; k < _numOutputs; ++k)
             result[static_cast<std::size_t>(k)] +=
                 part.result[static_cast<std::size_t>(k)];
@@ -397,9 +496,26 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
         }
     }
 
+    // Drift refresh policy: after every refreshIntervalOps
+    // operations, every array is re-verified against its stored
+    // levels (the read-path drift model already treats refreshed
+    // cells as exact — see CrossbarArray::effectiveLevel — so the
+    // pass is pure accounting: one pulse per programmed cell,
+    // charged to the WriteModel by the callers that price energy).
+    // Keyed by opSeq, so any call interleaving charges identically.
+    if (cfg.noise.driftEnabled() && cfg.noise.refreshIntervalOps &&
+        (opSeq + 1) % cfg.noise.refreshIntervalOps == 0) {
+        for (const auto &t : tiles) {
+            ++transientDelta.driftRefreshes;
+            transientDelta.refreshPulses += static_cast<std::uint64_t>(
+                t.array->programmedCells());
+        }
+    }
+
     adc.addTally(tally);
     {
         std::lock_guard<std::mutex> lock(statsMutex);
+        _transient.merge(transientDelta);
         ++_stats.ops;
         _stats.crossbarReads += delta.crossbarReads;
         _stats.adcSamples += delta.adcSamples;
@@ -433,11 +549,16 @@ BitSerialEngine::resetStats()
     {
         std::lock_guard<std::mutex> lock(statsMutex);
         _stats = EngineStats{};
+        _transient = resilience::TransientStats{};
         _tileAdc.assign(tiles.size(), AdcTally{});
     }
     adc.resetStats();
     for (auto &t : tiles)
         t.array->resetStats();
+    // Rewind the op counter so a replayed workload draws the same
+    // noise/drift/retry realization a fresh engine would (the arrays
+    // rewind their own sequences above).
+    _opSeq.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -459,7 +580,7 @@ double
 BitSerialEngine::cellUtilization() const
 {
     const double perArray = static_cast<double>(cfg.rows) *
-        (cfg.cols + cfg.spareCols + 1);
+        (cfg.cols + cfg.spareCols + 1 + (cfg.abftChecksum ? 1 : 0));
     double used = 0;
     for (const auto &t : tiles) {
         used += static_cast<double>(t.usedRows) *
@@ -512,6 +633,38 @@ BitSerialEngine::programPulses() const
     for (const auto &t : tiles)
         pulses += t.array->programPulses();
     return pulses;
+}
+
+resilience::TransientStats
+BitSerialEngine::transientStats() const
+{
+    resilience::TransientStats out;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        out = _transient;
+    }
+    // Disabled-tile count is structural (like the fault census), so
+    // it is derived from the live tile state rather than accumulated.
+    if (cfg.abftChecksum) {
+        for (const auto &t : tiles)
+            out.abftDisabledTiles += !t.abftOk;
+    }
+    return out;
+}
+
+void
+BitSerialEngine::injectCellFault(int rs, int cs, int row, int col,
+                                 int level)
+{
+    if (rs < 0 || rs >= _rowSegments || cs < 0 || cs >= _colSegments)
+        fatal("BitSerialEngine::injectCellFault: tile out of range");
+    tile(rs, cs).array->forceStuck(row, col, level);
+}
+
+bool
+BitSerialEngine::abftActive(int rs, int cs) const
+{
+    return cfg.abftChecksum && tile(rs, cs).abftOk;
 }
 
 } // namespace isaac::xbar

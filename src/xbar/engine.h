@@ -42,6 +42,7 @@
 
 #include "common/types.h"
 #include "resilience/fault_map.h"
+#include "resilience/health.h"
 #include "resilience/summary.h"
 #include "xbar/adc.h"
 #include "xbar/crossbar.h"
@@ -96,6 +97,29 @@ struct EngineConfig
      * setting.
      */
     int threads = 0;
+
+    /**
+     * Program one extra physical column per array holding, in each
+     * used row, the modular sum (mod 2^w) of that row's mapped data
+     * cells, and verify every bit-serial read against it: with exact
+     * analog values the quantized data-column total and the checksum
+     * reading agree mod 2^w, so any single-column excursion (read
+     * noise, drift, an injected cell fault) is flagged. A flagged
+     * tile-phase is re-read up to maxReadRetries times with a fresh
+     * noise draw before the engine accepts the value as-is. The
+     * checksum targets are derived from the *stored* (post
+     * program-verify, post remap) levels, so permanent defects the
+     * resilience layer already accounted for never raise alarms;
+     * a tile whose checksum column itself fails verification runs
+     * with the check disabled (counted in TransientStats).
+     */
+    bool abftChecksum = false;
+
+    /** Bounded re-reads per flagged tile-phase (0 = detect only). */
+    int maxReadRetries = 3;
+
+    /** First re-read backoff in cycles; doubles per attempt. */
+    int retryBackoffCycles = 2;
 
     /** Digits per weight = 16 / w. */
     int slicesPerWeight() const { return kDataBits / cellBits; }
@@ -208,6 +232,27 @@ class BitSerialEngine
     /** Write pulses issued by all programming passes (lifetime). */
     std::uint64_t programPulses() const;
 
+    /**
+     * Transient-error counters: ABFT checks/mismatches/retries and
+     * drift-refresh accounting. abftDisabledTiles reflects the
+     * current structural state (tiles whose checksum column failed
+     * verification) and therefore survives resetStats(), like the
+     * fault census.
+     */
+    resilience::TransientStats transientStats() const;
+
+    /**
+     * Targeted fault injection on one tile's array (forceStuck
+     * semantics: level = -1 heals). Corrupting a mapped data cell
+     * after programming makes every subsequent ABFT check on that
+     * tile flag a persistent mismatch — the campaign tests use this
+     * to exercise the retry-exhaustion path.
+     */
+    void injectCellFault(int rs, int cs, int row, int col, int level);
+
+    /** Whether tile (rs, cs) runs with an active checksum column. */
+    bool abftActive(int rs, int cs) const;
+
   private:
     struct ArrayTile
     {
@@ -223,6 +268,8 @@ class BitSerialEngine
         int uncorrectableCells = 0;
         int usedRows = 0;
         int localOutputs = 0;
+        bool abftOk = false;         ///< Checksum column verified.
+        bool checksumFlipped = false; ///< Flip rule on the checksum.
     };
 
     /** Per-worker accumulator for one dotProduct() call. */
@@ -232,7 +279,9 @@ class BitSerialEngine
         std::vector<Acc> rawSum;  ///< Biased-mode running totals.
         Acc unitTotal = 0;
         std::vector<int> digits;  ///< Scratch input-digit buffer.
+        std::vector<Acc> colQ;    ///< Scratch quantized columns.
         EngineStats stats;
+        resilience::TransientStats transient;
         std::vector<AdcTally> tileAdc; ///< ADC activity per tile.
     };
 
@@ -253,6 +302,12 @@ class BitSerialEngine
                              std::span<const Word> weights,
                              int rowBase, int outBase);
 
+    /** (Re)program one tile's checksum column; sets abftOk. */
+    void programChecksum(ArrayTile &t);
+
+    /** Physical column index of the ABFT checksum column. */
+    int checksumCol() const { return cfg.cols + cfg.spareCols + 1; }
+
     EngineConfig cfg;
     int _numInputs;
     int _numOutputs;
@@ -264,6 +319,8 @@ class BitSerialEngine
     mutable std::atomic<std::uint64_t> _opSeq{0};
     mutable std::mutex statsMutex;
     mutable EngineStats _stats;
+    /** Transient counters (guarded by statsMutex). */
+    mutable resilience::TransientStats _transient;
     /** Per-tile ADC tallies (guarded by statsMutex). */
     mutable std::vector<AdcTally> _tileAdc;
 };

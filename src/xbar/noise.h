@@ -17,7 +17,16 @@
  *    changed (fabrication defects). The frozen level follows the
  *    RxNN fault taxonomy: stuck-at-ON (a low-resistance short, the
  *    cell reads 2^w - 1), stuck-at-OFF (an open device, the cell
- *    reads 0), or frozen at a random level.
+ *    reads 0), or frozen at a random level;
+ *  - *conductance drift*: programmed cells decay toward the OFF
+ *    state over time (retention loss — the effect Xiao et al. find
+ *    dominating real crossbar accuracy). Drift is a pure function of
+ *    (seed, cell, age), where age is the operation count since the
+ *    last refresh: a periodic refresh policy (refreshIntervalOps)
+ *    re-runs the program-verify loop every R operations, resetting
+ *    every cell's age, with the pulses charged to the WriteModel.
+ *    Sizing rule: driftLevelsPerOp * (refreshIntervalOps - 1) < 1
+ *    guarantees no read ever sees a drifted level.
  *
  * All default to off, making the data path exact.
  */
@@ -53,6 +62,21 @@ struct NoiseSpec
     StuckMode stuckMode = StuckMode::RandomLevel;
 
     /**
+     * Conductance drift velocity ceiling in levels per operation; a
+     * cell's realized velocity is this times a per-(cell, epoch)
+     * susceptibility in [0, 1). 0 disables drift.
+     */
+    double driftLevelsPerOp = 0.0;
+
+    /**
+     * Refresh the arrays (program-verify every cell back to its
+     * target) every this many operations; 0 = never refresh, so age
+     * grows without bound and drift eventually corrupts reads. Only
+     * meaningful with drift enabled.
+     */
+    std::uint64_t refreshIntervalOps = 0;
+
+    /**
      * Program-verify retry bound: pulses issued per cell before the
      * write driver gives up and reports the cell faulty. With write
      * noise each pulse redraws its error; a stuck cell burns the
@@ -66,12 +90,13 @@ struct NoiseSpec
     bool readNoiseEnabled() const { return sigmaLsb > 0.0; }
     bool writeNoiseEnabled() const { return writeSigmaLevels > 0.0; }
     bool faultsEnabled() const { return stuckAtFraction > 0.0; }
+    bool driftEnabled() const { return driftLevelsPerOp > 0.0; }
 
     bool
     anyEnabled() const
     {
         return readNoiseEnabled() || writeNoiseEnabled() ||
-            faultsEnabled();
+            faultsEnabled() || driftEnabled();
     }
 };
 

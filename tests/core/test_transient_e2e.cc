@@ -1,0 +1,189 @@
+/**
+ * @file
+ * End-to-end transient-error campaigns on the compiled model: with
+ * drift + ABFT + eDRAM/OR ECC + NoC retry all enabled, inference
+ * stays bit-identical to the software reference (every injected
+ * error is detected and recovered), the counters are deterministic
+ * and batch/thread-order invariant, and the top-level report agrees
+ * with the fault census.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "core/report.h"
+#include "nn/zoo.h"
+
+namespace isaac::core {
+namespace {
+
+/** A design point with every transient-error class switched on but
+ *  sized so the recovery layer keeps the data path exact: drift under
+ *  the refresh sizing rule, ECC flip rates far from the triple-flip
+ *  regime, and NoC corruption that only costs retransmissions. */
+arch::IsaacConfig
+protectedConfig()
+{
+    arch::IsaacConfig cfg;
+    cfg.engine.abftChecksum = true;
+    cfg.engine.noise.driftLevelsPerOp = 0.05;
+    cfg.engine.noise.refreshIntervalOps = 16; // 0.05 * 15 < 1
+    cfg.transient.edramFlipRate = 2e-3;
+    cfg.transient.orFlipRate = 1e-3;
+    cfg.transient.packetCorruptRate = 0.05;
+    cfg.transient.seed = 0xBEEF;
+    return cfg;
+}
+
+TEST(TransientE2e, TinyCnnStaysBitExactUnderFullInjection)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 42);
+    const CompileOptions opts;
+
+    Accelerator acc(protectedConfig());
+    const auto model = acc.compile(net, weights, opts);
+    nn::ReferenceExecutor ref(net, weights, opts.format);
+
+    const auto input =
+        nn::synthesizeInput(16, 12, 12, 7, opts.format);
+    const auto got = model.inferAll(input);
+    const auto want = ref.runAll(input);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].raw(), want[i].raw())
+            << "layer " << i << " diverged under injection";
+    }
+
+    // Every protection layer actually exercised something.
+    const auto ts = model.transientStats();
+    EXPECT_GT(ts.abftChecks, 0u);
+    EXPECT_EQ(ts.abftMismatches, 0u); // drift held under the rule
+    EXPECT_GT(ts.driftRefreshes, 0u);
+    EXPECT_GT(ts.eccWords, 0u);
+    EXPECT_GT(ts.eccSingles, 0u); // flips injected AND corrected
+    EXPECT_GT(ts.packetsSent, 0u);
+    EXPECT_GT(ts.packetsCorrupted, 0u);
+    EXPECT_GT(ts.packetsRetransmitted, 0u);
+    EXPECT_EQ(ts.packetsUncorrected, 0u);
+    EXPECT_EQ(ts.detected(), ts.corrected()); // full recovery
+    EXPECT_GT(ts.recoveryCycles(), 0u);
+}
+
+TEST(TransientE2e, CountersAreBatchOrderInvariant)
+{
+    // inferBatch claims a contiguous block of image keys up front,
+    // so a parallel batch must reproduce the sequential per-image
+    // results and land on the identical counter totals.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 9);
+    const CompileOptions opts;
+
+    Accelerator acc(protectedConfig());
+    const auto seqModel = acc.compile(net, weights, opts);
+    const auto batchModel = acc.compile(net, weights, opts);
+
+    std::vector<nn::Tensor> inputs;
+    for (int i = 0; i < 4; ++i)
+        inputs.push_back(
+            nn::synthesizeInput(16, 12, 12, 100 + i, opts.format));
+
+    std::vector<nn::Tensor> seqOut;
+    for (const auto &in : inputs)
+        seqOut.push_back(seqModel.infer(in));
+    const auto batchOut = batchModel.inferBatch(inputs);
+
+    ASSERT_EQ(batchOut.size(), seqOut.size());
+    for (std::size_t i = 0; i < seqOut.size(); ++i)
+        EXPECT_EQ(batchOut[i].raw(), seqOut[i].raw())
+            << "image " << i;
+    EXPECT_EQ(batchModel.transientStats(),
+              seqModel.transientStats());
+}
+
+TEST(TransientE2e, ResetStatsReplaysTheIdenticalRun)
+{
+    // Satellite regression: a second run from the same model after
+    // resetStats() must report byte-identical stats to a fresh one —
+    // image keys, op counters, and noise/injection streams rewind.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 15);
+    const CompileOptions opts;
+
+    Accelerator acc(protectedConfig());
+    auto model = acc.compile(net, weights, opts);
+    const auto fresh = acc.compile(net, weights, opts);
+
+    std::vector<nn::Tensor> inputs;
+    for (int i = 0; i < 3; ++i)
+        inputs.push_back(
+            nn::synthesizeInput(16, 12, 12, 50 + i, opts.format));
+
+    std::vector<nn::Tensor> first;
+    for (const auto &in : inputs)
+        first.push_back(model.infer(in));
+    const auto firstTransient = model.transientStats();
+    const auto firstStats = model.engineStats();
+    ASSERT_GT(firstTransient.detected(), 0u);
+
+    model.resetStats();
+    EXPECT_EQ(model.transientStats(),
+              resilience::TransientStats{});
+    EXPECT_EQ(model.engineStats().ops, 0u);
+
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(model.infer(inputs[i]).raw(), first[i].raw())
+            << "image " << i << " after reset";
+    EXPECT_EQ(model.transientStats(), firstTransient);
+    EXPECT_EQ(model.engineStats().ops, firstStats.ops);
+    EXPECT_EQ(model.engineStats().adcSamples, firstStats.adcSamples);
+
+    // A fresh model replays the same realization too.
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(fresh.infer(inputs[i]).raw(), first[i].raw());
+    EXPECT_EQ(fresh.transientStats(), firstTransient);
+}
+
+TEST(TransientE2e, ReportAgreesWithFaultCensusAndHealth)
+{
+    // Satellite: the top-level JSON report embeds the same
+    // ResilienceSummary faultReport() and transientStats() feed, so
+    // the numbers can never disagree.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 4);
+
+    auto cfg = protectedConfig();
+    cfg.engine.noise.stuckAtFraction = 0.002; // some permanent faults
+    cfg.engine.noise.seed = 77;
+    Accelerator acc(cfg);
+    const auto model = acc.compile(net, weights);
+    model.infer(nn::synthesizeInput(16, 12, 12, 1, {12}));
+
+    const auto summary = model.resilienceSummary();
+    EXPECT_EQ(summary.faults, model.faultReport());
+    EXPECT_EQ(summary.transient, model.transientStats());
+
+    const auto json = runReportJson(model);
+    EXPECT_NE(json.find("\"resilience\": " + summary.toJson()),
+              std::string::npos);
+    EXPECT_NE(json.find("\"uncorrectable_cells\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"transient\": "), std::string::npos);
+    EXPECT_NE(json.find("\"recovery_cycles\": "),
+              std::string::npos);
+}
+
+TEST(TransientE2e, DisabledSpecInjectsNothing)
+{
+    // All rates default to zero: the transient layer must be
+    // entirely invisible — no counters, no extra work.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 2);
+    Accelerator acc;
+    const auto model = acc.compile(net, weights);
+    model.infer(nn::synthesizeInput(16, 12, 12, 3, {12}));
+    EXPECT_EQ(model.transientStats(), resilience::TransientStats{});
+}
+
+} // namespace
+} // namespace isaac::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * CRC-tagged packet transport: CRC correctness, the
+ * retransmit-and-backoff protocol, the per-link corruption budget,
+ * and determinism of the whole state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "noc/packet.h"
+
+namespace isaac::noc {
+namespace {
+
+TEST(Crc, MatchesKnownVector)
+{
+    // CRC32("123456789") is the classic check value 0xCBF43926.
+    const std::array<std::uint8_t, 9> check = {'1', '2', '3', '4',
+                                               '5', '6', '7', '8',
+                                               '9'};
+    EXPECT_EQ(crc32(check), 0xCBF43926u);
+}
+
+TEST(Crc, WordTagSeesEveryBit)
+{
+    std::vector<Word> payload(32, 0);
+    const auto base = crc32Words(payload);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        for (int b = 0; b < 16; ++b) {
+            auto tampered = payload;
+            tampered[i] = static_cast<Word>(
+                static_cast<std::uint16_t>(tampered[i]) ^ (1u << b));
+            EXPECT_NE(crc32Words(tampered), base)
+                << "word " << i << " bit " << b;
+        }
+    }
+}
+
+TEST(Packet, CleanChannelNeverRetries)
+{
+    resilience::TransientSpec spec;
+    spec.packetCorruptRate = 0.0;
+    LinkState link;
+    resilience::TransientStats stats;
+    const auto r = sendTransfer(1000, 7, spec, link, stats);
+    EXPECT_EQ(r.packets,
+              static_cast<std::uint64_t>(
+                  (1000 + spec.wordsPerPacket - 1) /
+                  spec.wordsPerPacket));
+    EXPECT_EQ(stats.packetsSent, r.packets);
+    EXPECT_EQ(stats.packetsCorrupted, 0u);
+    EXPECT_EQ(stats.packetsRetransmitted, 0u);
+    EXPECT_EQ(stats.packetBackoffCycles, 0u);
+    EXPECT_EQ(stats.deadLinks, 0u);
+    EXPECT_FALSE(link.dead);
+}
+
+TEST(Packet, AlwaysCorruptChannelExhaustsRetriesAndKillsLink)
+{
+    resilience::TransientSpec spec;
+    spec.packetCorruptRate = 1.0;
+    spec.maxPacketRetries = 3;
+    spec.linkRetryBudget = 5;
+    spec.packetBackoffCycles = 2;
+    LinkState link;
+    resilience::TransientStats stats;
+    const auto r = sendTransfer(2 * spec.wordsPerPacket, 3, spec,
+                                link, stats);
+    // Packet 0 burns the whole retry budget (1 + 3 transmissions,
+    // all corrupted), crossing the link budget mid-flight.
+    EXPECT_TRUE(link.dead);
+    EXPECT_TRUE(r.linkDied);
+    EXPECT_EQ(stats.deadLinks, 1u);
+    EXPECT_GE(stats.packetsUncorrected, 0u);
+    EXPECT_GT(stats.packetsCorrupted, 0u);
+    // Exponential backoff: attempts 0..k charge base << attempt.
+    EXPECT_GT(stats.packetBackoffCycles, 0u);
+    // A dead link still accounts the remaining packets (they ship
+    // on the migrated route).
+    EXPECT_GE(stats.packetsSent, r.packets);
+}
+
+TEST(Packet, BackoffDoublesPerAttempt)
+{
+    resilience::TransientSpec spec;
+    spec.packetCorruptRate = 1.0;
+    spec.maxPacketRetries = 3;
+    spec.linkRetryBudget = 1000; // never dies here
+    spec.packetBackoffCycles = 2;
+    spec.wordsPerPacket = 8;
+    LinkState link;
+    resilience::TransientStats stats;
+    sendTransfer(8, 11, spec, link, stats); // exactly one packet
+    // Retries at attempts 0, 1, 2 charge 2 + 4 + 8 cycles; the
+    // fourth transmission exhausts the budget.
+    EXPECT_EQ(stats.packetsSent, 4u);
+    EXPECT_EQ(stats.packetsRetransmitted, 3u);
+    EXPECT_EQ(stats.packetBackoffCycles, 2u + 4u + 8u);
+    EXPECT_EQ(stats.packetsUncorrected, 1u);
+    EXPECT_FALSE(link.dead);
+}
+
+TEST(Packet, DeterministicPerSeedAndKey)
+{
+    resilience::TransientSpec spec;
+    spec.packetCorruptRate = 0.2;
+    spec.seed = 1234;
+    for (int rep = 0; rep < 3; ++rep) {
+        LinkState a, b;
+        resilience::TransientStats sa, sb;
+        for (std::uint64_t key = 0; key < 20; ++key) {
+            sendTransfer(100, key, spec, a, sa);
+            sendTransfer(100, key, spec, b, sb);
+        }
+        EXPECT_EQ(sa, sb);
+        EXPECT_EQ(a.corrupted, b.corrupted);
+        EXPECT_EQ(a.dead, b.dead);
+    }
+}
+
+TEST(Packet, DeadLinkInjectsNothingFurther)
+{
+    resilience::TransientSpec spec;
+    spec.packetCorruptRate = 1.0;
+    spec.maxPacketRetries = 0;
+    spec.linkRetryBudget = 1;
+    LinkState link;
+    resilience::TransientStats stats;
+    sendTransfer(10 * spec.wordsPerPacket, 1, spec, link, stats);
+    ASSERT_TRUE(link.dead);
+    const auto corruptedBefore = stats.packetsCorrupted;
+    sendTransfer(10 * spec.wordsPerPacket, 2, spec, link, stats);
+    EXPECT_EQ(stats.packetsCorrupted, corruptedBefore);
+    EXPECT_EQ(stats.deadLinks, 1u);
+}
+
+} // namespace
+} // namespace isaac::noc

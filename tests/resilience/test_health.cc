@@ -1,0 +1,171 @@
+/**
+ * @file
+ * TransientSpec validation, TransientStats merge/derived counters and
+ * JSON shape, and the HealthMonitor roll-up contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "resilience/health.h"
+
+namespace isaac::resilience {
+namespace {
+
+TransientStats
+sampleStats()
+{
+    TransientStats s;
+    s.abftChecks = 100;
+    s.abftMismatches = 7;
+    s.abftRetries = 9;
+    s.abftRetryCycles = 30;
+    s.abftUncorrected = 2;
+    s.driftRefreshes = 3;
+    s.refreshPulses = 4096;
+    s.eccWords = 500;
+    s.eccBitFlips = 12;
+    s.eccSingles = 10;
+    s.eccDoubles = 1;
+    s.eccRecomputedWords = 1;
+    s.eccRecomputeCycles = 8;
+    s.packetsSent = 64;
+    s.packetsCorrupted = 5;
+    s.packetsRetransmitted = 4;
+    s.packetBackoffCycles = 14;
+    s.packetsUncorrected = 1;
+    s.deadLinks = 0;
+    return s;
+}
+
+TEST(TransientSpec, DefaultsAreOffAndValid)
+{
+    TransientSpec spec;
+    EXPECT_FALSE(spec.eccEnabled());
+    EXPECT_FALSE(spec.nocEnabled());
+    EXPECT_FALSE(spec.anyEnabled());
+    spec.validate(); // must not die
+}
+
+TEST(TransientSpec, EnableFlagsTrackRates)
+{
+    TransientSpec spec;
+    spec.edramFlipRate = 1e-4;
+    EXPECT_TRUE(spec.eccEnabled());
+    EXPECT_TRUE(spec.anyEnabled());
+    EXPECT_FALSE(spec.nocEnabled());
+
+    TransientSpec noc;
+    noc.packetCorruptRate = 0.01;
+    EXPECT_TRUE(noc.nocEnabled());
+    EXPECT_FALSE(noc.eccEnabled());
+    EXPECT_TRUE(noc.anyEnabled());
+}
+
+TEST(TransientSpec, RejectsBadValues)
+{
+    TransientSpec bad;
+    bad.edramFlipRate = 1.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    TransientSpec negRetry;
+    negRetry.maxPacketRetries = -1;
+    EXPECT_THROW(negRetry.validate(), FatalError);
+
+    TransientSpec zeroBackoff;
+    zeroBackoff.packetBackoffCycles = 0;
+    EXPECT_THROW(zeroBackoff.validate(), FatalError);
+
+    TransientSpec emptyPacket;
+    emptyPacket.wordsPerPacket = 0;
+    EXPECT_THROW(emptyPacket.validate(), FatalError);
+}
+
+TEST(TransientStats, DerivedCountersFollowTheDefinition)
+{
+    const auto s = sampleStats();
+    EXPECT_EQ(s.detected(), 7u + 10u + 1u + 5u);
+    EXPECT_EQ(s.corrected(), (7u - 2u) + 10u + 1u + (5u - 1u));
+    EXPECT_EQ(s.recoveryCycles(), 30u + 8u + 14u);
+}
+
+TEST(TransientStats, MergeIsFieldwiseAddition)
+{
+    auto a = sampleStats();
+    const auto b = sampleStats();
+    a.merge(b);
+    EXPECT_EQ(a.abftChecks, 200u);
+    EXPECT_EQ(a.abftMismatches, 14u);
+    EXPECT_EQ(a.refreshPulses, 8192u);
+    EXPECT_EQ(a.eccSingles, 20u);
+    EXPECT_EQ(a.packetsSent, 128u);
+    EXPECT_EQ(a.detected(), 2 * b.detected());
+    EXPECT_EQ(a.recoveryCycles(), 2 * b.recoveryCycles());
+
+    TransientStats zero;
+    auto c = sampleStats();
+    c.merge(zero);
+    EXPECT_EQ(c, sampleStats());
+}
+
+TEST(TransientStats, JsonCarriesEveryCounter)
+{
+    const auto json = sampleStats().toJson();
+    EXPECT_NE(json.find("\"abft_checks\": 100"), std::string::npos);
+    EXPECT_NE(json.find("\"abft_mismatches\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"drift_refreshes\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"refresh_pulses\": 4096"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ecc_singles\": 10"), std::string::npos);
+    EXPECT_NE(json.find("\"packets_corrupted\": 5"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"dead_links\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"detected\": 23"), std::string::npos);
+    EXPECT_NE(json.find("\"corrected\": 20"), std::string::npos);
+    EXPECT_NE(json.find("\"recovery_cycles\": 52"),
+              std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(HealthMonitor, AccumulatesAndResets)
+{
+    HealthMonitor mon;
+    EXPECT_EQ(mon.snapshot(), TransientStats{});
+    mon.add(sampleStats());
+    mon.add(sampleStats());
+    EXPECT_EQ(mon.snapshot().abftChecks, 200u);
+    mon.reset();
+    EXPECT_EQ(mon.snapshot(), TransientStats{});
+}
+
+TEST(HealthMonitor, ConcurrentAddsSumExactly)
+{
+    HealthMonitor mon;
+    constexpr int kThreads = 8;
+    constexpr int kAddsPerThread = 200;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&] {
+            TransientStats delta;
+            delta.abftChecks = 1;
+            delta.packetsSent = 3;
+            for (int i = 0; i < kAddsPerThread; ++i)
+                mon.add(delta);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const auto total = mon.snapshot();
+    EXPECT_EQ(total.abftChecks,
+              static_cast<std::uint64_t>(kThreads * kAddsPerThread));
+    EXPECT_EQ(total.packetsSent,
+              static_cast<std::uint64_t>(3 * kThreads *
+                                         kAddsPerThread));
+}
+
+} // namespace
+} // namespace isaac::resilience

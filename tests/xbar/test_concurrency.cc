@@ -253,6 +253,51 @@ TEST(Concurrency, PerTileAdcTalliesMergeExactly)
     EXPECT_EQ(eng.tileAdcTally(0, 0).samples, 0u);
 }
 
+TEST(Concurrency, TransientCountersAreThreadCountInvariant)
+{
+    // The ABFT retry decision and the drift/refresh accounting are
+    // keyed by (opSeq, phase, tile), never by execution order, so a
+    // noisy drifting checked engine must produce identical outputs
+    // AND an identical TransientStats block at any thread count.
+    Rng rng(808);
+    const int n = 300, m = 48; // 3 x 2 tiles at the default geometry
+    const auto weights = randomWords(rng, n * m);
+    std::vector<std::vector<Word>> probes;
+    for (int i = 0; i < 6; ++i)
+        probes.push_back(randomWords(rng, n));
+
+    EngineConfig base;
+    base.abftChecksum = true;
+    base.noise.sigmaLsb = 2.5;
+    base.noise.driftLevelsPerOp = 0.1;
+    base.noise.refreshIntervalOps = 4;
+    base.noise.seed = 31;
+
+    EngineConfig serialCfg = base;
+    serialCfg.threads = 1;
+    BitSerialEngine serial(serialCfg, weights, n, m);
+    for (const auto &probe : probes)
+        serial.dotProduct(probe);
+    const auto serialTransient = serial.transientStats();
+    ASSERT_GT(serialTransient.abftChecks, 0u);
+    ASSERT_GT(serialTransient.driftRefreshes, 0u);
+
+    for (int threads : {2, 4, 8}) {
+        EngineConfig parCfg = base;
+        parCfg.threads = threads;
+        BitSerialEngine par(parCfg, weights, n, m);
+        // Re-run serially for the result comparison so both engines
+        // consume identical op sequences.
+        BitSerialEngine oracle(serialCfg, weights, n, m);
+        for (const auto &probe : probes)
+            EXPECT_EQ(oracle.dotProduct(probe),
+                      par.dotProduct(probe))
+                << threads << " threads";
+        EXPECT_EQ(par.transientStats(), serialTransient)
+            << threads << " threads";
+    }
+}
+
 TEST(Concurrency, ReprogramKeepsParallelPathExact)
 {
     Rng rng(505);
