@@ -16,6 +16,31 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "== perf-regression gate: packed fast path vs scalar =="
+# bench_crossbar writes BENCH_crossbar.json (scalar and fast-path
+# columns per thread count plus the gated clean-128 record) before
+# running any google-benchmark cases; a filter matching nothing keeps
+# this step fast. The packed bit-plane path must hold at least a 5x
+# advantage over the scalar row loop on a clean 128x128 array — a
+# drop below that means the fast path silently stopped engaging
+# (dispatch regression) or its kernel degraded.
+(cd build && ./bench/bench_crossbar \
+    --benchmark_filter='^$' >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/BENCH_crossbar.json") as f:
+    bench = json.load(f)
+gate = bench["clean_128"]
+print("clean_128: scalar %.0f ns, fast %.0f ns, memo %.0f ns "
+      "(fast %.2fx, memo %.2fx)" %
+      (gate["scalar_ns"], gate["fast_ns"], gate["memo_ns"],
+       gate["fast_speedup"], gate["memo_speedup"]))
+if gate["fast_speedup"] < 5.0:
+    raise SystemExit(
+        "perf gate FAILED: clean-128 fast path is only %.2fx over "
+        "scalar (gate: 5x)" % gate["fast_speedup"])
+EOF
+
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DISAAC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j \
@@ -29,6 +54,13 @@ export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1"
 ./build-tsan/tests/test_xbar
 ./build-tsan/tests/test_sim
 ./build-tsan/tests/test_resilience
+
+echo "== TSan: fast-path equivalence suite (memo under threads) =="
+# The packed-path golden sweep runs engines at 1/2/4/8 threads with
+# the digit-vector memo racing to populate; TSan proves the lazy
+# plane rebuild and per-tile memo locking hold the threading
+# contract.
+./build-tsan/tests/test_xbar --gtest_filter='FastPath.*'
 
 echo "== AddressSanitizer build =="
 cmake -B build-asan -S . -DISAAC_SANITIZE=address >/dev/null
@@ -46,6 +78,9 @@ export ASAN_OPTIONS="halt_on_error=1 abort_on_error=1"
 echo "== ASan: transient-error campaigns (ABFT / ECC / NoC retry) =="
 ./build-asan/tests/test_xbar \
     --gtest_filter='Abft.*:Drift.*:Concurrency.Transient*'
+
+echo "== ASan: fast-path equivalence suite (plane/memo buffers) =="
+./build-asan/tests/test_xbar --gtest_filter='FastPath.*'
 ./build-asan/tests/test_noc --gtest_filter='Crc.*:Packet.*:Ecc.*'
 ./build-asan/tests/test_core --gtest_filter='TransientE2e.*'
 

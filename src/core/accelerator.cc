@@ -93,7 +93,12 @@ CompiledModel::runDotLayer(std::size_t layerIdx,
     nn::Tensor out(l.no, l.outNx(), l.outNy());
     // dotProduct() is concurrency-safe, so windows of a layer can be
     // issued in parallel even against a shared engine (exactly as
-    // replicated IMAs pipeline windows in hardware).
+    // replicated IMAs pipeline windows in hardware). Sharing the
+    // engine also shares its per-tile digit-vector memo: overlapping
+    // windows and repeated batch images present recurring digit
+    // vectors (sign-extended high phases above all, since quantized
+    // activations rarely fill 16 bits), and those replay cached
+    // readings instead of re-simulating the crossbar.
     const std::int64_t windows =
         static_cast<std::int64_t>(l.outNx()) * l.outNy();
     parallelFor(windows, cfg.threads(), [&](std::int64_t window, int) {
@@ -212,6 +217,26 @@ CompiledModel::engineStats() const
             total.dacActivations += s.dacActivations;
         }
     }
+    return total;
+}
+
+std::uint64_t
+CompiledModel::memoHits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            total += e->memoHits();
+    return total;
+}
+
+std::uint64_t
+CompiledModel::memoMisses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            total += e->memoMisses();
     return total;
 }
 

@@ -79,6 +79,17 @@ class CompiledModel
     /** Aggregated crossbar-engine activity since compilation. */
     xbar::EngineStats engineStats() const;
 
+    /**
+     * Digit-vector memo replay hits / misses summed over every
+     * functional engine. A layer's windows share one engine (and for
+     * shared kernels one tile memo), so overlapping conv windows and
+     * repeated batch images replay each other's readings — these
+     * counters quantify that reuse. Diagnostic: the split depends on
+     * thread interleaving even though results and stats never do.
+     */
+    std::uint64_t memoHits() const;
+    std::uint64_t memoMisses() const;
+
     /** ADC clip events across all engines (0 unless noisy). */
     std::uint64_t adcClips() const;
 

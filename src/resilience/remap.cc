@@ -8,13 +8,15 @@ namespace {
 
 /**
  * Program logical column `c` into physical column `phys` and verify
- * its used rows. Mismatches land in the plan's fault map; returns
- * how many there were.
+ * its used rows. Mismatches land in the plan's fault map; the
+ * observed levels land in `readback` (one entry per used row) so
+ * callers can reuse the verification pass instead of re-reading.
+ * Returns how many mismatches there were.
  */
 int
 programColumn(xbar::CrossbarArray &array, std::span<const int> intended,
               int rows, int usedRows, int logicalCols, int c,
-              int phys, ColumnPlan &plan)
+              int phys, ColumnPlan &plan, std::span<int> readback)
 {
     for (int r = 0; r < rows; ++r) {
         array.program(
@@ -27,6 +29,7 @@ programColumn(xbar::CrossbarArray &array, std::span<const int> intended,
         const int target =
             intended[static_cast<std::size_t>(r) * logicalCols + c];
         const int got = array.cell(r, phys);
+        readback[static_cast<std::size_t>(r)] = got;
         if (got != target) {
             ++mismatches;
             plan.faults.add(r, phys, got);
@@ -66,22 +69,29 @@ assignColumns(xbar::CrossbarArray &array, std::span<const int> intended,
     ColumnPlan plan;
     plan.colMap.assign(static_cast<std::size_t>(logicalCols), -1);
     plan.faults = FaultMap(array.rows(), array.cols());
+    plan.stored.assign(
+        static_cast<std::size_t>(usedRows) * logicalCols, 0);
     std::vector<char> spareUsed(spares.size(), 0);
+    std::vector<int> bestBack(static_cast<std::size_t>(usedRows));
+    std::vector<int> probeBack(static_cast<std::size_t>(usedRows));
 
     for (int c = 0; c < logicalCols; ++c) {
         int best = preferred[static_cast<std::size_t>(c)];
-        int bestMis = programColumn(array, intended, rows, usedRows,
-                                    logicalCols, c, best, plan);
+        int bestMis =
+            programColumn(array, intended, rows, usedRows,
+                          logicalCols, c, best, plan, bestBack);
         for (std::size_t s = 0; s < spares.size() && bestMis > 0;
              ++s) {
             if (spareUsed[s])
                 continue;
             const int mis =
                 programColumn(array, intended, rows, usedRows,
-                              logicalCols, c, spares[s], plan);
+                              logicalCols, c, spares[s], plan,
+                              probeBack);
             if (mis < bestMis) {
                 best = spares[s];
                 bestMis = mis;
+                std::swap(bestBack, probeBack);
             }
         }
         plan.colMap[static_cast<std::size_t>(c)] = best;
@@ -91,6 +101,10 @@ assignColumns(xbar::CrossbarArray &array, std::span<const int> intended,
             if (spares[s] == best)
                 spareUsed[s] = 1;
         plan.uncorrectableCells += bestMis;
+        for (int r = 0; r < usedRows; ++r) {
+            plan.stored[static_cast<std::size_t>(r) * logicalCols +
+                        c] = bestBack[static_cast<std::size_t>(r)];
+        }
     }
     return plan;
 }
@@ -111,6 +125,8 @@ reprogramColumns(xbar::CrossbarArray &array,
     ColumnPlan plan;
     plan.colMap.assign(colMap.begin(), colMap.end());
     plan.faults = FaultMap(array.rows(), array.cols());
+    plan.stored.assign(
+        static_cast<std::size_t>(usedRows) * logicalCols, 0);
     for (int c = 0; c < logicalCols; ++c) {
         const int phys = colMap[static_cast<std::size_t>(c)];
         for (int r = 0; r < rows; ++r) {
@@ -127,10 +143,11 @@ reprogramColumns(xbar::CrossbarArray &array,
             ++plan.cellWrites;
         }
         for (int r = 0; r < usedRows; ++r) {
-            const int target =
-                intended[static_cast<std::size_t>(r) * logicalCols +
-                         c];
+            const std::size_t idx =
+                static_cast<std::size_t>(r) * logicalCols + c;
+            const int target = intended[idx];
             const int got = array.cell(r, phys);
+            plan.stored[idx] = got;
             if (got != target) {
                 plan.faults.add(r, phys, got);
                 ++plan.uncorrectableCells;

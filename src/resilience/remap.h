@@ -44,6 +44,14 @@ struct ColumnPlan
     int uncorrectableCells = 0;
     /** Cell writes issued while placing (for write accounting). */
     std::int64_t cellWrites = 0;
+    /**
+     * Stored levels the verification pass observed in the assigned
+     * columns, row-major usedRows x logicalCols in *logical* column
+     * order. Downstream passes that need the post-placement contents
+     * (the engine's ABFT checksum targets) reuse this readback
+     * instead of re-reading every cell.
+     */
+    std::vector<int> stored;
 };
 
 /**

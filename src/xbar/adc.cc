@@ -24,25 +24,11 @@ Adc::Adc(int bits, bool noisy) : _bits(bits), _noisy(noisy)
         fatal("Adc: resolution out of supported range [1, 24]");
 }
 
-Acc
-Adc::quantize(Acc level, AdcTally &tally) const
+void
+Adc::negativePanic(Acc level) const
 {
-    ++tally.samples;
-    if (level < 0) {
-        if (!_noisy) {
-            panic("Adc: negative bitline sum " +
-                  std::to_string(level) +
-                  " with noise disabled (encoding invariant "
-                  "violated)");
-        }
-        ++tally.clips;
-        return 0;
-    }
-    if (level > maxCode()) {
-        ++tally.clips;
-        return maxCode();
-    }
-    return level;
+    panic("Adc: negative bitline sum " + std::to_string(level) +
+          " with noise disabled (encoding invariant violated)");
 }
 
 Acc

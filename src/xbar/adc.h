@@ -63,8 +63,25 @@ class Adc
     /**
      * Convert one sampled current, counting into `tally` instead of
      * the internal counters (lets parallel callers batch updates).
+     * Inline: the engine calls this once per column per phase, so it
+     * sits on the dot-product hot path.
      */
-    Acc quantize(Acc level, AdcTally &tally) const;
+    Acc
+    quantize(Acc level, AdcTally &tally) const
+    {
+        ++tally.samples;
+        if (level < 0) [[unlikely]] {
+            if (!_noisy)
+                negativePanic(level);
+            ++tally.clips;
+            return 0;
+        }
+        if (level > maxCode()) [[unlikely]] {
+            ++tally.clips;
+            return maxCode();
+        }
+        return level;
+    }
 
     /** Merge an externally accumulated tally into the counters. */
     void addTally(const AdcTally &tally) const;
@@ -94,6 +111,8 @@ class Adc
     void resetStats();
 
   private:
+    [[noreturn]] void negativePanic(Acc level) const;
+
     int _bits;
     bool _noisy;
     mutable std::atomic<std::uint64_t> _samples{0};

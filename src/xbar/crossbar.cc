@@ -1,6 +1,7 @@
 #include "xbar/crossbar.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
@@ -29,6 +30,7 @@ CrossbarArray::program(int row, int col, int level)
     const int budget = std::max(1, noise.maxProgramPulses);
     const std::size_t idx =
         static_cast<std::size_t>(row) * _cols + col;
+    invalidatePlanes();
     if (stuckLevel[idx] >= 0) {
         // The device does not respond; the write driver re-pulses
         // until verify matches or the budget runs out.
@@ -173,10 +175,21 @@ CrossbarArray::readAllBitlines(std::span<const int> inputs,
                                std::uint64_t noiseSeq,
                                std::uint64_t driftTime) const
 {
+    std::vector<Acc> out;
+    readAllBitlinesInto(inputs, noiseSeq, driftTime, out);
+    return out;
+}
+
+void
+CrossbarArray::readAllBitlinesInto(std::span<const int> inputs,
+                                   std::uint64_t noiseSeq,
+                                   std::uint64_t driftTime,
+                                   std::vector<Acc> &out) const
+{
     if (static_cast<int>(inputs.size()) > _rows)
         fatal("CrossbarArray::readAllBitlines: more inputs than rows");
     _readCycles.fetch_add(1, std::memory_order_relaxed);
-    std::vector<Acc> out(static_cast<std::size_t>(_cols));
+    out.resize(static_cast<std::size_t>(_cols));
     const bool noisy = noise.readNoiseEnabled();
     const bool drifty = noise.driftEnabled();
     for (int c = 0; c < _cols; ++c) {
@@ -186,7 +199,113 @@ CrossbarArray::readAllBitlines(std::span<const int> inputs,
             sum = applyReadNoise(sum, noiseSeq, c);
         out[static_cast<std::size_t>(c)] = sum;
     }
-    return out;
+}
+
+const std::uint64_t *
+CrossbarArray::ensurePlanes() const
+{
+    if (!_planesValid.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(_planesMutex);
+        if (!_planesValid.load(std::memory_order_relaxed)) {
+            const int words = planeWords();
+            _planes.assign(static_cast<std::size_t>(_cols) *
+                               _cellBits * words,
+                           0);
+            for (int r = 0; r < _rows; ++r) {
+                const std::uint64_t bit = std::uint64_t{1}
+                    << (r % 64);
+                const int word = r / 64;
+                for (int c = 0; c < _cols; ++c) {
+                    const int level =
+                        cells[static_cast<std::size_t>(r) * _cols +
+                              c];
+                    if (!level)
+                        continue;
+                    for (int b = 0; b < _cellBits; ++b) {
+                        if ((level >> b) & 1) {
+                            _planes[static_cast<std::size_t>(
+                                        c * _cellBits + b) *
+                                        words +
+                                    word] |= bit;
+                        }
+                    }
+                }
+            }
+            _planesValid.store(true, std::memory_order_release);
+        }
+    }
+    return _planes.data();
+}
+
+void
+CrossbarArray::readAllBitlinesPacked(
+    std::span<const std::uint64_t> digitPlanes, int digitBits,
+    std::vector<Acc> &out) const
+{
+    const int words = planeWords();
+    if (digitBits < 1 ||
+        digitPlanes.size() !=
+            static_cast<std::size_t>(digitBits) * words) {
+        fatal("CrossbarArray::readAllBitlinesPacked: digit-plane "
+              "span does not match the array geometry");
+    }
+    if (!packedReadExact()) {
+        fatal("CrossbarArray::readAllBitlinesPacked: array has read "
+              "noise or drift configured; use readAllBitlines");
+    }
+    const std::uint64_t *planes = ensurePlanes();
+    _readCycles.fetch_add(1, std::memory_order_relaxed);
+    out.resize(static_cast<std::size_t>(_cols));
+    // The 1-bit-DAC cases dominate (ISAAC-CE streams single input
+    // bits), and a 128-row array needs exactly two plane words, so
+    // those kernels are specialized: the digit words stay in
+    // registers across the whole column sweep.
+    if (digitBits == 1 && words == 1) {
+        const std::uint64_t d0 = digitPlanes[0];
+        const std::uint64_t *cellPlane = planes;
+        for (int c = 0; c < _cols; ++c) {
+            Acc sum = 0;
+            for (int b = 0; b < _cellBits; ++b, ++cellPlane)
+                sum += static_cast<Acc>(
+                           std::popcount(d0 & cellPlane[0]))
+                    << b;
+            out[static_cast<std::size_t>(c)] = sum;
+        }
+        return;
+    }
+    if (digitBits == 1 && words == 2) {
+        const std::uint64_t d0 = digitPlanes[0];
+        const std::uint64_t d1 = digitPlanes[1];
+        const std::uint64_t *cellPlane = planes;
+        for (int c = 0; c < _cols; ++c) {
+            Acc sum = 0;
+            for (int b = 0; b < _cellBits; ++b, cellPlane += 2)
+                sum += static_cast<Acc>(
+                           std::popcount(d0 & cellPlane[0]) +
+                           std::popcount(d1 & cellPlane[1]))
+                    << b;
+            out[static_cast<std::size_t>(c)] = sum;
+        }
+        return;
+    }
+    for (int c = 0; c < _cols; ++c) {
+        Acc sum = 0;
+        const std::uint64_t *cellPlane =
+            planes + static_cast<std::size_t>(c) * _cellBits * words;
+        for (int b = 0; b < _cellBits; ++b, cellPlane += words) {
+            Acc bitSum = 0;
+            const std::uint64_t *digitPlane = digitPlanes.data();
+            for (int j = 0; j < digitBits; ++j, digitPlane += words) {
+                Acc count = 0;
+                for (int w = 0; w < words; ++w)
+                    count += std::popcount(digitPlane[w] &
+                                           cellPlane[w]);
+                bitSum += count << j;
+            }
+            sum += bitSum << b;
+        }
+        out[static_cast<std::size_t>(c)] = sum;
+    }
 }
 
 void
@@ -195,6 +314,7 @@ CrossbarArray::setNoise(const NoiseSpec &spec,
 {
     if (spec.maxProgramPulses < 1)
         fatal("NoiseSpec: maxProgramPulses must be >= 1");
+    invalidatePlanes(); // the fault map below may snap cells
     noise = spec;
     // The salt mix keeps salt = 0 on the historical streams.
     const std::uint64_t salted =
@@ -241,8 +361,10 @@ CrossbarArray::forceStuck(int row, int col, int level)
     const std::size_t idx =
         static_cast<std::size_t>(row) * _cols + col;
     stuckLevel[idx] = level < 0 ? -1 : level;
-    if (level >= 0)
+    if (level >= 0) {
         cells[idx] = level;
+        invalidatePlanes();
+    }
 }
 
 int

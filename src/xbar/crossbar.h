@@ -21,6 +21,7 @@
 #define ISAAC_XBAR_CROSSBAR_H
 
 #include <atomic>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -102,6 +103,68 @@ class CrossbarArray
                                      std::uint64_t driftTime) const;
 
     /**
+     * Allocation-free variant of the three-argument overload: the
+     * result lands in `out` (resized to cols()), so a caller that
+     * loops — the engine's per-worker scratch, the ABFT retry loop —
+     * reuses one buffer instead of allocating per read.
+     */
+    void readAllBitlinesInto(std::span<const int> inputs,
+                             std::uint64_t noiseSeq,
+                             std::uint64_t driftTime,
+                             std::vector<Acc> &out) const;
+
+    /**
+     * Number of 64-bit words per column in the packed bit-plane
+     * representation (ceil(rows / 64)).
+     */
+    int planeWords() const { return (_rows + 63) / 64; }
+
+    /**
+     * True when the packed bit-plane read is bit-exact for this
+     * array: no read noise and no drift configured. Write noise and
+     * stuck cells only shape the *stored* levels, which the planes
+     * capture, so they do not disqualify the packed path.
+     */
+    bool
+    packedReadExact() const
+    {
+        return !noise.readNoiseEnabled() && !noise.driftEnabled();
+    }
+
+    /**
+     * One packed crossbar read cycle: every bitline current computed
+     * as sum_b 2^b * sum_j 2^j * popcount(digitPlane[j] & plane[c][b])
+     * over the stored-level bit-planes. Bit-identical to a clean
+     * readAllBitlines() against the same input digits (the caller
+     * packs digit bit j of row r into bit r of digitPlanes[j]; rows
+     * beyond the input vector must be zero). `digitPlanes` holds
+     * digitBits planes of planeWords() words each. fatal()s unless
+     * packedReadExact(). Thread-safe against other reads; the planes
+     * are rebuilt lazily after any program()/forceStuck()/setNoise().
+     */
+    void readAllBitlinesPacked(
+        std::span<const std::uint64_t> digitPlanes, int digitBits,
+        std::vector<Acc> &out) const;
+
+    /**
+     * Charge `n` read cycles without performing a read. The engine's
+     * digit-vector memo replays cached reads and uses this to keep
+     * readCycles() exactly equal to an unmemoized run.
+     */
+    void
+    chargeReadCycles(std::uint64_t n) const
+    {
+        _readCycles.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /**
+     * Row-major view of every stored level (rows() x cols()).
+     * Read-only programming/verification helper; not stable across
+     * program() calls.
+     */
+    std::span<const int> storedLevels() const { return cells; }
+
+    /**
      * Conductance the cell presents at drift clock `t`: the stored
      * level minus floor(driftLevelsPerOp * age * susceptibility),
      * clamped at 0, where age = t mod refreshIntervalOps (the
@@ -162,6 +225,15 @@ class CrossbarArray
     int driftedLevel(std::size_t idx, std::uint64_t t) const;
     Acc applyReadNoise(Acc sum, std::uint64_t seq, int col) const;
 
+    /** Rebuild the packed planes if stale; returns the plane base. */
+    const std::uint64_t *ensurePlanes() const;
+    /** Mark the packed planes stale (any stored-level mutation). */
+    void
+    invalidatePlanes()
+    {
+        _planesValid.store(false, std::memory_order_relaxed);
+    }
+
     int _rows;
     int _cols;
     int _cellBits;
@@ -175,6 +247,17 @@ class CrossbarArray
     /** Sequence for standalone single-bitline reads. */
     mutable std::atomic<std::uint64_t> _noiseSeq{0};
     mutable std::atomic<std::uint64_t> _readCycles{0};
+    /**
+     * Packed bit-planes of the stored levels, one plane per (column,
+     * cell bit): bit r of plane word r/64 is bit b of cell (r, c).
+     * Layout: (c * cellBits + b) * planeWords() + word. Built lazily
+     * under _planesMutex; _planesValid is the double-checked flag.
+     * Mutators (program/forceStuck/setNoise) only invalidate — they
+     * must not overlap reads, per the class contract above.
+     */
+    mutable std::vector<std::uint64_t> _planes;
+    mutable std::atomic<bool> _planesValid{false};
+    mutable std::mutex _planesMutex;
 };
 
 } // namespace isaac::xbar

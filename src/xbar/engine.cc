@@ -52,6 +52,8 @@ EngineConfig::validate() const
     if (threads < 0 || threads > kMaxThreads)
         fatal("EngineConfig: thread count must be in [0, " +
               std::to_string(kMaxThreads) + "]");
+    if (memoEntries < 0)
+        fatal("EngineConfig: memoEntries must be non-negative");
 }
 
 BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
@@ -76,6 +78,9 @@ BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
                  _colSegments);
 
     _tileAdc.assign(tiles.size(), AdcTally{});
+    memos.resize(tiles.size());
+    for (auto &m : memos)
+        m = std::make_unique<TileMemo>();
     for (int rs = 0; rs < _rowSegments; ++rs) {
         for (int cs = 0; cs < _colSegments; ++cs) {
             auto &t = tile(rs, cs);
@@ -177,6 +182,7 @@ BitSerialEngine::programTile(ArrayTile &t,
     // program-verify flags mismatches and spares are available).
     // Reprogramming keeps the placement and rewrites differentially.
     std::int64_t writes = 0;
+    std::vector<int> stored;
     if (t.colMap.empty()) {
         std::vector<int> preferred(
             static_cast<std::size_t>(logicalCols));
@@ -196,6 +202,7 @@ BitSerialEngine::programTile(ArrayTile &t,
         t.remappedColumns = plan.remappedColumns;
         t.uncorrectableCells = plan.uncorrectableCells;
         writes = plan.cellWrites;
+        stored = std::move(plan.stored);
     } else {
         auto plan = resilience::reprogramColumns(
             *t.array, next, t.intended, cfg.rows, t.usedRows,
@@ -203,31 +210,37 @@ BitSerialEngine::programTile(ArrayTile &t,
         t.faults = std::move(plan.faults);
         t.uncorrectableCells = plan.uncorrectableCells;
         writes = plan.cellWrites;
+        stored = std::move(plan.stored);
     }
     t.intended = std::move(next);
     if (cfg.abftChecksum)
-        programChecksum(t);
+        programChecksum(t, stored);
     return writes;
 }
 
 void
-BitSerialEngine::programChecksum(ArrayTile &t)
+BitSerialEngine::programChecksum(ArrayTile &t,
+                                 std::span<const int> stored)
 {
     // Checksum targets come from the *stored* levels the placement
-    // pass left behind (read back through cell()), unflipped to the
-    // logical encoding so the digital check in runPhaseSegment —
-    // which also unflips — stays consistent. Deriving targets from
-    // readback rather than intent means permanent write failures the
-    // remapper already reported do not raise ABFT alarms forever.
+    // pass left behind — reusing the readback its verification loop
+    // already performed instead of re-reading every cell — unflipped
+    // to the logical encoding so the digital check in
+    // runPhaseSegment, which also unflips, stays consistent.
+    // Deriving targets from readback rather than intent means
+    // permanent write failures the remapper already reported do not
+    // raise ABFT alarms forever.
     const int slices = cfg.slicesPerWeight();
     const int dataCols = t.localOutputs * slices;
+    const int logicalCols = dataCols + 1;
     const int mask = (1 << cfg.cellBits) - 1;
     std::vector<int> target(static_cast<std::size_t>(t.usedRows), 0);
     for (int r = 0; r < t.usedRows; ++r) {
         int sum = 0;
         for (int c = 0; c < dataCols; ++c) {
-            int lvl =
-                t.array->cell(r, t.colMap[static_cast<std::size_t>(c)]);
+            int lvl = stored[static_cast<std::size_t>(r) *
+                                 logicalCols +
+                             c];
             if (t.flipped[static_cast<std::size_t>(c)])
                 lvl = flipLevel(lvl, cfg.cellBits);
             sum += lvl;
@@ -246,9 +259,12 @@ BitSerialEngine::programChecksum(ArrayTile &t)
     const int phys = checksumCol();
     for (int r = 0; r < t.usedRows; ++r) {
         const int want = target[static_cast<std::size_t>(r)];
-        if (t.array->cell(r, phys) != want)
+        int have = t.array->cell(r, phys);
+        if (have != want) {
             t.array->program(r, phys, want);
-        if (t.array->cell(r, phys) != want)
+            have = t.array->cell(r, phys);
+        }
+        if (have != want)
             t.abftOk = false; // Defective column: run unchecked.
     }
 }
@@ -276,6 +292,194 @@ BitSerialEngine::reprogram(std::span<const Word> weights)
     std::int64_t total = 0;
     for (std::int64_t w : writes)
         total += w;
+    // Stored levels (and possibly the abftOk/flip state) changed:
+    // every memoized reading is stale. The packed planes invalidated
+    // themselves on the program() calls above.
+    clearMemos();
+    return total;
+}
+
+bool
+BitSerialEngine::fastPathActive() const
+{
+    return cfg.fastPath && !cfg.noise.readNoiseEnabled() &&
+        !cfg.noise.driftEnabled() &&
+        !_injected.load(std::memory_order_relaxed);
+}
+
+void
+BitSerialEngine::packDigitPlanes(std::span<const Word> inputs, int p,
+                                 int rs, int used, Partial &part) const
+{
+    // Fast-path digit extraction: the input digits land directly in
+    // the packed planes (the scalar `digits` buffer is only needed by
+    // the analog read primitive, which this path never calls).
+    const int words = (cfg.rows + 63) / 64;
+    const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
+    auto &planes = part.digitPlanes;
+    planes.assign(static_cast<std::size_t>(cfg.dacBits) * words, 0);
+    for (int r = 0; r < used; ++r) {
+        const Word x =
+            inputs[static_cast<std::size_t>(rs * cfg.rows + r)];
+        int d;
+        if (twosComp) {
+            d = bitOf(x, p);
+        } else {
+            const std::uint16_t y = static_cast<std::uint16_t>(
+                static_cast<Acc>(x) + kWeightBias);
+            d = digitOf(static_cast<Word>(y), p * cfg.dacBits,
+                        cfg.dacBits);
+        }
+        if (!d)
+            continue;
+        const std::uint64_t bit = std::uint64_t{1} << (r % 64);
+        for (int j = 0; j < cfg.dacBits; ++j) {
+            if ((d >> j) & 1)
+                planes[static_cast<std::size_t>(j) * words + r / 64] |=
+                    bit;
+        }
+    }
+    // FNV-1a over the plane words; collisions are survivable (the
+    // memo verifies full key equality) but rare enough not to cost.
+    std::uint64_t h = 14695981039346656037ull;
+    for (const std::uint64_t w : planes) {
+        h ^= w;
+        h *= 1099511628211ull;
+    }
+    part.planeHash = h;
+}
+
+bool
+BitSerialEngine::memoReplay(int rs, int cs, Partial &part,
+                            Acc &unit) const
+{
+    auto &memo =
+        *memos[static_cast<std::size_t>(rs) * _colSegments + cs];
+    std::lock_guard<std::mutex> lock(memo.m);
+    const auto [begin, end] = memo.index.equal_range(part.planeHash);
+    for (auto it = begin; it != end; ++it) {
+        auto &e = memo.entries[it->second];
+        if (e.key.size() != part.digitPlanes.size() ||
+            !std::equal(e.key.begin(), e.key.end(),
+                        part.digitPlanes.begin()))
+            continue;
+        // Replay: the cached deltas are exactly what a fresh
+        // evaluation would add, so every counter stays identical to
+        // an unmemoized run (including the array's own read-cycle
+        // counter, charged explicitly).
+        part.colQ.assign(e.colQ.begin(), e.colQ.end());
+        unit = e.unit;
+        part.stats.crossbarReads += e.reads;
+        part.stats.adcSamples += e.tally.samples;
+        auto &tileTally = part.tileAdc[static_cast<std::size_t>(
+            rs * _colSegments + cs)];
+        tileTally.samples += e.tally.samples;
+        tileTally.clips += e.tally.clips;
+        part.transient.merge(e.transient);
+        tile(rs, cs).array->chargeReadCycles(e.reads);
+        e.lastUse = ++memo.clock;
+        ++memo.hits;
+        return true;
+    }
+    ++memo.misses;
+    return false;
+}
+
+void
+BitSerialEngine::memoInsert(
+    int rs, int cs, const Partial &part, Acc unit,
+    const EngineStats &statsBefore, const AdcTally &tallyBefore,
+    const resilience::TransientStats &trBefore) const
+{
+    auto &memo =
+        *memos[static_cast<std::size_t>(rs) * _colSegments + cs];
+    std::lock_guard<std::mutex> lock(memo.m);
+    // A racing worker may have inserted the same key meanwhile;
+    // keeping one copy is enough (both computed identical values).
+    const auto [begin, end] = memo.index.equal_range(part.planeHash);
+    for (auto it = begin; it != end; ++it) {
+        const auto &e = memo.entries[it->second];
+        if (e.key.size() == part.digitPlanes.size() &&
+            std::equal(e.key.begin(), e.key.end(),
+                       part.digitPlanes.begin()))
+            return;
+    }
+    std::size_t slotIdx;
+    if (static_cast<int>(memo.entries.size()) < cfg.memoEntries) {
+        slotIdx = memo.entries.size();
+        memo.entries.emplace_back();
+    } else {
+        // Evict the least-recently-used entry (only reached once the
+        // working set outgrows the capacity) and unhook its index.
+        slotIdx = 0;
+        for (std::size_t i = 1; i < memo.entries.size(); ++i)
+            if (memo.entries[i].lastUse <
+                memo.entries[slotIdx].lastUse)
+                slotIdx = i;
+        const auto [b, e] =
+            memo.index.equal_range(memo.entries[slotIdx].hash);
+        for (auto it = b; it != e; ++it) {
+            if (it->second == slotIdx) {
+                memo.index.erase(it);
+                break;
+            }
+        }
+    }
+    MemoEntry *slot = &memo.entries[slotIdx];
+    const auto &tileTally = part.tileAdc[static_cast<std::size_t>(
+        rs * _colSegments + cs)];
+    slot->hash = part.planeHash;
+    slot->key.assign(part.digitPlanes.begin(),
+                     part.digitPlanes.end());
+    slot->colQ.assign(part.colQ.begin(), part.colQ.end());
+    slot->unit = unit;
+    slot->reads = part.stats.crossbarReads - statsBefore.crossbarReads;
+    slot->tally.samples = tileTally.samples - tallyBefore.samples;
+    slot->tally.clips = tileTally.clips - tallyBefore.clips;
+    slot->transient = resilience::TransientStats{};
+    slot->transient.abftChecks =
+        part.transient.abftChecks - trBefore.abftChecks;
+    slot->transient.abftMismatches =
+        part.transient.abftMismatches - trBefore.abftMismatches;
+    slot->transient.abftRetries =
+        part.transient.abftRetries - trBefore.abftRetries;
+    slot->transient.abftRetryCycles =
+        part.transient.abftRetryCycles - trBefore.abftRetryCycles;
+    slot->transient.abftUncorrected =
+        part.transient.abftUncorrected - trBefore.abftUncorrected;
+    slot->lastUse = ++memo.clock;
+    memo.index.emplace(part.planeHash, slotIdx);
+}
+
+void
+BitSerialEngine::clearMemos() const
+{
+    for (auto &m : memos) {
+        std::lock_guard<std::mutex> lock(m->m);
+        m->entries.clear();
+        m->index.clear();
+    }
+}
+
+std::uint64_t
+BitSerialEngine::memoHits() const
+{
+    std::uint64_t total = 0;
+    for (auto &m : memos) {
+        std::lock_guard<std::mutex> lock(m->m);
+        total += m->hits;
+    }
+    return total;
+}
+
+std::uint64_t
+BitSerialEngine::memoMisses() const
+{
+    std::uint64_t total = 0;
+    for (auto &m : memos) {
+        std::lock_guard<std::mutex> lock(m->m);
+        total += m->misses;
+    }
     return total;
 }
 
@@ -289,19 +493,29 @@ BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
     const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
 
     const int used = tile(rs, 0).usedRows;
-    auto &digits = part.digits;
-    digits.assign(static_cast<std::size_t>(used), 0);
-    for (int r = 0; r < used; ++r) {
-        const Word x =
-            inputs[static_cast<std::size_t>(rs * cfg.rows + r)];
-        if (twosComp) {
-            digits[static_cast<std::size_t>(r)] = bitOf(x, p);
-        } else {
-            const std::uint16_t y = static_cast<std::uint16_t>(
-                static_cast<Acc>(x) + kWeightBias);
-            digits[static_cast<std::size_t>(r)] =
-                digitOf(static_cast<Word>(y), p * cfg.dacBits,
-                        cfg.dacBits);
+    // Clean configurations take the packed bit-plane path: the digit
+    // vector is packed once per (phase, row segment) and every tile
+    // either replays a memoized reading of that vector or computes
+    // it from popcounts. Both produce bit-identical values and
+    // counter deltas to the scalar loop below (tests assert it).
+    const bool fast = fastPathActive();
+    if (fast) {
+        packDigitPlanes(inputs, p, rs, used, part);
+    } else {
+        auto &digits = part.digits;
+        digits.assign(static_cast<std::size_t>(used), 0);
+        for (int r = 0; r < used; ++r) {
+            const Word x =
+                inputs[static_cast<std::size_t>(rs * cfg.rows + r)];
+            if (twosComp) {
+                digits[static_cast<std::size_t>(r)] = bitOf(x, p);
+            } else {
+                const std::uint16_t y = static_cast<std::uint16_t>(
+                    static_cast<Acc>(x) + kWeightBias);
+                digits[static_cast<std::size_t>(r)] =
+                    digitOf(static_cast<Word>(y), p * cfg.dacBits,
+                            cfg.dacBits);
+            }
         }
     }
     part.stats.dacActivations += static_cast<std::uint64_t>(used);
@@ -316,66 +530,22 @@ BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
             opSeq * static_cast<std::uint64_t>(phases) +
             static_cast<std::uint64_t>(p);
 
-        // Read-attempt loop. Each attempt samples the unit column
-        // and every mapped data column (spares the remapper left
-        // unused are never sampled); with ABFT active the checksum
-        // column is sampled too and the quantized total is verified
-        // mod 2^w. A mismatch triggers a bounded re-read with a
-        // fresh noise sequence (attempt salted into the high bits)
-        // but the *same* drift clock — noise excursions are
-        // retryable, drifted conductances are not. The retry
-        // decision depends only on (opSeq, p, tile) and the
-        // counter-keyed draws, so any thread interleaving reproduces
-        // the serial realization exactly.
         auto &colQ = part.colQ;
-        colQ.assign(static_cast<std::size_t>(dataCols), 0);
         Acc unit = 0;
-        for (int attempt = 0;; ++attempt) {
-            const auto currents = t.array->readAllBitlines(
-                digits,
-                baseSeq + (static_cast<std::uint64_t>(attempt) << 40),
-                opSeq);
-            ++part.stats.crossbarReads;
-            unit = adc.quantize(
-                currents[static_cast<std::size_t>(
-                    t.colMap[static_cast<std::size_t>(dataCols)])],
-                tileTally);
-            ++part.stats.adcSamples;
-            Acc rawTotal = 0;
-            for (int c = 0; c < dataCols; ++c) {
-                const int phys =
-                    t.colMap[static_cast<std::size_t>(c)];
-                Acc v = adc.quantize(
-                    currents[static_cast<std::size_t>(phys)],
-                    tileTally);
-                ++part.stats.adcSamples;
-                if (t.flipped[static_cast<std::size_t>(c)])
-                    v = unflipColumnSum(v, unit, cfg.cellBits);
-                colQ[static_cast<std::size_t>(c)] = v;
-                rawTotal += v;
+        bool replayed = false;
+        if (fast && cfg.memoEntries > 0)
+            replayed = memoReplay(rs, cs, part, unit);
+        if (!replayed) {
+            const EngineStats statsBefore = part.stats;
+            const AdcTally tallyBefore = tileTally;
+            const resilience::TransientStats trBefore =
+                part.transient;
+            evalTilePhase(t, dataCols, checking, fast, baseSeq,
+                          opSeq, part, tileTally, unit);
+            if (fast && cfg.memoEntries > 0) {
+                memoInsert(rs, cs, part, unit, statsBefore,
+                           tallyBefore, trBefore);
             }
-            if (!checking)
-                break;
-            Acc s = adc.quantize(
-                currents[static_cast<std::size_t>(checksumCol())],
-                tileTally);
-            ++part.stats.adcSamples;
-            if (t.checksumFlipped)
-                s = unflipColumnSum(s, unit, cfg.cellBits);
-            ++part.transient.abftChecks;
-            const Acc mod = Acc{1} << cfg.cellBits;
-            if (((rawTotal - s) % mod + mod) % mod == 0)
-                break;
-            if (attempt == 0)
-                ++part.transient.abftMismatches;
-            if (attempt >= cfg.maxReadRetries) {
-                ++part.transient.abftUncorrected;
-                break;
-            }
-            ++part.transient.abftRetries;
-            part.transient.abftRetryCycles +=
-                static_cast<std::uint64_t>(cfg.retryBackoffCycles)
-                << attempt;
         }
 
         for (int o = 0; o < t.localOutputs; ++o) {
@@ -404,6 +574,80 @@ BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
         // (phase, row segment), not per column tile.
         if (!twosComp && cs == 0)
             part.unitTotal += unit * (Acc{1} << (p * cfg.dacBits));
+    }
+}
+
+void
+BitSerialEngine::evalTilePhase(const ArrayTile &t, int dataCols,
+                               bool checking, bool fast,
+                               std::uint64_t baseSeq,
+                               std::uint64_t opSeq, Partial &part,
+                               AdcTally &tileTally, Acc &unit) const
+{
+    // Read-attempt loop. Each attempt samples the unit column and
+    // every mapped data column (spares the remapper left unused are
+    // never sampled); with ABFT active the checksum column is
+    // sampled too and the quantized total is verified mod 2^w. A
+    // mismatch triggers a bounded re-read with a fresh noise
+    // sequence (attempt salted into the high bits) but the *same*
+    // drift clock — noise excursions are retryable, drifted
+    // conductances are not. The retry decision depends only on
+    // (opSeq, p, tile) and the counter-keyed draws, so any thread
+    // interleaving reproduces the serial realization exactly.
+    // Packed attempts are deterministic; the loop structure (and
+    // every counter it touches) is shared with the scalar path.
+    auto &colQ = part.colQ;
+    colQ.assign(static_cast<std::size_t>(dataCols), 0);
+    auto &currents = part.currents;
+    for (int attempt = 0;; ++attempt) {
+        if (fast) {
+            t.array->readAllBitlinesPacked(part.digitPlanes,
+                                           cfg.dacBits, currents);
+        } else {
+            t.array->readAllBitlinesInto(
+                part.digits,
+                baseSeq + (static_cast<std::uint64_t>(attempt) << 40),
+                opSeq, currents);
+        }
+        ++part.stats.crossbarReads;
+        unit = adc.quantize(
+            currents[static_cast<std::size_t>(
+                t.colMap[static_cast<std::size_t>(dataCols)])],
+            tileTally);
+        ++part.stats.adcSamples;
+        Acc rawTotal = 0;
+        for (int c = 0; c < dataCols; ++c) {
+            const int phys = t.colMap[static_cast<std::size_t>(c)];
+            Acc v = adc.quantize(
+                currents[static_cast<std::size_t>(phys)], tileTally);
+            ++part.stats.adcSamples;
+            if (t.flipped[static_cast<std::size_t>(c)])
+                v = unflipColumnSum(v, unit, cfg.cellBits);
+            colQ[static_cast<std::size_t>(c)] = v;
+            rawTotal += v;
+        }
+        if (!checking)
+            break;
+        Acc s = adc.quantize(
+            currents[static_cast<std::size_t>(checksumCol())],
+            tileTally);
+        ++part.stats.adcSamples;
+        if (t.checksumFlipped)
+            s = unflipColumnSum(s, unit, cfg.cellBits);
+        ++part.transient.abftChecks;
+        const Acc mod = Acc{1} << cfg.cellBits;
+        if (((rawTotal - s) % mod + mod) % mod == 0)
+            break;
+        if (attempt == 0)
+            ++part.transient.abftMismatches;
+        if (attempt >= cfg.maxReadRetries) {
+            ++part.transient.abftUncorrected;
+            break;
+        }
+        ++part.transient.abftRetries;
+        part.transient.abftRetryCycles +=
+            static_cast<std::uint64_t>(cfg.retryBackoffCycles)
+            << attempt;
     }
 }
 
@@ -659,6 +903,12 @@ BitSerialEngine::injectCellFault(int rs, int cs, int row, int col,
     if (rs < 0 || rs >= _rowSegments || cs < 0 || cs >= _colSegments)
         fatal("BitSerialEngine::injectCellFault: tile out of range");
     tile(rs, cs).array->forceStuck(row, col, level);
+    // Stored levels no longer match what programming left behind, so
+    // the packed fast path and every memoized reading stand down —
+    // the campaign tests rely on the scalar path re-observing the
+    // corrupted cell on every subsequent read.
+    _injected.store(true, std::memory_order_relaxed);
+    clearMemos();
 }
 
 bool

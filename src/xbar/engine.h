@@ -38,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -120,6 +121,31 @@ struct EngineConfig
 
     /** First re-read backoff in cycles; doubles per attempt. */
     int retryBackoffCycles = 2;
+
+    /**
+     * Packed bit-plane fast path: when the analog model is clean (no
+     * read noise, no drift, no injected faults) every bitline sum is
+     * computed as popcounts over 64-bit bit-planes of the stored
+     * levels instead of the scalar O(rows x cols) loop, and the ABFT
+     * checksum is verified digitally from the same packed sums.
+     * Results, EngineStats, per-tile AdcTally, and TransientStats
+     * are bit-identical either way (tests assert it); false forces
+     * the legacy scalar path. Noisy / drifting configs and engines
+     * with injectCellFault() activity always take the scalar path
+     * regardless of this knob. See docs/performance.md.
+     */
+    bool fastPath = true;
+
+    /**
+     * Per-tile LRU memo capacity for the fast path: a (phase, row
+     * segment) whose digit vector was already evaluated against a
+     * tile replays the cached quantized columns, unit reading, and
+     * counter deltas instead of re-reading — conv windows and
+     * sign-extended high phases repeat digit vectors heavily. 0
+     * disables memoization. Replayed deltas equal computed deltas,
+     * so results and all counters stay exact at any hit pattern.
+     */
+    int memoEntries = 64;
 
     /** Digits per weight = 16 / w. */
     int slicesPerWeight() const { return kDataBits / cellBits; }
@@ -253,6 +279,24 @@ class BitSerialEngine
     /** Whether tile (rs, cs) runs with an active checksum column. */
     bool abftActive(int rs, int cs) const;
 
+    /**
+     * True when dotProduct() takes the packed bit-plane path: the
+     * fastPath knob is on, the noise spec has no read noise or
+     * drift, and no fault was injected after programming. Scalar
+     * and packed execution are bit-identical; this only reports
+     * which one runs.
+     */
+    bool fastPathActive() const;
+
+    /**
+     * Digit-vector memo replay hits / misses (lifetime, all tiles).
+     * Diagnostic only: concurrent dotProduct() calls may race to
+     * populate an entry, so the split is interleaving-dependent even
+     * though results and EngineStats never are.
+     */
+    std::uint64_t memoHits() const;
+    std::uint64_t memoMisses() const;
+
   private:
     struct ArrayTile
     {
@@ -280,9 +324,49 @@ class BitSerialEngine
         Acc unitTotal = 0;
         std::vector<int> digits;  ///< Scratch input-digit buffer.
         std::vector<Acc> colQ;    ///< Scratch quantized columns.
+        std::vector<Acc> currents; ///< Scratch bitline readings.
+        /** Scratch packed digit planes (dacBits x planeWords). */
+        std::vector<std::uint64_t> digitPlanes;
+        std::uint64_t planeHash = 0; ///< Hash of digitPlanes.
         EngineStats stats;
         resilience::TransientStats transient;
         std::vector<AdcTally> tileAdc; ///< ADC activity per tile.
+    };
+
+    /**
+     * One memoized (digit vector -> tile reading): the quantized
+     * data columns, the unit reading, and the exact counter deltas a
+     * fresh evaluation would produce, so a replay is indistinguishable
+     * from a recompute. Valid until the tile is reprogrammed or a
+     * fault is injected (both clear the memo).
+     */
+    struct MemoEntry
+    {
+        std::uint64_t hash = 0;
+        std::vector<std::uint64_t> key; ///< The packed digit planes.
+        std::vector<Acc> colQ;
+        Acc unit = 0;
+        std::uint64_t reads = 0; ///< crossbarReads delta (attempts).
+        AdcTally tally;          ///< ADC sample/clip delta.
+        resilience::TransientStats transient; ///< ABFT delta.
+        std::uint64_t lastUse = 0; ///< LRU clock.
+    };
+
+    /**
+     * Per-tile memo; the mutex shards contention across tiles. The
+     * hash index keeps lookups O(1) so large capacities (sized to a
+     * conv layer's windows x phases working set) stay cheap; it is a
+     * multimap because distinct keys may share an FNV hash (replay
+     * verifies full key equality before trusting an entry).
+     */
+    struct TileMemo
+    {
+        std::mutex m;
+        std::vector<MemoEntry> entries;
+        std::unordered_multimap<std::uint64_t, std::size_t> index;
+        std::uint64_t clock = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
     };
 
     ArrayTile &tile(int rs, int cs);
@@ -297,13 +381,53 @@ class BitSerialEngine
     void runPhaseSegment(std::span<const Word> inputs, int p, int rs,
                          std::uint64_t opSeq, Partial &part) const;
 
+    /**
+     * Extract phase p's input digits for row segment rs directly
+     * into part.digitPlanes (bypassing the scalar digit buffer) and
+     * hash them for the memo key.
+     */
+    void packDigitPlanes(std::span<const Word> inputs, int p, int rs,
+                         int used, Partial &part) const;
+
+    /**
+     * Fresh evaluation of one (phase, tile): the bounded read-attempt
+     * loop shared by the scalar and packed paths (`fast` picks the
+     * read primitive; every counter update is common). Fills
+     * part.colQ and `unit`.
+     */
+    void evalTilePhase(const ArrayTile &t, int dataCols,
+                       bool checking, bool fast,
+                       std::uint64_t baseSeq, std::uint64_t opSeq,
+                       Partial &part, AdcTally &tileTally,
+                       Acc &unit) const;
+
+    /**
+     * Replay a memoized reading of tile (rs, cs) for the digit
+     * planes in `part`, merging the cached colQ/unit/counter deltas.
+     * Returns false on a miss (the caller evaluates and inserts).
+     */
+    bool memoReplay(int rs, int cs, Partial &part, Acc &unit) const;
+
+    /** Insert a fresh evaluation's deltas into the tile memo. */
+    void memoInsert(int rs, int cs, const Partial &part, Acc unit,
+                    const EngineStats &statsBefore,
+                    const AdcTally &tallyBefore,
+                    const resilience::TransientStats &trBefore) const;
+
+    /** Drop every tile's memo (reprogram / fault injection). */
+    void clearMemos() const;
+
     /** Program one tile; returns the cell writes performed. */
     std::int64_t programTile(ArrayTile &t,
                              std::span<const Word> weights,
                              int rowBase, int outBase);
 
-    /** (Re)program one tile's checksum column; sets abftOk. */
-    void programChecksum(ArrayTile &t);
+    /**
+     * (Re)program one tile's checksum column from the stored levels
+     * the placement pass read back (usedRows x logicalCols, logical
+     * column order); sets abftOk.
+     */
+    void programChecksum(ArrayTile &t, std::span<const int> stored);
 
     /** Physical column index of the ABFT checksum column. */
     int checksumCol() const { return cfg.cols + cfg.spareCols + 1; }
@@ -323,6 +447,11 @@ class BitSerialEngine
     mutable resilience::TransientStats _transient;
     /** Per-tile ADC tallies (guarded by statsMutex). */
     mutable std::vector<AdcTally> _tileAdc;
+    /** Per-tile digit-vector memos (each owns its mutex). */
+    mutable std::vector<std::unique_ptr<TileMemo>> memos;
+    /** injectCellFault() happened: stored levels no longer match
+     *  what programming left, so the packed path stands down. */
+    mutable std::atomic<bool> _injected{false};
 };
 
 } // namespace isaac::xbar

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Packed bit-plane fast path + digit-vector memoization: the golden
+ * equivalence suite. The fast path is only allowed to exist because
+ * it is *invisible* — results, EngineStats, per-tile AdcTally, and
+ * TransientStats must be bit-identical to the legacy scalar path for
+ * every configuration and thread count, memo hits included. These
+ * tests sweep the encoding space, prove the dispatch rules
+ * (noisy/drifting/injected configs fall back to scalar), and prove
+ * invalidation on reprogramming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "xbar/engine.h"
+
+namespace isaac::xbar {
+namespace {
+
+std::vector<Word>
+randomWords(Rng &rng, int n, int lo = -32768, int hi = 32767)
+{
+    std::vector<Word> v(static_cast<std::size_t>(n));
+    for (auto &w : v)
+        w = static_cast<Word>(rng.uniform(lo, hi));
+    return v;
+}
+
+/** Everything an engine run is observable by. */
+struct RunTrace
+{
+    std::vector<std::vector<Acc>> results;
+    EngineStats stats;
+    resilience::TransientStats transient;
+    std::vector<AdcTally> tiles;
+    std::uint64_t readCycles = 0;
+    std::uint64_t adcClips = 0;
+};
+
+bool
+operator==(const EngineStats &a, const EngineStats &b)
+{
+    return a.ops == b.ops && a.crossbarReads == b.crossbarReads &&
+        a.adcSamples == b.adcSamples && a.adcClips == b.adcClips &&
+        a.shiftAdds == b.shiftAdds &&
+        a.dacActivations == b.dacActivations;
+}
+
+/** Run a sequence of inputs (with repeats) and trace everything. */
+RunTrace
+runSequence(const EngineConfig &cfg, std::span<const Word> weights,
+            int n, int m,
+            const std::vector<std::vector<Word>> &inputs)
+{
+    BitSerialEngine engine(cfg, weights, n, m);
+    RunTrace trace;
+    for (const auto &x : inputs)
+        trace.results.push_back(engine.dotProduct(x));
+    trace.stats = engine.stats();
+    trace.transient = engine.transientStats();
+    for (int rs = 0; rs < engine.rowSegments(); ++rs)
+        for (int cs = 0; cs < engine.colSegments(); ++cs)
+            trace.tiles.push_back(engine.tileAdcTally(rs, cs));
+    trace.readCycles = engine.readCycles();
+    trace.adcClips = engine.adcClips();
+    return trace;
+}
+
+void
+expectTracesEqual(const RunTrace &a, const RunTrace &b,
+                  const std::string &label)
+{
+    SCOPED_TRACE(label);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i)
+        EXPECT_EQ(a.results[i], b.results[i]) << "op " << i;
+    EXPECT_TRUE(a.stats == b.stats);
+    EXPECT_EQ(a.transient.abftChecks, b.transient.abftChecks);
+    EXPECT_EQ(a.transient.abftMismatches, b.transient.abftMismatches);
+    EXPECT_EQ(a.transient.abftRetries, b.transient.abftRetries);
+    EXPECT_EQ(a.transient.abftRetryCycles,
+              b.transient.abftRetryCycles);
+    EXPECT_EQ(a.transient.abftUncorrected,
+              b.transient.abftUncorrected);
+    EXPECT_EQ(a.transient.abftDisabledTiles,
+              b.transient.abftDisabledTiles);
+    ASSERT_EQ(a.tiles.size(), b.tiles.size());
+    for (std::size_t i = 0; i < a.tiles.size(); ++i) {
+        EXPECT_EQ(a.tiles[i].samples, b.tiles[i].samples)
+            << "tile " << i;
+        EXPECT_EQ(a.tiles[i].clips, b.tiles[i].clips) << "tile " << i;
+    }
+    EXPECT_EQ(a.readCycles, b.readCycles);
+    EXPECT_EQ(a.adcClips, b.adcClips);
+}
+
+/** A named configuration point of the equivalence sweep. */
+struct SweepPoint
+{
+    const char *name;
+    EngineConfig cfg;
+};
+
+/**
+ * The sweep: {cellBits, dacBits, flipEncoding, spares, ABFT on/off,
+ * TwosComplement/Biased} plus programming-time non-idealities
+ * (write noise, stuck cells) that the packed path must read through
+ * exactly because they only shape the *stored* levels.
+ */
+std::vector<SweepPoint>
+sweepPoints()
+{
+    std::vector<SweepPoint> points;
+    {
+        SweepPoint p{"default-ce", {}};
+        points.push_back(p);
+    }
+    {
+        SweepPoint p{"w1-unflipped", {}};
+        p.cfg.cellBits = 1;
+        p.cfg.flipEncoding = false;
+        points.push_back(p);
+    }
+    {
+        SweepPoint p{"w4-abft", {}};
+        p.cfg.cellBits = 4;
+        p.cfg.abftChecksum = true;
+        points.push_back(p);
+    }
+    {
+        SweepPoint p{"biased-dac2", {}};
+        p.cfg.dacBits = 2;
+        p.cfg.inputMode = InputMode::Biased;
+        points.push_back(p);
+    }
+    {
+        SweepPoint p{"biased-dac4-w4", {}};
+        p.cfg.dacBits = 4;
+        p.cfg.cellBits = 4;
+        p.cfg.inputMode = InputMode::Biased;
+        points.push_back(p);
+    }
+    {
+        // Stuck cells + spares: the remapper moves columns, the
+        // checksum derives from stored levels, and the packed planes
+        // must capture exactly what landed.
+        SweepPoint p{"stuck-spares-abft", {}};
+        p.cfg.spareCols = 4;
+        p.cfg.abftChecksum = true;
+        p.cfg.noise.stuckAtFraction = 0.01;
+        p.cfg.noise.stuckMode = StuckMode::RandomLevel;
+        points.push_back(p);
+    }
+    {
+        SweepPoint p{"write-noise", {}};
+        p.cfg.noise.writeSigmaLevels = 0.4;
+        p.cfg.noise.maxProgramPulses = 6;
+        points.push_back(p);
+    }
+    return points;
+}
+
+TEST(FastPath, GoldenEquivalenceSweep)
+{
+    const int n = 200, m = 20; // 2 row segments x >=2 col segments
+    Rng rng(0xFA57);
+    const auto weights = randomWords(rng, n * m);
+    // Sequence with repeats and a small-magnitude vector: exercises
+    // memo hits within a call (sign-extended phases), across calls,
+    // and across distinct keys.
+    std::vector<std::vector<Word>> inputs;
+    inputs.push_back(randomWords(rng, n));
+    inputs.push_back(randomWords(rng, n, -50, 50));
+    inputs.push_back(inputs[0]);
+    inputs.push_back(randomWords(rng, n));
+    inputs.push_back(inputs[1]);
+
+    for (const auto &point : sweepPoints()) {
+        EngineConfig scalar = point.cfg;
+        scalar.threads = 1;
+        scalar.fastPath = false;
+        scalar.memoEntries = 0;
+        const auto golden =
+            runSequence(scalar, weights, n, m, inputs);
+
+        for (const int threads : {1, 2, 4, 8}) {
+            EngineConfig fast = point.cfg;
+            fast.threads = threads;
+            fast.fastPath = true;
+            fast.memoEntries = 0;
+            expectTracesEqual(
+                golden, runSequence(fast, weights, n, m, inputs),
+                std::string(point.name) + " fast t" +
+                    std::to_string(threads));
+
+            EngineConfig memo = point.cfg;
+            memo.threads = threads;
+            memo.fastPath = true;
+            memo.memoEntries = 64;
+            expectTracesEqual(
+                golden, runSequence(memo, weights, n, m, inputs),
+                std::string(point.name) + " memo t" +
+                    std::to_string(threads));
+        }
+    }
+}
+
+TEST(FastPath, MemoActuallyEngagesAndStaysExact)
+{
+    EngineConfig cfg;
+    cfg.threads = 1;
+    Rng rng(0x5EED);
+    const auto weights = randomWords(rng, 128 * 16);
+    const auto x = randomWords(rng, 128);
+    BitSerialEngine engine(cfg, weights, 128, 16);
+    ASSERT_TRUE(engine.fastPathActive());
+
+    const auto first = engine.dotProduct(x);
+    const auto missesAfterFirst = engine.memoMisses();
+    EXPECT_GT(missesAfterFirst, 0u);
+    // The second identical call replays every (phase, tile) reading.
+    const auto second = engine.dotProduct(x);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(engine.memoMisses(), missesAfterFirst);
+    EXPECT_EQ(engine.memoHits(), missesAfterFirst);
+    // Counter parity with an unmemoized engine over the same ops.
+    EngineConfig plain = cfg;
+    plain.memoEntries = 0;
+    BitSerialEngine reference(plain, weights, 128, 16);
+    reference.dotProduct(x);
+    reference.dotProduct(x);
+    EXPECT_TRUE(engine.stats() == reference.stats());
+    EXPECT_EQ(engine.readCycles(), reference.readCycles());
+}
+
+TEST(FastPath, SmallMagnitudeInputsShareSignPhases)
+{
+    // Non-negative small activations (a ReLU'd, quantized layer's
+    // reality): bits 7..15 are all zero, so 9 of the 16 phases
+    // present the all-zero digit vector and hit one memo entry.
+    EngineConfig cfg;
+    cfg.threads = 1;
+    Rng rng(0xAC71);
+    const auto weights = randomWords(rng, 128 * 16);
+    const auto x = randomWords(rng, 128, 0, 127);
+    BitSerialEngine engine(cfg, weights, 128, 16);
+    engine.dotProduct(x);
+    EXPECT_GE(engine.memoHits(), 8u);
+}
+
+TEST(FastPath, InvalidationOnReprogram)
+{
+    const int n = 200, m = 20;
+    Rng rng(0x4EBD);
+    const auto w1 = randomWords(rng, n * m);
+    const auto w2 = randomWords(rng, n * m);
+    const auto x = randomWords(rng, n);
+
+    EngineConfig cfg;
+    cfg.threads = 1;
+    BitSerialEngine engine(cfg, w1, n, m);
+    EngineConfig scalar = cfg;
+    scalar.fastPath = false;
+    scalar.memoEntries = 0;
+
+    // program -> read -> reprogram -> read: the second read must see
+    // the new weights, not a memoized reading of the old ones.
+    {
+        BitSerialEngine ref(scalar, w1, n, m);
+        EXPECT_EQ(engine.dotProduct(x), ref.dotProduct(x));
+    }
+    engine.reprogram(w2);
+    {
+        BitSerialEngine ref(scalar, w2, n, m);
+        EXPECT_EQ(engine.dotProduct(x), ref.dotProduct(x));
+    }
+}
+
+TEST(FastPath, NoisyConfigFallsBackToScalar)
+{
+    EngineConfig noisy;
+    noisy.threads = 1;
+    noisy.noise.sigmaLsb = 0.5;
+    Rng rng(0x0157);
+    const auto weights = randomWords(rng, 128 * 16);
+    const auto x = randomWords(rng, 128);
+
+    BitSerialEngine engine(noisy, weights, 128, 16);
+    EXPECT_FALSE(engine.fastPathActive());
+    const auto got = engine.dotProduct(x);
+    EXPECT_EQ(engine.memoHits() + engine.memoMisses(), 0u);
+
+    // The knob is inert under noise: identical noise realization.
+    EngineConfig legacy = noisy;
+    legacy.fastPath = false;
+    legacy.memoEntries = 0;
+    BitSerialEngine ref(legacy, weights, 128, 16);
+    EXPECT_EQ(got, ref.dotProduct(x));
+    EXPECT_TRUE(engine.stats() == ref.stats());
+}
+
+TEST(FastPath, DriftConfigFallsBackToScalar)
+{
+    EngineConfig drifty;
+    drifty.threads = 1;
+    drifty.noise.driftLevelsPerOp = 0.01;
+    drifty.noise.refreshIntervalOps = 16;
+    Rng rng(0xD21F);
+    const auto weights = randomWords(rng, 128 * 16);
+    BitSerialEngine engine(drifty, weights, 128, 16);
+    EXPECT_FALSE(engine.fastPathActive());
+}
+
+TEST(FastPath, InjectionDisablesFastPath)
+{
+    EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.abftChecksum = true;
+    Rng rng(0x1412);
+    const auto weights = randomWords(rng, 128 * 16);
+    const auto x = randomWords(rng, 128);
+
+    BitSerialEngine engine(cfg, weights, 128, 16);
+    engine.dotProduct(x); // populate the memo while clean
+    ASSERT_TRUE(engine.fastPathActive());
+    engine.injectCellFault(0, 0, 3, 5, 0);
+    EXPECT_FALSE(engine.fastPathActive());
+
+    // Post-injection reads must match a scalar engine with the same
+    // injection — the memoized clean readings must not leak through.
+    EngineConfig scalar = cfg;
+    scalar.fastPath = false;
+    scalar.memoEntries = 0;
+    BitSerialEngine ref(scalar, weights, 128, 16);
+    ref.dotProduct(x);
+    ref.injectCellFault(0, 0, 3, 5, 0);
+    EXPECT_EQ(engine.dotProduct(x), ref.dotProduct(x));
+    const auto ts = engine.transientStats();
+    const auto rts = ref.transientStats();
+    EXPECT_EQ(ts.abftMismatches, rts.abftMismatches);
+    EXPECT_EQ(ts.abftRetries, rts.abftRetries);
+}
+
+TEST(FastPath, CrossbarPackedMatchesScalar)
+{
+    // Array-level equivalence, including stuck cells frozen at
+    // arbitrary levels and multi-bit digits.
+    const int rows = 100, cols = 37, cellBits = 3;
+    CrossbarArray xb(rows, cols, cellBits);
+    Rng rng(0xB17);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            xb.program(r, c,
+                       static_cast<int>(rng.uniform(0, 7)));
+    xb.forceStuck(5, 7, 6);
+    xb.forceStuck(63, 0, 1);
+    xb.forceStuck(64, 36, 5);
+
+    for (const int digitBits : {1, 2, 4}) {
+        std::vector<int> digits(static_cast<std::size_t>(rows));
+        for (auto &d : digits)
+            d = static_cast<int>(
+                rng.uniform(0, (1 << digitBits) - 1));
+        const int words = xb.planeWords();
+        std::vector<std::uint64_t> planes(
+            static_cast<std::size_t>(digitBits) * words, 0);
+        for (int r = 0; r < rows; ++r)
+            for (int j = 0; j < digitBits; ++j)
+                if ((digits[static_cast<std::size_t>(r)] >> j) & 1)
+                    planes[static_cast<std::size_t>(j) * words +
+                           r / 64] |= std::uint64_t{1} << (r % 64);
+
+        const auto scalar = xb.readAllBitlines(digits, 0);
+        std::vector<Acc> packed;
+        xb.readAllBitlinesPacked(planes, digitBits, packed);
+        EXPECT_EQ(scalar, packed) << "digitBits " << digitBits;
+    }
+}
+
+TEST(FastPath, PlaneRebuildAfterMutation)
+{
+    CrossbarArray xb(70, 5, 2);
+    std::vector<int> digits(70, 1);
+    std::vector<std::uint64_t> planes(2, 0); // 70 rows -> 2 words
+    planes[0] = ~std::uint64_t{0};
+    planes[1] = (std::uint64_t{1} << (70 - 64)) - 1;
+
+    std::vector<Acc> out;
+    xb.readAllBitlinesPacked(planes, 1, out);
+    EXPECT_EQ(out[2], 0);
+
+    xb.program(69, 2, 3); // last row: exercises the word boundary
+    xb.readAllBitlinesPacked(planes, 1, out);
+    EXPECT_EQ(out[2], 3);
+
+    xb.forceStuck(69, 2, 1);
+    xb.readAllBitlinesPacked(planes, 1, out);
+    EXPECT_EQ(out[2], 1);
+}
+
+TEST(FastPath, PackedRefusesNoisyArrays)
+{
+    CrossbarArray xb(8, 2, 2);
+    NoiseSpec spec;
+    spec.sigmaLsb = 0.1;
+    xb.setNoise(spec);
+    std::vector<std::uint64_t> planes(1, 0xFF);
+    std::vector<Acc> out;
+    EXPECT_THROW(xb.readAllBitlinesPacked(planes, 1, out),
+                 FatalError);
+    EXPECT_FALSE(xb.packedReadExact());
+}
+
+TEST(FastPath, MemoEntriesZeroDisablesMemo)
+{
+    EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.memoEntries = 0;
+    Rng rng(0x0FF);
+    const auto weights = randomWords(rng, 128 * 16);
+    const auto x = randomWords(rng, 128);
+    BitSerialEngine engine(cfg, weights, 128, 16);
+    EXPECT_TRUE(engine.fastPathActive()); // packed path, no memo
+    engine.dotProduct(x);
+    engine.dotProduct(x);
+    EXPECT_EQ(engine.memoHits() + engine.memoMisses(), 0u);
+}
+
+TEST(FastPath, LruEvictionKeepsResultsExact)
+{
+    // More distinct digit vectors than memo entries: eviction churn
+    // must never change a result.
+    EngineConfig tiny;
+    tiny.threads = 1;
+    tiny.memoEntries = 2;
+    EngineConfig scalar;
+    scalar.threads = 1;
+    scalar.fastPath = false;
+    scalar.memoEntries = 0;
+    Rng rng(0x174);
+    const auto weights = randomWords(rng, 128 * 16);
+    BitSerialEngine a(tiny, weights, 128, 16);
+    BitSerialEngine b(scalar, weights, 128, 16);
+    for (int i = 0; i < 8; ++i) {
+        const auto x = randomWords(rng, 128);
+        EXPECT_EQ(a.dotProduct(x), b.dotProduct(x)) << "op " << i;
+    }
+    EXPECT_TRUE(a.stats() == b.stats());
+}
+
+} // namespace
+} // namespace isaac::xbar
