@@ -41,10 +41,38 @@ if gate["fast_speedup"] < 5.0:
         "scalar (gate: 5x)" % gate["fast_speedup"])
 EOF
 
+echo "== serving perf gate: pipelined session vs sequential batch =="
+# bench_serving writes BENCH_serving.json (throughput + p50/p99 over
+# queue depth x workers) before its google-benchmark cases; the gate
+# is host-aware because the request pipeline only overlaps work — it
+# adds none — so a single-hardware-thread host can at best tie the
+# sequential walk (expected_speedup 0.9x no-regression there, 1.5x
+# wherever >= 2 host threads exist).
+(cd build && ./bench/bench_serving \
+    --benchmark_filter='^$' >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/BENCH_serving.json") as f:
+    bench = json.load(f)
+gate = bench["gate"]
+print("serving: depth-%d pipelined %.1f img/s vs sequential %.1f "
+      "img/s (%.2fx, expected >= %.2fx on %d host threads)" %
+      (gate["queue_depth"], gate["pipelined_throughput"],
+       bench["sequential_throughput"], gate["speedup"],
+       gate["expected_speedup"], bench["host_threads"]))
+if gate["speedup"] < gate["expected_speedup"]:
+    raise SystemExit(
+        "perf gate FAILED: depth-%d session pipeline is %.2fx over "
+        "sequential inferBatch (gate: %.2fx)" %
+        (gate["queue_depth"], gate["speedup"],
+         gate["expected_speedup"]))
+EOF
+
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DISAAC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j \
     --target test_common test_xbar test_sim test_resilience \
+    test_plan test_serve \
     >/dev/null
 
 echo "== TSan: thread pool / engine / sim / resilience suites =="
@@ -54,6 +82,14 @@ export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1"
 ./build-tsan/tests/test_xbar
 ./build-tsan/tests/test_sim
 ./build-tsan/tests/test_resilience
+
+echo "== TSan: execution-plan IR + streaming session suites =="
+# The session pipelines requests across pool workers while merging
+# stats; TSan proves the scheduler's locking discipline instead of
+# trusting the parity tests alone. (The VGG-1 walk is filtered: it
+# is a single-threaded equivalence check and dominates runtime.)
+./build-tsan/tests/test_plan --gtest_filter='-*Vgg1*'
+./build-tsan/tests/test_serve
 
 echo "== TSan: fast-path equivalence suite (memo under threads) =="
 # The packed-path golden sweep runs engines at 1/2/4/8 threads with
@@ -66,6 +102,7 @@ echo "== AddressSanitizer build =="
 cmake -B build-asan -S . -DISAAC_SANITIZE=address >/dev/null
 cmake --build build-asan -j \
     --target test_common test_xbar test_sim test_resilience \
+    test_plan test_serve \
     >/dev/null
 
 echo "== ASan: thread pool / engine / sim / resilience suites =="
@@ -74,6 +111,12 @@ export ASAN_OPTIONS="halt_on_error=1 abort_on_error=1"
 ./build-asan/tests/test_xbar
 ./build-asan/tests/test_sim
 ./build-asan/tests/test_resilience
+
+echo "== ASan: execution-plan IR + streaming session suites =="
+# Requests hand tensors between threads through the ready queue and
+# promises; ASan guards the request lifetime across that hand-off.
+./build-asan/tests/test_plan --gtest_filter='-*Vgg1*'
+./build-asan/tests/test_serve
 
 echo "== ASan: transient-error campaigns (ABFT / ECC / NoC retry) =="
 ./build-asan/tests/test_xbar \

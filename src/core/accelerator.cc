@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "noc/packet.h"
+#include "serve/session.h"
 
 namespace isaac::core {
 
@@ -39,6 +40,7 @@ CompiledModel::CompiledModel(const nn::Network &net,
                              CompileOptions opts)
     : net(net), weights(weights), cfg(cfg), opts(opts),
       _plan(pipeline::planPipeline(net, cfg, opts.chips)),
+      _ir(pipeline::ExecutionPlan::lower(net, _plan)),
       lut(opts.format)
 {
     const energy::IsaacEnergyModel model(cfg);
@@ -119,59 +121,106 @@ CompiledModel::runDotLayer(std::size_t layerIdx,
     return out;
 }
 
+void
+CompiledModel::requireFunctional(const char *what) const
+{
+    if (!opts.functional || !poolExec) {
+        fatal(std::string(what) +
+              ": model was compiled with CompileOptions::functional "
+              "= false (analytic plan/report only; no crossbar "
+              "engines were materialized). Recompile with "
+              "CompileOptions::functional = true to run inference.");
+    }
+}
+
+std::uint64_t
+CompiledModel::claimImageKeys(std::uint64_t count) const
+{
+    return _imageSeq.fetch_add(count, std::memory_order_relaxed);
+}
+
+void
+CompiledModel::executeStep(const pipeline::StepNode &node,
+                           nn::Tensor &cur, std::uint64_t imageKey,
+                           resilience::TransientStats &local) const
+{
+    requireFunctional("executeStep");
+    const auto &spec = cfg.transient;
+    switch (node.kind) {
+      case pipeline::StepKind::StageIn:
+      case pipeline::StepKind::StageOut:
+        // A dot layer's activations stage through the tile's eDRAM
+        // buffer on the way in and the output registers on the way
+        // out; both are SECDED-protected passes.
+        if (spec.eccEnabled()) {
+            arch::protectedPass(
+                cur.raw(),
+                node.kind == pipeline::StepKind::StageIn
+                    ? spec.edramFlipRate
+                    : spec.orFlipRate,
+                transferKey(imageKey, node.layer, node.transferKind),
+                spec, local);
+        }
+        break;
+      case pipeline::StepKind::Dot:
+        cur = runDotLayer(node.layer, cur);
+        break;
+      case pipeline::StepKind::Transfer:
+        if (spec.nocEnabled()) {
+            // The layer's output ships to its consumers over the
+            // c-mesh as CRC-tagged packets. The functional model
+            // scopes the corruption budget per transfer; persistent
+            // per-link state (and the migration a dead link
+            // triggers) is the chip simulator's job.
+            noc::LinkState link;
+            noc::sendTransfer(
+                static_cast<std::int64_t>(cur.size()),
+                transferKey(imageKey, node.layer, node.transferKind),
+                spec, link, local);
+        }
+        break;
+      case pipeline::StepKind::Pool:
+        cur = poolExec->runLayer(node.layer, cur);
+        break;
+    }
+}
+
+void
+CompiledModel::finishImage(const resilience::TransientStats &local)
+    const
+{
+    if (cfg.transient.anyEnabled())
+        health.add(local);
+}
+
 std::vector<nn::Tensor>
 CompiledModel::inferAllKeyed(const nn::Tensor &input,
                              std::uint64_t imageKey) const
 {
-    if (!opts.functional || !poolExec) {
-        fatal("infer: model was compiled with functional = false");
-    }
-    const auto &spec = cfg.transient;
+    requireFunctional("infer");
     resilience::TransientStats local;
     std::vector<nn::Tensor> outs;
     nn::Tensor cur = input;
-    for (std::size_t i = 0; i < net.size(); ++i) {
-        if (net.layer(i).isDotProduct()) {
-            // A dot layer's activations stage through the tile's
-            // eDRAM buffer on the way in and the output registers
-            // on the way out; both are SECDED-protected passes.
-            if (spec.eccEnabled()) {
-                arch::protectedPass(cur.raw(), spec.edramFlipRate,
-                                    transferKey(imageKey, i, 0),
-                                    spec, local);
-            }
-            cur = runDotLayer(i, cur);
-            if (spec.eccEnabled()) {
-                arch::protectedPass(cur.raw(), spec.orFlipRate,
-                                    transferKey(imageKey, i, 1),
-                                    spec, local);
-            }
-            if (spec.nocEnabled()) {
-                // The layer's output ships to its consumers over
-                // the c-mesh as CRC-tagged packets. The functional
-                // model scopes the corruption budget per transfer;
-                // persistent per-link state (and the migration a
-                // dead link triggers) is the chip simulator's job.
-                noc::LinkState link;
-                noc::sendTransfer(
-                    static_cast<std::int64_t>(cur.size()),
-                    transferKey(imageKey, i, 2), spec, link, local);
-            }
-        } else {
-            cur = poolExec->runLayer(i, cur);
-        }
-        outs.push_back(cur);
+    for (const auto &node : _ir.nodes()) {
+        executeStep(node, cur, imageKey, local);
+        if (node.layerOutput)
+            outs.push_back(cur);
     }
-    if (spec.anyEnabled())
-        health.add(local);
+    finishImage(local);
     return outs;
 }
 
 std::vector<nn::Tensor>
 CompiledModel::inferAll(const nn::Tensor &input) const
 {
-    return inferAllKeyed(
-        input, _imageSeq.fetch_add(1, std::memory_order_relaxed));
+    // Single-image front door of the session path: one request,
+    // keyed at submission, per-layer outputs collected by the walk.
+    requireFunctional("inferAll");
+    serve::InferenceSession session(
+        *this, serve::SessionOptions{.queueDepth = 1, .workers = 1});
+    auto result = session.submitAll(input);
+    session.drain();
+    return result.get();
 }
 
 nn::Tensor
@@ -185,38 +234,25 @@ std::vector<nn::Tensor>
 CompiledModel::inferBatch(const std::vector<nn::Tensor> &inputs) const
 {
     // Images in a batch are functionally independent (the hardware
-    // pipeline keeps several in flight); run them concurrently. The
-    // batch claims a contiguous block of image keys up front so the
-    // injection streams follow batch order, not completion order.
-    const std::uint64_t base = _imageSeq.fetch_add(
-        inputs.size(), std::memory_order_relaxed);
-    std::vector<nn::Tensor> outs(inputs.size());
-    parallelFor(static_cast<std::int64_t>(inputs.size()),
-                cfg.threads(), [&](std::int64_t i, int) {
-                    outs[static_cast<std::size_t>(i)] =
-                        inferAllKeyed(
-                            inputs[static_cast<std::size_t>(i)],
-                            base + static_cast<std::uint64_t>(i))
-                            .back();
-                });
-    return outs;
+    // pipeline keeps several in flight); pipeline them through an
+    // inference session. Submission order claims the image keys, so
+    // the injection streams follow batch order regardless of the
+    // execution interleaving.
+    requireFunctional("inferBatch");
+    serve::SessionOptions sopts;
+    sopts.queueDepth = std::max<std::size_t>(inputs.size(), 1);
+    sopts.workers = cfg.threads();
+    serve::InferenceSession session(*this, sopts);
+    return session.run(inputs);
 }
 
 xbar::EngineStats
 CompiledModel::engineStats() const
 {
     xbar::EngineStats total;
-    for (const auto &layer : engines) {
-        for (const auto &e : layer) {
-            const auto &s = e->stats();
-            total.ops += s.ops;
-            total.crossbarReads += s.crossbarReads;
-            total.adcSamples += s.adcSamples;
-            total.adcClips += s.adcClips;
-            total.shiftAdds += s.shiftAdds;
-            total.dacActivations += s.dacActivations;
-        }
-    }
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            total.merge(e->stats());
     return total;
 }
 
@@ -248,6 +284,23 @@ CompiledModel::adcClips() const
         for (const auto &e : layer)
             clips += e->adcClips();
     return clips;
+}
+
+std::int64_t
+CompiledModel::engineGroupCount(std::size_t layerIdx) const
+{
+    if (layerIdx >= engines.size())
+        return 0;
+    return static_cast<std::int64_t>(engines[layerIdx].size());
+}
+
+const xbar::BitSerialEngine *
+CompiledModel::engine(std::size_t layerIdx, std::int64_t group) const
+{
+    if (layerIdx >= engines.size() || group < 0 ||
+        group >= engineGroupCount(layerIdx))
+        return nullptr;
+    return engines[layerIdx][static_cast<std::size_t>(group)].get();
 }
 
 int

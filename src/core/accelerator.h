@@ -25,6 +25,7 @@
 
 #include "arch/config.h"
 #include "nn/reference.h"
+#include "pipeline/execution_plan.h"
 #include "pipeline/perf.h"
 #include "resilience/health.h"
 #include "xbar/engine.h"
@@ -61,6 +62,20 @@ class CompiledModel
     const nn::Network &network() const { return net; }
 
     /**
+     * The lowered execution-plan IR (annotated with this plan's
+     * resource grants). Every inference path — infer/inferAll/
+     * inferBatch, serve::InferenceSession, and the cycle-level
+     * simulators' ready-time precompute — walks this one graph.
+     */
+    const pipeline::ExecutionPlan &executionPlan() const
+    {
+        return _ir;
+    }
+
+    /** Whether functional crossbar engines were materialized. */
+    bool isFunctional() const { return opts.functional; }
+
+    /**
      * Run one inference through the analog pipeline model. Requires
      * functional compilation.
      */
@@ -72,9 +87,47 @@ class CompiledModel
     /**
      * Run a batch of inferences (the steady-state pipeline keeps
      * several images in flight; functionally they are independent).
+     * Routed through serve::InferenceSession: images claim their
+     * keys in batch order and pipeline across layer-steps.
      */
     std::vector<nn::Tensor>
     inferBatch(const std::vector<nn::Tensor> &inputs) const;
+
+    /**
+     * Claim `count` consecutive logical image keys. The key — not
+     * execution order — seeds the per-image transient-injection
+     * streams, so claiming at submission time makes any execution
+     * interleaving replay the sequential streams exactly. All entry
+     * points (inferAll, inferBatch, serve sessions) share this one
+     * counter; resetStats() rewinds it.
+     */
+    std::uint64_t claimImageKeys(std::uint64_t count = 1) const;
+
+    /**
+     * Execute one IR step for one image: transforms `cur` in place
+     * (compute steps replace it, hand-off steps pass it through the
+     * protected buffer/NoC models) and accumulates the image's
+     * transient activity into `local`. Steps of one image must run
+     * in IR order; steps of different images may run concurrently.
+     */
+    void executeStep(const pipeline::StepNode &node, nn::Tensor &cur,
+                     std::uint64_t imageKey,
+                     resilience::TransientStats &local) const;
+
+    /**
+     * Fold one finished image's transient activity into the model's
+     * health roll-up. Call exactly once per walked image.
+     */
+    void finishImage(const resilience::TransientStats &local) const;
+
+    /**
+     * inferAll with an explicit image key: walks the IR start to
+     * finish on the calling thread. Public so schedulers replaying
+     * specific keys (and parity tests) can drive it directly.
+     */
+    std::vector<nn::Tensor> inferAllKeyed(const nn::Tensor &input,
+                                          std::uint64_t imageKey)
+        const;
 
     /** Aggregated crossbar-engine activity since compilation. */
     xbar::EngineStats engineStats() const;
@@ -95,6 +148,19 @@ class CompiledModel
 
     /** Physical crossbars materialized by the functional model. */
     int functionalArrays() const;
+
+    /** Engine groups materialized for a layer (0 for non-dot). */
+    std::int64_t engineGroupCount(std::size_t layerIdx) const;
+
+    /**
+     * Engine reuse hook: the functional engine serving one layer's
+     * window group (group 0 for shared kernels). Serving backends
+     * and parity tests read per-tile tallies and reuse the engines
+     * across sessions through this accessor; nullptr when the model
+     * is analytic-only or the layer has no dot product.
+     */
+    const xbar::BitSerialEngine *engine(std::size_t layerIdx,
+                                        std::int64_t group = 0) const;
 
     /** Aggregate fault census across every functional engine. */
     resilience::ArrayFaultReport faultReport() const;
@@ -132,20 +198,16 @@ class CompiledModel
     nn::Tensor runDotLayer(std::size_t layerIdx,
                            const nn::Tensor &input) const;
 
-    /**
-     * inferAll with an explicit image key: the key (not execution
-     * order) seeds the transient-injection streams, so batch runs
-     * replay identically at any thread count.
-     */
-    std::vector<nn::Tensor> inferAllKeyed(const nn::Tensor &input,
-                                          std::uint64_t imageKey)
-        const;
+    /** fatal() unless functional engines exist; names the knob. */
+    void requireFunctional(const char *what) const;
 
     const nn::Network &net;
     const nn::WeightStore &weights;
     arch::IsaacConfig cfg;
     CompileOptions opts;
     pipeline::PipelinePlan _plan;
+    /** The lowered task graph (annotated from _plan). */
+    pipeline::ExecutionPlan _ir;
     pipeline::IsaacPerf _perf;
     nn::SigmoidLut lut;
     /** Executes pooling/SPP layers (shared semantics). */

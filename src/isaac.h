@@ -8,7 +8,8 @@
  * accelerator front end (isaac::core), the analytic models
  * (isaac::pipeline, isaac::baseline, isaac::energy, isaac::noc,
  * isaac::dse), the cycle-level simulators (isaac::sim), the analog
- * engine (isaac::xbar), and the training extension (isaac::train).
+ * engine (isaac::xbar), the streaming inference runtime
+ * (isaac::serve), and the training extension (isaac::train).
  */
 
 #ifndef ISAAC_ISAAC_H
@@ -41,8 +42,10 @@
 #include "noc/traffic.h"
 #include "resilience/health.h"
 #include "pipeline/buffer.h"
+#include "pipeline/execution_plan.h"
 #include "pipeline/perf.h"
 #include "pipeline/placement.h"
+#include "serve/session.h"
 #include "sim/chip_sim.h"
 #include "sim/pipeline_sim.h"
 #include "sim/tile_sim.h"

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "pipeline/execution_plan.h"
 
 namespace isaac::nn {
 
@@ -35,18 +36,33 @@ gatherWindow(const Tensor &in, const LayerDesc &l, int ox, int oy)
 ReferenceExecutor::ReferenceExecutor(const Network &net,
                                      const WeightStore &weights,
                                      FixedFormat fmt, int threads)
-    : net(net), weights(weights), fmt(fmt), threads(threads), lut(fmt)
+    : net(net), weights(weights), fmt(fmt), threads(threads), lut(fmt),
+      _ir(std::make_unique<const pipeline::ExecutionPlan>(
+          pipeline::ExecutionPlan::lower(net)))
 {
     if (weights.size() != net.size())
         fatal("ReferenceExecutor: weight store does not match network");
+}
+
+ReferenceExecutor::~ReferenceExecutor() = default;
+
+void
+ReferenceExecutor::stepNode(const pipeline::StepNode &node,
+                            Tensor &cur) const
+{
+    // The software reference models ideal storage and transport, so
+    // only the compute nodes act; StageIn/StageOut/Transfer hand-offs
+    // pass the activations through untouched.
+    if (node.compute)
+        cur = runLayer(node.layer, cur);
 }
 
 Tensor
 ReferenceExecutor::run(const Tensor &input) const
 {
     Tensor cur = input;
-    for (std::size_t i = 0; i < net.size(); ++i)
-        cur = runLayer(i, cur);
+    for (const auto &node : _ir->nodes())
+        stepNode(node, cur);
     return cur;
 }
 
@@ -55,9 +71,10 @@ ReferenceExecutor::runAll(const Tensor &input) const
 {
     std::vector<Tensor> outs;
     Tensor cur = input;
-    for (std::size_t i = 0; i < net.size(); ++i) {
-        cur = runLayer(i, cur);
-        outs.push_back(cur);
+    for (const auto &node : _ir->nodes()) {
+        stepNode(node, cur);
+        if (node.layerOutput)
+            outs.push_back(cur);
     }
     return outs;
 }

@@ -11,6 +11,7 @@
 #ifndef ISAAC_NN_REFERENCE_H
 #define ISAAC_NN_REFERENCE_H
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,11 @@
 #include "nn/network.h"
 #include "nn/tensor.h"
 #include "nn/weights.h"
+
+namespace isaac::pipeline {
+class ExecutionPlan;
+struct StepNode;
+} // namespace isaac::pipeline
 
 namespace isaac::nn {
 
@@ -44,6 +50,8 @@ class ReferenceExecutor
     ReferenceExecutor(const Network &net, const WeightStore &weights,
                       FixedFormat fmt, int threads = 0);
 
+    ~ReferenceExecutor();
+
     /** Run the full network; returns the final layer's output. */
     Tensor run(const Tensor &input) const;
 
@@ -53,9 +61,23 @@ class ReferenceExecutor
     /** Outputs of every layer for `input` (index 0 = first layer). */
     std::vector<Tensor> runAll(const Tensor &input) const;
 
+    /**
+     * The structural execution-plan IR this executor walks: run()
+     * and runAll() execute the compute nodes in graph order, so the
+     * reference path traverses the same task graph as the analog
+     * model instead of a parallel hand-rolled layer loop.
+     */
+    const pipeline::ExecutionPlan &executionPlan() const
+    {
+        return *_ir;
+    }
+
     FixedFormat format() const { return fmt; }
 
   private:
+    /** Execute one IR node on `cur` (hand-off nodes are no-ops). */
+    void stepNode(const pipeline::StepNode &node, Tensor &cur) const;
+
     Tensor runDot(const LayerDesc &l, std::span<const Word> weights,
                   const Tensor &in) const;
     Tensor runPool(const LayerDesc &l, const Tensor &in) const;
@@ -66,6 +88,8 @@ class ReferenceExecutor
     FixedFormat fmt;
     int threads;
     SigmoidLut lut;
+    /** Structural lowering of `net` (no resource annotations). */
+    std::unique_ptr<const pipeline::ExecutionPlan> _ir;
 };
 
 } // namespace isaac::nn

@@ -1,0 +1,277 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace isaac::serve {
+
+InferenceSession::InferenceSession(const core::CompiledModel &model,
+                                   SessionOptions opts)
+    : _model(model), _opts(opts)
+{
+    if (!model.isFunctional()) {
+        fatal("InferenceSession: model was compiled with "
+              "CompileOptions::functional = false (analytic "
+              "plan/report only; no crossbar engines were "
+              "materialized). Recompile with CompileOptions::"
+              "functional = true to serve inference.");
+    }
+    if (_opts.queueDepth == 0)
+        fatal("InferenceSession: queueDepth must be >= 1");
+    if (_opts.workers < 0)
+        fatal("InferenceSession: workers must be >= 0");
+    if (_opts.stepsPerSlice < 1)
+        fatal("InferenceSession: stepsPerSlice must be >= 1");
+
+    const unsigned hc = std::thread::hardware_concurrency();
+    const int resolved = _opts.workers == 0
+        ? static_cast<int>(hc == 0 ? 1 : hc)
+        : _opts.workers;
+    _workers = std::clamp(resolved, 1, kMaxThreads);
+    ThreadPool::global().ensureWorkers(_workers);
+}
+
+InferenceSession::~InferenceSession()
+{
+    shutdown();
+    // Pump jobs hold `this`; wait for the last one to exit before
+    // the members go away. After drain() the ready queue is empty,
+    // so every pump (running or still queued behind other pool
+    // work) exits as soon as it is scheduled.
+    std::unique_lock<std::mutex> lk(_mtx);
+    _cvSpace.wait(lk, [this] { return _activePumps == 0; });
+}
+
+std::future<nn::Tensor>
+InferenceSession::submit(nn::Tensor input)
+{
+    auto req = std::make_unique<Request>();
+    req->cur = std::move(input);
+    auto fut = req->promiseFinal.get_future();
+    enqueue(std::move(req), /*block=*/true);
+    return fut;
+}
+
+bool
+InferenceSession::trySubmit(nn::Tensor input,
+                            std::future<nn::Tensor> &out)
+{
+    auto req = std::make_unique<Request>();
+    req->cur = std::move(input);
+    auto fut = req->promiseFinal.get_future();
+    if (!enqueue(std::move(req), /*block=*/false))
+        return false;
+    out = std::move(fut);
+    return true;
+}
+
+std::future<std::vector<nn::Tensor>>
+InferenceSession::submitAll(nn::Tensor input)
+{
+    auto req = std::make_unique<Request>();
+    req->cur = std::move(input);
+    req->keepAll = true;
+    auto fut = req->promiseAll.get_future();
+    enqueue(std::move(req), /*block=*/true);
+    return fut;
+}
+
+std::vector<nn::Tensor>
+InferenceSession::run(const std::vector<nn::Tensor> &inputs)
+{
+    std::vector<std::future<nn::Tensor>> futs;
+    futs.reserve(inputs.size());
+    for (const auto &input : inputs)
+        futs.push_back(submit(input));
+    drain();
+    std::vector<nn::Tensor> outs;
+    outs.reserve(futs.size());
+    for (auto &fut : futs)
+        outs.push_back(fut.get());
+    return outs;
+}
+
+bool
+InferenceSession::enqueue(std::unique_ptr<Request> req, bool block)
+{
+    std::unique_lock<std::mutex> lk(_mtx);
+    for (;;) {
+        if (_closed) {
+            if (block) {
+                fatal("InferenceSession::submit: the session was "
+                      "shut down");
+            }
+            ++_stats.rejected;
+            return false;
+        }
+        if (_inFlight < _opts.queueDepth)
+            break;
+        if (!block) {
+            ++_stats.rejected;
+            return false;
+        }
+        // Backpressure with progress: rather than parking until a
+        // pool worker frees a slot (which may never happen when the
+        // pool is saturated or we are nested inside it), the blocked
+        // submitter executes pending layer-steps itself.
+        if (!_ready.empty()) {
+            auto help = std::move(_ready.front());
+            _ready.pop_front();
+            lk.unlock();
+            step(std::move(help));
+            lk.lock();
+        } else {
+            _cvSpace.wait_for(lk, std::chrono::milliseconds(1));
+        }
+    }
+    // Claiming under the admission lock makes key order == admission
+    // order: the injection streams replay a sequential walk exactly.
+    req->imageKey = _model.claimImageKeys(1);
+    ++_inFlight;
+    ++_stats.submitted;
+    _stats.peakInFlight = std::max<std::uint64_t>(
+        _stats.peakInFlight, _inFlight);
+    makeReady(std::move(req), lk);
+    return true;
+}
+
+void
+InferenceSession::makeReady(std::unique_ptr<Request> req,
+                            std::unique_lock<std::mutex> &lk)
+{
+    (void)lk; // Held by the caller; documents the contract.
+    _ready.push_back(std::move(req));
+    _cvWork.notify_one();
+    // Spawning from inside a parallel region would queue the pump
+    // behind the very job waiting on it; there the submitting /
+    // draining thread drives execution instead.
+    if (_activePumps < _workers && !ThreadPool::inParallelRegion()) {
+        ++_activePumps;
+        ThreadPool::global().submit([this] { pump(); });
+    }
+}
+
+void
+InferenceSession::step(std::unique_ptr<Request> req)
+{
+    const auto &nodes = _model.executionPlan().nodes();
+    std::uint64_t executed = 0;
+    bool failed = false;
+    for (int budget = _opts.stepsPerSlice;
+         budget > 0 && req->nodeIdx < nodes.size(); --budget) {
+        const auto &node = nodes[req->nodeIdx];
+        try {
+            _model.executeStep(node, req->cur, req->imageKey,
+                               req->local);
+        } catch (...) {
+            if (req->keepAll)
+                req->promiseAll.set_exception(
+                    std::current_exception());
+            else
+                req->promiseFinal.set_exception(
+                    std::current_exception());
+            failed = true;
+            break;
+        }
+        if (node.layerOutput && req->keepAll)
+            req->outs.push_back(req->cur);
+        ++req->nodeIdx;
+        ++executed;
+    }
+    const bool done = failed || req->nodeIdx >= nodes.size();
+    if (done && !failed) {
+        _model.finishImage(req->local);
+        if (req->keepAll)
+            req->promiseAll.set_value(std::move(req->outs));
+        else
+            req->promiseFinal.set_value(std::move(req->cur));
+    }
+    std::unique_lock<std::mutex> lk(_mtx);
+    _stats.stepsExecuted += executed;
+    if (done) {
+        --_inFlight;
+        ++_stats.completed;
+        _cvSpace.notify_all();
+        _cvWork.notify_all();
+    } else {
+        makeReady(std::move(req), lk);
+    }
+}
+
+void
+InferenceSession::pump()
+{
+    for (;;) {
+        std::unique_ptr<Request> req;
+        {
+            std::unique_lock<std::mutex> lk(_mtx);
+            if (_ready.empty()) {
+                --_activePumps;
+                if (_activePumps == 0)
+                    _cvSpace.notify_all();
+                return;
+            }
+            req = std::move(_ready.front());
+            _ready.pop_front();
+        }
+        step(std::move(req));
+    }
+}
+
+void
+InferenceSession::drain()
+{
+    std::unique_lock<std::mutex> lk(_mtx);
+    while (_inFlight > 0) {
+        if (!_ready.empty()) {
+            auto req = std::move(_ready.front());
+            _ready.pop_front();
+            lk.unlock();
+            step(std::move(req));
+            lk.lock();
+        } else {
+            // Another worker holds every in-flight request; wake on
+            // requeue or completion (timed: belt-and-braces against
+            // a notification racing the unlock).
+            _cvWork.wait_for(lk, std::chrono::milliseconds(1));
+        }
+    }
+}
+
+void
+InferenceSession::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mtx);
+        _closed = true;
+        _cvSpace.notify_all();
+    }
+    drain();
+}
+
+bool
+InferenceSession::closed() const
+{
+    std::lock_guard<std::mutex> lk(_mtx);
+    return _closed;
+}
+
+std::size_t
+InferenceSession::inFlight() const
+{
+    std::lock_guard<std::mutex> lk(_mtx);
+    return _inFlight;
+}
+
+SessionStats
+InferenceSession::stats() const
+{
+    std::lock_guard<std::mutex> lk(_mtx);
+    return _stats;
+}
+
+} // namespace isaac::serve

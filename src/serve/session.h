@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The streaming inference runtime: a request-level session on top of
+ * the execution-plan IR.
+ *
+ * An InferenceSession accepts inference requests against one
+ * CompiledModel and pipelines them across the model's IR layer-steps
+ * on the shared ThreadPool, reproducing the paper's steady-state
+ * inter-layer pipeline at request granularity: image k+1 enters
+ * layer 0 while image k is in layer 1 (Sec. IV). Each request walks
+ * the IR one step at a time and requeues itself, so in-flight
+ * requests interleave across layer-steps instead of hogging a worker
+ * end to end.
+ *
+ * Determinism contract (docs/serving.md): every request's image key
+ * is claimed from the model at *submission* time, and all per-image
+ * state is request-local until the final commutative merge, so
+ * results, EngineStats, per-tile AdcTally, and TransientStats are
+ * bit-identical to a sequential inferAllKeyed() replay of the same
+ * (input, key) pairs — at any worker count and any execution
+ * interleaving.
+ *
+ * Backpressure: the session admits at most `queueDepth` unfinished
+ * requests; submit() blocks for space, trySubmit() refuses instead.
+ * Scheduler workers never block, so the session cannot deadlock even
+ * when the pool is saturated; drain() lends the calling thread to
+ * step execution until the session is empty.
+ */
+
+#ifndef ISAAC_SERVE_SESSION_H
+#define ISAAC_SERVE_SESSION_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "nn/tensor.h"
+#include "resilience/health.h"
+
+namespace isaac::serve {
+
+/** Static configuration of one session. */
+struct SessionOptions
+{
+    /**
+     * Maximum admitted-but-unfinished requests (the bounded request
+     * queue). submit() blocks while the session is this full.
+     */
+    std::size_t queueDepth = 16;
+
+    /**
+     * Concurrent scheduler workers driving layer-steps: 0 = one per
+     * hardware thread, otherwise the requested count (clamped to
+     * kMaxThreads). Results are identical at any setting.
+     */
+    int workers = 0;
+
+    /**
+     * Steps a worker executes per request before requeueing it.
+     * 1 gives the finest inter-request pipelining; larger values
+     * trade interleaving for lower queue churn.
+     */
+    int stepsPerSlice = 1;
+};
+
+/** Activity counters of one session (monotonic over its lifetime). */
+struct SessionStats
+{
+    std::uint64_t submitted = 0; ///< Requests admitted.
+    std::uint64_t completed = 0; ///< Requests finished (ok or error).
+    std::uint64_t rejected = 0;  ///< trySubmit() refusals.
+    std::uint64_t stepsExecuted = 0; ///< IR nodes executed.
+    std::uint64_t peakInFlight = 0;  ///< Max concurrent admissions.
+
+    bool operator==(const SessionStats &) const = default;
+};
+
+/** A streaming request-level runtime over one compiled model. */
+class InferenceSession
+{
+  public:
+    /**
+     * The model must outlive the session and be functionally
+     * compiled (fatal() otherwise, naming CompileOptions::
+     * functional).
+     */
+    explicit InferenceSession(const core::CompiledModel &model,
+                              SessionOptions opts = {});
+
+    /** Drains in-flight work, then detaches (shutdown()). */
+    ~InferenceSession();
+
+    InferenceSession(const InferenceSession &) = delete;
+    InferenceSession &operator=(const InferenceSession &) = delete;
+
+    /**
+     * Submit one inference request. Claims the request's image key
+     * immediately (submission order == key order), then blocks while
+     * the session is at queueDepth. The future yields the final
+     * layer's output, or rethrows the execution error.
+     */
+    std::future<nn::Tensor> submit(nn::Tensor input);
+
+    /**
+     * Non-blocking submit: false (and no admission, counted in
+     * stats().rejected) when the session is full or shut down.
+     */
+    bool trySubmit(nn::Tensor input, std::future<nn::Tensor> &out);
+
+    /**
+     * Submit a request whose future yields every layer's output
+     * (the streaming equivalent of CompiledModel::inferAll).
+     */
+    std::future<std::vector<nn::Tensor>> submitAll(nn::Tensor input);
+
+    /**
+     * Convenience batch driver used by CompiledModel::inferBatch:
+     * submit every input in order, drain, and return the final
+     * outputs in input order.
+     */
+    std::vector<nn::Tensor>
+    run(const std::vector<nn::Tensor> &inputs);
+
+    /**
+     * Block until every admitted request has completed. The calling
+     * thread executes pending layer-steps itself, so drain() makes
+     * progress even with zero free pool workers.
+     */
+    void drain();
+
+    /**
+     * Graceful shutdown: stop admitting (submit() then fatal()s,
+     * trySubmit() refuses) and drain what was admitted.
+     */
+    void shutdown();
+
+    /** Whether shutdown() was called. */
+    bool closed() const;
+
+    /** Requests admitted but not yet completed. */
+    std::size_t inFlight() const;
+
+    /** Lifetime activity counters. */
+    SessionStats stats() const;
+
+    const core::CompiledModel &model() const { return _model; }
+
+  private:
+    /** One in-flight request walking the IR. */
+    struct Request
+    {
+        std::uint64_t imageKey = 0;
+        nn::Tensor cur;
+        std::size_t nodeIdx = 0; ///< Next IR node to execute.
+        resilience::TransientStats local;
+        bool keepAll = false;
+        std::vector<nn::Tensor> outs; ///< Layer outputs (keepAll).
+        std::promise<nn::Tensor> promiseFinal;
+        std::promise<std::vector<nn::Tensor>> promiseAll;
+    };
+
+    /** Admit a request (blocking iff `block`); false if refused. */
+    bool enqueue(std::unique_ptr<Request> req, bool block);
+
+    /** Push a runnable request and make sure a worker will run it. */
+    void makeReady(std::unique_ptr<Request> req,
+                   std::unique_lock<std::mutex> &lk);
+
+    /** Execute one slice of `req`; requeues or completes it. */
+    void step(std::unique_ptr<Request> req);
+
+    /** Worker body: drain the ready queue until it is empty. */
+    void pump();
+
+    const core::CompiledModel &_model;
+    SessionOptions _opts;
+    int _workers; ///< Resolved worker count.
+
+    mutable std::mutex _mtx;
+    std::condition_variable _cvSpace; ///< Signaled on completion.
+    std::condition_variable _cvWork;  ///< Signaled on makeReady.
+    std::deque<std::unique_ptr<Request>> _ready;
+    std::size_t _inFlight = 0;
+    int _activePumps = 0;
+    bool _closed = false;
+    SessionStats _stats;
+};
+
+} // namespace isaac::serve
+
+#endif // ISAAC_SERVE_SESSION_H

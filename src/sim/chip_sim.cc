@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "noc/packet.h"
+#include "pipeline/execution_plan.h"
 #include "pipeline/mapper.h"
 
 namespace isaac::sim {
@@ -153,6 +154,10 @@ simulateChip(const nn::Network &net,
     std::vector<std::vector<Cycle>> completion(net.size());
     Cycle horizon = 0;
 
+    // The lowered task graph orders the compute steps and owns the
+    // window-dependency geometry (windowReadyTimes).
+    const auto ir = pipeline::ExecutionPlan::lower(net, plan);
+
     // Transient-error machinery: one CRC-protocol state per tile's
     // c-mesh link, and a scratch buffer for the per-window eDRAM ECC
     // pass (the timing model has no payload data; flip draws do not
@@ -163,54 +168,25 @@ simulateChip(const nn::Network &net,
     std::vector<Word> eccScratch;
 
     for (int img = 0; img < images; ++img) {
-        for (std::size_t i = 0; i < net.size(); ++i) {
+        for (const int nodeId : ir.computeOrder()) {
+            const auto &node = ir.node(nodeId);
+            const std::size_t i = node.layer;
             const auto &l = net.layer(i);
             const int outNx = l.outNx();
             const int outNy = l.outNy();
             std::vector<Cycle> done(
                 static_cast<std::size_t>(outNx) * outNy, 0);
-            const bool fullInput =
-                l.kind == nn::LayerKind::Classifier ||
-                l.kind == nn::LayerKind::Spp;
 
             // The ready time of each window is a pure max-reduction
-            // over the previous layer's completion rectangle, so
-            // precompute all of them in parallel; dispatch below
+            // over the previous layer's completion rectangle, so the
+            // IR precomputes all of them in parallel; dispatch below
             // stays serial in window order, keeping the resource
             // schedule (and every result field) bit-identical.
-            const std::int64_t windows =
-                static_cast<std::int64_t>(outNx) * outNy;
-            std::vector<Cycle> readyAt(
-                static_cast<std::size_t>(windows), 0);
-            if (i > 0) {
-                const auto &prev = completion[i - 1];
-                const auto &pl = net.layer(i - 1);
-                const int pnx = pl.outNx();
-                const int pny = pl.outNy();
-                parallelFor(windows, cfg.threads(),
-                            [&](std::int64_t wi, int) {
-                    const int ox = static_cast<int>(wi / outNy);
-                    const int oy = static_cast<int>(wi % outNy);
-                    int y0 = 0, y1 = pnx - 1;
-                    int x0 = 0, x1 = pny - 1;
-                    if (!fullInput) {
-                        y0 = std::max(0, ox * l.sx - l.px);
-                        y1 = std::min(pnx - 1,
-                                      ox * l.sx - l.px + l.kx - 1);
-                        x0 = std::max(0, oy * l.sy - l.py);
-                        x1 = std::min(pny - 1,
-                                      oy * l.sy - l.py + l.ky - 1);
-                    }
-                    Cycle ready = 0;
-                    for (int y = y0; y <= y1; ++y)
-                        for (int x = x0; x <= x1; ++x)
-                            ready = std::max(
-                                ready,
-                                prev[static_cast<std::size_t>(
-                                    y * pny + x)]);
-                    readyAt[static_cast<std::size_t>(wi)] = ready;
-                });
-            }
+            const std::vector<Cycle> readyAt = ir.windowReadyTimes(
+                node,
+                i > 0 ? std::span<const Cycle>(completion[i - 1])
+                      : std::span<const Cycle>(),
+                cfg.threads());
 
             for (int ox = 0; ox < outNx; ++ox) {
                 for (int oy = 0; oy < outNy; ++oy) {

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "pipeline/execution_plan.h"
 
 namespace isaac::sim {
 
@@ -72,12 +73,18 @@ simulatePipeline(const nn::Network &net,
     PipelineSimResult result;
     result.analyticInterval = plan.cyclesPerImage;
 
+    // The lowered task graph orders the compute steps and owns the
+    // window-dependency geometry (windowReadyTimes).
+    const auto ir = pipeline::ExecutionPlan::lower(net, plan);
+
     // completion[i][w]: cycle when window w of layer i finished for
     // the current image (layer outputs, indexed ox * outNy + oy).
     std::vector<std::vector<Cycle>> completion(net.size());
 
     for (int img = 0; img < images; ++img) {
-        for (std::size_t i = 0; i < net.size(); ++i) {
+        for (const int nodeId : ir.computeOrder()) {
+            const auto &node = ir.node(nodeId);
+            const std::size_t i = node.layer;
             const auto &l = net.layer(i);
             const int outNx = l.outNx();
             const int outNy = l.outNy();
@@ -85,44 +92,15 @@ simulatePipeline(const nn::Network &net,
                 static_cast<std::size_t>(outNx) * outNy;
             std::vector<Cycle> done(windows, 0);
 
-            const bool spp = l.kind == nn::LayerKind::Spp;
-
             // Precompute each window's latest-arriving input in
             // parallel (a pure reduction over the previous layer);
             // dispatch stays serial so the server schedule — and
             // thus every reported cycle — is unchanged.
-            std::vector<Cycle> readyAt(windows, 0);
-            if (i > 0) {
-                const auto &prev = completion[i - 1];
-                const auto &pl = net.layer(i - 1);
-                const int pnx = pl.outNx();
-                const int pny = pl.outNy();
-                parallelFor(static_cast<std::int64_t>(windows),
-                            threads, [&](std::int64_t wi, int) {
-                    const int ox = static_cast<int>(wi / outNy);
-                    const int oy = static_cast<int>(wi % outNy);
-                    int y0 = 0, y1 = pnx - 1;
-                    int x0 = 0, x1 = pny - 1;
-                    if (!spp && l.kind != nn::LayerKind::Classifier) {
-                        y0 = std::max(0, ox * l.sx - l.px);
-                        y1 = std::min(pnx - 1,
-                                      ox * l.sx - l.px + l.kx - 1);
-                        x0 = std::max(0, oy * l.sy - l.py);
-                        x1 = std::min(pny - 1,
-                                      oy * l.sy - l.py + l.ky - 1);
-                    }
-                    Cycle ready = 0;
-                    for (int y = y0; y <= y1; ++y) {
-                        for (int x = x0; x <= x1; ++x) {
-                            ready = std::max(
-                                ready,
-                                prev[static_cast<std::size_t>(
-                                    y * pny + x)]);
-                        }
-                    }
-                    readyAt[static_cast<std::size_t>(wi)] = ready;
-                });
-            }
+            const std::vector<Cycle> readyAt = ir.windowReadyTimes(
+                node,
+                i > 0 ? std::span<const Cycle>(completion[i - 1])
+                      : std::span<const Cycle>(),
+                threads);
 
             for (int ox = 0; ox < outNx; ++ox) {
                 for (int oy = 0; oy < outNy; ++oy) {

@@ -33,6 +33,15 @@ struct AdcTally
 {
     std::uint64_t samples = 0;
     std::uint64_t clips = 0;
+
+    void
+    merge(const AdcTally &o)
+    {
+        samples += o.samples;
+        clips += o.clips;
+    }
+
+    bool operator==(const AdcTally &) const = default;
 };
 
 /**

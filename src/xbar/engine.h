@@ -172,6 +172,20 @@ struct EngineStats
     std::uint64_t adcClips = 0;      ///< Conversions that clipped.
     std::uint64_t shiftAdds = 0;     ///< Digital merge operations.
     std::uint64_t dacActivations = 0; ///< Row-digit presentations.
+
+    /** Fold another tally in (all counters are exact sums). */
+    void
+    merge(const EngineStats &o)
+    {
+        ops += o.ops;
+        crossbarReads += o.crossbarReads;
+        adcSamples += o.adcSamples;
+        adcClips += o.adcClips;
+        shiftAdds += o.shiftAdds;
+        dacActivations += o.dacActivations;
+    }
+
+    bool operator==(const EngineStats &) const = default;
 };
 
 /** The in-situ multiply-accumulate engine for one weight matrix. */

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Streaming inference session tests: bit-exact parity with the
+ * sequential keyed walk at every worker count (results, EngineStats,
+ * TransientStats, per-tile ADC tallies), submission-order key
+ * claiming under arbitrary orders, stats-reset replay, backpressure
+ * and shutdown semantics, and the functional=false front-door fatal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/accelerator.h"
+#include "nn/zoo.h"
+#include "serve/session.h"
+
+namespace isaac::serve {
+namespace {
+
+/** Every transient-error class on, sized for exact recovery (the
+ *  same recipe the end-to-end transient tests use). */
+arch::IsaacConfig
+protectedConfig()
+{
+    arch::IsaacConfig cfg;
+    cfg.engine.abftChecksum = true;
+    cfg.engine.noise.driftLevelsPerOp = 0.05;
+    cfg.engine.noise.refreshIntervalOps = 16;
+    cfg.transient.edramFlipRate = 2e-3;
+    cfg.transient.orFlipRate = 1e-3;
+    cfg.transient.packetCorruptRate = 0.05;
+    cfg.transient.seed = 0xBEEF;
+    return cfg;
+}
+
+std::vector<nn::Tensor>
+makeInputs(const nn::Network &net, int count, FixedFormat fmt)
+{
+    const auto &l0 = net.layer(0);
+    std::vector<nn::Tensor> inputs;
+    for (int i = 0; i < count; ++i)
+        inputs.push_back(nn::synthesizeInput(
+            l0.ni, l0.nx, l0.ny,
+            static_cast<std::uint64_t>(100 + i), fmt));
+    return inputs;
+}
+
+/** Per-tile ADC tallies of every engine, in deterministic order. */
+std::vector<xbar::AdcTally>
+allTileTallies(const core::CompiledModel &model)
+{
+    std::vector<xbar::AdcTally> tallies;
+    for (std::size_t i = 0; i < model.network().size(); ++i) {
+        for (std::int64_t g = 0; g < model.engineGroupCount(i); ++g) {
+            const auto *e = model.engine(i, g);
+            for (int rs = 0; rs < e->rowSegments(); ++rs)
+                for (int cs = 0; cs < e->colSegments(); ++cs)
+                    tallies.push_back(e->tileAdcTally(rs, cs));
+        }
+    }
+    return tallies;
+}
+
+TEST(Session, PipelinedRunMatchesSequentialWalkAtEveryWorkerCount)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 42);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(protectedConfig());
+    const auto inputs = makeInputs(net, 6, opts.format);
+
+    // Ground truth: a sequential keyed walk on a twin model.
+    const auto seq = acc.compile(net, weights, opts);
+    std::vector<nn::Tensor> want;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const auto key = seq.claimImageKeys(1);
+        want.push_back(seq.inferAllKeyed(inputs[i], key).back());
+    }
+    const auto wantEngine = seq.engineStats();
+    const auto wantTransient = seq.transientStats();
+    const auto wantTiles = allTileTallies(seq);
+
+    for (const int workers : {1, 2, 4, 8}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        const auto model = acc.compile(net, weights, opts);
+        SessionOptions sopts;
+        sopts.queueDepth = inputs.size();
+        sopts.workers = workers;
+        InferenceSession session(model, sopts);
+        const auto got = session.run(inputs);
+
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i].raw(), want[i].raw()) << "image " << i;
+        EXPECT_TRUE(model.engineStats() == wantEngine);
+        EXPECT_TRUE(model.transientStats() == wantTransient);
+        const auto tiles = allTileTallies(model);
+        ASSERT_EQ(tiles.size(), wantTiles.size());
+        for (std::size_t t = 0; t < tiles.size(); ++t)
+            EXPECT_TRUE(tiles[t] == wantTiles[t]) << "tile " << t;
+
+        const auto stats = session.stats();
+        EXPECT_EQ(stats.submitted, inputs.size());
+        EXPECT_EQ(stats.completed, inputs.size());
+        EXPECT_EQ(stats.rejected, 0u);
+        EXPECT_EQ(stats.stepsExecuted,
+                  inputs.size() * model.executionPlan().size());
+        EXPECT_GE(stats.peakInFlight, 1u);
+        EXPECT_LE(stats.peakInFlight, inputs.size());
+        EXPECT_EQ(session.inFlight(), 0u);
+    }
+}
+
+TEST(Session, SubmissionOrderKeysTheStreamsUnderAnyOrder)
+{
+    // Submitting the same tensors in a scrambled order must key each
+    // request by its *submission* position: request j (whatever
+    // tensor it carries) replays the injection streams of sequential
+    // image j.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 7);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(protectedConfig());
+    const auto inputs = makeInputs(net, 5, opts.format);
+    const std::vector<std::size_t> perm = {3, 0, 4, 2, 1};
+
+    const auto seq = acc.compile(net, weights, opts);
+    std::vector<nn::Tensor> want;
+    for (std::size_t j = 0; j < perm.size(); ++j) {
+        want.push_back(
+            seq.inferAllKeyed(inputs[perm[j]], j).back());
+    }
+
+    const auto model = acc.compile(net, weights, opts);
+    SessionOptions sopts;
+    sopts.queueDepth = perm.size();
+    sopts.workers = 4;
+    InferenceSession session(model, sopts);
+    std::vector<std::future<nn::Tensor>> futs;
+    for (const std::size_t p : perm)
+        futs.push_back(session.submit(inputs[p]));
+    session.drain();
+    for (std::size_t j = 0; j < futs.size(); ++j) {
+        EXPECT_EQ(futs[j].get().raw(), want[j].raw())
+            << "submission " << j;
+    }
+    EXPECT_TRUE(model.transientStats() == seq.transientStats());
+}
+
+TEST(Session, SubmitAllStreamsEveryLayerOutput)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 21);
+    const core::CompileOptions opts;
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights, opts);
+    const auto input = makeInputs(net, 1, opts.format)[0];
+
+    const auto want = model.inferAllKeyed(input, 12345);
+
+    InferenceSession session(model);
+    auto fut = session.submitAll(input);
+    session.drain();
+    const auto got = fut.get();
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(got.size(), net.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].raw(), want[i].raw()) << "layer " << i;
+}
+
+TEST(Session, ResetStatsRewindsTheImageSequenceForExactReplay)
+{
+    // resetStats() must rewind the shared image-key counter, so a
+    // replayed workload reproduces results AND counters exactly —
+    // through any front door (session, inferBatch, infer).
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 13);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(protectedConfig());
+    auto model = acc.compile(net, weights, opts);
+    const auto inputs = makeInputs(net, 4, opts.format);
+
+    const auto first = model.inferBatch(inputs);
+    const auto firstEngine = model.engineStats();
+    const auto firstTransient = model.transientStats();
+
+    model.resetStats();
+    const auto second = model.inferBatch(inputs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i].raw(), second[i].raw()) << "image " << i;
+    EXPECT_TRUE(model.engineStats() == firstEngine);
+    EXPECT_TRUE(model.transientStats() == firstTransient);
+}
+
+TEST(Session, NonFunctionalModelIsFatalOnEveryInferencePath)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 1);
+    core::CompileOptions opts;
+    opts.functional = false;
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights, opts);
+    const auto input = makeInputs(net, 1, opts.format)[0];
+
+    EXPECT_FALSE(model.isFunctional());
+    const auto expectFunctionalFatal = [](const auto &fn) {
+        try {
+            fn();
+            FAIL() << "expected FatalError";
+        } catch (const FatalError &e) {
+            EXPECT_NE(
+                std::string(e.what()).find(
+                    "CompileOptions::functional"),
+                std::string::npos)
+                << "message must name the knob: " << e.what();
+        }
+    };
+    expectFunctionalFatal([&] { (void)model.infer(input); });
+    expectFunctionalFatal([&] { (void)model.inferAll(input); });
+    expectFunctionalFatal([&] { (void)model.inferBatch({input}); });
+    expectFunctionalFatal([&] { InferenceSession session(model); });
+}
+
+TEST(Session, BackpressureAndShutdownSemantics)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 2);
+    const core::CompileOptions opts;
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights, opts);
+    const auto input = makeInputs(net, 1, opts.format)[0];
+
+    SessionOptions sopts;
+    sopts.queueDepth = 2;
+    sopts.workers = 1;
+    InferenceSession session(model, sopts);
+    EXPECT_FALSE(session.closed());
+
+    // A blocking submit on a full session makes progress by helping,
+    // so submitting more than queueDepth requests cannot deadlock.
+    std::vector<std::future<nn::Tensor>> futs;
+    for (int i = 0; i < 5; ++i)
+        futs.push_back(session.submit(input));
+    session.drain();
+    EXPECT_EQ(session.inFlight(), 0u);
+    const auto want = futs.front().get().raw();
+    for (std::size_t i = 1; i < futs.size(); ++i)
+        EXPECT_EQ(futs[i].get().raw(), want);
+
+    session.shutdown();
+    EXPECT_TRUE(session.closed());
+
+    // Closed: trySubmit refuses (counted), submit is fatal.
+    std::future<nn::Tensor> out;
+    EXPECT_FALSE(session.trySubmit(input, out));
+    EXPECT_EQ(session.stats().rejected, 1u);
+    EXPECT_THROW((void)session.submit(input), FatalError);
+
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.submitted, 5u);
+    EXPECT_EQ(stats.completed, 5u);
+    EXPECT_LE(stats.peakInFlight, 2u);
+}
+
+TEST(Session, InvalidOptionsAreFatal)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 2);
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights);
+    EXPECT_THROW(InferenceSession(model, {.queueDepth = 0}),
+                 FatalError);
+    EXPECT_THROW(InferenceSession(model, {.workers = -1}),
+                 FatalError);
+    EXPECT_THROW(InferenceSession(model, {.stepsPerSlice = 0}),
+                 FatalError);
+}
+
+TEST(Session, WiderSlicesPreserveResults)
+{
+    // stepsPerSlice only trades scheduling granularity; results and
+    // counters cannot move.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 31);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(protectedConfig());
+    const auto inputs = makeInputs(net, 3, opts.format);
+
+    const auto seq = acc.compile(net, weights, opts);
+    const auto want = seq.inferBatch(inputs);
+    const auto wantTransient = seq.transientStats();
+
+    const auto model = acc.compile(net, weights, opts);
+    SessionOptions sopts;
+    sopts.queueDepth = inputs.size();
+    sopts.workers = 2;
+    sopts.stepsPerSlice = 3;
+    InferenceSession session(model, sopts);
+    const auto got = session.run(inputs);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].raw(), want[i].raw());
+    EXPECT_TRUE(model.transientStats() == wantTransient);
+}
+
+} // namespace
+} // namespace isaac::serve

@@ -39,15 +39,6 @@ struct RunTrace
     std::uint64_t adcClips = 0;
 };
 
-bool
-operator==(const EngineStats &a, const EngineStats &b)
-{
-    return a.ops == b.ops && a.crossbarReads == b.crossbarReads &&
-        a.adcSamples == b.adcSamples && a.adcClips == b.adcClips &&
-        a.shiftAdds == b.shiftAdds &&
-        a.dacActivations == b.dacActivations;
-}
-
 /** Run a sequence of inputs (with repeats) and trace everything. */
 RunTrace
 runSequence(const EngineConfig &cfg, std::span<const Word> weights,
