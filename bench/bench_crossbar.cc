@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "xbar/batch_kernel.h"
 #include "xbar/encoding.h"
 #include "xbar/engine.h"
 
@@ -112,6 +113,32 @@ BENCHMARK(BM_EngineDotProductFast)
     ->Args({1024, 64});
 
 /**
+ * The plane-major batched popcount GEMM: a layer's worth of distinct
+ * windows through one dotProductBatch() call (ns per window).
+ */
+void
+BM_EngineDotProductBatched(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int m = static_cast<int>(state.range(1));
+    const int windows = 64;
+    xbar::EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.memoEntries = 0;
+    const auto weights = randomWords(7, n * m);
+    xbar::BitSerialEngine engine(cfg, weights, n, m);
+    const auto inputs = randomWords(9, n * windows);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            engine.dotProductBatch(inputs, windows));
+    state.SetItemsProcessed(state.iterations() * windows *
+                            static_cast<std::int64_t>(n) * m);
+}
+BENCHMARK(BM_EngineDotProductBatched)
+    ->Args({128, 16})
+    ->Args({1024, 64});
+
+/**
  * Steady-state memo replay: the same activation vector re-presented
  * (the recurring-digit-vector limit a conv layer's overlapping
  * windows approach).
@@ -206,6 +233,29 @@ BM_SliceWeight(benchmark::State &state)
 }
 BENCHMARK(BM_SliceWeight);
 
+/** Best-of-3 timing of dotProductBatch() calls, ns per window. */
+double
+timeDotProductBatch(const xbar::BitSerialEngine &engine,
+                    const std::vector<Word> &inputs, int windows,
+                    int iters)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i)
+            benchmark::DoNotOptimize(
+                engine.dotProductBatch(inputs, windows));
+        const auto stop = std::chrono::steady_clock::now();
+        const double ns =
+            std::chrono::duration<double, std::nano>(stop - start)
+                .count() /
+            (static_cast<double>(iters) * windows);
+        if (rep == 0 || ns < best)
+            best = ns;
+    }
+    return best;
+}
+
 /** Median-of-3 timing of repeated dotProduct() calls, ns per op. */
 double
 timeDotProduct(const xbar::BitSerialEngine &engine,
@@ -234,8 +284,12 @@ timeDotProduct(const xbar::BitSerialEngine &engine,
  *  - "results": the 1024x64 dot product at several thread counts,
  *    scalar and packed-fast-path columns side by side;
  *  - "clean_128": the gated single-array numbers — scalar vs packed
- *    vs steady-state memo replay on a clean 128x128 ISAAC-CE array
- *    at threads = 1. CI fails if fast_speedup drops below 5.
+ *    vs steady-state memo replay vs the batched plane-major GEMM on
+ *    a clean 128x128 ISAAC-CE array at threads = 1. CI fails if
+ *    fast_speedup drops below 5, or if batched_speedup (batched GEMM
+ *    over the per-window fast path, 64 distinct windows) drops below
+ *    2 on hosts whose dispatch tier is above scalar (below 1 on
+ *    dispatch-less hosts).
  */
 void
 writeScalingJson()
@@ -314,16 +368,36 @@ writeScalingJson()
     gMemo.dotProduct(gx); // populate: later calls replay
     const double gMemoNs = timeDotProduct(gMemo, gx, 200);
 
+    // The batched plane-major GEMM: 64 *distinct* windows per call
+    // (no memo help possible), ns per window. Gated against the
+    // per-window fast path: on any host with a dispatch tier above
+    // scalar the hoisted packing + SIMD popcount must win >= 2x;
+    // on a dispatch-less host it must at least not regress.
+    const int gWindows = 64;
+    gateCfg = base;
+    gateCfg.memoEntries = 0;
+    xbar::BitSerialEngine gBatch(gateCfg, gw, gn, gm);
+    const auto gbx = randomWords(21, gn * gWindows);
+    gBatch.dotProductBatch(gbx, gWindows); // warm up
+    const double gBatchNs =
+        timeDotProductBatch(gBatch, gbx, gWindows, 20);
+
     std::fprintf(f,
                  "\n  ],\n  \"clean_128\": {\n"
                  "    \"scalar_ns\": %.0f,\n"
                  "    \"fast_ns\": %.0f,\n"
                  "    \"memo_ns\": %.0f,\n"
+                 "    \"batched_ns\": %.0f,\n"
+                 "    \"batched_windows\": %d,\n"
+                 "    \"kernel_tier\": \"%s\",\n"
                  "    \"fast_speedup\": %.3f,\n"
-                 "    \"memo_speedup\": %.3f\n  }\n}\n",
-                 gScalarNs, gFastNs, gMemoNs,
+                 "    \"memo_speedup\": %.3f,\n"
+                 "    \"batched_speedup\": %.3f\n  }\n}\n",
+                 gScalarNs, gFastNs, gMemoNs, gBatchNs, gWindows,
+                 xbar::kernel::tierName(xbar::kernel::activeTier()),
                  gFastNs > 0 ? gScalarNs / gFastNs : 0.0,
-                 gMemoNs > 0 ? gScalarNs / gMemoNs : 0.0);
+                 gMemoNs > 0 ? gScalarNs / gMemoNs : 0.0,
+                 gBatchNs > 0 ? gFastNs / gBatchNs : 0.0);
     std::fclose(f);
     std::printf("wrote BENCH_crossbar.json\n");
 }

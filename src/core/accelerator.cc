@@ -93,6 +93,49 @@ CompiledModel::runDotLayer(std::size_t layerIdx,
 {
     const auto &l = net.layer(layerIdx);
     nn::Tensor out(l.no, l.outNx(), l.outNy());
+    const std::int64_t windows =
+        static_cast<std::int64_t>(l.outNx()) * l.outNy();
+    const auto &shared = engines[layerIdx][0];
+    if (!l.privateKernel && windows > 1 &&
+        shared->config().batchWindows && shared->fastPathActive()) {
+        // Batched layer execution: stage every window's input vector
+        // once, then stream the whole layer through one
+        // dotProductBatch() call — the engine packs each (phase, row
+        // segment)'s digit planes into a single plane-major
+        // bit-matrix and evaluates all windows per tile in one
+        // popcount GEMM. Bit-identical results and counters to the
+        // per-window loop below (tests assert it), minus thousands
+        // of per-window staging/dispatch round trips.
+        const int len = shared->numInputs();
+        std::vector<Word> staged(
+            static_cast<std::size_t>(windows) * len);
+        parallelFor(
+            windows, cfg.threads(), [&](std::int64_t window, int) {
+                const int ox = static_cast<int>(window / l.outNy());
+                const int oy = static_cast<int>(window % l.outNy());
+                const auto inputs = nn::gatherWindow(input, l, ox, oy);
+                std::copy(inputs.begin(), inputs.end(),
+                          staged.begin() +
+                              static_cast<std::size_t>(window) * len);
+            });
+        const auto sums = shared->dotProductBatch(
+            staged, static_cast<int>(windows));
+        parallelFor(
+            windows, cfg.threads(), [&](std::int64_t window, int) {
+                const int ox = static_cast<int>(window / l.outNy());
+                const int oy = static_cast<int>(window % l.outNy());
+                const Acc *row = sums.data() +
+                    static_cast<std::size_t>(window) * l.no;
+                for (int k = 0; k < l.no; ++k) {
+                    const Word q = requantizeAcc(
+                        row[static_cast<std::size_t>(k)],
+                        opts.format);
+                    out.at(k, ox, oy) =
+                        nn::applyActivation(l.activation, q, lut);
+                }
+            });
+        return out;
+    }
     // dotProduct() is concurrency-safe, so windows of a layer can be
     // issued in parallel even against a shared engine (exactly as
     // replicated IMAs pipeline windows in hardware). Sharing the
@@ -101,8 +144,6 @@ CompiledModel::runDotLayer(std::size_t layerIdx,
     // vectors (sign-extended high phases above all, since quantized
     // activations rarely fill 16 bits), and those replay cached
     // readings instead of re-simulating the crossbar.
-    const std::int64_t windows =
-        static_cast<std::int64_t>(l.outNx()) * l.outNy();
     parallelFor(windows, cfg.threads(), [&](std::int64_t window, int) {
         const int ox = static_cast<int>(window / l.outNy());
         const int oy = static_cast<int>(window % l.outNy());

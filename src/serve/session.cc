@@ -226,6 +226,12 @@ void
 InferenceSession::drain()
 {
     std::unique_lock<std::mutex> lk(_mtx);
+    drainLocked(lk);
+}
+
+void
+InferenceSession::drainLocked(std::unique_lock<std::mutex> &lk)
+{
     while (_inFlight > 0) {
         if (!_ready.empty()) {
             auto req = std::move(_ready.front());
@@ -245,12 +251,19 @@ InferenceSession::drain()
 void
 InferenceSession::shutdown()
 {
-    {
-        std::lock_guard<std::mutex> lk(_mtx);
-        _closed = true;
-        _cvSpace.notify_all();
-    }
-    drain();
+    // Sealing admission and entering the drain loop under ONE lock
+    // acquisition makes shutdown atomic against trySubmit(): there
+    // is no window between "_closed = true" and the drain decision
+    // where a racing submitter could slip a request in unseen.
+    // Admission itself checks _closed under this same mutex, so
+    // every request trySubmit() ever admitted is either already
+    // counted in _inFlight here (and will be drained, resolving its
+    // future) or was refused. Idempotent and safe to race with
+    // another shutdown(): both seal, both drain.
+    std::unique_lock<std::mutex> lk(_mtx);
+    _closed = true;
+    _cvSpace.notify_all();
+    drainLocked(lk);
 }
 
 bool

@@ -135,7 +135,11 @@ class InferenceSession
 
     /**
      * Graceful shutdown: stop admitting (submit() then fatal()s,
-     * trySubmit() refuses) and drain what was admitted.
+     * trySubmit() refuses) and drain what was admitted. Atomic
+     * against concurrent trySubmit(): admission and the seal share
+     * one critical section, so every future a racing trySubmit()
+     * handed out resolves — there is no window where a request is
+     * admitted after the drain decision.
      */
     void shutdown();
 
@@ -173,6 +177,14 @@ class InferenceSession
 
     /** Execute one slice of `req`; requeues or completes it. */
     void step(std::unique_ptr<Request> req);
+
+    /**
+     * drain() body with the session lock already held — shutdown()
+     * uses it so sealing admission and the drain decision are one
+     * critical section (admit-vs-shutdown atomicity). `lk` is
+     * released and reacquired around step execution.
+     */
+    void drainLocked(std::unique_lock<std::mutex> &lk);
 
     /** Worker body: drain the ready queue until it is empty. */
     void pump();

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Runtime CPU dispatch for the batched popcount GEMM, plus the
+ * always-available scalar tier. This translation unit is compiled
+ * with *no* ISA flags — it must run on baseline x86-64 (and non-x86
+ * hosts) up to and including the CPUID probe — so the vector tiers
+ * live in their own TUs (batch_kernel_{popcnt,avx2,avx512}.cc) and
+ * are referenced here only when CMake compiled them (the
+ * ISAAC_KERNEL_* definitions mirror the source properties).
+ */
+
+#include "xbar/batch_kernel.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+#include "xbar/batch_kernel_impl.h"
+
+namespace isaac::xbar::kernel {
+
+namespace {
+
+void
+batchedBitlineSumsScalar(const std::uint64_t *cellPlanes, int cols,
+                         int cellBits, int words,
+                         const std::uint64_t *dig, int digitBits,
+                         int n, Acc *out)
+{
+    detail::batchedBitlineSumsImpl(cellPlanes, cols, cellBits, words,
+                                   dig, digitBits, n, out,
+                                   detail::ScalarAccumRow{});
+}
+
+Tier
+detectHostTier()
+{
+    Tier best = Tier::Scalar;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#ifdef ISAAC_KERNEL_POPCNT
+    if (__builtin_cpu_supports("popcnt"))
+        best = Tier::Popcnt;
+#endif
+#ifdef ISAAC_KERNEL_AVX2
+    if (__builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("popcnt"))
+        best = Tier::Avx2;
+#endif
+#ifdef ISAAC_KERNEL_AVX512
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vpopcntdq") &&
+        __builtin_cpu_supports("popcnt"))
+        best = Tier::Avx512;
+#endif
+#endif
+    return best;
+}
+
+/** -1 = no override, else the forced tier. */
+std::atomic<int> tierOverride{-1};
+
+} // namespace
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+    case Tier::Scalar: return "scalar";
+    case Tier::Popcnt: return "popcnt";
+    case Tier::Avx2: return "avx2";
+    case Tier::Avx512: return "avx512";
+    }
+    return "unknown";
+}
+
+Tier
+detectedTier()
+{
+    static const Tier t = detectHostTier();
+    return t;
+}
+
+Tier
+activeTier()
+{
+    const int o = tierOverride.load(std::memory_order_relaxed);
+    return o < 0 ? detectedTier() : static_cast<Tier>(o);
+}
+
+void
+forceTier(Tier t)
+{
+    if (t > detectedTier()) {
+        fatal(std::string("kernel::forceTier: tier '") + tierName(t) +
+              "' is not available on this host (detected '" +
+              tierName(detectedTier()) + "')");
+    }
+    tierOverride.store(static_cast<int>(t),
+                       std::memory_order_relaxed);
+}
+
+void
+resetTierOverride()
+{
+    tierOverride.store(-1, std::memory_order_relaxed);
+}
+
+void
+batchedBitlineSums(const std::uint64_t *cellPlanes, int cols,
+                   int cellBits, int words, const std::uint64_t *dig,
+                   int digitBits, int n, Acc *out)
+{
+    switch (activeTier()) {
+#ifdef ISAAC_KERNEL_AVX512
+    case Tier::Avx512:
+        batchedBitlineSumsAvx512(cellPlanes, cols, cellBits, words,
+                                 dig, digitBits, n, out);
+        return;
+#endif
+#ifdef ISAAC_KERNEL_AVX2
+    case Tier::Avx2:
+        batchedBitlineSumsAvx2(cellPlanes, cols, cellBits, words, dig,
+                               digitBits, n, out);
+        return;
+#endif
+#ifdef ISAAC_KERNEL_POPCNT
+    case Tier::Popcnt:
+        batchedBitlineSumsPopcnt(cellPlanes, cols, cellBits, words,
+                                 dig, digitBits, n, out);
+        return;
+#endif
+    default:
+        batchedBitlineSumsScalar(cellPlanes, cols, cellBits, words,
+                                 dig, digitBits, n, out);
+        return;
+    }
+}
+
+void
+scaleAdd(Acc *acc, const Acc *row, int shift, bool negate, int n)
+{
+    switch (activeTier()) {
+#ifdef ISAAC_KERNEL_AVX512
+    case Tier::Avx512:
+        scaleAddAvx512(acc, row, shift, negate, n);
+        return;
+#endif
+#ifdef ISAAC_KERNEL_AVX2
+    case Tier::Avx2:
+        scaleAddAvx2(acc, row, shift, negate, n);
+        return;
+#endif
+    default:
+        // The popcnt tier has no vector ISA to exploit in a
+        // shift/add loop; it shares the baseline body.
+        detail::scaleAddImpl(acc, row, shift, negate, n);
+        return;
+    }
+}
+
+void
+scaleAddFlipped(Acc *acc, const Acc *row, const Acc *units,
+                int cellBits, int shift, bool negate, int n)
+{
+    switch (activeTier()) {
+#ifdef ISAAC_KERNEL_AVX512
+    case Tier::Avx512:
+        scaleAddFlippedAvx512(acc, row, units, cellBits, shift,
+                              negate, n);
+        return;
+#endif
+#ifdef ISAAC_KERNEL_AVX2
+    case Tier::Avx2:
+        scaleAddFlippedAvx2(acc, row, units, cellBits, shift, negate,
+                            n);
+        return;
+#endif
+    default:
+        detail::scaleAddFlippedImpl(acc, row, units, cellBits, shift,
+                                    negate, n);
+        return;
+    }
+}
+
+} // namespace isaac::xbar::kernel

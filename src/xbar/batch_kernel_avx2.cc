@@ -1,0 +1,130 @@
+/**
+ * @file
+ * AVX2 tier of the batched popcount GEMM. AVX2 has no vector
+ * popcount, so the accumulation row uses the vpshufb nibble-LUT
+ * algorithm (Mula): split each byte into nibbles, look both up in an
+ * in-register 16-entry bit-count table, and horizontally sum bytes
+ * per 64-bit lane with vpsadbw. Four windows' words are processed per
+ * iteration; the sub-vector tail falls back to hardware POPCNT.
+ *
+ * Compiled with -mavx2 -mpopcnt via a CMake source property on this
+ * file only; reached only through the dispatcher after CPUID confirms
+ * AVX2 + POPCNT.
+ */
+
+#include "xbar/batch_kernel.h"
+
+#include <immintrin.h>
+
+#include "xbar/batch_kernel_impl.h"
+
+namespace isaac::xbar::kernel {
+
+namespace {
+
+/** Per-64-bit-lane popcount of four uint64 lanes. */
+inline __m256i
+popcount64x4(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+        2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0F);
+    const __m256i lo = _mm256_and_si256(v, low);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+    const __m256i cnt =
+        _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                        _mm256_shuffle_epi8(lut, hi));
+    return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+struct Avx2AccumRow
+{
+    void
+    operator()(Acc *dst, const std::uint64_t *dp, std::uint64_t pw,
+               int shift, int n) const
+    {
+        const __m256i bc =
+            _mm256_set1_epi64x(static_cast<long long>(pw));
+        const __m128i sh = _mm_cvtsi32_si128(shift);
+        int i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const __m256i d = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(dp + i));
+            const __m256i cnt =
+                popcount64x4(_mm256_and_si256(d, bc));
+            __m256i acc = _mm256_loadu_si256(
+                reinterpret_cast<__m256i *>(dst + i));
+            acc = _mm256_add_epi64(acc, _mm256_sll_epi64(cnt, sh));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                                acc);
+        }
+        for (; i < n; ++i) {
+            dst[i] += static_cast<Acc>(std::popcount(dp[i] & pw))
+                << shift;
+        }
+    }
+};
+
+} // namespace
+
+void
+batchedBitlineSumsAvx2(const std::uint64_t *cellPlanes, int cols,
+                       int cellBits, int words,
+                       const std::uint64_t *dig, int digitBits, int n,
+                       Acc *out)
+{
+    detail::batchedBitlineSumsImpl(cellPlanes, cols, cellBits, words,
+                                   dig, digitBits, n, out,
+                                   Avx2AccumRow{});
+}
+
+void
+scaleAddAvx2(Acc *acc, const Acc *row, int shift, bool negate, int n)
+{
+    const __m128i sh = _mm_cvtsi32_si128(shift);
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i r = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row + i));
+        __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + i));
+        const __m256i t = _mm256_sll_epi64(r, sh);
+        a = negate ? _mm256_sub_epi64(a, t)
+                   : _mm256_add_epi64(a, t);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + i), a);
+    }
+    if (i < n)
+        detail::scaleAddImpl(acc + i, row + i, shift, negate, n - i);
+}
+
+void
+scaleAddFlippedAvx2(Acc *acc, const Acc *row, const Acc *units,
+                    int cellBits, int shift, bool negate, int n)
+{
+    const __m128i cb = _mm_cvtsi32_si128(cellBits);
+    const __m128i sh = _mm_cvtsi32_si128(shift);
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i u = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(units + i));
+        const __m256i r = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row + i));
+        __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + i));
+        // ((u << w) - u - v) << shift: the unflipped slice value.
+        __m256i t = _mm256_sub_epi64(
+            _mm256_sub_epi64(_mm256_sll_epi64(u, cb), u), r);
+        t = _mm256_sll_epi64(t, sh);
+        a = negate ? _mm256_sub_epi64(a, t)
+                   : _mm256_add_epi64(a, t);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + i), a);
+    }
+    if (i < n) {
+        detail::scaleAddFlippedImpl(acc + i, row + i, units + i,
+                                    cellBits, shift, negate, n - i);
+    }
+}
+
+} // namespace isaac::xbar::kernel

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * POPCNT tier of the batched popcount GEMM: the portable skeleton
+ * compiled with -mpopcnt (CMake source property on this file only),
+ * so every std::popcount lowers to the hardware instruction instead
+ * of the libgcc table walk. Reached only through the dispatcher after
+ * CPUID confirms POPCNT support.
+ */
+
+#include "xbar/batch_kernel.h"
+#include "xbar/batch_kernel_impl.h"
+
+namespace isaac::xbar::kernel {
+
+void
+batchedBitlineSumsPopcnt(const std::uint64_t *cellPlanes, int cols,
+                         int cellBits, int words,
+                         const std::uint64_t *dig, int digitBits,
+                         int n, Acc *out)
+{
+    detail::batchedBitlineSumsImpl(cellPlanes, cols, cellBits, words,
+                                   dig, digitBits, n, out,
+                                   detail::ScalarAccumRow{});
+}
+
+} // namespace isaac::xbar::kernel

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "xbar/batch_kernel.h"
 
 namespace isaac::xbar {
 
@@ -256,56 +257,57 @@ CrossbarArray::readAllBitlinesPacked(
     const std::uint64_t *planes = ensurePlanes();
     _readCycles.fetch_add(1, std::memory_order_relaxed);
     out.resize(static_cast<std::size_t>(_cols));
-    // The 1-bit-DAC cases dominate (ISAAC-CE streams single input
-    // bits), and a 128-row array needs exactly two plane words, so
-    // those kernels are specialized: the digit words stay in
-    // registers across the whole column sweep.
-    if (digitBits == 1 && words == 1) {
-        const std::uint64_t d0 = digitPlanes[0];
-        const std::uint64_t *cellPlane = planes;
-        for (int c = 0; c < _cols; ++c) {
-            Acc sum = 0;
-            for (int b = 0; b < _cellBits; ++b, ++cellPlane)
-                sum += static_cast<Acc>(
-                           std::popcount(d0 & cellPlane[0]))
-                    << b;
-            out[static_cast<std::size_t>(c)] = sum;
-        }
-        return;
+    // One digit vector is the n == 1 degenerate case of the batched
+    // GEMM; going through the dispatcher means a host with POPCNT
+    // gets the hardware instruction even though this TU is compiled
+    // for baseline x86-64.
+    kernel::batchedBitlineSums(planes, _cols, _cellBits, words,
+                               digitPlanes.data(), digitBits, 1,
+                               out.data());
+}
+
+void
+CrossbarArray::readAllBitlinesPackedBatch(
+    std::span<const std::uint64_t> digitPlanes, int digitBits, int n,
+    std::vector<Acc> &out) const
+{
+    const int words = planeWords();
+    if (digitBits < 1 || n < 1 ||
+        digitPlanes.size() != static_cast<std::size_t>(digitBits) *
+            words * n) {
+        fatal("CrossbarArray::readAllBitlinesPackedBatch: digit-plane "
+              "matrix does not match the array geometry");
     }
-    if (digitBits == 1 && words == 2) {
-        const std::uint64_t d0 = digitPlanes[0];
-        const std::uint64_t d1 = digitPlanes[1];
-        const std::uint64_t *cellPlane = planes;
-        for (int c = 0; c < _cols; ++c) {
-            Acc sum = 0;
-            for (int b = 0; b < _cellBits; ++b, cellPlane += 2)
-                sum += static_cast<Acc>(
-                           std::popcount(d0 & cellPlane[0]) +
-                           std::popcount(d1 & cellPlane[1]))
-                    << b;
-            out[static_cast<std::size_t>(c)] = sum;
-        }
-        return;
+    if (!packedReadExact()) {
+        fatal("CrossbarArray::readAllBitlinesPackedBatch: array has "
+              "read noise or drift configured; use readAllBitlines");
     }
+    const std::uint64_t *planes = ensurePlanes();
+    out.resize(static_cast<std::size_t>(_cols) * n);
+    kernel::batchedBitlineSums(planes, _cols, _cellBits, words,
+                               digitPlanes.data(), digitBits, n,
+                               out.data());
+}
+
+Acc
+CrossbarArray::maxPackedReading(int digitBits) const
+{
+    // A packed reading of column c is
+    //   sum_j 2^j * sum_r level(r, c) * digitBit(j, r)
+    // so with every digit bit set it peaks at the column's level sum
+    // times (2^digitBits - 1). Column-strided walk over the stored
+    // levels; callers evaluate this once per tile block, not per
+    // read.
+    Acc best = 0;
     for (int c = 0; c < _cols; ++c) {
         Acc sum = 0;
-        const std::uint64_t *cellPlane =
-            planes + static_cast<std::size_t>(c) * _cellBits * words;
-        for (int b = 0; b < _cellBits; ++b, cellPlane += words) {
-            Acc bitSum = 0;
-            const std::uint64_t *digitPlane = digitPlanes.data();
-            for (int j = 0; j < digitBits; ++j, digitPlane += words) {
-                Acc count = 0;
-                for (int w = 0; w < words; ++w)
-                    count += std::popcount(digitPlane[w] &
-                                           cellPlane[w]);
-                bitSum += count << j;
-            }
-            sum += bitSum << b;
+        for (int r = 0; r < _rows; ++r) {
+            sum += cells[static_cast<std::size_t>(r) * _cols +
+                         static_cast<std::size_t>(c)];
         }
-        out[static_cast<std::size_t>(c)] = sum;
+        best = std::max(best, sum);
     }
+    return best * ((Acc{1} << digitBits) - 1);
 }
 
 void

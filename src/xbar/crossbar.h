@@ -147,6 +147,35 @@ class CrossbarArray
         std::vector<Acc> &out) const;
 
     /**
+     * Batched packed read: `n` digit-vector sets evaluated against
+     * the stored planes in one plane-major popcount GEMM
+     * (xbar/batch_kernel.h). `digitPlanes` holds the plane-major
+     * bit-matrix dig[(j * planeWords() + w) * n + i] (window index i
+     * innermost); `out` is resized to cols() * n with window i's
+     * reading of column c at out[c * n + i], bit-identical to n
+     * readAllBitlinesPacked() calls. Unlike the single-vector read
+     * this does NOT count read cycles: the engine charges one cycle
+     * per logical read *attempt* per window (chargeReadCycles), which
+     * keeps readCycles() exact under ABFT retries. fatal()s unless
+     * packedReadExact().
+     */
+    void readAllBitlinesPackedBatch(
+        std::span<const std::uint64_t> digitPlanes, int digitBits,
+        int n, std::vector<Acc> &out) const;
+
+    /**
+     * Upper bound on any packed bitline reading of this array: the
+     * largest per-column stored-level sum times the largest digit
+     * value (2^digitBits - 1). Computed from the stored levels, so
+     * stuck and write-noised cells are included. The batched engine
+     * compares it against the ADC code ceiling once per tile block —
+     * when the bound fits, no reading of any column can clip (or go
+     * negative: levels and digits are non-negative), and the digital
+     * merge skips quantizer clamping entirely, bit-exactly.
+     */
+    Acc maxPackedReading(int digitBits) const;
+
+    /**
      * Charge `n` read cycles without performing a read. The engine's
      * digit-vector memo replays cached reads and uses this to keep
      * readCycles() exactly equal to an unmemoized run.

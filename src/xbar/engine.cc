@@ -1,11 +1,13 @@
 #include "xbar/engine.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/bits.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "resilience/remap.h"
+#include "xbar/batch_kernel.h"
 #include "xbar/encoding.h"
 
 namespace isaac::xbar {
@@ -530,7 +532,6 @@ BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
             opSeq * static_cast<std::uint64_t>(phases) +
             static_cast<std::uint64_t>(p);
 
-        auto &colQ = part.colQ;
         Acc unit = 0;
         bool replayed = false;
         if (fast && cfg.memoEntries > 0)
@@ -548,67 +549,70 @@ BitSerialEngine::runPhaseSegment(std::span<const Word> inputs, int p,
             }
         }
 
-        for (int o = 0; o < t.localOutputs; ++o) {
-            Acc merged = 0;
-            for (int s = 0; s < slices; ++s) {
-                const int c = o * slices + s;
-                merged += colQ[static_cast<std::size_t>(c)] *
-                    (Acc{1} << (s * cfg.cellBits));
-                ++part.stats.shiftAdds;
-            }
-            const std::size_t k = static_cast<std::size_t>(
-                cs * cfg.outputsPerArray() + o);
-            if (twosComp) {
-                // Remove the weight bias for this phase, then
-                // shift-and-add (subtract for the sign bit).
-                const Acc v = merged - kWeightBias * unit;
-                part.result[k] +=
-                    (p == phases - 1 ? -v : v) * (Acc{1} << p);
-            } else {
-                part.rawSum[k] +=
-                    merged * (Acc{1} << (p * cfg.dacBits));
-            }
-            ++part.stats.shiftAdds;
-        }
-        // unitTotal is a row-side quantity: accumulate it once per
-        // (phase, row segment), not per column tile.
-        if (!twosComp && cs == 0)
-            part.unitTotal += unit * (Acc{1} << (p * cfg.dacBits));
+        mergeTilePhase(t, cs, p, unit, part,
+                       twosComp ? std::span<Acc>(part.result)
+                                : std::span<Acc>(part.rawSum),
+                       part.unitTotal);
     }
 }
 
 void
-BitSerialEngine::evalTilePhase(const ArrayTile &t, int dataCols,
-                               bool checking, bool fast,
-                               std::uint64_t baseSeq,
-                               std::uint64_t opSeq, Partial &part,
-                               AdcTally &tileTally, Acc &unit) const
+BitSerialEngine::mergeTilePhase(const ArrayTile &t, int cs, int p,
+                                Acc unit, Partial &part,
+                                std::span<Acc> acc,
+                                Acc &unitTotal) const
+{
+    const int slices = cfg.slicesPerWeight();
+    const int phases = cfg.phases();
+    const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
+    const auto &colQ = part.colQ;
+    for (int o = 0; o < t.localOutputs; ++o) {
+        Acc merged = 0;
+        for (int s = 0; s < slices; ++s) {
+            const int c = o * slices + s;
+            merged += colQ[static_cast<std::size_t>(c)] *
+                (Acc{1} << (s * cfg.cellBits));
+            ++part.stats.shiftAdds;
+        }
+        const std::size_t k = static_cast<std::size_t>(
+            cs * cfg.outputsPerArray() + o);
+        if (twosComp) {
+            // Remove the weight bias for this phase, then
+            // shift-and-add (subtract for the sign bit).
+            const Acc v = merged - kWeightBias * unit;
+            acc[k] += (p == phases - 1 ? -v : v) * (Acc{1} << p);
+        } else {
+            acc[k] += merged * (Acc{1} << (p * cfg.dacBits));
+        }
+        ++part.stats.shiftAdds;
+    }
+    // unitTotal is a row-side quantity: accumulate it once per
+    // (phase, row segment), not per column tile.
+    if (!twosComp && cs == 0)
+        unitTotal += unit * (Acc{1} << (p * cfg.dacBits));
+}
+
+template <typename ReadFn>
+void
+BitSerialEngine::evalTileAttempts(const ArrayTile &t, int dataCols,
+                                  bool checking, Partial &part,
+                                  AdcTally &tileTally, Acc &unit,
+                                  ReadFn readFn) const
 {
     // Read-attempt loop. Each attempt samples the unit column and
     // every mapped data column (spares the remapper left unused are
     // never sampled); with ABFT active the checksum column is
     // sampled too and the quantized total is verified mod 2^w. A
-    // mismatch triggers a bounded re-read with a fresh noise
-    // sequence (attempt salted into the high bits) but the *same*
-    // drift clock — noise excursions are retryable, drifted
-    // conductances are not. The retry decision depends only on
-    // (opSeq, p, tile) and the counter-keyed draws, so any thread
-    // interleaving reproduces the serial realization exactly.
-    // Packed attempts are deterministic; the loop structure (and
-    // every counter it touches) is shared with the scalar path.
+    // mismatch triggers a bounded re-read — the scalar read
+    // primitive draws a fresh noise sequence per attempt, the packed
+    // and batched primitives are deterministic — and the retry
+    // decision depends only on the currents readFn supplies, so
+    // every execution path shares this loop and every counter it
+    // touches.
     auto &colQ = part.colQ;
     colQ.assign(static_cast<std::size_t>(dataCols), 0);
-    auto &currents = part.currents;
     for (int attempt = 0;; ++attempt) {
-        if (fast) {
-            t.array->readAllBitlinesPacked(part.digitPlanes,
-                                           cfg.dacBits, currents);
-        } else {
-            t.array->readAllBitlinesInto(
-                part.digits,
-                baseSeq + (static_cast<std::uint64_t>(attempt) << 40),
-                opSeq, currents);
-        }
+        const std::vector<Acc> &currents = readFn(attempt);
         ++part.stats.crossbarReads;
         unit = adc.quantize(
             currents[static_cast<std::size_t>(
@@ -648,6 +652,39 @@ BitSerialEngine::evalTilePhase(const ArrayTile &t, int dataCols,
         part.transient.abftRetryCycles +=
             static_cast<std::uint64_t>(cfg.retryBackoffCycles)
             << attempt;
+    }
+}
+
+void
+BitSerialEngine::evalTilePhase(const ArrayTile &t, int dataCols,
+                               bool checking, bool fast,
+                               std::uint64_t baseSeq,
+                               std::uint64_t opSeq, Partial &part,
+                               AdcTally &tileTally, Acc &unit) const
+{
+    if (fast) {
+        evalTileAttempts(
+            t, dataCols, checking, part, tileTally, unit,
+            [&](int) -> const std::vector<Acc> & {
+                t.array->readAllBitlinesPacked(part.digitPlanes,
+                                               cfg.dacBits,
+                                               part.currents);
+                return part.currents;
+            });
+    } else {
+        // The noise sequence salts the attempt into the high bits;
+        // the drift clock stays pinned to opSeq — noise excursions
+        // are retryable, drifted conductances are not.
+        evalTileAttempts(
+            t, dataCols, checking, part, tileTally, unit,
+            [&](int attempt) -> const std::vector<Acc> & {
+                t.array->readAllBitlinesInto(
+                    part.digits,
+                    baseSeq +
+                        (static_cast<std::uint64_t>(attempt) << 40),
+                    opSeq, part.currents);
+                return part.currents;
+            });
     }
 }
 
@@ -774,6 +811,453 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
     return result;
 }
 
+void
+BitSerialEngine::packBitPlanesBatch(
+    std::span<const Word> inputs, int first, int n, int rs, int used,
+    std::vector<std::uint64_t> &dig) const
+{
+    const int words = (cfg.rows + 63) / 64;
+    const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
+    dig.assign(static_cast<std::size_t>(kDataBits) * words * n, 0);
+    // Distance between bit-plane b and b + 1 in the matrix.
+    const std::size_t planeStride =
+        static_cast<std::size_t>(words) * n;
+    for (int i = 0; i < n; ++i) {
+        const Word *x = inputs.data() +
+            static_cast<std::size_t>(first + i) * _numInputs +
+            static_cast<std::size_t>(rs) * cfg.rows;
+        for (int r = 0; r < used; ++r) {
+            // The streamed 16-bit value: raw two's-complement bits
+            // (bitOf semantics) or the biased x + 2^15 (digitOf on
+            // the biased value); either way bit b lands in plane b.
+            unsigned y = twosComp
+                ? static_cast<std::uint16_t>(x[r])
+                : static_cast<std::uint16_t>(static_cast<Acc>(x[r]) +
+                                             kWeightBias);
+            if (!y)
+                continue;
+            const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+            std::uint64_t *base = dig.data() +
+                static_cast<std::size_t>(r >> 6) * n + i;
+            // Scatter the set bits (ctz walk: no per-plane branch
+            // mispredictions, and sign-extended small activations
+            // skip their all-zero planes for free).
+            do {
+                const int b = std::countr_zero(y);
+                y &= y - 1;
+                base[static_cast<std::size_t>(b) * planeStride] |=
+                    bit;
+            } while (y);
+        }
+    }
+}
+
+void
+BitSerialEngine::runBatchBlock(std::span<const Word> inputs,
+                               int first, int n, std::span<Acc> out,
+                               Acc *unitTotals, Partial &part) const
+{
+    const int slices = cfg.slicesPerWeight();
+    const int phases = cfg.phases();
+    const int words = (cfg.rows + 63) / 64;
+    const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
+    std::vector<std::uint64_t> dig;
+    std::vector<Acc> curMat;
+    Acc dummyUnitTotal = 0;
+    // Column-major output accumulator (batchAcc[k * n + i]): the
+    // vectorized digital pass adds into contiguous window runs and
+    // one transpose at the end lands the block in `out`. ABFT tiles
+    // merge straight into `out` instead; mixing is fine because both
+    // only ever add.
+    auto &batchAcc = part.batchAcc;
+    batchAcc.assign(static_cast<std::size_t>(_numOutputs) * n, 0);
+    auto &units = part.unitsBatch;
+    auto &merged = part.mergedBatch;
+    const Acc maxCode = adc.maxCode();
+    // Clip feasibility, decided once per tile per block: when even
+    // the all-ones digit pattern cannot push any column past the ADC
+    // ceiling — the common case; the flip encoding exists to
+    // guarantee it for clean weights — quantize() is the identity on
+    // every reading of the tile and the digital pass can skip
+    // clamping entirely. Stuck-at-high cells can break the bound
+    // (maxPackedReading reads the *stored* levels, so they are
+    // counted), in which case the tile takes the clamped ladder.
+    std::vector<char> mayClip(tiles.size());
+    for (std::size_t ti = 0; ti < tiles.size(); ++ti) {
+        mayClip[ti] =
+            tiles[ti].array->maxPackedReading(cfg.dacBits) > maxCode;
+    }
+    const std::size_t phaseStride =
+        static_cast<std::size_t>(cfg.dacBits) * words * n;
+    for (int rs = 0; rs < _rowSegments; ++rs) {
+        const int used = tile(rs, 0).usedRows;
+        // One pass over the block's inputs packs every phase's
+        // planes (phase p consumes the slice at bit p * dacBits);
+        // the DAC still streams every phase, so its activations are
+        // charged for all of them here.
+        packBitPlanesBatch(inputs, first, n, rs, used, dig);
+        part.stats.dacActivations +=
+            static_cast<std::uint64_t>(used) * n * phases;
+        for (int p = 0; p < phases; ++p) {
+            const std::span<const std::uint64_t> digP(
+                dig.data() + static_cast<std::size_t>(p) * phaseStride,
+                phaseStride);
+            for (int cs = 0; cs < _colSegments; ++cs) {
+                const auto &t = tile(rs, cs);
+                const int dataCols = t.localOutputs * slices;
+                const int physCols = t.array->cols();
+                const std::size_t ti =
+                    static_cast<std::size_t>(rs * _colSegments + cs);
+                auto &tileTally = part.tileAdc[ti];
+                const bool checking = cfg.abftChecksum && t.abftOk;
+                t.array->readAllBitlinesPackedBatch(digP, cfg.dacBits,
+                                                    n, curMat);
+                if (checking) {
+                    // ABFT tiles keep the shared per-window attempt
+                    // ladder (retries and their counters must match
+                    // a sequential run exactly).
+                    for (int i = 0; i < n; ++i) {
+                        Acc unit = 0;
+                        evalTileAttempts(
+                            t, dataCols, checking, part, tileTally,
+                            unit,
+                            [&](int attempt)
+                                -> const std::vector<Acc> & {
+                                // Batched attempts are deterministic:
+                                // the currents are the window's GEMM
+                                // column, gathered once; every
+                                // attempt still charges its read
+                                // cycle so readCycles() matches a
+                                // per-window run under ABFT retries.
+                                if (attempt == 0) {
+                                    part.currents.resize(
+                                        static_cast<std::size_t>(
+                                            physCols));
+                                    for (int c = 0; c < physCols; ++c)
+                                        part.currents[static_cast<
+                                            std::size_t>(c)] =
+                                            curMat[static_cast<
+                                                       std::size_t>(
+                                                       c) *
+                                                       n +
+                                                   i];
+                                }
+                                t.array->chargeReadCycles(1);
+                                return part.currents;
+                            });
+                        const std::size_t base =
+                            static_cast<std::size_t>(first + i) *
+                            _numOutputs;
+                        mergeTilePhase(
+                            t, cs, p, unit, part,
+                            out.subspan(base,
+                                        static_cast<std::size_t>(
+                                            _numOutputs)),
+                            unitTotals ? unitTotals[first + i]
+                                       : dummyUnitTotal);
+                    }
+                    continue;
+                }
+                // Unchecked tiles: one vectorized column-major
+                // digital pass over the GEMM matrix, bit-identical
+                // to n trips through evalTileAttempts (single
+                // attempt) + mergeTilePhase. The window index is the
+                // contiguous dimension, so every inner loop below is
+                // a straight-line sweep the compiler vectorizes.
+                // Counters are commutative sums, charged in bulk:
+                part.stats.crossbarReads +=
+                    static_cast<std::uint64_t>(n);
+                part.stats.adcSamples +=
+                    static_cast<std::uint64_t>(dataCols + 1) * n;
+                tileTally.samples +=
+                    static_cast<std::uint64_t>(dataCols + 1) * n;
+                t.array->chargeReadCycles(n);
+                part.stats.shiftAdds +=
+                    static_cast<std::uint64_t>(n) * t.localOutputs *
+                    (slices + 1);
+                const Acc *unitRow = curMat.data() +
+                    static_cast<std::size_t>(t.colMap[static_cast<
+                        std::size_t>(dataCols)]) * n;
+                if (!mayClip[ti]) {
+                    // Clip-free merge: quantize() is the identity on
+                    // every reading of this tile (per the bound
+                    // above), so the slices fold straight into the
+                    // column-major accumulator as power-of-two
+                    // shift/add rows through the kernel's vector
+                    // tiers, and the unit column needs no clamped
+                    // copy.
+                    static_assert(kWeightBias == Acc{1} << 15,
+                                  "bias-removal shift assumes the "
+                                  "2^15 weight bias");
+                    const int phShift =
+                        twosComp ? p : p * cfg.dacBits;
+                    const bool neg = twosComp && p == phases - 1;
+                    for (int o = 0; o < t.localOutputs; ++o) {
+                        Acc *accRow = batchAcc.data() +
+                            static_cast<std::size_t>(
+                                cs * cfg.outputsPerArray() + o) *
+                                n;
+                        for (int s = 0; s < slices; ++s) {
+                            const int c = o * slices + s;
+                            const Acc *row = curMat.data() +
+                                static_cast<std::size_t>(
+                                    t.colMap[static_cast<
+                                        std::size_t>(c)]) *
+                                    n;
+                            const int shift =
+                                s * cfg.cellBits + phShift;
+                            if (t.flipped[static_cast<std::size_t>(
+                                    c)]) {
+                                kernel::scaleAddFlipped(
+                                    accRow, row, unitRow,
+                                    cfg.cellBits, shift, neg, n);
+                            } else {
+                                kernel::scaleAdd(accRow, row, shift,
+                                                 neg, n);
+                            }
+                        }
+                        if (twosComp) {
+                            // Remove the per-phase weight bias:
+                            // -sign * (unit << 15) << p.
+                            kernel::scaleAdd(accRow, unitRow, 15 + p,
+                                             !neg, n);
+                        }
+                    }
+                    if (!twosComp && cs == 0 && unitTotals) {
+                        kernel::scaleAdd(unitTotals + first, unitRow,
+                                         p * cfg.dacBits, false, n);
+                    }
+                    continue;
+                }
+                // Clamped fallback (a stuck-at-high column can push
+                // readings past the ADC ceiling): the scalar ladder,
+                // clip counting included.
+                std::uint64_t clips = 0;
+                // Unit column first (quantize clamp order matches the
+                // scalar ladder; a packed read can never go negative,
+                // which is the one case quantize() panics on).
+                units.resize(static_cast<std::size_t>(n));
+                for (int i = 0; i < n; ++i) {
+                    const Acc u = unitRow[i];
+                    clips += static_cast<std::uint64_t>(u > maxCode);
+                    units[static_cast<std::size_t>(i)] =
+                        u > maxCode ? maxCode : u;
+                }
+                merged.resize(static_cast<std::size_t>(n));
+                const Acc full = (Acc{1} << cfg.cellBits) - 1;
+                for (int o = 0; o < t.localOutputs; ++o) {
+                    std::fill(merged.begin(), merged.end(), Acc{0});
+                    for (int s = 0; s < slices; ++s) {
+                        const int c = o * slices + s;
+                        const Acc *row = curMat.data() +
+                            static_cast<std::size_t>(
+                                t.colMap[static_cast<std::size_t>(
+                                    c)]) * n;
+                        const Acc w = Acc{1} << (s * cfg.cellBits);
+                        if (t.flipped[static_cast<std::size_t>(c)]) {
+                            for (int i = 0; i < n; ++i) {
+                                Acc v = row[i];
+                                clips += static_cast<std::uint64_t>(
+                                    v > maxCode);
+                                v = v > maxCode ? maxCode : v;
+                                v = full *
+                                        units[static_cast<
+                                            std::size_t>(i)] -
+                                    v;
+                                merged[static_cast<std::size_t>(i)] +=
+                                    v * w;
+                            }
+                        } else {
+                            for (int i = 0; i < n; ++i) {
+                                Acc v = row[i];
+                                clips += static_cast<std::uint64_t>(
+                                    v > maxCode);
+                                v = v > maxCode ? maxCode : v;
+                                merged[static_cast<std::size_t>(i)] +=
+                                    v * w;
+                            }
+                        }
+                    }
+                    const std::size_t k = static_cast<std::size_t>(
+                        cs * cfg.outputsPerArray() + o);
+                    Acc *accRow = batchAcc.data() + k * n;
+                    if (twosComp) {
+                        const Acc ph = Acc{1} << p;
+                        const Acc sign = p == phases - 1 ? -1 : 1;
+                        for (int i = 0; i < n; ++i) {
+                            accRow[i] += sign *
+                                (merged[static_cast<std::size_t>(i)] -
+                                 kWeightBias *
+                                     units[static_cast<std::size_t>(
+                                         i)]) *
+                                ph;
+                        }
+                    } else {
+                        const Acc ph = Acc{1} << (p * cfg.dacBits);
+                        for (int i = 0; i < n; ++i)
+                            accRow[i] +=
+                                merged[static_cast<std::size_t>(i)] *
+                                ph;
+                    }
+                }
+                tileTally.clips += clips;
+                if (!twosComp && cs == 0 && unitTotals) {
+                    const Acc ph = Acc{1} << (p * cfg.dacBits);
+                    for (int i = 0; i < n; ++i)
+                        unitTotals[first + i] +=
+                            units[static_cast<std::size_t>(i)] * ph;
+                }
+            }
+        }
+    }
+    // Land the column-major accumulator in the windows' out slices.
+    for (int i = 0; i < n; ++i) {
+        Acc *row = out.data() +
+            static_cast<std::size_t>(first + i) * _numOutputs;
+        for (int k = 0; k < _numOutputs; ++k)
+            row[k] +=
+                batchAcc[static_cast<std::size_t>(k) * n + i];
+    }
+}
+
+std::vector<Acc>
+BitSerialEngine::dotProductBatch(std::span<const Word> inputs,
+                                 int count) const
+{
+    if (count < 0 ||
+        inputs.size() !=
+            static_cast<std::size_t>(count) * _numInputs) {
+        fatal("BitSerialEngine::dotProductBatch: input span does not "
+              "hold count x numInputs words");
+    }
+    std::vector<Acc> out(
+        static_cast<std::size_t>(count) * _numOutputs, 0);
+    if (count == 0)
+        return out;
+    if (!fastPathActive()) {
+        // Noisy / drifting / fault-injected engines take the scalar
+        // per-window path — identical to the caller looping
+        // dotProduct(), including the per-op noise realizations.
+        for (int i = 0; i < count; ++i) {
+            const auto r = dotProduct(inputs.subspan(
+                static_cast<std::size_t>(i) * _numInputs,
+                static_cast<std::size_t>(_numInputs)));
+            std::copy(r.begin(), r.end(),
+                      out.begin() +
+                          static_cast<std::size_t>(i) * _numOutputs);
+        }
+        return out;
+    }
+
+    const bool twosComp = cfg.inputMode == InputMode::TwosComplement;
+    // Claim the op-sequence range `count` dotProduct() calls would:
+    // the fast path never draws from the noise streams, but later
+    // scalar operations (say, after a fault injection stands the
+    // fast path down) must observe the same sequence either way.
+    _opSeq.fetch_add(static_cast<std::uint64_t>(count),
+                     std::memory_order_relaxed);
+
+    // One task per contiguous window block. A block owns its windows
+    // end to end — their result slices and unit totals are written
+    // by exactly one worker — so only the commutative counters go
+    // through per-worker Partials. The block size balances SIMD row
+    // length against load balance; results and counters are
+    // independent of it (and of the thread count).
+    const int blockSize = std::clamp(
+        static_cast<int>(
+            ceilDiv(static_cast<std::int64_t>(count),
+                    static_cast<std::int64_t>(
+                        parallelWorkers(cfg.threads, count)))),
+        8, 256);
+    const auto blocks = static_cast<std::int64_t>(
+        ceilDiv(count, blockSize));
+    const int workers = parallelWorkers(cfg.threads, blocks);
+    std::vector<Partial> parts(static_cast<std::size_t>(workers));
+    for (auto &part : parts)
+        part.tileAdc.assign(tiles.size(), AdcTally{});
+    std::vector<Acc> unitTotals;
+    if (!twosComp)
+        unitTotals.assign(static_cast<std::size_t>(count), 0);
+
+    parallelFor(blocks, cfg.threads, [&](std::int64_t blk, int w) {
+        const int first = static_cast<int>(blk) * blockSize;
+        runBatchBlock(inputs, first,
+                      std::min(blockSize, count - first),
+                      std::span<Acc>(out),
+                      twosComp ? nullptr : unitTotals.data(),
+                      parts[static_cast<std::size_t>(w)]);
+    });
+
+    EngineStats delta = parts[0].stats;
+    resilience::TransientStats transientDelta = parts[0].transient;
+    std::vector<AdcTally> tileTally(std::move(parts[0].tileAdc));
+    for (std::size_t w = 1; w < parts.size(); ++w) {
+        const auto &part = parts[w];
+        transientDelta.merge(part.transient);
+        delta.crossbarReads += part.stats.crossbarReads;
+        delta.adcSamples += part.stats.adcSamples;
+        delta.shiftAdds += part.stats.shiftAdds;
+        delta.dacActivations += part.stats.dacActivations;
+        for (std::size_t i = 0; i < tileTally.size(); ++i) {
+            tileTally[i].samples += part.tileAdc[i].samples;
+            tileTally[i].clips += part.tileAdc[i].clips;
+        }
+    }
+    AdcTally tally;
+    for (const auto &t : tileTally) {
+        tally.samples += t.samples;
+        tally.clips += t.clips;
+    }
+
+    if (!twosComp) {
+        // The same bias inversion dotProduct() applies, per window
+        // (sum(x*w) = sum(y*u) - B*sum(y) - B*sum(u) + R*B^2).
+        Acc totalUsedRows = 0;
+        for (int rs = 0; rs < _rowSegments; ++rs)
+            totalUsedRows += tile(rs, 0).usedRows;
+        std::vector<Acc> sumU(static_cast<std::size_t>(_numOutputs));
+        for (int k = 0; k < _numOutputs; ++k) {
+            const int cs = k / cfg.outputsPerArray();
+            const int o = k % cfg.outputsPerArray();
+            Acc s = 0;
+            for (int rs = 0; rs < _rowSegments; ++rs)
+                s += tile(rs, cs)
+                         .sumBiased[static_cast<std::size_t>(o)];
+            sumU[static_cast<std::size_t>(k)] = s;
+        }
+        for (int i = 0; i < count; ++i) {
+            Acc *row =
+                out.data() + static_cast<std::size_t>(i) * _numOutputs;
+            for (int k = 0; k < _numOutputs; ++k) {
+                row[k] = row[k] -
+                    kWeightBias *
+                        unitTotals[static_cast<std::size_t>(i)] -
+                    kWeightBias * sumU[static_cast<std::size_t>(k)] +
+                    totalUsedRows * kWeightBias * kWeightBias;
+            }
+        }
+    }
+
+    // fastPathActive() implies drift is disabled, so the periodic
+    // refresh accounting dotProduct() performs can never trigger.
+    adc.addTally(tally);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        _transient.merge(transientDelta);
+        _stats.ops += static_cast<std::uint64_t>(count);
+        _stats.crossbarReads += delta.crossbarReads;
+        _stats.adcSamples += delta.adcSamples;
+        _stats.adcClips += tally.clips;
+        _stats.shiftAdds += delta.shiftAdds;
+        _stats.dacActivations += delta.dacActivations;
+        for (std::size_t i = 0; i < tileTally.size(); ++i) {
+            _tileAdc[i].samples += tileTally[i].samples;
+            _tileAdc[i].clips += tileTally[i].clips;
+        }
+    }
+    return out;
+}
+
 int
 BitSerialEngine::physicalArrays() const
 {
@@ -799,6 +1283,18 @@ BitSerialEngine::resetStats()
     adc.resetStats();
     for (auto &t : tiles)
         t.array->resetStats();
+    // The memo is a counter the engine owns too: drop the cached
+    // entries AND the hit/miss diagnostics, so a replayed campaign
+    // reports exactly what a fresh engine would instead of stale
+    // lifetime counts against a pre-warmed cache.
+    for (auto &m : memos) {
+        std::lock_guard<std::mutex> lock(m->m);
+        m->entries.clear();
+        m->index.clear();
+        m->clock = 0;
+        m->hits = 0;
+        m->misses = 0;
+    }
     // Rewind the op counter so a replayed workload draws the same
     // noise/drift/retry realization a fresh engine would (the arrays
     // rewind their own sequences above).

@@ -147,6 +147,20 @@ struct EngineConfig
      */
     int memoEntries = 64;
 
+    /**
+     * Batched window execution: when the fast path is active,
+     * CompiledModel drives every window of a shared-kernel layer
+     * through dotProductBatch(), which stages the whole layer's digit
+     * planes into one plane-major bit-matrix and evaluates all
+     * windows per tile-phase in a single popcount GEMM
+     * (xbar/batch_kernel.h). Results, EngineStats, per-tile AdcTally,
+     * and TransientStats are bit-identical to per-window dotProduct()
+     * calls (tests assert it); only the diagnostic memo hit/miss
+     * split differs (the batched path does not consult the memo).
+     * false restores the per-window path.
+     */
+    bool batchWindows = true;
+
     /** Digits per weight = 16 / w. */
     int slicesPerWeight() const { return kDataBits / cellBits; }
 
@@ -213,6 +227,28 @@ class BitSerialEngine
     std::vector<Acc> dotProduct(std::span<const Word> inputs) const;
 
     /**
+     * Execute `count` dot products in one batched call: `inputs`
+     * holds count concatenated input vectors (window-major,
+     * inputs[i * numInputs() + r]) and the result holds the count
+     * concatenated outputs (out[i * numOutputs() + k]). On the fast
+     * path the digit planes of every window are staged once per
+     * (phase, row segment) into a plane-major bit-matrix and each
+     * tile is evaluated for all windows in one popcount GEMM — the
+     * per-call staging, dispatch, and memo-probe overhead of
+     * dotProduct() is paid once per layer instead of once per
+     * window. Results and every counter (EngineStats, per-tile
+     * AdcTally, TransientStats, array read cycles) are bit-identical
+     * to `count` sequential dotProduct() calls at any thread count
+     * and any dispatch tier; only memoHits()/memoMisses() differ
+     * (diagnostic-only; this path bypasses the memo). Noisy,
+     * drifting, or fault-injected engines fall back to per-window
+     * dotProduct() calls internally, so the batch entry point is
+     * always safe to use. Thread-safe like dotProduct().
+     */
+    std::vector<Acc> dotProductBatch(std::span<const Word> inputs,
+                                     int count) const;
+
+    /**
      * Replace the weight matrix in place (same dimensions).
      * Program-verify only rewrites cells whose target level changed.
      * Must not overlap concurrent dotProduct() calls.
@@ -235,8 +271,11 @@ class BitSerialEngine
 
     /**
      * Zero every counter the engine owns: the EngineStats tallies,
-     * the ADC sample/clip counts, and each tile's crossbar read
-     * cycles, so post-reset energy accounting starts from zero.
+     * the ADC sample/clip counts, each tile's crossbar read cycles,
+     * and the digit-vector memo state (cached entries *and* the
+     * hit/miss diagnostics), so post-reset accounting starts from
+     * zero and a replayed campaign reports the same diagnostics a
+     * fresh engine would.
      */
     void resetStats();
 
@@ -303,10 +342,12 @@ class BitSerialEngine
     bool fastPathActive() const;
 
     /**
-     * Digit-vector memo replay hits / misses (lifetime, all tiles).
-     * Diagnostic only: concurrent dotProduct() calls may race to
-     * populate an entry, so the split is interleaving-dependent even
-     * though results and EngineStats never are.
+     * Digit-vector memo replay hits / misses (all tiles, since
+     * construction or the last resetStats()). Diagnostic only:
+     * concurrent dotProduct() calls may race to populate an entry,
+     * so the split is interleaving-dependent even though results and
+     * EngineStats never are — and dotProductBatch() bypasses the
+     * memo entirely.
      */
     std::uint64_t memoHits() const;
     std::uint64_t memoMisses() const;
@@ -342,6 +383,12 @@ class BitSerialEngine
         /** Scratch packed digit planes (dacBits x planeWords). */
         std::vector<std::uint64_t> digitPlanes;
         std::uint64_t planeHash = 0; ///< Hash of digitPlanes.
+        /** Batched-path scratch: column-major block accumulator
+         *  (numOutputs x n), per-window unit readings, and the
+         *  per-output merged slice sums (runBatchBlock). */
+        std::vector<Acc> batchAcc;
+        std::vector<Acc> unitsBatch;
+        std::vector<Acc> mergedBatch;
         EngineStats stats;
         resilience::TransientStats transient;
         std::vector<AdcTally> tileAdc; ///< ADC activity per tile.
@@ -404,16 +451,74 @@ class BitSerialEngine
                          int used, Partial &part) const;
 
     /**
-     * Fresh evaluation of one (phase, tile): the bounded read-attempt
-     * loop shared by the scalar and packed paths (`fast` picks the
-     * read primitive; every counter update is common). Fills
-     * part.colQ and `unit`.
+     * The bounded read-attempt loop every execution path shares:
+     * `readFn(attempt)` supplies the bitline currents (and is
+     * responsible for read-cycle accounting), everything else — ADC
+     * quantization, unflipping, the ABFT check/retry/give-up ladder,
+     * and every counter those touch — is common code, which is what
+     * keeps the scalar, packed, and batched paths counter-identical.
+     * Fills part.colQ and `unit`.
+     */
+    template <typename ReadFn>
+    void evalTileAttempts(const ArrayTile &t, int dataCols,
+                          bool checking, Partial &part,
+                          AdcTally &tileTally, Acc &unit,
+                          ReadFn readFn) const;
+
+    /**
+     * Fresh evaluation of one (phase, tile): evalTileAttempts with
+     * the scalar or packed single-vector read primitive (`fast`
+     * picks which).
      */
     void evalTilePhase(const ArrayTile &t, int dataCols,
                        bool checking, bool fast,
                        std::uint64_t baseSeq, std::uint64_t opSeq,
                        Partial &part, AdcTally &tileTally,
                        Acc &unit) const;
+
+    /**
+     * Digital merge of one (phase, tile) reading into a window's
+     * accumulators: shift-and-add the slice columns of part.colQ,
+     * remove the per-phase weight bias (two's complement) or
+     * accumulate the raw biased sum, and count the shiftAdds. `acc`
+     * is the window's full result (two's complement) or rawSum
+     * (biased) vector; `unitTotal` accumulates the row-side unit
+     * readings once per (phase, row segment). Shared verbatim by the
+     * per-window and batched paths.
+     */
+    void mergeTilePhase(const ArrayTile &t, int cs, int p, Acc unit,
+                        Partial &part, std::span<Acc> acc,
+                        Acc &unitTotal) const;
+
+    /**
+     * Stage-in for the batched path: pack ALL 16 data bits of
+     * windows [first, first + n) for row segment rs into one
+     * plane-major bit-matrix dig[(b * words + w) * n + i] (b the bit
+     * of the streamed 16-bit value: the raw two's-complement word,
+     * or the biased value x + 2^15). One pass over the inputs per
+     * (row segment, block) — each input word is read once and its
+     * set bits scattered — instead of one branchy pass per phase.
+     * Phase p's GEMM planes are then the contiguous slice starting
+     * at bit p * dacBits: two's complement streams bit p with a
+     * 1-bit DAC (EngineConfig::validate pins dacBits there) and
+     * biased mode streams digit bits [p*v, (p+1)*v), so in both
+     * modes plane j of phase p is plane p * dacBits + j here.
+     */
+    void packBitPlanesBatch(std::span<const Word> inputs, int first,
+                            int n, int rs, int used,
+                            std::vector<std::uint64_t> &dig) const;
+
+    /**
+     * Fast-path evaluation of one contiguous window block [first,
+     * first + n): per (phase, row segment) one batched packing, per
+     * tile one popcount GEMM, then the shared per-window digital
+     * pass. Results land in the windows' slices of `out` (rawSum in
+     * biased mode, corrected by the caller) and `unitTotals` (biased
+     * mode only, else null); counters in `part`.
+     */
+    void runBatchBlock(std::span<const Word> inputs, int first, int n,
+                       std::span<Acc> out, Acc *unitTotals,
+                       Partial &part) const;
 
     /**
      * Replay a memoized reading of tile (rs, cs) for the digit

@@ -75,6 +75,37 @@ TEST(Accelerator, MultiSegmentLayersBitExact)
     EXPECT_EQ(model.infer(input).raw(), ref.run(input).raw());
 }
 
+TEST(Accelerator, BatchedWindowExecutionIsInvisible)
+{
+    // engine.batchWindows only changes how a layer's windows are
+    // driven (one dotProductBatch() vs per-window dotProduct());
+    // every layer output and every engine counter must be identical.
+    // Multi-segment conv layers stress the tiled path.
+    nn::NetworkBuilder b("batch-net", 8, 8, 8);
+    b.conv(5, 24, 1, 0); // dot length 200, 24 outputs, 16 windows
+    b.conv(3, 8, 1, 0);
+    b.fc(10, nn::Activation::None);
+    const auto net = b.build();
+    const auto weights = nn::WeightStore::synthesize(net, 17);
+    const CompileOptions opts;
+    const auto input = nn::synthesizeInput(8, 8, 8, 9, opts.format);
+
+    arch::IsaacConfig batched; // default: batchWindows on
+    ASSERT_TRUE(batched.engine.batchWindows);
+    arch::IsaacConfig perWindow;
+    perWindow.engine.batchWindows = false;
+
+    const auto ma = Accelerator(batched).compile(net, weights, opts);
+    const auto mb = Accelerator(perWindow).compile(net, weights, opts);
+    const auto ra = ma.inferAll(input);
+    const auto rb = mb.inferAll(input);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        EXPECT_EQ(ra[i].raw(), rb[i].raw()) << "layer " << i;
+    EXPECT_TRUE(ma.engineStats() == mb.engineStats());
+    EXPECT_EQ(ma.adcClips(), mb.adcClips());
+}
+
 TEST(Accelerator, DeterministicAcrossRuns)
 {
     const auto net = nn::tinyCnn();

@@ -10,7 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -265,6 +269,78 @@ TEST(Session, BackpressureAndShutdownSemantics)
     EXPECT_EQ(stats.submitted, 5u);
     EXPECT_EQ(stats.completed, 5u);
     EXPECT_LE(stats.peakInFlight, 2u);
+}
+
+TEST(Session, TrySubmitRacingShutdownNeverLosesARequest)
+{
+    // Admission and the shutdown seal share one critical section, so
+    // a trySubmit() racing shutdown() either lands *before* the seal
+    // (its future resolves — shutdown drains it) or is refused. What
+    // must never happen: an accepted future that hangs, or a request
+    // admitted after the drain decision. Eight submitter threads spam
+    // trySubmit() while the main thread shuts the session down.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 77);
+    const core::CompileOptions opts;
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights, opts);
+    const auto input = makeInputs(net, 1, opts.format)[0];
+
+    SessionOptions sopts;
+    sopts.queueDepth = 4;
+    sopts.workers = 2;
+    InferenceSession session(model, sopts);
+
+    constexpr int kThreads = 8;
+    constexpr int kMaxAcceptedPerThread = 4;
+    std::atomic<bool> go{false};
+    std::vector<std::vector<std::future<nn::Tensor>>> accepted(
+        kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            while (!go.load()) {
+                std::this_thread::yield();
+            }
+            auto &mine = accepted[static_cast<std::size_t>(t)];
+            while (!session.closed() &&
+                   mine.size() <
+                       static_cast<std::size_t>(
+                           kMaxAcceptedPerThread)) {
+                std::future<nn::Tensor> fut;
+                if (session.trySubmit(input, fut))
+                    mine.push_back(std::move(fut));
+                else
+                    std::this_thread::yield();
+            }
+            // Past the seal every further attempt must refuse.
+            if (session.closed()) {
+                std::future<nn::Tensor> fut;
+                EXPECT_FALSE(session.trySubmit(input, fut));
+            }
+        });
+    }
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    session.shutdown();
+    EXPECT_TRUE(session.closed());
+    for (auto &th : threads)
+        th.join();
+
+    // Every accepted future resolves (shutdown drained them all) and
+    // every request produced the same clean-model result.
+    std::size_t total = 0;
+    const auto want = model.infer(input).raw();
+    for (auto &mine : accepted) {
+        for (auto &fut : mine) {
+            ++total;
+            EXPECT_EQ(fut.get().raw(), want);
+        }
+    }
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.submitted, total);
+    EXPECT_EQ(stats.completed, total);
+    EXPECT_EQ(session.inFlight(), 0u);
 }
 
 TEST(Session, InvalidOptionsAreFatal)

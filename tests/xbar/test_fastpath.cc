@@ -419,6 +419,111 @@ TEST(FastPath, MemoEntriesZeroDisablesMemo)
     EXPECT_EQ(engine.memoHits() + engine.memoMisses(), 0u);
 }
 
+TEST(FastPath, HashCollisionsAreMissesNotWrongReplays)
+{
+    // Two distinct digit-plane keys engineered to share their FNV-1a
+    // hash: the memo index is a multimap and replay verifies the full
+    // key, so the second key must *miss* (and insert its own entry),
+    // never replay the first key's reading. The hash is FNV-1a over
+    // the plane words (h ^= w; h *= P), so for two-word keys
+    //   hash(a0, a1) == hash(b0, b1)  iff
+    //   ((OFF ^ a0) * P) ^ a1 == ((OFF ^ b0) * P) ^ b1.
+    constexpr std::uint64_t kOff = 14695981039346656037ull;
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    const std::uint64_t a0 = 0x0123456789ABCDEFull;
+    const std::uint64_t b0 = 0xFEDCBA9876543210ull;
+    const std::uint64_t b1 = 0x5555AAAA3333CCCCull;
+    const std::uint64_t a1 =
+        ((kOff ^ a0) * kPrime) ^ ((kOff ^ b0) * kPrime) ^ b1;
+    ASSERT_NE(a0, b0);
+
+    // Realize the keys as inputs: 128 rows = exactly two plane
+    // words, and inputs in {0, 1} put the key in phase 0's plane
+    // while phases 1..15 all present the all-zero plane.
+    const auto inputsFor = [](std::uint64_t w0, std::uint64_t w1) {
+        std::vector<Word> x(128, 0);
+        for (int r = 0; r < 64; ++r) {
+            x[static_cast<std::size_t>(r)] =
+                static_cast<Word>((w0 >> r) & 1);
+            x[static_cast<std::size_t>(64 + r)] =
+                static_cast<Word>((w1 >> r) & 1);
+        }
+        return x;
+    };
+    const auto xa = inputsFor(a0, a1);
+    const auto xb = inputsFor(b0, b1);
+
+    EngineConfig cfg;
+    cfg.threads = 1;
+    Rng rng(0xC0111);
+    const auto weights = randomWords(rng, 128 * 16);
+    BitSerialEngine engine(cfg, weights, 128, 16);
+    ASSERT_EQ(engine.rowSegments() * engine.colSegments(), 1);
+    ASSERT_TRUE(engine.fastPathActive());
+
+    // Call 1: phase 0 misses (key A), phase 1 misses (all-zero),
+    // phases 2..15 hit the all-zero entry.
+    engine.dotProduct(xa);
+    EXPECT_EQ(engine.memoMisses(), 2u);
+    EXPECT_EQ(engine.memoHits(), 14u);
+
+    // Call 2: phase 0 collides with key A's hash but fails the full
+    // key compare -> a third miss, NOT a replay of A's reading.
+    const auto got = engine.dotProduct(xb);
+    EXPECT_EQ(engine.memoMisses(), 3u);
+    EXPECT_EQ(engine.memoHits(), 29u);
+
+    EngineConfig scalar = cfg;
+    scalar.fastPath = false;
+    scalar.memoEntries = 0;
+    BitSerialEngine oracle(scalar, weights, 128, 16);
+    oracle.dotProduct(xa);
+    EXPECT_EQ(got, oracle.dotProduct(xb));
+}
+
+TEST(FastPath, ResetStatsClearsTheMemoForExactReplay)
+{
+    // resetStats() promises a replayed campaign reports what a fresh
+    // engine would — which requires dropping the cached entries AND
+    // the hit/miss diagnostics, not just the EngineStats tallies.
+    EngineConfig cfg;
+    cfg.threads = 1;
+    Rng rng(0x2E5E7);
+    const auto weights = randomWords(rng, 128 * 16);
+    const auto x = randomWords(rng, 128);
+    const auto y = randomWords(rng, 128, -50, 50);
+
+    BitSerialEngine engine(cfg, weights, 128, 16);
+    engine.dotProduct(x);
+    engine.dotProduct(y);
+    engine.dotProduct(x);
+    const auto firstResults = engine.dotProduct(y);
+    const auto firstStats = engine.stats();
+    const auto firstHits = engine.memoHits();
+    const auto firstMisses = engine.memoMisses();
+    const auto firstCycles = engine.readCycles();
+    EXPECT_GT(firstHits, 0u);
+    EXPECT_GT(firstMisses, 0u);
+
+    engine.resetStats();
+    EXPECT_EQ(engine.memoHits(), 0u);
+    EXPECT_EQ(engine.memoMisses(), 0u);
+    EXPECT_EQ(engine.readCycles(), 0u);
+    EXPECT_EQ(engine.stats(), EngineStats{});
+
+    // The replay is indistinguishable from the first run: same
+    // results, same counters, same hit/miss split (entries were
+    // dropped, so the misses really recompute).
+    engine.dotProduct(x);
+    engine.dotProduct(y);
+    engine.dotProduct(x);
+    EXPECT_EQ(engine.dotProduct(y), firstResults);
+    EXPECT_TRUE(engine.stats() == firstStats);
+    EXPECT_EQ(engine.memoHits(), firstHits);
+    EXPECT_EQ(engine.memoMisses(), firstMisses);
+    EXPECT_EQ(engine.readCycles(), firstCycles);
+}
+
 TEST(FastPath, LruEvictionKeepsResultsExact)
 {
     // More distinct digit vectors than memo entries: eviction churn
