@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "core/accelerator.h"
+#include "core/json_writer.h"
 #include "nn/zoo.h"
 #include "pipeline/perf.h"
 #include "resilience/summary.h"
@@ -125,37 +126,41 @@ writeJson(const std::vector<SweepPoint> &points,
                      "BENCH_resilience.json\n");
         return;
     }
-    std::fprintf(f,
-                 "{\n  \"bench\": \"resilience\",\n"
-                 "  \"workload\": \"tinyCnn\",\n"
-                 "  \"trials\": %d,\n  \"accuracy_sweep\": [",
-                 kTrials);
-    bool first = true;
+    core::JsonArray sweep;
     for (const auto &p : points) {
-        std::fprintf(
-            f,
-            "%s\n    {\"stuck_rate\": %.4f, \"spare_cols\": %d, "
-            "\"top1_match\": %d, \"accuracy_retained\": %.4f, "
-            "\"faulty_cells\": %lld, \"remapped_columns\": %lld, "
-            "\"uncorrectable_cells\": %lld, "
-            "\"program_pulses\": %lld}",
-            first ? "" : ",", p.stuckRate, p.spares, p.match,
-            static_cast<double>(p.match) / kTrials,
-            static_cast<long long>(p.faults.faultyCells),
-            static_cast<long long>(p.faults.remappedColumns),
-            static_cast<long long>(p.faults.uncorrectableCells),
-            static_cast<long long>(p.faults.programPulses));
-        first = false;
+        core::JsonObject o;
+        o.fixed("stuck_rate", p.stuckRate, 4)
+            .field("spare_cols", p.spares)
+            .field("top1_match", p.match)
+            .fixed("accuracy_retained",
+                   static_cast<double>(p.match) / kTrials, 4)
+            .field("faulty_cells",
+                   static_cast<std::int64_t>(p.faults.faultyCells))
+            .field("remapped_columns",
+                   static_cast<std::int64_t>(
+                       p.faults.remappedColumns))
+            .field("uncorrectable_cells",
+                   static_cast<std::int64_t>(
+                       p.faults.uncorrectableCells))
+            .field("program_pulses",
+                   static_cast<std::int64_t>(p.faults.programPulses));
+        sweep.item(o.str());
     }
-    std::fprintf(f,
-                 "\n  ],\n  \"tile_kill\": {\n"
-                 "    \"nominal_interval\": %.2f,\n"
-                 "    \"degraded_interval\": %.2f,\n"
-                 "    \"dead_tiles\": %d,\n"
-                 "    \"remapped_servers\": %d,\n"
-                 "    \"throughput_retained\": %.4f\n  }\n}\n",
-                 kill.nominalInterval, kill.degradedInterval,
-                 kill.deadTiles, kill.remappedServers, kill.retained);
+    core::JsonObject killObj;
+    killObj.fixed("nominal_interval", kill.nominalInterval, 2)
+        .fixed("degraded_interval", kill.degradedInterval, 2)
+        .field("dead_tiles", kill.deadTiles)
+        .field("remapped_servers", kill.remappedServers)
+        .fixed("throughput_retained", kill.retained, 4);
+    core::JsonObject root;
+    root.field("bench", "resilience")
+        .field("workload", "tinyCnn")
+        .field("trials", kTrials)
+        .raw("accuracy_sweep", sweep.str())
+        .raw("tile_kill", killObj.str());
+    const std::string text = root.str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "core/accelerator.h"
+#include "core/json_writer.h"
 #include "nn/zoo.h"
 #include "xbar/write_model.h"
 
@@ -95,44 +96,38 @@ writeJson(const std::vector<SweepPoint> &points)
                      "BENCH_transient.json\n");
         return;
     }
-    std::fprintf(f,
-                 "{\n  \"bench\": \"transient\",\n"
-                 "  \"workload\": \"tinyCnn\",\n"
-                 "  \"images\": %d,\n"
-                 "  \"refresh_interval_ops\": %llu,\n"
-                 "  \"sweep\": [",
-                 kImages,
-                 static_cast<unsigned long long>(kRefreshInterval));
-    bool first = true;
+    core::JsonArray sweep;
     for (const auto &p : points) {
-        std::fprintf(
-            f,
-            "%s\n    {\"drift_rate\": %.4f, \"flip_rate\": %.5f, "
-            "\"read_retries\": %d, \"exact_images\": %d, "
-            "\"detected\": %llu, \"corrected\": %llu, "
-            "\"recovery_cycles\": %llu, "
-            "\"abft_mismatches\": %llu, \"abft_uncorrected\": %llu, "
-            "\"ecc_singles\": %llu, \"ecc_doubles\": %llu, "
-            "\"packets_retransmitted\": %llu, "
-            "\"drift_refreshes\": %llu, "
-            "\"refresh_energy_j\": %.6e}",
-            first ? "" : ",", p.driftRate, p.flipRate, p.retries,
-            p.exactImages,
-            static_cast<unsigned long long>(p.stats.detected()),
-            static_cast<unsigned long long>(p.stats.corrected()),
-            static_cast<unsigned long long>(
-                p.stats.recoveryCycles()),
-            static_cast<unsigned long long>(p.stats.abftMismatches),
-            static_cast<unsigned long long>(p.stats.abftUncorrected),
-            static_cast<unsigned long long>(p.stats.eccSingles),
-            static_cast<unsigned long long>(p.stats.eccDoubles),
-            static_cast<unsigned long long>(
-                p.stats.packetsRetransmitted),
-            static_cast<unsigned long long>(p.stats.driftRefreshes),
-            p.refreshEnergyJ);
-        first = false;
+        char energy[32];
+        std::snprintf(energy, sizeof(energy), "%.6e",
+                      p.refreshEnergyJ);
+        core::JsonObject o;
+        o.fixed("drift_rate", p.driftRate, 4)
+            .fixed("flip_rate", p.flipRate, 5)
+            .field("read_retries", p.retries)
+            .field("exact_images", p.exactImages)
+            .field("detected", p.stats.detected())
+            .field("corrected", p.stats.corrected())
+            .field("recovery_cycles", p.stats.recoveryCycles())
+            .field("abft_mismatches", p.stats.abftMismatches)
+            .field("abft_uncorrected", p.stats.abftUncorrected)
+            .field("ecc_singles", p.stats.eccSingles)
+            .field("ecc_doubles", p.stats.eccDoubles)
+            .field("packets_retransmitted",
+                   p.stats.packetsRetransmitted)
+            .field("drift_refreshes", p.stats.driftRefreshes)
+            .raw("refresh_energy_j", energy);
+        sweep.item(o.str());
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    core::JsonObject root;
+    root.field("bench", "transient")
+        .field("workload", "tinyCnn")
+        .field("images", kImages)
+        .field("refresh_interval_ops", kRefreshInterval)
+        .raw("sweep", sweep.str());
+    const std::string text = root.str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
 }
 

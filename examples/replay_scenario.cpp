@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Replay one campaign scenario from its stable identifier.
+ *
+ * Scenario IDs are self-describing (network, every fault knob, the
+ * trial, and the master seed), so a single grid point from any
+ * campaign report can be re-run in isolation, bit-for-bit, and
+ * inspected layer by layer:
+ *
+ *   replay_scenario "net=tinycnn;w=0.3;r=0;d=0;a=0;k=0.005;m=on;\
+ *                    sp=2;adc=0;t=1;s=ca3ba16" [--batch N] [--json]
+ *
+ * --batch must match the original campaign's batch for the record to
+ * reproduce exactly (the default, 4, matches RunnerOptions).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "campaign/runner.h"
+
+using namespace isaac;
+
+int
+main(int argc, char **argv)
+{
+    std::string id;
+    int batch = 4;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+            batch = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (id.empty()) {
+            id = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: replay_scenario <scenario-id> "
+                         "[--batch N] [--json]\n");
+            return 2;
+        }
+    }
+    if (id.empty()) {
+        std::fprintf(stderr,
+                     "usage: replay_scenario <scenario-id> "
+                     "[--batch N] [--json]\n");
+        return 2;
+    }
+
+    const auto scenario = campaign::Scenario::parse(id);
+    campaign::RunnerOptions opts;
+    opts.batch = batch;
+    opts.threads = 1;
+    const campaign::Runner runner(scenario.network,
+                                  scenario.masterSeed, opts);
+    const auto res = runner.runScenario(scenario);
+
+    if (json) {
+        std::printf("%s\n", res.toJson().c_str());
+        return 0;
+    }
+
+    std::printf("scenario  %s\n", scenario.id().c_str());
+    std::printf("batch     %d (completed %d%s)\n", res.batch,
+                res.completed, res.timedOut ? ", TIMED OUT" : "");
+    std::printf("agreement %.4f (%d/%d top-1 matches)\n",
+                res.agreement, res.top1Matches, res.completed);
+    std::printf("max rel   %g   final-layer mean rel %g\n\n",
+                res.maxRel, res.finalMeanRel);
+
+    std::printf("%-24s %12s %12s %12s\n", "layer", "max |abs|",
+                "max rel", "mean rel");
+    for (const auto &l : res.layers) {
+        std::printf("%-24s %12g %12g %12g\n", l.layer.c_str(),
+                    l.maxAbs, l.maxRel, l.meanRel);
+    }
+    std::printf("\nresilience: %s\n", res.resilience.toJson().c_str());
+    return 0;
+}

@@ -82,6 +82,39 @@ if gate["speedup"] < gate["expected_speedup"]:
          gate["expected_speedup"]))
 EOF
 
+echo "== campaign gate: Monte Carlo fault-injection lab =="
+# bench_campaign sweeps the default scenario suite (>= 500 grid
+# points over write/read noise x stuck cells x spares x ADC bits,
+# plus a focused drift grid) and writes BENCH_campaign.json before
+# its google-benchmark cases. The gate pins the two invariants the
+# lab stands on: the suite really is >= 500 scenarios, and the
+# zero-noise scenarios agree with the fixed-point reference exactly
+# (min agreement 1.0, zero relative error). Batch 2 bounds the
+# sweep's runtime on slow hosts; the report content is deterministic
+# at any batch, only the number of scored images changes.
+(cd build && ISAAC_CAMPAIGN_BATCH=2 ./bench/bench_campaign \
+    --benchmark_filter='^$' >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/BENCH_campaign.json") as f:
+    bench = json.load(f)
+camp = bench["campaign"]
+zero = camp["zero_noise"]
+print("campaign: %d scenarios, zero-noise min agreement %.4f "
+      "(max rel err %g), pareto frontier %d" %
+      (camp["scenario_count"], zero["min_agreement"],
+       zero["max_rel_err"], len(camp["pareto_frontier"])))
+if camp["scenario_count"] < 500:
+    raise SystemExit(
+        "campaign gate FAILED: only %d scenarios (gate: >= 500)"
+        % camp["scenario_count"])
+if zero["min_agreement"] != 1.0 or zero["max_rel_err"] != 0:
+    raise SystemExit(
+        "campaign gate FAILED: zero-noise scenarios diverge from "
+        "the fixed-point reference (min agreement %s, max rel err "
+        "%s)" % (zero["min_agreement"], zero["max_rel_err"]))
+EOF
+
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DISAAC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j \
@@ -117,7 +150,7 @@ echo "== AddressSanitizer build =="
 cmake -B build-asan -S . -DISAAC_SANITIZE=address >/dev/null
 cmake --build build-asan -j \
     --target test_common test_xbar test_sim test_resilience \
-    test_plan test_serve \
+    test_plan test_serve test_campaign \
     >/dev/null
 
 echo "== ASan: thread pool / engine / sim / resilience suites =="
@@ -132,6 +165,14 @@ echo "== ASan: execution-plan IR + streaming session suites =="
 # promises; ASan guards the request lifetime across that hand-off.
 ./build-asan/tests/test_plan --gtest_filter='-*Vgg1*'
 ./build-asan/tests/test_serve
+
+echo "== ASan: Monte Carlo smoke campaign (determinism + gate) =="
+# The smoke-grid campaign (3 write-noise levels x 3 stuck rates on
+# TinyCNN) runs at 1/2/4/8 workers and in a scrambled order inside
+# this suite; the byte-identical-report assertion and the zero-noise
+# exactness gate both execute under ASan, guarding the scenario
+# fan-out's request/result lifetimes.
+./build-asan/tests/test_campaign
 
 echo "== ASan: transient-error campaigns (ABFT / ECC / NoC retry) =="
 ./build-asan/tests/test_xbar \

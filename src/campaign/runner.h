@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The campaign driver: evaluates scenario grids end-to-end through
+ * the compiled analog model and scores them against the fixed-point
+ * reference.
+ *
+ * A Runner owns the workload half of a campaign — the network,
+ * structured synthetic weights, a shared input batch, and the
+ * reference executor's ground truth — all derived from the master
+ * seed once. run() then sweeps scenarios *scenario-major* over the
+ * ThreadPool: each scenario compiles its own model (engines serial)
+ * and serves the batch through an InferenceSession, so campaign
+ * parallelism never races scenario state. Results land indexed by
+ * enumeration order, which makes the Report byte-identical at any
+ * thread count and under any completion order.
+ */
+
+#ifndef ISAAC_CAMPAIGN_RUNNER_H
+#define ISAAC_CAMPAIGN_RUNNER_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "nn/network.h"
+#include "nn/reference.h"
+#include "nn/tensor.h"
+#include "nn/weights.h"
+
+namespace isaac::campaign {
+
+/** Workload-side knobs of one campaign. */
+struct RunnerOptions
+{
+    /** Images in the shared input batch every scenario serves. */
+    int batch = 4;
+
+    /**
+     * Scenario-major worker threads: 0 = one per hardware thread.
+     * The Report is bit-identical at any setting.
+     */
+    int threads = 0;
+
+    /**
+     * Per-request deadline inside each scenario's session (zero =
+     * none). A wedged scenario times out instead of stalling the
+     * sweep; its record is flagged timed_out and excluded from the
+     * Pareto frontier. Campaign determinism is only guaranteed when
+     * no deadline fires.
+     */
+    std::chrono::nanoseconds scenarioDeadline{0};
+
+    /**
+     * Evaluate scenarios in a seed-scrambled order (results still
+     * land at their enumeration index). Determinism tests use this
+     * to pin completion-order independence.
+     */
+    bool scramble = false;
+};
+
+/**
+ * Resolve a campaign network name: "tinycnn", "vgg1".."vgg4",
+ * "msra1".."msra3", "deepface", "dnn", or "alexnet". fatal() on an
+ * unknown name.
+ */
+nn::Network buildNetwork(const std::string &name);
+
+/**
+ * Synthetic-but-structured weights: depth-decaying magnitudes,
+ * smooth per-output-channel gains, and a pruned small-value mass —
+ * closer to trained-network statistics than uniform noise, which is
+ * what makes stuck-at and clipping faults perturb a realistic
+ * activation distribution. Deterministic per (network, seed).
+ */
+nn::WeightStore synthesizeStructuredWeights(const nn::Network &net,
+                                            std::uint64_t seed);
+
+/** A campaign workload bound to one (network, master seed). */
+class Runner
+{
+  public:
+    Runner(const std::string &network, std::uint64_t masterSeed,
+           RunnerOptions opts = {});
+
+    /** Sweep one grid. */
+    Report run(const Grid &grid) const;
+
+    /** Sweep several grids as one campaign (IDs deduplicated). */
+    Report run(const std::vector<Grid> &grids) const;
+
+    /**
+     * Replay a single scenario (typically parsed from a scenario
+     * ID). The scenario must name this runner's network and master
+     * seed; the result is bit-identical to the same scenario's
+     * record inside a full campaign.
+     */
+    ScenarioResult runScenario(const Scenario &scenario) const;
+
+    const nn::Network &network() const { return _net; }
+    const std::vector<nn::Tensor> &inputs() const { return _inputs; }
+    std::uint64_t masterSeed() const { return _seed; }
+    const RunnerOptions &options() const { return _opts; }
+
+  private:
+    ScenarioResult evaluate(const Scenario &scenario) const;
+
+    std::string _name;
+    std::uint64_t _seed;
+    RunnerOptions _opts;
+    nn::Network _net;
+    nn::WeightStore _weights;
+    std::vector<nn::Tensor> _inputs;
+    /** Ground truth per input: every layer's reference output. */
+    std::vector<std::vector<nn::Tensor>> _ref;
+    /** Reference top-1 class per input. */
+    std::vector<int> _truth;
+};
+
+} // namespace isaac::campaign
+
+#endif // ISAAC_CAMPAIGN_RUNNER_H

@@ -386,6 +386,21 @@ CompiledModel::resetStats()
     _imageSeq.store(0, std::memory_order_relaxed);
 }
 
+void
+CompiledModel::resetForScenario()
+{
+    resetStats();
+}
+
+void
+CompiledModel::ageArrays(std::uint64_t ops)
+{
+    requireFunctional("ageArrays");
+    for (const auto &layer : engines)
+        for (const auto &e : layer)
+            e->advanceOpClock(ops);
+}
+
 resilience::ResilienceSummary
 CompiledModel::resilienceSummary() const
 {

@@ -182,6 +182,29 @@ class CompiledModel
     void resetStats();
 
     /**
+     * Rewind the model to a scenario boundary: the one entry point a
+     * fault-injection campaign calls between back-to-back scenarios
+     * on a shared compiled model. Today this is resetStats() — which
+     * already rewinds the engine op clocks (drift age), digit-vector
+     * memos, ADC tallies, health roll-up, and the session image-key
+     * counter together — under a name that states the contract:
+     * after this call, a run is bit-identical to the same run on a
+     * freshly compiled model (tests/campaign pins this). Stored cell
+     * levels are untouched; they are scenario state, not activity.
+     * Must not overlap in-flight inferences.
+     */
+    void resetForScenario();
+
+    /**
+     * Advance every functional engine's drift clock by `ops`: the
+     * campaign's "drift age" axis, placing the model at a chosen
+     * point on the decay curve before measuring. No effect on any
+     * counter; resetForScenario() rewinds it. Must not overlap
+     * in-flight inferences.
+     */
+    void ageArrays(std::uint64_t ops);
+
+    /**
      * Structured resilience summary of the functional model: the
      * fault census, ADC saturation, and the transient-error roll-up.
      * Structural degradation fields (dead tiles, migrated servers)

@@ -1,76 +1,8 @@
 #include "core/json.h"
 
-#include <cmath>
-#include <sstream>
+#include "core/json_writer.h"
 
 namespace isaac::core {
-
-namespace {
-
-/** Minimal JSON writer: objects of number/string/bool fields. */
-class JsonObject
-{
-  public:
-    JsonObject &
-    field(const std::string &key, double value)
-    {
-        next() << '"' << key << "\":";
-        if (std::isfinite(value))
-            out << value;
-        else
-            out << "null";
-        return *this;
-    }
-
-    JsonObject &
-    field(const std::string &key, std::int64_t value)
-    {
-        next() << '"' << key << "\":" << value;
-        return *this;
-    }
-
-    JsonObject &
-    field(const std::string &key, bool value)
-    {
-        next() << '"' << key << "\":" << (value ? "true" : "false");
-        return *this;
-    }
-
-    JsonObject &
-    field(const std::string &key, const std::string &value)
-    {
-        next() << '"' << key << "\":\"" << value << '"';
-        return *this;
-    }
-
-    JsonObject &
-    raw(const std::string &key, const std::string &json)
-    {
-        next() << '"' << key << "\":" << json;
-        return *this;
-    }
-
-    std::string
-    str() const
-    {
-        return "{" + out.str() + "}";
-    }
-
-  private:
-    std::ostringstream &
-    next()
-    {
-        if (!first)
-            out << ',';
-        first = false;
-        return out;
-    }
-
-    std::ostringstream out;
-    bool first = true;
-};
-
-} // namespace
 
 std::string
 toJson(const arch::IsaacConfig &cfg)
@@ -97,15 +29,10 @@ toJson(const arch::IsaacConfig &cfg)
 std::string
 toJson(const nn::Network &net, const pipeline::PipelinePlan &plan)
 {
-    std::ostringstream layers;
-    layers << '[';
-    bool first = true;
+    JsonArray layers;
     for (const auto &lp : plan.layers) {
         if (!lp.isDot)
             continue;
-        if (!first)
-            layers << ',';
-        first = false;
         JsonObject l;
         l.field("layer", net.layer(lp.layerIdx).name)
             .field("index",
@@ -118,9 +45,8 @@ toJson(const nn::Network &net, const pipeline::PipelinePlan &plan)
             .field("bufferBytes", lp.bufferBytes)
             .field("cyclesPerImage", lp.cyclesPerImage)
             .field("utilization", lp.utilization);
-        layers << l.str();
+        layers.item(l.str());
     }
-    layers << ']';
 
     JsonObject o;
     o.field("network", net.name())

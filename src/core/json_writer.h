@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The one JSON emission path for the project: a minimal builder for
+ * objects and arrays of scalar fields, shared by the library toJson()
+ * functions, runReportJson(), the campaign report, and the BENCH_*
+ * writers so escaping and formatting decisions live in exactly one
+ * place.
+ *
+ * Canonical style: `"key": value` with `", "` between fields — the
+ * format the resilience/transient JSON (and its tests) pinned first.
+ * Doubles use the stream default (6 significant digits) unless a
+ * fixed precision is requested; non-finite doubles emit null.
+ */
+
+#ifndef ISAAC_CORE_JSON_WRITER_H
+#define ISAAC_CORE_JSON_WRITER_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace isaac::core {
+
+/** Escape a string for embedding inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+/** Builder for one JSON object of scalar / raw fields. */
+class JsonObject
+{
+  public:
+    JsonObject &
+    field(const std::string &key, double value)
+    {
+        auto &o = next(key);
+        if (std::isfinite(value))
+            o << value;
+        else
+            o << "null";
+        return *this;
+    }
+
+    JsonObject &
+    field(const std::string &key, std::int64_t value)
+    {
+        next(key) << value;
+        return *this;
+    }
+
+    JsonObject &
+    field(const std::string &key, std::uint64_t value)
+    {
+        next(key) << value;
+        return *this;
+    }
+
+    JsonObject &
+    field(const std::string &key, int value)
+    {
+        return field(key, static_cast<std::int64_t>(value));
+    }
+
+    JsonObject &
+    field(const std::string &key, bool value)
+    {
+        next(key) << (value ? "true" : "false");
+        return *this;
+    }
+
+    JsonObject &
+    field(const std::string &key, const std::string &value)
+    {
+        next(key) << '"' << jsonEscape(value) << '"';
+        return *this;
+    }
+
+    /** Without this, a string literal would bind to the bool overload. */
+    JsonObject &
+    field(const std::string &key, const char *value)
+    {
+        return field(key, std::string(value));
+    }
+
+    /** Fixed-precision double, printf %.*f style. */
+    JsonObject &
+    fixed(const std::string &key, double value, int precision)
+    {
+        auto &o = next(key);
+        if (!std::isfinite(value)) {
+            o << "null";
+            return *this;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+        o << buf;
+        return *this;
+    }
+
+    /** Pre-rendered JSON value (nested object / array). */
+    JsonObject &
+    raw(const std::string &key, const std::string &json)
+    {
+        next(key) << json;
+        return *this;
+    }
+
+    std::string
+    str() const
+    {
+        return "{" + out.str() + "}";
+    }
+
+  private:
+    std::ostringstream &
+    next(const std::string &key)
+    {
+        if (!first)
+            out << ", ";
+        first = false;
+        out << '"' << jsonEscape(key) << "\": ";
+        return out;
+    }
+
+    std::ostringstream out;
+    bool first = true;
+};
+
+/** Builder for one JSON array of raw elements. */
+class JsonArray
+{
+  public:
+    /** Pre-rendered JSON element (object, number, nested array). */
+    JsonArray &
+    item(const std::string &json)
+    {
+        next() << json;
+        return *this;
+    }
+
+    JsonArray &
+    item(double value)
+    {
+        auto &o = next();
+        if (std::isfinite(value))
+            o << value;
+        else
+            o << "null";
+        return *this;
+    }
+
+    JsonArray &
+    stringItem(const std::string &value)
+    {
+        next() << '"' << jsonEscape(value) << '"';
+        return *this;
+    }
+
+    bool empty() const { return first; }
+
+    std::string
+    str() const
+    {
+        return "[" + out.str() + "]";
+    }
+
+  private:
+    std::ostringstream &
+    next()
+    {
+        if (!first)
+            out << ", ";
+        first = false;
+        return out;
+    }
+
+    std::ostringstream out;
+    bool first = true;
+};
+
+} // namespace isaac::core
+
+#endif // ISAAC_CORE_JSON_WRITER_H

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "campaign/campaign.h"
+#include "core/json_writer.h"
+
 namespace isaac::core {
 
 namespace {
@@ -68,22 +71,38 @@ formatIsaacPerf(const nn::Network &net,
     return out;
 }
 
-std::string
-runReportJson(const CompiledModel &model)
+namespace {
+
+/** The shared prefix of both runReportJson overloads. */
+JsonObject
+runReportObject(const CompiledModel &model)
 {
     const auto &perf = model.perf();
     const auto stats = model.engineStats();
-    std::string out = "{";
-    out += line("\"network\": \"%s\", ",
-                model.network().name().c_str());
-    out += line("\"images_per_sec\": %.1f, ", perf.imagesPerSec);
-    out += line("\"functional_arrays\": %d, ",
-                model.functionalArrays());
-    out += line("\"ops\": %llu, ",
-                static_cast<unsigned long long>(stats.ops));
-    out += "\"resilience\": " + model.resilienceSummary().toJson();
-    out += "}";
-    return out;
+    JsonObject o;
+    o.field("network", model.network().name())
+        .fixed("images_per_sec", perf.imagesPerSec, 1)
+        .field("functional_arrays", model.functionalArrays())
+        .field("ops", static_cast<std::uint64_t>(stats.ops))
+        .raw("resilience", model.resilienceSummary().toJson());
+    return o;
+}
+
+} // namespace
+
+std::string
+runReportJson(const CompiledModel &model)
+{
+    return runReportObject(model).str();
+}
+
+std::string
+runReportJson(const CompiledModel &model,
+              const campaign::Report &campaign)
+{
+    auto o = runReportObject(model);
+    o.raw("campaign", campaign.summaryJson());
+    return o.str();
 }
 
 std::string

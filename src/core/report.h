@@ -14,6 +14,10 @@
 #include "nn/network.h"
 #include "pipeline/perf.h"
 
+namespace isaac::campaign {
+struct Report;
+} // namespace isaac::campaign
+
 namespace isaac::core {
 
 /** Format a component power/area breakdown as an aligned table. */
@@ -41,6 +45,16 @@ std::string formatDdnPerf(const nn::Network &net,
  * top-level report and faultReport() can never disagree.
  */
 std::string runReportJson(const CompiledModel &model);
+
+/**
+ * As above, with a Monte Carlo campaign summary embedded under a
+ * "campaign" key: scenario counts, zero-noise agreement, Pareto
+ * frontier size, and the campaign content hash (campaign::Report::
+ * summaryJson()). Lets a serving dashboard carry the latest
+ * accuracy-under-noise evidence next to the live fault census.
+ */
+std::string runReportJson(const CompiledModel &model,
+                          const campaign::Report &campaign);
 
 } // namespace isaac::core
 

@@ -9,7 +9,8 @@
  * (isaac::pipeline, isaac::baseline, isaac::energy, isaac::noc,
  * isaac::dse), the cycle-level simulators (isaac::sim), the analog
  * engine (isaac::xbar), the streaming inference runtime
- * (isaac::serve), and the training extension (isaac::train).
+ * (isaac::serve), the Monte Carlo fault-injection campaign lab
+ * (isaac::campaign), and the training extension (isaac::train).
  */
 
 #ifndef ISAAC_ISAAC_H
@@ -27,9 +28,12 @@
 #include "arch/edram.h"
 #include "arch/sigmoid.h"
 #include "baseline/dadiannao_perf.h"
+#include "campaign/campaign.h"
+#include "campaign/runner.h"
 #include "core/accelerator.h"
 #include "core/floorplan.h"
 #include "core/json.h"
+#include "core/json_writer.h"
 #include "core/report.h"
 #include "dse/dse.h"
 #include "energy/catalog.h"

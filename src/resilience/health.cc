@@ -1,8 +1,7 @@
 #include "resilience/health.h"
 
-#include <cstdio>
-
 #include "common/logging.h"
+#include "core/json_writer.h"
 
 namespace isaac::resilience {
 
@@ -51,47 +50,31 @@ TransientStats::merge(const TransientStats &other)
 std::string
 TransientStats::toJson() const
 {
-    char buf[1024];
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\"abft_checks\": %llu, \"abft_mismatches\": %llu, "
-        "\"abft_retries\": %llu, \"abft_retry_cycles\": %llu, "
-        "\"abft_uncorrected\": %llu, \"abft_disabled_tiles\": %llu, "
-        "\"drift_refreshes\": %llu, \"refresh_pulses\": %llu, "
-        "\"ecc_words\": %llu, \"ecc_bit_flips\": %llu, "
-        "\"ecc_singles\": %llu, \"ecc_doubles\": %llu, "
-        "\"ecc_recomputed_words\": %llu, "
-        "\"ecc_recompute_cycles\": %llu, "
-        "\"packets_sent\": %llu, \"packets_corrupted\": %llu, "
-        "\"packets_retransmitted\": %llu, "
-        "\"packet_backoff_cycles\": %llu, "
-        "\"packets_uncorrected\": %llu, \"dead_links\": %llu, "
-        "\"detected\": %llu, \"corrected\": %llu, "
-        "\"recovery_cycles\": %llu}",
-        static_cast<unsigned long long>(abftChecks),
-        static_cast<unsigned long long>(abftMismatches),
-        static_cast<unsigned long long>(abftRetries),
-        static_cast<unsigned long long>(abftRetryCycles),
-        static_cast<unsigned long long>(abftUncorrected),
-        static_cast<unsigned long long>(abftDisabledTiles),
-        static_cast<unsigned long long>(driftRefreshes),
-        static_cast<unsigned long long>(refreshPulses),
-        static_cast<unsigned long long>(eccWords),
-        static_cast<unsigned long long>(eccBitFlips),
-        static_cast<unsigned long long>(eccSingles),
-        static_cast<unsigned long long>(eccDoubles),
-        static_cast<unsigned long long>(eccRecomputedWords),
-        static_cast<unsigned long long>(eccRecomputeCycles),
-        static_cast<unsigned long long>(packetsSent),
-        static_cast<unsigned long long>(packetsCorrupted),
-        static_cast<unsigned long long>(packetsRetransmitted),
-        static_cast<unsigned long long>(packetBackoffCycles),
-        static_cast<unsigned long long>(packetsUncorrected),
-        static_cast<unsigned long long>(deadLinks),
-        static_cast<unsigned long long>(detected()),
-        static_cast<unsigned long long>(corrected()),
-        static_cast<unsigned long long>(recoveryCycles()));
-    return buf;
+    core::JsonObject o;
+    o.field("abft_checks", abftChecks)
+        .field("abft_mismatches", abftMismatches)
+        .field("abft_retries", abftRetries)
+        .field("abft_retry_cycles", abftRetryCycles)
+        .field("abft_uncorrected", abftUncorrected)
+        .field("abft_disabled_tiles", abftDisabledTiles)
+        .field("drift_refreshes", driftRefreshes)
+        .field("refresh_pulses", refreshPulses)
+        .field("ecc_words", eccWords)
+        .field("ecc_bit_flips", eccBitFlips)
+        .field("ecc_singles", eccSingles)
+        .field("ecc_doubles", eccDoubles)
+        .field("ecc_recomputed_words", eccRecomputedWords)
+        .field("ecc_recompute_cycles", eccRecomputeCycles)
+        .field("packets_sent", packetsSent)
+        .field("packets_corrupted", packetsCorrupted)
+        .field("packets_retransmitted", packetsRetransmitted)
+        .field("packet_backoff_cycles", packetBackoffCycles)
+        .field("packets_uncorrected", packetsUncorrected)
+        .field("dead_links", deadLinks)
+        .field("detected", detected())
+        .field("corrected", corrected())
+        .field("recovery_cycles", recoveryCycles());
+    return o.str();
 }
 
 void

@@ -1,29 +1,28 @@
 #include "resilience/summary.h"
 
-#include <cstdio>
+#include "core/json_writer.h"
 
 namespace isaac::resilience {
 
 std::string
 ResilienceSummary::toJson() const
 {
-    char buf[512];
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\"stuck_cells\": %lld, \"faulty_cells\": %lld, "
-        "\"remapped_columns\": %lld, \"uncorrectable_cells\": %lld, "
-        "\"program_pulses\": %lld, \"adc_clips\": %llu, "
-        "\"dead_tiles\": %d, \"remapped_servers\": %d, "
-        "\"throughput_retained\": %.4f, "
-        "\"transient\": ",
-        static_cast<long long>(faults.stuckCells),
-        static_cast<long long>(faults.faultyCells),
-        static_cast<long long>(faults.remappedColumns),
-        static_cast<long long>(faults.uncorrectableCells),
-        static_cast<long long>(faults.programPulses),
-        static_cast<unsigned long long>(adcClips), deadTiles,
-        remappedServers, throughputRetained);
-    return std::string(buf) + transient.toJson() + "}";
+    core::JsonObject o;
+    o.field("stuck_cells", static_cast<std::int64_t>(faults.stuckCells))
+        .field("faulty_cells",
+               static_cast<std::int64_t>(faults.faultyCells))
+        .field("remapped_columns",
+               static_cast<std::int64_t>(faults.remappedColumns))
+        .field("uncorrectable_cells",
+               static_cast<std::int64_t>(faults.uncorrectableCells))
+        .field("program_pulses",
+               static_cast<std::int64_t>(faults.programPulses))
+        .field("adc_clips", static_cast<std::uint64_t>(adcClips))
+        .field("dead_tiles", deadTiles)
+        .field("remapped_servers", remappedServers)
+        .fixed("throughput_retained", throughputRetained, 4)
+        .raw("transient", transient.toJson());
+    return o.str();
 }
 
 double

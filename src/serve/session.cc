@@ -69,6 +69,22 @@ InferenceSession::trySubmit(nn::Tensor input,
     return true;
 }
 
+bool
+InferenceSession::trySubmitFor(nn::Tensor input,
+                               std::future<nn::Tensor> &out,
+                               std::chrono::nanoseconds timeout)
+{
+    auto req = std::make_unique<Request>();
+    req->cur = std::move(input);
+    auto fut = req->promiseFinal.get_future();
+    const auto admitBy = std::chrono::steady_clock::now() +
+        std::max(timeout, std::chrono::nanoseconds{0});
+    if (!enqueue(std::move(req), /*block=*/true, admitBy))
+        return false;
+    out = std::move(fut);
+    return true;
+}
+
 std::future<std::vector<nn::Tensor>>
 InferenceSession::submitAll(nn::Tensor input)
 {
@@ -96,24 +112,42 @@ InferenceSession::run(const std::vector<nn::Tensor> &inputs)
 }
 
 bool
-InferenceSession::enqueue(std::unique_ptr<Request> req, bool block)
+InferenceSession::enqueue(std::unique_ptr<Request> req, bool block,
+                          std::chrono::steady_clock::time_point
+                              admitBy)
 {
+    constexpr auto kForever =
+        std::chrono::steady_clock::time_point::max();
     std::unique_lock<std::mutex> lk(_mtx);
+    bool waited = false;
     for (;;) {
         if (_closed) {
-            if (block) {
+            if (block && admitBy == kForever) {
                 fatal("InferenceSession::submit: the session was "
                       "shut down");
             }
             ++_stats.rejected;
             return false;
         }
-        if (_inFlight < _opts.queueDepth)
-            break;
-        if (!block) {
+        // Once the caller has waited past its deadline, reject even
+        // if capacity freed meanwhile — a bounded wait must not
+        // admit arbitrarily late just because the recheck won the
+        // race against the drain. (The first pass never rejects on
+        // the deadline: a queue with room admits at any timeout.)
+        if (waited && admitBy != kForever &&
+            std::chrono::steady_clock::now() >= admitBy) {
             ++_stats.rejected;
             return false;
         }
+        if (_inFlight < _opts.queueDepth)
+            break;
+        if (!block ||
+            (admitBy != kForever &&
+             std::chrono::steady_clock::now() >= admitBy)) {
+            ++_stats.rejected;
+            return false;
+        }
+        waited = true;
         // Backpressure with progress: rather than parking until a
         // pool worker frees a slot (which may never happen when the
         // pool is saturated or we are nested inside it), the blocked
@@ -131,6 +165,10 @@ InferenceSession::enqueue(std::unique_ptr<Request> req, bool block)
     // Claiming under the admission lock makes key order == admission
     // order: the injection streams replay a sequential walk exactly.
     req->imageKey = _model.claimImageKeys(1);
+    if (_opts.defaultDeadline.count() > 0) {
+        req->deadline =
+            std::chrono::steady_clock::now() + _opts.defaultDeadline;
+    }
     ++_inFlight;
     ++_stats.submitted;
     _stats.peakInFlight = std::max<std::uint64_t>(
@@ -155,13 +193,33 @@ InferenceSession::makeReady(std::unique_ptr<Request> req,
     }
 }
 
+bool
+InferenceSession::expireIfPastDeadline(Request &req)
+{
+    constexpr auto kForever =
+        std::chrono::steady_clock::time_point::max();
+    if (req.deadline == kForever ||
+        std::chrono::steady_clock::now() < req.deadline)
+        return false;
+    auto err = std::make_exception_ptr(DeadlineExceeded(
+        "InferenceSession: request deadline expired at IR node " +
+        std::to_string(req.nodeIdx)));
+    if (req.keepAll)
+        req.promiseAll.set_exception(std::move(err));
+    else
+        req.promiseFinal.set_exception(std::move(err));
+    return true;
+}
+
 void
 InferenceSession::step(std::unique_ptr<Request> req)
 {
     const auto &nodes = _model.executionPlan().nodes();
     std::uint64_t executed = 0;
     bool failed = false;
-    for (int budget = _opts.stepsPerSlice;
+    const bool expired = expireIfPastDeadline(*req);
+    failed = expired;
+    for (int budget = expired ? 0 : _opts.stepsPerSlice;
          budget > 0 && req->nodeIdx < nodes.size(); --budget) {
         const auto &node = nodes[req->nodeIdx];
         try {
@@ -192,6 +250,8 @@ InferenceSession::step(std::unique_ptr<Request> req)
     }
     std::unique_lock<std::mutex> lk(_mtx);
     _stats.stepsExecuted += executed;
+    if (expired)
+        ++_stats.timedOut;
     if (done) {
         --_inFlight;
         ++_stats.completed;

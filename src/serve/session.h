@@ -30,12 +30,14 @@
 #ifndef ISAAC_SERVE_SESSION_H
 #define ISAAC_SERVE_SESSION_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "core/accelerator.h"
@@ -43,6 +45,18 @@
 #include "resilience/health.h"
 
 namespace isaac::serve {
+
+/**
+ * Thrown through a request's future when its deadline expired before
+ * the request finished (SessionOptions::defaultDeadline). The request
+ * stops executing at the next step boundary; its remaining IR steps
+ * never run.
+ */
+class DeadlineExceeded : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Static configuration of one session. */
 struct SessionOptions
@@ -66,6 +80,19 @@ struct SessionOptions
      * trade interleaving for lower queue churn.
      */
     int stepsPerSlice = 1;
+
+    /**
+     * Per-request execution deadline, measured from admission
+     * (zero = none). A request still unfinished when its deadline
+     * passes is abandoned at the next step boundary: its future
+     * rethrows DeadlineExceeded and stats().timedOut counts it.
+     * Sweeps over pathological scenarios use this so one wedged
+     * request cannot stall a whole campaign. Note that a timed-out
+     * request has already executed a wall-clock-dependent number of
+     * steps, so the model's activity counters are reproducible only
+     * for runs where no deadline fires.
+     */
+    std::chrono::nanoseconds defaultDeadline{0};
 };
 
 /** Activity counters of one session (monotonic over its lifetime). */
@@ -76,6 +103,7 @@ struct SessionStats
     std::uint64_t rejected = 0;  ///< trySubmit() refusals.
     std::uint64_t stepsExecuted = 0; ///< IR nodes executed.
     std::uint64_t peakInFlight = 0;  ///< Max concurrent admissions.
+    std::uint64_t timedOut = 0;      ///< Requests past their deadline.
 
     bool operator==(const SessionStats &) const = default;
 };
@@ -111,6 +139,16 @@ class InferenceSession
      * stats().rejected) when the session is full or shut down.
      */
     bool trySubmit(nn::Tensor input, std::future<nn::Tensor> &out);
+
+    /**
+     * Bounded-wait submit: like submit() while the session has
+     * space, but gives up (false, counted in stats().rejected) if no
+     * queue slot frees up within `timeout` or the session shuts
+     * down. The waiting thread helps execute pending layer-steps
+     * like submit() does, so the timeout is a bound, not a stall.
+     */
+    bool trySubmitFor(nn::Tensor input, std::future<nn::Tensor> &out,
+                      std::chrono::nanoseconds timeout);
 
     /**
      * Submit a request whose future yields every layer's output
@@ -166,10 +204,22 @@ class InferenceSession
         std::vector<nn::Tensor> outs; ///< Layer outputs (keepAll).
         std::promise<nn::Tensor> promiseFinal;
         std::promise<std::vector<nn::Tensor>> promiseAll;
+        /** Abandon-after time; max() = no deadline. */
+        std::chrono::steady_clock::time_point deadline =
+            std::chrono::steady_clock::time_point::max();
     };
 
-    /** Admit a request (blocking iff `block`); false if refused. */
-    bool enqueue(std::unique_ptr<Request> req, bool block);
+    /**
+     * Admit a request; false if refused. `block` waits for space,
+     * bounded by `admitBy` (max() = wait forever; trySubmit passes
+     * block = false for the immediate refusal).
+     */
+    bool enqueue(std::unique_ptr<Request> req, bool block,
+                 std::chrono::steady_clock::time_point admitBy =
+                     std::chrono::steady_clock::time_point::max());
+
+    /** Fail an expired request's promise; true if it timed out. */
+    bool expireIfPastDeadline(Request &req);
 
     /** Push a runnable request and make sure a worker will run it. */
     void makeReady(std::unique_ptr<Request> req,

@@ -93,12 +93,40 @@ CrossbarArray::driftedLevel(std::size_t idx, std::uint64_t t) const
     if (age == 0)
         return level;
     const std::uint64_t epoch = interval ? t / interval : 0;
-    Rng rng(driftSeed +
-            0x9E3779B97F4A7C15ull * (idx * 0x1000193ull + epoch + 1));
     const int drop = static_cast<int>(
         noise.driftLevelsPerOp * static_cast<double>(age) *
-        rng.uniform01());
+        driftSusceptibility(idx, epoch));
     return std::max(0, level - drop);
+}
+
+double
+CrossbarArray::driftSusceptibility(std::size_t idx,
+                                   std::uint64_t epoch) const
+{
+    if (epoch == 0)
+        return ensureSusceptibility()[idx];
+    Rng rng(driftSeed +
+            0x9E3779B97F4A7C15ull * (idx * 0x1000193ull + epoch + 1));
+    return rng.uniform01();
+}
+
+const double *
+CrossbarArray::ensureSusceptibility() const
+{
+    if (!_susceptValid.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(_planesMutex);
+        if (!_susceptValid.load(std::memory_order_relaxed)) {
+            _suscept.resize(cells.size());
+            for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+                Rng rng(driftSeed +
+                        0x9E3779B97F4A7C15ull *
+                            (idx * 0x1000193ull + 1));
+                _suscept[idx] = rng.uniform01();
+            }
+            _susceptValid.store(true, std::memory_order_release);
+        }
+    }
+    return _suscept.data();
 }
 
 Acc
@@ -317,6 +345,7 @@ CrossbarArray::setNoise(const NoiseSpec &spec,
     if (spec.maxProgramPulses < 1)
         fatal("NoiseSpec: maxProgramPulses must be >= 1");
     invalidatePlanes(); // the fault map below may snap cells
+    _susceptValid.store(false, std::memory_order_relaxed);
     noise = spec;
     // The salt mix keeps salt = 0 on the historical streams.
     const std::uint64_t salted =

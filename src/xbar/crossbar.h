@@ -252,6 +252,10 @@ class CrossbarArray
     Acc driftedBitlineSum(int col, std::span<const int> inputs,
                           std::uint64_t t) const;
     int driftedLevel(std::size_t idx, std::uint64_t t) const;
+    double driftSusceptibility(std::size_t idx,
+                               std::uint64_t epoch) const;
+    /** Lazily build the epoch-0 susceptibility table. */
+    const double *ensureSusceptibility() const;
     Acc applyReadNoise(Acc sum, std::uint64_t seq, int col) const;
 
     /** Rebuild the packed planes if stale; returns the plane base. */
@@ -287,6 +291,17 @@ class CrossbarArray
     mutable std::vector<std::uint64_t> _planes;
     mutable std::atomic<bool> _planesValid{false};
     mutable std::mutex _planesMutex;
+    /**
+     * Per-cell drift susceptibility for refresh epoch 0, cached so a
+     * long no-refresh campaign does not re-derive the same per-cell
+     * RNG draw on every read (the draw is a pure function of the
+     * seed, so the cache is exact). Later epochs stay on the direct
+     * derivation — they change every refreshIntervalOps and caching
+     * them would thrash. Built lazily under _planesMutex; setNoise()
+     * invalidates.
+     */
+    mutable std::vector<double> _suscept;
+    mutable std::atomic<bool> _susceptValid{false};
 };
 
 } // namespace isaac::xbar

@@ -15,6 +15,8 @@ namespace isaac::xbar {
 int
 EngineConfig::adcBits() const
 {
+    if (adcBitsOverride > 0)
+        return adcBitsOverride;
     const int data = adcResolution(rows, dacBits, cellBits,
                                    flipEncoding);
     // The unit column sums raw input digits over all rows; it must
@@ -56,6 +58,8 @@ EngineConfig::validate() const
               std::to_string(kMaxThreads) + "]");
     if (memoEntries < 0)
         fatal("EngineConfig: memoEntries must be non-negative");
+    if (adcBitsOverride < 0 || adcBitsOverride > 24)
+        fatal("EngineConfig: adcBitsOverride must be in [0, 24]");
 }
 
 BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
@@ -1299,6 +1303,12 @@ BitSerialEngine::resetStats()
     // noise/drift/retry realization a fresh engine would (the arrays
     // rewind their own sequences above).
     _opSeq.store(0, std::memory_order_relaxed);
+}
+
+void
+BitSerialEngine::advanceOpClock(std::uint64_t ops)
+{
+    _opSeq.fetch_add(ops, std::memory_order_relaxed);
 }
 
 std::uint64_t

@@ -161,6 +161,17 @@ struct EngineConfig
      */
     bool batchWindows = true;
 
+    /**
+     * Force the ADC resolution to this many bits instead of the
+     * derived requirement (0 = derived). An override *below* the
+     * requirement is legal and models a cheaper converter: readings
+     * beyond the code ceiling clip (counted in adcClips / AdcTally),
+     * which is exactly the accuracy-vs-energy axis the campaign lab
+     * sweeps. The energy catalog prices the ADC at the overridden
+     * resolution, so the trade shows up in both columns.
+     */
+    int adcBitsOverride = 0;
+
     /** Digits per weight = 16 / w. */
     int slicesPerWeight() const { return kDataBits / cellBits; }
 
@@ -170,7 +181,10 @@ struct EngineConfig
     /** Outputs that fit in one physical array's data columns. */
     int outputsPerArray() const { return cols / slicesPerWeight(); }
 
-    /** ADC resolution this configuration requires. */
+    /**
+     * ADC resolution in effect: the derived requirement, or
+     * adcBitsOverride when set.
+     */
     int adcBits() const;
 
     /** Sanity-check field combinations; fatal() on bad configs. */
@@ -278,6 +292,16 @@ class BitSerialEngine
      * fresh engine would.
      */
     void resetStats();
+
+    /**
+     * Advance the drift clock by `ops` operations without executing
+     * anything: subsequent reads see conductances aged as if that
+     * many dot products had already run. Campaign scenarios use this
+     * to place a model at a chosen point on the drift curve before
+     * measuring; resetStats() rewinds the clock to zero. Must not
+     * overlap concurrent dotProduct() calls.
+     */
+    void advanceOpClock(std::uint64_t ops);
 
     /** Total ADC clip events (must stay 0 with noise disabled). */
     std::uint64_t adcClips() const;

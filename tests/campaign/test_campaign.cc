@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Monte Carlo campaign lab tests: grid enumeration and dedup,
+ * scenario-ID round-tripping, the zero-noise exactness gate, report
+ * determinism across thread counts and completion orders, scenario
+ * replay parity with the campaign record, the resetForScenario
+ * rewind contract, and the campaign summary embedding in
+ * runReportJson. The smoke-grid cases double as the CI/ASan gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/runner.h"
+#include "common/logging.h"
+#include "core/accelerator.h"
+#include "core/report.h"
+#include "nn/zoo.h"
+#include "serve/session.h"
+
+namespace isaac::campaign {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xC0FFEEull;
+
+TEST(CampaignGrid, SmokeGridEnumeratesNineDistinctScenarios)
+{
+    const auto scenarios = Grid::smoke().enumerate(kSeed);
+    ASSERT_EQ(scenarios.size(), 9u);
+    std::vector<std::string> ids;
+    for (const auto &s : scenarios) {
+        ids.push_back(s.id());
+        EXPECT_EQ(s.masterSeed, kSeed);
+        EXPECT_EQ(s.network, "tinycnn");
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end())
+        << "scenario IDs must be distinct";
+    // Exactly one clean self-check point.
+    int clean = 0;
+    for (const auto &s : scenarios)
+        clean += s.clean();
+    EXPECT_EQ(clean, 1);
+}
+
+TEST(CampaignGrid, DefaultSuiteCoversAtLeast500Scenarios)
+{
+    std::size_t total = 0;
+    for (const auto &grid : Grid::defaultSuite())
+        total += grid.enumerate(kSeed).size();
+    EXPECT_GE(total, 500u);
+}
+
+TEST(CampaignGrid, ZeroStuckRateCollapsesTheModeAxis)
+{
+    Grid g;
+    g.stuckRate = {0.0};
+    g.stuckModes = {xbar::StuckMode::Off, xbar::StuckMode::On,
+                    xbar::StuckMode::RandomLevel};
+    EXPECT_EQ(g.enumerate(kSeed).size(), 1u)
+        << "rate 0 makes the stuck mode unobservable";
+    g.stuckRate = {0.0, 0.01};
+    EXPECT_EQ(g.enumerate(kSeed).size(), 4u);
+}
+
+TEST(CampaignScenario, IdRoundTripsEveryField)
+{
+    Scenario s;
+    s.network = "tinycnn";
+    s.writeSigma = 0.3;
+    s.readSigma = 0.05;
+    s.driftPerOp = 5e-4;
+    s.driftAge = 4096;
+    s.stuckRate = 0.005;
+    s.stuckMode = xbar::StuckMode::Off;
+    s.spareCols = 4;
+    s.adcBits = 7;
+    s.trial = 2;
+    s.masterSeed = 0xDEADBEEFCAFEull;
+    const auto parsed = Scenario::parse(s.id());
+    EXPECT_EQ(parsed, s);
+    EXPECT_EQ(parsed.id(), s.id());
+    // The seed mixes trial but not the knobs: paired configurations
+    // at one trial share their fault draw.
+    Scenario other = s;
+    other.spareCols = 0;
+    other.adcBits = 0;
+    EXPECT_EQ(other.noiseSeed(), s.noiseSeed());
+    other.trial = 3;
+    EXPECT_NE(other.noiseSeed(), s.noiseSeed());
+}
+
+TEST(CampaignScenario, MalformedIdsAreFatal)
+{
+    const Scenario s;
+    EXPECT_THROW(Scenario::parse("net=tinycnn;w=0.1"), FatalError)
+        << "missing keys";
+    EXPECT_THROW(Scenario::parse(s.id() + ";w=0.5"), FatalError)
+        << "duplicate key";
+    EXPECT_THROW(Scenario::parse(s.id() + ";zz=1"), FatalError)
+        << "unknown key";
+    EXPECT_THROW(Scenario::parse("garbage"), FatalError);
+    std::string badMode = s.id();
+    badMode.replace(badMode.find(";m=on"), 5, ";m=up");
+    EXPECT_THROW(Scenario::parse(badMode), FatalError);
+}
+
+TEST(CampaignRunner, ZeroNoiseScenarioIsBitExact)
+{
+    RunnerOptions opts;
+    opts.batch = 3;
+    opts.threads = 1;
+    const Runner runner("tinycnn", kSeed, opts);
+    Scenario clean;
+    clean.masterSeed = kSeed;
+    ASSERT_TRUE(clean.clean());
+    const auto res = runner.runScenario(clean);
+    EXPECT_EQ(res.completed, 3);
+    EXPECT_FALSE(res.timedOut);
+    EXPECT_DOUBLE_EQ(res.agreement, 1.0);
+    EXPECT_EQ(res.top1Matches, 3);
+    EXPECT_EQ(res.maxRel, 0.0);
+    EXPECT_EQ(res.finalMeanRel, 0.0);
+    ASSERT_EQ(res.layers.size(), runner.network().size());
+    for (const auto &l : res.layers) {
+        EXPECT_EQ(l.maxAbs, 0.0) << l.layer;
+        EXPECT_EQ(l.maxRel, 0.0) << l.layer;
+    }
+}
+
+TEST(CampaignRunner, ReportIsByteIdenticalAtAnyThreadCountAndOrder)
+{
+    // The CI smoke campaign: one report per (threads, scramble)
+    // setting, all byte-identical. This is the determinism contract
+    // the scenario-major sweep promises.
+    std::string wantJson;
+    std::uint64_t wantHash = 0;
+    const Grid grid = Grid::smoke();
+    struct Setting
+    {
+        int threads;
+        bool scramble;
+    };
+    const Setting settings[] = {
+        {1, false}, {2, false}, {4, false}, {8, false}, {4, true}};
+    for (const auto &setting : settings) {
+        SCOPED_TRACE("threads=" + std::to_string(setting.threads) +
+                     " scramble=" +
+                     std::to_string(setting.scramble));
+        RunnerOptions opts;
+        opts.batch = 2;
+        opts.threads = setting.threads;
+        opts.scramble = setting.scramble;
+        const Runner runner("tinycnn", kSeed, opts);
+        const auto report = runner.run(grid);
+        EXPECT_EQ(report.gridPoints, 9);
+        EXPECT_EQ(report.scenarios.size(), 9u);
+        // Zero-noise gate: the clean point must agree exactly.
+        EXPECT_GE(report.cleanScenarioCount(), 1);
+        EXPECT_DOUBLE_EQ(report.cleanAgreementMin(), 1.0);
+        EXPECT_EQ(report.cleanMaxRel(), 0.0);
+        if (wantJson.empty()) {
+            wantJson = report.toJson();
+            wantHash = report.contentHash();
+            EXPECT_FALSE(report.paretoFrontier.empty());
+        } else {
+            EXPECT_EQ(report.toJson(), wantJson);
+            EXPECT_EQ(report.contentHash(), wantHash);
+        }
+    }
+}
+
+TEST(CampaignRunner, ReplayFromIdMatchesTheCampaignRecord)
+{
+    RunnerOptions opts;
+    opts.batch = 2;
+    opts.threads = 2;
+    const Runner runner("tinycnn", kSeed, opts);
+    const auto report = runner.run(Grid::smoke());
+
+    // Re-run the noisiest record in isolation from its ID alone.
+    const ScenarioResult *want = nullptr;
+    for (const auto &r : report.scenarios) {
+        if (r.scenario.writeSigma > 0.0 && r.scenario.stuckRate > 0.0)
+            want = &r;
+    }
+    ASSERT_NE(want, nullptr);
+    const auto parsed = Scenario::parse(want->scenario.id());
+    auto got = runner.runScenario(parsed);
+    got.pareto = want->pareto; // finalize() assigns this, not replay.
+    EXPECT_EQ(got.toJson(), want->toJson());
+}
+
+TEST(CampaignRunner, MismatchedReplayIsFatal)
+{
+    RunnerOptions opts;
+    opts.batch = 2;
+    const Runner runner("tinycnn", kSeed, opts);
+    Scenario wrongSeed;
+    wrongSeed.masterSeed = kSeed + 1;
+    EXPECT_THROW((void)runner.runScenario(wrongSeed), FatalError);
+    Scenario wrongNet;
+    wrongNet.masterSeed = kSeed;
+    wrongNet.network = "vgg1";
+    EXPECT_THROW((void)runner.runScenario(wrongNet), FatalError);
+}
+
+TEST(Campaign, ResetForScenarioMatchesAFreshCompileBitForBit)
+{
+    // One compiled model, reset between scenarios, must reproduce a
+    // fresh compile exactly: results, resilience JSON, and the drift
+    // clock all rewind through the single entry point.
+    const auto net = nn::tinyCnn();
+    const auto weights =
+        synthesizeStructuredWeights(net, kSeed ^ 0x5EEDull);
+    Scenario s;
+    s.masterSeed = kSeed;
+    s.writeSigma = 0.2;
+    s.stuckRate = 0.005;
+    s.spareCols = 2;
+    s.driftPerOp = 5e-4;
+    s.driftAge = 512;
+    const core::Accelerator acc(s.config(1));
+    const FixedFormat fmt{12};
+    const auto input = nn::synthesizeInput(16, 12, 12, 99, fmt);
+
+    const auto runOnce = [&](core::CompiledModel &model) {
+        model.resetForScenario();
+        model.ageArrays(s.driftAge);
+        serve::SessionOptions so;
+        so.workers = 1;
+        serve::InferenceSession session(model, so);
+        auto out = session.run({input, input});
+        return std::make_pair(std::move(out),
+                              model.resilienceSummary().toJson());
+    };
+
+    auto model = acc.compile(net, weights, {});
+    const auto first = runOnce(model);
+    const auto second = runOnce(model);
+    auto freshModel = acc.compile(net, weights, {});
+    const auto fresh = runOnce(freshModel);
+    ASSERT_EQ(first.first.size(), 2u);
+    for (std::size_t i = 0; i < first.first.size(); ++i) {
+        EXPECT_EQ(first.first[i].raw(), second.first[i].raw());
+        EXPECT_EQ(first.first[i].raw(), fresh.first[i].raw());
+    }
+    EXPECT_EQ(first.second, second.second);
+    EXPECT_EQ(first.second, fresh.second);
+}
+
+TEST(Campaign, RunReportJsonEmbedsTheCampaignSummary)
+{
+    RunnerOptions opts;
+    opts.batch = 2;
+    const Runner runner("tinycnn", kSeed, opts);
+    Grid tiny;
+    tiny.stuckRate = {0.0, 0.01};
+    const auto report = runner.run(tiny);
+
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 1);
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights, {});
+    const auto json = core::runReportJson(model, report);
+    EXPECT_NE(json.find("\"campaign\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"content_hash\": "), std::string::npos);
+    EXPECT_NE(json.find(report.summaryJson()), std::string::npos);
+}
+
+} // namespace
+} // namespace isaac::campaign

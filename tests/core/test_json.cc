@@ -41,10 +41,10 @@ TEST(Json, ConfigSerializes)
 {
     const auto json = toJson(arch::IsaacConfig::isaacCE());
     EXPECT_TRUE(balanced(json));
-    EXPECT_NE(json.find("\"label\":\"H128-A8-C8-I12\""),
+    EXPECT_NE(json.find("\"label\": \"H128-A8-C8-I12\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"adcBits\":8"), std::string::npos);
-    EXPECT_NE(json.find("\"flipEncoding\":true"),
+    EXPECT_NE(json.find("\"adcBits\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"flipEncoding\": true"),
               std::string::npos);
 }
 
@@ -55,9 +55,9 @@ TEST(Json, PlanSerializesWithLayers)
         net, arch::IsaacConfig::isaacCE(), 1);
     const auto json = toJson(net, plan);
     EXPECT_TRUE(balanced(json));
-    EXPECT_NE(json.find("\"network\":\"TinyCNN\""),
+    EXPECT_NE(json.find("\"network\": \"TinyCNN\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"layers\":["), std::string::npos);
+    EXPECT_NE(json.find("\"layers\": ["), std::string::npos);
     EXPECT_NE(json.find("\"replication\""), std::string::npos);
 }
 
@@ -69,7 +69,7 @@ TEST(Json, PerfSerializesActivity)
     const auto json = toJson(perf);
     EXPECT_TRUE(balanced(json));
     EXPECT_NE(json.find("\"imagesPerSec\""), std::string::npos);
-    EXPECT_NE(json.find("\"activity\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"activity\": {"), std::string::npos);
     EXPECT_NE(json.find("\"adcJ\""), std::string::npos);
 }
 
@@ -96,7 +96,7 @@ TEST(Json, UnfitPerfSerializesFalse)
     const auto perf = pipeline::analyzeIsaac(
         net, arch::IsaacConfig::isaacCE(), 8);
     const auto json = toJson(perf);
-    EXPECT_NE(json.find("\"fits\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"fits\": false"), std::string::npos);
 }
 
 } // namespace

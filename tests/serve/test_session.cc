@@ -357,6 +357,128 @@ TEST(Session, InvalidOptionsAreFatal)
                  FatalError);
 }
 
+TEST(Session, TrySubmitForAdmitsWhenThereIsRoom)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 3);
+    const core::CompileOptions opts;
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights, opts);
+    const auto input = makeInputs(net, 1, opts.format)[0];
+
+    InferenceSession session(model);
+    std::future<nn::Tensor> fut;
+    ASSERT_TRUE(session.trySubmitFor(input, fut,
+                                     std::chrono::seconds(10)));
+    session.drain();
+    EXPECT_EQ(fut.get().raw(), model.infer(input).raw());
+    EXPECT_EQ(session.stats().rejected, 0u);
+    EXPECT_EQ(session.stats().timedOut, 0u);
+}
+
+TEST(Session, TrySubmitForGivesUpOnAPersistentlyFullQueue)
+{
+    // queueDepth 1 with an in-flight image: a bounded wait shorter
+    // than one inference must give up (counted rejected), even
+    // though the waiter helps execute steps while it waits — helping
+    // cannot finish the image before the timeout. Read noise forces
+    // the scalar path (tens of ms per image), so no scheduler stall
+    // can complete the in-flight image under the 1 ms budget.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 4);
+    const core::CompileOptions opts;
+    arch::IsaacConfig cfg;
+    cfg.engine.noise.sigmaLsb = 0.3;
+    cfg.engine.noise.seed = 99;
+    const core::Accelerator acc(cfg);
+    const auto model = acc.compile(net, weights, opts);
+    const auto input = makeInputs(net, 1, opts.format)[0];
+
+    SessionOptions sopts;
+    sopts.queueDepth = 1;
+    sopts.workers = 1;
+    InferenceSession session(model, sopts);
+    std::future<nn::Tensor> first;
+    ASSERT_TRUE(session.trySubmit(input, first));
+    std::future<nn::Tensor> second;
+    EXPECT_FALSE(session.trySubmitFor(
+        input, second, std::chrono::milliseconds(1)));
+    EXPECT_EQ(session.stats().rejected, 1u);
+    session.drain();
+    EXPECT_NO_THROW((void)first.get());
+}
+
+TEST(Session, TrySubmitForOnAClosedSessionRefusesInsteadOfFatal)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 5);
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights);
+    const auto input = makeInputs(net, 1, {12})[0];
+
+    InferenceSession session(model);
+    session.shutdown();
+    std::future<nn::Tensor> out;
+    EXPECT_FALSE(session.trySubmitFor(input, out,
+                                      std::chrono::seconds(1)));
+    EXPECT_EQ(session.stats().rejected, 1u);
+}
+
+TEST(Session, ExpiredDefaultDeadlineFailsTheFutureAndCounts)
+{
+    // A deadline that has already passed when the first slice runs:
+    // the request completes as timed out — its future carries
+    // DeadlineExceeded, no partial result leaks, and the session
+    // still drains cleanly.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 6);
+    const core::CompileOptions opts;
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights, opts);
+    const auto inputs = makeInputs(net, 2, opts.format);
+
+    SessionOptions sopts;
+    sopts.queueDepth = 2;
+    sopts.workers = 1;
+    sopts.defaultDeadline = std::chrono::nanoseconds(1);
+    InferenceSession session(model, sopts);
+    auto futA = session.submit(inputs[0]);
+    auto futAll = session.submitAll(inputs[1]);
+    session.drain();
+    EXPECT_THROW((void)futA.get(), DeadlineExceeded);
+    EXPECT_THROW((void)futAll.get(), DeadlineExceeded);
+
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.timedOut, 2u);
+    EXPECT_EQ(session.inFlight(), 0u);
+}
+
+TEST(Session, GenerousDeadlineNeverFiresAndPreservesResults)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 8);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(protectedConfig());
+    const auto inputs = makeInputs(net, 3, opts.format);
+
+    const auto seq = acc.compile(net, weights, opts);
+    const auto want = seq.inferBatch(inputs);
+
+    const auto model = acc.compile(net, weights, opts);
+    SessionOptions sopts;
+    sopts.queueDepth = inputs.size();
+    sopts.workers = 2;
+    sopts.defaultDeadline = std::chrono::minutes(10);
+    InferenceSession session(model, sopts);
+    const auto got = session.run(inputs);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].raw(), want[i].raw());
+    EXPECT_EQ(session.stats().timedOut, 0u);
+}
+
 TEST(Session, WiderSlicesPreserveResults)
 {
     // stepsPerSlice only trades scheduling granularity; results and
