@@ -115,11 +115,52 @@ if zero["min_agreement"] != 1.0 or zero["max_rel_err"] != 0:
         "%s)" % (zero["min_agreement"], zero["max_rel_err"]))
 EOF
 
+echo "== self-heal gate: scripted faults repaired under live serving =="
+# bench_selfheal soaks the streaming session through both scripted
+# fault timelines (stuck-cell burst -> spare remap; tile kill ->
+# degrade + plan migration) at 1/2/4 workers and writes
+# BENCH_selfheal.json. The gate pins the three invariants the
+# self-healing layer stands on: every scripted fault is detected and
+# resolved while serving continues, every completed request is
+# bit-exact against a fault-free twin (zero silently-wrong results),
+# and the canonical recovery log is byte-identical across worker
+# counts for the fixed seed.
+(cd build && ./bench/bench_selfheal \
+    --benchmark_filter='^$' >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/BENCH_selfheal.json") as f:
+    bench = json.load(f)
+gate = bench["gate"]
+resolved = bench["canonical"]["resolved"]
+print("selfheal: %d faults resolved, recovery_complete=%s, "
+      "incorrect_results=%d, canonical_invariant=%s" %
+      (resolved, gate["recovery_complete"],
+       gate["incorrect_results"], gate["canonical_invariant"]))
+if not gate["recovery_complete"]:
+    raise SystemExit(
+        "selfheal gate FAILED: a scripted fault was not detected "
+        "and repaired (or a request failed its heal retries)")
+if gate["incorrect_results"] != 0:
+    raise SystemExit(
+        "selfheal gate FAILED: %d completed requests diverged from "
+        "the fault-free twin (must be zero — silently-wrong results)"
+        % gate["incorrect_results"])
+if not gate["canonical_invariant"]:
+    raise SystemExit(
+        "selfheal gate FAILED: the canonical recovery log differs "
+        "across worker counts (nondeterministic repair)")
+if resolved != 2:
+    raise SystemExit(
+        "selfheal gate FAILED: expected both timeline events "
+        "resolved, got %d" % resolved)
+EOF
+
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DISAAC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j \
     --target test_common test_xbar test_sim test_resilience \
-    test_plan test_serve \
+    test_plan test_serve test_selfheal \
     >/dev/null
 
 echo "== TSan: thread pool / engine / sim / resilience suites =="
@@ -138,6 +179,13 @@ echo "== TSan: execution-plan IR + streaming session suites =="
 ./build-tsan/tests/test_plan --gtest_filter='-*Vgg1*'
 ./build-tsan/tests/test_serve
 
+echo "== TSan: self-healing watchdog suite (repair lock discipline) =="
+# The watchdog's exclusive repair quarantine races live layer-steps
+# on the shared side of the repair lock, and the shutdown test
+# races session teardown against an in-flight repair at 1/2/4/8
+# workers; TSan proves the _repairMtx -> _mtx lock discipline.
+./build-tsan/tests/test_selfheal
+
 echo "== TSan: fast-path equivalence suite (memo under threads) =="
 # The packed-path golden sweep runs engines at 1/2/4/8 threads with
 # the digit-vector memo racing to populate, and the batched sweep
@@ -150,7 +198,7 @@ echo "== AddressSanitizer build =="
 cmake -B build-asan -S . -DISAAC_SANITIZE=address >/dev/null
 cmake --build build-asan -j \
     --target test_common test_xbar test_sim test_resilience \
-    test_plan test_serve test_campaign \
+    test_plan test_serve test_selfheal test_campaign \
     >/dev/null
 
 echo "== ASan: thread pool / engine / sim / resilience suites =="
@@ -165,6 +213,12 @@ echo "== ASan: execution-plan IR + streaming session suites =="
 # promises; ASan guards the request lifetime across that hand-off.
 ./build-asan/tests/test_plan --gtest_filter='-*Vgg1*'
 ./build-asan/tests/test_serve
+
+echo "== ASan: self-healing watchdog suite (request lifetimes) =="
+# Heal retries re-queue requests through park/release hand-offs and
+# the degrade path rebuilds engines under live traffic; ASan guards
+# the request and engine lifetimes across both.
+./build-asan/tests/test_selfheal
 
 echo "== ASan: Monte Carlo smoke campaign (determinism + gate) =="
 # The smoke-grid campaign (3 write-noise levels x 3 stuck rates on
@@ -187,6 +241,7 @@ echo "== UndefinedBehaviorSanitizer build =="
 cmake -B build-ubsan -S . -DISAAC_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j \
     --target test_xbar test_noc test_resilience test_sim test_core \
+    test_serve test_selfheal test_campaign \
     >/dev/null
 
 echo "== UBSan: transient-error campaigns + host suites =="
@@ -197,5 +252,14 @@ print_stacktrace=1"
 ./build-ubsan/tests/test_resilience
 ./build-ubsan/tests/test_sim
 ./build-ubsan/tests/test_core --gtest_filter='TransientE2e.*'
+
+echo "== UBSan: serving + self-heal + campaign suites =="
+# The self-heal layer leans on shift/mask arithmetic (layer bitmasks,
+# generation counters, rail-level encoding) and the campaign parser
+# on from_chars range handling; UBSan guards both, plus the session
+# scheduler's index arithmetic under heal retries.
+./build-ubsan/tests/test_serve
+./build-ubsan/tests/test_selfheal
+./build-ubsan/tests/test_campaign
 
 echo "ci.sh: all green"

@@ -47,28 +47,21 @@ stuckModeFromToken(const std::string &token)
 
 namespace {
 
-double
-parseDouble(const std::string &s, const std::string &id)
+bool
+tryParseDouble(const std::string &s, double &v)
 {
-    double v = 0.0;
     const auto res =
         std::from_chars(s.data(), s.data() + s.size(), v);
-    if (res.ec != std::errc{} || res.ptr != s.data() + s.size())
-        fatal("campaign: bad number '" + s + "' in scenario id '" +
-              id + "'");
-    return v;
+    return res.ec == std::errc{} &&
+        res.ptr == s.data() + s.size() && std::isfinite(v);
 }
 
-std::uint64_t
-parseU64(const std::string &s, int base, const std::string &id)
+bool
+tryParseU64(const std::string &s, int base, std::uint64_t &v)
 {
-    std::uint64_t v = 0;
     const auto res =
         std::from_chars(s.data(), s.data() + s.size(), v, base);
-    if (res.ec != std::errc{} || res.ptr != s.data() + s.size())
-        fatal("campaign: bad integer '" + s + "' in scenario id '" +
-              id + "'");
-    return v;
+    return res.ec == std::errc{} && res.ptr == s.data() + s.size();
 }
 
 std::string
@@ -112,9 +105,15 @@ Scenario::id() const
     return out;
 }
 
-Scenario
-Scenario::parse(const std::string &id)
+std::optional<Scenario>
+Scenario::tryParse(const std::string &id, std::string *error)
 {
+    const auto fail =
+        [&](const std::string &msg) -> std::optional<Scenario> {
+        if (error != nullptr)
+            *error = msg + " in scenario id '" + id + "'";
+        return std::nullopt;
+    };
     Scenario s;
     std::unordered_set<std::string> seen;
     std::size_t pos = 0;
@@ -123,46 +122,90 @@ Scenario::parse(const std::string &id)
         const std::string pair = id.substr(pos, end - pos);
         const std::size_t eq = pair.find('=');
         if (eq == std::string::npos)
-            fatal("campaign: malformed scenario id '" + id + "'");
+            return fail("malformed key=value pair '" + pair + "'");
         const std::string key = pair.substr(0, eq);
         const std::string val = pair.substr(eq + 1);
+        if (key.empty())
+            return fail("empty key");
         if (!seen.insert(key).second)
-            fatal("campaign: duplicate key '" + key +
-                  "' in scenario id '" + id + "'");
-        if (key == "net")
+            return fail("duplicate key '" + key + "'");
+        double d = 0.0;
+        std::uint64_t u = 0;
+        if (key == "net") {
+            if (val.empty())
+                return fail("empty network name");
             s.network = val;
-        else if (key == "w")
-            s.writeSigma = parseDouble(val, id);
-        else if (key == "r")
-            s.readSigma = parseDouble(val, id);
-        else if (key == "d")
-            s.driftPerOp = parseDouble(val, id);
-        else if (key == "a")
-            s.driftAge = parseU64(val, 10, id);
-        else if (key == "k")
-            s.stuckRate = parseDouble(val, id);
-        else if (key == "m")
-            s.stuckMode = stuckModeFromToken(val);
-        else if (key == "sp")
-            s.spareCols = static_cast<int>(parseU64(val, 10, id));
-        else if (key == "adc")
-            s.adcBits = static_cast<int>(parseU64(val, 10, id));
-        else if (key == "t")
-            s.trial = static_cast<int>(parseU64(val, 10, id));
-        else if (key == "s")
-            s.masterSeed = parseU64(val, 16, id);
-        else
-            fatal("campaign: unknown key '" + key +
-                  "' in scenario id '" + id + "'");
+        } else if (key == "w" || key == "r" || key == "d" ||
+                   key == "k") {
+            if (!tryParseDouble(val, d) || d < 0.0) {
+                return fail("bad value '" + val + "' for key '" +
+                            key +
+                            "' (want a finite non-negative number)");
+            }
+            if (key == "w")
+                s.writeSigma = d;
+            else if (key == "r")
+                s.readSigma = d;
+            else if (key == "d")
+                s.driftPerOp = d;
+            else
+                s.stuckRate = d;
+        } else if (key == "a") {
+            if (!tryParseU64(val, 10, u))
+                return fail("bad drift age '" + val + "'");
+            s.driftAge = u;
+        } else if (key == "m") {
+            if (val == "rand")
+                s.stuckMode = xbar::StuckMode::RandomLevel;
+            else if (val == "on")
+                s.stuckMode = xbar::StuckMode::On;
+            else if (val == "off")
+                s.stuckMode = xbar::StuckMode::Off;
+            else
+                return fail("unknown stuck-mode token '" + val + "'");
+        } else if (key == "sp" || key == "adc" || key == "t") {
+            // Range-checked before the narrowing: a 64-bit count
+            // must not wrap the int field it lands in.
+            const std::uint64_t limit = key == "sp" ? 4096
+                : key == "adc"                      ? 24
+                : static_cast<std::uint64_t>(
+                      std::numeric_limits<int>::max());
+            if (!tryParseU64(val, 10, u) || u > limit) {
+                return fail("bad value '" + val + "' for key '" +
+                            key + "' (want an integer in [0, " +
+                            std::to_string(limit) + "])");
+            }
+            if (key == "sp")
+                s.spareCols = static_cast<int>(u);
+            else if (key == "adc")
+                s.adcBits = static_cast<int>(u);
+            else
+                s.trial = static_cast<int>(u);
+        } else if (key == "s") {
+            if (!tryParseU64(val, 16, u))
+                return fail("bad hex seed '" + val + "'");
+            s.masterSeed = u;
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
         pos = end + 1;
     }
     const char *required[] = {"net", "w",  "r",   "d", "a", "k",
                               "m",   "sp", "adc", "t", "s"};
     for (const char *key : required)
         if (!seen.count(key))
-            fatal(std::string("campaign: scenario id missing key '") +
-                  key + "': '" + id + "'");
+            return fail(std::string("missing key '") + key + "'");
     return s;
+}
+
+Scenario
+Scenario::parse(const std::string &id)
+{
+    std::string error;
+    auto s = tryParse(id, &error);
+    if (!s)
+        fatal("campaign: " + error);
+    return *s;
 }
 
 std::uint64_t

@@ -30,6 +30,7 @@
 #define ISAAC_CAMPAIGN_CAMPAIGN_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,19 @@ struct Scenario
 
     /** Inverse of id(); fatal() on a malformed identifier. */
     static Scenario parse(const std::string &id);
+
+    /**
+     * Non-throwing inverse of id(): std::nullopt — with a
+     * descriptive message in *error when non-null — for malformed,
+     * truncated, duplicated, unknown, out-of-range, or non-finite
+     * identifiers (replay tooling surfaces the message instead of
+     * dying; parse() is tryParse() + fatal()). Numeric fields are
+     * range-checked: rates/sigmas must be finite and non-negative,
+     * sp/adc/t must fit their int fields (adc <= 24, matching
+     * EngineConfig::adcBitsOverride).
+     */
+    static std::optional<Scenario>
+    tryParse(const std::string &id, std::string *error = nullptr);
 
     /**
      * The scenario's noise seed: a hash of (masterSeed, trial) only.

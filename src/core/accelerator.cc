@@ -67,24 +67,33 @@ CompiledModel::CompiledModel(const nn::Network &net,
         for (std::int64_t g = 0; g < groups; ++g) {
             const std::size_t base =
                 nn::WeightStore::index(l, g, 0, 0);
-            // Each engine instance models distinct physical arrays,
-            // so decorrelate its fault/noise streams per (layer,
-            // window group); the clean path is unaffected.
-            auto engineCfg = cfg.engine;
-            if (engineCfg.noise.anyEnabled()) {
-                engineCfg.noise.seed ^= 0x9E3779B97F4A7C15ull *
-                    (static_cast<std::uint64_t>(i) * 0x10001ull +
-                     static_cast<std::uint64_t>(g) + 1ull);
-            }
             layerEngines.push_back(
                 std::make_unique<xbar::BitSerialEngine>(
-                    engineCfg,
+                    engineConfigFor(i, g),
                     std::span<const Word>(
                         w.data() + base,
                         static_cast<std::size_t>(l.no) * len),
                     len, l.no));
         }
     }
+}
+
+xbar::EngineConfig
+CompiledModel::engineConfigFor(std::size_t layerIdx,
+                               std::int64_t group) const
+{
+    // Each engine instance models distinct physical arrays, so
+    // decorrelate its fault/noise streams per (layer, window group);
+    // the clean path is unaffected. degradeDotLayer() rebuilds
+    // through this same recipe, so a replacement engine draws the
+    // streams a fresh compile would.
+    auto engineCfg = cfg.engine;
+    if (engineCfg.noise.anyEnabled()) {
+        engineCfg.noise.seed ^= 0x9E3779B97F4A7C15ull *
+            (static_cast<std::uint64_t>(layerIdx) * 0x10001ull +
+             static_cast<std::uint64_t>(group) + 1ull);
+    }
+    return engineCfg;
 }
 
 nn::Tensor
@@ -342,6 +351,43 @@ CompiledModel::engine(std::size_t layerIdx, std::int64_t group) const
         group >= engineGroupCount(layerIdx))
         return nullptr;
     return engines[layerIdx][static_cast<std::size_t>(group)].get();
+}
+
+xbar::BitSerialEngine *
+CompiledModel::engineMut(std::size_t layerIdx, std::int64_t group)
+{
+    if (layerIdx >= engines.size() || group < 0 ||
+        group >= engineGroupCount(layerIdx))
+        return nullptr;
+    return engines[layerIdx][static_cast<std::size_t>(group)].get();
+}
+
+std::int64_t
+CompiledModel::degradeDotLayer(std::size_t layerIdx,
+                               std::int64_t group)
+{
+    requireFunctional("degradeDotLayer");
+    if (engineMut(layerIdx, group) == nullptr) {
+        fatal("CompiledModel::degradeDotLayer: no functional engine "
+              "for that (layer, group)");
+    }
+    const auto &l = net.layer(layerIdx);
+    const auto &w = weights.layer(layerIdx);
+    const auto len = static_cast<int>(l.dotLength());
+    const std::size_t base = nn::WeightStore::index(l, group, 0, 0);
+    // Rebuild on fresh arrays from the pristine weight store: the
+    // quarantined tile's unrepairable cells are replaced by healthy
+    // hardware, exactly as the chip simulator re-places a dead
+    // tile's weight copies onto survivors. The old engine's activity
+    // counters die with it.
+    engines[layerIdx][static_cast<std::size_t>(group)] =
+        std::make_unique<xbar::BitSerialEngine>(
+            engineConfigFor(layerIdx, group),
+            std::span<const Word>(
+                w.data() + base,
+                static_cast<std::size_t>(l.no) * len),
+            len, l.no);
+    return _ir.recordMigration(layerIdx);
 }
 
 int

@@ -162,6 +162,32 @@ class CompiledModel
     const xbar::BitSerialEngine *engine(std::size_t layerIdx,
                                         std::int64_t group = 0) const;
 
+    /**
+     * Mutable engine access for the self-healing supervisor
+     * (serve::HealthWatchdog): online repair (repairTile) and fault
+     * injection are structural mutations, so the caller must ensure
+     * no dotProduct() overlaps — the serving runtime's exclusive
+     * repair lock provides that. nullptr exactly when engine() is.
+     */
+    xbar::BitSerialEngine *engineMut(std::size_t layerIdx,
+                                     std::int64_t group = 0);
+
+    /**
+     * Graceful degradation: rebuild one layer's engine group from
+     * the weight store on fresh arrays — the functional analogue of
+     * the chip simulator's dead-tile server migration — and annotate
+     * the ExecutionPlan's Dot node through recordMigration() (tile
+     * grant shrinks, migratedCopies/degraded set). Returns the
+     * migrated copy count. The rebuilt engine reproduces the
+     * compile-time config (including the per-engine noise-seed salt),
+     * so its manufactured-defect and noise streams replay those of a
+     * fresh compile; its activity counters restart from zero (the
+     * quarantined tile's history dies with it). Must not overlap
+     * in-flight inferences — hold the repair lock.
+     */
+    std::int64_t degradeDotLayer(std::size_t layerIdx,
+                                 std::int64_t group = 0);
+
     /** Aggregate fault census across every functional engine. */
     resilience::ArrayFaultReport faultReport() const;
 
@@ -223,6 +249,14 @@ class CompiledModel
 
     /** fatal() unless functional engines exist; names the knob. */
     void requireFunctional(const char *what) const;
+
+    /**
+     * The engine config one (layer, group) was compiled with,
+     * including the per-engine noise-seed decorrelation salt — the
+     * one recipe compile and degradeDotLayer() share.
+     */
+    xbar::EngineConfig engineConfigFor(std::size_t layerIdx,
+                                       std::int64_t group) const;
 
     const nn::Network &net;
     const nn::WeightStore &weights;

@@ -41,6 +41,29 @@ ExecutionPlan::lower(const nn::Network &net, const PipelinePlan &plan)
     return build(net, &plan);
 }
 
+std::int64_t
+ExecutionPlan::recordMigration(std::size_t layer)
+{
+    for (auto &node : _nodes) {
+        if (node.kind != StepKind::Dot || node.layer != layer)
+            continue;
+        // The chip simulator's policy for a killed tile: its share of
+        // the replicated weight copies moves round-robin onto the
+        // layer's surviving tiles (sim counts them as
+        // remappedServers); here only the accounting lands because
+        // the functional rebuild re-places the weights itself.
+        const std::int64_t hosts =
+            std::max<std::int64_t>(node.tiles, 1);
+        const std::int64_t copies =
+            (node.replication + hosts - 1) / hosts;
+        node.tiles = std::max<std::int64_t>(1, node.tiles - 1);
+        node.migratedCopies += copies;
+        node.degraded = true;
+        return copies;
+    }
+    fatal("ExecutionPlan::recordMigration: layer has no Dot node");
+}
+
 ExecutionPlan
 ExecutionPlan::build(const nn::Network &net, const PipelinePlan *plan)
 {

@@ -100,6 +100,17 @@ struct StepNode
     /** Staged eDRAM buffer bytes (StageIn nodes). */
     std::int64_t bufferBytes = 0;
 
+    /**
+     * Weight copies re-placed onto surviving tiles by graceful
+     * degradation (recordMigration; the functional analogue of the
+     * chip simulator's dead-tile server migration). 0 until a tile
+     * of this layer dies unrepaired.
+     */
+    std::int64_t migratedCopies = 0;
+
+    /** True once the layer lost a tile to an unrepairable fault. */
+    bool degraded = false;
+
     /** Edges: node ids that must complete before this one. */
     std::vector<int> producers;
 
@@ -156,6 +167,21 @@ class ExecutionPlan
      * tests can assert it.
      */
     bool topologicallyOrdered() const;
+
+    /**
+     * Record a graceful-degradation re-placement on `layer`'s Dot
+     * node, reusing the chip simulator's migration policy (see
+     * sim::FailureSpec tile kills): the dead tile's share of the
+     * replicated weight copies — ceil(replication / tiles) — moves
+     * round-robin onto the layer's survivors, the tile grant shrinks
+     * by one, and the node is marked degraded. Returns the migrated
+     * copy count. This is the one sanctioned mutation of a lowered
+     * plan ("immutable" above means the *graph* — nodes, edges, ids —
+     * never changes; degradation only re-tags resources), performed
+     * by serve::HealthWatchdog under its exclusive repair lock.
+     * fatal() when the layer has no Dot node.
+     */
+    std::int64_t recordMigration(std::size_t layer);
 
     /**
      * Ready-time precompute shared by the cycle-level simulators:

@@ -9,6 +9,20 @@
 
 namespace isaac::serve {
 
+const char *
+toString(SessionState state)
+{
+    switch (state) {
+      case SessionState::Healthy:
+        return "healthy";
+      case SessionState::Repairing:
+        return "repairing";
+      case SessionState::Degraded:
+        return "degraded";
+    }
+    return "?";
+}
+
 InferenceSession::InferenceSession(const core::CompiledModel &model,
                                    SessionOptions opts)
     : _model(model), _opts(opts)
@@ -26,6 +40,8 @@ InferenceSession::InferenceSession(const core::CompiledModel &model,
         fatal("InferenceSession: workers must be >= 0");
     if (_opts.stepsPerSlice < 1)
         fatal("InferenceSession: stepsPerSlice must be >= 1");
+    if (_opts.healRetryBudget < 0)
+        fatal("InferenceSession: healRetryBudget must be >= 0");
 
     const unsigned hc = std::thread::hardware_concurrency();
     const int resolved = _opts.workers == 0
@@ -50,6 +66,9 @@ std::future<nn::Tensor>
 InferenceSession::submit(nn::Tensor input)
 {
     auto req = std::make_unique<Request>();
+    // The original input is retained so a self-heal retry can
+    // re-execute the request from the top on the same image key.
+    req->original = input;
     req->cur = std::move(input);
     auto fut = req->promiseFinal.get_future();
     enqueue(std::move(req), /*block=*/true);
@@ -61,6 +80,7 @@ InferenceSession::trySubmit(nn::Tensor input,
                             std::future<nn::Tensor> &out)
 {
     auto req = std::make_unique<Request>();
+    req->original = input;
     req->cur = std::move(input);
     auto fut = req->promiseFinal.get_future();
     if (!enqueue(std::move(req), /*block=*/false))
@@ -75,6 +95,7 @@ InferenceSession::trySubmitFor(nn::Tensor input,
                                std::chrono::nanoseconds timeout)
 {
     auto req = std::make_unique<Request>();
+    req->original = input;
     req->cur = std::move(input);
     auto fut = req->promiseFinal.get_future();
     const auto admitBy = std::chrono::steady_clock::now() +
@@ -89,6 +110,7 @@ std::future<std::vector<nn::Tensor>>
 InferenceSession::submitAll(nn::Tensor input)
 {
     auto req = std::make_unique<Request>();
+    req->original = input;
     req->cur = std::move(input);
     req->keepAll = true;
     auto fut = req->promiseAll.get_future();
@@ -139,7 +161,17 @@ InferenceSession::enqueue(std::unique_ptr<Request> req, bool block,
             ++_stats.rejected;
             return false;
         }
-        if (_inFlight < _opts.queueDepth)
+        // Load shedding: while a repair runs the session admits at
+        // half depth, pushing backpressure to trySubmit/trySubmitFor
+        // callers instead of queueing work behind the repair lock.
+        // Parked requests do not count against the depth — they
+        // cannot drain until the watchdog acts, so counting them
+        // would deadlock a blocked submitter against the poller.
+        const std::size_t depth =
+            state() == SessionState::Repairing
+                ? std::max<std::size_t>(1, _opts.queueDepth / 2)
+                : _opts.queueDepth;
+        if (_inFlight - _parked.size() < depth)
             break;
         if (!block ||
             (admitBy != kForever &&
@@ -165,6 +197,7 @@ InferenceSession::enqueue(std::unique_ptr<Request> req, bool block,
     // Claiming under the admission lock makes key order == admission
     // order: the injection streams replay a sequential walk exactly.
     req->imageKey = _model.claimImageKeys(1);
+    req->startGen = _gen;
     if (_opts.defaultDeadline.count() > 0) {
         req->deadline =
             std::chrono::steady_clock::now() + _opts.defaultDeadline;
@@ -216,31 +249,94 @@ InferenceSession::step(std::unique_ptr<Request> req)
 {
     const auto &nodes = _model.executionPlan().nodes();
     std::uint64_t executed = 0;
+    std::uint64_t skipped = 0;
     bool failed = false;
-    const bool expired = expireIfPastDeadline(*req);
+    bool expired = expireIfPastDeadline(*req);
     failed = expired;
-    for (int budget = expired ? 0 : _opts.stepsPerSlice;
-         budget > 0 && req->nodeIdx < nodes.size(); --budget) {
-        const auto &node = nodes[req->nodeIdx];
-        try {
-            _model.executeStep(node, req->cur, req->imageKey,
-                               req->local);
-        } catch (...) {
-            if (req->keepAll)
-                req->promiseAll.set_exception(
-                    std::current_exception());
-            else
-                req->promiseFinal.set_exception(
-                    std::current_exception());
-            failed = true;
-            break;
+    if (!expired) {
+        // Layer-steps run under the shared side of the repair lock:
+        // the watchdog's exclusive hold (fault injection, march-test
+        // remap, degradation) excludes every in-flight step, while
+        // steps never block each other. Released before _mtx below
+        // (lock order: _repairMtx -> _mtx, never the inverse).
+        std::shared_lock<std::shared_mutex> repair(_repairMtx);
+        for (int budget = _opts.stepsPerSlice;
+             budget > 0 && req->nodeIdx < nodes.size(); --budget) {
+            // Re-check the deadline at every node, not just the
+            // slice boundary: once the request is late, burning Dot
+            // work on a result nobody will read only steals worker
+            // time from live requests.
+            if (executed > 0 && expireIfPastDeadline(*req)) {
+                expired = true;
+                failed = true;
+                break;
+            }
+            const auto &node = nodes[req->nodeIdx];
+            try {
+                _model.executeStep(node, req->cur, req->imageKey,
+                                   req->local);
+            } catch (...) {
+                if (req->keepAll)
+                    req->promiseAll.set_exception(
+                        std::current_exception());
+                else
+                    req->promiseFinal.set_exception(
+                        std::current_exception());
+                failed = true;
+                break;
+            }
+            if (node.kind == pipeline::StepKind::Dot)
+                req->touchedLayers |= layerBit(node.layer);
+            if (node.layerOutput && req->keepAll)
+                req->outs.push_back(req->cur);
+            ++req->nodeIdx;
+            ++executed;
         }
-        if (node.layerOutput && req->keepAll)
-            req->outs.push_back(req->cur);
-        ++req->nodeIdx;
-        ++executed;
     }
+    if (expired)
+        skipped = nodes.size() - req->nodeIdx;
     const bool done = failed || req->nodeIdx >= nodes.size();
+    if (done && !failed) {
+        // Before delivering, hold the result against the fault
+        // records: a request whose Dot steps overlapped a faulty
+        // epoch is never completed as-is (zero silently-wrong
+        // results). Clean requests fall through and fulfill outside
+        // the lock, exactly like the pre-self-healing path. A fault
+        // injected *after* this check cannot retroactively corrupt
+        // reads that already happened: injection holds the repair
+        // lock exclusively, so every one of this request's steps
+        // finished strictly before it.
+        std::unique_lock<std::mutex> lk(_mtx);
+        const Taint taint = taintLocked(*req);
+        if (taint.tainted) {
+            _stats.stepsExecuted += executed;
+            if (req->heals >= _opts.healRetryBudget) {
+                failHealLocked(
+                    std::move(req),
+                    "InferenceSession: request overlapped a faulty "
+                    "epoch and exhausted its heal-retry budget");
+            } else if (taint.awaitingRepair) {
+                if (_closed) {
+                    failHealLocked(
+                        std::move(req),
+                        "InferenceSession: session shut down while "
+                        "the request awaited an online repair");
+                } else {
+                    // Park until the watchdog lands the repair:
+                    // re-running now would read the faulty tile
+                    // again.
+                    _parked.push_back(std::move(req));
+                }
+            } else {
+                // The overlapped fault is repaired: re-execute from
+                // the original input on the same image key (the
+                // per-image injection streams replay exactly).
+                resetForHealLocked(*req);
+                makeReady(std::move(req), lk);
+            }
+            return;
+        }
+    }
     if (done && !failed) {
         _model.finishImage(req->local);
         if (req->keepAll)
@@ -250,15 +346,108 @@ InferenceSession::step(std::unique_ptr<Request> req)
     }
     std::unique_lock<std::mutex> lk(_mtx);
     _stats.stepsExecuted += executed;
+    _stats.expiredStepsSkipped += skipped;
     if (expired)
         ++_stats.timedOut;
-    if (done) {
-        --_inFlight;
-        ++_stats.completed;
-        _cvSpace.notify_all();
-        _cvWork.notify_all();
-    } else {
+    if (done)
+        completeLocked();
+    else
         makeReady(std::move(req), lk);
+}
+
+void
+InferenceSession::completeLocked()
+{
+    --_inFlight;
+    ++_stats.completed;
+    _cvSpace.notify_all();
+    _cvWork.notify_all();
+}
+
+InferenceSession::Taint
+InferenceSession::taintLocked(const Request &req) const
+{
+    Taint t;
+    for (const auto &f : _faults) {
+        if ((f.layerMask & req.touchedLayers) == 0)
+            continue;
+        if (f.repairedGen == 0) {
+            // Pending fault on a touched layer: suspect, and
+            // re-running before the repair would be suspect again.
+            t.tainted = true;
+            t.awaitingRepair = true;
+        } else if (f.repairedGen > req.startGen) {
+            // Repaired after this request (re)started: some of its
+            // reads may predate the repair. Conservative — a request
+            // admitted after the injection but healed anyway only
+            // costs a retry, never a wrong result.
+            t.tainted = true;
+        }
+    }
+    return t;
+}
+
+void
+InferenceSession::resetForHealLocked(Request &req)
+{
+    req.cur = req.original;
+    req.nodeIdx = 0;
+    req.local = {};
+    req.outs.clear();
+    req.touchedLayers = 0;
+    req.startGen = _gen;
+    ++req.heals;
+    ++_stats.healedRetries;
+}
+
+void
+InferenceSession::failHealLocked(std::unique_ptr<Request> req,
+                                 const char *what)
+{
+    ++_stats.healFailed;
+    completeLocked();
+    auto err = std::make_exception_ptr(RetriesExhausted(what));
+    if (req->keepAll)
+        req->promiseAll.set_exception(std::move(err));
+    else
+        req->promiseFinal.set_exception(std::move(err));
+}
+
+std::size_t
+InferenceSession::noteFaultInjected(std::uint64_t layerMask)
+{
+    std::lock_guard<std::mutex> lk(_mtx);
+    ++_gen;
+    _faults.push_back(FaultRecord{layerMask, _gen, 0});
+    return _faults.size() - 1;
+}
+
+void
+InferenceSession::noteFaultRepaired(std::size_t token)
+{
+    std::unique_lock<std::mutex> lk(_mtx);
+    ++_gen;
+    _faults.at(token).repairedGen = _gen;
+    // Release every parked request whose overlapping faults are all
+    // resolved now: each re-executes from its original input, or
+    // fails explicitly past its heal budget.
+    for (std::size_t i = 0; i < _parked.size();) {
+        if (taintLocked(*_parked[i]).awaitingRepair) {
+            ++i;
+            continue;
+        }
+        auto req = std::move(_parked[i]);
+        _parked.erase(_parked.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+        if (req->heals >= _opts.healRetryBudget) {
+            failHealLocked(
+                std::move(req),
+                "InferenceSession: request overlapped a faulty epoch "
+                "and exhausted its heal-retry budget");
+        } else {
+            resetForHealLocked(*req);
+            makeReady(std::move(req), lk);
+        }
     }
 }
 
@@ -299,6 +488,17 @@ InferenceSession::drainLocked(std::unique_lock<std::mutex> &lk)
             lk.unlock();
             step(std::move(req));
             lk.lock();
+        } else if (_closed && !_parked.empty()) {
+            // Shutdown with requests parked on a pending repair: no
+            // further watchdog poll is guaranteed, and a parked
+            // result is suspect by definition — fail it explicitly
+            // rather than deliver it or hang the drain.
+            auto req = std::move(_parked.front());
+            _parked.erase(_parked.begin());
+            failHealLocked(
+                std::move(req),
+                "InferenceSession: session shut down while the "
+                "request awaited an online repair");
         } else {
             // Another worker holds every in-flight request; wake on
             // requeue or completion (timed: belt-and-braces against

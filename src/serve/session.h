@@ -25,11 +25,28 @@
  * Scheduler workers never block, so the session cannot deadlock even
  * when the pool is saturated; drain() lends the calling thread to
  * step execution until the session is empty.
+ *
+ * Self-healing (docs/resilience.md, ARCHITECTURE.md §11): the
+ * session cooperates with serve::HealthWatchdog to survive crossbar
+ * faults that surface mid-soak. Layer-steps run under the shared
+ * side of a repair lock; the watchdog's fault injection, march-test
+ * remap, and degradation hold it exclusively. Every request records
+ * which Dot layers it touched and at which fault generation it
+ * started, so a request that overlapped a faulty epoch is never
+ * completed as-is: it parks until the repair lands, then re-executes
+ * from its original input on the same image key (bounded by
+ * SessionOptions::healRetryBudget, counted in
+ * SessionStats::healedRetries), or fails explicitly with
+ * RetriesExhausted — zero silently-wrong results. While a repair
+ * runs the session reports SessionState::Repairing and sheds load by
+ * halving its admission depth (trySubmit/trySubmitFor backpressure);
+ * after an unrepairable tile is degraded around it reports Degraded.
  */
 
 #ifndef ISAAC_SERVE_SESSION_H
 #define ISAAC_SERVE_SESSION_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -37,6 +54,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -57,6 +75,48 @@ class DeadlineExceeded : public std::runtime_error
   public:
     using std::runtime_error::runtime_error;
 };
+
+/**
+ * Thrown through a request's future when the request overlapped a
+ * faulty epoch and could not be healed: either its per-request heal
+ * budget (SessionOptions::healRetryBudget) ran out, or the session
+ * shut down while the request was parked awaiting an online repair.
+ * The request's result was suspect and is never delivered —
+ * explicit failure instead of a silently-wrong value.
+ */
+class RetriesExhausted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Serving health of one session (the self-healing state machine;
+ * docs/resilience.md). Healthy -> Repairing while the watchdog holds
+ * the repair lock (admission depth halves), then back to Healthy —
+ * or to Degraded once any tile was unrepairable and the model
+ * degraded around it (Degraded is sticky: capacity was permanently
+ * lost, though results stay exact on the rebuilt engines).
+ */
+enum class SessionState
+{
+    Healthy,
+    Repairing,
+    Degraded,
+};
+
+const char *toString(SessionState state);
+
+/**
+ * Bit of one network layer in a fault / touched-layers mask (layers
+ * >= 63 share the top bit — conservative: they alias, which can only
+ * cause extra heals, never a missed one).
+ */
+inline std::uint64_t
+layerBit(std::size_t layer)
+{
+    return std::uint64_t{1} << (layer < 63 ? layer : 63);
+}
 
 /** Static configuration of one session. */
 struct SessionOptions
@@ -93,6 +153,16 @@ struct SessionOptions
      * for runs where no deadline fires.
      */
     std::chrono::nanoseconds defaultDeadline{0};
+
+    /**
+     * Re-executions granted to one request whose layer-steps
+     * overlapped a faulty epoch (the watchdog repaired a tile the
+     * request had read through). Each heal restarts the request from
+     * its original input on the same image key; past the budget the
+     * request fails with RetriesExhausted instead of delivering a
+     * suspect result.
+     */
+    int healRetryBudget = 3;
 };
 
 /** Activity counters of one session (monotonic over its lifetime). */
@@ -104,6 +174,12 @@ struct SessionStats
     std::uint64_t stepsExecuted = 0; ///< IR nodes executed.
     std::uint64_t peakInFlight = 0;  ///< Max concurrent admissions.
     std::uint64_t timedOut = 0;      ///< Requests past their deadline.
+    /** IR nodes an expired request skipped instead of executing. */
+    std::uint64_t expiredStepsSkipped = 0;
+    /** Fault-tainted requests re-executed after a repair landed. */
+    std::uint64_t healedRetries = 0;
+    /** Tainted requests failed (budget exhausted / shutdown). */
+    std::uint64_t healFailed = 0;
 
     bool operator==(const SessionStats &) const = default;
 };
@@ -190,6 +266,15 @@ class InferenceSession
     /** Lifetime activity counters. */
     SessionStats stats() const;
 
+    /**
+     * Current serving health (Healthy / Repairing / Degraded). Only
+     * a HealthWatchdog moves it; sessions without one stay Healthy.
+     */
+    SessionState state() const
+    {
+        return _state.load(std::memory_order_relaxed);
+    }
+
     const core::CompiledModel &model() const { return _model; }
 
   private:
@@ -198,6 +283,9 @@ class InferenceSession
     {
         std::uint64_t imageKey = 0;
         nn::Tensor cur;
+        /** The submitted input, retained so a heal can re-execute
+         *  the request from the top on the same image key. */
+        nn::Tensor original;
         std::size_t nodeIdx = 0; ///< Next IR node to execute.
         resilience::TransientStats local;
         bool keepAll = false;
@@ -207,6 +295,27 @@ class InferenceSession
         /** Abandon-after time; max() = no deadline. */
         std::chrono::steady_clock::time_point deadline =
             std::chrono::steady_clock::time_point::max();
+        /** Dot layers executed since (re)start (layerBit mask). */
+        std::uint64_t touchedLayers = 0;
+        /** Fault generation at (re)start; a fault repaired at a
+         *  later generation taints any layer-overlap. */
+        std::uint64_t startGen = 0;
+        int heals = 0; ///< Re-executions consumed.
+    };
+
+    /** One injected fault's lifecycle (taint bookkeeping). */
+    struct FaultRecord
+    {
+        std::uint64_t layerMask = 0;   ///< Layers it can corrupt.
+        std::uint64_t injectedGen = 0; ///< Generation when injected.
+        std::uint64_t repairedGen = 0; ///< 0 = repair still pending.
+    };
+
+    /** Taint verdict for one request at completion. */
+    struct Taint
+    {
+        bool tainted = false;        ///< Result is suspect.
+        bool awaitingRepair = false; ///< Some overlap not yet fixed.
     };
 
     /**
@@ -239,6 +348,40 @@ class InferenceSession
     /** Worker body: drain the ready queue until it is empty. */
     void pump();
 
+    /** Decrement in-flight, count a completion, wake waiters. */
+    void completeLocked();
+
+    /** Taint verdict of `req` against the fault records (_mtx held). */
+    Taint taintLocked(const Request &req) const;
+
+    /** Rewind `req` to its original input for a heal (_mtx held). */
+    void resetForHealLocked(Request &req);
+
+    /** Fail a tainted request with RetriesExhausted (_mtx held). */
+    void failHealLocked(std::unique_ptr<Request> req,
+                        const char *what);
+
+    // --- HealthWatchdog interface (see serve/supervisor.h) ---
+
+    /**
+     * Record an injected fault on the layers in `layerMask`; returns
+     * a token for noteFaultRepaired(). Called by the watchdog while
+     * it holds the repair lock exclusively, so every request either
+     * finished its current step strictly before the fault existed or
+     * will see this record when it completes.
+     */
+    std::size_t noteFaultInjected(std::uint64_t layerMask);
+
+    /**
+     * Mark a fault repaired (or degraded around) and release every
+     * parked request whose overlapping faults are now all resolved:
+     * each re-executes from its original input, or fails with
+     * RetriesExhausted past its heal budget.
+     */
+    void noteFaultRepaired(std::size_t token);
+
+    friend class HealthWatchdog;
+
     const core::CompiledModel &_model;
     SessionOptions _opts;
     int _workers; ///< Resolved worker count.
@@ -251,6 +394,34 @@ class InferenceSession
     int _activePumps = 0;
     bool _closed = false;
     SessionStats _stats;
+
+    /**
+     * The repair lock: layer-steps execute under the shared side, so
+     * the watchdog's exclusive hold (fault injection, march-test
+     * remap, degradation) excludes every in-flight step while steps
+     * never block each other. Lock order: _repairMtx before _mtx,
+     * never the inverse (step() releases it before taking _mtx; the
+     * watchdog nests _mtx inside its exclusive hold).
+     */
+    std::shared_mutex _repairMtx;
+
+    /** Serving state; written by the watchdog, read by admission. */
+    std::atomic<SessionState> _state{SessionState::Healthy};
+
+    /** Injected-fault lifecycle records (guarded by _mtx). */
+    std::vector<FaultRecord> _faults;
+
+    /** Fault generation clock (guarded by _mtx). */
+    std::uint64_t _gen = 0;
+
+    /**
+     * Requests whose results overlapped a still-pending fault,
+     * waiting for its repair (guarded by _mtx). Parked requests
+     * count in _inFlight but not against the admission depth — they
+     * cannot drain until the watchdog acts, so counting them would
+     * deadlock a blocked submitter against the poller.
+     */
+    std::vector<std::unique_ptr<Request>> _parked;
 };
 
 } // namespace isaac::serve

@@ -1,0 +1,343 @@
+#include "serve/supervisor.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/json_writer.h"
+
+namespace isaac::serve {
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::StuckBurst:
+        return "stuck-burst";
+      case FaultKind::TileKill:
+        return "tile-kill";
+    }
+    return "?";
+}
+
+std::string
+RecoveryLog::canonicalJson() const
+{
+    core::JsonArray arr;
+    for (const auto &r : records) {
+        arr.item(core::JsonObject()
+                     .field("event", r.eventIndex)
+                     .field("kind", toString(r.event.kind))
+                     .field("at_admission", r.event.atAdmission)
+                     .field("layer",
+                            static_cast<std::uint64_t>(r.event.layer))
+                     .field("group", r.event.group)
+                     .field("rs", r.event.rs)
+                     .field("cs", r.event.cs)
+                     .field("cells", r.event.cells)
+                     .field("seed", r.event.seed)
+                     .field("faults_found", r.faultsFound)
+                     .field("remapped_columns", r.remappedColumns)
+                     .field("uncorrectable_cells",
+                            r.uncorrectableCells)
+                     .field("degraded", r.degraded)
+                     .field("migrated_copies", r.migratedCopies)
+                     .str());
+    }
+    return core::JsonObject()
+        .field("resolved",
+               static_cast<std::uint64_t>(records.size()))
+        .raw("records", arr.str())
+        .str();
+}
+
+std::string
+RecoveryLog::toJson() const
+{
+    return core::JsonObject()
+        .raw("canonical", canonicalJson())
+        .field("polls", polls)
+        .field("breaches_detected", breachesDetected)
+        .field("forced_repairs", forcedRepairs)
+        .field("ecc_spikes", eccSpikes)
+        .str();
+}
+
+HealthWatchdog::HealthWatchdog(core::CompiledModel &model,
+                               InferenceSession &session,
+                               FaultTimeline timeline,
+                               WatchdogPolicy policy)
+    : _model(model), _session(session),
+      _timeline(std::move(timeline)), _policy(policy)
+{
+    if (&_session.model() != &_model) {
+        fatal("HealthWatchdog: the session serves a different "
+              "CompiledModel than the one supervised");
+    }
+    if (!_model.isFunctional())
+        fatal("HealthWatchdog: the model must be functional");
+    for (std::size_t i = 0; i < _timeline.events.size(); ++i) {
+        const auto &e = _timeline.events[i];
+        const auto *eng = _model.engine(e.layer, e.group);
+        if (eng == nullptr) {
+            fatal("HealthWatchdog: timeline event " +
+                  std::to_string(i) +
+                  " targets a (layer, group) with no functional "
+                  "engine");
+        }
+        if (e.rs < 0 || e.rs >= eng->rowSegments() || e.cs < 0 ||
+            e.cs >= eng->colSegments()) {
+            fatal("HealthWatchdog: timeline event " +
+                  std::to_string(i) + " targets tile (" +
+                  std::to_string(e.rs) + ", " + std::to_string(e.cs) +
+                  ") outside the engine's " +
+                  std::to_string(eng->rowSegments()) + "x" +
+                  std::to_string(eng->colSegments()) + " grid");
+        }
+        if (e.kind == FaultKind::StuckBurst && e.cells < 1) {
+            fatal("HealthWatchdog: timeline event " +
+                  std::to_string(i) +
+                  " asks for a stuck burst of zero cells");
+        }
+        const auto &noise = eng->config().noise;
+        if (noise.driftEnabled()) {
+            fatal("HealthWatchdog: conductance drift entangles "
+                  "results with wall-clock op counts across a "
+                  "repair; self-healing requires driftLevelsPerOp "
+                  "= 0");
+        }
+        if (noise.writeNoiseEnabled()) {
+            fatal("HealthWatchdog: the march test cannot "
+                  "distinguish transient write errors from "
+                  "permanent faults; self-healing requires "
+                  "writeSigmaLevels = 0");
+        }
+    }
+    _events.assign(_timeline.events.size(), EventState{});
+    _lastEccRecomputed =
+        _model.transientStats().eccRecomputedWords;
+}
+
+std::uint64_t
+HealthWatchdog::engineUncorrected(std::size_t layer,
+                                  std::int64_t group) const
+{
+    return _model.engine(layer, group)
+        ->transientStats()
+        .abftUncorrected;
+}
+
+void
+HealthWatchdog::poll()
+{
+    std::lock_guard<std::mutex> lk(_mtx);
+    ++_log.polls;
+
+    // ECC recompute pressure is a buffer-health diagnostic, not a
+    // crossbar fault: spikes are logged, never escalated.
+    const std::uint64_t ecc =
+        _model.transientStats().eccRecomputedWords;
+    if (ecc - _lastEccRecomputed > _policy.eccRecomputeSpike)
+        ++_log.eccSpikes;
+    _lastEccRecomputed = ecc;
+
+    const std::uint64_t submitted = _session.stats().submitted;
+    // Scan before fire: a pending same-engine fault whose grace
+    // window expired is repaired *before* the next scripted event
+    // injects, so events spaced further apart than the grace window
+    // never overlap on one engine — the deterministic repair
+    // barrier the canonical log relies on.
+    scanAndRepair(submitted);
+    fireDueEvents(submitted);
+}
+
+void
+HealthWatchdog::scanAndRepair(std::uint64_t submitted)
+{
+    // Group the pending (fired, unresolved) events by target engine
+    // and escalate per engine.
+    for (std::size_t i = 0; i < _events.size(); ++i) {
+        if (!_events[i].injected || _events[i].resolved)
+            continue;
+        const auto &e = _timeline.events[i];
+        std::vector<std::size_t> pending;
+        std::uint64_t baseline = _events[i].uncorrectedAtInjection;
+        std::uint64_t oldestFired = _events[i].firedAtAdmission;
+        for (std::size_t j = i; j < _events.size(); ++j) {
+            if (!_events[j].injected || _events[j].resolved)
+                continue;
+            const auto &o = _timeline.events[j];
+            if (o.layer != e.layer || o.group != e.group)
+                continue;
+            pending.push_back(j);
+            baseline = std::min(
+                baseline, _events[j].uncorrectedAtInjection);
+            oldestFired =
+                std::min(oldestFired, _events[j].firedAtAdmission);
+        }
+        const bool breach = engineUncorrected(e.layer, e.group) -
+                baseline >
+            _policy.abftUncorrectedTolerance;
+        const bool forced = submitted >=
+            oldestFired + _policy.detectionGraceAdmissions;
+        if (!breach && !forced)
+            continue;
+        if (breach)
+            ++_log.breachesDetected;
+        else
+            ++_log.forcedRepairs;
+        repairEngine(e.layer, e.group, pending);
+    }
+}
+
+void
+HealthWatchdog::repairEngine(std::size_t layer, std::int64_t group,
+                             const std::vector<std::size_t> &pending)
+{
+    // Shed load while the quarantine waits for in-flight steps to
+    // clear the shared side of the repair lock.
+    _session._state.store(SessionState::Repairing,
+                          std::memory_order_relaxed);
+
+    xbar::TileRepairReport report;
+    bool degraded = false;
+    std::int64_t migrated = 0;
+    {
+        std::unique_lock<std::shared_mutex> quarantine(
+            _session._repairMtx);
+        auto *eng = _model.engineMut(layer, group);
+        // The stats breach names the engine, not the cell: march
+        // every tile, like a real quarantine would. Faults found,
+        // spare remaps, and uncorrectable counts are engine-wide
+        // sums — all derived from array state alone, so the record
+        // is independent of how many reads raced the detection.
+        for (int rs = 0; rs < eng->rowSegments(); ++rs)
+            for (int cs = 0; cs < eng->colSegments(); ++cs)
+                report.merge(eng->repairTile(rs, cs));
+        if (report.uncorrectableCells > 0) {
+            // Spares exhausted: degrade around the tile. The engine
+            // group is rebuilt from the weight store on fresh
+            // arrays and the plan's Dot node re-placed onto the
+            // survivors (chip-sim migration policy).
+            degraded = true;
+            migrated = _model.degradeDotLayer(layer, group);
+        }
+        // Resolve the session-side fault records while still
+        // holding the exclusive lock: no step can complete between
+        // the repair landing and the taint bookkeeping seeing it,
+        // so nothing parks against an already-repaired fault.
+        // (noteFaultRepaired nests _mtx inside _repairMtx — the
+        // documented lock order — and re-queues parked requests.)
+        for (std::size_t idx : pending)
+            _session.noteFaultRepaired(_events[idx].faultToken);
+    }
+
+    for (std::size_t idx : pending) {
+        _events[idx].resolved = true;
+        RepairRecord rec;
+        rec.event = _timeline.events[idx];
+        rec.eventIndex = static_cast<int>(idx);
+        rec.faultsFound = report.faultsFound;
+        rec.remappedColumns = report.remappedColumns;
+        rec.uncorrectableCells = report.uncorrectableCells;
+        rec.degraded = degraded;
+        rec.migratedCopies = migrated;
+        _log.records.push_back(std::move(rec));
+    }
+
+    _degraded = _degraded || degraded;
+    _session._state.store(_degraded ? SessionState::Degraded
+                                    : SessionState::Healthy,
+                          std::memory_order_relaxed);
+}
+
+void
+HealthWatchdog::fireDueEvents(std::uint64_t submitted)
+{
+    for (std::size_t i = 0; i < _events.size(); ++i) {
+        auto &st = _events[i];
+        const auto &e = _timeline.events[i];
+        if (st.injected || submitted < e.atAdmission)
+            continue;
+        {
+            // Injection is a structural mutation like a repair:
+            // exclusive hold, so every request's step is strictly
+            // before or strictly after the fault exists, and the
+            // session's fault record is visible before any step
+            // that could have read the faulty cells completes.
+            std::unique_lock<std::shared_mutex> quarantine(
+                _session._repairMtx);
+            st.uncorrectedAtInjection =
+                engineUncorrected(e.layer, e.group);
+            inject(e);
+            st.faultToken =
+                _session.noteFaultInjected(layerBit(e.layer));
+        }
+        st.firedAtAdmission = submitted;
+        st.injected = true;
+    }
+}
+
+void
+HealthWatchdog::inject(const FaultEvent &e)
+{
+    auto *eng = _model.engineMut(e.layer, e.group);
+    const auto &cfg = eng->config();
+    const int railMax = (1 << cfg.cellBits) - 1;
+    const int usedRows = std::min(
+        cfg.rows, eng->numInputs() - e.rs * cfg.rows);
+    const int localOutputs =
+        std::min(cfg.outputsPerArray(),
+                 eng->numOutputs() - e.cs * cfg.outputsPerArray());
+
+    if (e.kind == FaultKind::TileKill) {
+        // Everything dies: data columns, spares, the unit column,
+        // and the checksum column — no remap can save this tile.
+        const int totalCols = cfg.cols + cfg.spareCols + 1 +
+            (cfg.abftChecksum ? 1 : 0);
+        for (int r = 0; r < usedRows; ++r)
+            for (int c = 0; c < totalCols; ++c)
+                eng->injectCellFault(e.rs, e.cs, r, c, railMax);
+        return;
+    }
+
+    // Stuck burst: seeded draws over the tile's preferred data
+    // columns (distinct cells). If manufacturing remaps moved a
+    // column off its preferred slot the stuck cell lands on an
+    // unmapped column — no reads corrupt, the stats never breach,
+    // and the grace backstop still repairs and re-censuses it.
+    const int dataCols = localOutputs * cfg.slicesPerWeight();
+    Rng rng(e.seed);
+    std::set<std::pair<int, int>> cells;
+    while (static_cast<int>(cells.size()) <
+           std::min(e.cells, usedRows * dataCols)) {
+        const int r =
+            static_cast<int>(rng.uniform(0, usedRows - 1));
+        const int c =
+            static_cast<int>(rng.uniform(0, dataCols - 1));
+        cells.emplace(r, c);
+    }
+    for (const auto &[r, c] : cells)
+        eng->injectCellFault(e.rs, e.cs, r, c, railMax);
+}
+
+bool
+HealthWatchdog::idle() const
+{
+    std::lock_guard<std::mutex> lk(_mtx);
+    for (const auto &st : _events)
+        if (!st.injected || !st.resolved)
+            return false;
+    return true;
+}
+
+RecoveryLog
+HealthWatchdog::log() const
+{
+    std::lock_guard<std::mutex> lk(_mtx);
+    return _log;
+}
+
+} // namespace isaac::serve

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The self-healing layer of the serving runtime.
+ *
+ * A HealthWatchdog closes ISAAC's detect -> quarantine -> remap ->
+ * retry loop *online*, while an InferenceSession keeps serving. At
+ * every poll() (an epoch boundary — the soak drivers poll once per
+ * admission) it samples the model's TransientStats/EngineStats
+ * deltas and drives a per-engine escalation policy:
+ *
+ *  - a rise in abftUncorrected beyond WatchdogPolicy::
+ *    abftUncorrectedTolerance on an engine carrying a pending
+ *    scripted fault breaches that engine;
+ *  - a breached engine is quarantined under the session's exclusive
+ *    repair lock, every tile is march-tested and rebuilt with a
+ *    fresh spare placement (BitSerialEngine::repairTile), and the
+ *    session re-executes any request that overlapped the faulty
+ *    epoch (InferenceSession self-heal machinery);
+ *  - if the spares could not cover the damage (uncorrectableCells >
+ *    0) the tile is unrepairable: the layer's engine group is
+ *    rebuilt from the weight store on fresh arrays and the
+ *    ExecutionPlan's Dot node is annotated through recordMigration()
+ *    — the chip simulator's dead-tile migration policy, now
+ *    functional — leaving the session Degraded;
+ *  - a fault no request happens to read is still repaired at most
+ *    WatchdogPolicy::detectionGraceAdmissions admissions after
+ *    injection (the forced-repair backstop), which doubles as the
+ *    deterministic repair barrier between same-engine events.
+ *
+ * Faults come from a scripted, seeded FaultTimeline (inject a
+ * stuck-cell burst / kill a tile once N requests were admitted), so
+ * every recovery is replayable. The RecoveryLog splits what it
+ * observes into a *canonical* record — march census, spare remap
+ * counts, degradation outcome; pure functions of (model, timeline),
+ * byte-identical across worker counts — and *diagnostic* counters
+ * (poll/breach/forced-repair tallies) that legitimately depend on
+ * interleaving. tests/serve/test_selfheal.cc and bench_selfheal pin
+ * the canonical half.
+ *
+ * Determinism preconditions (fatal() in the constructor): the
+ * engines must run without conductance drift and without write noise
+ * — drift entangles results with wall-clock op counts across a
+ * repair, and the march test cannot tell transient write errors from
+ * permanent faults. ABFT checksums (EngineConfig::abftChecksum) are
+ * what make stats-driven detection fire; without them only the grace
+ * backstop acts.
+ */
+
+#ifndef ISAAC_SERVE_SUPERVISOR_H
+#define ISAAC_SERVE_SUPERVISOR_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.h"
+#include "serve/session.h"
+#include "xbar/engine.h"
+
+namespace isaac::serve {
+
+/** What a scripted fault event does to its target tile. */
+enum class FaultKind
+{
+    /** A seeded burst of cells in the tile's mapped data columns
+     *  freezes at the ON rail — the spare-remap recovery case. */
+    StuckBurst,
+
+    /** Every used cell of the tile — data, spares, unit column,
+     *  checksum — freezes at the ON rail: spares cannot help, the
+     *  repair reports uncorrectable cells, and the watchdog degrades
+     *  around the tile (engine rebuild + plan migration). */
+    TileKill,
+};
+
+const char *toString(FaultKind kind);
+
+/** One scripted, seeded fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::StuckBurst;
+
+    /**
+     * Fire at the first poll() at which this many requests have been
+     * admitted (the op-clock of the serving soak). Events targeting
+     * the same engine must be spaced further apart than the grace
+     * window so each repair resolves before the next injection — the
+     * scan-before-fire poll order plus the forced-repair backstop
+     * then make the recovery sequence deterministic.
+     */
+    std::uint64_t atAdmission = 0;
+
+    std::size_t layer = 0;  ///< Dot layer owning the target engine.
+    std::int64_t group = 0; ///< Engine group (0 for shared kernels).
+    int rs = 0;             ///< Target tile row segment.
+    int cs = 0;             ///< Target tile column segment.
+    int cells = 4;          ///< Burst size (StuckBurst only).
+    std::uint64_t seed = 1; ///< Keys the cell-coordinate draws.
+};
+
+/** A replayable fault schedule for one soak. */
+struct FaultTimeline
+{
+    std::vector<FaultEvent> events;
+};
+
+/** Escalation thresholds of the watchdog policy. */
+struct WatchdogPolicy
+{
+    /**
+     * ABFT retry-budget exhaustions (TransientStats::abftUncorrected
+     * delta since injection) tolerated on an engine before it is
+     * quarantined. 0 = first uncorrected read breaches.
+     */
+    std::uint64_t abftUncorrectedTolerance = 0;
+
+    /**
+     * eccRecomputedWords delta per poll flagged as a spike
+     * (diagnostic only: buffer-ECC pressure is not a crossbar fault,
+     * so spikes are logged, not escalated).
+     */
+    std::uint64_t eccRecomputeSpike = 64;
+
+    /**
+     * Forced-repair backstop: a pending fault is repaired no later
+     * than this many admissions after it fired, even if no request
+     * read the faulty tile (stats never breached). Keeps recovery
+     * live for cold tiles and separates same-engine events
+     * deterministically.
+     */
+    std::uint64_t detectionGraceAdmissions = 8;
+};
+
+/** Canonical outcome of one scripted fault's recovery. */
+struct RepairRecord
+{
+    FaultEvent event;    ///< The scripted fault, verbatim.
+    int eventIndex = 0;  ///< Position in the timeline.
+    int faultsFound = 0; ///< March-test census across the engine.
+    int remappedColumns = 0;    ///< Columns moved onto spares.
+    int uncorrectableCells = 0; ///< Damage spares could not cover.
+    bool degraded = false; ///< Unrepairable -> migrated around.
+    std::int64_t migratedCopies = 0; ///< Copies re-placed (degraded).
+};
+
+/**
+ * Everything one watchdog observed, split into the canonical record
+ * (interleaving-independent) and diagnostics (timing-dependent).
+ */
+struct RecoveryLog
+{
+    std::vector<RepairRecord> records; ///< One per resolved event.
+
+    // --- diagnostics (excluded from canonicalJson) ---
+    std::uint64_t polls = 0;
+    std::uint64_t breachesDetected = 0; ///< Stats-threshold repairs.
+    std::uint64_t forcedRepairs = 0;    ///< Grace-backstop repairs.
+    std::uint64_t eccSpikes = 0;        ///< ECC recompute spikes.
+
+    /**
+     * The canonical recovery record: a pure function of (model,
+     * timeline) — byte-identical across worker counts and poll
+     * timings for a fixed seed (tests and bench_selfheal assert
+     * equality of the full string).
+     */
+    std::string canonicalJson() const;
+
+    /** canonicalJson() plus the diagnostic counters. */
+    std::string toJson() const;
+};
+
+/**
+ * Samples health deltas at epoch boundaries and drives the
+ * detect -> quarantine -> remap/degrade -> resume escalation on one
+ * (model, session) pair.
+ */
+class HealthWatchdog
+{
+  public:
+    /**
+     * `model` must be the same object `session` serves (fatal()
+     * otherwise), functionally compiled, with drift and write noise
+     * disabled (see the file comment). Every timeline event is
+     * validated against the model's engines up front.
+     */
+    HealthWatchdog(core::CompiledModel &model,
+                   InferenceSession &session, FaultTimeline timeline,
+                   WatchdogPolicy policy = {});
+
+    /**
+     * One epoch boundary: scan pending faults for threshold breaches
+     * or expired grace windows and repair those engines, then fire
+     * newly due scripted events (scan-before-fire keeps same-engine
+     * events from overlapping). Serialized internally; safe to call
+     * from any thread, including concurrently with shutdown().
+     */
+    void poll();
+
+    /** True once every scripted event has fired and been resolved. */
+    bool idle() const;
+
+    /** Snapshot of the recovery log (copy; safe while polling). */
+    RecoveryLog log() const;
+
+    const WatchdogPolicy &policy() const { return _policy; }
+
+  private:
+    /** Lifecycle of one timeline event. */
+    struct EventState
+    {
+        bool injected = false;
+        bool resolved = false;
+        std::size_t faultToken = 0; ///< Session fault record handle.
+        std::uint64_t firedAtAdmission = 0;
+        /** Engine abftUncorrected at injection (breach baseline). */
+        std::uint64_t uncorrectedAtInjection = 0;
+    };
+
+    void fireDueEvents(std::uint64_t submitted);
+    void scanAndRepair(std::uint64_t submitted);
+
+    /** Quarantine + repair one engine; resolves `pending` events. */
+    void repairEngine(std::size_t layer, std::int64_t group,
+                      const std::vector<std::size_t> &pending);
+
+    std::uint64_t engineUncorrected(std::size_t layer,
+                                    std::int64_t group) const;
+
+    /** Inject one event's cells (exclusive repair lock held). */
+    void inject(const FaultEvent &e);
+
+    core::CompiledModel &_model;
+    InferenceSession &_session;
+    FaultTimeline _timeline;
+    WatchdogPolicy _policy;
+
+    mutable std::mutex _mtx; ///< Serializes polls; guards the rest.
+    std::vector<EventState> _events;
+    RecoveryLog _log;
+    bool _degraded = false;
+    std::uint64_t _lastEccRecomputed = 0;
+};
+
+} // namespace isaac::serve
+
+#endif // ISAAC_SERVE_SUPERVISOR_H

@@ -1408,13 +1408,81 @@ BitSerialEngine::injectCellFault(int rs, int cs, int row, int col,
 {
     if (rs < 0 || rs >= _rowSegments || cs < 0 || cs >= _colSegments)
         fatal("BitSerialEngine::injectCellFault: tile out of range");
-    tile(rs, cs).array->forceStuck(row, col, level);
+    auto &t = tile(rs, cs);
+    t.array->forceStuck(row, col, level);
     // Stored levels no longer match what programming left behind, so
     // the packed fast path and every memoized reading stand down —
     // the campaign tests rely on the scalar path re-observing the
-    // corrupted cell on every subsequent read.
+    // corrupted cell on every subsequent read. The per-tile taint
+    // lets repairTile() re-arm the fast path once the last injured
+    // tile is rebuilt.
+    t.tainted = true;
     _injected.store(true, std::memory_order_relaxed);
     clearMemos();
+}
+
+TileRepairReport
+BitSerialEngine::repairTile(int rs, int cs)
+{
+    if (rs < 0 || rs >= _rowSegments || cs < 0 || cs >= _colSegments)
+        fatal("BitSerialEngine::repairTile: tile out of range");
+    if (cfg.noise.writeNoiseEnabled()) {
+        fatal("BitSerialEngine::repairTile: the march test cannot "
+              "distinguish transient write errors from permanent "
+              "faults; online repair requires writeSigmaLevels = 0");
+    }
+    ArrayTile &t = tile(rs, cs);
+    TileRepairReport report;
+
+    // Quarantined march: exercise every cell at both rails to census
+    // the tile's current permanent faults. Destructive (the array
+    // ends all-max), but the tile is rebuilt just below from the
+    // intended levels the programming pass retained, so nothing is
+    // lost.
+    const auto marched = resilience::extractFaultMap(*t.array);
+    report.faultsFound = marched.count();
+
+    // Fresh content-aware placement against the new fault set — the
+    // same preferred/spare layout the first programming pass used.
+    // Columns whose preferred physical column went bad migrate onto
+    // spares; when spares run out the least-bad column stays and its
+    // mismatches surface as uncorrectableCells for the caller's
+    // degradation decision.
+    const int slices = cfg.slicesPerWeight();
+    const int dataCols = t.localOutputs * slices;
+    const int logicalCols = dataCols + 1;
+    std::vector<int> preferred(static_cast<std::size_t>(logicalCols));
+    for (int c = 0; c < dataCols; ++c)
+        preferred[static_cast<std::size_t>(c)] = c;
+    preferred[static_cast<std::size_t>(dataCols)] =
+        cfg.cols + cfg.spareCols;
+    std::vector<int> spares(static_cast<std::size_t>(cfg.spareCols));
+    for (int s = 0; s < cfg.spareCols; ++s)
+        spares[static_cast<std::size_t>(s)] = cfg.cols + s;
+    auto plan = resilience::assignColumns(
+        *t.array, t.intended, cfg.rows, t.usedRows, logicalCols,
+        preferred, spares);
+    t.colMap = std::move(plan.colMap);
+    t.faults = std::move(plan.faults);
+    t.remappedColumns = plan.remappedColumns;
+    t.uncorrectableCells = plan.uncorrectableCells;
+    if (cfg.abftChecksum)
+        programChecksum(t, plan.stored);
+    t.tainted = false;
+
+    report.remappedColumns = t.remappedColumns;
+    report.uncorrectableCells = t.uncorrectableCells;
+    report.abftOk = !cfg.abftChecksum || t.abftOk;
+
+    // The packed fast path stands down only while some tile still
+    // carries an un-repaired injected fault: this tile's stored
+    // levels once again match what programming left behind.
+    bool tainted = false;
+    for (const auto &other : tiles)
+        tainted = tainted || other.tainted;
+    _injected.store(tainted, std::memory_order_relaxed);
+    clearMemos();
+    return report;
 }
 
 bool

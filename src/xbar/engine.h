@@ -191,6 +191,31 @@ struct EngineConfig
     void validate() const;
 };
 
+/**
+ * Outcome of one online repairTile() pass: what the quarantine march
+ * censused and what the fresh placement could (and could not) cover.
+ * Every field is derived from array state alone, so a scripted fault
+ * timeline reproduces the same report regardless of how many reads
+ * raced the detection — the serving watchdog's canonical recovery
+ * log leans on that.
+ */
+struct TileRepairReport
+{
+    int faultsFound = 0;        ///< March-test census of stuck cells.
+    int remappedColumns = 0;    ///< Logical columns moved to spares.
+    int uncorrectableCells = 0; ///< Mismatches spares could not cover.
+    bool abftOk = true;         ///< Checksum column healthy (or off).
+
+    void
+    merge(const TileRepairReport &o)
+    {
+        faultsFound += o.faultsFound;
+        remappedColumns += o.remappedColumns;
+        uncorrectableCells += o.uncorrectableCells;
+        abftOk = abftOk && o.abftOk;
+    }
+};
+
 /** Activity counters for energy/perf accounting. */
 struct EngineStats
 {
@@ -353,6 +378,26 @@ class BitSerialEngine
      */
     void injectCellFault(int rs, int cs, int row, int col, int level);
 
+    /**
+     * Online self-repair of one tile: run the destructive march test
+     * (resilience::extractFaultMap) to census the tile's *current*
+     * permanent faults — the program-time map goes stale the moment
+     * a cell fails in the field — then rebuild the tile from its
+     * retained intended levels with a fresh fault-aware placement
+     * (spare remap, least-bad fallback), reprogram the ABFT checksum
+     * column, and re-arm the packed fast path if no other tile still
+     * carries an un-repaired injected fault. A report with
+     * uncorrectableCells > 0 means the spares are exhausted and the
+     * caller should degrade around the tile instead of trusting it.
+     *
+     * Structural mutation like reprogram(): must not overlap any
+     * concurrent dotProduct() call (the serving watchdog holds its
+     * exclusive repair lock across this). fatal() when write noise
+     * is enabled — the march would misreport transient write errors
+     * as permanent faults.
+     */
+    TileRepairReport repairTile(int rs, int cs);
+
     /** Whether tile (rs, cs) runs with an active checksum column. */
     bool abftActive(int rs, int cs) const;
 
@@ -393,6 +438,11 @@ class BitSerialEngine
         int localOutputs = 0;
         bool abftOk = false;         ///< Checksum column verified.
         bool checksumFlipped = false; ///< Flip rule on the checksum.
+        /** injectCellFault() hit this tile and no repairTile() has
+         *  run since; the engine-wide _injected flag is the OR of
+         *  these, so repairing the last tainted tile re-arms the
+         *  packed fast path. */
+        bool tainted = false;
     };
 
     /** Per-worker accumulator for one dotProduct() call. */

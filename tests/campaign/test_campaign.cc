@@ -109,6 +109,71 @@ TEST(CampaignScenario, MalformedIdsAreFatal)
     EXPECT_THROW(Scenario::parse(badMode), FatalError);
 }
 
+TEST(CampaignScenario, TryParseRejectsHostileIdsWithAMessage)
+{
+    // Replay tooling feeds scenario IDs from the command line and
+    // from JSON reports; a hostile or truncated ID must come back as
+    // a descriptive error — never an assert, a crash, or a wrapped
+    // integer. Table-driven over the failure classes.
+    struct Case
+    {
+        const char *label;
+        std::string id;
+    };
+    const Scenario base;
+    const auto with = [&](const std::string &key,
+                          const std::string &val) {
+        std::string id = base.id();
+        // Anchor on ";key=" — a bare find("t=") would hit "net=".
+        const auto pos =
+            key == "net" ? 0 : id.find(";" + key + "=") + 1;
+        const auto end = std::min(id.find(';', pos), id.size());
+        id.replace(pos, end - pos, key + "=" + val);
+        return id;
+    };
+    const std::vector<Case> cases = {
+        {"empty id", ""},
+        {"no separators", "garbage"},
+        {"missing '='", "net=tinycnn;w"},
+        {"empty key", "=tinycnn"},
+        {"empty network", with("net", "")},
+        {"missing required key", "net=tinycnn;w=0.1"},
+        {"duplicate key", base.id() + ";w=0.5"},
+        {"unknown key", base.id() + ";zz=1"},
+        {"trailing separator", base.id() + ";"},
+        {"bad double", with("w", "zero")},
+        {"double with garbage suffix", with("r", "0.1x")},
+        {"non-finite double", with("k", "inf")},
+        {"nan double", with("k", "nan")},
+        {"negative rate", with("w", "-0.1")},
+        {"bad stuck mode", with("m", "up")},
+        {"negative spare count", with("sp", "-1")},
+        {"spare count overflowing int", with("sp", "4294967296")},
+        {"spare count over the cap", with("sp", "4097")},
+        {"adc bits over the cap", with("adc", "25")},
+        {"trial overflowing int", with("t", "2147483648")},
+        {"bad drift age", with("a", "soon")},
+        {"bad hex seed", with("s", "0xzz")},
+    };
+    for (const auto &c : cases) {
+        std::string error;
+        const auto parsed = Scenario::tryParse(c.id, &error);
+        EXPECT_FALSE(parsed.has_value()) << c.label;
+        EXPECT_FALSE(error.empty()) << c.label;
+        EXPECT_NE(error.find("scenario id"), std::string::npos)
+            << c.label << ": " << error;
+        // parse() is tryParse() + fatal(), with the same message.
+        EXPECT_THROW(Scenario::parse(c.id), FatalError) << c.label;
+    }
+
+    // And the happy path still round-trips through tryParse.
+    std::string error;
+    const auto ok = Scenario::tryParse(base.id(), &error);
+    ASSERT_TRUE(ok.has_value()) << error;
+    EXPECT_EQ(*ok, base);
+    EXPECT_TRUE(error.empty());
+}
+
 TEST(CampaignRunner, ZeroNoiseScenarioIsBitExact)
 {
     RunnerOptions opts;

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "baseline/dadiannao_perf.h"
 #include "core/json.h"
+#include "core/json_writer.h"
 #include "nn/zoo.h"
 
 namespace isaac::core {
@@ -97,6 +101,73 @@ TEST(Json, UnfitPerfSerializesFalse)
         net, arch::IsaacConfig::isaacCE(), 8);
     const auto json = toJson(perf);
     EXPECT_NE(json.find("\"fits\": false"), std::string::npos);
+}
+
+/** Inverse of jsonEscape, for the round-trip regression below. */
+std::string
+jsonUnescape(const std::string &s)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        ++i;
+        switch (s[i]) {
+        case '"':  out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n':  out += '\n'; break;
+        case 'r':  out += '\r'; break;
+        case 't':  out += '\t'; break;
+        case 'u':
+            out += static_cast<char>(
+                std::stoi(s.substr(i + 1, 4), nullptr, 16));
+            i += 4;
+            break;
+        default:
+            ADD_FAILURE() << "unknown escape \\" << s[i];
+        }
+    }
+    return out;
+}
+
+TEST(Json, StringEscapingRoundTripsHostileStrings)
+{
+    // Regression for the string-escaping path of json_writer.h:
+    // quotes, backslashes, newlines, and raw control bytes must
+    // survive an escape/unescape round trip, and the emitted field
+    // must keep the document structurally valid.
+    const std::vector<std::string> hostile = {
+        "plain",
+        "a \"quoted\" name",
+        "back\\slash\\path",
+        "line\nbreak\r\ttab",
+        std::string("nul\0byte", 8),
+        std::string(1, '\x1f') + "control",
+        "net=tinycnn;w=0.3;r=0;d=0;a=0;k=0.005;m=on;sp=2;adc=0;"
+        "t=1;s=15aac",
+        "model \"v2\\final\"\n(really)",
+    };
+    for (const auto &s : hostile) {
+        const auto escaped = jsonEscape(s);
+        // No raw control byte and no unescaped quote survives in the
+        // literal (every '"' is preceded by its escaping backslash).
+        for (std::size_t i = 0; i < escaped.size(); ++i) {
+            EXPECT_GE(static_cast<unsigned char>(escaped[i]), 0x20u);
+            if (escaped[i] == '"') {
+                ASSERT_GT(i, 0u);
+                EXPECT_EQ(escaped[i - 1], '\\');
+            }
+        }
+        EXPECT_EQ(jsonUnescape(escaped), s) << "string: " << escaped;
+
+        const auto json = JsonObject().field("name", s).str();
+        EXPECT_TRUE(balanced(json)) << json;
+        EXPECT_NE(json.find("\"name\": \"" + escaped + "\""),
+                  std::string::npos)
+            << json;
+    }
 }
 
 } // namespace

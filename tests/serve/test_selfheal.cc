@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Self-healing serving tests: scripted mid-soak faults are detected,
+ * quarantined, march-repaired (or degraded around) while the session
+ * keeps serving, and every completed request is bit-exact against a
+ * fault-free twin — zero silently-wrong results. The canonical
+ * recovery log must be byte-identical across worker counts for a
+ * fixed seed, and shutdown racing an in-progress repair must resolve
+ * every accepted future.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/accelerator.h"
+#include "nn/zoo.h"
+#include "pipeline/execution_plan.h"
+#include "serve/session.h"
+#include "serve/supervisor.h"
+
+namespace isaac::serve {
+namespace {
+
+/**
+ * The self-heal recipe: ABFT detection, spare columns for the remap,
+ * and the buffer/NoC transient classes (imageKey-keyed, so healed
+ * retries replay them exactly). Deliberately no drift and no write
+ * noise — the watchdog's determinism preconditions.
+ */
+arch::IsaacConfig
+selfhealConfig()
+{
+    arch::IsaacConfig cfg;
+    cfg.engine.abftChecksum = true;
+    cfg.engine.spareCols = 4;
+    cfg.transient.edramFlipRate = 2e-3;
+    cfg.transient.orFlipRate = 1e-3;
+    cfg.transient.packetCorruptRate = 0.05;
+    cfg.transient.seed = 0xBEEF;
+    return cfg;
+}
+
+std::vector<nn::Tensor>
+makeInputs(const nn::Network &net, int count, FixedFormat fmt)
+{
+    const auto &l0 = net.layer(0);
+    std::vector<nn::Tensor> inputs;
+    for (int i = 0; i < count; ++i)
+        inputs.push_back(nn::synthesizeInput(
+            l0.ni, l0.nx, l0.ny,
+            static_cast<std::uint64_t>(100 + i), fmt));
+    return inputs;
+}
+
+/** Fault-free ground truth, one result per submission position. */
+std::vector<nn::Tensor>
+twinReference(const core::Accelerator &acc, const nn::Network &net,
+              const nn::WeightStore &weights,
+              const core::CompileOptions &opts,
+              const std::vector<nn::Tensor> &inputs)
+{
+    const auto twin = acc.compile(net, weights, opts);
+    std::vector<nn::Tensor> want;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        want.push_back(twin.inferAllKeyed(inputs[i], i).back());
+    return want;
+}
+
+/**
+ * The soak driver: admit every input with one watchdog poll per
+ * admission (the epoch boundary), then poll until the session drains.
+ * Never a bare drain(): parked requests wait on the watchdog, so the
+ * final wait must keep polling.
+ */
+std::vector<std::future<nn::Tensor>>
+runSoak(InferenceSession &session, HealthWatchdog &watchdog,
+        const std::vector<nn::Tensor> &inputs)
+{
+    std::vector<std::future<nn::Tensor>> futs;
+    for (const auto &input : inputs) {
+        futs.push_back(session.submit(input));
+        watchdog.poll();
+    }
+    while (session.inFlight() > 0) {
+        watchdog.poll();
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return futs;
+}
+
+TEST(SelfHeal, StuckBurstRecoveryIsBitExactAtEveryWorkerCount)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 42);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(selfhealConfig());
+    const auto inputs = makeInputs(net, 12, opts.format);
+    const auto want = twinReference(acc, net, weights, opts, inputs);
+
+    FaultTimeline timeline;
+    timeline.events.push_back(FaultEvent{FaultKind::StuckBurst,
+                                         /*atAdmission=*/3,
+                                         /*layer=*/0, /*group=*/0,
+                                         /*rs=*/0, /*cs=*/0,
+                                         /*cells=*/3, /*seed=*/99});
+    WatchdogPolicy policy;
+    policy.detectionGraceAdmissions = 4;
+
+    std::vector<std::string> canonicals;
+    for (const int workers : {1, 2, 4, 8}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        auto model = acc.compile(net, weights, opts);
+        SessionOptions sopts;
+        sopts.queueDepth = 4;
+        sopts.workers = workers;
+        InferenceSession session(model, sopts);
+        HealthWatchdog watchdog(model, session, timeline, policy);
+
+        auto futs = runSoak(session, watchdog, inputs);
+
+        EXPECT_TRUE(watchdog.idle());
+        EXPECT_EQ(session.state(), SessionState::Healthy);
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            EXPECT_EQ(futs[i].get().raw(), want[i].raw())
+                << "image " << i;
+        }
+        const auto log = watchdog.log();
+        ASSERT_EQ(log.records.size(), 1u);
+        EXPECT_EQ(log.records[0].faultsFound, 3);
+        EXPECT_GE(log.records[0].remappedColumns, 1);
+        EXPECT_EQ(log.records[0].uncorrectableCells, 0);
+        EXPECT_FALSE(log.records[0].degraded);
+        EXPECT_GT(log.breachesDetected + log.forcedRepairs, 0u);
+        canonicals.push_back(log.canonicalJson());
+
+        const auto stats = session.stats();
+        EXPECT_EQ(stats.completed, inputs.size());
+        EXPECT_EQ(stats.healFailed, 0u);
+        EXPECT_EQ(stats.timedOut, 0u);
+    }
+    // The canonical recovery record is byte-identical across worker
+    // counts — the determinism acceptance gate.
+    for (std::size_t i = 1; i < canonicals.size(); ++i)
+        EXPECT_EQ(canonicals[i], canonicals[0]) << "worker set " << i;
+}
+
+TEST(SelfHeal, TileKillDegradesAroundTheTileAndStaysBitExact)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 42);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(selfhealConfig());
+    const auto inputs = makeInputs(net, 10, opts.format);
+    const auto want = twinReference(acc, net, weights, opts, inputs);
+
+    FaultTimeline timeline;
+    timeline.events.push_back(FaultEvent{FaultKind::TileKill,
+                                         /*atAdmission=*/2,
+                                         /*layer=*/0, /*group=*/0,
+                                         /*rs=*/0, /*cs=*/0,
+                                         /*cells=*/1, /*seed=*/7});
+    WatchdogPolicy policy;
+    policy.detectionGraceAdmissions = 4;
+
+    auto model = acc.compile(net, weights, opts);
+    SessionOptions sopts;
+    sopts.queueDepth = 4;
+    sopts.workers = 2;
+    InferenceSession session(model, sopts);
+    HealthWatchdog watchdog(model, session, timeline, policy);
+
+    auto futs = runSoak(session, watchdog, inputs);
+
+    EXPECT_TRUE(watchdog.idle());
+    EXPECT_EQ(session.state(), SessionState::Degraded);
+    // The rebuilt engine serves from pristine weights: capacity-only
+    // loss, every result still bit-exact.
+    for (std::size_t i = 0; i < futs.size(); ++i)
+        EXPECT_EQ(futs[i].get().raw(), want[i].raw()) << "image " << i;
+
+    const auto log = watchdog.log();
+    ASSERT_EQ(log.records.size(), 1u);
+    EXPECT_TRUE(log.records[0].degraded);
+    EXPECT_GT(log.records[0].uncorrectableCells, 0);
+    EXPECT_GE(log.records[0].migratedCopies, 1);
+
+    // The migration is visible in the lowered plan: the layer's Dot
+    // node lost a tile and carries the re-placed copies.
+    bool found = false;
+    for (const auto &node : model.executionPlan().nodes()) {
+        if (node.kind != pipeline::StepKind::Dot || node.layer != 0)
+            continue;
+        found = true;
+        EXPECT_TRUE(node.degraded);
+        EXPECT_GE(node.migratedCopies, 1);
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(session.stats().healFailed, 0u);
+}
+
+TEST(SelfHeal, FaultBeforeFirstAdmissionParksAndHeals)
+{
+    // Injection before any request runs: every request admitted
+    // before the repair overlaps the faulty epoch, so at least one
+    // must go through the park/heal retry path — and still land
+    // bit-exact on its original image key.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 11);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(selfhealConfig());
+    const auto inputs = makeInputs(net, 8, opts.format);
+    const auto want = twinReference(acc, net, weights, opts, inputs);
+
+    FaultTimeline timeline;
+    timeline.events.push_back(FaultEvent{FaultKind::StuckBurst,
+                                         /*atAdmission=*/0,
+                                         /*layer=*/0, /*group=*/0,
+                                         /*rs=*/0, /*cs=*/0,
+                                         /*cells=*/4, /*seed=*/31});
+    WatchdogPolicy policy;
+    policy.detectionGraceAdmissions = 2;
+
+    auto model = acc.compile(net, weights, opts);
+    SessionOptions sopts;
+    sopts.queueDepth = 2;
+    sopts.workers = 2;
+    InferenceSession session(model, sopts);
+    HealthWatchdog watchdog(model, session, timeline, policy);
+
+    watchdog.poll(); // injects before the first admission
+    auto futs = runSoak(session, watchdog, inputs);
+
+    EXPECT_TRUE(watchdog.idle());
+    for (std::size_t i = 0; i < futs.size(); ++i)
+        EXPECT_EQ(futs[i].get().raw(), want[i].raw()) << "image " << i;
+
+    const auto stats = session.stats();
+    EXPECT_GE(stats.healedRetries, 1u);
+    EXPECT_EQ(stats.healFailed, 0u);
+    EXPECT_EQ(stats.completed, inputs.size());
+}
+
+TEST(SelfHeal, ShutdownRacingARepairResolvesEveryFuture)
+{
+    // Shutdown while a fault is pending and a poller races repairs:
+    // every accepted future must resolve — with a (bit-exact) value,
+    // or explicitly with RetriesExhausted — and nothing may hang.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 23);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(selfhealConfig());
+    const auto inputs = makeInputs(net, 6, opts.format);
+    const auto want = twinReference(acc, net, weights, opts, inputs);
+
+    for (const int workers : {1, 2, 4, 8}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        FaultTimeline timeline;
+        timeline.events.push_back(
+            FaultEvent{FaultKind::StuckBurst, /*atAdmission=*/0,
+                       /*layer=*/0, /*group=*/0, /*rs=*/0, /*cs=*/0,
+                       /*cells=*/4, /*seed=*/51});
+        WatchdogPolicy policy;
+        policy.detectionGraceAdmissions = 1000; // breach-only repair
+
+        auto model = acc.compile(net, weights, opts);
+        SessionOptions sopts;
+        sopts.queueDepth = inputs.size();
+        sopts.workers = workers;
+        InferenceSession session(model, sopts);
+        HealthWatchdog watchdog(model, session, timeline, policy);
+
+        watchdog.poll(); // inject; repair left to the racing poller
+        std::vector<std::future<nn::Tensor>> futs;
+        for (const auto &input : inputs)
+            futs.push_back(session.submit(input));
+
+        std::thread poller([&] {
+            for (int i = 0; i < 200; ++i) {
+                watchdog.poll();
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+            }
+        });
+        session.shutdown();
+        poller.join();
+
+        EXPECT_TRUE(session.closed());
+        EXPECT_EQ(session.inFlight(), 0u);
+        std::size_t values = 0, failed = 0;
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            try {
+                const auto got = futs[i].get();
+                ++values;
+                EXPECT_EQ(got.raw(), want[i].raw()) << "image " << i;
+            } catch (const RetriesExhausted &) {
+                ++failed;
+            }
+        }
+        EXPECT_EQ(values + failed, futs.size());
+        const auto stats = session.stats();
+        EXPECT_EQ(stats.completed, futs.size());
+        EXPECT_EQ(stats.healFailed, failed);
+    }
+}
+
+TEST(SelfHeal, WatchdogRejectsUnsafeConfigurations)
+{
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 3);
+    const core::CompileOptions opts;
+
+    FaultTimeline timeline;
+    timeline.events.push_back(FaultEvent{});
+
+    { // drift breaks replay determinism across a repair
+        arch::IsaacConfig cfg = selfhealConfig();
+        cfg.engine.noise.driftLevelsPerOp = 0.05;
+        cfg.engine.noise.refreshIntervalOps = 16;
+        const core::Accelerator acc(cfg);
+        auto model = acc.compile(net, weights, opts);
+        InferenceSession session(model);
+        EXPECT_THROW(
+            HealthWatchdog(model, session, timeline, {}),
+            FatalError);
+    }
+    { // the march cannot see through write noise
+        arch::IsaacConfig cfg = selfhealConfig();
+        cfg.engine.noise.writeSigmaLevels = 0.3;
+        cfg.engine.noise.seed = 9;
+        const core::Accelerator acc(cfg);
+        auto model = acc.compile(net, weights, opts);
+        InferenceSession session(model);
+        EXPECT_THROW(
+            HealthWatchdog(model, session, timeline, {}),
+            FatalError);
+    }
+    { // a timeline event must target a real engine tile
+        const core::Accelerator acc(selfhealConfig());
+        auto model = acc.compile(net, weights, opts);
+        InferenceSession session(model);
+        FaultTimeline bad;
+        bad.events.push_back(FaultEvent{FaultKind::StuckBurst, 0,
+                                        /*layer=*/0, /*group=*/0,
+                                        /*rs=*/999, /*cs=*/0,
+                                        /*cells=*/1, /*seed=*/1});
+        EXPECT_THROW(
+            HealthWatchdog(model, session, bad, {}),
+            FatalError);
+        // A watchdog must supervise the model its session serves.
+        auto other = acc.compile(net, weights, opts);
+        InferenceSession otherSession(other);
+        EXPECT_THROW(
+            HealthWatchdog(model, otherSession, timeline, {}),
+            FatalError);
+    }
+}
+
+} // namespace
+} // namespace isaac::serve

@@ -455,6 +455,39 @@ TEST(Session, ExpiredDefaultDeadlineFailsTheFutureAndCounts)
     EXPECT_EQ(session.inFlight(), 0u);
 }
 
+TEST(Session, ExpiredRequestsSkipTheirRemainingLayerSteps)
+{
+    // The expiry fast path: once a request is past its deadline the
+    // scheduler drops its remaining IR nodes instead of burning Dot
+    // work on a result nobody will read — visible as
+    // expiredStepsSkipped, which together with stepsExecuted must
+    // account for every node of every request.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 9);
+    const core::CompileOptions opts;
+    const core::Accelerator acc;
+    const auto model = acc.compile(net, weights, opts);
+    const auto inputs = makeInputs(net, 3, opts.format);
+
+    SessionOptions sopts;
+    sopts.queueDepth = inputs.size();
+    sopts.workers = 1;
+    sopts.defaultDeadline = std::chrono::nanoseconds(1);
+    InferenceSession session(model, sopts);
+    std::vector<std::future<nn::Tensor>> futs;
+    for (const auto &input : inputs)
+        futs.push_back(session.submit(input));
+    session.drain();
+    for (auto &fut : futs)
+        EXPECT_THROW((void)fut.get(), DeadlineExceeded);
+
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.timedOut, inputs.size());
+    EXPECT_GT(stats.expiredStepsSkipped, 0u);
+    EXPECT_EQ(stats.stepsExecuted + stats.expiredStepsSkipped,
+              inputs.size() * model.executionPlan().size());
+}
+
 TEST(Session, GenerousDeadlineNeverFiresAndPreservesResults)
 {
     const auto net = nn::tinyCnn();
