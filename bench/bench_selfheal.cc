@@ -28,21 +28,17 @@
 #include "nn/zoo.h"
 #include "serve/session.h"
 #include "serve/supervisor.h"
+#include "serve_harness.h"
 
 using namespace isaac;
 
 namespace {
 
 constexpr int kImages = 24;
-constexpr int kWorkers[] = {1, 2, 4};
+const std::vector<int> kWorkers = {1, 2, 4};
 
-using Clock = std::chrono::steady_clock;
-
-double
-seconds(Clock::duration d)
-{
-    return std::chrono::duration<double>(d).count();
-}
+using bench::Clock;
+using bench::seconds;
 
 /** ABFT + spares + buffer/NoC transients; no drift, no write noise
  *  (the watchdog's determinism preconditions). */
@@ -81,18 +77,6 @@ soakPolicy()
     serve::WatchdogPolicy p;
     p.detectionGraceAdmissions = 4;
     return p;
-}
-
-std::vector<nn::Tensor>
-makeInputs(const nn::Network &net, FixedFormat fmt)
-{
-    const auto &l0 = net.layer(0);
-    std::vector<nn::Tensor> inputs;
-    for (int i = 0; i < kImages; ++i)
-        inputs.push_back(nn::synthesizeInput(
-            l0.ni, l0.nx, l0.ny,
-            static_cast<std::uint64_t>(9000 + i), fmt));
-    return inputs;
 }
 
 struct SoakRun
@@ -208,7 +192,6 @@ writeJson(const std::vector<SoakRun> &runs, bool recoveryComplete,
                      "BENCH_selfheal.json\n");
         return;
     }
-    const unsigned hc = std::thread::hardware_concurrency();
     std::fprintf(f,
                  "{\n  \"bench\": \"selfheal\",\n"
                  "  \"workload\": \"tinyCnn\",\n"
@@ -217,7 +200,7 @@ writeJson(const std::vector<SoakRun> &runs, bool recoveryComplete,
                  "  \"timeline\": [\"stuck-burst@6\", "
                  "\"tile-kill@14\"],\n"
                  "  \"runs\": [",
-                 kImages, hc == 0 ? 1 : hc);
+                 kImages, bench::hostThreads());
     bool first = true;
     for (const auto &r : runs) {
         std::fprintf(
@@ -254,7 +237,8 @@ printSelfhealStudy()
     const auto weights = nn::WeightStore::synthesize(net, 4242);
     const core::CompileOptions opts;
     const core::Accelerator acc(selfhealConfig());
-    const auto inputs = makeInputs(net, opts.format);
+    const auto inputs =
+        bench::makeServeInputs(net, kImages, opts.format);
 
     // Fault-free ground truth, one result per submission position.
     const auto twin = acc.compile(net, weights, opts);
@@ -270,8 +254,7 @@ printSelfhealStudy()
                 "img/s", "clean img/s", "dip", "burst rec ms",
                 "kill rec ms", "healed", "exact");
 
-    std::vector<SoakRun> runs;
-    for (const int workers : kWorkers) {
+    const auto runs = bench::sweepWorkers(kWorkers, [&](int workers) {
         auto run = runSoak(acc, net, weights, opts, inputs, want,
                            workers);
         std::printf(
@@ -281,8 +264,8 @@ printSelfhealStudy()
             run.recoveryLatencyMs[1],
             static_cast<unsigned long long>(run.healedRetries),
             run.incorrect + run.unresolved == 0 ? "yes" : "NO");
-        runs.push_back(std::move(run));
-    }
+        return run;
+    });
 
     bool recoveryComplete = true;
     bool canonicalInvariant = true;
@@ -310,7 +293,8 @@ BM_SelfhealSoak(benchmark::State &state)
     const auto weights = nn::WeightStore::synthesize(net, 4242);
     const core::CompileOptions opts;
     const core::Accelerator acc(selfhealConfig());
-    const auto inputs = makeInputs(net, opts.format);
+    const auto inputs =
+        bench::makeServeInputs(net, kImages, opts.format);
     const int workers = static_cast<int>(state.range(0));
     for (auto _ : state) {
         auto model = acc.compile(net, weights, opts);

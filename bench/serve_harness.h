@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared harness for the serving-layer studies (bench_serving,
+ * bench_selfheal): wall-clock helpers, host introspection, the
+ * deterministic synthesized request stream, and the worker-count
+ * sweep loop both studies drive their per-worker body through.
+ *
+ * Hoisted so the two binaries cannot drift apart on the parts their
+ * JSON gates implicitly share — the input seeds (9000 + i keeps the
+ * streams comparable across benches), the zero-means-unknown
+ * hardware_concurrency pin, and the sweep structure.
+ */
+
+#ifndef ISAAC_BENCH_SERVE_HARNESS_H
+#define ISAAC_BENCH_SERVE_HARNESS_H
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "nn/zoo.h"
+
+namespace isaac::bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double
+seconds(Clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+/** Hardware threads, with the zero-means-unknown case pinned to 1. */
+inline unsigned
+hostThreads()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : hc;
+}
+
+/**
+ * The shared request stream: `count` deterministic synthesized images
+ * sized for the network's first layer, seeded 9000 + i.
+ */
+inline std::vector<nn::Tensor>
+makeServeInputs(const nn::Network &net, int count, FixedFormat fmt)
+{
+    const auto &l0 = net.layer(0);
+    std::vector<nn::Tensor> inputs;
+    inputs.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        inputs.push_back(nn::synthesizeInput(
+            l0.ni, l0.nx, l0.ny,
+            static_cast<std::uint64_t>(9000 + i), fmt));
+    return inputs;
+}
+
+/**
+ * Run `body(workers)` once per worker count, in order, and collect
+ * the results. The body is free to print its own row.
+ */
+template <typename Body>
+auto
+sweepWorkers(const std::vector<int> &workerCounts, Body &&body)
+{
+    std::vector<decltype(body(1))> runs;
+    runs.reserve(workerCounts.size());
+    for (const int workers : workerCounts)
+        runs.push_back(body(workers));
+    return runs;
+}
+
+} // namespace isaac::bench
+
+#endif // ISAAC_BENCH_SERVE_HARNESS_H

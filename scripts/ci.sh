@@ -16,6 +16,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "== static layout audit: false-sharing padding =="
+# tests/common/test_layout.cc is a wall of static_asserts on the
+# cache-line geometry of the hot shared structures (EpochLog slots,
+# StealDeque words, engine tiles/scratch/memo, session decks): it can
+# only pass by compiling, so the build above already enforced it.
+# Run the registered test anyway so the audit shows up green in CI
+# output rather than passing silently.
+./build/tests/test_common --gtest_filter='Layout.*'
+
 echo "== perf-regression gate: packed fast path vs scalar =="
 # bench_crossbar writes BENCH_crossbar.json (scalar and fast-path
 # columns per thread count plus the gated clean-128 record) before
@@ -80,6 +89,30 @@ if gate["speedup"] < gate["expected_speedup"]:
         "sequential inferBatch (gate: %.2fx)" %
         (gate["queue_depth"], gate["speedup"],
          gate["expected_speedup"]))
+# Host-aware worker-scaling gate: the work-stealing scheduler must
+# turn added workers into throughput. On a host with >= 8 hardware
+# threads the 8-worker depth-16 point has to reach 6x the sequential
+# walk; a smaller host cannot run 8 workers concurrently, so the gate
+# degrades to the same no-regression floor as the pipeline gate.
+scaling = bench["scaling_gate"]
+print("scaling: depth-%d workers-%d %.1f img/s (%.2fx sequential, "
+      "expected >= %.2fx on %d host threads)" %
+      (scaling["queue_depth"], scaling["workers"],
+       scaling["throughput"], scaling["speedup_vs_sequential"],
+       scaling["expected_speedup"], bench["host_threads"]))
+if scaling["speedup_vs_sequential"] < scaling["expected_speedup"]:
+    raise SystemExit(
+        "perf gate FAILED: %d-worker depth-%d session is %.2fx over "
+        "sequential inferBatch (scaling gate: %.2fx on %d host "
+        "threads)" %
+        (scaling["workers"], scaling["queue_depth"],
+         scaling["speedup_vs_sequential"],
+         scaling["expected_speedup"], bench["host_threads"]))
+for a, b in zip(bench["scaling"], bench["scaling"][1:]):
+    if a["workers"] >= b["workers"]:
+        raise SystemExit(
+            "perf gate FAILED: scaling column is not swept in "
+            "increasing worker order")
 EOF
 
 echo "== campaign gate: Monte Carlo fault-injection lab =="

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Chase–Lev work-stealing deque.
+ *
+ * One owner thread pushes and pops at the bottom (LIFO — the owner
+ * keeps working on what it just produced, which is exactly the
+ * self-requeue pattern of a request walking its layer pipeline), while
+ * any number of thieves steal from the top (FIFO — thieves drain the
+ * oldest work first, which preserves rough admission order under load
+ * imbalance). The memory-order recipe follows Lê, Pop, Cohen &
+ * Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+ * Models" (PPoPP'13), with one deliberate deviation: where the paper
+ * uses standalone `atomic_thread_fence`, this implementation promotes
+ * the adjacent operations to seq_cst instead. ThreadSanitizer does not
+ * model standalone fences and would report false races on the
+ * fence-based variant; seq_cst on the two contended words costs one
+ * locked instruction on x86-64 and keeps every access an atomic op the
+ * sanitizer can reason about.
+ *
+ * The circular buffer grows by doubling. Retired buffers are kept
+ * alive until the deque is destroyed: a thief may still be reading a
+ * cell of the old buffer after the owner swapped in the bigger one,
+ * and the elements in flight exist identically in both generations,
+ * so late reads stay valid instead of becoming use-after-free.
+ *
+ * T must be trivially copyable (the session stores raw `Request *`,
+ * ownership is re-wrapped in unique_ptr by whichever thread wins the
+ * element).
+ */
+
+#ifndef ISAAC_COMMON_STEAL_DEQUE_H
+#define ISAAC_COMMON_STEAL_DEQUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace isaac {
+
+template <typename T> class StealDeque
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "StealDeque elements are copied between buffer "
+                  "generations and across threads");
+
+  public:
+    explicit StealDeque(std::int64_t initialCapacity = 64)
+    {
+        std::int64_t cap = 1;
+        while (cap < initialCapacity)
+            cap <<= 1;
+        _buf.store(new Buffer(cap), std::memory_order_relaxed);
+    }
+
+    ~StealDeque()
+    {
+        delete _buf.load(std::memory_order_relaxed);
+        for (Buffer *b : _retired)
+            delete b;
+    }
+
+    StealDeque(const StealDeque &) = delete;
+    StealDeque &operator=(const StealDeque &) = delete;
+
+    /** Owner only: push one element at the bottom. */
+    void push(T value)
+    {
+        std::int64_t b = _bottom.load(std::memory_order_relaxed);
+        std::int64_t t = _top.load(std::memory_order_acquire);
+        Buffer *buf = _buf.load(std::memory_order_relaxed);
+        if (b - t > buf->capacity - 1)
+            buf = grow(buf, t, b);
+        buf->put(b, value);
+        _bottom.store(b + 1, std::memory_order_seq_cst);
+    }
+
+    /** Owner only: pop the most recently pushed element (LIFO). */
+    bool pop(T &out)
+    {
+        std::int64_t b = _bottom.load(std::memory_order_relaxed) - 1;
+        Buffer *buf = _buf.load(std::memory_order_relaxed);
+        _bottom.store(b, std::memory_order_seq_cst);
+        std::int64_t t = _top.load(std::memory_order_seq_cst);
+        if (t <= b) {
+            out = buf->get(b);
+            if (t == b) {
+                // Last element: race the thieves for it.
+                bool won = _top.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed);
+                _bottom.store(b + 1, std::memory_order_relaxed);
+                return won;
+            }
+            return true;
+        }
+        _bottom.store(b + 1, std::memory_order_relaxed);
+        return false;
+    }
+
+    /** Any thread: steal the oldest element (FIFO). */
+    bool steal(T &out)
+    {
+        std::int64_t t = _top.load(std::memory_order_seq_cst);
+        std::int64_t b = _bottom.load(std::memory_order_seq_cst);
+        if (t < b) {
+            Buffer *buf = _buf.load(std::memory_order_acquire);
+            T value = buf->get(t);
+            if (!_top.compare_exchange_strong(t, t + 1,
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_relaxed))
+                return false; // lost the race; caller may retry elsewhere
+            out = value;
+            return true;
+        }
+        return false;
+    }
+
+    /** Approximate: exact only when the owner is quiescent. */
+    std::int64_t sizeApprox() const
+    {
+        std::int64_t b = _bottom.load(std::memory_order_acquire);
+        std::int64_t t = _top.load(std::memory_order_acquire);
+        return b > t ? b - t : 0;
+    }
+
+    bool emptyApprox() const { return sizeApprox() == 0; }
+
+  private:
+    struct Buffer
+    {
+        explicit Buffer(std::int64_t cap)
+            : capacity(cap), mask(cap - 1),
+              cells(std::make_unique<std::atomic<T>[]>(
+                  static_cast<std::size_t>(cap)))
+        {
+        }
+
+        T get(std::int64_t i) const
+        {
+            return cells[static_cast<std::size_t>(i & mask)].load(
+                std::memory_order_relaxed);
+        }
+
+        void put(std::int64_t i, T value)
+        {
+            cells[static_cast<std::size_t>(i & mask)].store(
+                value, std::memory_order_relaxed);
+        }
+
+        const std::int64_t capacity;
+        const std::int64_t mask;
+        std::unique_ptr<std::atomic<T>[]> cells;
+    };
+
+    /** Owner only. Returns the new buffer, retiring the old one. */
+    Buffer *grow(Buffer *old, std::int64_t t, std::int64_t b)
+    {
+        auto *bigger = new Buffer(old->capacity * 2);
+        for (std::int64_t i = t; i < b; ++i)
+            bigger->put(i, old->get(i));
+        _buf.store(bigger, std::memory_order_release);
+        _retired.push_back(old);
+        return bigger;
+    }
+
+    // The two contended words live on their own cache lines; thieves
+    // hammering _top must not invalidate the owner's _bottom line.
+    alignas(kCacheLineBytes) std::atomic<std::int64_t> _top{0};
+    alignas(kCacheLineBytes) std::atomic<std::int64_t> _bottom{0};
+    alignas(kCacheLineBytes) std::atomic<Buffer *> _buf{nullptr};
+    std::vector<Buffer *> _retired; // owner only; freed in destructor
+};
+
+} // namespace isaac
+
+#endif // ISAAC_COMMON_STEAL_DEQUE_H

@@ -7,6 +7,7 @@
 #ifndef ISAAC_COMMON_TYPES_H
 #define ISAAC_COMMON_TYPES_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace isaac {
@@ -28,6 +29,17 @@ constexpr int kDataBytes = kDataBits / 8;
 
 /** 16-bit fixed-point activation / weight as stored in buffers. */
 using Word = std::int16_t;
+
+/**
+ * Destructive-interference granularity assumed by the false-sharing
+ * audit. Hot shared structures (epoch-log slots, work-stealing deque
+ * ends, per-worker scratch) are padded to this boundary so two threads
+ * never bounce one line. 64 bytes covers x86-64 and most aarch64
+ * parts; `std::hardware_destructive_interference_size` is deliberately
+ * not used because it is an ABI hazard (its value may differ between
+ * translation units compiled with different tuning flags).
+ */
+constexpr std::size_t kCacheLineBytes = 64;
 
 /** Wide accumulator for exact dot products (up to ~2^47 fits easily). */
 using Acc = std::int64_t;

@@ -17,9 +17,11 @@
 #define ISAAC_ISAAC_H
 
 #include "common/bits.h"
+#include "common/epoch_log.h"
 #include "common/fixed_point.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/steal_deque.h"
 #include "common/types.h"
 
 #include "arch/chip.h"

@@ -49,6 +49,9 @@ InferenceSession::InferenceSession(const core::CompiledModel &model,
         : _opts.workers;
     _workers = std::clamp(resolved, 1, kMaxThreads);
     ThreadPool::global().ensureWorkers(_workers);
+    _decks.reserve(static_cast<std::size_t>(_workers));
+    for (int i = 0; i < _workers; ++i)
+        _decks.push_back(std::make_unique<Deck>());
 }
 
 InferenceSession::~InferenceSession()
@@ -188,7 +191,7 @@ InferenceSession::enqueue(std::unique_ptr<Request> req, bool block,
             auto help = std::move(_ready.front());
             _ready.pop_front();
             lk.unlock();
-            step(std::move(help));
+            step(std::move(help), /*deck=*/-1);
             lk.lock();
         } else {
             _cvSpace.wait_for(lk, std::chrono::milliseconds(1));
@@ -245,7 +248,7 @@ InferenceSession::expireIfPastDeadline(Request &req)
 }
 
 void
-InferenceSession::step(std::unique_ptr<Request> req)
+InferenceSession::step(std::unique_ptr<Request> req, int deck)
 {
     const auto &nodes = _model.executionPlan().nodes();
     std::uint64_t executed = 0;
@@ -296,6 +299,14 @@ InferenceSession::step(std::unique_ptr<Request> req)
     if (expired)
         skipped = nodes.size() - req->nodeIdx;
     const bool done = failed || req->nodeIdx >= nodes.size();
+    // Publish this slice's counters to the calling thread's epoch-log
+    // slot — the slice boundary is the epoch boundary, so stats()
+    // folds are exact whenever no step is mid-flight. This replaces
+    // the per-slice `_stats.* +=` under _mtx on every path below.
+    {
+        const std::uint64_t flat[2] = {executed, skipped};
+        _stepLog.publish(flat);
+    }
     if (done && !failed) {
         // Before delivering, hold the result against the fault
         // records: a request whose Dot steps overlapped a faulty
@@ -309,7 +320,6 @@ InferenceSession::step(std::unique_ptr<Request> req)
         std::unique_lock<std::mutex> lk(_mtx);
         const Taint taint = taintLocked(*req);
         if (taint.tainted) {
-            _stats.stepsExecuted += executed;
             if (req->heals >= _opts.healRetryBudget) {
                 failHealLocked(
                     std::move(req),
@@ -344,15 +354,25 @@ InferenceSession::step(std::unique_ptr<Request> req)
         else
             req->promiseFinal.set_value(std::move(req->cur));
     }
+    if (!done) {
+        // The hot path: the request self-requeues onto the executing
+        // pump's own deck lock-free. Liveness is the owner's job —
+        // the pump pops its own deck before looking anywhere else and
+        // never exits while it is non-empty; idle pumps may steal the
+        // request meanwhile. Deckless callers fall back to the inbox.
+        if (deck >= 0) {
+            _decks[static_cast<std::size_t>(deck)]->dq.push(
+                req.release());
+            return;
+        }
+        std::unique_lock<std::mutex> lk(_mtx);
+        makeReady(std::move(req), lk);
+        return;
+    }
     std::unique_lock<std::mutex> lk(_mtx);
-    _stats.stepsExecuted += executed;
-    _stats.expiredStepsSkipped += skipped;
     if (expired)
         ++_stats.timedOut;
-    if (done)
-        completeLocked();
-    else
-        makeReady(std::move(req), lk);
+    completeLocked();
 }
 
 void
@@ -451,23 +471,126 @@ InferenceSession::noteFaultRepaired(std::size_t token)
     }
 }
 
+int
+InferenceSession::claimDeck()
+{
+    for (std::size_t i = 0; i < _decks.size(); ++i) {
+        if (!_decks[i]->busy.exchange(true, std::memory_order_acq_rel))
+            return static_cast<int>(i);
+    }
+    // _activePumps <= _workers == deck count, so a pump normally
+    // always finds a free deck; the only exception is racing a
+    // predecessor that exited but has not released yet. Degrade to
+    // deckless helper mode rather than spin.
+    return -1;
+}
+
+void
+InferenceSession::releaseDeck(int deck)
+{
+    _decks[static_cast<std::size_t>(deck)]->busy.store(
+        false, std::memory_order_release);
+}
+
+bool
+InferenceSession::stealFrom(int self, Request *&out)
+{
+    const int n = static_cast<int>(_decks.size());
+    const int start = self >= 0 ? self + 1 : 0;
+    for (int k = 0; k < n; ++k) {
+        const int i = (start + k) % n;
+        if (i == self)
+            continue;
+        if (_decks[static_cast<std::size_t>(i)]->dq.steal(out))
+            return true;
+    }
+    return false;
+}
+
 void
 InferenceSession::pump()
 {
+    // How many extra inbox requests one lock acquisition moves into
+    // the pump's own deck. Batching is where the scalability comes
+    // from: the per-slice path is lock-free, so _mtx is touched once
+    // per batch plus once per completion instead of twice per slice.
+    constexpr std::size_t kInboxBatch = 8;
+
+    const int deck = claimDeck();
     for (;;) {
+        // 1. Own deck first (LIFO: keep driving the request this
+        //    pump just advanced — and drain it fully before exiting,
+        //    which is what keeps deck work owned by a live pump).
+        Request *raw = nullptr;
+        if (deck >= 0 &&
+            _decks[static_cast<std::size_t>(deck)]->dq.pop(raw)) {
+            step(std::unique_ptr<Request>(raw), deck);
+            continue;
+        }
+        // 2. Inbox: take one to run and batch a few more into the
+        //    own deck under a single _mtx acquisition.
         std::unique_ptr<Request> req;
         {
             std::unique_lock<std::mutex> lk(_mtx);
-            if (_ready.empty()) {
-                --_activePumps;
-                if (_activePumps == 0)
-                    _cvSpace.notify_all();
-                return;
+            if (!_ready.empty()) {
+                req = std::move(_ready.front());
+                _ready.pop_front();
+                if (deck >= 0) {
+                    auto &dq =
+                        _decks[static_cast<std::size_t>(deck)]->dq;
+                    for (std::size_t i = 0;
+                         i + 1 < kInboxBatch && !_ready.empty(); ++i) {
+                        dq.push(_ready.front().release());
+                        _ready.pop_front();
+                    }
+                }
             }
-            req = std::move(_ready.front());
-            _ready.pop_front();
         }
-        step(std::move(req));
+        if (req) {
+            step(std::move(req), deck);
+            continue;
+        }
+        // 3. Steal the oldest work of a busier pump.
+        if (deck >= 0 && stealFrom(deck, raw)) {
+            step(std::unique_ptr<Request>(raw), deck);
+            continue;
+        }
+        // 4. Own deck and inbox empty, steal sweep came back dry. If
+        //    another pump visibly still holds queued work, stay alive
+        //    (yield, then steal again) instead of retiring — a retire
+        //    here would shrink parallelism until the next admission,
+        //    since only makeReady spawns pumps. The owner of that
+        //    work is live by invariant, so this loop terminates.
+        if (deck >= 0) {
+            bool othersBusy = false;
+            for (std::size_t i = 0; i < _decks.size(); ++i) {
+                if (static_cast<int>(i) != deck &&
+                    !_decks[i]->dq.emptyApprox()) {
+                    othersBusy = true;
+                    break;
+                }
+            }
+            if (othersBusy) {
+                std::this_thread::yield();
+                continue;
+            }
+        }
+        // 5. Nothing visible anywhere. Confirm the inbox is still
+        //    empty under the lock and retire — the decrement shares
+        //    the critical section with makeReady's spawn check, so
+        //    an admission either sees this pump still active or
+        //    spawns a replacement; no work is ever stranded.
+        {
+            std::unique_lock<std::mutex> lk(_mtx);
+            if (!_ready.empty())
+                continue;
+            if (deck >= 0)
+                releaseDeck(deck);
+            --_activePumps;
+            if (_activePumps == 0)
+                _cvSpace.notify_all();
+            return;
+        }
     }
 }
 
@@ -486,7 +609,7 @@ InferenceSession::drainLocked(std::unique_lock<std::mutex> &lk)
             auto req = std::move(_ready.front());
             _ready.pop_front();
             lk.unlock();
-            step(std::move(req));
+            step(std::move(req), /*deck=*/-1);
             lk.lock();
         } else if (_closed && !_parked.empty()) {
             // Shutdown with requests parked on a pending repair: no
@@ -500,10 +623,21 @@ InferenceSession::drainLocked(std::unique_lock<std::mutex> &lk)
                 "InferenceSession: session shut down while the "
                 "request awaited an online repair");
         } else {
-            // Another worker holds every in-flight request; wake on
-            // requeue or completion (timed: belt-and-braces against
-            // a notification racing the unlock).
-            _cvWork.wait_for(lk, std::chrono::milliseconds(1));
+            // The inbox is empty but requests may sit in pump decks.
+            // Lend this thread to stealing (the documented drain()
+            // contract: the caller executes layer-steps itself);
+            // otherwise wake on requeue or completion (timed:
+            // belt-and-braces against a notification racing the
+            // unlock).
+            lk.unlock();
+            Request *raw = nullptr;
+            if (stealFrom(/*self=*/-1, raw)) {
+                step(std::unique_ptr<Request>(raw), /*deck=*/-1);
+                lk.lock();
+            } else {
+                lk.lock();
+                _cvWork.wait_for(lk, std::chrono::milliseconds(1));
+            }
         }
     }
 }
@@ -543,8 +677,19 @@ InferenceSession::inFlight() const
 SessionStats
 InferenceSession::stats() const
 {
-    std::lock_guard<std::mutex> lk(_mtx);
-    return _stats;
+    SessionStats s;
+    {
+        std::lock_guard<std::mutex> lk(_mtx);
+        s = _stats;
+    }
+    // Fold the lock-free step-side counters on top of the admission-
+    // side fields. Workers publish at every slice boundary, so at any
+    // quiescent point (after drain()/shutdown()) the fold is exact.
+    std::uint64_t flat[2] = {0, 0};
+    _stepLog.fold(flat);
+    s.stepsExecuted += flat[0];
+    s.expiredStepsSkipped += flat[1];
+    return s;
 }
 
 } // namespace isaac::serve

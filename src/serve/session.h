@@ -58,6 +58,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/epoch_log.h"
+#include "common/steal_deque.h"
 #include "core/accelerator.h"
 #include "nn/tensor.h"
 #include "resilience/health.h"
@@ -330,12 +332,40 @@ class InferenceSession
     /** Fail an expired request's promise; true if it timed out. */
     bool expireIfPastDeadline(Request &req);
 
+    /**
+     * One scheduler worker's Chase–Lev deque plus its claim flag.
+     * Cache-line-aligned so two workers' deque ends never share a
+     * line (the deque also self-pads its top/bottom words).
+     */
+    struct alignas(kCacheLineBytes) Deck
+    {
+        StealDeque<Request *> dq;
+        std::atomic<bool> busy{false};
+    };
+
+    /** Claim a free deck slot for a pump; -1 if none is free. */
+    int claimDeck();
+    void releaseDeck(int deck);
+
+    /**
+     * One sweep over the other workers' decks, stealing the oldest
+     * element (FIFO). `self` = the caller's own deck (skipped), or
+     * -1 for deckless helpers (drain). False on an empty/lost sweep.
+     */
+    bool stealFrom(int self, Request *&out);
+
     /** Push a runnable request and make sure a worker will run it. */
     void makeReady(std::unique_ptr<Request> req,
                    std::unique_lock<std::mutex> &lk);
 
-    /** Execute one slice of `req`; requeues or completes it. */
-    void step(std::unique_ptr<Request> req);
+    /**
+     * Execute one slice of `req`; requeues or completes it. `deck` is
+     * the calling pump's deck index: a request that is not done
+     * requeues to that deck lock-free (the hot path). Deckless
+     * callers (blocked submitters, drain) pass -1 and requeue through
+     * the inbox under _mtx.
+     */
+    void step(std::unique_ptr<Request> req, int deck);
 
     /**
      * drain() body with the session lock already held — shutdown()
@@ -389,11 +419,37 @@ class InferenceSession
     mutable std::mutex _mtx;
     std::condition_variable _cvSpace; ///< Signaled on completion.
     std::condition_variable _cvWork;  ///< Signaled on makeReady.
+    /**
+     * The inbox: external pushes (admission, heal requeues, parked
+     * releases) land here under _mtx. Pumps drain it in batches into
+     * their own decks; the per-slice self-requeue never touches it.
+     */
     std::deque<std::unique_ptr<Request>> _ready;
+    /**
+     * Per-worker work-stealing decks. A pump claims one for its
+     * lifetime; its requests self-requeue onto it lock-free (owner
+     * LIFO — the pump keeps driving the request it just advanced),
+     * and idle pumps steal the oldest work of busier ones (thief
+     * FIFO — preserving rough admission order under imbalance). A
+     * deck's elements are only ever pushed by its owner, and a pump
+     * exits only with its own deck verified empty, so deck work
+     * always has a live owner: stealing is an accelerator, never a
+     * liveness requirement. Sized once in the constructor, never
+     * resized (pumps index it without the lock).
+     */
+    std::vector<std::unique_ptr<Deck>> _decks;
     std::size_t _inFlight = 0;
     int _activePumps = 0;
     bool _closed = false;
     SessionStats _stats;
+    /**
+     * Per-worker epoch log for the step-side counters
+     * [stepsExecuted, expiredStepsSkipped]: published once per slice
+     * by the executing thread, folded into stats() on read. These
+     * are the only SessionStats fields written on the lock-free
+     * requeue path; everything else mutates under _mtx as before.
+     */
+    mutable EpochLog _stepLog{2};
 
     /**
      * The repair lock: layer-steps execute under the shared side, so
@@ -422,6 +478,11 @@ class InferenceSession
      * deadlock a blocked submitter against the poller.
      */
     std::vector<std::unique_ptr<Request>> _parked;
+
+  public:
+    // Layout probe for the false-sharing audit
+    // (tests/common/test_layout.cc); Deck itself is private.
+    static constexpr std::size_t kDeckAlign = alignof(Deck);
 };
 
 } // namespace isaac::serve

@@ -124,8 +124,17 @@ class Adc
 
     int _bits;
     bool _noisy;
-    mutable std::atomic<std::uint64_t> _samples{0};
-    mutable std::atomic<std::uint64_t> _clips{0};
+    /**
+     * Every dotProduct() call fetch_adds both counters once at retire
+     * (addTally), from whatever thread ran the call. Each sits on its
+     * own cache line so the two RMWs don't bounce one line between
+     * workers — and don't share a line with the read-mostly config
+     * fields above.
+     */
+    alignas(kCacheLineBytes) mutable std::atomic<std::uint64_t>
+        _samples{0};
+    alignas(kCacheLineBytes) mutable std::atomic<std::uint64_t>
+        _clips{0};
 };
 
 } // namespace isaac::xbar

@@ -83,7 +83,8 @@ BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
     tiles.resize(static_cast<std::size_t>(_rowSegments) *
                  _colSegments);
 
-    _tileAdc.assign(tiles.size(), AdcTally{});
+    _log.configure(kLogTileBase + 2 * tiles.size());
+    _folded.assign(_log.counters(), 0);
     memos.resize(tiles.size());
     for (auto &m : memos)
         m = std::make_unique<TileMemo>();
@@ -798,20 +799,7 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
     }
 
     adc.addTally(tally);
-    {
-        std::lock_guard<std::mutex> lock(statsMutex);
-        _transient.merge(transientDelta);
-        ++_stats.ops;
-        _stats.crossbarReads += delta.crossbarReads;
-        _stats.adcSamples += delta.adcSamples;
-        _stats.adcClips += tally.clips;
-        _stats.shiftAdds += delta.shiftAdds;
-        _stats.dacActivations += delta.dacActivations;
-        for (std::size_t i = 0; i < tileTally.size(); ++i) {
-            _tileAdc[i].samples += tileTally[i].samples;
-            _tileAdc[i].clips += tileTally[i].clips;
-        }
-    }
+    publishDelta(1, delta, tally.clips, transientDelta, tileTally);
     return result;
 }
 
@@ -1245,20 +1233,8 @@ BitSerialEngine::dotProductBatch(std::span<const Word> inputs,
     // fastPathActive() implies drift is disabled, so the periodic
     // refresh accounting dotProduct() performs can never trigger.
     adc.addTally(tally);
-    {
-        std::lock_guard<std::mutex> lock(statsMutex);
-        _transient.merge(transientDelta);
-        _stats.ops += static_cast<std::uint64_t>(count);
-        _stats.crossbarReads += delta.crossbarReads;
-        _stats.adcSamples += delta.adcSamples;
-        _stats.adcClips += tally.clips;
-        _stats.shiftAdds += delta.shiftAdds;
-        _stats.dacActivations += delta.dacActivations;
-        for (std::size_t i = 0; i < tileTally.size(); ++i) {
-            _tileAdc[i].samples += tileTally[i].samples;
-            _tileAdc[i].clips += tileTally[i].clips;
-        }
-    }
+    publishDelta(static_cast<std::uint64_t>(count), delta, tally.clips,
+                 transientDelta, tileTally);
     return out;
 }
 
@@ -1268,21 +1244,85 @@ BitSerialEngine::physicalArrays() const
     return _rowSegments * _colSegments;
 }
 
+void
+BitSerialEngine::publishDelta(
+    std::uint64_t ops, const EngineStats &delta, std::uint64_t clips,
+    const resilience::TransientStats &tr,
+    std::span<const AdcTally> tileTally) const
+{
+    // Flatten the finished call's counters into the log layout and
+    // publish them as one epoch. The delta lives entirely in
+    // caller-owned scratch, so this is the only point where the call
+    // touches shared state — and it touches only this thread's slot.
+    std::vector<std::uint64_t> flat(_log.counters(), 0);
+    flat[0] = ops;
+    flat[1] = delta.crossbarReads;
+    flat[2] = delta.adcSamples;
+    flat[3] = clips;
+    flat[4] = delta.shiftAdds;
+    flat[5] = delta.dacActivations;
+    std::uint64_t *t = flat.data() + kLogEngineFields;
+    t[0] = tr.abftChecks;
+    t[1] = tr.abftMismatches;
+    t[2] = tr.abftRetries;
+    t[3] = tr.abftRetryCycles;
+    t[4] = tr.abftUncorrected;
+    t[5] = tr.abftDisabledTiles;
+    t[6] = tr.driftRefreshes;
+    t[7] = tr.refreshPulses;
+    t[8] = tr.eccWords;
+    t[9] = tr.eccBitFlips;
+    t[10] = tr.eccSingles;
+    t[11] = tr.eccDoubles;
+    t[12] = tr.eccRecomputedWords;
+    t[13] = tr.eccRecomputeCycles;
+    t[14] = tr.packetsSent;
+    t[15] = tr.packetsCorrupted;
+    t[16] = tr.packetsRetransmitted;
+    t[17] = tr.packetBackoffCycles;
+    t[18] = tr.packetsUncorrected;
+    t[19] = tr.deadLinks;
+    for (std::size_t i = 0; i < tileTally.size(); ++i) {
+        flat[kLogTileBase + 2 * i] = tileTally[i].samples;
+        flat[kLogTileBase + 2 * i + 1] = tileTally[i].clips;
+    }
+    _log.publish(flat);
+}
+
+void
+BitSerialEngine::foldLocked() const
+{
+    _log.fold(_foldCursor, _folded);
+}
+
 EngineStats
 BitSerialEngine::stats() const
 {
-    std::lock_guard<std::mutex> lock(statsMutex);
-    return _stats;
+    std::lock_guard<std::mutex> lock(_foldMutex);
+    foldLocked();
+    EngineStats s;
+    s.ops = _folded[0];
+    s.crossbarReads = _folded[1];
+    s.adcSamples = _folded[2];
+    s.adcClips = _folded[3];
+    s.shiftAdds = _folded[4];
+    s.dacActivations = _folded[5];
+    return s;
 }
 
 void
 BitSerialEngine::resetStats()
 {
     {
-        std::lock_guard<std::mutex> lock(statsMutex);
-        _stats = EngineStats{};
-        _transient = resilience::TransientStats{};
-        _tileAdc.assign(tiles.size(), AdcTally{});
+        // Rewind the epoch log and the reader-side cursor together.
+        // The caller guarantees no dotProduct() is in flight (same
+        // contract as reprogram), so reset() observes no half-
+        // published epochs; dropping the cursor forgets the cached
+        // pre-reset snapshots outright.
+        std::lock_guard<std::mutex> lock(_foldMutex);
+        _log.reset();
+        _foldCursor = EpochLog::Cursor{};
+        std::fill(_folded.begin(), _folded.end(), std::uint64_t{0});
     }
     adc.resetStats();
     for (auto &t : tiles)
@@ -1372,8 +1412,14 @@ BitSerialEngine::faultMap(int rs, int cs) const
 AdcTally
 BitSerialEngine::tileAdcTally(int rs, int cs) const
 {
-    std::lock_guard<std::mutex> lock(statsMutex);
-    return _tileAdc[static_cast<std::size_t>(rs) * _colSegments + cs];
+    const std::size_t i =
+        static_cast<std::size_t>(rs) * _colSegments + cs;
+    std::lock_guard<std::mutex> lock(_foldMutex);
+    foldLocked();
+    AdcTally tally;
+    tally.samples = _folded[kLogTileBase + 2 * i];
+    tally.clips = _folded[kLogTileBase + 2 * i + 1];
+    return tally;
 }
 
 std::uint64_t
@@ -1390,8 +1436,29 @@ BitSerialEngine::transientStats() const
 {
     resilience::TransientStats out;
     {
-        std::lock_guard<std::mutex> lock(statsMutex);
-        out = _transient;
+        std::lock_guard<std::mutex> lock(_foldMutex);
+        foldLocked();
+        const std::uint64_t *t = _folded.data() + kLogEngineFields;
+        out.abftChecks = t[0];
+        out.abftMismatches = t[1];
+        out.abftRetries = t[2];
+        out.abftRetryCycles = t[3];
+        out.abftUncorrected = t[4];
+        out.abftDisabledTiles = t[5];
+        out.driftRefreshes = t[6];
+        out.refreshPulses = t[7];
+        out.eccWords = t[8];
+        out.eccBitFlips = t[9];
+        out.eccSingles = t[10];
+        out.eccDoubles = t[11];
+        out.eccRecomputedWords = t[12];
+        out.eccRecomputeCycles = t[13];
+        out.packetsSent = t[14];
+        out.packetsCorrupted = t[15];
+        out.packetsRetransmitted = t[16];
+        out.packetBackoffCycles = t[17];
+        out.packetsUncorrected = t[18];
+        out.deadLinks = t[19];
     }
     // Disabled-tile count is structural (like the fault census), so
     // it is derived from the live tile state rather than accumulated.

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/epoch_log.h"
 #include "common/types.h"
 #include "resilience/fault_map.h"
 #include "resilience/health.h"
@@ -422,7 +423,13 @@ class BitSerialEngine
     std::uint64_t memoMisses() const;
 
   private:
-    struct ArrayTile
+    /**
+     * Cache-line-aligned: tiles sit adjacent in the `tiles` vector and
+     * concurrent workers read/evaluate different tiles; alignment
+     * keeps one tile's mutable tail (fault census, taint flag) off its
+     * neighbour's line.
+     */
+    struct alignas(kCacheLineBytes) ArrayTile
     {
         std::unique_ptr<CrossbarArray> array;
         std::vector<bool> flipped;  ///< Per logical data column.
@@ -445,8 +452,13 @@ class BitSerialEngine
         bool tainted = false;
     };
 
-    /** Per-worker accumulator for one dotProduct() call. */
-    struct Partial
+    /**
+     * Per-worker accumulator for one dotProduct() call.
+     * Cache-line-aligned: parallelFor hands adjacent elements of a
+     * `std::vector<Partial>` to different workers, so an unaligned
+     * Partial would put two workers' hottest scratch on one line.
+     */
+    struct alignas(kCacheLineBytes) Partial
     {
         std::vector<Acc> result;  ///< Phase contributions per output.
         std::vector<Acc> rawSum;  ///< Biased-mode running totals.
@@ -494,7 +506,7 @@ class BitSerialEngine
      * multimap because distinct keys may share an FNV hash (replay
      * verifies full key equality before trusting an entry).
      */
-    struct TileMemo
+    struct alignas(kCacheLineBytes) TileMemo
     {
         std::mutex m;
         std::vector<MemoEntry> entries;
@@ -634,17 +646,50 @@ class BitSerialEngine
     Adc adc;
     /** dotProduct() call counter; keys the per-call noise stream. */
     mutable std::atomic<std::uint64_t> _opSeq{0};
-    mutable std::mutex statsMutex;
-    mutable EngineStats _stats;
-    /** Transient counters (guarded by statsMutex). */
-    mutable resilience::TransientStats _transient;
-    /** Per-tile ADC tallies (guarded by statsMutex). */
-    mutable std::vector<AdcTally> _tileAdc;
+
+    /**
+     * Lock-free statistics substrate. Every dotProduct()/
+     * dotProductBatch() call publishes its finished counter delta to
+     * the calling thread's slot as one epoch; readers fold the slots.
+     * Flat counter layout (see kLog* indices below):
+     * [ EngineStats(6) | TransientStats(20) | per-tile {samples,clips} ].
+     */
+    static constexpr std::size_t kLogEngineFields = 6;
+    static constexpr std::size_t kLogTransientFields = 20;
+    static constexpr std::size_t kLogTileBase =
+        kLogEngineFields + kLogTransientFields;
+    mutable EpochLog _log;
+    /** Reader-side fold state: the vector-clock cursor plus the last
+     *  folded totals, shared by stats()/tileAdcTally()/
+     *  transientStats() under _foldMutex (readers only — writers
+     *  never take it). */
+    mutable std::mutex _foldMutex;
+    mutable EpochLog::Cursor _foldCursor;
+    mutable std::vector<std::uint64_t> _folded;
+
+    /** Flatten one call's delta and publish it as one epoch. */
+    void publishDelta(std::uint64_t ops, const EngineStats &delta,
+                      std::uint64_t clips,
+                      const resilience::TransientStats &transientDelta,
+                      std::span<const AdcTally> tileTally) const;
+    /** Incremental fold into _folded; caller holds _foldMutex. */
+    void foldLocked() const;
+
     /** Per-tile digit-vector memos (each owns its mutex). */
     mutable std::vector<std::unique_ptr<TileMemo>> memos;
     /** injectCellFault() happened: stored levels no longer match
      *  what programming left, so the packed path stands down. */
     mutable std::atomic<bool> _injected{false};
+
+  public:
+    // Layout probes for the false-sharing audit
+    // (tests/common/test_layout.cc). The nested hot structures are
+    // private; these constexprs export just their geometry so the
+    // static_asserts live next to the other layout checks instead of
+    // inside this header.
+    static constexpr std::size_t kArrayTileAlign = alignof(ArrayTile);
+    static constexpr std::size_t kPartialAlign = alignof(Partial);
+    static constexpr std::size_t kTileMemoAlign = alignof(TileMemo);
 };
 
 } // namespace isaac::xbar

@@ -318,6 +318,89 @@ TEST(Campaign, ResetForScenarioMatchesAFreshCompileBitForBit)
     EXPECT_EQ(first.second, fresh.second);
 }
 
+TEST(Campaign, ReplayAfterResetRewindsEpochStatLogsExactly)
+{
+    // Regression for the epoch-log stats runtime: resetForScenario()
+    // (via resetStats()) must rewind the per-worker epoch logs and
+    // the reader's publish cursor, not just the legacy counters. If
+    // either survives the reset, the second run's EngineStats /
+    // per-tile AdcTally / TransientStats double up and this test sees
+    // it immediately. Serve through a multi-worker session so the
+    // counters being rewound were actually produced by concurrent
+    // publishes into distinct epoch-log slots.
+    const auto net = nn::tinyCnn();
+    const auto weights =
+        synthesizeStructuredWeights(net, kSeed ^ 0xAB1Eull);
+    Scenario s;
+    s.masterSeed = kSeed;
+    s.writeSigma = 0.15;
+    s.stuckRate = 0.005;
+    s.spareCols = 2;
+    const core::Accelerator acc(s.config(1));
+    const FixedFormat fmt{12};
+    std::vector<nn::Tensor> inputs;
+    for (int i = 0; i < 3; ++i)
+        inputs.push_back(nn::synthesizeInput(16, 12, 12, 7 + i, fmt));
+
+    const auto tallies = [](const core::CompiledModel &model) {
+        std::vector<xbar::AdcTally> out;
+        for (std::size_t i = 0; i < model.network().size(); ++i) {
+            for (std::int64_t g = 0; g < model.engineGroupCount(i);
+                 ++g) {
+                const auto *e = model.engine(i, g);
+                for (int rs = 0; rs < e->rowSegments(); ++rs)
+                    for (int cs = 0; cs < e->colSegments(); ++cs)
+                        out.push_back(e->tileAdcTally(rs, cs));
+            }
+        }
+        return out;
+    };
+    auto model = acc.compile(net, weights, {});
+    const auto runOnce = [&] {
+        model.resetForScenario();
+        serve::SessionOptions so;
+        so.workers = 4;
+        serve::InferenceSession session(model, so);
+        auto out = session.run(inputs);
+        return std::make_tuple(std::move(out), model.engineStats(),
+                               model.transientStats(),
+                               tallies(model));
+    };
+
+    const auto first = runOnce();
+    const auto second = runOnce();
+    ASSERT_EQ(std::get<0>(first).size(), std::get<0>(second).size());
+    for (std::size_t i = 0; i < std::get<0>(first).size(); ++i)
+        EXPECT_EQ(std::get<0>(first)[i].raw(),
+                  std::get<0>(second)[i].raw());
+    EXPECT_TRUE(std::get<1>(first) == std::get<1>(second))
+        << "EngineStats must rewind to zero between replays";
+    EXPECT_TRUE(std::get<2>(first) == std::get<2>(second))
+        << "TransientStats must rewind to zero between replays";
+    const auto &ta = std::get<3>(first);
+    const auto &tb = std::get<3>(second);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t t = 0; t < ta.size(); ++t)
+        EXPECT_TRUE(ta[t] == tb[t]) << "tile " << t;
+}
+
+TEST(CampaignRunner, BackToBackCampaignsOnOneRunnerAreByteIdentical)
+{
+    // The campaign-replay contract end to end: the same Runner swept
+    // over the same grid twice must emit byte-identical reports. Any
+    // state leaking across scenario evaluations — stale epoch-log
+    // rows, an unrewound publish cursor, a drift clock that kept
+    // ticking — shows up as a JSON diff here.
+    RunnerOptions opts;
+    opts.batch = 2;
+    opts.threads = 2;
+    const Runner runner("tinycnn", kSeed, opts);
+    const auto first = runner.run(Grid::smoke());
+    const auto second = runner.run(Grid::smoke());
+    EXPECT_EQ(second.toJson(), first.toJson());
+    EXPECT_EQ(second.contentHash(), first.contentHash());
+}
+
 TEST(Campaign, RunReportJsonEmbedsTheCampaignSummary)
 {
     RunnerOptions opts;

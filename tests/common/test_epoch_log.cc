@@ -1,0 +1,224 @@
+/**
+ * @file
+ * EpochLog: the lock-free per-worker statistics substrate.
+ *
+ * The contract under test (docs/threading.md): publishes are atomic
+ * with respect to folds (a fold sees all of a published delta or none
+ * of it), totals are counter-exact at any thread count, the
+ * vector-clock cursor makes repeated folds incremental without ever
+ * changing their value, and reset() rewinds the log so cursors that
+ * cached pre-reset snapshots observe zeros, not stale totals.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/epoch_log.h"
+
+namespace isaac {
+namespace {
+
+TEST(EpochLog, SingleThreadTotalsAreExact)
+{
+    EpochLog log(3);
+    for (std::uint64_t i = 1; i <= 100; ++i) {
+        const std::uint64_t delta[3] = {i, 2 * i, 1};
+        log.publish(delta);
+    }
+    std::uint64_t out[3] = {0, 0, 0};
+    log.fold(out);
+    EXPECT_EQ(out[0], 5050u);
+    EXPECT_EQ(out[1], 10100u);
+    EXPECT_EQ(out[2], 100u);
+    EXPECT_EQ(log.publishCount(), 100u);
+    EXPECT_EQ(log.activeSlots(), 1);
+}
+
+TEST(EpochLog, DeferredConfigureFoldsZeroBeforeFirstPublish)
+{
+    EpochLog log;
+    log.configure(2);
+    std::uint64_t out[2] = {7, 7};
+    log.fold(out);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 0u);
+}
+
+TEST(EpochLog, ManyWritersProduceExactTotals)
+{
+    // Each writer publishes its own arithmetic series; the fold must
+    // equal the closed-form total no matter how publishes interleave.
+    constexpr int kWriters = 8;
+    constexpr std::uint64_t kPublishes = 2000;
+    EpochLog log(2);
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&log] {
+            for (std::uint64_t i = 1; i <= kPublishes; ++i) {
+                const std::uint64_t delta[2] = {i, 1};
+                log.publish(delta);
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    std::uint64_t out[2] = {0, 0};
+    log.fold(out);
+    EXPECT_EQ(out[0], kWriters * (kPublishes * (kPublishes + 1) / 2));
+    EXPECT_EQ(out[1], kWriters * kPublishes);
+    EXPECT_EQ(log.publishCount(), kWriters * kPublishes);
+}
+
+TEST(EpochLog, FoldsDuringPublishingNeverSeeTornDeltas)
+{
+    // Every publish adds {1, 2}: any prefix of publishes therefore
+    // satisfies out[1] == 2 * out[0]. A fold that caught half of a
+    // delta would break the invariant.
+    EpochLog log(2);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w) {
+        writers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const std::uint64_t delta[2] = {1, 2};
+                log.publish(delta);
+            }
+        });
+    }
+    for (int reads = 0; reads < 5000; ++reads) {
+        std::uint64_t out[2] = {0, 0};
+        log.fold(out);
+        ASSERT_EQ(out[1], 2 * out[0]);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto &t : writers)
+        t.join();
+}
+
+TEST(EpochLog, CursorFoldMatchesPlainFoldAndIsIncremental)
+{
+    EpochLog log(2);
+    EpochLog::Cursor cur;
+    std::uint64_t viaCursor[2] = {0, 0};
+    std::uint64_t plain[2] = {0, 0};
+
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 10; ++i) {
+            const std::uint64_t delta[2] = {3, 5};
+            log.publish(delta);
+        }
+        log.fold(cur, viaCursor);
+        log.fold(plain);
+        EXPECT_EQ(viaCursor[0], plain[0]);
+        EXPECT_EQ(viaCursor[1], plain[1]);
+    }
+    // An idle re-fold through the cursor must not change the answer.
+    std::uint64_t again[2] = {0, 0};
+    log.fold(cur, again);
+    EXPECT_EQ(again[0], viaCursor[0]);
+    EXPECT_EQ(again[1], viaCursor[1]);
+}
+
+TEST(EpochLog, ResetRewindsTotalsAndInvalidatesCursors)
+{
+    EpochLog log(1);
+    EpochLog::Cursor cur;
+    const std::uint64_t delta[1] = {7};
+    log.publish(delta);
+    std::uint64_t out[1] = {0};
+    log.fold(cur, out);
+    ASSERT_EQ(out[0], 7u);
+
+    log.reset();
+    // The cursor cached {7}; reset must advance the slot epoch so the
+    // next cursor fold re-reads the zeroed slot instead of serving
+    // the stale cache.
+    log.fold(cur, out);
+    EXPECT_EQ(out[0], 0u);
+
+    // And the log keeps working after a reset.
+    log.publish(delta);
+    log.fold(cur, out);
+    EXPECT_EQ(out[0], 7u);
+}
+
+TEST(EpochLog, ConcurrentCursorReaderStaysMonotonic)
+{
+    // A reader folding through its own cursor while writers publish
+    // must observe monotonically non-decreasing totals (published
+    // epochs never un-happen) and the torn-delta invariant.
+    EpochLog log(2);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w) {
+        writers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const std::uint64_t delta[2] = {1, 2};
+                log.publish(delta);
+            }
+        });
+    }
+    EpochLog::Cursor cur;
+    std::uint64_t prev = 0;
+    for (int reads = 0; reads < 3000; ++reads) {
+        std::uint64_t out[2] = {0, 0};
+        log.fold(cur, out);
+        ASSERT_EQ(out[1], 2 * out[0]);
+        ASSERT_GE(out[0], prev);
+        prev = out[0];
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto &t : writers)
+        t.join();
+}
+
+TEST(EpochLog, ThreadIdsAreRecycledAcrossThreadLifetimes)
+{
+    // Sequential short-lived threads must reuse a compact slot range
+    // (the free-list), not consume one slot per thread ever created.
+    EpochLog log(1);
+    for (int gen = 0; gen < 64; ++gen) {
+        std::thread([&log] {
+            const std::uint64_t delta[1] = {1};
+            log.publish(delta);
+        }).join();
+    }
+    std::uint64_t out[1] = {0};
+    log.fold(out);
+    EXPECT_EQ(out[0], 64u);
+    // All 64 threads ran strictly sequentially, so at most a handful
+    // of distinct slots (the free list may briefly lag a detaching
+    // thread) — not one per thread.
+    EXPECT_LE(log.activeSlots(), 8);
+}
+
+TEST(EpochLog, MismatchedSpanWidthIsFatalNotOutOfBounds)
+{
+    // Regression: a fold into an unsized buffer (an empty vector
+    // spans a null data pointer) used to walk off the end; the width
+    // contract must fail loudly instead.
+    EpochLog log(3);
+    const std::uint64_t delta[3] = {1, 2, 3};
+    log.publish(delta);
+
+    std::vector<std::uint64_t> empty;
+    EXPECT_THROW(log.fold(empty), FatalError);
+    std::uint64_t narrow[2] = {0, 0};
+    EXPECT_THROW(log.fold(narrow), FatalError);
+    std::uint64_t wide[4] = {0, 0, 0, 0};
+    EXPECT_THROW(log.fold(wide), FatalError);
+    EXPECT_THROW(log.publish(narrow), FatalError);
+    EpochLog::Cursor cur;
+    EXPECT_THROW(log.fold(cur, narrow), FatalError);
+
+    std::uint64_t out[3] = {0, 0, 0};
+    log.fold(out);
+    EXPECT_EQ(out[2], 3u);
+}
+
+} // namespace
+} // namespace isaac

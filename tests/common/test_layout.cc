@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Static false-sharing audit (ci.sh "layout" step).
+ *
+ * Every assertion here is a compile-time check on the padding of the
+ * hot shared structures: if a future field pushes one of them off its
+ * cache-line boundary (or shrinks the alignment), this file stops
+ * compiling — the regression can't land silently and resurface as an
+ * unexplained scaling loss. The runtime test body is a formality so
+ * the audit shows up in ctest output.
+ *
+ * What is padded and why (docs/threading.md):
+ *  - EpochLog::Slot: one publishing worker per slot; a slot sharing a
+ *    line with its neighbour would re-create the very contention the
+ *    log exists to remove.
+ *  - StealDeque: thieves hammer _top with CAS while the owner runs on
+ *    _bottom; each lives on its own line.
+ *  - BitSerialEngine's ArrayTile / Partial / TileMemo: adjacent
+ *    vector elements handed to different workers.
+ *  - InferenceSession's Deck: per-worker deque + claim flag.
+ *  - Adc sample/clip counters: every op retire RMWs them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/epoch_log.h"
+#include "common/steal_deque.h"
+#include "common/types.h"
+#include "serve/session.h"
+#include "xbar/engine.h"
+
+namespace isaac {
+namespace {
+
+// The audit's base unit: a sane power-of-two line size.
+static_assert(kCacheLineBytes == 64);
+static_assert((kCacheLineBytes & (kCacheLineBytes - 1)) == 0);
+
+// Epoch-log slots: exactly one line each, so slot i and slot i+1 of
+// the header array can never share one.
+static_assert(alignof(EpochLog::Slot) == kCacheLineBytes);
+static_assert(sizeof(EpochLog::Slot) == kCacheLineBytes);
+
+// Work-stealing deque: the alignas on _top/_bottom/_buf raises the
+// whole object's alignment; the size floor proves the three words
+// were actually spread onto distinct lines (3 lines + trailing
+// members), not collapsed by a refactor.
+static_assert(alignof(StealDeque<void *>) == kCacheLineBytes);
+static_assert(sizeof(StealDeque<void *>) >= 3 * kCacheLineBytes);
+
+// Engine hot structures (private; geometry exported via probes).
+static_assert(xbar::BitSerialEngine::kArrayTileAlign ==
+              kCacheLineBytes);
+static_assert(xbar::BitSerialEngine::kPartialAlign == kCacheLineBytes);
+static_assert(xbar::BitSerialEngine::kTileMemoAlign ==
+              kCacheLineBytes);
+
+// Session scheduler: one deck per pump.
+static_assert(serve::InferenceSession::kDeckAlign == kCacheLineBytes);
+
+TEST(Layout, FalseSharingAuditHolds)
+{
+    // The static_asserts above are the test; compiling == passing.
+    SUCCEED();
+}
+
+} // namespace
+} // namespace isaac

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * StealDeque: the Chase–Lev deque under the session scheduler.
+ *
+ * The properties that matter to InferenceSession: owner pop is LIFO,
+ * thief steal is FIFO, every pushed element is claimed exactly once
+ * across any owner/thief interleaving (a lost element would strand an
+ * inference request; a duplicated one would double-complete it), and
+ * the buffer grows transparently while thieves are racing.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/steal_deque.h"
+
+namespace isaac {
+namespace {
+
+TEST(StealDeque, OwnerPopsLifo)
+{
+    StealDeque<int *> dq;
+    int items[3] = {0, 1, 2};
+    for (int &i : items)
+        dq.push(&i);
+    int *out = nullptr;
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, &items[2]);
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, &items[1]);
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, &items[0]);
+    EXPECT_FALSE(dq.pop(out));
+}
+
+TEST(StealDeque, ThievesStealFifo)
+{
+    StealDeque<int *> dq;
+    int items[3] = {0, 1, 2};
+    for (int &i : items)
+        dq.push(&i);
+    int *out = nullptr;
+    ASSERT_TRUE(dq.steal(out));
+    EXPECT_EQ(out, &items[0]);
+    ASSERT_TRUE(dq.steal(out));
+    EXPECT_EQ(out, &items[1]);
+    ASSERT_TRUE(dq.steal(out));
+    EXPECT_EQ(out, &items[2]);
+    EXPECT_FALSE(dq.steal(out));
+}
+
+TEST(StealDeque, GrowsPastInitialCapacityWithoutLosingElements)
+{
+    StealDeque<std::uint64_t *> dq(/*initialCapacity=*/2);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::uint64_t> items(kN);
+    for (auto &i : items)
+        dq.push(&i);
+    EXPECT_EQ(dq.sizeApprox(), static_cast<std::int64_t>(kN));
+    // Drain half from each end; every element must appear once.
+    std::vector<bool> seen(kN, false);
+    std::uint64_t *out = nullptr;
+    for (std::size_t k = 0; k < kN / 2; ++k) {
+        ASSERT_TRUE(dq.steal(out));
+        const std::size_t idx =
+            static_cast<std::size_t>(out - items.data());
+        ASSERT_FALSE(seen[idx]);
+        seen[idx] = true;
+    }
+    while (dq.pop(out)) {
+        const std::size_t idx =
+            static_cast<std::size_t>(out - items.data());
+        ASSERT_FALSE(seen[idx]);
+        seen[idx] = true;
+    }
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_TRUE(seen[i]) << "lost element " << i;
+}
+
+TEST(StealDeque, EveryElementClaimedExactlyOnceUnderContention)
+{
+    // One owner interleaving push/pop with a pack of thieves. Each
+    // element carries a claim counter; CAS-free double-claims or
+    // losses both fail the final audit.
+    constexpr int kThieves = 4;
+    constexpr std::uint64_t kItems = 20000;
+    struct Item
+    {
+        std::atomic<int> claims{0};
+    };
+    std::vector<Item> items(kItems);
+    StealDeque<Item *> dq(/*initialCapacity=*/4);
+    std::atomic<bool> ownerDone{false};
+    std::atomic<std::uint64_t> claimed{0};
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < kThieves; ++t) {
+        thieves.emplace_back([&] {
+            Item *out = nullptr;
+            while (!ownerDone.load(std::memory_order_acquire) ||
+                   dq.sizeApprox() > 0) {
+                if (dq.steal(out)) {
+                    out->claims.fetch_add(1,
+                                          std::memory_order_relaxed);
+                    claimed.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+
+    // The owner pushes everything, popping a few as it goes — the
+    // session's push-then-continue pattern.
+    Item *out = nullptr;
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+        dq.push(&items[i]);
+        if (i % 3 == 0 && dq.pop(out)) {
+            out->claims.fetch_add(1, std::memory_order_relaxed);
+            claimed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    while (dq.pop(out)) {
+        out->claims.fetch_add(1, std::memory_order_relaxed);
+        claimed.fetch_add(1, std::memory_order_relaxed);
+    }
+    ownerDone.store(true, std::memory_order_release);
+    for (auto &t : thieves)
+        t.join();
+
+    EXPECT_EQ(claimed.load(), kItems);
+    for (std::uint64_t i = 0; i < kItems; ++i)
+        ASSERT_EQ(items[i].claims.load(), 1)
+            << "element " << i << " claimed "
+            << items[i].claims.load() << " times";
+}
+
+} // namespace
+} // namespace isaac

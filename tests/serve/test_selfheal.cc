@@ -113,7 +113,7 @@ TEST(SelfHeal, StuckBurstRecoveryIsBitExactAtEveryWorkerCount)
     policy.detectionGraceAdmissions = 4;
 
     std::vector<std::string> canonicals;
-    for (const int workers : {1, 2, 4, 8}) {
+    for (const int workers : {1, 2, 4, 8, 16}) {
         SCOPED_TRACE("workers=" + std::to_string(workers));
         auto model = acc.compile(net, weights, opts);
         SessionOptions sopts;

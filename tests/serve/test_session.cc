@@ -88,7 +88,7 @@ TEST(Session, PipelinedRunMatchesSequentialWalkAtEveryWorkerCount)
     const auto wantTransient = seq.transientStats();
     const auto wantTiles = allTileTallies(seq);
 
-    for (const int workers : {1, 2, 4, 8}) {
+    for (const int workers : {1, 2, 4, 8, 16}) {
         SCOPED_TRACE("workers=" + std::to_string(workers));
         const auto model = acc.compile(net, weights, opts);
         SessionOptions sopts;
@@ -537,6 +537,165 @@ TEST(Session, WiderSlicesPreserveResults)
     for (std::size_t i = 0; i < got.size(); ++i)
         EXPECT_EQ(got[i].raw(), want[i].raw());
     EXPECT_TRUE(model.transientStats() == wantTransient);
+}
+
+TEST(Session, WorkStealingScrambledSubmissionIsExactAtEveryWorkerCount)
+{
+    // The work-stealing stress version of the scrambled-order test:
+    // a full-depth burst of permuted submissions at every worker
+    // count, stepsPerSlice = 1 for maximal requeue churn. Pumps batch
+    // the burst into their decks, late pumps find the inbox empty and
+    // must steal — and none of that may move a bit: request j replays
+    // sequential image j exactly.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 23);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(protectedConfig());
+    const auto inputs = makeInputs(net, 12, opts.format);
+    const std::vector<std::size_t> perm = {7, 2, 11, 0, 9,  4,
+                                           1, 8, 3,  10, 5, 6};
+
+    const auto seq = acc.compile(net, weights, opts);
+    std::vector<nn::Tensor> want;
+    for (std::size_t j = 0; j < perm.size(); ++j)
+        want.push_back(seq.inferAllKeyed(inputs[perm[j]], j).back());
+    const auto wantEngine = seq.engineStats();
+    const auto wantTransient = seq.transientStats();
+    const auto wantTiles = allTileTallies(seq);
+
+    for (const int workers : {1, 2, 4, 8, 16}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        const auto model = acc.compile(net, weights, opts);
+        SessionOptions sopts;
+        sopts.queueDepth = perm.size();
+        sopts.workers = workers;
+        sopts.stepsPerSlice = 1;
+        InferenceSession session(model, sopts);
+        std::vector<std::future<nn::Tensor>> futs;
+        for (const std::size_t p : perm)
+            futs.push_back(session.submit(inputs[p]));
+        session.drain();
+        for (std::size_t j = 0; j < futs.size(); ++j)
+            EXPECT_EQ(futs[j].get().raw(), want[j].raw())
+                << "submission " << j;
+        EXPECT_TRUE(model.engineStats() == wantEngine);
+        EXPECT_TRUE(model.transientStats() == wantTransient);
+        const auto tiles = allTileTallies(model);
+        ASSERT_EQ(tiles.size(), wantTiles.size());
+        for (std::size_t t = 0; t < tiles.size(); ++t)
+            EXPECT_TRUE(tiles[t] == wantTiles[t]) << "tile " << t;
+        EXPECT_EQ(session.stats().stepsExecuted,
+                  perm.size() * model.executionPlan().size());
+    }
+}
+
+TEST(Session, StealHeavySkewedWorkloadStaysBitExact)
+{
+    // Skew the load so stealing must happen: many more workers than
+    // the inbox batch leaves behind. The first pumps each swallow a
+    // batch of the burst into their decks; the rest find the inbox
+    // empty and can only make progress by stealing the oldest work
+    // out of those decks. Repeat a few rounds to also exercise pump
+    // retirement and respawn between bursts.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 57);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(protectedConfig());
+    constexpr int kRounds = 3;
+    constexpr int kPerRound = 8;
+    const auto inputs =
+        makeInputs(net, kRounds * kPerRound, opts.format);
+
+    const auto seq = acc.compile(net, weights, opts);
+    const auto want = seq.inferBatch(inputs);
+    const auto wantTransient = seq.transientStats();
+
+    const auto model = acc.compile(net, weights, opts);
+    SessionOptions sopts;
+    sopts.queueDepth = kPerRound;
+    sopts.workers = 16;
+    sopts.stepsPerSlice = 1;
+    InferenceSession session(model, sopts);
+    std::vector<std::future<nn::Tensor>> futs;
+    for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kPerRound; ++i)
+            futs.push_back(
+                session.submit(inputs[round * kPerRound + i]));
+        session.drain();
+    }
+    ASSERT_EQ(futs.size(), want.size());
+    for (std::size_t i = 0; i < futs.size(); ++i)
+        EXPECT_EQ(futs[i].get().raw(), want[i].raw()) << "image " << i;
+    EXPECT_TRUE(model.transientStats() == wantTransient);
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.completed, inputs.size());
+    EXPECT_EQ(stats.timedOut, 0u);
+}
+
+TEST(Session, ShutdownRacesStealingPumpsWithoutLosingRequests)
+{
+    // Several submitter threads hammer trySubmit() while the main
+    // thread shuts the session down mid-flight, with enough workers
+    // that pumps are stealing when the seal lands. The shutdown
+    // atomicity contract must hold exactly as it did with the single
+    // ready queue: every admitted future resolves (value or error),
+    // every refusal is counted, and nothing is admitted after the
+    // seal.
+    const auto net = nn::tinyCnn();
+    const auto weights = nn::WeightStore::synthesize(net, 91);
+    const core::CompileOptions opts;
+    const core::Accelerator acc(protectedConfig());
+    const auto inputs = makeInputs(net, 4, opts.format);
+
+    const auto model = acc.compile(net, weights, opts);
+    SessionOptions sopts;
+    sopts.queueDepth = 8;
+    sopts.workers = 8;
+    sopts.stepsPerSlice = 1;
+    InferenceSession session(model, sopts);
+
+    constexpr int kSubmitters = 4;
+    constexpr int kPerSubmitter = 24;
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> refused{0};
+    std::atomic<std::uint64_t> resolved{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            for (int i = 0; i < kPerSubmitter; ++i) {
+                std::future<nn::Tensor> fut;
+                if (session.trySubmit(
+                        inputs[static_cast<std::size_t>(
+                            (s + i) % inputs.size())],
+                        fut)) {
+                    admitted.fetch_add(1);
+                    // Every admitted future must resolve — value or
+                    // exception — even when shutdown lands mid-step.
+                    try {
+                        fut.get();
+                    } catch (const std::exception &) {
+                    }
+                    resolved.fetch_add(1);
+                } else {
+                    refused.fetch_add(1);
+                }
+            }
+        });
+    }
+    // Let the race actually overlap execution, then seal.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    session.shutdown();
+    for (auto &t : submitters)
+        t.join();
+
+    EXPECT_EQ(resolved.load(), admitted.load());
+    EXPECT_EQ(admitted.load() + refused.load(),
+              static_cast<std::uint64_t>(kSubmitters * kPerSubmitter));
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.submitted, admitted.load());
+    EXPECT_EQ(stats.completed, admitted.load());
+    EXPECT_EQ(stats.rejected, refused.load());
+    EXPECT_EQ(session.inFlight(), 0u);
 }
 
 } // namespace
