@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The design-space exploration study (Fig. 5 / Table IV): sweeps the
+ * Fig. 5 geometry grid crossed with the ADC-policy and
+ * heterogeneous-IMA axes, prints the CE/PE/SE Pareto frontier
+ * against replays of the paper's ISAAC-CE / ISAAC-PE / ISAAC-SE
+ * design points, and emits BENCH_dse.json with the full frontier
+ * plus two machine-checked gate records:
+ *
+ *  - pe_dominance: at least one adaptive-policy frontier point
+ *    strictly beats the fixed 8-bit ISAAC-CE replay on GOPS/W
+ *    (the Newton-style converter's whole reason to exist);
+ *  - lossless_exact: the lossless adaptive policy's functional run
+ *    (TinyCNN, clean campaign scenario) shows a zero accuracy delta
+ *    against the fixed-point reference.
+ *
+ * scripts/ci.sh parses those records and fails the build when either
+ * verdict goes false. The sweep is deterministic — byte-identical
+ * JSON at any thread count (tests/dse pins this).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "arch/config.h"
+#include "campaign/campaign.h"
+#include "campaign/runner.h"
+#include "core/json_writer.h"
+#include "dse/dse.h"
+#include "xbar/adc_policy.h"
+
+using namespace isaac;
+
+namespace {
+
+constexpr std::uint64_t kMasterSeed = 0xD5Eull;
+
+/** The study space: Fig. 5 geometries x {fixed, adaptive} x
+ *  {homogeneous, half-height-half-populated} tiles. */
+dse::DseSpace
+studySpace()
+{
+    dse::DseSpace space;
+    space.policies = {xbar::AdcPolicy{}, xbar::AdcPolicy::adaptive()};
+    space.heteroFractions = {0.0, 0.5};
+    return space;
+}
+
+std::string
+pointJson(const dse::DsePoint &p)
+{
+    core::JsonObject o;
+    o.field("label", p.label());
+    o.field("policy", p.policy.label());
+    o.field("hetero_fraction", p.heteroFraction);
+    o.field("feasible", p.feasible);
+    o.field("ce_gops_mm2", p.ce);
+    o.field("pe_gops_w", p.pe);
+    o.field("se_mb_mm2", p.se);
+    return o.str();
+}
+
+struct Study
+{
+    std::vector<dse::DsePoint> front;
+    dse::DsePoint replayCE, replayPE, replaySE;
+    /** Best adaptive frontier point by PE (the gate witness). */
+    dse::DsePoint bestAdaptive;
+    bool peDominance = false;
+    double losslessMaxRel = -1.0;
+    double losslessAgreement = 0.0;
+    bool losslessExact = false;
+};
+
+Study
+runStudy()
+{
+    Study st;
+    const auto space = studySpace();
+    const auto points = dse::sweep(space);
+    st.front = dse::paretoFront(points);
+
+    // The paper's Table IV design points replayed through the same
+    // evaluator (fixed policy, homogeneous tiles).
+    st.replayCE = dse::evaluate(arch::IsaacConfig::isaacCE(), space);
+    st.replayPE = dse::evaluate(arch::IsaacConfig::isaacPE(), space);
+    dse::DseSpace relaxed = space;
+    relaxed.relaxAdcBound = true;
+    relaxed.tileInputBytesPerCycle = 1e12;
+    st.replaySE =
+        dse::evaluate(arch::IsaacConfig::isaacSE(), relaxed);
+
+    // Gate 1: an adaptive frontier point must strictly beat the
+    // fixed-8-bit ISAAC-CE replay on GOPS/W.
+    for (const auto &p : st.front) {
+        if (!p.policy.isAdaptive())
+            continue;
+        if (!st.bestAdaptive.policy.isAdaptive() ||
+            p.pe > st.bestAdaptive.pe)
+            st.bestAdaptive = p;
+    }
+    st.peDominance = st.bestAdaptive.policy.isAdaptive() &&
+        st.bestAdaptive.pe > st.replayCE.pe;
+
+    // Gate 2: the lossless adaptive policy through the functional
+    // engine — a clean campaign scenario must score zero divergence.
+    campaign::RunnerOptions opts;
+    opts.batch = 2;
+    opts.threads = 1;
+    const campaign::Runner runner("tinycnn", kMasterSeed, opts);
+    campaign::Scenario clean;
+    clean.policy = xbar::AdcPolicyKind::Adaptive;
+    clean.masterSeed = kMasterSeed;
+    const auto res = runner.runScenario(clean);
+    st.losslessMaxRel = res.maxRel;
+    st.losslessAgreement = res.agreement;
+    st.losslessExact = clean.clean() && res.maxRel == 0.0 &&
+        res.agreement == 1.0;
+    return st;
+}
+
+void
+writeJson(const Study &st)
+{
+    std::FILE *f = std::fopen("BENCH_dse.json", "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "bench_dse: cannot write BENCH_dse.json\n");
+        return;
+    }
+    core::JsonObject root;
+    root.field("bench", "dse");
+    {
+        core::JsonArray front;
+        for (const auto &p : st.front)
+            front.item(pointJson(p));
+        root.raw("pareto_front", front.str());
+    }
+    root.raw("replay_isaac_ce", pointJson(st.replayCE));
+    root.raw("replay_isaac_pe", pointJson(st.replayPE));
+    root.raw("replay_isaac_se", pointJson(st.replaySE));
+    {
+        core::JsonObject gate;
+        gate.field("pe_dominance", st.peDominance);
+        gate.field("best_adaptive_label", st.bestAdaptive.label());
+        gate.field("best_adaptive_pe_gops_w", st.bestAdaptive.pe);
+        gate.field("fixed_ce_pe_gops_w", st.replayCE.pe);
+        gate.field("lossless_exact", st.losslessExact);
+        gate.field("lossless_max_rel", st.losslessMaxRel);
+        gate.field("lossless_agreement", st.losslessAgreement);
+        root.raw("gate", gate.str());
+    }
+    const std::string text = root.str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+}
+
+void
+printStudy(const Study &st)
+{
+    std::printf("=== DSE frontier: Fig. 5 grid x ADC policy x "
+                "heterogeneous tiles ===\n\n");
+    std::printf("%-34s %12s %12s %10s\n", "point", "CE GOPS/mm2",
+                "PE GOPS/W", "SE MB/mm2");
+    auto row = [](const char *tag, const dse::DsePoint &p) {
+        std::printf("%-34s %12.2f %12.2f %10.3f%s\n",
+                    (std::string(tag) + p.label()).c_str(), p.ce,
+                    p.pe, p.se, p.feasible ? "" : "  [infeasible]");
+    };
+    row("replay ", st.replayCE);
+    row("replay ", st.replayPE);
+    row("replay ", st.replaySE);
+    std::printf("\npareto frontier (%zu points):\n",
+                st.front.size());
+    for (const auto &p : st.front)
+        row("  ", p);
+
+    std::printf("\ngate: pe_dominance=%s (%s at %.2f GOPS/W vs "
+                "fixed ISAAC-CE %.2f)\n",
+                st.peDominance ? "true" : "false",
+                st.bestAdaptive.label().c_str(), st.bestAdaptive.pe,
+                st.replayCE.pe);
+    std::printf("gate: lossless_exact=%s (max rel %g, agreement "
+                "%.4f)\n\n",
+                st.losslessExact ? "true" : "false",
+                st.losslessMaxRel, st.losslessAgreement);
+    std::printf(
+        "The adaptive converter certifies each phase's worst-case "
+        "bitline reading from the unit column and truncates the SAR "
+        "ladder to the certified width, so the expected conversion "
+        "depth -- and with it ADC power, the chip's dominant "
+        "consumer -- drops below the fixed 8-bit baseline while the "
+        "functional results stay bit-identical (the cap still "
+        "covers every certified bound). The cost is a small "
+        "sequencing-logic area tax, which is why the adaptive "
+        "points win PE, lose a sliver of CE, and leave SE's byte "
+        "count untouched.\n\n");
+}
+
+void
+BM_SweepFigure5Grid(benchmark::State &state)
+{
+    const auto space = studySpace();
+    for (auto _ : state) {
+        const auto points = dse::sweep(space);
+        benchmark::DoNotOptimize(points.size());
+    }
+}
+BENCHMARK(BM_SweepFigure5Grid);
+
+void
+BM_EvaluateHeteroPoint(benchmark::State &state)
+{
+    const dse::DseSpace space;
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    for (auto _ : state) {
+        const auto p = dse::evaluate(
+            cfg, space, xbar::AdcPolicy::adaptive(), 0.5);
+        benchmark::DoNotOptimize(p.pe);
+    }
+}
+BENCHMARK(BM_EvaluateHeteroPoint);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto st = runStudy();
+    printStudy(st);
+    writeJson(st);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -17,6 +17,14 @@
  *  - "scaling_gate": the 8-worker depth-16 point >= 6x sequential on
  *    hosts with >= 8 hardware threads, degrading to the same
  *    no-regression floor on smaller hosts.
+ *
+ * IMPORTANT — reference records: on a host with fewer than 8
+ * hardware threads the scaling gate is DISARMED (ci.sh prints a
+ * loud notice); the no-regression floor it degrades to proves
+ * nothing about worker scaling. Any BENCH_serving.json committed or
+ * published as a reference record therefore MUST come from a host
+ * with >= 8 hardware threads, where the 6x gate actually armed.
+ * Check the emitted "host_threads" field before trusting a record.
  */
 
 #include <algorithm>

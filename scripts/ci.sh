@@ -94,7 +94,20 @@ if gate["speedup"] < gate["expected_speedup"]:
 # threads the 8-worker depth-16 point has to reach 6x the sequential
 # walk; a smaller host cannot run 8 workers concurrently, so the gate
 # degrades to the same no-regression floor as the pipeline gate.
+# That disarmed floor proves nothing about scaling, so say so loudly
+# instead of letting the green line imply an 8-worker win.
 scaling = bench["scaling_gate"]
+if bench["host_threads"] < 8:
+    print("*" * 66)
+    print("* NOTICE: only %d hardware threads — the 6x worker-"
+          "scaling gate" % bench["host_threads"])
+    print("* is DISARMED (no-regression floor only). Scaling is NOT "
+          "being")
+    print("* verified here; any committed reference record for "
+          "bench_serving")
+    print("* must come from a >= 8-core host (see bench/"
+          "bench_serving.cc).")
+    print("*" * 66)
 print("scaling: depth-%d workers-%d %.1f img/s (%.2fx sequential, "
       "expected >= %.2fx on %d host threads)" %
       (scaling["queue_depth"], scaling["workers"],
@@ -146,6 +159,41 @@ if zero["min_agreement"] != 1.0 or zero["max_rel_err"] != 0:
         "campaign gate FAILED: zero-noise scenarios diverge from "
         "the fixed-point reference (min agreement %s, max rel err "
         "%s)" % (zero["min_agreement"], zero["max_rel_err"]))
+EOF
+
+echo "== DSE gate: adaptive-ADC frontier vs the paper design points =="
+# bench_dse sweeps the Fig. 5 grid crossed with the ADC-policy and
+# heterogeneous-IMA axes and writes BENCH_dse.json before its
+# google-benchmark cases. The gate pins the two claims the policy
+# surface stands on: at least one adaptive-policy frontier point
+# strictly beats the fixed 8-bit ISAAC-CE replay on GOPS/W, and the
+# lossless adaptive policy's functional run (TinyCNN, clean campaign
+# scenario) shows a zero accuracy delta against the fixed-point
+# reference. The sweep is deterministic, so the frontier is
+# byte-identical at any thread count (tests/dse pins that too).
+(cd build && ./bench/bench_dse --benchmark_filter='^$' >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/BENCH_dse.json") as f:
+    bench = json.load(f)
+gate = bench["gate"]
+print("dse: pareto frontier %d points; best adaptive %s at %.2f "
+      "GOPS/W vs fixed ISAAC-CE %.2f; lossless max rel %g" %
+      (len(bench["pareto_front"]), gate["best_adaptive_label"],
+       gate["best_adaptive_pe_gops_w"], gate["fixed_ce_pe_gops_w"],
+       gate["lossless_max_rel"]))
+if not gate["pe_dominance"]:
+    raise SystemExit(
+        "dse gate FAILED: no adaptive frontier point beats the "
+        "fixed 8-bit ISAAC-CE replay on GOPS/W (best adaptive "
+        "%.2f vs %.2f)" % (gate["best_adaptive_pe_gops_w"],
+                           gate["fixed_ce_pe_gops_w"]))
+if not gate["lossless_exact"]:
+    raise SystemExit(
+        "dse gate FAILED: the lossless adaptive policy diverged "
+        "from the fixed-point reference (max rel %s, agreement %s "
+        "-- 'lossless' must mean bit-exact)" %
+        (gate["lossless_max_rel"], gate["lossless_agreement"]))
 EOF
 
 echo "== self-heal gate: scripted faults repaired under live serving =="
@@ -231,7 +279,8 @@ echo "== AddressSanitizer build =="
 cmake -B build-asan -S . -DISAAC_SANITIZE=address >/dev/null
 cmake --build build-asan -j \
     --target test_common test_xbar test_sim test_resilience \
-    test_plan test_serve test_selfheal test_campaign \
+    test_plan test_serve test_selfheal test_campaign test_dse \
+    test_energy \
     >/dev/null
 
 echo "== ASan: thread pool / engine / sim / resilience suites =="
@@ -261,6 +310,14 @@ echo "== ASan: Monte Carlo smoke campaign (determinism + gate) =="
 # fan-out's request/result lifetimes.
 ./build-asan/tests/test_campaign
 
+echo "== ASan: DSE sweep + energy-pricing suites (policy surface) =="
+# The DSE sweep fans candidate evaluations across the pool into a
+# shared results vector and the energy catalog composes per-policy
+# prices; ASan guards the candidate-grid indexing and the byte-
+# stable-frontier comparisons.
+./build-asan/tests/test_dse
+./build-asan/tests/test_energy
+
 echo "== ASan: transient-error campaigns (ABFT / ECC / NoC retry) =="
 ./build-asan/tests/test_xbar \
     --gtest_filter='Abft.*:Drift.*:Concurrency.Transient*'
@@ -274,7 +331,7 @@ echo "== UndefinedBehaviorSanitizer build =="
 cmake -B build-ubsan -S . -DISAAC_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j \
     --target test_xbar test_noc test_resilience test_sim test_core \
-    test_serve test_selfheal test_campaign \
+    test_serve test_selfheal test_campaign test_dse test_energy \
     >/dev/null
 
 echo "== UBSan: transient-error campaigns + host suites =="
@@ -294,5 +351,13 @@ echo "== UBSan: serving + self-heal + campaign suites =="
 ./build-ubsan/tests/test_serve
 ./build-ubsan/tests/test_selfheal
 ./build-ubsan/tests/test_campaign
+
+echo "== UBSan: DSE sweep + energy-pricing suites (policy surface) =="
+# The adaptive resolution law is shift-and-clamp arithmetic
+# (log2Ceil bounds, (1 << bits) - 1 ceilings, fractional-bit energy
+# interpolation); UBSan guards the whole ladder from resolutionFor
+# through the catalog's expected-depth pricing.
+./build-ubsan/tests/test_dse
+./build-ubsan/tests/test_energy
 
 echo "ci.sh: all green"

@@ -100,6 +100,7 @@ Scenario::id() const
     out += ";m=" + toToken(stuckMode);
     out += ";sp=" + std::to_string(spareCols);
     out += ";adc=" + std::to_string(adcBits);
+    out += ";pol=" + std::string(xbar::adcPolicyKindName(policy));
     out += ";t=" + std::to_string(trial);
     out += ";s=" + formatHex(masterSeed);
     return out;
@@ -181,6 +182,14 @@ Scenario::tryParse(const std::string &id, std::string *error)
                 s.adcBits = static_cast<int>(u);
             else
                 s.trial = static_cast<int>(u);
+        } else if (key == "pol") {
+            if (val == "fixed")
+                s.policy = xbar::AdcPolicyKind::Fixed;
+            else if (val == "adaptive")
+                s.policy = xbar::AdcPolicyKind::Adaptive;
+            else
+                return fail("unknown ADC policy '" + val +
+                            "' (want fixed or adaptive)");
         } else if (key == "s") {
             if (!tryParseU64(val, 16, u))
                 return fail("bad hex seed '" + val + "'");
@@ -190,6 +199,8 @@ Scenario::tryParse(const std::string &id, std::string *error)
         }
         pos = end + 1;
     }
+    // `pol` is deliberately absent: IDs minted before the policy
+    // axis existed parse as fixed-policy scenarios.
     const char *required[] = {"net", "w",  "r",   "d", "a", "k",
                               "m",   "sp", "adc", "t", "s"};
     for (const char *key : required)
@@ -222,7 +233,13 @@ Scenario::config(int threads) const
     arch::IsaacConfig cfg;
     cfg.engine.threads = threads;
     cfg.engine.spareCols = spareCols;
-    cfg.engine.adcBitsOverride = adcBits;
+    if (policy == xbar::AdcPolicyKind::Adaptive) {
+        // adcBits is the adaptive cap; 0 caps at the derived
+        // requirement (lossless).
+        cfg.engine.adcPolicy = xbar::AdcPolicy::adaptive(adcBits);
+    } else if (adcBits > 0) {
+        cfg.engine.adcPolicy = xbar::AdcPolicy::fixed(adcBits);
+    }
     auto &noise = cfg.engine.noise;
     noise.writeSigmaLevels = writeSigma;
     noise.sigmaLsb = readSigma;
@@ -250,7 +267,7 @@ Grid::enumerate(std::uint64_t masterSeed) const
         fatal("campaign::Grid: trials must be >= 1");
     if (writeSigma.empty() || readSigma.empty() || drift.empty() ||
         stuckRate.empty() || stuckModes.empty() ||
-        spareCols.empty() || adcBits.empty())
+        spareCols.empty() || adcBits.empty() || policies.empty())
         fatal("campaign::Grid: every axis needs at least one value");
     std::vector<Scenario> out;
     std::unordered_set<std::string> ids;
@@ -266,23 +283,67 @@ Grid::enumerate(std::uint64_t masterSeed) const
                             continue;
                         for (int sp : spareCols)
                             for (int adc : adcBits)
-                                for (int t = 0; t < trials; ++t) {
-                                    Scenario s;
-                                    s.network = network;
-                                    s.writeSigma = w;
-                                    s.readSigma = r;
-                                    s.driftPerOp = d.levelsPerOp;
-                                    s.driftAge = d.age;
-                                    s.stuckRate = k;
-                                    s.stuckMode = stuckModes[mi];
-                                    s.spareCols = sp;
-                                    s.adcBits = adc;
-                                    s.trial = t;
-                                    s.masterSeed = masterSeed;
-                                    if (ids.insert(s.id()).second)
-                                        out.push_back(std::move(s));
-                                }
+                                for (auto pol : policies)
+                                    for (int t = 0; t < trials;
+                                         ++t) {
+                                        Scenario s;
+                                        s.network = network;
+                                        s.writeSigma = w;
+                                        s.readSigma = r;
+                                        s.driftPerOp =
+                                            d.levelsPerOp;
+                                        s.driftAge = d.age;
+                                        s.stuckRate = k;
+                                        s.stuckMode =
+                                            stuckModes[mi];
+                                        s.spareCols = sp;
+                                        s.adcBits = adc;
+                                        s.policy = pol;
+                                        s.trial = t;
+                                        s.masterSeed = masterSeed;
+                                        if (ids.insert(s.id())
+                                                .second)
+                                            out.push_back(
+                                                std::move(s));
+                                    }
                     }
+    return out;
+}
+
+std::vector<Scenario>
+Grid::sample(std::size_t n, std::uint64_t masterSeed) const
+{
+    return sampleScenarios(enumerate(masterSeed), n,
+                           masterSeed ^ 0x5A3D1E9C0B247F6Dull);
+}
+
+std::vector<Scenario>
+sampleScenarios(std::vector<Scenario> scenarios, std::size_t n,
+                std::uint64_t seed)
+{
+    if (n >= scenarios.size())
+        return scenarios;
+    // Partial Fisher-Yates over the enumeration indices driven by a
+    // SplitMix64 stream: the first n slots are a uniform sample
+    // without replacement. Survivors are gathered back in their
+    // original order so the report reads like a thinned enumeration.
+    std::vector<std::size_t> idx(scenarios.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::uint64_t state = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        state += 0x9E3779B97F4A7C15ull;
+        const std::size_t j =
+            i + static_cast<std::size_t>(mix64(state) %
+                                         (idx.size() - i));
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(n);
+    std::sort(idx.begin(), idx.end());
+    std::vector<Scenario> out;
+    out.reserve(n);
+    for (std::size_t i : idx)
+        out.push_back(std::move(scenarios[i]));
     return out;
 }
 
@@ -318,7 +379,19 @@ Grid::defaultSuite()
     drift.spareCols = {0, 2};
     drift.trials = 2; // 8 points x 2 = 16 scenarios.
 
-    return {main, drift};
+    // The adaptive-ADC policy lab: lossless (cap 0) points ride the
+    // zero-noise exactness gate; the capped points measure what the
+    // cheaper converter costs in agreement under realistic noise.
+    Grid adaptive;
+    adaptive.policies = {xbar::AdcPolicyKind::Adaptive};
+    adaptive.adcBits = {0, 7};
+    adaptive.writeSigma = {0.0, 0.3};
+    adaptive.stuckRate = {0.0, 0.005};
+    adaptive.stuckModes = {xbar::StuckMode::On};
+    adaptive.spareCols = {2};
+    adaptive.trials = 2; // 8 points x 2 = 16 scenarios.
+
+    return {main, drift, adaptive};
 }
 
 std::string
@@ -343,6 +416,8 @@ ScenarioResult::toJson() const
         .field("stuck_mode", toToken(scenario.stuckMode))
         .field("spare_cols", scenario.spareCols)
         .field("adc_bits", scenario.adcBits)
+        .field("policy",
+               std::string(xbar::adcPolicyKindName(scenario.policy)))
         .field("trial", scenario.trial)
         .field("batch", batch)
         .field("completed", completed)
@@ -437,7 +512,8 @@ stuckCurvesJson(const std::vector<ScenarioResult> &scenarios)
     for (const auto &r : scenarios) {
         const auto &s = r.scenario;
         if (s.writeSigma != 0.0 || s.readSigma != 0.0 ||
-            s.driftPerOp != 0.0 || s.adcBits != 0 || r.timedOut)
+            s.driftPerOp != 0.0 || s.adcBits != 0 ||
+            s.policy != xbar::AdcPolicyKind::Fixed || r.timedOut)
             continue;
         auto &g = groups[{s.spareCols, s.stuckRate,
                           toToken(s.stuckMode)}];

@@ -36,6 +36,7 @@
 
 #include "arch/config.h"
 #include "resilience/summary.h"
+#include "xbar/adc_policy.h"
 #include "xbar/noise.h"
 
 namespace isaac::campaign {
@@ -60,15 +61,25 @@ struct Scenario
     double stuckRate = 0.0;   ///< Stuck-cell fraction.
     xbar::StuckMode stuckMode = xbar::StuckMode::On;
     int spareCols = 0;        ///< Remap budget per array.
-    int adcBits = 0;          ///< ADC override; 0 = derived.
+    /**
+     * ADC resolution knob. Fixed policy: explicit converter bits
+     * (0 = the geometry-derived requirement). Adaptive policy: the
+     * per-conversion cap (0 = cap at the requirement — provably
+     * lossless, only the SAR cycle count changes).
+     */
+    int adcBits = 0;
+    /** Which AdcPolicy the scenario lowers `adcBits` through. */
+    xbar::AdcPolicyKind policy = xbar::AdcPolicyKind::Fixed;
     int trial = 0;            ///< Monte Carlo repetition index.
     std::uint64_t masterSeed = 0;
 
     /**
      * Stable self-describing identifier, e.g.
-     * "net=tinycnn;w=0.3;r=0;d=0;a=0;k=0.005;m=on;sp=2;adc=0;t=1;
-     * s=15aac". parse(id()) reconstructs this Scenario exactly
-     * (numbers use shortest-round-trip formatting; the seed is hex).
+     * "net=tinycnn;w=0.3;r=0;d=0;a=0;k=0.005;m=on;sp=2;adc=0;
+     * pol=fixed;t=1;s=15aac". parse(id()) reconstructs this Scenario
+     * exactly (numbers use shortest-round-trip formatting; the seed
+     * is hex). `pol` is always emitted but optional on parse — IDs
+     * minted before the policy axis existed still replay (as fixed).
      */
     std::string id() const;
 
@@ -82,8 +93,8 @@ struct Scenario
      * identifiers (replay tooling surfaces the message instead of
      * dying; parse() is tryParse() + fatal()). Numeric fields are
      * range-checked: rates/sigmas must be finite and non-negative,
-     * sp/adc/t must fit their int fields (adc <= 24, matching
-     * EngineConfig::adcBitsOverride).
+     * sp/adc/t must fit their int fields (adc <= 24, matching the
+     * SAR converter range AdcPolicy::validate enforces).
      */
     static std::optional<Scenario>
     tryParse(const std::string &id, std::string *error = nullptr);
@@ -105,7 +116,10 @@ struct Scenario
     /**
      * True for the zero-noise / zero-fault / full-ADC point, whose
      * analog pipeline must agree with the fixed-point reference
-     * bit-for-bit (the campaign's self-check).
+     * bit-for-bit (the campaign's self-check). A lossless adaptive
+     * policy (adcBits == 0) is clean too: truncation below the
+     * unit-certified bound never alters a clean reading, so the
+     * exactness gate covers it.
      */
     bool clean() const;
 
@@ -130,6 +144,8 @@ struct Grid
     std::vector<xbar::StuckMode> stuckModes{xbar::StuckMode::On};
     std::vector<int> spareCols{0};
     std::vector<int> adcBits{0};
+    std::vector<xbar::AdcPolicyKind> policies{
+        xbar::AdcPolicyKind::Fixed};
     int trials = 1;
 
     /**
@@ -137,6 +153,17 @@ struct Grid
      * (trial innermost), deduplicated by scenario ID.
      */
     std::vector<Scenario> enumerate(std::uint64_t masterSeed) const;
+
+    /**
+     * A sampled (non-cartesian) subset: at most `n` of enumerate()'s
+     * scenarios, drawn without replacement by a seeded partial
+     * Fisher-Yates and returned in enumeration order. A pure
+     * function of (grid, n, masterSeed) — no clocks, no thread
+     * count — so sampled campaigns keep the byte-identical report
+     * contract. n >= the grid size returns the full enumeration.
+     */
+    std::vector<Scenario> sample(std::size_t n,
+                                 std::uint64_t masterSeed) const;
 
     /**
      * The CI smoke grid: 3 write-noise levels x 3 stuck rates on
@@ -147,12 +174,23 @@ struct Grid
 
     /**
      * The default campaign lab (>= 500 scenarios): a main grid over
-     * write/read noise x stuck rate/mode x spares x ADC bits, plus a
+     * write/read noise x stuck rate/mode x spares x ADC bits, a
      * focused drift grid kept small because drifting reads take the
-     * scalar path.
+     * scalar path, and an adaptive-ADC grid measuring the policy
+     * surface's accuracy deltas under noise.
      */
     static std::vector<Grid> defaultSuite();
 };
+
+/**
+ * Deterministically thin `scenarios` to at most `n` entries (the
+ * per-network runtime budget): a seeded partial Fisher-Yates picks
+ * the survivors, which keep their relative order. Pure function of
+ * (scenarios, n, seed).
+ */
+std::vector<Scenario> sampleScenarios(std::vector<Scenario> scenarios,
+                                      std::size_t n,
+                                      std::uint64_t seed);
 
 /** Divergence of one layer's outputs vs the reference, over a batch. */
 struct LayerDivergence

@@ -254,6 +254,12 @@ Runner::run(const std::vector<Grid> &grids) const
             if (ids.insert(s.id()).second)
                 scenarios.push_back(std::move(s));
     }
+    if (_opts.scenarioBudget > 0 &&
+        scenarios.size() > _opts.scenarioBudget) {
+        scenarios = sampleScenarios(std::move(scenarios),
+                                    _opts.scenarioBudget,
+                                    _seed ^ 0xB0D6E77ACC0417F3ull);
+    }
 
     // Evaluation order is a performance detail, never a semantic
     // one: results land at their enumeration index. The scramble

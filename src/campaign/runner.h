@@ -58,6 +58,15 @@ struct RunnerOptions
      * to pin completion-order independence.
      */
     bool scramble = false;
+
+    /**
+     * Per-network runtime budget: cap the merged, deduplicated
+     * scenario list at this many entries (0 = run everything). The
+     * cap is applied by campaign::sampleScenarios — a seeded,
+     * analytic thinning, never a wall-clock cutoff — so a budgeted
+     * report stays byte-identical at any thread count.
+     */
+    std::size_t scenarioBudget = 0;
 };
 
 /**

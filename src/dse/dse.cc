@@ -1,18 +1,58 @@
 #include "dse/dse.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
 namespace isaac::dse {
 
+std::string
+DsePoint::label() const
+{
+    std::string s = config.label();
+    if (!(policy == xbar::AdcPolicy{}))
+        s += "-" + policy.label();
+    if (heteroRows > 0) {
+        s += "-het" +
+            std::to_string(static_cast<int>(
+                std::lround(heteroFraction * 100.0))) +
+            "pc";
+    }
+    return s;
+}
+
 DsePoint
 evaluate(const arch::IsaacConfig &cfg, const DseSpace &space)
 {
-    DsePoint p;
-    p.config = cfg;
+    return evaluate(cfg, space, cfg.engine.adcPolicy, 0.0);
+}
 
+DsePoint
+evaluate(const arch::IsaacConfig &base, const DseSpace &space,
+         const xbar::AdcPolicy &policy, double heteroFraction)
+{
+    DsePoint p;
+    p.config = base;
+    p.config.engine.adcPolicy = policy;
+    p.policy = policy;
+    const arch::IsaacConfig &cfg = p.config;
+
+    // The fraction lands on whole IMAs; a rounding to zero makes the
+    // point homogeneous (and its label says so via heteroRows == 0).
+    const int nSec = std::clamp(
+        static_cast<int>(std::lround(heteroFraction *
+                                     cfg.imasPerTile)),
+        0, cfg.imasPerTile);
+    const int nPri = cfg.imasPerTile - nSec;
+    p.heteroFraction = heteroFraction;
+    p.heteroRows = nSec > 0 ? cfg.engine.rows / 2 : 0;
+
+    // The feasibility bound is on the converter hardware: adaptive
+    // truncation shortens average conversions but the SAR core must
+    // still resolve the full requirement, so adaptive designs face
+    // the same bound (their win shows up in PE below).
     const int adcBits = cfg.engine.adcBits();
     if (!space.relaxAdcBound && adcBits > 8) {
         p.feasible = false;
@@ -20,9 +60,21 @@ evaluate(const arch::IsaacConfig &cfg, const DseSpace &space)
             "-bit ADC (paper bound: 8 bits at 1.28 GSps)";
     }
 
+    arch::IsaacConfig sec = cfg;
+    if (nSec > 0) {
+        sec.engine.rows = cfg.engine.rows / 2;
+        sec.engine.cols = cfg.engine.cols / 2;
+    }
+
+    const double bytesPerImaPri =
+        static_cast<double>(cfg.xbarsPerIma) * cfg.engine.rows *
+        kDataBytes / cfg.engine.phases();
+    const double bytesPerImaSec = nSec > 0
+        ? static_cast<double>(sec.xbarsPerIma) * sec.engine.rows *
+            kDataBytes / sec.engine.phases()
+        : 0.0;
     const double inputBytesPerCycle =
-        static_cast<double>(cfg.imasPerTile) * cfg.xbarsPerIma *
-        cfg.engine.rows * kDataBytes / cfg.engine.phases();
+        nPri * bytesPerImaPri + nSec * bytesPerImaSec;
     if (inputBytesPerCycle > space.tileInputBytesPerCycle + 1e-9) {
         p.feasible = false;
         if (!p.hazard.empty())
@@ -33,19 +85,77 @@ evaluate(const arch::IsaacConfig &cfg, const DseSpace &space)
     }
 
     const energy::IsaacEnergyModel model(cfg);
-    p.ce = model.ceGopsPerMm2();
-    p.pe = model.peGopsPerW();
-    p.se = model.seMBPerMm2();
+    if (nSec == 0) {
+        p.ce = model.ceGopsPerMm2();
+        p.pe = model.peGopsPerW();
+        p.se = model.seMBPerMm2();
+        return p;
+    }
+
+    // Heterogeneous tile: two IMA populations share one tile's
+    // non-IMA overheads (eDRAM, bus, router, sigmoid, ...). Every
+    // per-chip metric is recomposed from per-IMA slices of the two
+    // homogeneous models.
+    const energy::IsaacEnergyModel secModel(sec);
+    const double imaPowPri = model.imaPowerMw();
+    const double imaAreaPri = model.imaAreaMm2();
+    const double imaPowSec = secModel.imaPowerMw();
+    const double imaAreaSec = secModel.imaAreaMm2();
+    const double overheadPow =
+        model.tilePowerMw() - cfg.imasPerTile * imaPowPri;
+    const double overheadArea =
+        model.tileAreaMm2() - cfg.imasPerTile * imaAreaPri;
+    const double tilePow =
+        overheadPow + nPri * imaPowPri + nSec * imaPowSec;
+    const double tileArea =
+        overheadArea + nPri * imaAreaPri + nSec * imaAreaSec;
+    const double chipPowW =
+        cfg.tilesPerChip * tilePow / 1000.0 + model.htPowerW();
+    const double chipArea =
+        cfg.tilesPerChip * tileArea + model.htAreaMm2();
+
+    const double imaCount = static_cast<double>(cfg.imasPerTile) *
+        cfg.tilesPerChip;
+    const double gopsPerImaPri = cfg.peakGops() / imaCount;
+    const double gopsPerImaSec = sec.peakGops() / imaCount;
+    const double gops =
+        (nPri * gopsPerImaPri + nSec * gopsPerImaSec) *
+        cfg.tilesPerChip;
+
+    const double mbPerImaPri =
+        static_cast<double>(cfg.storageBytesPerChip()) /
+        (1024.0 * 1024.0) / imaCount;
+    const double mbPerImaSec =
+        static_cast<double>(sec.storageBytesPerChip()) /
+        (1024.0 * 1024.0) / imaCount;
+    const double storageMB =
+        (nPri * mbPerImaPri + nSec * mbPerImaSec) *
+        cfg.tilesPerChip;
+
+    p.ce = gops / chipArea;
+    p.pe = gops / chipPowW;
+    p.se = storageMB / chipArea;
     return p;
 }
 
 std::vector<DsePoint>
 sweep(const DseSpace &space)
 {
-    // Enumerate the row-major parameter grid, then evaluate the
-    // points in parallel straight into their slots (each evaluation
-    // is independent; order is preserved by construction).
-    std::vector<arch::IsaacConfig> grid;
+    // Enumerate the row-major parameter grid (policy and hetero
+    // axes innermost), then evaluate the points in parallel straight
+    // into their slots (each evaluation is independent; order is
+    // preserved by construction). The default single-policy,
+    // homogeneous space reproduces the classic Fig. 5 grid exactly.
+    struct Candidate
+    {
+        arch::IsaacConfig cfg;
+        xbar::AdcPolicy policy;
+        double heteroFraction = 0.0;
+    };
+    if (space.policies.empty() || space.heteroFractions.empty())
+        fatal("DSE: the policy and hetero axes need at least one "
+              "value each");
+    std::vector<Candidate> grid;
     for (int h : space.rows) {
         for (int a : space.adcsPerIma) {
             for (int c : space.xbarsPerIma) {
@@ -56,7 +166,9 @@ sweep(const DseSpace &space)
                     cfg.adcsPerIma = a;
                     cfg.xbarsPerIma = c;
                     cfg.imasPerTile = i;
-                    grid.push_back(cfg);
+                    for (const auto &pol : space.policies)
+                        for (double hf : space.heteroFractions)
+                            grid.push_back({cfg, pol, hf});
                 }
             }
         }
@@ -64,8 +176,10 @@ sweep(const DseSpace &space)
     std::vector<DsePoint> points(grid.size());
     parallelFor(static_cast<std::int64_t>(grid.size()),
                 space.threads, [&](std::int64_t i, int) {
+                    const auto &c =
+                        grid[static_cast<std::size_t>(i)];
                     points[static_cast<std::size_t>(i)] = evaluate(
-                        grid[static_cast<std::size_t>(i)], space);
+                        c.cfg, space, c.policy, c.heteroFraction);
                 });
     return points;
 }

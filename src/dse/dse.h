@@ -29,6 +29,7 @@
 
 #include "arch/config.h"
 #include "energy/catalog.h"
+#include "xbar/adc_policy.h"
 
 namespace isaac::dse {
 
@@ -36,11 +37,28 @@ namespace isaac::dse {
 struct DsePoint
 {
     arch::IsaacConfig config;
+    /** The ADC policy in effect (mirrors config.engine.adcPolicy). */
+    xbar::AdcPolicy policy;
+    /**
+     * Heterogeneous-IMA axis: the fraction of each tile's IMAs built
+     * at the secondary geometry (`heteroRows`-row arrays, half the
+     * primary height). 0 = homogeneous.
+     */
+    double heteroFraction = 0.0;
+    int heteroRows = 0; ///< Secondary array height (0 when none).
     bool feasible = true;
     std::string hazard;  ///< Why the point is infeasible (if so).
     double ce = 0.0;     ///< GOPS / mm^2
     double pe = 0.0;     ///< GOPS / W
     double se = 0.0;     ///< MB / mm^2
+
+    /**
+     * config.label() plus policy / hetero suffixes when those axes
+     * are off their defaults, e.g. "H128-A8-C8-I12-adaptive-het50pc".
+     * Default-axes points keep the bare config label, so existing
+     * Fig. 5 lookups are unchanged.
+     */
+    std::string label() const;
 };
 
 /** The swept parameter lists (defaults follow Fig. 5). */
@@ -50,6 +68,23 @@ struct DseSpace
     std::vector<int> adcsPerIma = {4, 8, 16};
     std::vector<int> xbarsPerIma = {4, 8, 16};
     std::vector<int> imasPerTile = {4, 8, 12, 16};
+
+    /**
+     * ADC policy axis. The default single fixed/derived policy keeps
+     * the classic Fig. 5 space; adding AdcPolicy::adaptive() points
+     * sweeps Newton-style converters (same hardware resolution, so
+     * the 8-bit feasibility bound still applies — the win shows up
+     * in PE, not in the bound).
+     */
+    std::vector<xbar::AdcPolicy> policies = {xbar::AdcPolicy{}};
+
+    /**
+     * Heterogeneous-IMA axis: fractions of each tile's IMAs built at
+     * half the primary array height. Secondary IMAs need one fewer
+     * ADC bit and a quarter of the cells; metrics are composed from
+     * the two IMA populations sharing one tile's overheads.
+     */
+    std::vector<double> heteroFractions = {0.0};
 
     /** Relax the 8-bit ADC bound (used for the SE sweep). */
     bool relaxAdcBound = false;
@@ -68,6 +103,16 @@ struct DseSpace
 /** Evaluate one configuration against the constraints. */
 DsePoint evaluate(const arch::IsaacConfig &cfg,
                   const DseSpace &space = {});
+
+/**
+ * Evaluate one configuration under an explicit ADC policy and
+ * heterogeneous-IMA fraction (the policy overwrites the config's;
+ * the fraction is rounded to whole IMAs per tile).
+ */
+DsePoint evaluate(const arch::IsaacConfig &cfg,
+                  const DseSpace &space,
+                  const xbar::AdcPolicy &policy,
+                  double heteroFraction);
 
 /** Sweep the whole space (row-major over the parameter lists). */
 std::vector<DsePoint> sweep(const DseSpace &space = {});

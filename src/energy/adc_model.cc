@@ -10,7 +10,7 @@ namespace {
 
 /** Linear + exponential resolution scaling, normalized at 8 bits. */
 double
-scale(double linearFraction, int bits)
+scale(double linearFraction, double bits)
 {
     const double lin = bits / AdcModel::kRefBits;
     const double exp = std::pow(2.0, bits - AdcModel::kRefBits);
@@ -35,6 +35,38 @@ AdcModel::areaMm2(int bits) const
     if (bits < 1)
         fatal("AdcModel: resolution must be positive");
     return kRefAreaMm2 * scale(linearAreaFraction, bits);
+}
+
+double
+AdcModel::energyPerSamplePj(double bits) const
+{
+    if (bits < 1.0)
+        fatal("AdcModel: resolution must be positive");
+    // mW / GSps = pJ per sample; the rate cancels out.
+    return kRefPowerMw / kRefGsps * scale(linearPowerFraction, bits);
+}
+
+double
+AdcModel::policyPowerMw(const xbar::AdcPolicy &policy, int capBits,
+                        double gsps) const
+{
+    const int bits = policy.isAdaptive()
+        ? policy.expectedBits(capBits)
+        : capBits;
+    double p = powerMw(bits, gsps);
+    if (policy.isAdaptive())
+        p *= 1.0 + kAdaptivePowerOverhead;
+    return p;
+}
+
+double
+AdcModel::policyAreaMm2(const xbar::AdcPolicy &policy,
+                        int capBits) const
+{
+    double a = areaMm2(capBits);
+    if (policy.isAdaptive())
+        a *= 1.0 + kAdaptiveAreaOverhead;
+    return a;
 }
 
 } // namespace isaac::energy

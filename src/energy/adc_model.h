@@ -17,6 +17,8 @@
 #ifndef ISAAC_ENERGY_ADC_MODEL_H
 #define ISAAC_ENERGY_ADC_MODEL_H
 
+#include "xbar/adc_policy.h"
+
 namespace isaac::energy {
 
 /** Power/area model for a SAR ADC as a function of resolution. */
@@ -27,6 +29,16 @@ struct AdcModel
     static constexpr double kRefGsps = 1.2;
     static constexpr double kRefPowerMw = 2.0;
     static constexpr double kRefAreaMm2 = 0.0012;
+
+    /**
+     * Adaptive-controller overheads (Newton-style converters): the
+     * per-cycle bound register, comparator against the unit-certified
+     * ceiling, and early-termination control add a small tax on top
+     * of the SAR core. Power rides the switching estimate; area is
+     * heavier because the control sits next to every converter.
+     */
+    static constexpr double kAdaptivePowerOverhead = 0.02;
+    static constexpr double kAdaptiveAreaOverhead = 0.06;
 
     /**
      * Fraction of reference power in the linearly-scaling components
@@ -43,6 +55,34 @@ struct AdcModel
 
     /** Area in mm^2 at `bits` resolution. */
     double areaMm2(int bits) const;
+
+    /**
+     * Energy of one conversion at a (possibly fractional) realized
+     * resolution, in pJ. Rate-independent: energy is power divided
+     * by rate, and both scale together. The fractional argument is
+     * how per-cycle accounting prices an adaptive converter's
+     * realized mean resolution (EngineStats::adcBitCycles divided by
+     * adcSamples).
+     */
+    double energyPerSamplePj(double bits) const;
+
+    /**
+     * Peak power of one converter running `policy` on hardware sized
+     * for `capBits`: a fixed policy resolves every cycle at capBits;
+     * an adaptive one runs at its expected resolution
+     * (AdcPolicy::expectedBits) plus the controller overhead.
+     */
+    double policyPowerMw(const xbar::AdcPolicy &policy, int capBits,
+                         double gsps) const;
+
+    /**
+     * Area of one converter under `policy`. The SAR core must still
+     * resolve capBits — truncation is a per-conversion decision, not
+     * a hardware cut — so adaptive designs pay full-resolution area
+     * plus the controller overhead.
+     */
+    double policyAreaMm2(const xbar::AdcPolicy &policy,
+                         int capBits) const;
 };
 
 } // namespace isaac::energy

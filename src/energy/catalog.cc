@@ -89,11 +89,17 @@ IsaacEnergyModel::imaBreakdown() const
         static_cast<double>(cfg.activeXbarsPerIma()) /
         cfg.xbarsPerIma;
 
-    b.items.push_back({"ADC",
-                       std::to_string(bits) + "b x" +
-                           std::to_string(cfg.adcsPerIma),
-                       cfg.adcsPerIma * adc.powerMw(bits, 1.2),
-                       cfg.adcsPerIma * adc.areaMm2(bits)});
+    const auto &pol = cfg.engine.adcPolicy;
+    std::string adcSpec = std::to_string(bits) + "b x" +
+        std::to_string(cfg.adcsPerIma);
+    if (pol.isAdaptive()) {
+        adcSpec += " adaptive (E[" +
+            std::to_string(pol.expectedBits(bits)) + "b])";
+    }
+    b.items.push_back({"ADC", adcSpec,
+                       cfg.adcsPerIma *
+                           adc.policyPowerMw(pol, bits, 1.2),
+                       cfg.adcsPerIma * adc.policyAreaMm2(pol, bits)});
     b.items.push_back({"DAC",
                        std::to_string(cfg.engine.dacBits) + "b x" +
                            std::to_string(rowsPerIma),
@@ -200,8 +206,23 @@ double
 IsaacEnergyModel::adcEnergyPerSamplePj() const
 {
     const int bits = cfg.engine.adcBits();
-    // mW / GSps = pJ per sample.
-    return adc.powerMw(bits, 1.2) / 1.2;
+    // mW / GSps = pJ per sample. Under an adaptive policy this is
+    // the *expected* per-sample energy (policyPowerMw prices the
+    // expected resolution); measured runs should prefer
+    // adcEnergyPerSampleAtPj with the realized mean resolution.
+    return adc.policyPowerMw(cfg.engine.adcPolicy, bits, 1.2) / 1.2;
+}
+
+double
+IsaacEnergyModel::adcEnergyPerSampleAtPj(double meanBits) const
+{
+    // Per-cycle accounting: price conversions at the realized mean
+    // resolution (EngineStats::adcBitCycles / adcSamples). Reduces
+    // to the fixed per-sample figure at meanBits == adcBits().
+    double e = adc.energyPerSamplePj(meanBits);
+    if (cfg.engine.adcPolicy.isAdaptive())
+        e *= 1.0 + AdcModel::kAdaptivePowerOverhead;
+    return e;
 }
 
 double

@@ -72,6 +72,14 @@ class IsaacEnergyModel
     /** @name Per-event energies in picojoules. */
     /// @{
     double adcEnergyPerSamplePj() const;
+    /**
+     * Per-cycle ADC accounting: the energy of one conversion at a
+     * realized mean resolution of `meanBits` (adcBitCycles /
+     * adcSamples from a measured EngineStats). Fixed policies always
+     * realize adcBits(); adaptive ones realize less on sparse
+     * phases, which is exactly the saving this prices.
+     */
+    double adcEnergyPerSampleAtPj(double meanBits) const;
     double dacEnergyPerRowCyclePj() const;
     double xbarEnergyPerReadPj() const;
     double shiftAddEnergyPerOpPj() const;

@@ -45,6 +45,7 @@ Adc::addTally(const AdcTally &tally) const
 {
     _samples.fetch_add(tally.samples, std::memory_order_relaxed);
     _clips.fetch_add(tally.clips, std::memory_order_relaxed);
+    _bitCycles.fetch_add(tally.bitCycles, std::memory_order_relaxed);
 }
 
 void
@@ -52,6 +53,7 @@ Adc::resetStats()
 {
     _samples.store(0, std::memory_order_relaxed);
     _clips.store(0, std::memory_order_relaxed);
+    _bitCycles.store(0, std::memory_order_relaxed);
 }
 
 } // namespace isaac::xbar

@@ -33,12 +33,21 @@ struct AdcTally
 {
     std::uint64_t samples = 0;
     std::uint64_t clips = 0;
+    /**
+     * SAR comparator cycles spent across the samples: a fixed-policy
+     * conversion costs bits() cycles, an adaptive one only the
+     * resolution its cycle bound required (xbar/adc_policy.h). The
+     * per-cycle energy accounting for adaptive converters divides
+     * this by samples to price the realized mean resolution.
+     */
+    std::uint64_t bitCycles = 0;
 
     void
     merge(const AdcTally &o)
     {
         samples += o.samples;
         clips += o.clips;
+        bitCycles += o.bitCycles;
     }
 
     bool operator==(const AdcTally &) const = default;
@@ -78,16 +87,32 @@ class Adc
     Acc
     quantize(Acc level, AdcTally &tally) const
     {
+        return quantizeAt(level, _bits, tally);
+    }
+
+    /**
+     * Convert at a per-conversion resolution of `bits` <= bits():
+     * the adaptive policy's truncated SAR conversion. The code
+     * ceiling shrinks with the resolution, so a reading beyond the
+     * certified cycle bound clips deterministically (counted); a
+     * conversion at the full resolution is exactly quantize().
+     * Charges `bits` comparator cycles either way.
+     */
+    Acc
+    quantizeAt(Acc level, int bits, AdcTally &tally) const
+    {
         ++tally.samples;
+        tally.bitCycles += static_cast<std::uint64_t>(bits);
         if (level < 0) [[unlikely]] {
             if (!_noisy)
                 negativePanic(level);
             ++tally.clips;
             return 0;
         }
-        if (level > maxCode()) [[unlikely]] {
+        const Acc ceiling = (Acc{1} << bits) - 1;
+        if (level > ceiling) [[unlikely]] {
             ++tally.clips;
-            return maxCode();
+            return ceiling;
         }
         return level;
     }
@@ -117,6 +142,13 @@ class Adc
         return _clips.load(std::memory_order_relaxed);
     }
 
+    /** SAR comparator cycles across all conversions (energy). */
+    std::uint64_t
+    bitCycles() const
+    {
+        return _bitCycles.load(std::memory_order_relaxed);
+    }
+
     void resetStats();
 
   private:
@@ -135,6 +167,8 @@ class Adc
         _samples{0};
     alignas(kCacheLineBytes) mutable std::atomic<std::uint64_t>
         _clips{0};
+    alignas(kCacheLineBytes) mutable std::atomic<std::uint64_t>
+        _bitCycles{0};
 };
 
 } // namespace isaac::xbar

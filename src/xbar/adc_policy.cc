@@ -1,0 +1,98 @@
+#include "xbar/adc_policy.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace isaac::xbar {
+
+namespace {
+
+/** Widest conversion the signed 64-bit merge accumulator can take
+ *  ((1 << 63) - 1 would overflow the shift in maxCode()). */
+constexpr int kAccumulatorBits = 62;
+
+/** The SAR converter model's supported range (xbar/adc.h). */
+constexpr int kConverterBits = 24;
+
+} // namespace
+
+const char *
+adcPolicyKindName(AdcPolicyKind kind)
+{
+    return kind == AdcPolicyKind::Adaptive ? "adaptive" : "fixed";
+}
+
+AdcPolicy
+AdcPolicy::fixed(int bits)
+{
+    if (bits == 0) {
+        fatal("AdcPolicy::fixed: an explicit 0-bit resolution "
+              "converts nothing; use a default AdcPolicy{} to derive "
+              "the requirement from the geometry");
+    }
+    AdcPolicy p;
+    p.kind = AdcPolicyKind::Fixed;
+    p.bits = bits;
+    p.validate();
+    return p;
+}
+
+AdcPolicy
+AdcPolicy::adaptive(int capBits, int minBits)
+{
+    AdcPolicy p;
+    p.kind = AdcPolicyKind::Adaptive;
+    p.bits = capBits;
+    p.minBits = minBits;
+    p.validate();
+    return p;
+}
+
+int
+AdcPolicy::expectedBits(int cap) const
+{
+    if (kind != AdcPolicyKind::Adaptive)
+        return cap;
+    const int expected = static_cast<int>(
+        std::ceil(static_cast<double>(cap) +
+                  std::log2(activityFactor)));
+    return std::min(cap, std::max(minBits, expected));
+}
+
+void
+AdcPolicy::validate() const
+{
+    if (bits < 0) {
+        fatal("AdcPolicy: resolution must not be negative "
+              "(0 = derive from the geometry)");
+    }
+    if (bits > kAccumulatorBits) {
+        fatal("AdcPolicy: a " + std::to_string(bits) +
+              "-bit conversion exceeds the signed 64-bit "
+              "accumulator's " + std::to_string(kAccumulatorBits) +
+              " usable bits — no bitline reading can need it");
+    }
+    if (bits > kConverterBits) {
+        fatal("AdcPolicy: resolution " + std::to_string(bits) +
+              " is outside the SAR converter model's supported "
+              "range [1, " + std::to_string(kConverterBits) + "]");
+    }
+    if (minBits < 1 || minBits > kConverterBits) {
+        fatal("AdcPolicy: the adaptive floor must be in [1, " +
+              std::to_string(kConverterBits) + "]");
+    }
+    if (!(activityFactor > 0.0) || activityFactor > 1.0)
+        fatal("AdcPolicy: activityFactor must be in (0, 1]");
+}
+
+std::string
+AdcPolicy::label() const
+{
+    std::string s = adcPolicyKindName(kind);
+    if (bits > 0)
+        s += std::to_string(bits);
+    return s;
+}
+
+} // namespace isaac::xbar

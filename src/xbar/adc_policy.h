@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The ADC resolution/energy policy surface.
+ *
+ * ISAAC's Table I fixes one SAR resolution per design point (Eq. 1/2
+ * in xbar/adc.h). Newton (PAPERS.md) observes that most conversions
+ * never need that many bits: the unit column's reading *is* the sum
+ * of the input digits driven this phase, so once it is converted the
+ * engine holds a certified per-cycle worst-case bound on every data
+ * bitline of the same read —
+ *
+ *     reading_c = sum_r digit_r * level_{r,c}
+ *               <= (2^w - 1) * sum_r digit_r = (2^w - 1) * unit
+ *
+ * — the per-phase analogue of `CrossbarArray::maxPackedReading()`'s
+ * static content bound. A SAR converter resolves one bit per
+ * comparator cycle, so truncating the conversion to the bound's
+ * log2-ceiling bits returns the identical code whenever the cap
+ * covers the derived requirement (the bound is an upper bound, so
+ * quantization is the identity: provably lossless, bit-exact across
+ * the scalar, packed, and batched execution tiers) while spending
+ * fewer comparator cycles — the adcBitCycles counter the energy
+ * model prices.
+ *
+ * One AdcPolicy value serves every layer: the functional engine
+ * derives per-conversion resolutions from it, the energy catalog
+ * prices converter power/area from it, the DSE sweeps it as an axis,
+ * and campaign scenario IDs carry it for replay.
+ */
+
+#ifndef ISAAC_XBAR_ADC_POLICY_H
+#define ISAAC_XBAR_ADC_POLICY_H
+
+#include <algorithm>
+#include <string>
+
+#include "common/bits.h"
+#include "common/types.h"
+
+namespace isaac::xbar {
+
+enum class AdcPolicyKind
+{
+    /** Every conversion runs the full configured resolution. */
+    Fixed,
+    /**
+     * Newton-style adaptive-per-cycle: each conversion runs only as
+     * many SAR cycles as the certified worst-case bound for that
+     * reading requires, clamped to [minBits, cap].
+     */
+    Adaptive,
+};
+
+/** Stable token for scenario IDs / JSON ("fixed" / "adaptive"). */
+const char *adcPolicyKindName(AdcPolicyKind kind);
+
+/**
+ * The pluggable ADC policy (see file comment). Default-constructed:
+ * fixed at the derived Eq. (1)/(2) requirement — exactly the paper's
+ * converter, and the configuration every pre-policy test pins.
+ */
+struct AdcPolicy
+{
+    AdcPolicyKind kind = AdcPolicyKind::Fixed;
+
+    /**
+     * Resolution override in bits; 0 = derive from the geometry.
+     * Fixed: every conversion runs this resolution (an override
+     * below the requirement models a cheaper converter whose clips
+     * are counted). Adaptive: the converter's *cap* — the widest
+     * conversion it can run; a cap covering the derived requirement
+     * is provably lossless (see lossless()).
+     */
+    int bits = 0;
+
+    /** Adaptive floor: a conversion never runs fewer SAR cycles. */
+    int minBits = 1;
+
+    /**
+     * Analytic activity knob for the energy catalog only: the
+     * expected fraction of the worst-case bound a typical cycle's
+     * readings reach. 0.5 prices the average adaptive conversion one
+     * bit under the cap (see expectedBits()); the functional engine
+     * never reads this — it counts real comparator cycles.
+     */
+    double activityFactor = 0.5;
+
+    /** Explicit fixed-resolution override; fatal() on 0 or out of
+     *  range (the silent-clip sentinel the old adcBitsOverride
+     *  accepted). */
+    static AdcPolicy fixed(int bits);
+
+    /** Adaptive policy; capBits 0 derives the cap (lossless). */
+    static AdcPolicy adaptive(int capBits = 0, int minBits = 1);
+
+    bool
+    isAdaptive() const
+    {
+        return kind == AdcPolicyKind::Adaptive;
+    }
+
+    /** Converter sizing: the override/cap, or the derived bits. */
+    int
+    capBits(int derivedBits) const
+    {
+        return bits > 0 ? bits : derivedBits;
+    }
+
+    /**
+     * True when the policy provably returns every conversion
+     * unchanged for a geometry whose derived requirement is
+     * `derivedBits`: the converter covers the requirement, so the
+     * per-cycle bound law can only ever truncate *slack* bits.
+     */
+    bool
+    lossless(int derivedBits) const
+    {
+        return capBits(derivedBits) >= derivedBits;
+    }
+
+    /**
+     * SAR cycles for one conversion whose reading is certified
+     * <= bound, on a cap-bit converter. Fixed policies always run
+     * the full cap. Hot path: called once per conversion cycle.
+     */
+    int
+    resolutionFor(Acc bound, int cap) const
+    {
+        if (kind != AdcPolicyKind::Adaptive)
+            return cap;
+        if (bound >= (Acc{1} << cap) - 1)
+            return cap;
+        const int need =
+            log2Ceil(static_cast<std::uint64_t>(bound) + 1);
+        return std::min(cap, std::max(minBits, need));
+    }
+
+    /**
+     * Analytic expected per-conversion resolution for energy pricing
+     * on a cap-bit converter: cap + log2(activityFactor) rounded up
+     * (a typical reading at half the bound saves one SAR cycle),
+     * clamped to [minBits, cap]. Fixed policies convert at the cap.
+     */
+    int expectedBits(int cap) const;
+
+    /**
+     * Sanity-check the field combination; descriptive fatal() on a
+     * 0-bit explicit override (see fixed()), a resolution beyond the
+     * 64-bit accumulator or the SAR model's range, a bad floor, or
+     * an activity factor outside (0, 1].
+     */
+    void validate() const;
+
+    /** "fixed" / "fixed7" / "adaptive" / "adaptive6" — the suffix is
+     *  the explicit override/cap, omitted when derived. */
+    std::string label() const;
+
+    bool operator==(const AdcPolicy &) const = default;
+};
+
+} // namespace isaac::xbar
+
+#endif // ISAAC_XBAR_ADC_POLICY_H

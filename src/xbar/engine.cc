@@ -15,8 +15,6 @@ namespace isaac::xbar {
 int
 EngineConfig::adcBits() const
 {
-    if (adcBitsOverride > 0)
-        return adcBitsOverride;
     const int data = adcResolution(rows, dacBits, cellBits,
                                    flipEncoding);
     // The unit column sums raw input digits over all rows; it must
@@ -25,7 +23,7 @@ EngineConfig::adcBits() const
     const Acc unitMax = static_cast<Acc>(rows) *
         ((Acc{1} << dacBits) - 1);
     const int unit = log2Ceil(static_cast<std::uint64_t>(unitMax) + 1);
-    return std::max(data, unit);
+    return adcPolicy.capBits(std::max(data, unit));
 }
 
 void
@@ -58,8 +56,7 @@ EngineConfig::validate() const
               std::to_string(kMaxThreads) + "]");
     if (memoEntries < 0)
         fatal("EngineConfig: memoEntries must be non-negative");
-    if (adcBitsOverride < 0 || adcBitsOverride > 24)
-        fatal("EngineConfig: adcBitsOverride must be in [0, 24]");
+    adcPolicy.validate();
 }
 
 BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
@@ -83,7 +80,7 @@ BitSerialEngine::BitSerialEngine(const EngineConfig &cfg,
     tiles.resize(static_cast<std::size_t>(_rowSegments) *
                  _colSegments);
 
-    _log.configure(kLogTileBase + 2 * tiles.size());
+    _log.configure(kLogTileBase + kLogTileStride * tiles.size());
     _folded.assign(_log.counters(), 0);
     memos.resize(tiles.size());
     for (auto &m : memos)
@@ -380,8 +377,7 @@ BitSerialEngine::memoReplay(int rs, int cs, Partial &part,
         part.stats.adcSamples += e.tally.samples;
         auto &tileTally = part.tileAdc[static_cast<std::size_t>(
             rs * _colSegments + cs)];
-        tileTally.samples += e.tally.samples;
-        tileTally.clips += e.tally.clips;
+        tileTally.merge(e.tally);
         part.transient.merge(e.transient);
         tile(rs, cs).array->chargeReadCycles(e.reads);
         e.lastUse = ++memo.clock;
@@ -443,6 +439,8 @@ BitSerialEngine::memoInsert(
     slot->reads = part.stats.crossbarReads - statsBefore.crossbarReads;
     slot->tally.samples = tileTally.samples - tallyBefore.samples;
     slot->tally.clips = tileTally.clips - tallyBefore.clips;
+    slot->tally.bitCycles =
+        tileTally.bitCycles - tallyBefore.bitCycles;
     slot->transient = resilience::TransientStats{};
     slot->transient.abftChecks =
         part.transient.abftChecks - trBefore.abftChecks;
@@ -614,21 +612,41 @@ BitSerialEngine::evalTileAttempts(const ArrayTile &t, int dataCols,
     // decision depends only on the currents readFn supplies, so
     // every execution path shares this loop and every counter it
     // touches.
+    //
+    // Resolution law: the unit column converts first at the static
+    // per-tile bound (its reading is the sum of this cycle's input
+    // digits, unknowable before converting); the data and checksum
+    // columns then run at the per-cycle bound the unit certifies —
+    // reading <= (2^w - 1) * unit. A fixed policy resolves the full
+    // converter width on every conversion (resolutionFor == cap).
+    const int cap = adc.bits();
+    const bool adaptive = cfg.adcPolicy.isAdaptive();
+    const int unitRes = adaptive
+        ? cfg.adcPolicy.resolutionFor(
+              static_cast<Acc>(t.usedRows) *
+                  ((Acc{1} << cfg.dacBits) - 1),
+              cap)
+        : cap;
+    const Acc maxLevel = (Acc{1} << cfg.cellBits) - 1;
     auto &colQ = part.colQ;
     colQ.assign(static_cast<std::size_t>(dataCols), 0);
     for (int attempt = 0;; ++attempt) {
         const std::vector<Acc> &currents = readFn(attempt);
         ++part.stats.crossbarReads;
-        unit = adc.quantize(
+        unit = adc.quantizeAt(
             currents[static_cast<std::size_t>(
                 t.colMap[static_cast<std::size_t>(dataCols)])],
-            tileTally);
+            unitRes, tileTally);
         ++part.stats.adcSamples;
+        const int dataRes = adaptive
+            ? cfg.adcPolicy.resolutionFor(unit * maxLevel, cap)
+            : cap;
         Acc rawTotal = 0;
         for (int c = 0; c < dataCols; ++c) {
             const int phys = t.colMap[static_cast<std::size_t>(c)];
-            Acc v = adc.quantize(
-                currents[static_cast<std::size_t>(phys)], tileTally);
+            Acc v = adc.quantizeAt(
+                currents[static_cast<std::size_t>(phys)], dataRes,
+                tileTally);
             ++part.stats.adcSamples;
             if (t.flipped[static_cast<std::size_t>(c)])
                 v = unflipColumnSum(v, unit, cfg.cellBits);
@@ -637,9 +655,9 @@ BitSerialEngine::evalTileAttempts(const ArrayTile &t, int dataCols,
         }
         if (!checking)
             break;
-        Acc s = adc.quantize(
+        Acc s = adc.quantizeAt(
             currents[static_cast<std::size_t>(checksumCol())],
-            tileTally);
+            dataRes, tileTally);
         ++part.stats.adcSamples;
         if (t.checksumFlipped)
             s = unflipColumnSum(s, unit, cfg.cellBits);
@@ -750,16 +768,12 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
         delta.adcSamples += part.stats.adcSamples;
         delta.shiftAdds += part.stats.shiftAdds;
         delta.dacActivations += part.stats.dacActivations;
-        for (std::size_t i = 0; i < tileTally.size(); ++i) {
-            tileTally[i].samples += part.tileAdc[i].samples;
-            tileTally[i].clips += part.tileAdc[i].clips;
-        }
+        for (std::size_t i = 0; i < tileTally.size(); ++i)
+            tileTally[i].merge(part.tileAdc[i]);
     }
     AdcTally tally;
-    for (const auto &t : tileTally) {
-        tally.samples += t.samples;
-        tally.clips += t.clips;
-    }
+    for (const auto &t : tileTally)
+        tally.merge(t);
 
     if (!twosComp) {
         // sum(x*w) = sum(y*u) - B*sum(y) - B*sum(u) + R*B^2 with
@@ -799,7 +813,7 @@ BitSerialEngine::dotProduct(std::span<const Word> inputs) const
     }
 
     adc.addTally(tally);
-    publishDelta(1, delta, tally.clips, transientDelta, tileTally);
+    publishDelta(1, delta, tally, transientDelta, tileTally);
     return result;
 }
 
@@ -866,6 +880,13 @@ BitSerialEngine::runBatchBlock(std::span<const Word> inputs,
     auto &units = part.unitsBatch;
     auto &merged = part.mergedBatch;
     const Acc maxCode = adc.maxCode();
+    const int cap = adc.bits();
+    const bool adaptive = cfg.adcPolicy.isAdaptive();
+    const Acc maxLevel = (Acc{1} << cfg.cellBits) - 1;
+    // Clamped-ladder scratch: per-window data-column code ceilings
+    // (all maxCode under a fixed policy; derived from the quantized
+    // unit under an adaptive one, mirroring evalTileAttempts).
+    std::vector<Acc> dataCeil;
     // Clip feasibility, decided once per tile per block: when even
     // the all-ones digit pattern cannot push any column past the ADC
     // ceiling — the common case; the flip encoding exists to
@@ -963,6 +984,15 @@ BitSerialEngine::runBatchBlock(std::span<const Word> inputs,
                     static_cast<std::uint64_t>(dataCols + 1) * n;
                 tileTally.samples +=
                     static_cast<std::uint64_t>(dataCols + 1) * n;
+                if (!adaptive) {
+                    // Fixed policy: every conversion runs the full
+                    // SAR ladder, so the cycle count is a closed
+                    // form. Adaptive tiles charge per window below
+                    // (the resolution depends on each unit reading).
+                    tileTally.bitCycles +=
+                        static_cast<std::uint64_t>(dataCols + 1) * n *
+                        static_cast<std::uint64_t>(cap);
+                }
                 t.array->chargeReadCycles(n);
                 part.stats.shiftAdds +=
                     static_cast<std::uint64_t>(n) * t.localOutputs *
@@ -971,6 +1001,28 @@ BitSerialEngine::runBatchBlock(std::span<const Word> inputs,
                     static_cast<std::size_t>(t.colMap[static_cast<
                         std::size_t>(dataCols)]) * n;
                 if (!mayClip[ti]) {
+                    if (adaptive) {
+                        // The adaptive ceilings cover every clean
+                        // reading whenever the fixed ones do (the
+                        // unit-certified bound dominates the data
+                        // readings, and the capped case falls back
+                        // to maxCode — see evalTileAttempts), so the
+                        // merge below stays bit-identical; only the
+                        // realized comparator cycles differ.
+                        const int unitRes = cfg.adcPolicy.resolutionFor(
+                            static_cast<Acc>(t.usedRows) *
+                                ((Acc{1} << cfg.dacBits) - 1),
+                            cap);
+                        std::uint64_t cycles = 0;
+                        for (int i = 0; i < n; ++i) {
+                            cycles += static_cast<std::uint64_t>(
+                                unitRes +
+                                dataCols *
+                                    cfg.adcPolicy.resolutionFor(
+                                        unitRow[i] * maxLevel, cap));
+                        }
+                        tileTally.bitCycles += cycles;
+                    }
                     // Clip-free merge: quantize() is the identity on
                     // every reading of this tile (per the bound
                     // above), so the slices fold straight into the
@@ -1027,14 +1079,37 @@ BitSerialEngine::runBatchBlock(std::span<const Word> inputs,
                 std::uint64_t clips = 0;
                 // Unit column first (quantize clamp order matches the
                 // scalar ladder; a packed read can never go negative,
-                // which is the one case quantize() panics on).
+                // which is the one case quantize() panics on). Under
+                // an adaptive policy the unit converts at the tile's
+                // static-bound resolution and each window's data
+                // columns clamp at the ceiling its quantized unit
+                // certifies, exactly as evalTileAttempts does.
+                const int unitRes = adaptive
+                    ? cfg.adcPolicy.resolutionFor(
+                          static_cast<Acc>(t.usedRows) *
+                              ((Acc{1} << cfg.dacBits) - 1),
+                          cap)
+                    : cap;
+                const Acc unitCeil = (Acc{1} << unitRes) - 1;
                 units.resize(static_cast<std::size_t>(n));
+                dataCeil.assign(static_cast<std::size_t>(n), maxCode);
+                std::uint64_t cycles = 0;
                 for (int i = 0; i < n; ++i) {
                     const Acc u = unitRow[i];
-                    clips += static_cast<std::uint64_t>(u > maxCode);
-                    units[static_cast<std::size_t>(i)] =
-                        u > maxCode ? maxCode : u;
+                    clips += static_cast<std::uint64_t>(u > unitCeil);
+                    const Acc uq = u > unitCeil ? unitCeil : u;
+                    units[static_cast<std::size_t>(i)] = uq;
+                    if (adaptive) {
+                        const int res = cfg.adcPolicy.resolutionFor(
+                            uq * maxLevel, cap);
+                        dataCeil[static_cast<std::size_t>(i)] =
+                            (Acc{1} << res) - 1;
+                        cycles += static_cast<std::uint64_t>(
+                            unitRes + dataCols * res);
+                    }
                 }
+                if (adaptive)
+                    tileTally.bitCycles += cycles;
                 merged.resize(static_cast<std::size_t>(n));
                 const Acc full = (Acc{1} << cfg.cellBits) - 1;
                 for (int o = 0; o < t.localOutputs; ++o) {
@@ -1048,10 +1123,12 @@ BitSerialEngine::runBatchBlock(std::span<const Word> inputs,
                         const Acc w = Acc{1} << (s * cfg.cellBits);
                         if (t.flipped[static_cast<std::size_t>(c)]) {
                             for (int i = 0; i < n; ++i) {
+                                const Acc lim = dataCeil[
+                                    static_cast<std::size_t>(i)];
                                 Acc v = row[i];
                                 clips += static_cast<std::uint64_t>(
-                                    v > maxCode);
-                                v = v > maxCode ? maxCode : v;
+                                    v > lim);
+                                v = v > lim ? lim : v;
                                 v = full *
                                         units[static_cast<
                                             std::size_t>(i)] -
@@ -1061,10 +1138,12 @@ BitSerialEngine::runBatchBlock(std::span<const Word> inputs,
                             }
                         } else {
                             for (int i = 0; i < n; ++i) {
+                                const Acc lim = dataCeil[
+                                    static_cast<std::size_t>(i)];
                                 Acc v = row[i];
                                 clips += static_cast<std::uint64_t>(
-                                    v > maxCode);
-                                v = v > maxCode ? maxCode : v;
+                                    v > lim);
+                                v = v > lim ? lim : v;
                                 merged[static_cast<std::size_t>(i)] +=
                                     v * w;
                             }
@@ -1190,16 +1269,12 @@ BitSerialEngine::dotProductBatch(std::span<const Word> inputs,
         delta.adcSamples += part.stats.adcSamples;
         delta.shiftAdds += part.stats.shiftAdds;
         delta.dacActivations += part.stats.dacActivations;
-        for (std::size_t i = 0; i < tileTally.size(); ++i) {
-            tileTally[i].samples += part.tileAdc[i].samples;
-            tileTally[i].clips += part.tileAdc[i].clips;
-        }
+        for (std::size_t i = 0; i < tileTally.size(); ++i)
+            tileTally[i].merge(part.tileAdc[i]);
     }
     AdcTally tally;
-    for (const auto &t : tileTally) {
-        tally.samples += t.samples;
-        tally.clips += t.clips;
-    }
+    for (const auto &t : tileTally)
+        tally.merge(t);
 
     if (!twosComp) {
         // The same bias inversion dotProduct() applies, per window
@@ -1233,7 +1308,7 @@ BitSerialEngine::dotProductBatch(std::span<const Word> inputs,
     // fastPathActive() implies drift is disabled, so the periodic
     // refresh accounting dotProduct() performs can never trigger.
     adc.addTally(tally);
-    publishDelta(static_cast<std::uint64_t>(count), delta, tally.clips,
+    publishDelta(static_cast<std::uint64_t>(count), delta, tally,
                  transientDelta, tileTally);
     return out;
 }
@@ -1246,8 +1321,8 @@ BitSerialEngine::physicalArrays() const
 
 void
 BitSerialEngine::publishDelta(
-    std::uint64_t ops, const EngineStats &delta, std::uint64_t clips,
-    const resilience::TransientStats &tr,
+    std::uint64_t ops, const EngineStats &delta,
+    const AdcTally &total, const resilience::TransientStats &tr,
     std::span<const AdcTally> tileTally) const
 {
     // Flatten the finished call's counters into the log layout and
@@ -1258,9 +1333,10 @@ BitSerialEngine::publishDelta(
     flat[0] = ops;
     flat[1] = delta.crossbarReads;
     flat[2] = delta.adcSamples;
-    flat[3] = clips;
+    flat[3] = total.clips;
     flat[4] = delta.shiftAdds;
     flat[5] = delta.dacActivations;
+    flat[6] = total.bitCycles;
     std::uint64_t *t = flat.data() + kLogEngineFields;
     t[0] = tr.abftChecks;
     t[1] = tr.abftMismatches;
@@ -1283,8 +1359,10 @@ BitSerialEngine::publishDelta(
     t[18] = tr.packetsUncorrected;
     t[19] = tr.deadLinks;
     for (std::size_t i = 0; i < tileTally.size(); ++i) {
-        flat[kLogTileBase + 2 * i] = tileTally[i].samples;
-        flat[kLogTileBase + 2 * i + 1] = tileTally[i].clips;
+        const std::size_t base = kLogTileBase + kLogTileStride * i;
+        flat[base] = tileTally[i].samples;
+        flat[base + 1] = tileTally[i].clips;
+        flat[base + 2] = tileTally[i].bitCycles;
     }
     _log.publish(flat);
 }
@@ -1307,6 +1385,7 @@ BitSerialEngine::stats() const
     s.adcClips = _folded[3];
     s.shiftAdds = _folded[4];
     s.dacActivations = _folded[5];
+    s.adcBitCycles = _folded[6];
     return s;
 }
 
@@ -1417,8 +1496,10 @@ BitSerialEngine::tileAdcTally(int rs, int cs) const
     std::lock_guard<std::mutex> lock(_foldMutex);
     foldLocked();
     AdcTally tally;
-    tally.samples = _folded[kLogTileBase + 2 * i];
-    tally.clips = _folded[kLogTileBase + 2 * i + 1];
+    const std::size_t base = kLogTileBase + kLogTileStride * i;
+    tally.samples = _folded[base];
+    tally.clips = _folded[base + 1];
+    tally.bitCycles = _folded[base + 2];
     return tally;
 }
 

@@ -47,6 +47,7 @@
 #include "resilience/health.h"
 #include "resilience/summary.h"
 #include "xbar/adc.h"
+#include "xbar/adc_policy.h"
 #include "xbar/crossbar.h"
 #include "xbar/noise.h"
 
@@ -163,15 +164,21 @@ struct EngineConfig
     bool batchWindows = true;
 
     /**
-     * Force the ADC resolution to this many bits instead of the
-     * derived requirement (0 = derived). An override *below* the
-     * requirement is legal and models a cheaper converter: readings
-     * beyond the code ceiling clip (counted in adcClips / AdcTally),
-     * which is exactly the accuracy-vs-energy axis the campaign lab
-     * sweeps. The energy catalog prices the ADC at the overridden
-     * resolution, so the trade shows up in both columns.
+     * The ADC resolution/energy policy (xbar/adc_policy.h): one
+     * surface replacing the old adcBitsOverride special-casing. The
+     * default fixed policy reproduces the derived Eq. (1)/(2)
+     * converter; AdcPolicy::fixed(b) forces every conversion to b
+     * bits — below the requirement it models a cheaper converter
+     * whose clips are counted in adcClips / AdcTally, the
+     * accuracy-vs-energy axis the campaign lab sweeps — and
+     * AdcPolicy::adaptive() truncates each conversion to the
+     * worst-case bound the unit column certifies for that cycle
+     * (bit-exact when the cap covers the requirement; deterministic,
+     * seed-stable quantization deltas otherwise). The energy catalog
+     * prices the converter from the same policy, so every trade
+     * shows up in both the accuracy and energy columns.
      */
-    int adcBitsOverride = 0;
+    AdcPolicy adcPolicy;
 
     /** Digits per weight = 16 / w. */
     int slicesPerWeight() const { return kDataBits / cellBits; }
@@ -183,8 +190,9 @@ struct EngineConfig
     int outputsPerArray() const { return cols / slicesPerWeight(); }
 
     /**
-     * ADC resolution in effect: the derived requirement, or
-     * adcBitsOverride when set.
+     * Converter sizing in effect: the derived requirement, or the
+     * policy's explicit override/cap when set (the adaptive policy's
+     * cap is the widest conversion its converter can run).
      */
     int adcBits() const;
 
@@ -226,6 +234,11 @@ struct EngineStats
     std::uint64_t adcClips = 0;      ///< Conversions that clipped.
     std::uint64_t shiftAdds = 0;     ///< Digital merge operations.
     std::uint64_t dacActivations = 0; ///< Row-digit presentations.
+    /** SAR comparator cycles across the conversions: adcSamples x
+     *  resolution for a fixed policy, the sum of the per-cycle
+     *  resolutions for an adaptive one (the Newton saving the
+     *  energy model prices). */
+    std::uint64_t adcBitCycles = 0;
 
     /** Fold another tally in (all counters are exact sums). */
     void
@@ -237,6 +250,7 @@ struct EngineStats
         adcClips += o.adcClips;
         shiftAdds += o.shiftAdds;
         dacActivations += o.dacActivations;
+        adcBitCycles += o.adcBitCycles;
     }
 
     bool operator==(const EngineStats &) const = default;
@@ -652,10 +666,13 @@ class BitSerialEngine
      * dotProductBatch() call publishes its finished counter delta to
      * the calling thread's slot as one epoch; readers fold the slots.
      * Flat counter layout (see kLog* indices below):
-     * [ EngineStats(6) | TransientStats(20) | per-tile {samples,clips} ].
+     * [ EngineStats(7) | TransientStats(20) |
+     *   per-tile {samples, clips, bitCycles} ].
      */
-    static constexpr std::size_t kLogEngineFields = 6;
+    static constexpr std::size_t kLogEngineFields = 7;
     static constexpr std::size_t kLogTransientFields = 20;
+    /** Per-tile AdcTally fields in the flat layout. */
+    static constexpr std::size_t kLogTileStride = 3;
     static constexpr std::size_t kLogTileBase =
         kLogEngineFields + kLogTransientFields;
     mutable EpochLog _log;
@@ -667,9 +684,11 @@ class BitSerialEngine
     mutable EpochLog::Cursor _foldCursor;
     mutable std::vector<std::uint64_t> _folded;
 
-    /** Flatten one call's delta and publish it as one epoch. */
+    /** Flatten one call's delta and publish it as one epoch; `total`
+     *  carries the engine-wide clip and SAR-cycle sums (samples ride
+     *  in `delta`). */
     void publishDelta(std::uint64_t ops, const EngineStats &delta,
-                      std::uint64_t clips,
+                      const AdcTally &total,
                       const resilience::TransientStats &transientDelta,
                       std::span<const AdcTally> tileTally) const;
     /** Incremental fold into _folded; caller holds _foldMutex. */

@@ -174,6 +174,156 @@ TEST(CampaignScenario, TryParseRejectsHostileIdsWithAMessage)
     EXPECT_TRUE(error.empty());
 }
 
+TEST(CampaignScenario, PolicyFieldRoundTripsAndDefaultsToFixed)
+{
+    Scenario s;
+    s.policy = xbar::AdcPolicyKind::Adaptive;
+    s.adcBits = 7; // Doubles as the adaptive cap.
+    s.masterSeed = kSeed;
+    const std::string id = s.id();
+    EXPECT_NE(id.find(";pol=adaptive;"), std::string::npos);
+    EXPECT_EQ(Scenario::parse(id), s);
+
+    // Reports written before the policy axis existed carry no pol=
+    // key; they must keep replaying as fixed-policy scenarios.
+    Scenario legacy;
+    legacy.masterSeed = kSeed;
+    std::string old = legacy.id();
+    const auto at = old.find(";pol=fixed");
+    ASSERT_NE(at, std::string::npos);
+    old.erase(at, std::string(";pol=fixed").size());
+    const auto parsed = Scenario::parse(old);
+    EXPECT_EQ(parsed.policy, xbar::AdcPolicyKind::Fixed);
+    EXPECT_EQ(parsed, legacy);
+    EXPECT_EQ(parsed.id(), legacy.id());
+
+    // An unknown policy name is hostile input, not a default.
+    std::string bad = legacy.id();
+    bad.replace(bad.find(";pol=fixed"),
+                std::string(";pol=fixed").size(), ";pol=zig");
+    EXPECT_THROW(Scenario::parse(bad), FatalError);
+
+    // The scenario config carries the policy into the engine.
+    EXPECT_TRUE(s.config(1).engine.adcPolicy.isAdaptive());
+    EXPECT_EQ(s.config(1).engine.adcPolicy.bits, 7);
+    EXPECT_FALSE(legacy.config(1).engine.adcPolicy.isAdaptive());
+}
+
+TEST(CampaignGrid, PolicyAxisMultipliesEnumeration)
+{
+    Grid g = Grid::smoke();
+    const auto base = g.enumerate(kSeed);
+    g.policies = {xbar::AdcPolicyKind::Fixed,
+                  xbar::AdcPolicyKind::Adaptive};
+    const auto both = g.enumerate(kSeed);
+    EXPECT_EQ(both.size(), 2 * base.size());
+    int adaptive = 0, clean = 0;
+    for (const auto &s : both) {
+        adaptive += s.policy == xbar::AdcPolicyKind::Adaptive;
+        clean += s.clean();
+    }
+    EXPECT_EQ(adaptive, static_cast<int>(base.size()));
+    // The zero-noise lossless-adaptive point self-checks too: one
+    // clean scenario per policy.
+    EXPECT_EQ(clean, 2);
+}
+
+TEST(CampaignGrid, SampleIsADeterministicOrderedSubset)
+{
+    const Grid g = Grid::smoke();
+    const auto full = g.enumerate(kSeed);
+    ASSERT_EQ(full.size(), 9u);
+
+    const auto s1 = g.sample(4, kSeed);
+    const auto s2 = g.sample(4, kSeed);
+    ASSERT_EQ(s1.size(), 4u);
+    EXPECT_EQ(s1, s2) << "a pure function of (grid, n, seed)";
+
+    // The survivors keep their enumeration order (strictly
+    // increasing positions in the full list).
+    std::size_t last = 0;
+    for (const auto &s : s1) {
+        const auto it = std::find(full.begin() + last, full.end(), s);
+        ASSERT_NE(it, full.end());
+        last = static_cast<std::size_t>(it - full.begin()) + 1;
+    }
+
+    // n >= size returns the full enumeration; a different seed
+    // draws a different subset of this 9-choose-4 space.
+    EXPECT_EQ(g.sample(100, kSeed), full);
+    EXPECT_NE(g.sample(4, kSeed ^ 0xABCDEFull), s1);
+
+    // The free function thins any scenario list the same way.
+    EXPECT_EQ(sampleScenarios(full, 9, kSeed), full);
+    EXPECT_EQ(sampleScenarios(full, 4, kSeed).size(), 4u);
+}
+
+TEST(CampaignRunner, BudgetedReportIsByteIdenticalAtAnyThreadCount)
+{
+    std::string wantJson;
+    std::uint64_t wantHash = 0;
+    struct Setting
+    {
+        int threads;
+        bool scramble;
+    };
+    const Setting settings[] = {{1, false}, {4, false}, {8, true}};
+    for (const auto &setting : settings) {
+        SCOPED_TRACE("threads=" + std::to_string(setting.threads) +
+                     " scramble=" +
+                     std::to_string(setting.scramble));
+        RunnerOptions opts;
+        opts.batch = 2;
+        opts.threads = setting.threads;
+        opts.scramble = setting.scramble;
+        opts.scenarioBudget = 5;
+        const Runner runner("tinycnn", kSeed, opts);
+        const auto report = runner.run(Grid::smoke());
+        EXPECT_EQ(report.gridPoints, 5);
+        EXPECT_EQ(report.scenarios.size(), 5u);
+        if (wantJson.empty()) {
+            wantJson = report.toJson();
+            wantHash = report.contentHash();
+        } else {
+            EXPECT_EQ(report.toJson(), wantJson);
+            EXPECT_EQ(report.contentHash(), wantHash);
+        }
+    }
+}
+
+TEST(CampaignRunner, LosslessAdaptiveScenarioIsCleanAndBitExact)
+{
+    RunnerOptions opts;
+    opts.batch = 2;
+    opts.threads = 1;
+    const Runner runner("tinycnn", kSeed, opts);
+
+    // The lossless adaptive point is a clean self-check: zero
+    // divergence from the fixed-point reference, like the fixed
+    // zero-noise scenario it shadows.
+    Scenario ad;
+    ad.policy = xbar::AdcPolicyKind::Adaptive;
+    ad.masterSeed = kSeed;
+    ASSERT_TRUE(ad.clean());
+    const auto res = runner.runScenario(ad);
+    EXPECT_EQ(res.completed, 2);
+    EXPECT_DOUBLE_EQ(res.agreement, 1.0);
+    EXPECT_EQ(res.maxRel, 0.0);
+
+    // An under-capped adaptive converter produces an accuracy
+    // delta; replaying its ID must reproduce the delta exactly.
+    Scenario lossy = ad;
+    lossy.adcBits = 6;
+    EXPECT_FALSE(lossy.clean());
+    const auto first = runner.runScenario(lossy);
+    const auto replay =
+        runner.runScenario(Scenario::parse(lossy.id()));
+    EXPECT_GT(first.maxRel, 0.0);
+    EXPECT_EQ(first.maxRel, replay.maxRel);
+    EXPECT_EQ(first.finalMeanRel, replay.finalMeanRel);
+    EXPECT_EQ(first.top1Matches, replay.top1Matches);
+}
+
 TEST(CampaignRunner, ZeroNoiseScenarioIsBitExact)
 {
     RunnerOptions opts;

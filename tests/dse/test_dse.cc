@@ -110,5 +110,134 @@ TEST(Dse, RankOfUnknownLabelThrows)
                  FatalError);
 }
 
+/** Two points are byte-identical for frontier purposes. */
+void
+expectPointsIdentical(const DsePoint &a, const DsePoint &b)
+{
+    EXPECT_EQ(a.label(), b.label());
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.hazard, b.hazard);
+    // Bitwise: the sweep evaluates each point with the same scalar
+    // code regardless of scheduling, so not even ULPs may move.
+    EXPECT_EQ(a.ce, b.ce);
+    EXPECT_EQ(a.pe, b.pe);
+    EXPECT_EQ(a.se, b.se);
+}
+
+TEST(Dse, GoldenFrontierIsByteStableAcrossThreadCounts)
+{
+    // The Fig. 5 regression: the full sweep (and its Pareto front,
+    // the shape BENCH_dse.json publishes) must not move by a single
+    // bit when the sweep's thread count changes.
+    DseSpace golden;
+    golden.threads = 1;
+    golden.policies = {xbar::AdcPolicy{}, xbar::AdcPolicy::adaptive()};
+    golden.heteroFractions = {0.0, 0.5};
+    const auto want = sweep(golden);
+    const auto wantFront = paretoFront(want);
+    ASSERT_FALSE(wantFront.empty());
+
+    for (const int threads : {2, 4, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        DseSpace space = golden;
+        space.threads = threads;
+        const auto got = sweep(space);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            expectPointsIdentical(want[i], got[i]);
+        const auto front = paretoFront(got);
+        ASSERT_EQ(front.size(), wantFront.size());
+        for (std::size_t i = 0; i < front.size(); ++i)
+            expectPointsIdentical(wantFront[i], front[i]);
+    }
+}
+
+TEST(Dse, PolicyAxisMultipliesTheGridAndKeepsLabelsStable)
+{
+    DseSpace space;
+    space.rows = {128};
+    space.adcsPerIma = {8};
+    space.xbarsPerIma = {8};
+    space.imasPerTile = {12};
+    space.policies = {xbar::AdcPolicy{}, xbar::AdcPolicy::adaptive(),
+                      xbar::AdcPolicy::fixed(8)};
+    space.heteroFractions = {0.0, 0.25};
+    const auto points = sweep(space);
+    ASSERT_EQ(points.size(), 6u);
+
+    // Row-major with the policy axis outer of the hetero axis;
+    // default-axes points keep the bare Fig. 5 label.
+    EXPECT_EQ(points[0].label(), "H128-A8-C8-I12");
+    EXPECT_EQ(points[1].label(), "H128-A8-C8-I12-het25pc");
+    EXPECT_EQ(points[2].label(), "H128-A8-C8-I12-adaptive");
+    EXPECT_EQ(points[3].label(), "H128-A8-C8-I12-adaptive-het25pc");
+    EXPECT_EQ(points[4].label(), "H128-A8-C8-I12-fixed8");
+    EXPECT_EQ(points[5].label(), "H128-A8-C8-I12-fixed8-het25pc");
+    EXPECT_EQ(points[1].heteroRows, 64);
+    EXPECT_EQ(points[0].heteroRows, 0);
+}
+
+TEST(Dse, AdaptivePolicyBeatsFixedOnPowerEfficiency)
+{
+    // The tentpole's frontier claim at its sharpest point: on the
+    // paper's own CE geometry, the Newton-style converter improves
+    // GOPS/W (shorter expected conversions), pays a small area tax
+    // on GOPS/mm^2, and leaves feasibility untouched (the SAR core
+    // still resolves the full 8-bit requirement).
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const DseSpace space;
+    const auto fixed = evaluate(cfg, space, xbar::AdcPolicy{}, 0.0);
+    const auto adaptive =
+        evaluate(cfg, space, xbar::AdcPolicy::adaptive(), 0.0);
+    ASSERT_TRUE(fixed.feasible) << fixed.hazard;
+    ASSERT_TRUE(adaptive.feasible) << adaptive.hazard;
+    EXPECT_GT(adaptive.pe, fixed.pe);
+    EXPECT_LT(adaptive.ce, fixed.ce);
+    // Same storage on a slightly larger chip (the adaptive area
+    // overhead), so density dips without the byte count moving.
+    EXPECT_LT(adaptive.se, fixed.se);
+    EXPECT_GT(adaptive.se, fixed.se * 0.9);
+}
+
+TEST(Dse, HeterogeneousTilesInterpolateTheHomogeneousEndpoints)
+{
+    const auto cfg = arch::IsaacConfig::isaacCE();
+    const DseSpace space;
+    const xbar::AdcPolicy pol;
+    const auto none = evaluate(cfg, space, pol, 0.0);
+    const auto half = evaluate(cfg, space, pol, 0.5);
+    const auto tiny = evaluate(cfg, space, pol, 0.01);
+
+    // 0.5 * 12 IMAs = 6 secondary 64-row arrays.
+    EXPECT_EQ(half.heteroRows, 64);
+    EXPECT_GT(half.ce, 0.0);
+    EXPECT_TRUE(half.feasible) << half.hazard;
+    // Halving arrays removes storage faster than area, so the mixed
+    // tile is less storage-dense but strictly cheaper on IR traffic.
+    EXPECT_LT(half.se, none.se);
+    EXPECT_NE(half.ce, none.ce);
+
+    // A fraction that rounds to zero IMAs collapses to homogeneous
+    // (and says so in the label).
+    EXPECT_EQ(tiny.heteroRows, 0);
+    EXPECT_EQ(tiny.label(), none.label());
+    EXPECT_EQ(tiny.ce, none.ce);
+    EXPECT_EQ(tiny.pe, none.pe);
+}
+
+TEST(Dse, EmptyPolicyAxisIsAConfigError)
+{
+    DseSpace space;
+    space.rows = {128};
+    space.adcsPerIma = {8};
+    space.xbarsPerIma = {8};
+    space.imasPerTile = {12};
+    space.policies.clear();
+    EXPECT_THROW(sweep(space), FatalError);
+    space.policies = {xbar::AdcPolicy{}};
+    space.heteroFractions.clear();
+    EXPECT_THROW(sweep(space), FatalError);
+}
+
 } // namespace
 } // namespace isaac::dse

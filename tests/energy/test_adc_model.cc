@@ -54,6 +54,46 @@ TEST(AdcModel, RejectsBadResolution)
     EXPECT_THROW(m.areaMm2(-1), FatalError);
 }
 
+TEST(AdcModel, FractionalResolutionInterpolates)
+{
+    // Adaptive pricing evaluates the scaling law at the policy's
+    // expected conversion depth, which need not be an integer.
+    AdcModel m;
+    EXPECT_DOUBLE_EQ(m.energyPerSamplePj(8.0),
+                     m.powerMw(8, 1.2) / 1.2);
+    const double e7 = m.energyPerSamplePj(7.0);
+    const double e75 = m.energyPerSamplePj(7.5);
+    const double e8 = m.energyPerSamplePj(8.0);
+    EXPECT_LT(e7, e75);
+    EXPECT_LT(e75, e8);
+    EXPECT_THROW(m.energyPerSamplePj(0.5), FatalError);
+}
+
+TEST(AdcModel, PolicyPricingChargesTheAdaptiveOverheads)
+{
+    AdcModel m;
+    const xbar::AdcPolicy fixed;
+    const auto adaptive = xbar::AdcPolicy::adaptive();
+
+    // A fixed policy prices exactly as the plain scaling law.
+    EXPECT_DOUBLE_EQ(m.policyPowerMw(fixed, 8, 1.2),
+                     m.powerMw(8, 1.2));
+    EXPECT_DOUBLE_EQ(m.policyAreaMm2(fixed, 8), m.areaMm2(8));
+
+    // Adaptive power: expected depth (cap - 1 at the default 0.5
+    // activity factor) plus the sequencing-logic overhead — a net
+    // win. Area: full-resolution ladder plus the comparator-control
+    // overhead — a net loss.
+    const double pAd = m.policyPowerMw(adaptive, 8, 1.2);
+    EXPECT_LT(pAd, m.powerMw(8, 1.2));
+    EXPECT_DOUBLE_EQ(pAd, m.powerMw(adaptive.expectedBits(8), 1.2) *
+                              (1.0 + AdcModel::kAdaptivePowerOverhead));
+    const double aAd = m.policyAreaMm2(adaptive, 8);
+    EXPECT_GT(aAd, m.areaMm2(8));
+    EXPECT_DOUBLE_EQ(aAd, m.areaMm2(8) *
+                              (1.0 + AdcModel::kAdaptiveAreaOverhead));
+}
+
 TEST(DacModel, ReferencePointMatchesTableI)
 {
     DacModel d;

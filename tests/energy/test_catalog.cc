@@ -120,6 +120,36 @@ TEST(Catalog, PerEventEnergiesAreSane)
     EXPECT_LT(m.sigmoidEnergyPerOpPj(), 1.0);
 }
 
+TEST(Catalog, AdaptivePolicyRepricesTheAdcLine)
+{
+    // The same chip under an adaptive converter policy: cheaper
+    // per-sample ADC energy (expected depth below the cap), a small
+    // area tax, and — composed through the whole Table I roll-up —
+    // better GOPS/W at slightly worse GOPS/mm^2. The fixed default
+    // must keep the 1.67 pJ Table I pin exactly.
+    auto cfg = arch::IsaacConfig::isaacCE();
+    const IsaacEnergyModel fixed(cfg);
+    cfg.engine.adcPolicy = xbar::AdcPolicy::adaptive();
+    const IsaacEnergyModel adaptive(cfg);
+
+    EXPECT_NEAR(fixed.adcEnergyPerSamplePj(), 1.67, 0.01);
+    EXPECT_LT(adaptive.adcEnergyPerSamplePj(),
+              fixed.adcEnergyPerSamplePj());
+    EXPECT_GT(adaptive.peGopsPerW(), fixed.peGopsPerW());
+    EXPECT_LT(adaptive.ceGopsPerMm2(), fixed.ceGopsPerMm2());
+
+    // Measured per-cycle accounting: pricing a run at its observed
+    // mean conversion depth reproduces the fixed pin at 8.0 bits
+    // and decreases monotonically as phases certify shorter.
+    EXPECT_NEAR(fixed.adcEnergyPerSampleAtPj(8.0), 1.67, 0.01);
+    EXPECT_LT(adaptive.adcEnergyPerSampleAtPj(6.5),
+              adaptive.adcEnergyPerSampleAtPj(7.5));
+    // The adaptive sequencing overhead applies to measured pricing
+    // too, so at the full cap it costs slightly more than fixed.
+    EXPECT_GT(adaptive.adcEnergyPerSampleAtPj(8.0),
+              fixed.adcEnergyPerSampleAtPj(8.0));
+}
+
 TEST(Catalog, BiggerEdramCostsMore)
 {
     auto cfg = arch::IsaacConfig::isaacCE();
